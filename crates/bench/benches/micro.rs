@@ -1,0 +1,77 @@
+//! Criterion micro-benchmarks over the core data structures (M1 in
+//! DESIGN.md): RID locator, pack codec, VID maps, expression eval,
+//! hash join probe.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use imci_common::{DataType, Rid, Value, Vid};
+use imci_core::{ColumnData, Pack, RidLocator, VidMap};
+
+fn bench_locator(c: &mut Criterion) {
+    let loc = RidLocator::new(4096);
+    for pk in 0..100_000i64 {
+        loc.insert(pk, Rid(pk as u64));
+    }
+    let mut next = 100_000i64;
+    c.bench_function("locator_insert", |b| {
+        b.iter(|| {
+            loc.insert(next, Rid(next as u64));
+            next += 1;
+        })
+    });
+    c.bench_function("locator_get", |b| {
+        let mut pk = 0i64;
+        b.iter(|| {
+            let r = loc.get(pk % 100_000);
+            pk += 7;
+            r
+        })
+    });
+}
+
+fn bench_pack(c: &mut Criterion) {
+    let mut col = ColumnData::new(DataType::Int);
+    for i in 0..65_536 {
+        col.set(i, &Value::Int(1_000_000 + (i as i64 % 500))).unwrap();
+    }
+    c.bench_function("pack_seal_64k_ints", |b| b.iter(|| Pack::seal(&col)));
+    let pack = Pack::seal(&col);
+    c.bench_function("pack_point_get", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let v = pack.get(i % 65_536);
+            i += 13;
+            v
+        })
+    });
+}
+
+fn bench_vidmap(c: &mut Criterion) {
+    let m = VidMap::new(65_536);
+    c.bench_function("vidmap_set_get", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            m.set(i % 65_536, Vid(i as u64));
+            let v = m.get(i % 65_536);
+            i += 1;
+            v
+        })
+    });
+}
+
+fn bench_expr(c: &mut Criterion) {
+    use imci_executor::{Batch, CmpOp, Expr};
+    let mut col = ColumnData::new(DataType::Int);
+    for i in 0..65_536 {
+        col.set(i, &Value::Int(i as i64)).unwrap();
+    }
+    let batch = Batch { cols: vec![col], len: 65_536 };
+    let e = Expr::cmp(CmpOp::Lt, Expr::col(0), Expr::lit(32_768i64));
+    c.bench_function("expr_int_cmp_64k", |b| b.iter(|| e.eval_mask(&batch).unwrap()));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_locator, bench_pack, bench_vidmap, bench_expr
+}
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Fig. 12: visibility delay percentiles under TPC-C-style load.
+
+use imci_bench::{bench_cluster, env_usize, percentile};
+use rand::{rngs::StdRng, SeedableRng};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    println!("# paper: Fig 12 — VD < 5ms typical, < 30ms at p99.99 under heavy load; grows with thread count");
+    let cluster = bench_cluster(1);
+    let ch = Arc::new(imci_workloads::chbench::ChBench::setup(&cluster, 1).unwrap());
+    assert!(cluster.wait_sync(Duration::from_secs(120)));
+    println!("threads\tp50_ms\tp90_ms\tp99_ms\tmax_ms");
+    for threads in [2usize, 4, 8, 16] {
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let (c, ch, stop) = (cluster.clone(), ch.clone(), stop.clone());
+            handles.push(std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(t as u64 + 100);
+                while !stop.load(Ordering::Relaxed) {
+                    let _ = ch.new_order(&c, &mut rng);
+                }
+            }));
+        }
+        let n = env_usize("VD_SAMPLES", 150);
+        // Discard warm-up samples (the paper also collects "in the
+        // middle of each experiment to avoid the disturbance caused by
+        // system start-up").
+        for _ in 0..20 {
+            let _ = cluster.measure_visibility_delay();
+        }
+        let mut samples = Vec::with_capacity(n);
+        for _ in 0..n {
+            if let Ok(vd) = cluster.measure_visibility_delay() {
+                samples.push(vd.as_secs_f64() * 1e3);
+            }
+        }
+        stop.store(true, Ordering::SeqCst);
+        for h in handles { let _ = h.join(); }
+        println!(
+            "{threads}\t{:.3}\t{:.3}\t{:.3}\t{:.3}",
+            percentile(&mut samples, 50.0),
+            percentile(&mut samples, 90.0),
+            percentile(&mut samples, 99.0),
+            percentile(&mut samples, 100.0)
+        );
+    }
+    cluster.shutdown();
+}

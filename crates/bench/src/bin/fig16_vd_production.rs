@@ -1,0 +1,27 @@
+//! Fig. 16: visibility delay over a compressed "24-hour" diurnal load.
+
+use imci_bench::{bench_cluster, env_usize};
+use rand::{rngs::StdRng, SeedableRng};
+use std::time::Duration;
+
+fn main() {
+    println!("# paper: Fig 16 — VD tracks the customer's OLTP rate over 24h and stays < 20ms");
+    let cluster = bench_cluster(1);
+    let wl = imci_workloads::sysbench::Sysbench::setup(&cluster, 2, 200).unwrap();
+    assert!(cluster.wait_sync(Duration::from_secs(60)));
+    let hours = env_usize("VIRTUAL_HOURS", 24);
+    let ops_peak = env_usize("PEAK_OPS_PER_HOUR", 400);
+    println!("virtual_hour\tops_issued\tvd_ms");
+    let mut rng = StdRng::seed_from_u64(4);
+    for h in 0..hours {
+        // diurnal curve: trough at 4am, peak at 4pm
+        let phase = (h as f64 - 16.0) / 24.0 * std::f64::consts::TAU;
+        let rate = ((1.0 + phase.cos()) / 2.0 * ops_peak as f64) as usize + 10;
+        for _ in 0..rate {
+            let _ = wl.insert_one(&cluster, &mut rng);
+        }
+        let vd = cluster.measure_visibility_delay().unwrap_or(Duration::ZERO);
+        println!("{h}\t{rate}\t{:.3}", vd.as_secs_f64() * 1e3);
+    }
+    cluster.shutdown();
+}

@@ -1,0 +1,11 @@
+//! Table 1: configuration of the (simulated) evaluation setup.
+
+fn main() {
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(0);
+    println!("# paper: Table 1 — 32 vCPU / 256GB nodes, 10Gb network, PolarFS 288k IOPS");
+    println!("component\tpaper\tthis reproduction");
+    println!("RW/RO node\t32 vCPU, 256GB DRAM\tsimulated in-process node, {cores} host threads");
+    println!("client\t32 vCPU ECS\tin-process driver threads");
+    println!("network\t10Gbit/s RDMA\tshared-memory channels + injected latency");
+    println!("PolarFS\t288k IOPS RandRead-16K, 18k IOPS SeqWrite-128K\tLatencyProfile::polarfs_like(): fsync 30us, page read 50us, append 1us+0.4us/KiB");
+}

@@ -1,0 +1,16 @@
+//! Table 2: aggregate statistics of the synthetic production workloads.
+
+use imci_bench::{bench_cluster, env_f64};
+use std::time::Duration;
+
+fn main() {
+    println!("# paper: Table 2 — Cust1: 997 tables/11.2 cols/2.0 joins; Cust2: 165/27.2/1.3; Cust3: 681/29.9/1.7; Cust4: 153/13.5/9.0");
+    let scale = env_f64("PROD_SCALE", 0.1);
+    let cluster = bench_cluster(0);
+    for (i, p) in imci_workloads::production::profiles().iter().enumerate() {
+        let wl = imci_workloads::production::generate(&cluster, p, &format!("s{i}"), scale, i as u64).unwrap();
+        println!("{}", imci_workloads::production::table2_stats(&wl));
+    }
+    let _ = cluster.wait_sync(Duration::from_secs(10));
+    cluster.shutdown();
+}

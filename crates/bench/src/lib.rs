@@ -1,0 +1,96 @@
+//! Shared helpers for the figure/table harness binaries.
+//!
+//! Every binary prints TSV rows matching the series/axes of one paper
+//! artifact, preceded by `# paper:` comment lines stating the paper's
+//! qualitative expectation (see DESIGN.md §5 and EXPERIMENTS.md).
+
+use imci_cluster::{Cluster, ClusterConfig};
+use imci_sql::{EngineChoice, Statement};
+use std::time::{Duration, Instant};
+
+/// Read an env var with a default (benches are parameterized by env so
+/// `cargo bench`/CI stay fast while bigger runs remain one-liner away).
+pub fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Integer env parameter.
+pub fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Run one SELECT on a chosen engine of the first RO node; returns
+/// (elapsed, row count).
+pub fn run_query_on(
+    cluster: &Cluster,
+    sql: &str,
+    engine: EngineChoice,
+) -> (Duration, usize) {
+    let node = cluster.ros.read()[0].clone();
+    let stmt = match imci_sql::parse(sql).expect("query parses") {
+        Statement::Select(s) => *s,
+        _ => panic!("not a select"),
+    };
+    node.query.set_force(Some(engine));
+    let t = Instant::now();
+    let out = node.query.execute_select(&stmt);
+    let dt = t.elapsed();
+    node.query.set_force(None);
+    match out {
+        Ok((res, _)) => (dt, res.rows.len()),
+        Err(e) => panic!("query failed on {engine:?}: {e}\n{sql}"),
+    }
+}
+
+/// Geometric mean of positive samples.
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    (xs.iter().map(|x| x.max(1e-12).ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// Percentile (0..=100) of a sorted-or-not sample set, in place.
+pub fn percentile(samples: &mut [f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let idx = ((p / 100.0) * (samples.len() - 1) as f64).round() as usize;
+    samples[idx.min(samples.len() - 1)]
+}
+
+/// A small default cluster for harness binaries.
+pub fn bench_cluster(n_ro: usize) -> std::sync::Arc<Cluster> {
+    Cluster::start(ClusterConfig {
+        n_ro,
+        group_cap: env_usize("GROUP_CAP", 8192),
+        ..Default::default()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_and_percentile() {
+        assert!((geomean(&[1.0, 100.0]) - 10.0).abs() < 1e-9);
+        let mut xs = vec![5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(percentile(&mut xs, 50.0), 3.0);
+        assert_eq!(percentile(&mut xs, 100.0), 5.0);
+        assert_eq!(percentile(&mut [][..].to_vec(), 50.0), 0.0);
+    }
+
+    #[test]
+    fn env_defaults() {
+        assert_eq!(env_f64("NOT_SET_VAR_XYZ", 1.5), 1.5);
+        assert_eq!(env_usize("NOT_SET_VAR_XYZ", 7), 7);
+    }
+}

@@ -1,0 +1,531 @@
+//! Cloud-native cluster topology (paper §3, §6.1, §6.4, §7).
+//!
+//! A [`Cluster`] is a single-process simulation of the deployment in
+//! Fig. 2: one RW node, N RO nodes, and a stateless proxy, all over one
+//! shared [`PolarFs`] volume. RO nodes hold dual-format storage (row
+//! replica + column indexes) kept fresh by the CALS/2P-COFFER pipeline;
+//! the proxy does inter-node routing (read/write splitting with
+//! session-count load balancing) and consistency-level enforcement
+//! (eventual, or strong via written-LSN ≥ applied-LSN, §6.4); scale-out
+//! clones a new RO from the latest checkpoint and lets it catch up
+//! (§7 / Fig. 14).
+
+use imci_common::{Error, Result};
+use imci_core::ColumnStore;
+use imci_replication::{
+    load_checkpoint_pages, take_checkpoint, Pipeline, ReplicationConfig,
+};
+use imci_sql::{QueryEngine, QueryResult, Statement};
+use imci_wal::{LogWriter, PropagationMode};
+use parking_lot::RwLock;
+use polarfs_sim::{LatencyProfile, PolarFs};
+use rowstore::RowEngine;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Consistency level applied by the proxy (paper §6.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Consistency {
+    /// Route to any RO node immediately.
+    #[default]
+    Eventual,
+    /// Only serve from an RO whose applied LSN ≥ the RW's written LSN
+    /// at query arrival (read-your-writes across the cluster).
+    Strong,
+}
+
+/// Cluster construction knobs.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of initial RO nodes.
+    pub n_ro: usize,
+    /// Row-group capacity of column indexes.
+    pub group_cap: usize,
+    /// RW buffer-pool capacity (pages).
+    pub bp_capacity: usize,
+    /// Propagation mode (REDO reuse vs Binlog strawman, Fig. 11).
+    pub propagation: PropagationMode,
+    /// Replication pipeline tuning.
+    pub replication: ReplicationConfig,
+    /// Shared-storage latency profile.
+    pub latency: LatencyProfile,
+    /// Row-cost threshold for intra-node routing.
+    pub cost_threshold: f64,
+    /// Proxy consistency level.
+    pub consistency: Consistency,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> ClusterConfig {
+        ClusterConfig {
+            n_ro: 1,
+            group_cap: 4096,
+            bp_capacity: 1 << 20,
+            propagation: PropagationMode::ReuseRedo,
+            replication: ReplicationConfig::default(),
+            latency: LatencyProfile::zero(),
+            cost_threshold: 10_000.0,
+            consistency: Consistency::Eventual,
+        }
+    }
+}
+
+/// A read-only node: dual-format storage + replication pipeline.
+pub struct RoNode {
+    /// Node name (e.g. `ro-1`).
+    pub name: String,
+    /// Row-store replica.
+    pub engine: Arc<RowEngine>,
+    /// Column indexes.
+    pub store: Arc<ColumnStore>,
+    /// Per-node query engine (router + both executors).
+    pub query: QueryEngine,
+    /// The running replication pipeline.
+    pub pipeline: Pipeline,
+    /// Active proxy sessions (load-balancing signal, §6.1).
+    pub sessions: AtomicUsize,
+}
+
+impl RoNode {
+    /// This node's applied LSN (§6.4).
+    pub fn applied_lsn(&self) -> u64 {
+        self.pipeline.metrics().applied_lsn()
+    }
+}
+
+/// The simulated PolarDB-IMCI cluster.
+pub struct Cluster {
+    /// Shared storage volume.
+    pub fs: PolarFs,
+    /// The RW node's storage engine.
+    pub rw: Arc<RowEngine>,
+    /// The RW node's query engine (row only).
+    pub rw_query: QueryEngine,
+    /// RO nodes (the proxy's routing targets).
+    pub ros: RwLock<Vec<Arc<RoNode>>>,
+    /// Configuration.
+    pub config: ClusterConfig,
+    next_ro_id: AtomicU64,
+    next_ckpt: AtomicU64,
+}
+
+/// Timing breakdown of one scale-out operation (Fig. 14).
+#[derive(Debug, Clone)]
+pub struct ScaleOutReport {
+    /// Node name.
+    pub name: String,
+    /// Whether a checkpoint was available and used.
+    pub from_checkpoint: bool,
+    /// Time to build in-memory state (checkpoint load or full replay).
+    pub load_time: Duration,
+    /// Time to catch up to the RW's written LSN at start.
+    pub catchup_time: Duration,
+}
+
+impl Cluster {
+    /// Boot a cluster: RW + `n_ro` RO nodes over a fresh volume.
+    pub fn start(config: ClusterConfig) -> Arc<Cluster> {
+        let fs = PolarFs::new(config.latency.clone());
+        let log = LogWriter::new(fs.clone(), config.propagation);
+        let rw = RowEngine::new_rw(fs.clone(), log, config.bp_capacity);
+        let mut rw_query = QueryEngine::row_only(rw.clone());
+        rw_query.cost_threshold = config.cost_threshold;
+        let cluster = Arc::new(Cluster {
+            fs,
+            rw,
+            rw_query,
+            ros: RwLock::new(Vec::new()),
+            config,
+            next_ro_id: AtomicU64::new(1),
+            next_ckpt: AtomicU64::new(1),
+        });
+        for _ in 0..cluster.config.n_ro {
+            cluster.scale_out().expect("initial RO boot");
+        }
+        cluster
+    }
+
+    /// Add an RO node (paper §7): load the newest checkpoint if one
+    /// exists, otherwise rebuild from the log, then catch up.
+    pub fn scale_out(&self) -> Result<ScaleOutReport> {
+        let id = self.next_ro_id.fetch_add(1, Ordering::SeqCst);
+        let name = format!("ro-{id}");
+        let t0 = Instant::now();
+        let engine = RowEngine::new_replica(self.fs.clone(), usize::MAX / 2);
+        engine.refresh_catalog()?;
+        let store = Arc::new(ColumnStore::new(self.config.group_cap));
+        let (start_offset, from_checkpoint) =
+            match imci_core::latest_checkpoint(&self.fs) {
+                Some(seq) => {
+                    // Fast start: checkpointed row pages + column state.
+                    load_checkpoint_pages(&self.fs, seq, &engine)?;
+                    let meta = imci_core::read_meta(&self.fs, seq)?;
+                    for tname in engine.table_names() {
+                        let rt = engine.table(&tname)?;
+                        rt.rebuild_secondaries()?;
+                        rt.row_counter
+                            .store(rt.tree.count()? as u64, Ordering::SeqCst);
+                        if rt.schema.has_column_index() {
+                            if let Ok(idx) = imci_core::load_index(
+                                &self.fs,
+                                seq,
+                                &rt.schema,
+                                self.config.group_cap,
+                            ) {
+                                store.install(idx);
+                            } else {
+                                store.create_index(&rt.schema);
+                            }
+                        }
+                    }
+                    (meta.redo_offset, true)
+                }
+                None => {
+                    // Cold start: everything from the REDO log.
+                    for tname in engine.table_names() {
+                        let rt = engine.table(&tname)?;
+                        if rt.schema.has_column_index() {
+                            store.create_index(&rt.schema);
+                        }
+                    }
+                    (0, false)
+                }
+            };
+        let load_time = t0.elapsed();
+
+        let mut repl = self.config.replication.clone();
+        repl.start_offset = start_offset;
+        let pipeline = Pipeline::start(
+            self.fs.clone(),
+            engine.clone(),
+            store.clone(),
+            repl,
+        );
+
+        // Catch up to the RW's current commit point before serving.
+        let t1 = Instant::now();
+        let target = self.written_lsn();
+        if target > 0 {
+            pipeline.wait_applied(target, Duration::from_secs(60));
+        }
+        let catchup_time = t1.elapsed();
+
+        let mut query = QueryEngine::dual(engine.clone(), store.clone());
+        query.cost_threshold = self.config.cost_threshold;
+        let node = Arc::new(RoNode {
+            name: name.clone(),
+            engine,
+            store,
+            query,
+            pipeline,
+            sessions: AtomicUsize::new(0),
+        });
+        self.ros.write().push(node);
+        Ok(ScaleOutReport {
+            name,
+            from_checkpoint,
+            load_time,
+            catchup_time,
+        })
+    }
+
+    /// Remove the most recently added RO node (scale-in).
+    pub fn scale_in(&self) -> Option<String> {
+        let node = self.ros.write().pop()?;
+        let name = node.name.clone();
+        // Pipeline threads stop when the Arc unwinds; we stop explicitly
+        // if we are the last holder.
+        if let Ok(n) = Arc::try_unwrap(node) {
+            n.pipeline.stop();
+        }
+        Some(name)
+    }
+
+    /// RW's durable commit LSN ("written LSN", §6.4).
+    pub fn written_lsn(&self) -> u64 {
+        self.rw
+            .log()
+            .map(|l| l.written_lsn().get())
+            .unwrap_or(0)
+    }
+
+    /// Take a checkpoint covering the current log prefix (the RO-leader
+    /// duty of §7; see DESIGN.md for the quiescing substitution).
+    pub fn checkpoint_now(&self) -> Result<u64> {
+        let seq = self.next_ckpt.fetch_add(1, Ordering::SeqCst);
+        take_checkpoint(&self.fs, seq, None, self.config.group_cap)?;
+        Ok(seq)
+    }
+
+    /// Pick the RO node with the fewest active sessions (proxy
+    /// load-balancing, §6.1), honoring the consistency level.
+    pub fn route_ro(&self) -> Result<Arc<RoNode>> {
+        let ros = self.ros.read();
+        if ros.is_empty() {
+            return Err(Error::Execution("no RO nodes available".into()));
+        }
+        let target = self.written_lsn();
+        let eligible: Vec<&Arc<RoNode>> = match self.config.consistency {
+            Consistency::Eventual => ros.iter().collect(),
+            Consistency::Strong => {
+                ros.iter().filter(|n| n.applied_lsn() >= target).collect()
+            }
+        };
+        let pick = |nodes: &[&Arc<RoNode>]| -> Arc<RoNode> {
+            nodes
+                .iter()
+                .min_by_key(|n| n.sessions.load(Ordering::Relaxed))
+                .map(|n| Arc::clone(n))
+                .expect("non-empty")
+        };
+        if !eligible.is_empty() {
+            return Ok(pick(&eligible));
+        }
+        // Strong consistency with lagging ROs: wait for one to catch up.
+        let node = pick(&ros.iter().collect::<Vec<_>>());
+        drop(ros);
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while node.applied_lsn() < target {
+            if Instant::now() > deadline {
+                return Err(Error::Execution(
+                    "strong consistency wait timed out".into(),
+                ));
+            }
+            std::thread::yield_now();
+        }
+        Ok(node)
+    }
+
+    /// Execute one SQL statement through the proxy: SELECTs go to an RO
+    /// node, everything else to the RW node (§6.1 inter-node routing,
+    /// via the rough classifier + full parse).
+    pub fn execute(&self, sql: &str) -> Result<QueryResult> {
+        if imci_sql::is_read_only(sql) && !self.ros.read().is_empty() {
+            let node = self.route_ro()?;
+            node.sessions.fetch_add(1, Ordering::Relaxed);
+            let out = node.query.execute(sql);
+            node.sessions.fetch_sub(1, Ordering::Relaxed);
+            return out;
+        }
+        // Writes and DDL go to RW; DDL additionally builds column
+        // indexes on the RO side lazily (via catalog refresh in the
+        // pipeline) — ALTER ADD COLUMN INDEX builds eagerly below.
+        let stmt = imci_sql::parse(sql)?;
+        if let Statement::AlterAddColumnIndex { table, columns } = &stmt {
+            let r = self.rw_query.execute_stmt(&stmt)?;
+            for ro in self.ros.read().iter() {
+                ro.engine.refresh_catalog()?;
+                ro.query.alter_add_column_index(table, columns)?;
+            }
+            return Ok(r);
+        }
+        self.rw_query.execute_stmt(&stmt)
+    }
+
+    /// Block until every RO has applied the RW's current written LSN.
+    pub fn wait_sync(&self, timeout: Duration) -> bool {
+        let target = self.written_lsn();
+        let deadline = Instant::now() + timeout;
+        for ro in self.ros.read().iter() {
+            while ro.applied_lsn() < target {
+                if Instant::now() > deadline {
+                    return false;
+                }
+                std::thread::yield_now();
+            }
+        }
+        true
+    }
+
+    /// Visibility delay measurement: commit a marker transaction on RW
+    /// and time how long until a chosen RO node has applied it (the VD
+    /// metric of Figs. 12/16).
+    pub fn measure_visibility_delay(&self) -> Result<Duration> {
+        let ro = self.route_ro()?;
+        let txn = self.rw.begin();
+        let t0 = Instant::now();
+        self.rw.commit(txn);
+        let target = self.written_lsn();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while ro.applied_lsn() < target {
+            if Instant::now() > deadline {
+                return Err(Error::Execution("VD wait timed out".into()));
+            }
+            std::hint::spin_loop();
+        }
+        Ok(t0.elapsed())
+    }
+
+    /// Stop all RO pipelines (drops the nodes).
+    pub fn shutdown(&self) {
+        let mut ros = self.ros.write();
+        for node in ros.drain(..) {
+            if let Ok(n) = Arc::try_unwrap(node) {
+                n.pipeline.stop();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imci_common::Value;
+    use imci_sql::EngineChoice;
+
+    const DDL: &str = "CREATE TABLE demo (
+        id INT NOT NULL, grp INT, val DOUBLE, note VARCHAR(32),
+        PRIMARY KEY(id), KEY grp_idx(grp),
+        KEY COLUMN_INDEX(id, grp, val, note))";
+
+    fn small_cluster() -> Arc<Cluster> {
+        Cluster::start(ClusterConfig {
+            group_cap: 64,
+            replication: ReplicationConfig {
+                batch_txns: 4,
+                ..Default::default()
+            },
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn end_to_end_htap_path() {
+        let c = small_cluster();
+        c.execute(DDL).unwrap();
+        for i in 0..300 {
+            c.execute(&format!(
+                "INSERT INTO demo VALUES ({i}, {}, {}, 'n{}')",
+                i % 3,
+                i as f64 * 0.5,
+                i % 5
+            ))
+            .unwrap();
+        }
+        assert!(c.wait_sync(Duration::from_secs(20)), "ROs must catch up");
+        // Analytical query routes to RO; force column for determinism.
+        c.ros.read()[0]
+            .query
+            .set_force(Some(EngineChoice::Column));
+        let res = c
+            .execute("SELECT grp, COUNT(*), SUM(val) FROM demo GROUP BY grp ORDER BY grp")
+            .unwrap();
+        assert_eq!(res.rows.len(), 3);
+        assert_eq!(res.rows[0][1], Value::Int(100));
+        assert_eq!(res.engine, EngineChoice::Column);
+        // Point query stays on the row path.
+        c.ros.read()[0].query.set_force(None);
+        let res = c.execute("SELECT note FROM demo WHERE id = 7").unwrap();
+        assert_eq!(res.engine, EngineChoice::Row);
+        assert_eq!(res.rows[0][0], Value::Str("n2".into()));
+        c.shutdown();
+    }
+
+    #[test]
+    fn updates_and_deletes_propagate() {
+        let c = small_cluster();
+        c.execute(DDL).unwrap();
+        for i in 0..50 {
+            c.execute(&format!("INSERT INTO demo VALUES ({i}, 0, 1.0, 'x')"))
+                .unwrap();
+        }
+        c.execute("UPDATE demo SET val = 99.0 WHERE id = 10").unwrap();
+        c.execute("DELETE FROM demo WHERE id = 20").unwrap();
+        assert!(c.wait_sync(Duration::from_secs(20)));
+        let res = c
+            .execute("SELECT COUNT(*), MAX(val) FROM demo")
+            .unwrap();
+        assert_eq!(res.rows[0][0], Value::Int(49));
+        assert_eq!(res.rows[0][1], Value::Double(99.0));
+        c.shutdown();
+    }
+
+    #[test]
+    fn strong_consistency_reads_own_writes() {
+        let mut cfg = ClusterConfig {
+            group_cap: 64,
+            ..Default::default()
+        };
+        cfg.consistency = Consistency::Strong;
+        let c = Cluster::start(cfg);
+        c.execute(DDL).unwrap();
+        for i in 0..200 {
+            c.execute(&format!("INSERT INTO demo VALUES ({i}, 1, 1.0, 'y')"))
+                .unwrap();
+            // Immediately readable: strong consistency must wait for the
+            // RO to apply this write.
+            if i % 50 == 0 {
+                let res = c
+                    .execute(&format!("SELECT id FROM demo WHERE id = {i}"))
+                    .unwrap();
+                assert_eq!(res.rows.len(), 1, "write {i} must be visible");
+            }
+        }
+        c.shutdown();
+    }
+
+    #[test]
+    fn scale_out_uses_checkpoint_and_serves() {
+        let c = small_cluster();
+        c.execute(DDL).unwrap();
+        for i in 0..500 {
+            c.execute(&format!("INSERT INTO demo VALUES ({i}, {}, 2.0, 'z')", i % 7))
+                .unwrap();
+        }
+        assert!(c.wait_sync(Duration::from_secs(20)));
+        c.checkpoint_now().unwrap();
+        // More traffic after the checkpoint.
+        for i in 500..600 {
+            c.execute(&format!("INSERT INTO demo VALUES ({i}, 0, 2.0, 'z')"))
+                .unwrap();
+        }
+        let report = c.scale_out().unwrap();
+        assert!(report.from_checkpoint, "checkpoint must be used");
+        assert_eq!(c.ros.read().len(), 2);
+        // The new node answers queries with fresh data.
+        let node = c.ros.read()[1].clone();
+        node.query.set_force(Some(EngineChoice::Column));
+        let (res, _) = node
+            .query
+            .execute_select(
+                &match imci_sql::parse("SELECT COUNT(*) FROM demo").unwrap() {
+                    Statement::Select(s) => *s,
+                    _ => unreachable!(),
+                },
+            )
+            .unwrap();
+        assert_eq!(res.rows[0][0], Value::Int(600));
+        c.shutdown();
+    }
+
+    #[test]
+    fn alter_add_column_index_online() {
+        let c = small_cluster();
+        c.execute(
+            "CREATE TABLE plain (id INT NOT NULL, v INT, PRIMARY KEY(id))",
+        )
+        .unwrap();
+        for i in 0..100 {
+            c.execute(&format!("INSERT INTO plain VALUES ({i}, {i})"))
+                .unwrap();
+        }
+        assert!(c.wait_sync(Duration::from_secs(20)));
+        c.execute("ALTER TABLE plain ADD COLUMN INDEX (id, v)").unwrap();
+        let node = c.ros.read()[0].clone();
+        node.query.set_force(Some(EngineChoice::Column));
+        let res = c.execute("SELECT SUM(v) FROM plain").unwrap();
+        assert_eq!(res.rows[0][0], Value::Int((0..100).sum::<i64>()));
+        c.shutdown();
+    }
+
+    #[test]
+    fn visibility_delay_is_measurable() {
+        let c = small_cluster();
+        c.execute(DDL).unwrap();
+        c.execute("INSERT INTO demo VALUES (1, 1, 1.0, 'a')").unwrap();
+        let vd = c.measure_visibility_delay().unwrap();
+        assert!(vd < Duration::from_secs(5));
+        c.shutdown();
+    }
+}

@@ -1,0 +1,111 @@
+//! Workspace-wide error type.
+
+use std::fmt;
+
+/// Convenience alias used across all crates in the workspace.
+pub type Result<T, E = Error> = std::result::Result<T, E>;
+
+/// Unified error type for the PolarDB-IMCI reproduction.
+///
+/// Variants are intentionally coarse: each maps to a distinct failure
+/// domain so callers can decide whether to retry, fall back (e.g. the
+/// column engine falling back to the row engine, paper §6.2), or abort.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A SQL string failed to lex or parse.
+    Parse(String),
+    /// A plan could not be built (unknown table/column, type mismatch...).
+    Plan(String),
+    /// Runtime execution failure in either engine.
+    Execution(String),
+    /// The column engine cannot run this plan; caller should fall back to
+    /// the row-oriented plan (paper §6.2 run-time fallback).
+    ColumnEngineUnsupported(String),
+    /// Storage-layer failure (page not found, corrupt encoding...).
+    Storage(String),
+    /// Transaction aborted (explicitly or by conflict).
+    TxnAborted(String),
+    /// Constraint violation, e.g. duplicate primary key.
+    Constraint(String),
+    /// Catalog-level failure (duplicate table, unknown index...).
+    Catalog(String),
+    /// Replication / log-replay failure.
+    Replication(String),
+    /// Simulated shared-storage failure.
+    PolarFs(String),
+    /// Feature intentionally out of scope for the reproduction.
+    Unsupported(String),
+}
+
+impl Error {
+    /// Short machine-readable tag for the failure domain.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Error::Parse(_) => "parse",
+            Error::Plan(_) => "plan",
+            Error::Execution(_) => "execution",
+            Error::ColumnEngineUnsupported(_) => "column_engine_unsupported",
+            Error::Storage(_) => "storage",
+            Error::TxnAborted(_) => "txn_aborted",
+            Error::Constraint(_) => "constraint",
+            Error::Catalog(_) => "catalog",
+            Error::Replication(_) => "replication",
+            Error::PolarFs(_) => "polarfs",
+            Error::Unsupported(_) => "unsupported",
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (tag, msg) = match self {
+            Error::Parse(m) => ("parse error", m),
+            Error::Plan(m) => ("plan error", m),
+            Error::Execution(m) => ("execution error", m),
+            Error::ColumnEngineUnsupported(m) => ("column engine unsupported", m),
+            Error::Storage(m) => ("storage error", m),
+            Error::TxnAborted(m) => ("transaction aborted", m),
+            Error::Constraint(m) => ("constraint violation", m),
+            Error::Catalog(m) => ("catalog error", m),
+            Error::Replication(m) => ("replication error", m),
+            Error::PolarFs(m) => ("polarfs error", m),
+            Error::Unsupported(m) => ("unsupported", m),
+        };
+        write!(f, "{tag}: {msg}")
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_tag_and_message() {
+        let e = Error::Parse("unexpected token".into());
+        assert_eq!(e.to_string(), "parse error: unexpected token");
+        assert_eq!(e.kind(), "parse");
+    }
+
+    #[test]
+    fn kinds_are_distinct() {
+        let all = [
+            Error::Parse(String::new()),
+            Error::Plan(String::new()),
+            Error::Execution(String::new()),
+            Error::ColumnEngineUnsupported(String::new()),
+            Error::Storage(String::new()),
+            Error::TxnAborted(String::new()),
+            Error::Constraint(String::new()),
+            Error::Catalog(String::new()),
+            Error::Replication(String::new()),
+            Error::PolarFs(String::new()),
+            Error::Unsupported(String::new()),
+        ];
+        let mut kinds: Vec<_> = all.iter().map(|e| e.kind()).collect();
+        kinds.sort_unstable();
+        kinds.dedup();
+        assert_eq!(kinds.len(), all.len());
+    }
+}

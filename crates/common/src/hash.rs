@@ -1,0 +1,133 @@
+//! A small FxHash-style hasher.
+//!
+//! The replication dispatchers (paper §5.2–5.4) route work by
+//! `hash(page_id) % N` (Phase 1) and `hash(primary_key) % N` (Phase 2).
+//! These are extremely hot paths, so we use the multiply-xor scheme from
+//! rustc's FxHash rather than SipHash. HashDoS is not a concern: keys are
+//! internal identifiers, never attacker-controlled strings.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// FxHash-style streaming hasher (word-at-a-time multiply-rotate-xor).
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_word(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_word(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_word(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add_word(v);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add_word(v as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add_word(v as u64);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, v: i64) {
+        self.add_word(v as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+/// Drop-in `HashMap` with the fast hasher.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+/// Drop-in `HashSet` with the fast hasher.
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+/// Hash a single `u64` (used for `hash(page_id) % workers` dispatch).
+#[inline]
+pub fn fx_hash_u64(v: u64) -> u64 {
+    let mut h = FxHasher::default();
+    h.write_u64(v);
+    h.finish()
+}
+
+/// Hash a byte slice (used for `hash(primary_key) % workers` dispatch
+/// when the key is composite).
+#[inline]
+pub fn fx_hash_bytes(bytes: &[u8]) -> u64 {
+    let mut h = FxHasher::default();
+    h.write(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(fx_hash_u64(42), fx_hash_u64(42));
+        assert_eq!(fx_hash_bytes(b"hello"), fx_hash_bytes(b"hello"));
+    }
+
+    #[test]
+    fn distinct_inputs_usually_differ() {
+        let a = fx_hash_u64(1);
+        let b = fx_hash_u64(2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn spreads_sequential_keys_across_buckets() {
+        // Dispatch quality check: sequential PKs must not all land in the
+        // same worker bucket, or Phase-2 parallelism collapses.
+        const WORKERS: usize = 8;
+        let mut counts = [0usize; WORKERS];
+        for pk in 0..8000u64 {
+            counts[(fx_hash_u64(pk) % WORKERS as u64) as usize] += 1;
+        }
+        for &c in &counts {
+            // Perfectly uniform would be 1000 per bucket; allow wide slack.
+            assert!(c > 500, "bucket starved: {counts:?}");
+            assert!(c < 1500, "bucket overloaded: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn byte_hash_handles_non_multiple_of_8() {
+        for len in 0..32 {
+            let data: Vec<u8> = (0..len as u8).collect();
+            let h1 = fx_hash_bytes(&data);
+            let h2 = fx_hash_bytes(&data);
+            assert_eq!(h1, h2);
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! Shared foundation types for the PolarDB-IMCI reproduction.
+//!
+//! Every other crate in the workspace builds on the types defined here:
+//! SQL values and data types ([`Value`], [`DataType`]), table schemas
+//! ([`Schema`], [`ColumnDef`]), strongly-typed identifiers ([`Lsn`],
+//! [`Tid`], [`PageId`], [`Rid`], [`Vid`]), the workspace-wide error type
+//! ([`Error`]), and a fast non-cryptographic hasher used for dispatch
+//! decisions in the replication pipeline.
+
+pub mod error;
+pub mod hash;
+pub mod ids;
+pub mod row;
+pub mod schema;
+pub mod value;
+
+pub use error::{Error, Result};
+pub use hash::{fx_hash_bytes, fx_hash_u64, FxBuildHasher, FxHashMap, FxHashSet};
+pub use ids::{Csn, Lsn, PageId, Rid, TableId, Tid, Vid, INVALID_VID, SYSTEM_TID};
+pub use row::{Row, RowDiff};
+pub use schema::{ColumnDef, IndexDef, IndexKind, Schema};
+pub use value::{DataType, Value};

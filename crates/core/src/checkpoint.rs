@@ -1,0 +1,425 @@
+//! Column-index checkpoints on shared storage (paper §7).
+//!
+//! A checkpoint is a named set of objects under `ckpt/<seq>/...`:
+//!
+//! * `meta` — CSN, redo-cursor offset, group layout, next RID;
+//! * `t<table>/g<gid>/c<col>` — each column of each group, stored as an
+//!   encoded [`Pack`] (partial packs are sealed copy-on-write for the
+//!   snapshot — the live group is untouched);
+//! * `t<table>/g<gid>/vids` — insert/delete VID maps, masked at the CSN
+//!   ("if VIDs exceed the CSN, the elements will be marked as invalid");
+//! * `t<table>/locator` — the RID locator snapshot (immutable-run clone).
+//!
+//! New RO nodes load the newest checkpoint and replay the REDO suffix
+//! from the recorded cursor — the tens-of-seconds scale-out of Fig. 14.
+
+use crate::index::ColumnIndex;
+use crate::locator::RidLocator;
+use crate::pack::Pack;
+use crate::rowgroup::{ColumnSlot, RowGroup};
+use bytes::Bytes;
+use imci_common::{Error, Result, Rid, Schema, TableId};
+use polarfs_sim::PolarFs;
+use std::sync::Arc;
+
+/// Checkpoint descriptor (parsed `meta` object).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointMeta {
+    /// Checkpoint sequence number (a committed VID; §7).
+    pub csn: u64,
+    /// REDO byte offset to resume replay from.
+    pub redo_offset: u64,
+    /// Per-table group layout: (table, group count, next_rid, rows
+    /// written in the last partial group).
+    pub tables: Vec<CkptTable>,
+}
+
+/// Per-table layout inside a checkpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CkptTable {
+    /// Table id.
+    pub table_id: TableId,
+    /// Number of row groups captured.
+    pub n_groups: u32,
+    /// RID allocation high-water mark.
+    pub next_rid: u64,
+    /// Sealed flags per group.
+    pub sealed: Vec<bool>,
+    /// Rows written per group.
+    pub written: Vec<u32>,
+}
+
+fn prefix(seq: u64) -> String {
+    format!("ckpt/{seq:012}/")
+}
+
+/// Write a checkpoint of `indexes` at `csn` / `redo_offset`.
+///
+/// Caller must quiesce Phase-2 appliers first so that the visible state
+/// equals `csn` exactly (the cluster checkpoints at batch boundaries).
+pub fn write_checkpoint(
+    fs: &PolarFs,
+    seq: u64,
+    csn: u64,
+    redo_offset: u64,
+    indexes: &[Arc<ColumnIndex>],
+) -> Result<()> {
+    let p = prefix(seq);
+    let mut meta = String::new();
+    meta.push_str(&format!("csn\t{csn}\nredo\t{redo_offset}\n"));
+    for index in indexes {
+        let groups = index.groups();
+        meta.push_str(&format!(
+            "table\t{}\t{}\t{}\t",
+            index.table_id.get(),
+            groups.len(),
+            index.next_rid()
+        ));
+        let sealed: Vec<String> = groups
+            .iter()
+            .map(|g| if g.is_sealed() { "1".into() } else { "0".into() })
+            .collect();
+        meta.push_str(&sealed.join(","));
+        meta.push('\t');
+        let written: Vec<String> = groups
+            .iter()
+            .map(|g| g.rows_written().to_string())
+            .collect();
+        meta.push_str(&written.join(","));
+        meta.push('\n');
+
+        for g in &groups {
+            // Packs are immutable once sealed; partial groups are sealed
+            // copy-on-write just for the snapshot.
+            for c in 0..g.width() {
+                let pack = match g.column_pack(c) {
+                    Some(p) => p,
+                    None => {
+                        let col = match g.read_column(c) {
+                            crate::rowgroup::ColumnRead::Materialized(col) => col,
+                            crate::rowgroup::ColumnRead::Pack(p) => {
+                                Arc::new(Pack::clone(&p));
+                                continue;
+                            }
+                        };
+                        Arc::new(Pack::seal(&col))
+                    }
+                };
+                fs.put_object(
+                    &format!("{p}t{}/g{}/c{}", index.table_id.get(), g.id, c),
+                    Bytes::from(pack.encode()),
+                );
+            }
+            let (ins, del) = g.checkpoint_vids(csn);
+            let mut vbytes =
+                Vec::with_capacity(16 + ins.len() * 8 + del.len() * 8);
+            vbytes.extend_from_slice(&(ins.len() as u64).to_le_bytes());
+            for v in &ins {
+                vbytes.extend_from_slice(&v.to_le_bytes());
+            }
+            vbytes.extend_from_slice(&(del.len() as u64).to_le_bytes());
+            for v in &del {
+                vbytes.extend_from_slice(&v.to_le_bytes());
+            }
+            fs.put_object(
+                &format!("{p}t{}/g{}/vids", index.table_id.get(), g.id),
+                Bytes::from(vbytes),
+            );
+        }
+        let snap = index.locator().snapshot();
+        fs.put_object(
+            &format!("{p}t{}/locator", index.table_id.get()),
+            Bytes::from(snap.encode()),
+        );
+    }
+    // Meta written last: its presence marks the checkpoint complete.
+    fs.put_object(&format!("{p}meta"), Bytes::from(meta));
+    Ok(())
+}
+
+/// Sequence number of the newest complete checkpoint, if any.
+pub fn latest_checkpoint(fs: &PolarFs) -> Option<u64> {
+    fs.list_objects("ckpt/")
+        .into_iter()
+        .filter(|k| k.ends_with("/meta"))
+        .filter_map(|k| k.split('/').nth(1).and_then(|s| s.parse::<u64>().ok()))
+        .max()
+}
+
+/// Parse a checkpoint's `meta` object.
+pub fn read_meta(fs: &PolarFs, seq: u64) -> Result<CheckpointMeta> {
+    let bytes = fs.get_object(&format!("{}meta", prefix(seq)))?;
+    let text = std::str::from_utf8(&bytes)
+        .map_err(|e| Error::Storage(format!("ckpt meta utf8: {e}")))?;
+    let mut csn = 0;
+    let mut redo_offset = 0;
+    let mut tables = Vec::new();
+    for line in text.lines() {
+        let f: Vec<&str> = line.split('\t').collect();
+        match f[0] {
+            "csn" => csn = f[1].parse().unwrap_or(0),
+            "redo" => redo_offset = f[1].parse().unwrap_or(0),
+            "table" => {
+                let sealed = if f[4].is_empty() {
+                    Vec::new()
+                } else {
+                    f[4].split(',').map(|s| s == "1").collect()
+                };
+                let written = if f[5].is_empty() {
+                    Vec::new()
+                } else {
+                    f[5].split(',').map(|s| s.parse().unwrap_or(0)).collect()
+                };
+                tables.push(CkptTable {
+                    table_id: TableId(f[1].parse().unwrap_or(0)),
+                    n_groups: f[2].parse().unwrap_or(0),
+                    next_rid: f[3].parse().unwrap_or(0),
+                    sealed,
+                    written,
+                });
+            }
+            _ => {}
+        }
+    }
+    Ok(CheckpointMeta {
+        csn,
+        redo_offset,
+        tables,
+    })
+}
+
+/// Load one table's column index from checkpoint `seq`.
+pub fn load_index(
+    fs: &PolarFs,
+    seq: u64,
+    schema: &Schema,
+    group_cap: usize,
+) -> Result<Arc<ColumnIndex>> {
+    let meta = read_meta(fs, seq)?;
+    let t = meta
+        .tables
+        .iter()
+        .find(|t| t.table_id == schema.table_id)
+        .ok_or_else(|| {
+            Error::Storage(format!(
+                "checkpoint {seq} has no table {}",
+                schema.table_id
+            ))
+        })?;
+    let p = prefix(seq);
+    let index = ColumnIndex::for_schema(schema, group_cap);
+    let mut groups = Vec::with_capacity(t.n_groups as usize);
+    for gid in 0..t.n_groups {
+        let mut slots = Vec::with_capacity(index.covered.len());
+        let sealed = t.sealed.get(gid as usize).copied().unwrap_or(false);
+        for c in 0..index.covered.len() {
+            let key = format!("{p}t{}/g{}/c{}", schema.table_id.get(), gid, c);
+            let pack = Pack::decode_bytes(&fs.get_object(&key)?)?;
+            if sealed {
+                slots.push(ColumnSlot::Sealed(Arc::new(pack)));
+            } else {
+                // Partial groups go back to mutable form.
+                slots.push(ColumnSlot::Partial(pack.decode()));
+            }
+        }
+        let vbytes =
+            fs.get_object(&format!("{p}t{}/g{}/vids", schema.table_id.get(), gid))?;
+        let (ins, del) = decode_vids(&vbytes)?;
+        groups.push(Arc::new(RowGroup::from_checkpoint(
+            gid,
+            group_cap,
+            &index.col_types,
+            slots,
+            &ins,
+            &del,
+            sealed,
+            t.written.get(gid as usize).copied().unwrap_or(0) as usize,
+        )));
+    }
+    index.install_groups(groups, t.next_rid);
+    let lbytes = fs.get_object(&format!("{p}t{}/locator", schema.table_id.get()))?;
+    let loc = RidLocator::decode(&lbytes, 64 * 1024)?;
+    let entries: Vec<(i64, Rid)> = loc.snapshot().iter_live();
+    index.install_locator_entries(&entries);
+    index.advance_visible(imci_common::Vid(meta.csn));
+    Ok(index)
+}
+
+fn decode_vids(bytes: &[u8]) -> Result<(Vec<u64>, Vec<u64>)> {
+    let err = || Error::Storage("vid map truncated".into());
+    if bytes.len() < 8 {
+        return Err(err());
+    }
+    let n1 = u64::from_le_bytes(bytes[..8].try_into().unwrap()) as usize;
+    let mut pos = 8;
+    if bytes.len() < pos + n1 * 8 + 8 {
+        return Err(err());
+    }
+    let mut ins = Vec::with_capacity(n1);
+    for _ in 0..n1 {
+        ins.push(u64::from_le_bytes(bytes[pos..pos + 8].try_into().unwrap()));
+        pos += 8;
+    }
+    let n2 = u64::from_le_bytes(bytes[pos..pos + 8].try_into().unwrap()) as usize;
+    pos += 8;
+    if bytes.len() < pos + n2 * 8 {
+        return Err(err());
+    }
+    let mut del = Vec::with_capacity(n2);
+    for _ in 0..n2 {
+        del.push(u64::from_le_bytes(bytes[pos..pos + 8].try_into().unwrap()));
+        pos += 8;
+    }
+    Ok((ins, del))
+}
+
+/// Build a fresh column index by scanning base data (the cold path of
+/// scale-out / `ALTER TABLE ADD COLUMN INDEX`, §3.3): rows arrive in PK
+/// order from the row store and are bulk-appended at `vid`.
+pub fn build_from_rows(
+    schema: &Schema,
+    group_cap: usize,
+    vid: imci_common::Vid,
+    rows: impl Iterator<Item = Vec<imci_common::Value>>,
+) -> Result<Arc<ColumnIndex>> {
+    let index = ColumnIndex::for_schema(schema, group_cap);
+    for full_row in rows {
+        let projected = index.project_row(&full_row);
+        index.insert(vid, &projected)?;
+    }
+    index.advance_visible(vid);
+    Ok(index)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imci_common::{ColumnDef, DataType, IndexDef, IndexKind, Value, Vid};
+
+    fn schema() -> Schema {
+        Schema::new(
+            TableId(3),
+            "t",
+            vec![
+                ColumnDef::not_null("id", DataType::Int),
+                ColumnDef::new("v", DataType::Int),
+                ColumnDef::new("s", DataType::Str),
+            ],
+            vec![
+                IndexDef {
+                    kind: IndexKind::Primary,
+                    name: "PRIMARY".into(),
+                    columns: vec![0],
+                },
+                IndexDef {
+                    kind: IndexKind::Column,
+                    name: "ci".into(),
+                    columns: vec![0, 1, 2],
+                },
+            ],
+        )
+        .unwrap()
+    }
+
+    fn populated_index() -> Arc<ColumnIndex> {
+        let idx = ColumnIndex::for_schema(&schema(), 8);
+        for pk in 0..20i64 {
+            idx.insert(
+                Vid(pk as u64 + 1),
+                &[Value::Int(pk), Value::Int(pk * 2), Value::Str(format!("s{pk}"))],
+            )
+            .unwrap();
+        }
+        idx.advance_visible(Vid(20));
+        idx.delete(Vid(21), 5).unwrap();
+        idx.advance_visible(Vid(21));
+        idx
+    }
+
+    #[test]
+    fn checkpoint_roundtrip() {
+        let fs = PolarFs::instant();
+        let idx = populated_index();
+        write_checkpoint(&fs, 1, 21, 12345, &[idx.clone()]).unwrap();
+        assert_eq!(latest_checkpoint(&fs), Some(1));
+        let meta = read_meta(&fs, 1).unwrap();
+        assert_eq!(meta.csn, 21);
+        assert_eq!(meta.redo_offset, 12345);
+
+        let restored = load_index(&fs, 1, &schema(), 8).unwrap();
+        assert_eq!(restored.visible_vid(), 21);
+        assert_eq!(restored.next_rid(), idx.next_rid());
+        let snap = restored.snapshot();
+        for pk in 0..20i64 {
+            if pk == 5 {
+                assert!(snap.get_by_pk(pk).is_none(), "deleted row stays gone");
+            } else {
+                let row = snap.get_by_pk(pk).unwrap();
+                assert_eq!(row[1], Value::Int(pk * 2));
+                assert_eq!(row[2], Value::Str(format!("s{pk}")));
+            }
+        }
+    }
+
+    #[test]
+    fn restored_index_accepts_new_dml() {
+        let fs = PolarFs::instant();
+        let idx = populated_index();
+        write_checkpoint(&fs, 7, 21, 0, &[idx]).unwrap();
+        let restored = load_index(&fs, 7, &schema(), 8).unwrap();
+        restored
+            .insert(
+                Vid(22),
+                &[Value::Int(100), Value::Int(1), Value::Str("new".into())],
+            )
+            .unwrap();
+        restored.update(Vid(23), 0, &[Value::Int(0), Value::Int(999), Value::Null])
+            .unwrap();
+        restored.advance_visible(Vid(23));
+        let snap = restored.snapshot();
+        assert_eq!(snap.get_by_pk(100).unwrap()[1], Value::Int(1));
+        assert_eq!(snap.get_by_pk(0).unwrap()[1], Value::Int(999));
+    }
+
+    #[test]
+    fn vid_masking_respected_on_load() {
+        // Take the checkpoint at csn=20: the delete at 21 must be masked
+        // out, so the restored index still shows pk 5.
+        let fs = PolarFs::instant();
+        let idx = populated_index();
+        write_checkpoint(&fs, 2, 20, 0, &[idx]).unwrap();
+        let restored = load_index(&fs, 2, &schema(), 8).unwrap();
+        // Scans go through the VID maps: the post-CSN delete is masked,
+        // so row 5 (RID 5 → group 0, offset 5) is visible at csn 20.
+        // (The point-lookup path via the locator legitimately lost the
+        // mapping — replaying the REDO suffix from the checkpoint's
+        // cursor re-applies the delete and re-converges both paths.)
+        let groups = restored.groups();
+        let (g, off) = restored.rid_pos(imci_common::Rid(5));
+        assert!(
+            groups[g].visible(off, 20),
+            "post-CSN delete must not leak into checkpointed VID maps"
+        );
+    }
+
+    #[test]
+    fn latest_checkpoint_picks_max() {
+        let fs = PolarFs::instant();
+        let idx = populated_index();
+        write_checkpoint(&fs, 3, 21, 0, &[idx.clone()]).unwrap();
+        write_checkpoint(&fs, 10, 21, 0, &[idx]).unwrap();
+        assert_eq!(latest_checkpoint(&fs), Some(10));
+        assert_eq!(latest_checkpoint(&PolarFs::instant()), None);
+    }
+
+    #[test]
+    fn build_from_rows_bulk_load() {
+        let rows = (0..100i64).map(|pk| {
+            vec![Value::Int(pk), Value::Int(pk), Value::Str("x".into())]
+        });
+        let idx = build_from_rows(&schema(), 16, Vid(1), rows).unwrap();
+        let snap = idx.snapshot();
+        assert_eq!(snap.get_by_pk(42).unwrap()[1], Value::Int(42));
+        assert_eq!(idx.groups().len(), 100usize.div_ceil(16));
+    }
+}

@@ -1,0 +1,334 @@
+//! Growable typed column vectors — the in-memory form of *Partial Packs*.
+//!
+//! A partial pack is the mutable tail of a column within the last row
+//! group (paper §4.1): uncompressed, append-only, and turned into a
+//! compressed immutable [`crate::pack::Pack`] when the row group fills.
+
+use imci_common::{DataType, Error, FxHashMap, Result, Value};
+
+/// Dictionary for string columns: code -> string and string -> code.
+#[derive(Debug, Default, Clone)]
+pub struct Dictionary {
+    strings: Vec<String>,
+    codes: FxHashMap<String, u32>,
+}
+
+impl Dictionary {
+    /// Intern `s`, returning its code.
+    pub fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&c) = self.codes.get(s) {
+            return c;
+        }
+        let c = self.strings.len() as u32;
+        self.strings.push(s.to_owned());
+        self.codes.insert(s.to_owned(), c);
+        c
+    }
+
+    /// Resolve a code.
+    pub fn get(&self, code: u32) -> Option<&str> {
+        self.strings.get(code as usize).map(|s| s.as_str())
+    }
+
+    /// Look up an existing string's code (no interning).
+    pub fn code_of(&self, s: &str) -> Option<u32> {
+        self.codes.get(s).copied()
+    }
+
+    /// Number of distinct strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Whether the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// All interned strings in code order.
+    pub fn strings(&self) -> &[String] {
+        &self.strings
+    }
+}
+
+/// A mutable, append/overwrite-able typed column.
+///
+/// Rows are written at explicit offsets (Phase-2 workers own disjoint
+/// row slots); positions never written remain NULL.
+#[derive(Debug, Clone)]
+pub enum ColumnData {
+    /// i64 / DATE storage.
+    Int {
+        /// Values (garbage where null).
+        vals: Vec<i64>,
+        /// Null flags.
+        nulls: Vec<bool>,
+    },
+    /// f64 storage.
+    Double {
+        /// Values (garbage where null).
+        vals: Vec<f64>,
+        /// Null flags.
+        nulls: Vec<bool>,
+    },
+    /// Dictionary-encoded strings.
+    Str {
+        /// Dictionary codes (garbage where null).
+        codes: Vec<u32>,
+        /// Null flags.
+        nulls: Vec<bool>,
+        /// The dictionary.
+        dict: Dictionary,
+    },
+}
+
+impl ColumnData {
+    /// Fresh column of the given type.
+    pub fn new(ty: DataType) -> ColumnData {
+        match ty {
+            DataType::Int | DataType::Date => ColumnData::Int {
+                vals: Vec::new(),
+                nulls: Vec::new(),
+            },
+            DataType::Double => ColumnData::Double {
+                vals: Vec::new(),
+                nulls: Vec::new(),
+            },
+            DataType::Str => ColumnData::Str {
+                codes: Vec::new(),
+                nulls: Vec::new(),
+                dict: Dictionary::default(),
+            },
+        }
+    }
+
+    /// Logical length (highest written offset + 1).
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnData::Int { nulls, .. }
+            | ColumnData::Double { nulls, .. }
+            | ColumnData::Str { nulls, .. } => nulls.len(),
+        }
+    }
+
+    /// Whether no offsets were written.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn grow_to(&mut self, len: usize) {
+        match self {
+            ColumnData::Int { vals, nulls } => {
+                vals.resize(len, 0);
+                nulls.resize(len, true);
+            }
+            ColumnData::Double { vals, nulls } => {
+                vals.resize(len, 0.0);
+                nulls.resize(len, true);
+            }
+            ColumnData::Str { codes, nulls, .. } => {
+                codes.resize(len, 0);
+                nulls.resize(len, true);
+            }
+        }
+    }
+
+    /// Write `v` at offset `i` (extending with NULLs as needed).
+    pub fn set(&mut self, i: usize, v: &Value) -> Result<()> {
+        if self.len() <= i {
+            self.grow_to(i + 1);
+        }
+        match (self, v) {
+            (ColumnData::Int { nulls, .. }, Value::Null)
+            | (ColumnData::Double { nulls, .. }, Value::Null)
+            | (ColumnData::Str { nulls, .. }, Value::Null) => {
+                nulls[i] = true;
+            }
+            (ColumnData::Int { vals, nulls }, Value::Int(x))
+            | (ColumnData::Int { vals, nulls }, Value::Date(x)) => {
+                vals[i] = *x;
+                nulls[i] = false;
+            }
+            (ColumnData::Double { vals, nulls }, Value::Double(x)) => {
+                vals[i] = *x;
+                nulls[i] = false;
+            }
+            (ColumnData::Str { codes, nulls, dict }, Value::Str(s)) => {
+                codes[i] = dict.intern(s);
+                nulls[i] = false;
+            }
+            (col, v) => {
+                return Err(Error::Storage(format!(
+                    "type mismatch writing {v} into {} column",
+                    match col {
+                        ColumnData::Int { .. } => "INT",
+                        ColumnData::Double { .. } => "DOUBLE",
+                        ColumnData::Str { .. } => "STR",
+                    }
+                )))
+            }
+        }
+        Ok(())
+    }
+
+    /// Read the value at offset `i` (NULL past the end).
+    pub fn get(&self, i: usize) -> Value {
+        if i >= self.len() {
+            return Value::Null;
+        }
+        match self {
+            ColumnData::Int { vals, nulls } => {
+                if nulls[i] {
+                    Value::Null
+                } else {
+                    Value::Int(vals[i])
+                }
+            }
+            ColumnData::Double { vals, nulls } => {
+                if nulls[i] {
+                    Value::Null
+                } else {
+                    Value::Double(vals[i])
+                }
+            }
+            ColumnData::Str { codes, nulls, dict } => {
+                if nulls[i] {
+                    Value::Null
+                } else {
+                    Value::Str(dict.get(codes[i]).unwrap_or("").to_owned())
+                }
+            }
+        }
+    }
+
+    /// Gather rows at `idx` into a new column (typed bulk copy — the
+    /// hot path of scans and filters; avoids per-cell `Value` boxing).
+    pub fn gather(&self, idx: &[u32]) -> ColumnData {
+        match self {
+            ColumnData::Int { vals, nulls } => {
+                let mut v = Vec::with_capacity(idx.len());
+                let mut n = Vec::with_capacity(idx.len());
+                for &i in idx {
+                    let i = i as usize;
+                    if i < vals.len() {
+                        v.push(vals[i]);
+                        n.push(nulls[i]);
+                    } else {
+                        v.push(0);
+                        n.push(true);
+                    }
+                }
+                ColumnData::Int { vals: v, nulls: n }
+            }
+            ColumnData::Double { vals, nulls } => {
+                let mut v = Vec::with_capacity(idx.len());
+                let mut n = Vec::with_capacity(idx.len());
+                for &i in idx {
+                    let i = i as usize;
+                    if i < vals.len() {
+                        v.push(vals[i]);
+                        n.push(nulls[i]);
+                    } else {
+                        v.push(0.0);
+                        n.push(true);
+                    }
+                }
+                ColumnData::Double { vals: v, nulls: n }
+            }
+            ColumnData::Str { codes, nulls, dict } => {
+                let mut cs = Vec::with_capacity(idx.len());
+                let mut n = Vec::with_capacity(idx.len());
+                for &i in idx {
+                    let i = i as usize;
+                    if i < codes.len() {
+                        cs.push(codes[i]);
+                        n.push(nulls[i]);
+                    } else {
+                        cs.push(0);
+                        n.push(true);
+                    }
+                }
+                ColumnData::Str {
+                    codes: cs,
+                    nulls: n,
+                    dict: dict.clone(),
+                }
+            }
+        }
+    }
+
+    /// Data type of this column.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            ColumnData::Int { .. } => DataType::Int,
+            ColumnData::Double { .. } => DataType::Double,
+            ColumnData::Str { .. } => DataType::Str,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip_all_types() {
+        let mut c = ColumnData::new(DataType::Int);
+        c.set(0, &Value::Int(5)).unwrap();
+        c.set(2, &Value::Int(-9)).unwrap();
+        assert_eq!(c.get(0), Value::Int(5));
+        assert_eq!(c.get(1), Value::Null, "skipped offsets are NULL");
+        assert_eq!(c.get(2), Value::Int(-9));
+        assert_eq!(c.get(99), Value::Null);
+
+        let mut d = ColumnData::new(DataType::Double);
+        d.set(0, &Value::Double(1.5)).unwrap();
+        assert_eq!(d.get(0), Value::Double(1.5));
+
+        let mut s = ColumnData::new(DataType::Str);
+        s.set(0, &Value::Str("abc".into())).unwrap();
+        s.set(1, &Value::Str("abc".into())).unwrap();
+        s.set(2, &Value::Str("def".into())).unwrap();
+        assert_eq!(s.get(1), Value::Str("abc".into()));
+        if let ColumnData::Str { dict, .. } = &s {
+            assert_eq!(dict.len(), 2, "dictionary dedups repeats");
+        }
+    }
+
+    #[test]
+    fn date_stored_in_int_column() {
+        let mut c = ColumnData::new(DataType::Date);
+        c.set(0, &Value::Date(1234)).unwrap();
+        // Int columns hold dates as day numbers.
+        assert_eq!(c.get(0), Value::Int(1234));
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        let mut c = ColumnData::new(DataType::Int);
+        assert!(c.set(0, &Value::Str("x".into())).is_err());
+    }
+
+    #[test]
+    fn overwrite_supported() {
+        let mut c = ColumnData::new(DataType::Int);
+        c.set(0, &Value::Int(1)).unwrap();
+        c.set(0, &Value::Int(2)).unwrap();
+        assert_eq!(c.get(0), Value::Int(2));
+        c.set(0, &Value::Null).unwrap();
+        assert_eq!(c.get(0), Value::Null);
+    }
+
+    #[test]
+    fn dictionary_behaviour() {
+        let mut d = Dictionary::default();
+        let a = d.intern("x");
+        let b = d.intern("y");
+        assert_eq!(d.intern("x"), a);
+        assert_ne!(a, b);
+        assert_eq!(d.get(a), Some("x"));
+        assert_eq!(d.code_of("y"), Some(b));
+        assert_eq!(d.code_of("zzz"), None);
+        assert_eq!(d.strings(), &["x".to_string(), "y".to_string()]);
+    }
+}

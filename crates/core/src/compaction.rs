@@ -1,0 +1,210 @@
+//! Background compaction of sparse packs (paper §4.3 "Compaction").
+//!
+//! Delete operations punch holes in sealed row groups. When a group's
+//! valid-row ratio drops below a threshold (the paper's example: "less
+//! than half of the valid rows"), compaction re-appends all its valid
+//! rows to the partial packs — expressed as ordinary out-of-place update
+//! operations — so old rows stay readable by active snapshots during and
+//! after the move (non-blocking). The drained group is physically
+//! reclaimed once no active snapshot can still reference it.
+//!
+//! The migration VID is the current visible watermark `V`: old versions
+//! carry `delete_vid = V`, new versions `insert_vid = V`, so every
+//! snapshot sees exactly one copy (`csn < V` → old, `csn >= V` → new).
+//!
+//! Simplification vs. the paper: the paper routes compaction through a
+//! normal transaction on the replication path; we run it quiesced at a
+//! Phase-2 batch boundary (callers guarantee no concurrent DML), which
+//! preserves reader-side non-blocking behaviour — the property the
+//! evaluation depends on.
+
+use crate::index::ColumnIndex;
+use imci_common::{Result, Vid};
+use std::sync::Arc;
+
+/// Outcome of one compaction pass.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct CompactionReport {
+    /// Groups whose live rows were migrated.
+    pub groups_compacted: usize,
+    /// Rows re-appended.
+    pub rows_moved: usize,
+    /// Groups physically reclaimed this pass.
+    pub groups_reclaimed: usize,
+    /// Insert-VID maps dropped this pass (§4.3 memory optimization).
+    pub insert_maps_dropped: usize,
+}
+
+/// One compaction pass over `index`.
+///
+/// `valid_ratio_threshold` — groups with `live/capacity` strictly below
+/// this are compacted (paper uses 0.5).
+pub fn compact(index: &Arc<ColumnIndex>, valid_ratio_threshold: f64) -> Result<CompactionReport> {
+    let mut report = CompactionReport::default();
+    let v = Vid(index.visible_vid());
+    let groups = index.groups();
+    let n_groups = groups.len();
+    for group in groups {
+        if !group.is_sealed() || group.is_reclaimed() {
+            continue;
+        }
+        // Never compact into ourselves: the last group is partial anyway.
+        if group.id as usize + 1 >= n_groups {
+            continue;
+        }
+        let live = group.live_rows();
+        if live == 0 || (live as f64) / (group.capacity() as f64) >= valid_ratio_threshold
+        {
+            continue;
+        }
+        // Re-append each live row: a compaction "update" (delete old
+        // version at V, insert new version at V).
+        let width = group.width();
+        for off in 0..group.rows_written() {
+            if group.delete_vid(off) != crate::vidmap::VID_UNSET {
+                continue;
+            }
+            if group.insert_vid(off) == crate::vidmap::VID_UNSET {
+                continue; // never-committed residue (pre-commit garbage)
+            }
+            let values: Vec<imci_common::Value> =
+                (0..width).map(|c| group.value_at(c, off)).collect();
+            let pk = match values[index.pk_pos].as_int() {
+                Some(pk) => pk,
+                None => continue,
+            };
+            // Old version: logically deleted at V (still visible to
+            // snapshots below V).
+            group.set_delete_vid(off, v);
+            // New version: fresh RID, visible from V on. Re-points the
+            // locator at the new RID.
+            let rid = index.alloc_rids(1);
+            index.locator().insert(pk, rid);
+            let (g, noff) = index.rid_pos(rid);
+            let target = index.group_at(g);
+            // Group list may need growing; group_at handles that. A
+            // sealed target can only happen if RID allocation raced a
+            // seal; fall back to the regular insert path then.
+            let target = if target.is_sealed() {
+                // Capacity raced; fall back to the regular insert path.
+                index.locator().remove(pk);
+                index.insert(v, &values)?;
+                report.rows_moved += 1;
+                continue;
+            } else {
+                target
+            };
+            target.write_row(noff, &values)?;
+            target.set_insert_vid(noff, v);
+            target.seal_if_full();
+            report.rows_moved += 1;
+        }
+        report.groups_compacted += 1;
+    }
+    // Reclamation + insert-map dropping ride on the same pass.
+    let min_active = index.min_active_csn();
+    for group in index.groups() {
+        if group.try_reclaim(min_active) {
+            report.groups_reclaimed += 1;
+        }
+    }
+    report.insert_maps_dropped = index.drop_old_insert_maps();
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imci_common::{ColumnDef, DataType, IndexDef, IndexKind, Schema, TableId, Value};
+
+    fn schema() -> Schema {
+        Schema::new(
+            TableId(1),
+            "t",
+            vec![
+                ColumnDef::not_null("id", DataType::Int),
+                ColumnDef::new("v", DataType::Int),
+            ],
+            vec![
+                IndexDef {
+                    kind: IndexKind::Primary,
+                    name: "PRIMARY".into(),
+                    columns: vec![0],
+                },
+                IndexDef {
+                    kind: IndexKind::Column,
+                    name: "ci".into(),
+                    columns: vec![0, 1],
+                },
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn sparse_group_is_compacted_and_reclaimed() {
+        let idx = ColumnIndex::for_schema(&schema(), 8);
+        for pk in 0..16i64 {
+            idx.insert(Vid(1), &[Value::Int(pk), Value::Int(pk * 10)])
+                .unwrap();
+        }
+        idx.advance_visible(Vid(1));
+        // Kill 6 of the first group's 8 rows → ratio 0.25 < 0.5.
+        for pk in 0..6i64 {
+            idx.delete(Vid(2), pk).unwrap();
+        }
+        idx.advance_visible(Vid(2));
+
+        let report = compact(&idx, 0.5).unwrap();
+        assert_eq!(report.groups_compacted, 1);
+        assert_eq!(report.rows_moved, 2, "rows 6 and 7 migrate");
+        // No snapshot was pinned below the migration VID, so the fully
+        // drained group reclaims within the same pass.
+        assert_eq!(report.groups_reclaimed, 1);
+        assert!(idx.groups()[0].is_reclaimed());
+
+        // All 10 surviving rows still readable at the new watermark.
+        let snap = idx.snapshot();
+        for pk in 6..16i64 {
+            let row = snap.get_by_pk(pk).unwrap();
+            assert_eq!(row[1], Value::Int(pk * 10), "pk {pk} after compaction");
+        }
+        for pk in 0..6i64 {
+            assert!(snap.get_by_pk(pk).is_none());
+        }
+    }
+
+    #[test]
+    fn dense_groups_left_alone() {
+        let idx = ColumnIndex::for_schema(&schema(), 8);
+        for pk in 0..16i64 {
+            idx.insert(Vid(1), &[Value::Int(pk), Value::Int(0)]).unwrap();
+        }
+        idx.advance_visible(Vid(1));
+        idx.delete(Vid(2), 0).unwrap(); // 7/8 live: above threshold
+        idx.advance_visible(Vid(2));
+        let report = compact(&idx, 0.5).unwrap();
+        assert_eq!(report.groups_compacted, 0);
+        assert_eq!(report.rows_moved, 0);
+    }
+
+    #[test]
+    fn old_versions_stay_visible_to_pinned_snapshots() {
+        let idx = ColumnIndex::for_schema(&schema(), 4);
+        for pk in 0..8i64 {
+            idx.insert(Vid(1), &[Value::Int(pk), Value::Int(pk)]).unwrap();
+        }
+        idx.advance_visible(Vid(1));
+        let pinned = idx.snapshot(); // csn = 1
+        for pk in 0..3i64 {
+            idx.delete(Vid(2), pk).unwrap();
+        }
+        idx.advance_visible(Vid(2));
+        compact(&idx, 0.5).unwrap();
+        // The pinned snapshot still sees every original row via scans:
+        // group 0's rows 0..4 all visible at csn 1.
+        let g0 = &pinned.groups()[0];
+        assert_eq!(g0.visible_offsets(pinned.csn).len(), 4);
+        assert!(!g0.is_reclaimed(), "reclamation blocked by pinned snapshot");
+    }
+}

@@ -1,0 +1,124 @@
+//! Column store: the set of column indexes living on one RO node.
+
+use crate::index::ColumnIndex;
+use imci_common::{Error, FxHashMap, Result, Schema, TableId};
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// All column indexes of one node, keyed by table.
+#[derive(Default)]
+pub struct ColumnStore {
+    indexes: RwLock<FxHashMap<TableId, Arc<ColumnIndex>>>,
+    group_cap: usize,
+}
+
+impl ColumnStore {
+    /// Create a store whose indexes use `group_cap`-row groups.
+    pub fn new(group_cap: usize) -> ColumnStore {
+        ColumnStore {
+            indexes: RwLock::new(FxHashMap::default()),
+            group_cap,
+        }
+    }
+
+    /// Row-group capacity used for new indexes.
+    pub fn group_capacity(&self) -> usize {
+        self.group_cap
+    }
+
+    /// Create (or return the existing) column index for a table.
+    pub fn create_index(&self, schema: &Schema) -> Arc<ColumnIndex> {
+        if let Some(idx) = self.indexes.read().get(&schema.table_id) {
+            return idx.clone();
+        }
+        let idx = ColumnIndex::for_schema(schema, self.group_cap);
+        self.indexes.write().insert(schema.table_id, idx.clone());
+        idx
+    }
+
+    /// Install a pre-built index (checkpoint load / ALTER build).
+    pub fn install(&self, index: Arc<ColumnIndex>) {
+        self.indexes.write().insert(index.table_id, index);
+    }
+
+    /// Look up a table's index.
+    pub fn index(&self, table: TableId) -> Result<Arc<ColumnIndex>> {
+        self.indexes
+            .read()
+            .get(&table)
+            .cloned()
+            .ok_or_else(|| Error::Storage(format!("no column index for table {table}")))
+    }
+
+    /// Whether a table has a column index.
+    pub fn has_index(&self, table: TableId) -> bool {
+        self.indexes.read().contains_key(&table)
+    }
+
+    /// All indexes (checkpointing).
+    pub fn all(&self) -> Vec<Arc<ColumnIndex>> {
+        self.indexes.read().values().cloned().collect()
+    }
+
+    /// Advance every index's visible watermark (Phase-2 batch commit
+    /// publishes one global commit point).
+    pub fn advance_all(&self, vid: imci_common::Vid) {
+        for idx in self.indexes.read().values() {
+            idx.advance_visible(vid);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imci_common::{ColumnDef, DataType, IndexDef, IndexKind, Value, Vid};
+
+    fn schema(id: u64) -> Schema {
+        Schema::new(
+            TableId(id),
+            format!("t{id}"),
+            vec![
+                ColumnDef::not_null("id", DataType::Int),
+                ColumnDef::new("v", DataType::Int),
+            ],
+            vec![
+                IndexDef {
+                    kind: IndexKind::Primary,
+                    name: "PRIMARY".into(),
+                    columns: vec![0],
+                },
+                IndexDef {
+                    kind: IndexKind::Column,
+                    name: "ci".into(),
+                    columns: vec![0, 1],
+                },
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn create_is_idempotent() {
+        let store = ColumnStore::new(16);
+        let a = store.create_index(&schema(1));
+        let b = store.create_index(&schema(1));
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(store.has_index(TableId(1)));
+        assert!(!store.has_index(TableId(2)));
+        assert!(store.index(TableId(2)).is_err());
+    }
+
+    #[test]
+    fn advance_all_moves_watermarks() {
+        let store = ColumnStore::new(16);
+        let a = store.create_index(&schema(1));
+        let b = store.create_index(&schema(2));
+        a.insert(Vid(5), &[Value::Int(1), Value::Int(1)]).unwrap();
+        b.insert(Vid(5), &[Value::Int(1), Value::Int(2)]).unwrap();
+        store.advance_all(Vid(5));
+        assert_eq!(a.visible_vid(), 5);
+        assert_eq!(b.visible_vid(), 5);
+        assert!(a.snapshot().get_by_pk(1).is_some());
+    }
+}

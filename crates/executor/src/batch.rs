@@ -1,0 +1,132 @@
+//! Column batches flowing between operators.
+
+use imci_common::{DataType, Result, Value};
+use imci_core::ColumnData;
+
+/// A batch of rows in columnar form.
+#[derive(Debug, Clone)]
+pub struct Batch {
+    /// Columns (all the same logical length).
+    pub cols: Vec<ColumnData>,
+    /// Row count.
+    pub len: usize,
+}
+
+impl Batch {
+    /// An empty batch with the given column types.
+    pub fn empty(types: &[DataType]) -> Batch {
+        Batch {
+            cols: types.iter().map(|t| ColumnData::new(*t)).collect(),
+            len: 0,
+        }
+    }
+
+    /// Column count.
+    pub fn width(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Read one row as values (tests, row-format sinks).
+    pub fn row(&self, r: usize) -> Vec<Value> {
+        self.cols.iter().map(|c| c.get(r)).collect()
+    }
+
+    /// Append row `r` of `src` to this batch.
+    pub fn push_row_from(&mut self, src: &Batch, r: usize) -> Result<()> {
+        for (dst, s) in self.cols.iter_mut().zip(&src.cols) {
+            dst.set(self.len, &s.get(r))?;
+        }
+        self.len += 1;
+        Ok(())
+    }
+
+    /// Append a row of values.
+    pub fn push_values(&mut self, values: &[Value]) -> Result<()> {
+        for (dst, v) in self.cols.iter_mut().zip(values) {
+            dst.set(self.len, v)?;
+        }
+        self.len += 1;
+        Ok(())
+    }
+
+    /// Keep only rows where `mask` is true.
+    pub fn filter(&self, mask: &[bool]) -> Result<Batch> {
+        let keep: Vec<usize> = mask
+            .iter()
+            .enumerate()
+            .filter(|(_, &m)| m)
+            .map(|(i, _)| i)
+            .collect();
+        self.gather(&keep)
+    }
+
+    /// Gather the given row indices into a new batch (typed bulk copy).
+    pub fn gather(&self, rows: &[usize]) -> Result<Batch> {
+        let idx: Vec<u32> = rows.iter().map(|&r| r as u32).collect();
+        Ok(Batch {
+            cols: self.cols.iter().map(|c| c.gather(&idx)).collect(),
+            len: rows.len(),
+        })
+    }
+
+    /// Concatenate batches (all must share the same width/types).
+    pub fn concat(batches: &[Batch]) -> Result<Batch> {
+        if batches.is_empty() {
+            return Ok(Batch { cols: Vec::new(), len: 0 });
+        }
+        let mut out = Batch {
+            cols: batches[0]
+                .cols
+                .iter()
+                .map(|c| ColumnData::new(c.data_type()))
+                .collect(),
+            len: 0,
+        };
+        for b in batches {
+            for r in 0..b.len {
+                out.push_row_from(b, r)?;
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Batch {
+        let mut b = Batch::empty(&[DataType::Int, DataType::Str]);
+        for i in 0..5 {
+            b.push_values(&[Value::Int(i), Value::Str(format!("r{i}"))])
+                .unwrap();
+        }
+        b
+    }
+
+    #[test]
+    fn push_and_row() {
+        let b = sample();
+        assert_eq!(b.len, 5);
+        assert_eq!(b.row(2), vec![Value::Int(2), Value::Str("r2".into())]);
+    }
+
+    #[test]
+    fn filter_and_gather() {
+        let b = sample();
+        let f = b.filter(&[true, false, true, false, true]).unwrap();
+        assert_eq!(f.len, 3);
+        assert_eq!(f.row(1)[0], Value::Int(2));
+        let g = b.gather(&[4, 0]).unwrap();
+        assert_eq!(g.row(0)[0], Value::Int(4));
+        assert_eq!(g.row(1)[0], Value::Int(0));
+    }
+
+    #[test]
+    fn concat() {
+        let b = sample();
+        let c = Batch::concat(&[b.clone(), b]).unwrap();
+        assert_eq!(c.len, 10);
+        assert_eq!(c.row(7)[1], Value::Str("r2".into()));
+    }
+}

@@ -1,0 +1,752 @@
+//! Batch-mode execution of physical plans (paper §6.3).
+//!
+//! The plan tree is decomposed into pipelines at blocking operators
+//! (join build, aggregation, sort): scans stream one batch per row
+//! group through the non-blocking operators above them, in parallel
+//! across groups ("TableScan can concurrently fetch Data Packs in a
+//! non-interleaved manner"). Pack min/max metadata prunes groups before
+//! any data is touched.
+
+use crate::batch::Batch;
+use crate::expr::Expr;
+use crate::plan::{AggCall, AggFunc, PhysicalPlan, PruneRange};
+use imci_common::{Error, FxHashMap, Result, TableId, Value};
+use imci_core::{ColumnData, Snapshot};
+use std::sync::Arc;
+
+/// Execution context: pinned snapshots + tuning.
+pub struct ExecContext {
+    /// One snapshot per table touched by the query (consistent view).
+    pub snapshots: FxHashMap<TableId, Arc<Snapshot>>,
+    /// Scan parallelism (worker threads over row groups).
+    pub parallelism: usize,
+    /// Min/max pack pruning (ablation switch).
+    pub prune_enabled: bool,
+}
+
+impl ExecContext {
+    /// Context over the given snapshots with default tuning.
+    pub fn new(snapshots: FxHashMap<TableId, Arc<Snapshot>>) -> ExecContext {
+        ExecContext {
+            snapshots,
+            parallelism: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            prune_enabled: true,
+        }
+    }
+
+    fn snapshot(&self, table: TableId) -> Result<&Arc<Snapshot>> {
+        self.snapshots
+            .get(&table)
+            .ok_or_else(|| Error::Execution(format!("no snapshot for table {table}")))
+    }
+}
+
+/// Execute a plan to a fully-materialized result batch.
+pub fn execute(plan: &PhysicalPlan, ctx: &ExecContext) -> Result<Batch> {
+    let batches = exec_stream(plan, ctx)?;
+    Batch::concat(&batches)
+}
+
+/// Execute returning per-pipeline batches (avoids the final concat for
+/// consumers that stream).
+pub fn exec_stream(plan: &PhysicalPlan, ctx: &ExecContext) -> Result<Vec<Batch>> {
+    match plan {
+        PhysicalPlan::ColumnScan {
+            table,
+            cols,
+            prune,
+            filter,
+        } => scan(ctx, *table, cols, prune, filter.as_ref()),
+        PhysicalPlan::Filter { input, pred } => {
+            let mut out = Vec::new();
+            for b in exec_stream(input, ctx)? {
+                let mask = pred.eval_mask(&b)?;
+                let f = b.filter(&mask)?;
+                if f.len > 0 {
+                    out.push(f);
+                }
+            }
+            Ok(out)
+        }
+        PhysicalPlan::Project { input, exprs } => {
+            let mut out = Vec::new();
+            for b in exec_stream(input, ctx)? {
+                let cols = exprs
+                    .iter()
+                    .map(|e| e.eval(&b))
+                    .collect::<Result<Vec<ColumnData>>>()?;
+                out.push(Batch { cols, len: b.len });
+            }
+            Ok(out)
+        }
+        PhysicalPlan::HashJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+        } => hash_join(ctx, left, right, left_keys, right_keys),
+        PhysicalPlan::HashAgg {
+            input,
+            group_by,
+            aggs,
+        } => hash_agg(ctx, input, group_by, aggs).map(|b| vec![b]),
+        PhysicalPlan::Sort { input, keys, limit } => {
+            let all = Batch::concat(&exec_stream(input, ctx)?)?;
+            sort_batch(all, keys, *limit).map(|b| vec![b])
+        }
+        PhysicalPlan::Limit { input, n } => {
+            let mut out = Vec::new();
+            let mut remaining = *n;
+            for b in exec_stream(input, ctx)? {
+                if remaining == 0 {
+                    break;
+                }
+                if b.len <= remaining {
+                    remaining -= b.len;
+                    out.push(b);
+                } else {
+                    let rows: Vec<usize> = (0..remaining).collect();
+                    out.push(b.gather(&rows)?);
+                    remaining = 0;
+                }
+            }
+            Ok(out)
+        }
+    }
+}
+
+fn scan(
+    ctx: &ExecContext,
+    table: TableId,
+    cols: &[usize],
+    prune: &[PruneRange],
+    filter: Option<&Expr>,
+) -> Result<Vec<Batch>> {
+    let snap = ctx.snapshot(table)?;
+    let groups = snap.groups();
+    let csn = snap.csn;
+    let n_workers = ctx.parallelism.clamp(1, groups.len().max(1));
+    let prune_enabled = ctx.prune_enabled;
+
+    let results: Vec<Result<Option<Batch>>> = std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(n_workers);
+        for w in 0..n_workers {
+            let groups = &groups;
+            let handle = s.spawn(move || {
+                let mut local: Vec<Result<Option<Batch>>> = Vec::new();
+                let mut gi = w;
+                while gi < groups.len() {
+                    local.push(scan_group(&groups[gi], csn, cols, prune, filter, prune_enabled));
+                    gi += n_workers;
+                }
+                local
+            });
+            handles.push(handle);
+        }
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("scan worker panicked"))
+            .collect()
+    });
+
+    let mut out = Vec::new();
+    for r in results {
+        if let Some(b) = r? {
+            if b.len > 0 {
+                out.push(b);
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn scan_group(
+    group: &imci_core::RowGroup,
+    csn: u64,
+    cols: &[usize],
+    prune: &[PruneRange],
+    filter: Option<&Expr>,
+    prune_enabled: bool,
+) -> Result<Option<Batch>> {
+    if group.is_reclaimed() {
+        return Ok(None);
+    }
+    // Pack pruning: skip the whole group if any constrained column's
+    // min/max range proves no row can match (sealed groups only — the
+    // partial group has no sealed metadata).
+    if prune_enabled && group.is_sealed() {
+        for pr in prune {
+            if let Some(pack) = group.column_pack(pr.col) {
+                if !pack
+                    .meta
+                    .may_contain_range(pr.lo.as_ref(), pr.hi.as_ref())
+                {
+                    return Ok(None);
+                }
+            }
+        }
+    }
+    let visible = group.visible_offsets(csn);
+    if visible.is_empty() {
+        return Ok(None);
+    }
+    // Materialize the needed columns at visible offsets (typed bulk
+    // gathers — no per-cell Value boxing on the scan hot path).
+    let mut out_cols = Vec::with_capacity(cols.len());
+    for &c in cols {
+        let col = match group.read_column(c) {
+            imci_core::ColumnRead::Pack(p) => p.gather(&visible),
+            imci_core::ColumnRead::Materialized(m) => m.gather(&visible),
+        };
+        out_cols.push(col);
+    }
+    let batch = Batch {
+        cols: out_cols,
+        len: visible.len(),
+    };
+    match filter {
+        Some(f) => {
+            let mask = f.eval_mask(&batch)?;
+            Ok(Some(batch.filter(&mask)?))
+        }
+        None => Ok(Some(batch)),
+    }
+}
+
+fn hash_join(
+    ctx: &ExecContext,
+    left: &PhysicalPlan,
+    right: &PhysicalPlan,
+    left_keys: &[usize],
+    right_keys: &[usize],
+) -> Result<Vec<Batch>> {
+    // Build phase (blocking): materialize the right side.
+    let build = Batch::concat(&exec_stream(right, ctx)?)?;
+    // Fast path: single integer join key (the common case — all PK/FK
+    // joins). Typed build + probe, gather-based output construction.
+    let int_key = right_keys.len() == 1
+        && matches!(build.cols.get(right_keys[0]), Some(ColumnData::Int { .. }));
+    let mut int_table: FxHashMap<i64, Vec<u32>> = FxHashMap::default();
+    let mut gen_table: FxHashMap<Vec<Value>, Vec<u32>> = FxHashMap::default();
+    if int_key {
+        if let ColumnData::Int { vals, nulls } = &build.cols[right_keys[0]] {
+            for r in 0..build.len {
+                if !nulls[r] {
+                    int_table.entry(vals[r]).or_default().push(r as u32);
+                }
+            }
+        }
+    } else {
+        for r in 0..build.len {
+            let key: Vec<Value> =
+                right_keys.iter().map(|&k| build.cols[k].get(r)).collect();
+            if key.iter().any(|v| v.is_null()) {
+                continue; // SQL: NULL keys never join
+            }
+            gen_table.entry(key).or_default().push(r as u32);
+        }
+    }
+    // Probe phase: stream left batches; emit index pairs, then build the
+    // joined batch with typed gathers (no per-cell Value boxing).
+    let mut out = Vec::new();
+    for lb in exec_stream(left, ctx)? {
+        let mut lidx: Vec<u32> = Vec::new();
+        let mut ridx: Vec<u32> = Vec::new();
+        if int_key {
+            // Left key may be Int storage or need generic access.
+            match &lb.cols[left_keys[0]] {
+                ColumnData::Int { vals, nulls } => {
+                    for r in 0..lb.len {
+                        if nulls[r] {
+                            continue;
+                        }
+                        if let Some(ms) = int_table.get(&vals[r]) {
+                            for &br in ms {
+                                lidx.push(r as u32);
+                                ridx.push(br);
+                            }
+                        }
+                    }
+                }
+                other => {
+                    for r in 0..lb.len {
+                        if let Some(k) = other.get(r).as_int() {
+                            if let Some(ms) = int_table.get(&k) {
+                                for &br in ms {
+                                    lidx.push(r as u32);
+                                    ridx.push(br);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        } else {
+            for r in 0..lb.len {
+                let key: Vec<Value> =
+                    left_keys.iter().map(|&k| lb.cols[k].get(r)).collect();
+                if key.iter().any(|v| v.is_null()) {
+                    continue;
+                }
+                if let Some(ms) = gen_table.get(&key) {
+                    for &br in ms {
+                        lidx.push(r as u32);
+                        ridx.push(br);
+                    }
+                }
+            }
+        }
+        if lidx.is_empty() {
+            continue;
+        }
+        let mut cols: Vec<ColumnData> =
+            lb.cols.iter().map(|c| c.gather(&lidx)).collect();
+        cols.extend(build.cols.iter().map(|c| c.gather(&ridx)));
+        out.push(Batch {
+            cols,
+            len: lidx.len(),
+        });
+    }
+    Ok(out)
+}
+
+enum Acc {
+    CountStar(u64),
+    Count(u64),
+    CountDistinct(imci_common::FxHashSet<Value>),
+    Sum { sum: f64, any: bool, int: bool, isum: i64 },
+    Avg { sum: f64, n: u64 },
+    Min(Option<Value>),
+    Max(Option<Value>),
+}
+
+impl Acc {
+    fn new(call: &AggCall) -> Acc {
+        match call.func {
+            AggFunc::CountStar => Acc::CountStar(0),
+            AggFunc::Count if call.distinct => {
+                Acc::CountDistinct(imci_common::FxHashSet::default())
+            }
+            AggFunc::Count => Acc::Count(0),
+            AggFunc::Sum => Acc::Sum {
+                sum: 0.0,
+                any: false,
+                int: true,
+                isum: 0,
+            },
+            AggFunc::Avg => Acc::Avg { sum: 0.0, n: 0 },
+            AggFunc::Min => Acc::Min(None),
+            AggFunc::Max => Acc::Max(None),
+        }
+    }
+
+    fn update(&mut self, v: Option<&Value>) {
+        match self {
+            Acc::CountStar(n) => *n += 1,
+            Acc::Count(n) => {
+                if matches!(v, Some(x) if !x.is_null()) {
+                    *n += 1;
+                }
+            }
+            Acc::CountDistinct(set) => {
+                if let Some(x) = v {
+                    if !x.is_null() {
+                        set.insert(x.clone());
+                    }
+                }
+            }
+            Acc::Sum {
+                sum,
+                any,
+                int,
+                isum,
+            } => {
+                if let Some(x) = v {
+                    match x {
+                        Value::Int(i) => {
+                            *isum += i;
+                            *sum += *i as f64;
+                            *any = true;
+                        }
+                        Value::Double(d) => {
+                            *sum += d;
+                            *int = false;
+                            *any = true;
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            Acc::Avg { sum, n } => {
+                if let Some(f) = v.and_then(|x| x.as_f64()) {
+                    *sum += f;
+                    *n += 1;
+                }
+            }
+            Acc::Min(m) => {
+                if let Some(x) = v {
+                    if !x.is_null() && m.as_ref().map_or(true, |cur| x < cur) {
+                        *m = Some(x.clone());
+                    }
+                }
+            }
+            Acc::Max(m) => {
+                if let Some(x) = v {
+                    if !x.is_null() && m.as_ref().map_or(true, |cur| x > cur) {
+                        *m = Some(x.clone());
+                    }
+                }
+            }
+        }
+    }
+
+    fn finish(self) -> Value {
+        match self {
+            Acc::CountStar(n) | Acc::Count(n) => Value::Int(n as i64),
+            Acc::CountDistinct(set) => Value::Int(set.len() as i64),
+            Acc::Sum {
+                sum,
+                any,
+                int,
+                isum,
+            } => {
+                if !any {
+                    Value::Null
+                } else if int {
+                    Value::Int(isum)
+                } else {
+                    Value::Double(sum)
+                }
+            }
+            Acc::Avg { sum, n } => {
+                if n == 0 {
+                    Value::Null
+                } else {
+                    Value::Double(sum / n as f64)
+                }
+            }
+            Acc::Min(m) | Acc::Max(m) => m.unwrap_or(Value::Null),
+        }
+    }
+}
+
+fn hash_agg(
+    ctx: &ExecContext,
+    input: &PhysicalPlan,
+    group_by: &[Expr],
+    aggs: &[AggCall],
+) -> Result<Batch> {
+    let mut table: FxHashMap<Vec<Value>, Vec<Acc>> = FxHashMap::default();
+    let mut saw_any = false;
+    for b in exec_stream(input, ctx)? {
+        saw_any = true;
+        let key_cols = group_by
+            .iter()
+            .map(|e| e.eval(&b))
+            .collect::<Result<Vec<ColumnData>>>()?;
+        let arg_cols = aggs
+            .iter()
+            .map(|a| a.arg.as_ref().map(|e| e.eval(&b)).transpose())
+            .collect::<Result<Vec<Option<ColumnData>>>>()?;
+        for r in 0..b.len {
+            let key: Vec<Value> = key_cols.iter().map(|c| c.get(r)).collect();
+            let accs = table
+                .entry(key)
+                .or_insert_with(|| aggs.iter().map(Acc::new).collect());
+            for (acc, arg) in accs.iter_mut().zip(&arg_cols) {
+                match arg {
+                    Some(col) => acc.update(Some(&col.get(r))),
+                    None => acc.update(None),
+                }
+            }
+        }
+    }
+    // Global aggregate over an empty input still yields one row.
+    if table.is_empty() && group_by.is_empty() && saw_any {
+        table.insert(Vec::new(), aggs.iter().map(Acc::new).collect());
+    }
+    if table.is_empty() && group_by.is_empty() {
+        table.insert(Vec::new(), aggs.iter().map(Acc::new).collect());
+    }
+    // Output: group keys ++ agg results, deterministic (sorted by key).
+    let mut rows: Vec<(Vec<Value>, Vec<Acc>)> = table.into_iter().collect();
+    rows.sort_by(|a, b| a.0.cmp(&b.0));
+    let width = group_by.len() + aggs.len();
+    let mut out: Option<Batch> = None;
+    for (key, accs) in rows {
+        let mut vals = key;
+        vals.extend(accs.into_iter().map(Acc::finish));
+        let out = out.get_or_insert_with(|| {
+            let types: Vec<imci_common::DataType> = vals
+                .iter()
+                .map(|v| v.data_type().unwrap_or(imci_common::DataType::Int))
+                .collect();
+            Batch::empty(&types)
+        });
+        out.push_values(&vals)?;
+    }
+    Ok(out.unwrap_or_else(|| {
+        Batch::empty(&vec![imci_common::DataType::Int; width])
+    }))
+}
+
+fn sort_batch(b: Batch, keys: &[(usize, bool)], limit: Option<usize>) -> Result<Batch> {
+    let mut idx: Vec<usize> = (0..b.len).collect();
+    idx.sort_by(|&x, &y| {
+        for &(k, desc) in keys {
+            let (vx, vy) = (b.cols[k].get(x), b.cols[k].get(y));
+            let ord = vx.cmp(&vy);
+            if ord != std::cmp::Ordering::Equal {
+                return if desc { ord.reverse() } else { ord };
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    if let Some(n) = limit {
+        idx.truncate(n);
+    }
+    b.gather(&idx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::CmpOp;
+    use imci_common::{ColumnDef, DataType, IndexDef, IndexKind, Schema, Vid};
+    use imci_core::ColumnIndex;
+
+    fn schema() -> Schema {
+        Schema::new(
+            TableId(1),
+            "sales",
+            vec![
+                ColumnDef::not_null("id", DataType::Int),
+                ColumnDef::new("region", DataType::Str),
+                ColumnDef::new("qty", DataType::Int),
+                ColumnDef::new("price", DataType::Double),
+            ],
+            vec![
+                IndexDef {
+                    kind: IndexKind::Primary,
+                    name: "PRIMARY".into(),
+                    columns: vec![0],
+                },
+                IndexDef {
+                    kind: IndexKind::Column,
+                    name: "ci".into(),
+                    columns: vec![0, 1, 2, 3],
+                },
+            ],
+        )
+        .unwrap()
+    }
+
+    fn ctx_with_data(n: i64, group_cap: usize) -> (ExecContext, Arc<ColumnIndex>) {
+        let idx = ColumnIndex::for_schema(&schema(), group_cap);
+        let regions = ["east", "west", "north", "south"];
+        for pk in 0..n {
+            idx.insert(
+                Vid(1),
+                &[
+                    Value::Int(pk),
+                    Value::Str(regions[(pk % 4) as usize].into()),
+                    Value::Int(pk % 10),
+                    Value::Double(pk as f64 * 1.5),
+                ],
+            )
+            .unwrap();
+        }
+        idx.advance_visible(Vid(1));
+        let mut snaps = FxHashMap::default();
+        snaps.insert(TableId(1), Arc::new(idx.snapshot()));
+        let mut ctx = ExecContext::new(snaps);
+        ctx.parallelism = 2;
+        (ctx, idx)
+    }
+
+    fn scan_all() -> PhysicalPlan {
+        PhysicalPlan::ColumnScan {
+            table: TableId(1),
+            cols: vec![0, 1, 2, 3],
+            prune: vec![],
+            filter: None,
+        }
+    }
+
+    #[test]
+    fn full_scan_returns_all_rows() {
+        let (ctx, _) = ctx_with_data(100, 16);
+        let b = execute(&scan_all(), &ctx).unwrap();
+        assert_eq!(b.len, 100);
+    }
+
+    #[test]
+    fn filter_and_project() {
+        let (ctx, _) = ctx_with_data(100, 16);
+        let plan = PhysicalPlan::Project {
+            input: Box::new(PhysicalPlan::Filter {
+                input: Box::new(scan_all()),
+                pred: Expr::cmp(CmpOp::Lt, Expr::col(0), Expr::lit(10i64)),
+            }),
+            exprs: vec![
+                Expr::col(0),
+                Expr::Arith(
+                    crate::expr::ArithOp::Mul,
+                    Box::new(Expr::col(3)),
+                    Box::new(Expr::lit(2.0)),
+                ),
+            ],
+        };
+        let b = execute(&plan, &ctx).unwrap();
+        assert_eq!(b.len, 10);
+        assert_eq!(b.width(), 2);
+        assert_eq!(b.cols[1].get(2), Value::Double(6.0)); // 2*1.5*2
+    }
+
+    #[test]
+    fn pack_pruning_skips_groups() {
+        let (mut ctx, _) = ctx_with_data(160, 16); // pk 0..160, 10 groups
+        let plan = PhysicalPlan::ColumnScan {
+            table: TableId(1),
+            cols: vec![0],
+            prune: vec![PruneRange {
+                col: 0,
+                lo: Some(Value::Int(150)),
+                hi: None,
+            }],
+            filter: Some(Expr::cmp(CmpOp::Ge, Expr::col(0), Expr::lit(150i64))),
+        };
+        let b = execute(&plan, &ctx).unwrap();
+        assert_eq!(b.len, 10);
+        // With pruning disabled the result must be identical.
+        ctx.prune_enabled = false;
+        let b2 = execute(&plan, &ctx).unwrap();
+        assert_eq!(b2.len, 10);
+    }
+
+    #[test]
+    fn group_agg_sums_per_region() {
+        let (ctx, _) = ctx_with_data(100, 16);
+        let plan = PhysicalPlan::HashAgg {
+            input: Box::new(scan_all()),
+            group_by: vec![Expr::col(1)],
+            aggs: vec![
+                AggCall {
+                    func: AggFunc::CountStar,
+                    arg: None,
+                    distinct: false,
+                },
+                AggCall {
+                    func: AggFunc::Sum,
+                    arg: Some(Expr::col(2)),
+                    distinct: false,
+                },
+                AggCall {
+                    func: AggFunc::Avg,
+                    arg: Some(Expr::col(3)),
+                    distinct: false,
+                },
+            ],
+        };
+        let b = execute(&plan, &ctx).unwrap();
+        assert_eq!(b.len, 4, "four regions");
+        // Keys sorted: east, north, south, west. 25 rows each.
+        assert_eq!(b.cols[1].get(0), Value::Int(25));
+    }
+
+    #[test]
+    fn global_agg_without_groups() {
+        let (ctx, _) = ctx_with_data(50, 16);
+        let plan = PhysicalPlan::HashAgg {
+            input: Box::new(scan_all()),
+            group_by: vec![],
+            aggs: vec![
+                AggCall {
+                    func: AggFunc::Min,
+                    arg: Some(Expr::col(0)),
+                    distinct: false,
+                },
+                AggCall {
+                    func: AggFunc::Max,
+                    arg: Some(Expr::col(0)),
+                    distinct: false,
+                },
+                AggCall {
+                    func: AggFunc::Count,
+                    arg: Some(Expr::col(0)),
+                    distinct: true,
+                },
+            ],
+        };
+        let b = execute(&plan, &ctx).unwrap();
+        assert_eq!(b.len, 1);
+        assert_eq!(b.row(0), vec![Value::Int(0), Value::Int(49), Value::Int(50)]);
+    }
+
+    #[test]
+    fn sort_desc_with_limit() {
+        let (ctx, _) = ctx_with_data(30, 8);
+        let plan = PhysicalPlan::Sort {
+            input: Box::new(scan_all()),
+            keys: vec![(0, true)],
+            limit: Some(3),
+        };
+        let b = execute(&plan, &ctx).unwrap();
+        assert_eq!(b.len, 3);
+        assert_eq!(b.cols[0].get(0), Value::Int(29));
+        assert_eq!(b.cols[0].get(2), Value::Int(27));
+    }
+
+    #[test]
+    fn hash_join_inner() {
+        // Self-join: sales s JOIN sales t ON s.qty = t.id (qty in 0..10).
+        let (ctx, _) = ctx_with_data(20, 8);
+        let plan = PhysicalPlan::HashJoin {
+            left: Box::new(scan_all()),
+            right: Box::new(PhysicalPlan::Filter {
+                input: Box::new(scan_all()),
+                pred: Expr::cmp(CmpOp::Lt, Expr::col(0), Expr::lit(5i64)),
+            }),
+            left_keys: vec![2],
+            right_keys: vec![0],
+        };
+        let b = execute(&plan, &ctx).unwrap();
+        // qty = pk % 10; join matches rows whose qty ∈ {0..4}: pks with
+        // pk%10 in 0..5 → 10 of 20 rows, each matching exactly 1.
+        assert_eq!(b.len, 10);
+        assert_eq!(b.width(), 8);
+        for r in 0..b.len {
+            assert_eq!(b.cols[2].get(r), b.cols[4].get(r), "join key equality");
+        }
+    }
+
+    #[test]
+    fn limit_without_sort() {
+        let (ctx, _) = ctx_with_data(100, 16);
+        let plan = PhysicalPlan::Limit {
+            input: Box::new(scan_all()),
+            n: 7,
+        };
+        assert_eq!(execute(&plan, &ctx).unwrap().len, 7);
+    }
+
+    #[test]
+    fn mvcc_snapshot_view_in_scan() {
+        let (_, idx) = ctx_with_data(10, 8);
+        // Delete under a newer vid; an old snapshot still scans 10 rows.
+        let old_snap = Arc::new(idx.snapshot());
+        idx.delete(Vid(2), 0).unwrap();
+        idx.advance_visible(Vid(2));
+        let new_snap = Arc::new(idx.snapshot());
+        let mk_ctx = |s: Arc<Snapshot>| {
+            let mut m = FxHashMap::default();
+            m.insert(TableId(1), s);
+            ExecContext::new(m)
+        };
+        let plan = scan_all();
+        assert_eq!(execute(&plan, &mk_ctx(old_snap)).unwrap().len, 10);
+        assert_eq!(execute(&plan, &mk_ctx(new_snap)).unwrap().len, 9);
+    }
+}

@@ -1,0 +1,547 @@
+//! Vectorized expression evaluation (paper §6.3 "Expression Evaluation").
+//!
+//! Expressions evaluate over a [`Batch`] column-at-a-time. Comparison
+//! and arithmetic over `i64`/`f64` columns run as tight loops over the
+//! typed vectors (the auto-vectorizer's bread and butter — our stand-in
+//! for the paper's hand-written SIMD kernels), falling back to generic
+//! `Value` evaluation for mixed/string cases.
+
+use crate::batch::Batch;
+use imci_common::{DataType, Error, Result, Value};
+use imci_core::ColumnData;
+use std::cmp::Ordering;
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Test an ordering against the operator.
+    #[inline]
+    pub fn test(self, ord: Ordering) -> bool {
+        match self {
+            CmpOp::Eq => ord == Ordering::Equal,
+            CmpOp::Ne => ord != Ordering::Equal,
+            CmpOp::Lt => ord == Ordering::Less,
+            CmpOp::Le => ord != Ordering::Greater,
+            CmpOp::Gt => ord == Ordering::Greater,
+            CmpOp::Ge => ord != Ordering::Less,
+        }
+    }
+}
+
+/// Arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+}
+
+/// LIKE pattern kinds we support (enough for the TPC-H-derived queries).
+#[derive(Debug, Clone, PartialEq)]
+pub enum LikePattern {
+    /// `'foo%'`
+    Prefix(String),
+    /// `'%foo'`
+    Suffix(String),
+    /// `'%foo%'`
+    Contains(String),
+    /// `'foo'` (no wildcard: equality)
+    Exact(String),
+}
+
+impl LikePattern {
+    /// Parse a SQL LIKE pattern (only %-wildcards at the edges).
+    pub fn parse(pat: &str) -> Result<LikePattern> {
+        let starts = pat.starts_with('%');
+        let ends = pat.ends_with('%') && pat.len() > 1;
+        let inner = pat.trim_matches('%');
+        if inner.contains('%') || inner.contains('_') {
+            return Err(Error::Unsupported(format!(
+                "LIKE pattern '{pat}' (only edge %% wildcards supported)"
+            )));
+        }
+        Ok(match (starts, ends) {
+            (true, true) => LikePattern::Contains(inner.to_string()),
+            (true, false) => LikePattern::Suffix(inner.to_string()),
+            (false, true) => LikePattern::Prefix(inner.to_string()),
+            (false, false) => LikePattern::Exact(inner.to_string()),
+        })
+    }
+
+    /// Match a string.
+    #[inline]
+    pub fn matches(&self, s: &str) -> bool {
+        match self {
+            LikePattern::Prefix(p) => s.starts_with(p.as_str()),
+            LikePattern::Suffix(p) => s.ends_with(p.as_str()),
+            LikePattern::Contains(p) => s.contains(p.as_str()),
+            LikePattern::Exact(p) => s == p,
+        }
+    }
+}
+
+/// An expression tree over batch columns.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Column reference (position in the batch).
+    Col(usize),
+    /// Literal.
+    Lit(Value),
+    /// Binary comparison.
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    /// Arithmetic.
+    Arith(ArithOp, Box<Expr>, Box<Expr>),
+    /// Conjunction.
+    And(Box<Expr>, Box<Expr>),
+    /// Disjunction.
+    Or(Box<Expr>, Box<Expr>),
+    /// Negation.
+    Not(Box<Expr>),
+    /// `x BETWEEN lo AND hi` (inclusive).
+    Between(Box<Expr>, Value, Value),
+    /// `x IN (v1, v2, ...)`.
+    InList(Box<Expr>, Vec<Value>),
+    /// `x LIKE 'pat'`.
+    Like(Box<Expr>, LikePattern),
+    /// `x IS NULL` / `x IS NOT NULL`.
+    IsNull(Box<Expr>, bool),
+    /// `YEAR(date_expr)`.
+    Year(Box<Expr>),
+}
+
+impl Expr {
+    /// Convenience: column `i`.
+    pub fn col(i: usize) -> Expr {
+        Expr::Col(i)
+    }
+
+    /// Convenience: literal.
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Lit(v.into())
+    }
+
+    /// Convenience: `self AND rhs`.
+    pub fn and(self, rhs: Expr) -> Expr {
+        Expr::And(Box::new(self), Box::new(rhs))
+    }
+
+    /// Convenience: comparison with a literal.
+    pub fn cmp(op: CmpOp, l: Expr, r: Expr) -> Expr {
+        Expr::Cmp(op, Box::new(l), Box::new(r))
+    }
+
+    /// Columns referenced by this expression.
+    pub fn referenced_cols(&self, out: &mut Vec<usize>) {
+        match self {
+            Expr::Col(i) => out.push(*i),
+            Expr::Lit(_) => {}
+            Expr::Cmp(_, a, b) | Expr::Arith(_, a, b) | Expr::And(a, b) | Expr::Or(a, b) => {
+                a.referenced_cols(out);
+                b.referenced_cols(out);
+            }
+            Expr::Not(a)
+            | Expr::Between(a, _, _)
+            | Expr::InList(a, _)
+            | Expr::Like(a, _)
+            | Expr::IsNull(a, _)
+            | Expr::Year(a) => a.referenced_cols(out),
+        }
+    }
+
+    /// Remap column references through `map` (old position → new).
+    pub fn remap(&self, map: &dyn Fn(usize) -> usize) -> Expr {
+        match self {
+            Expr::Col(i) => Expr::Col(map(*i)),
+            Expr::Lit(v) => Expr::Lit(v.clone()),
+            Expr::Cmp(op, a, b) => {
+                Expr::Cmp(*op, Box::new(a.remap(map)), Box::new(b.remap(map)))
+            }
+            Expr::Arith(op, a, b) => {
+                Expr::Arith(*op, Box::new(a.remap(map)), Box::new(b.remap(map)))
+            }
+            Expr::And(a, b) => Expr::And(Box::new(a.remap(map)), Box::new(b.remap(map))),
+            Expr::Or(a, b) => Expr::Or(Box::new(a.remap(map)), Box::new(b.remap(map))),
+            Expr::Not(a) => Expr::Not(Box::new(a.remap(map))),
+            Expr::Between(a, lo, hi) => {
+                Expr::Between(Box::new(a.remap(map)), lo.clone(), hi.clone())
+            }
+            Expr::InList(a, vs) => Expr::InList(Box::new(a.remap(map)), vs.clone()),
+            Expr::Like(a, p) => Expr::Like(Box::new(a.remap(map)), p.clone()),
+            Expr::IsNull(a, n) => Expr::IsNull(Box::new(a.remap(map)), *n),
+            Expr::Year(a) => Expr::Year(Box::new(a.remap(map))),
+        }
+    }
+
+    /// Evaluate to a value column.
+    pub fn eval(&self, batch: &Batch) -> Result<ColumnData> {
+        match self {
+            Expr::Col(i) => Ok(batch.cols[*i].clone()),
+            Expr::Lit(v) => {
+                let ty = v.data_type().unwrap_or(DataType::Int);
+                let mut c = ColumnData::new(ty);
+                for r in 0..batch.len {
+                    c.set(r, v)?;
+                }
+                Ok(c)
+            }
+            Expr::Arith(op, a, b) => eval_arith(*op, a, b, batch),
+            Expr::Year(a) => {
+                let col = a.eval(batch)?;
+                let mut out = ColumnData::new(DataType::Int);
+                for r in 0..batch.len {
+                    match col.get(r) {
+                        Value::Null => out.set(r, &Value::Null)?,
+                        v => {
+                            let days = v.as_int().ok_or_else(|| {
+                                Error::Execution("YEAR() on non-date".into())
+                            })?;
+                            let y = imci_common::value::format_date(days)[..4]
+                                .parse::<i64>()
+                                .unwrap_or(0);
+                            out.set(r, &Value::Int(y))?;
+                        }
+                    }
+                }
+                Ok(out)
+            }
+            // Predicates evaluated in value context: 1/0/NULL ints.
+            _ => {
+                let mask = self.eval_mask(batch)?;
+                let mut out = ColumnData::new(DataType::Int);
+                for (r, m) in mask.iter().enumerate() {
+                    out.set(r, &Value::Int(*m as i64))?;
+                }
+                Ok(out)
+            }
+        }
+    }
+
+    /// Evaluate as a selection mask (SQL three-valued logic collapses
+    /// NULL to false, as in a WHERE clause).
+    pub fn eval_mask(&self, batch: &Batch) -> Result<Vec<bool>> {
+        match self {
+            Expr::And(a, b) => {
+                let mut m = a.eval_mask(batch)?;
+                let mb = b.eval_mask(batch)?;
+                for (x, y) in m.iter_mut().zip(mb) {
+                    *x = *x && y;
+                }
+                Ok(m)
+            }
+            Expr::Or(a, b) => {
+                let mut m = a.eval_mask(batch)?;
+                let mb = b.eval_mask(batch)?;
+                for (x, y) in m.iter_mut().zip(mb) {
+                    *x = *x || y;
+                }
+                Ok(m)
+            }
+            Expr::Not(a) => {
+                let mut m = a.eval_mask(batch)?;
+                for x in m.iter_mut() {
+                    *x = !*x;
+                }
+                Ok(m)
+            }
+            Expr::Cmp(op, a, b) => eval_cmp_mask(*op, a, b, batch),
+            Expr::Between(a, lo, hi) => {
+                let ge = Expr::Cmp(
+                    CmpOp::Ge,
+                    a.clone(),
+                    Box::new(Expr::Lit(lo.clone())),
+                );
+                let le = Expr::Cmp(
+                    CmpOp::Le,
+                    a.clone(),
+                    Box::new(Expr::Lit(hi.clone())),
+                );
+                ge.and(le).eval_mask(batch)
+            }
+            Expr::InList(a, vs) => {
+                let col = a.eval(batch)?;
+                let set: imci_common::FxHashSet<&Value> = vs.iter().collect();
+                Ok((0..batch.len)
+                    .map(|r| {
+                        let v = col.get(r);
+                        !v.is_null() && set.contains(&v)
+                    })
+                    .collect())
+            }
+            Expr::Like(a, pat) => {
+                let col = a.eval(batch)?;
+                Ok((0..batch.len)
+                    .map(|r| match col.get(r) {
+                        Value::Str(s) => pat.matches(&s),
+                        _ => false,
+                    })
+                    .collect())
+            }
+            Expr::IsNull(a, negated) => {
+                let col = a.eval(batch)?;
+                Ok((0..batch.len)
+                    .map(|r| col.get(r).is_null() != *negated)
+                    .collect())
+            }
+            Expr::Col(_) | Expr::Lit(_) | Expr::Arith(..) | Expr::Year(_) => {
+                let col = self.eval(batch)?;
+                Ok((0..batch.len)
+                    .map(|r| matches!(col.get(r), Value::Int(x) if x != 0))
+                    .collect())
+            }
+        }
+    }
+}
+
+fn eval_cmp_mask(op: CmpOp, a: &Expr, b: &Expr, batch: &Batch) -> Result<Vec<bool>> {
+    // Fast path: Int column vs Int literal — one tight loop.
+    if let (Expr::Col(i), Expr::Lit(Value::Int(k))) = (a, b) {
+        if let ColumnData::Int { vals, nulls } = &batch.cols[*i] {
+            let k = *k;
+            return Ok(vals
+                .iter()
+                .zip(nulls)
+                .take(batch.len)
+                .map(|(v, &nl)| !nl && op.test(v.cmp(&k)))
+                .collect());
+        }
+    }
+    // Fast path: Double column vs numeric literal.
+    if let (Expr::Col(i), Expr::Lit(lit)) = (a, b) {
+        if let (ColumnData::Double { vals, nulls }, Some(k)) =
+            (&batch.cols[*i], lit.as_f64())
+        {
+            return Ok(vals
+                .iter()
+                .zip(nulls)
+                .take(batch.len)
+                .map(|(v, &nl)| !nl && op.test(v.total_cmp(&k)))
+                .collect());
+        }
+    }
+    let ca = a.eval(batch)?;
+    let cb = b.eval(batch)?;
+    Ok((0..batch.len)
+        .map(|r| match ca.get(r).sql_cmp(&cb.get(r)) {
+            Some(ord) => op.test(ord),
+            None => false,
+        })
+        .collect())
+}
+
+fn eval_arith(op: ArithOp, a: &Expr, b: &Expr, batch: &Batch) -> Result<ColumnData> {
+    let ca = a.eval(batch)?;
+    let cb = b.eval(batch)?;
+    // Typed fast path: Double ⊙ Double.
+    if let (
+        ColumnData::Double { vals: va, nulls: na },
+        ColumnData::Double { vals: vb, nulls: nb },
+    ) = (&ca, &cb)
+    {
+        let n = batch.len;
+        let mut vals = Vec::with_capacity(n);
+        let mut nulls = Vec::with_capacity(n);
+        for r in 0..n {
+            let nl = na[r] || nb[r];
+            nulls.push(nl);
+            let (x, y) = (va[r], vb[r]);
+            vals.push(if nl {
+                0.0
+            } else {
+                match op {
+                    ArithOp::Add => x + y,
+                    ArithOp::Sub => x - y,
+                    ArithOp::Mul => x * y,
+                    ArithOp::Div => x / y,
+                }
+            });
+        }
+        return Ok(ColumnData::Double { vals, nulls });
+    }
+    // Generic path with numeric promotion.
+    let n = batch.len;
+    let int_int = matches!(
+        (&ca, &cb),
+        (ColumnData::Int { .. }, ColumnData::Int { .. })
+    ) && op != ArithOp::Div;
+    let mut out = ColumnData::new(if int_int {
+        DataType::Int
+    } else {
+        DataType::Double
+    });
+    for r in 0..n {
+        let (x, y) = (ca.get(r), cb.get(r));
+        if x.is_null() || y.is_null() {
+            out.set(r, &Value::Null)?;
+            continue;
+        }
+        let v = if int_int {
+            let (x, y) = (x.as_int().unwrap(), y.as_int().unwrap());
+            Value::Int(match op {
+                ArithOp::Add => x + y,
+                ArithOp::Sub => x - y,
+                ArithOp::Mul => x * y,
+                ArithOp::Div => unreachable!(),
+            })
+        } else {
+            let (x, y) = (
+                x.as_f64().ok_or_else(|| {
+                    Error::Execution(format!("arith on non-numeric {x}"))
+                })?,
+                y.as_f64().ok_or_else(|| {
+                    Error::Execution(format!("arith on non-numeric {y}"))
+                })?,
+            );
+            Value::Double(match op {
+                ArithOp::Add => x + y,
+                ArithOp::Sub => x - y,
+                ArithOp::Mul => x * y,
+                ArithOp::Div => x / y,
+            })
+        };
+        out.set(r, &v)?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::Batch;
+
+    fn batch() -> Batch {
+        let mut a = ColumnData::new(DataType::Int);
+        let mut b = ColumnData::new(DataType::Double);
+        let mut s = ColumnData::new(DataType::Str);
+        for i in 0..10 {
+            a.set(i, &Value::Int(i as i64)).unwrap();
+            b.set(i, &Value::Double(i as f64 * 0.5)).unwrap();
+            s.set(i, &Value::Str(format!("item-{i}"))).unwrap();
+        }
+        a.set(9, &Value::Null).unwrap();
+        Batch {
+            cols: vec![a, b, s],
+            len: 10,
+        }
+    }
+
+    #[test]
+    fn int_cmp_fast_path() {
+        let b = batch();
+        let m = Expr::cmp(CmpOp::Lt, Expr::col(0), Expr::lit(5i64))
+            .eval_mask(&b)
+            .unwrap();
+        assert_eq!(m.iter().filter(|&&x| x).count(), 5);
+        assert!(!m[9], "NULL never matches");
+    }
+
+    #[test]
+    fn double_cmp_and_arith() {
+        let b = batch();
+        let m = Expr::cmp(CmpOp::Ge, Expr::col(1), Expr::lit(2.0))
+            .eval_mask(&b)
+            .unwrap();
+        assert_eq!(m.iter().filter(|&&x| x).count(), 6); // 2.0..4.5
+        let sum = Expr::Arith(
+            ArithOp::Mul,
+            Box::new(Expr::col(1)),
+            Box::new(Expr::lit(2.0)),
+        )
+        .eval(&b)
+        .unwrap();
+        assert_eq!(sum.get(3), Value::Double(3.0));
+    }
+
+    #[test]
+    fn and_or_not_between_in() {
+        let b = batch();
+        let e = Expr::cmp(CmpOp::Ge, Expr::col(0), Expr::lit(2i64))
+            .and(Expr::cmp(CmpOp::Le, Expr::col(0), Expr::lit(6i64)));
+        assert_eq!(e.eval_mask(&b).unwrap().iter().filter(|&&x| x).count(), 5);
+        let between = Expr::Between(Box::new(Expr::col(0)), Value::Int(2), Value::Int(6));
+        assert_eq!(
+            between.eval_mask(&b).unwrap(),
+            e.eval_mask(&b).unwrap(),
+            "BETWEEN == >= AND <="
+        );
+        let inl = Expr::InList(
+            Box::new(Expr::col(0)),
+            vec![Value::Int(1), Value::Int(3), Value::Int(99)],
+        );
+        assert_eq!(inl.eval_mask(&b).unwrap().iter().filter(|&&x| x).count(), 2);
+        let not = Expr::Not(Box::new(between));
+        assert_eq!(not.eval_mask(&b).unwrap().iter().filter(|&&x| x).count(), 5);
+    }
+
+    #[test]
+    fn like_patterns() {
+        assert!(LikePattern::parse("abc%").unwrap().matches("abcdef"));
+        assert!(LikePattern::parse("%def").unwrap().matches("abcdef"));
+        assert!(LikePattern::parse("%cd%").unwrap().matches("abcdef"));
+        assert!(!LikePattern::parse("%cd%").unwrap().matches("abef"));
+        assert!(LikePattern::parse("a_c").is_err());
+        let b = batch();
+        let e = Expr::Like(
+            Box::new(Expr::col(2)),
+            LikePattern::parse("item-%").unwrap(),
+        );
+        assert_eq!(e.eval_mask(&b).unwrap().iter().filter(|&&x| x).count(), 10);
+    }
+
+    #[test]
+    fn is_null_and_year() {
+        let b = batch();
+        let e = Expr::IsNull(Box::new(Expr::col(0)), false);
+        assert_eq!(e.eval_mask(&b).unwrap().iter().filter(|&&x| x).count(), 1);
+        let mut d = ColumnData::new(DataType::Date);
+        d.set(0, &Value::Date(imci_common::value::parse_date_str("1995-06-17").unwrap()))
+            .unwrap();
+        let db = Batch {
+            cols: vec![d],
+            len: 1,
+        };
+        let y = Expr::Year(Box::new(Expr::col(0))).eval(&db).unwrap();
+        assert_eq!(y.get(0), Value::Int(1995));
+    }
+
+    #[test]
+    fn int_arith_stays_int_except_div() {
+        let b = batch();
+        let add = Expr::Arith(
+            ArithOp::Add,
+            Box::new(Expr::col(0)),
+            Box::new(Expr::lit(100i64)),
+        )
+        .eval(&b)
+        .unwrap();
+        assert_eq!(add.get(1), Value::Int(101));
+        assert_eq!(add.get(9), Value::Null, "null propagates");
+        let div = Expr::Arith(
+            ArithOp::Div,
+            Box::new(Expr::col(0)),
+            Box::new(Expr::lit(2i64)),
+        )
+        .eval(&b)
+        .unwrap();
+        assert_eq!(div.get(1), Value::Double(0.5));
+    }
+}

@@ -1,0 +1,17 @@
+//! Column-based batch-mode execution engine (paper §6.3).
+//!
+//! * [`batch`] — columnar batches between operators;
+//! * [`expr`] — vectorized expression evaluation;
+//! * [`plan`] — physical operator tree;
+//! * [`exec`] — pipeline execution with parallel pack-pruned scans,
+//!   partitioned hash join, hash aggregation, sort/top-N.
+
+pub mod batch;
+pub mod exec;
+pub mod expr;
+pub mod plan;
+
+pub use batch::Batch;
+pub use exec::{exec_stream, execute, ExecContext};
+pub use expr::{ArithOp, CmpOp, Expr, LikePattern};
+pub use plan::{AggCall, AggFunc, PhysicalPlan, PruneRange};

@@ -1,0 +1,177 @@
+//! Physical plans for the column (batch-mode) engine.
+
+use crate::expr::Expr;
+use imci_common::{TableId, Value};
+
+/// A min/max pruning range on a scanned column (position within the
+/// column index's covered columns). Derived from WHERE conjuncts; lets
+/// TableScan skip whole packs via their metadata (paper §4.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PruneRange {
+    /// Covered-column position the range constrains.
+    pub col: usize,
+    /// Lower bound (inclusive), if any.
+    pub lo: Option<Value>,
+    /// Upper bound (inclusive), if any.
+    pub hi: Option<Value>,
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// `COUNT(*)`
+    CountStar,
+    /// `COUNT(expr)` (non-null count).
+    Count,
+    /// `SUM(expr)`
+    Sum,
+    /// `AVG(expr)`
+    Avg,
+    /// `MIN(expr)`
+    Min,
+    /// `MAX(expr)`
+    Max,
+}
+
+/// One aggregate call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggCall {
+    /// Function.
+    pub func: AggFunc,
+    /// Argument (None only for COUNT(*)).
+    pub arg: Option<Expr>,
+    /// COUNT(DISTINCT expr).
+    pub distinct: bool,
+}
+
+/// Physical operator tree of the column engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PhysicalPlan {
+    /// Parallel scan over a column index. Output columns are
+    /// `cols` (positions within the index's covered columns), in order.
+    ColumnScan {
+        /// Table to scan.
+        table: TableId,
+        /// Covered-column positions to materialize.
+        cols: Vec<usize>,
+        /// Min/max pack pruning ranges (positions within `cols`... no:
+        /// positions within covered columns; see `PruneRange::col`).
+        prune: Vec<PruneRange>,
+        /// Residual filter over the output columns (by output position).
+        filter: Option<Expr>,
+    },
+    /// Row filter.
+    Filter {
+        /// Input operator.
+        input: Box<PhysicalPlan>,
+        /// Predicate over input columns.
+        pred: Expr,
+    },
+    /// Projection / expression evaluation.
+    Project {
+        /// Input operator.
+        input: Box<PhysicalPlan>,
+        /// Output expressions over input columns.
+        exprs: Vec<Expr>,
+    },
+    /// Hash equi-join (inner). Output = left columns ++ right columns.
+    HashJoin {
+        /// Probe side.
+        left: Box<PhysicalPlan>,
+        /// Build side.
+        right: Box<PhysicalPlan>,
+        /// Probe key column positions.
+        left_keys: Vec<usize>,
+        /// Build key column positions.
+        right_keys: Vec<usize>,
+    },
+    /// Hash aggregation. Output = group-by values ++ aggregate values.
+    HashAgg {
+        /// Input operator.
+        input: Box<PhysicalPlan>,
+        /// Grouping expressions.
+        group_by: Vec<Expr>,
+        /// Aggregates.
+        aggs: Vec<AggCall>,
+    },
+    /// Sort (optionally top-N).
+    Sort {
+        /// Input operator.
+        input: Box<PhysicalPlan>,
+        /// Sort keys: (column position, descending).
+        keys: Vec<(usize, bool)>,
+        /// Optional row limit applied after the sort.
+        limit: Option<usize>,
+    },
+    /// Row limit without sorting.
+    Limit {
+        /// Input operator.
+        input: Box<PhysicalPlan>,
+        /// Max rows.
+        n: usize,
+    },
+}
+
+impl PhysicalPlan {
+    /// Rough operator count (used in Table 2-style plan statistics).
+    pub fn op_count(&self) -> usize {
+        1 + match self {
+            PhysicalPlan::ColumnScan { .. } => 0,
+            PhysicalPlan::Filter { input, .. }
+            | PhysicalPlan::Project { input, .. }
+            | PhysicalPlan::HashAgg { input, .. }
+            | PhysicalPlan::Sort { input, .. }
+            | PhysicalPlan::Limit { input, .. } => input.op_count(),
+            PhysicalPlan::HashJoin { left, right, .. } => {
+                left.op_count() + right.op_count()
+            }
+        }
+    }
+
+    /// Number of joins in the plan.
+    pub fn join_count(&self) -> usize {
+        match self {
+            PhysicalPlan::ColumnScan { .. } => 0,
+            PhysicalPlan::Filter { input, .. }
+            | PhysicalPlan::Project { input, .. }
+            | PhysicalPlan::HashAgg { input, .. }
+            | PhysicalPlan::Sort { input, .. }
+            | PhysicalPlan::Limit { input, .. } => input.join_count(),
+            PhysicalPlan::HashJoin { left, right, .. } => {
+                1 + left.join_count() + right.join_count()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_and_join_counts() {
+        let scan = |t: u64| PhysicalPlan::ColumnScan {
+            table: TableId(t),
+            cols: vec![0],
+            prune: vec![],
+            filter: None,
+        };
+        let join = PhysicalPlan::HashJoin {
+            left: Box::new(scan(1)),
+            right: Box::new(scan(2)),
+            left_keys: vec![0],
+            right_keys: vec![0],
+        };
+        let agg = PhysicalPlan::HashAgg {
+            input: Box::new(join),
+            group_by: vec![],
+            aggs: vec![AggCall {
+                func: AggFunc::CountStar,
+                arg: None,
+                distinct: false,
+            }],
+        };
+        assert_eq!(agg.op_count(), 4);
+        assert_eq!(agg.join_count(), 1);
+    }
+}

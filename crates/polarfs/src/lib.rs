@@ -1,0 +1,343 @@
+//! Simulated PolarFS: the shared storage layer of PolarDB-IMCI.
+//!
+//! The real PolarFS (Cao et al., VLDB'18) is a user-space distributed
+//! file system reached over RDMA. Every experiment in the paper depends
+//! only on its *interface* and *relative* latencies, so this crate
+//! provides an in-process stand-in with three facilities:
+//!
+//! * **append-only log files** — the REDO log and Binlog live here;
+//!   writers append, readers read from arbitrary offsets, `fsync` incurs
+//!   a configurable latency (this is what makes the Binlog baseline in
+//!   Fig. 11 measurably slower);
+//! * **a page store** — the row store spills/loads 16 KiB pages;
+//! * **an object store** — column-index checkpoints (sealed packs, VID
+//!   map snapshots, locator snapshots) are persisted as named objects,
+//!   which is what new RO nodes load during scale-out (Fig. 14).
+//!
+//! All state is shared via `Arc`, so the RW node and every RO node in a
+//! simulated cluster literally share storage, like the real system.
+
+pub mod latency;
+pub mod stats;
+
+use bytes::Bytes;
+use imci_common::{Error, PageId, Result};
+use parking_lot::{Condvar, Mutex, RwLock};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+pub use latency::LatencyProfile;
+pub use stats::IoStats;
+
+/// A single append-only file (e.g. the REDO log).
+struct LogFile {
+    /// Contents; appends extend it. Kept as one Vec: our logs are
+    /// bounded by bench length and reads clone only the requested range.
+    data: Mutex<Vec<u8>>,
+    /// Bytes made durable by the last fsync.
+    synced_len: Mutex<u64>,
+    /// Signalled on every append so tail-readers can block.
+    grew: Condvar,
+}
+
+/// Handle to the simulated shared storage. Cheap to clone.
+#[derive(Clone)]
+pub struct PolarFs {
+    inner: Arc<FsInner>,
+}
+
+struct FsInner {
+    logs: RwLock<BTreeMap<String, Arc<LogFile>>>,
+    pages: RwLock<BTreeMap<(String, PageId), Bytes>>,
+    objects: RwLock<BTreeMap<String, Bytes>>,
+    latency: LatencyProfile,
+    stats: IoStats,
+}
+
+impl PolarFs {
+    /// Create a fresh volume with the given latency profile.
+    pub fn new(latency: LatencyProfile) -> PolarFs {
+        PolarFs {
+            inner: Arc::new(FsInner {
+                logs: RwLock::new(BTreeMap::new()),
+                pages: RwLock::new(BTreeMap::new()),
+                objects: RwLock::new(BTreeMap::new()),
+                latency,
+                stats: IoStats::default(),
+            }),
+        }
+    }
+
+    /// Create a volume with zero injected latency (unit tests).
+    pub fn instant() -> PolarFs {
+        PolarFs::new(LatencyProfile::zero())
+    }
+
+    /// I/O statistics counters.
+    pub fn stats(&self) -> &IoStats {
+        &self.inner.stats
+    }
+
+    /// The latency profile in force.
+    pub fn latency(&self) -> &LatencyProfile {
+        &self.inner.latency
+    }
+
+    fn log(&self, name: &str) -> Arc<LogFile> {
+        if let Some(f) = self.inner.logs.read().get(name) {
+            return f.clone();
+        }
+        let mut w = self.inner.logs.write();
+        w.entry(name.to_string())
+            .or_insert_with(|| {
+                Arc::new(LogFile {
+                    data: Mutex::new(Vec::new()),
+                    synced_len: Mutex::new(0),
+                    grew: Condvar::new(),
+                })
+            })
+            .clone()
+    }
+
+    // ---- append-only log files ----
+
+    /// Append `bytes` to log `name`; returns the offset of the first
+    /// written byte. Latency: per-append cost + per-KiB streaming cost.
+    pub fn append(&self, name: &str, bytes: &[u8]) -> u64 {
+        let f = self.log(name);
+        let off;
+        {
+            let mut data = f.data.lock();
+            off = data.len() as u64;
+            data.extend_from_slice(bytes);
+        }
+        f.grew.notify_all();
+        self.inner.stats.record_append(bytes.len());
+        self.inner.latency.append(bytes.len());
+        off
+    }
+
+    /// Current length of log `name` (0 if absent).
+    pub fn log_len(&self, name: &str) -> u64 {
+        self.log(name).data.lock().len() as u64
+    }
+
+    /// Force log `name` durable; models the fsync on the commit path.
+    pub fn fsync(&self, name: &str) {
+        let f = self.log(name);
+        {
+            let data = f.data.lock();
+            *f.synced_len.lock() = data.len() as u64;
+        }
+        self.inner.stats.record_fsync();
+        self.inner.latency.fsync();
+    }
+
+    /// Durable (fsynced) length of log `name`.
+    pub fn synced_len(&self, name: &str) -> u64 {
+        *self.log(name).synced_len.lock()
+    }
+
+    /// Read up to `max` bytes from `offset`; returns an owned copy.
+    /// Empty result means the reader caught up with the tail.
+    pub fn read_log(&self, name: &str, offset: u64, max: usize) -> Vec<u8> {
+        let f = self.log(name);
+        let data = f.data.lock();
+        let off = offset as usize;
+        if off >= data.len() {
+            return Vec::new();
+        }
+        let end = data.len().min(off + max);
+        let out = data[off..end].to_vec();
+        drop(data);
+        self.inner.stats.record_log_read(out.len());
+        self.inner.latency.read(out.len());
+        out
+    }
+
+    /// Block until log `name` grows beyond `offset` (with timeout), then
+    /// return its new length. Used by RO nodes tailing the REDO log —
+    /// this models the "RW broadcasts its up-to-date LSN" notification
+    /// (paper §5.1) without a real network.
+    pub fn wait_for_growth(
+        &self,
+        name: &str,
+        offset: u64,
+        timeout: std::time::Duration,
+    ) -> u64 {
+        let f = self.log(name);
+        let mut data = f.data.lock();
+        if (data.len() as u64) > offset {
+            return data.len() as u64;
+        }
+        let _ = f.grew.wait_for(&mut data, timeout);
+        data.len() as u64
+    }
+
+    // ---- page store ----
+
+    /// Persist a page image under `(space, page)`.
+    pub fn write_page(&self, space: &str, page: PageId, bytes: Bytes) {
+        self.inner
+            .pages
+            .write()
+            .insert((space.to_string(), page), bytes.clone());
+        self.inner.stats.record_page_write(bytes.len());
+        self.inner.latency.page_write();
+    }
+
+    /// Load a page image.
+    pub fn read_page(&self, space: &str, page: PageId) -> Result<Bytes> {
+        let out = self
+            .inner
+            .pages
+            .read()
+            .get(&(space.to_string(), page))
+            .cloned()
+            .ok_or_else(|| {
+                Error::PolarFs(format!("page {page} not found in space {space}"))
+            })?;
+        self.inner.stats.record_page_read(out.len());
+        self.inner.latency.page_read();
+        Ok(out)
+    }
+
+    /// Whether a page exists.
+    pub fn page_exists(&self, space: &str, page: PageId) -> bool {
+        self.inner
+            .pages
+            .read()
+            .contains_key(&(space.to_string(), page))
+    }
+
+    // ---- object store (checkpoints) ----
+
+    /// Store an object (overwrite allowed).
+    pub fn put_object(&self, key: &str, bytes: Bytes) {
+        self.inner
+            .objects
+            .write()
+            .insert(key.to_string(), bytes.clone());
+        self.inner.stats.record_object_put(bytes.len());
+        self.inner.latency.object_put(bytes.len());
+    }
+
+    /// Fetch an object.
+    pub fn get_object(&self, key: &str) -> Result<Bytes> {
+        let out = self
+            .inner
+            .objects
+            .read()
+            .get(key)
+            .cloned()
+            .ok_or_else(|| Error::PolarFs(format!("object {key} not found")))?;
+        self.inner.stats.record_object_get(out.len());
+        self.inner.latency.object_get(out.len());
+        Ok(out)
+    }
+
+    /// List object keys with a given prefix, sorted.
+    pub fn list_objects(&self, prefix: &str) -> Vec<String> {
+        self.inner
+            .objects
+            .read()
+            .range(prefix.to_string()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, _)| k.clone())
+            .collect()
+    }
+
+    /// Delete an object if present.
+    pub fn delete_object(&self, key: &str) {
+        self.inner.objects.write().remove(key);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn append_and_read_back() {
+        let fs = PolarFs::instant();
+        let o1 = fs.append("redo", b"hello");
+        let o2 = fs.append("redo", b" world");
+        assert_eq!(o1, 0);
+        assert_eq!(o2, 5);
+        assert_eq!(fs.read_log("redo", 0, 1024), b"hello world");
+        assert_eq!(fs.read_log("redo", 6, 1024), b"world");
+        assert_eq!(fs.read_log("redo", 100, 1024), Vec::<u8>::new());
+        assert_eq!(fs.log_len("redo"), 11);
+    }
+
+    #[test]
+    fn fsync_tracks_durable_prefix() {
+        let fs = PolarFs::instant();
+        fs.append("redo", b"abc");
+        assert_eq!(fs.synced_len("redo"), 0);
+        fs.fsync("redo");
+        assert_eq!(fs.synced_len("redo"), 3);
+        fs.append("redo", b"d");
+        assert_eq!(fs.synced_len("redo"), 3);
+        assert_eq!(fs.stats().fsyncs(), 1);
+    }
+
+    #[test]
+    fn page_store_roundtrip() {
+        let fs = PolarFs::instant();
+        let img = Bytes::from_static(b"page-image");
+        fs.write_page("t1", PageId(7), img.clone());
+        assert!(fs.page_exists("t1", PageId(7)));
+        assert!(!fs.page_exists("t2", PageId(7)));
+        assert_eq!(fs.read_page("t1", PageId(7)).unwrap(), img);
+        assert!(fs.read_page("t1", PageId(8)).is_err());
+    }
+
+    #[test]
+    fn object_store_roundtrip_and_listing() {
+        let fs = PolarFs::instant();
+        fs.put_object("ckpt/5/meta", Bytes::from_static(b"m"));
+        fs.put_object("ckpt/5/pack0", Bytes::from_static(b"p0"));
+        fs.put_object("other", Bytes::from_static(b"x"));
+        let keys = fs.list_objects("ckpt/5/");
+        assert_eq!(
+            keys,
+            vec!["ckpt/5/meta".to_string(), "ckpt/5/pack0".to_string()]
+        );
+        assert_eq!(
+            fs.get_object("ckpt/5/pack0").unwrap(),
+            Bytes::from_static(b"p0")
+        );
+        fs.delete_object("ckpt/5/meta");
+        assert!(fs.get_object("ckpt/5/meta").is_err());
+    }
+
+    #[test]
+    fn wait_for_growth_returns_quickly_when_data_present() {
+        let fs = PolarFs::instant();
+        fs.append("redo", b"xyz");
+        let len = fs.wait_for_growth("redo", 0, Duration::from_millis(10));
+        assert_eq!(len, 3);
+    }
+
+    #[test]
+    fn wait_for_growth_wakes_on_append() {
+        let fs = PolarFs::instant();
+        let fs2 = fs.clone();
+        let h = std::thread::spawn(move || {
+            fs2.wait_for_growth("redo", 0, Duration::from_secs(5))
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        fs.append("redo", b"grow");
+        assert_eq!(h.join().unwrap(), 4);
+    }
+
+    #[test]
+    fn shared_view_across_clones() {
+        let fs = PolarFs::instant();
+        let other = fs.clone();
+        fs.append("redo", b"shared");
+        assert_eq!(other.log_len("redo"), 6);
+    }
+}

@@ -1,0 +1,37 @@
+//! Update propagation: CALS + 2P-COFFER (paper §5).
+//!
+//! The pipeline that keeps an RO node's dual-format storage fresh:
+//!
+//! ```text
+//!   REDO log (shared storage)
+//!      │  reader thread (tails the log; CALS: entries ship pre-commit)
+//!      ▼
+//!   Phase-1 workers        ── hash(page_id) % N, conflict-free ──
+//!      │  apply page changes to the RO row replica,
+//!      │  reconstruct logical DMLs with old/new images
+//!      ▼
+//!   collector thread       ── re-sorts by LSN, fills transaction
+//!      │                      buffers, pre-commits large txns (§5.5)
+//!      ▼  (commit record seen → buffer becomes a committed txn)
+//!   Phase-2 dispatcher     ── hash(primary key) % M, conflict-free ──
+//!      ▼
+//!   Phase-2 workers        ── §4.2 DML on the column indexes,
+//!                             batch commit advances the watermark
+//! ```
+//!
+//! * [`buffer`] — transaction buffers and the large-transaction
+//!   pre-commit path;
+//! * [`pipeline`] — the threaded 2P-COFFER implementation;
+//! * [`sync`] — synchronous (single-threaded) replay used for node
+//!   bootstrap and for building checkpoints from a quiesced state;
+//! * [`metrics`] — counters the benches report (applied LSN, VD inputs).
+
+pub mod buffer;
+pub mod metrics;
+pub mod pipeline;
+pub mod sync;
+
+pub use buffer::{CommittedTxn, TxnBuffers, TxnOp};
+pub use metrics::ReplicationMetrics;
+pub use pipeline::{Pipeline, ReplicationConfig, ShipMode};
+pub use sync::{load_checkpoint_pages, replay_log_sync, take_checkpoint, ReplicaState};

@@ -1,0 +1,76 @@
+//! Replication pipeline counters and watermarks.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared metrics of one RO node's replication pipeline. Watermarks are
+/// what the proxy's consistency levels (paper §6.4) and the Fig. 14 LSN
+/// delay plot read.
+#[derive(Default, Debug)]
+pub struct ReplicationMetrics {
+    /// REDO entries read off shared storage.
+    pub entries_read: AtomicU64,
+    /// Logical DMLs reconstructed by Phase 1.
+    pub dmls_extracted: AtomicU64,
+    /// Transactions committed through Phase 2.
+    pub txns_committed: AtomicU64,
+    /// Transactions dropped by abort records.
+    pub txns_aborted: AtomicU64,
+    /// Phase-2 batches committed.
+    pub batches: AtomicU64,
+    /// Large-transaction pre-commits (§5.5).
+    pub precommits: AtomicU64,
+    /// Highest LSN read from the log (reader progress).
+    pub read_lsn: AtomicU64,
+    /// Highest commit-record LSN fully applied to the column store —
+    /// the node's **applied LSN** (§6.4).
+    pub applied_lsn: AtomicU64,
+    /// Highest VID visible to readers.
+    pub visible_vid: AtomicU64,
+}
+
+impl ReplicationMetrics {
+    /// Applied LSN (strong-consistency routing input).
+    pub fn applied_lsn(&self) -> u64 {
+        self.applied_lsn.load(Ordering::SeqCst)
+    }
+
+    /// Reader progress LSN.
+    pub fn read_lsn(&self) -> u64 {
+        self.read_lsn.load(Ordering::SeqCst)
+    }
+
+    /// Visible VID watermark.
+    pub fn visible_vid(&self) -> u64 {
+        self.visible_vid.load(Ordering::SeqCst)
+    }
+
+    /// One-line summary for bench output.
+    pub fn summary(&self) -> String {
+        format!(
+            "entries={} dmls={} committed={} aborted={} batches={} precommits={} read_lsn={} applied_lsn={}",
+            self.entries_read.load(Ordering::Relaxed),
+            self.dmls_extracted.load(Ordering::Relaxed),
+            self.txns_committed.load(Ordering::Relaxed),
+            self.txns_aborted.load(Ordering::Relaxed),
+            self.batches.load(Ordering::Relaxed),
+            self.precommits.load(Ordering::Relaxed),
+            self.read_lsn(),
+            self.applied_lsn(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_contains_counters() {
+        let m = ReplicationMetrics::default();
+        m.txns_committed.store(7, Ordering::Relaxed);
+        m.applied_lsn.store(42, Ordering::SeqCst);
+        let s = m.summary();
+        assert!(s.contains("committed=7"));
+        assert!(s.contains("applied_lsn=42"));
+    }
+}

@@ -1,0 +1,738 @@
+//! The threaded 2P-COFFER pipeline (paper §5.2–§5.4).
+//!
+//! Thread layout: 1 reader → N Phase-1 workers (page-partitioned) →
+//! 1 collector (LSN re-sort + transaction buffers) → 1 dispatcher →
+//! M Phase-2 workers (PK-partitioned) with per-batch barriers.
+//!
+//! Conflict freedom:
+//! * Phase 1: entries that touch the same page hash to the same worker
+//!   and arrive in LSN order; different pages never conflict.
+//! * Phase 2: ops with the same primary key hash to the same worker;
+//!   the dispatcher walks transactions in commit order, so two updates
+//!   of one row — even from different transactions — reach their worker
+//!   already ordered (the Fig. 6 example).
+
+use crate::buffer::{apply_txn_op, CommittedTxn, TxnBuffers};
+use crate::metrics::ReplicationMetrics;
+use crossbeam::channel::{bounded, Receiver, Sender};
+use imci_common::{fx_hash_u64, Tid, Vid};
+use imci_core::ColumnStore;
+use imci_wal::{LogReader, RedoEntry, RedoPayload};
+use polarfs_sim::PolarFs;
+use rowstore::{apply_entry, LogicalChange, RowEngine};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// When DML log entries become visible to the RO node (Fig. 11 / §5.1
+/// ablation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShipMode {
+    /// Commit-ahead log shipping: the reader tails the log to its very
+    /// end, consuming entries of still-uncommitted transactions.
+    #[default]
+    CommitAhead,
+    /// Strawman: only read up to the last durable commit point, so a
+    /// transaction's entries are parsed only after its commit fsync.
+    OnCommit,
+}
+
+/// Pipeline tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ReplicationConfig {
+    /// Phase-1 (page-grained) worker count.
+    pub phase1_workers: usize,
+    /// Phase-2 (row-grained) worker count.
+    pub phase2_workers: usize,
+    /// Transactions per Phase-2 batch commit.
+    pub batch_txns: usize,
+    /// §5.5 pre-commit threshold in DMLs per transaction.
+    pub large_txn_threshold: usize,
+    /// CALS on/off.
+    pub ship_mode: ShipMode,
+    /// Byte offset in the REDO log to start from (checkpoint cursor).
+    pub start_offset: u64,
+    /// Reader poll timeout when the log is idle.
+    pub poll_interval: Duration,
+}
+
+impl Default for ReplicationConfig {
+    fn default() -> ReplicationConfig {
+        ReplicationConfig {
+            phase1_workers: 2,
+            phase2_workers: 2,
+            batch_txns: 64,
+            large_txn_threshold: 8192,
+            ship_mode: ShipMode::CommitAhead,
+            start_offset: 0,
+            poll_interval: Duration::from_millis(1),
+        }
+    }
+}
+
+enum P1Msg {
+    Entry(Box<RedoEntry>, u64),
+    Shutdown,
+}
+
+enum Outcome {
+    Dml(Box<LogicalChange>),
+    Commit { tid: Tid, vid: Vid, lsn: u64 },
+    Abort { tid: Tid },
+    Noop,
+}
+
+enum ResultMsg {
+    Out { seq: u64, outcome: Outcome },
+    Done,
+}
+
+enum DispatchMsg {
+    Txn(CommittedTxn),
+    Shutdown,
+}
+
+enum P2Msg {
+    Op { vid: Vid, op: crate::buffer::TxnOp },
+    Barrier,
+    Shutdown,
+}
+
+/// A running replication pipeline for one RO node.
+pub struct Pipeline {
+    metrics: Arc<ReplicationMetrics>,
+    stop: Arc<AtomicBool>,
+    handles: Vec<JoinHandle<()>>,
+    /// Errors observed by workers (pipeline keeps running; benches
+    /// assert this stays 0).
+    errors: Arc<AtomicU64>,
+}
+
+impl Pipeline {
+    /// Start the pipeline: `engine` is this node's row replica, `store`
+    /// its column indexes.
+    pub fn start(
+        fs: PolarFs,
+        engine: Arc<RowEngine>,
+        store: Arc<ColumnStore>,
+        config: ReplicationConfig,
+    ) -> Pipeline {
+        let metrics = Arc::new(ReplicationMetrics::default());
+        let stop = Arc::new(AtomicBool::new(false));
+        let errors = Arc::new(AtomicU64::new(0));
+        let n1 = config.phase1_workers.max(1);
+        let n2 = config.phase2_workers.max(1);
+
+        let (result_tx, result_rx) = bounded::<ResultMsg>(16_384);
+        let mut p1_txs: Vec<Sender<P1Msg>> = Vec::with_capacity(n1);
+        let mut handles = Vec::new();
+
+        // ---- Phase-1 workers ----
+        for _ in 0..n1 {
+            let (tx, rx) = bounded::<P1Msg>(8_192);
+            p1_txs.push(tx);
+            let engine = engine.clone();
+            let out = result_tx.clone();
+            let errors = errors.clone();
+            handles.push(std::thread::spawn(move || {
+                phase1_worker(rx, engine, out, errors);
+            }));
+        }
+
+        // ---- reader ----
+        {
+            let fs = fs.clone();
+            let stop = stop.clone();
+            let metrics = metrics.clone();
+            let out = result_tx.clone();
+            let p1 = p1_txs.clone();
+            let cfg = config.clone();
+            handles.push(std::thread::spawn(move || {
+                reader_thread(fs, cfg, stop, metrics, p1, out);
+            }));
+        }
+        drop(result_tx);
+
+        // ---- dispatcher + Phase-2 workers ----
+        let (disp_tx, disp_rx) = bounded::<DispatchMsg>(4_096);
+        let (ack_tx, ack_rx) = bounded::<()>(n2 * 2);
+        let mut p2_txs: Vec<Sender<P2Msg>> = Vec::with_capacity(n2);
+        for _ in 0..n2 {
+            let (tx, rx) = bounded::<P2Msg>(8_192);
+            p2_txs.push(tx);
+            let store = store.clone();
+            let ack = ack_tx.clone();
+            let errors = errors.clone();
+            handles.push(std::thread::spawn(move || {
+                phase2_worker(rx, store, ack, errors);
+            }));
+        }
+        {
+            let store = store.clone();
+            let metrics = metrics.clone();
+            let batch = config.batch_txns.max(1);
+            handles.push(std::thread::spawn(move || {
+                dispatcher_thread(disp_rx, p2_txs, ack_rx, store, metrics, batch);
+            }));
+        }
+
+        // ---- collector ----
+        {
+            let metrics = metrics.clone();
+            let engine = engine.clone();
+            let store = store.clone();
+            let errors = errors.clone();
+            let threshold = config.large_txn_threshold;
+            let markers = n1 + 1; // workers + reader
+            handles.push(std::thread::spawn(move || {
+                collector_thread(
+                    result_rx, disp_tx, engine, store, metrics, errors, threshold, markers,
+                );
+            }));
+        }
+
+        Pipeline {
+            metrics,
+            stop,
+            handles,
+            errors,
+        }
+    }
+
+    /// Pipeline metrics (watermarks, counters).
+    pub fn metrics(&self) -> &Arc<ReplicationMetrics> {
+        &self.metrics
+    }
+
+    /// Worker errors observed so far (0 in a healthy run).
+    pub fn error_count(&self) -> u64 {
+        self.errors.load(Ordering::Relaxed)
+    }
+
+    /// Block until the node's applied LSN reaches `lsn` (true) or the
+    /// timeout expires (false).
+    pub fn wait_applied(&self, lsn: u64, timeout: Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        while self.metrics.applied_lsn() < lsn {
+            if std::time::Instant::now() > deadline {
+                return false;
+            }
+            std::thread::yield_now();
+        }
+        true
+    }
+
+    /// Stop and join all threads (drains what has been read; does not
+    /// wait for the RW to stop producing).
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn reader_thread(
+    fs: PolarFs,
+    cfg: ReplicationConfig,
+    stop: Arc<AtomicBool>,
+    metrics: Arc<ReplicationMetrics>,
+    p1: Vec<Sender<P1Msg>>,
+    results: Sender<ResultMsg>,
+) {
+    let mut reader = LogReader::new(fs.clone(), cfg.start_offset);
+    let mut seq = 0u64;
+    let n1 = p1.len() as u64;
+    loop {
+        // OnCommit strawman: cap reads at the durable commit point.
+        let entries = match cfg.ship_mode {
+            ShipMode::CommitAhead => reader.wait_and_read(cfg.poll_interval),
+            ShipMode::OnCommit => {
+                let cap = fs.synced_len(imci_wal::REDO_LOG_NAME);
+                if reader.offset() >= cap {
+                    std::thread::sleep(cfg.poll_interval);
+                    Vec::new()
+                } else {
+                    reader.read_until(cap)
+                }
+            }
+        };
+        if entries.is_empty() {
+            if stop.load(Ordering::SeqCst) {
+                break;
+            }
+            continue;
+        }
+        for e in entries {
+            metrics.entries_read.fetch_add(1, Ordering::Relaxed);
+            metrics.read_lsn.fetch_max(e.lsn.get(), Ordering::SeqCst);
+            match &e.payload {
+                RedoPayload::Commit { commit_vid } => {
+                    let _ = results.send(ResultMsg::Out {
+                        seq,
+                        outcome: Outcome::Commit {
+                            tid: e.tid,
+                            vid: *commit_vid,
+                            lsn: e.lsn.get(),
+                        },
+                    });
+                }
+                RedoPayload::Abort => {
+                    let _ = results.send(ResultMsg::Out {
+                        seq,
+                        outcome: Outcome::Abort { tid: e.tid },
+                    });
+                }
+                _ => {
+                    let w = (fx_hash_u64(e.page_id.get()) % n1) as usize;
+                    let _ = p1[w].send(P1Msg::Entry(Box::new(e), seq));
+                }
+            }
+            seq += 1;
+        }
+    }
+    for tx in &p1 {
+        let _ = tx.send(P1Msg::Shutdown);
+    }
+    let _ = results.send(ResultMsg::Done);
+}
+
+fn phase1_worker(
+    rx: Receiver<P1Msg>,
+    engine: Arc<RowEngine>,
+    out: Sender<ResultMsg>,
+    errors: Arc<AtomicU64>,
+) {
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            P1Msg::Entry(e, seq) => {
+                let outcome = match apply_entry(&engine, &e) {
+                    Ok(Some(change)) => Outcome::Dml(Box::new(change)),
+                    Ok(None) => Outcome::Noop,
+                    Err(_) => {
+                        errors.fetch_add(1, Ordering::Relaxed);
+                        Outcome::Noop
+                    }
+                };
+                let _ = out.send(ResultMsg::Out { seq, outcome });
+            }
+            P1Msg::Shutdown => break,
+        }
+    }
+    let _ = out.send(ResultMsg::Done);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn collector_thread(
+    rx: Receiver<ResultMsg>,
+    disp: Sender<DispatchMsg>,
+    engine: Arc<RowEngine>,
+    store: Arc<ColumnStore>,
+    metrics: Arc<ReplicationMetrics>,
+    errors: Arc<AtomicU64>,
+    large_txn_threshold: usize,
+    mut done_markers: usize,
+) {
+    let mut reorder: BTreeMap<u64, Outcome> = BTreeMap::new();
+    let mut next_seq = 0u64;
+    let mut bufs = TxnBuffers::new(large_txn_threshold);
+    while done_markers > 0 {
+        let msg = match rx.recv() {
+            Ok(m) => m,
+            Err(_) => break,
+        };
+        match msg {
+            ResultMsg::Done => {
+                done_markers -= 1;
+            }
+            ResultMsg::Out { seq, outcome } => {
+                reorder.insert(seq, outcome);
+            }
+        }
+        // Drain the contiguous prefix in log order (the §5.4 LSN sort).
+        while let Some(outcome) = reorder.remove(&next_seq) {
+            next_seq += 1;
+            match outcome {
+                Outcome::Noop => {}
+                Outcome::Dml(change) => {
+                    metrics.dmls_extracted.fetch_add(1, Ordering::Relaxed);
+                    // Lazily pick up new tables (DDL since node start).
+                    if store.index(change.table_id).is_err() {
+                        let _ = engine.refresh_catalog();
+                        if let Ok(rt) = engine.table_by_id(change.table_id) {
+                            if rt.schema.has_column_index() {
+                                store.create_index(&rt.schema);
+                            }
+                        }
+                    }
+                    if bufs.add_dml(*change, &store).is_err() {
+                        errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                    metrics
+                        .precommits
+                        .store(bufs.precommits, Ordering::Relaxed);
+                }
+                Outcome::Commit { tid, vid, lsn } => {
+                    if let Some(txn) = bufs.commit(tid, vid, imci_common::Lsn(lsn)) {
+                        let _ = disp.send(DispatchMsg::Txn(txn));
+                    } else {
+                        // Transaction with no column-indexed DMLs: still
+                        // advances the applied watermarks via an empty txn.
+                        let _ = disp.send(DispatchMsg::Txn(CommittedTxn {
+                            tid,
+                            vid,
+                            commit_lsn: imci_common::Lsn(lsn),
+                            ops: Vec::new(),
+                        }));
+                    }
+                }
+                Outcome::Abort { tid } => {
+                    metrics.txns_aborted.fetch_add(1, Ordering::Relaxed);
+                    bufs.abort(tid);
+                }
+            }
+        }
+    }
+    let _ = disp.send(DispatchMsg::Shutdown);
+}
+
+fn dispatcher_thread(
+    rx: Receiver<DispatchMsg>,
+    p2: Vec<Sender<P2Msg>>,
+    acks: Receiver<()>,
+    store: Arc<ColumnStore>,
+    metrics: Arc<ReplicationMetrics>,
+    batch_txns: usize,
+) {
+    let n2 = p2.len() as u64;
+    let mut shutdown = false;
+    while !shutdown {
+        // Collect a batch: block for the first txn, then drain greedily.
+        let mut batch: Vec<CommittedTxn> = Vec::with_capacity(batch_txns);
+        match rx.recv() {
+            Ok(DispatchMsg::Txn(t)) => batch.push(t),
+            Ok(DispatchMsg::Shutdown) | Err(_) => break,
+        }
+        while batch.len() < batch_txns {
+            match rx.try_recv() {
+                Ok(DispatchMsg::Txn(t)) => batch.push(t),
+                Ok(DispatchMsg::Shutdown) => {
+                    shutdown = true;
+                    break;
+                }
+                Err(_) => break,
+            }
+        }
+        let max_vid = batch.iter().map(|t| t.vid.get()).max().unwrap_or(0);
+        let last_lsn = batch.iter().map(|t| t.commit_lsn.get()).max().unwrap_or(0);
+        let n_txns = batch.len() as u64;
+        // Row-by-row dispatch in commit order (§5.4).
+        for txn in batch {
+            for op in txn.ops {
+                let w = (fx_hash_u64(op.pk() as u64) % n2) as usize;
+                let _ = p2[w].send(P2Msg::Op { vid: txn.vid, op });
+            }
+        }
+        // Batch commit: barrier, then publish the new watermarks.
+        for tx in &p2 {
+            let _ = tx.send(P2Msg::Barrier);
+        }
+        for _ in 0..p2.len() {
+            let _ = acks.recv();
+        }
+        store.advance_all(Vid(max_vid));
+        metrics.visible_vid.fetch_max(max_vid, Ordering::SeqCst);
+        metrics.applied_lsn.fetch_max(last_lsn, Ordering::SeqCst);
+        metrics.txns_committed.fetch_add(n_txns, Ordering::Relaxed);
+        metrics.batches.fetch_add(1, Ordering::Relaxed);
+    }
+    for tx in &p2 {
+        let _ = tx.send(P2Msg::Shutdown);
+    }
+}
+
+fn phase2_worker(
+    rx: Receiver<P2Msg>,
+    store: Arc<ColumnStore>,
+    ack: Sender<()>,
+    errors: Arc<AtomicU64>,
+) {
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            P2Msg::Op { vid, op } => {
+                if apply_txn_op(&store, vid, &op).is_err() {
+                    errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            P2Msg::Barrier => {
+                let _ = ack.send(());
+            }
+            P2Msg::Shutdown => break,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imci_common::{ColumnDef, DataType, IndexDef, IndexKind, Value};
+    use imci_wal::{LogWriter, PropagationMode};
+
+    fn table_parts() -> (Vec<ColumnDef>, Vec<IndexDef>) {
+        (
+            vec![
+                ColumnDef::not_null("id", DataType::Int),
+                ColumnDef::new("v", DataType::Int),
+                ColumnDef::new("s", DataType::Str),
+            ],
+            vec![
+                IndexDef {
+                    kind: IndexKind::Primary,
+                    name: "PRIMARY".into(),
+                    columns: vec![0],
+                },
+                IndexDef {
+                    kind: IndexKind::Column,
+                    name: "ci".into(),
+                    columns: vec![0, 1, 2],
+                },
+            ],
+        )
+    }
+
+    fn setup() -> (PolarFs, Arc<RowEngine>) {
+        let fs = PolarFs::instant();
+        let log = LogWriter::new(fs.clone(), PropagationMode::ReuseRedo);
+        let rw = RowEngine::new_rw(fs.clone(), log, 1 << 20);
+        let (cols, idxs) = table_parts();
+        rw.create_table("t", cols, idxs).unwrap();
+        (fs, rw)
+    }
+
+    fn start_ro(fs: &PolarFs, cfg: ReplicationConfig) -> (Pipeline, Arc<ColumnStore>) {
+        let ro_engine = RowEngine::new_replica(fs.clone(), 1 << 20);
+        ro_engine.refresh_catalog().unwrap();
+        let store = Arc::new(ColumnStore::new(1024));
+        for name in ro_engine.table_names() {
+            let rt = ro_engine.table(&name).unwrap();
+            if rt.schema.has_column_index() {
+                store.create_index(&rt.schema);
+            }
+        }
+        let p = Pipeline::start(fs.clone(), ro_engine, store.clone(), cfg);
+        (p, store)
+    }
+
+    #[test]
+    fn end_to_end_insert_update_delete() {
+        let (fs, rw) = setup();
+        let (pipe, store) = start_ro(&fs, ReplicationConfig::default());
+
+        let mut txn = rw.begin();
+        for pk in 0..500i64 {
+            rw.insert(
+                &mut txn,
+                "t",
+                vec![Value::Int(pk), Value::Int(pk), Value::Str(format!("r{pk}"))],
+            )
+            .unwrap();
+        }
+        rw.commit(txn);
+        let mut txn = rw.begin();
+        for pk in (0..500i64).step_by(2) {
+            rw.update(
+                &mut txn,
+                "t",
+                pk,
+                vec![Value::Int(pk), Value::Int(-pk), Value::Str("u".into())],
+            )
+            .unwrap();
+        }
+        for pk in (1..500i64).step_by(10) {
+            rw.delete(&mut txn, "t", pk).unwrap();
+        }
+        rw.commit(txn);
+        let target = rw.log().unwrap().written_lsn().get();
+        assert!(
+            pipe.wait_applied(target, Duration::from_secs(20)),
+            "pipeline failed to catch up: {}",
+            pipe.metrics().summary()
+        );
+        assert_eq!(pipe.error_count(), 0);
+
+        let idx = store.index(imci_common::TableId(1)).unwrap();
+        let snap = idx.snapshot();
+        assert_eq!(snap.get_by_pk(2).unwrap()[1], Value::Int(-2));
+        assert_eq!(snap.get_by_pk(3).unwrap()[1], Value::Int(3));
+        assert!(snap.get_by_pk(1).is_none(), "deleted row invisible");
+        assert!(snap.get_by_pk(11).is_none());
+        pipe.stop();
+    }
+
+    #[test]
+    fn aborted_txns_never_reach_column_store() {
+        let (fs, rw) = setup();
+        let (pipe, store) = start_ro(&fs, ReplicationConfig::default());
+        let mut good = rw.begin();
+        rw.insert(
+            &mut good,
+            "t",
+            vec![Value::Int(1), Value::Int(1), Value::Null],
+        )
+        .unwrap();
+        rw.commit(good);
+        let mut bad = rw.begin();
+        rw.insert(
+            &mut bad,
+            "t",
+            vec![Value::Int(2), Value::Int(2), Value::Null],
+        )
+        .unwrap();
+        rw.update(
+            &mut bad,
+            "t",
+            1,
+            vec![Value::Int(1), Value::Int(666), Value::Null],
+        )
+        .unwrap();
+        rw.abort(bad).unwrap();
+        let mut last = rw.begin();
+        rw.insert(
+            &mut last,
+            "t",
+            vec![Value::Int(3), Value::Int(3), Value::Null],
+        )
+        .unwrap();
+        rw.commit(last);
+
+        let target = rw.log().unwrap().written_lsn().get();
+        assert!(pipe.wait_applied(target, Duration::from_secs(20)));
+        let idx = store.index(imci_common::TableId(1)).unwrap();
+        let snap = idx.snapshot();
+        assert_eq!(snap.get_by_pk(1).unwrap()[1], Value::Int(1), "abort undone");
+        assert!(snap.get_by_pk(2).is_none());
+        assert!(snap.get_by_pk(3).is_some());
+        assert_eq!(pipe.error_count(), 0);
+        pipe.stop();
+    }
+
+    #[test]
+    fn concurrent_same_row_updates_stay_ordered() {
+        // The Fig. 6 scenario: different transactions update the same
+        // row; PK-hash dispatch must serialize them in commit order.
+        let (fs, rw) = setup();
+        let (pipe, store) = start_ro(
+            &fs,
+            ReplicationConfig {
+                phase1_workers: 4,
+                phase2_workers: 4,
+                batch_txns: 8,
+                ..ReplicationConfig::default()
+            },
+        );
+        let mut txn = rw.begin();
+        rw.insert(
+            &mut txn,
+            "t",
+            vec![Value::Int(1), Value::Int(0), Value::Null],
+        )
+        .unwrap();
+        rw.commit(txn);
+        for i in 1..=200i64 {
+            let mut txn = rw.begin();
+            rw.update(
+                &mut txn,
+                "t",
+                1,
+                vec![Value::Int(1), Value::Int(i), Value::Null],
+            )
+            .unwrap();
+            rw.commit(txn);
+        }
+        let target = rw.log().unwrap().written_lsn().get();
+        assert!(pipe.wait_applied(target, Duration::from_secs(20)));
+        let idx = store.index(imci_common::TableId(1)).unwrap();
+        assert_eq!(
+            idx.snapshot().get_by_pk(1).unwrap()[1],
+            Value::Int(200),
+            "final version must be the last committed"
+        );
+        assert_eq!(pipe.error_count(), 0);
+        pipe.stop();
+    }
+
+    #[test]
+    fn large_txn_precommit_through_pipeline() {
+        let (fs, rw) = setup();
+        let (pipe, store) = start_ro(
+            &fs,
+            ReplicationConfig {
+                large_txn_threshold: 50,
+                ..ReplicationConfig::default()
+            },
+        );
+        let mut txn = rw.begin();
+        for pk in 0..300i64 {
+            rw.insert(
+                &mut txn,
+                "t",
+                vec![Value::Int(pk), Value::Int(pk), Value::Null],
+            )
+            .unwrap();
+        }
+        rw.commit(txn);
+        let target = rw.log().unwrap().written_lsn().get();
+        assert!(pipe.wait_applied(target, Duration::from_secs(20)));
+        let m = pipe.metrics();
+        assert!(
+            m.precommits.load(Ordering::Relaxed) >= 1,
+            "large txn must trigger pre-commit"
+        );
+        let idx = store.index(imci_common::TableId(1)).unwrap();
+        let snap = idx.snapshot();
+        for pk in [0i64, 49, 50, 299] {
+            assert!(snap.get_by_pk(pk).is_some(), "pk {pk} visible");
+        }
+        assert_eq!(pipe.error_count(), 0);
+        pipe.stop();
+    }
+
+    #[test]
+    fn row_replica_also_converges() {
+        let (fs, rw) = setup();
+        let ro_engine = RowEngine::new_replica(fs.clone(), 1 << 20);
+        ro_engine.refresh_catalog().unwrap();
+        let store = Arc::new(ColumnStore::new(1024));
+        for name in ro_engine.table_names() {
+            let rt = ro_engine.table(&name).unwrap();
+            store.create_index(&rt.schema);
+        }
+        let pipe = Pipeline::start(
+            fs.clone(),
+            ro_engine.clone(),
+            store,
+            ReplicationConfig::default(),
+        );
+        let mut txn = rw.begin();
+        for pk in 0..100i64 {
+            rw.insert(
+                &mut txn,
+                "t",
+                vec![Value::Int(pk), Value::Int(pk), Value::Null],
+            )
+            .unwrap();
+        }
+        rw.commit(txn);
+        let target = rw.log().unwrap().written_lsn().get();
+        assert!(pipe.wait_applied(target, Duration::from_secs(20)));
+        // Phase 1 maintained the row replica pages too.
+        assert_eq!(ro_engine.row_count("t").unwrap(), 100);
+        assert_eq!(
+            ro_engine.get_row("t", 42).unwrap().unwrap().values[1],
+            Value::Int(42)
+        );
+        pipe.stop();
+    }
+}

@@ -1,0 +1,658 @@
+//! The row storage engine: catalog + DML + recovery entry points.
+//!
+//! One [`RowEngine`] instance is the storage engine of one node. On the
+//! RW node it carries a [`LogWriter`] and emits REDO for every change;
+//! on RO nodes it runs unlogged and is mutated exclusively by Phase-1
+//! replay ([`crate::apply`]), making it a physical replica of the RW
+//! row store ("PolarDB-IMCI lets RO nodes maintain the buffer pool of
+//! the row store like RW", paper §5.3).
+
+use crate::btree::{BTree, RedoCtx};
+use crate::bufferpool::BufferPool;
+use crate::table::TableRt;
+use crate::txn::{Txn, TxnManager, UndoOp};
+use imci_common::{
+    DataType, Error, FxHashMap, Result, Row, Schema, TableId, Value, Vid, SYSTEM_TID,
+};
+use imci_wal::{BinlogEvent, BinlogKind, LogWriter, PropagationMode};
+use parking_lot::RwLock;
+use polarfs_sim::PolarFs;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Object-store key of the persisted catalog.
+pub const CATALOG_KEY: &str = "catalog";
+
+/// A node's row storage engine.
+pub struct RowEngine {
+    fs: PolarFs,
+    bp: Arc<BufferPool>,
+    page_alloc: Arc<AtomicU64>,
+    tables: RwLock<FxHashMap<String, Arc<TableRt>>>,
+    tables_by_id: RwLock<FxHashMap<TableId, Arc<TableRt>>>,
+    log: Option<Arc<LogWriter>>,
+    /// Transaction manager (meaningful on the RW node).
+    pub txns: TxnManager,
+    next_table_id: AtomicU64,
+}
+
+impl RowEngine {
+    /// Create the RW-node engine with REDO logging attached.
+    pub fn new_rw(fs: PolarFs, log: Arc<LogWriter>, bp_capacity: usize) -> Arc<RowEngine> {
+        Arc::new(RowEngine {
+            bp: BufferPool::new(fs.clone(), bp_capacity),
+            fs,
+            page_alloc: Arc::new(AtomicU64::new(1)),
+            tables: RwLock::new(FxHashMap::default()),
+            tables_by_id: RwLock::new(FxHashMap::default()),
+            txns: TxnManager::new(Some(log.clone())),
+            log: Some(log),
+            next_table_id: AtomicU64::new(1),
+        })
+    }
+
+    /// Create an RO-node replica engine (no logging; mutated by replay).
+    pub fn new_replica(fs: PolarFs, bp_capacity: usize) -> Arc<RowEngine> {
+        Arc::new(RowEngine {
+            bp: BufferPool::new(fs.clone(), bp_capacity),
+            fs,
+            page_alloc: Arc::new(AtomicU64::new(1)),
+            tables: RwLock::new(FxHashMap::default()),
+            tables_by_id: RwLock::new(FxHashMap::default()),
+            txns: TxnManager::new(None),
+            log: None,
+            next_table_id: AtomicU64::new(1),
+        })
+    }
+
+    /// Shared storage handle.
+    pub fn fs(&self) -> &PolarFs {
+        &self.fs
+    }
+
+    /// This node's buffer pool.
+    pub fn buffer_pool(&self) -> &Arc<BufferPool> {
+        &self.bp
+    }
+
+    /// The attached log writer (RW only).
+    pub fn log(&self) -> Option<&Arc<LogWriter>> {
+        self.log.as_ref()
+    }
+
+    fn ctx_for(&self, tid: imci_common::Tid, table_id: TableId) -> RedoCtx {
+        RedoCtx {
+            log: self.log.clone(),
+            tid,
+            table_id,
+        }
+    }
+
+    // ---- catalog ----
+
+    /// Create a table (DDL). Emits creation SMO records, persists the
+    /// catalog to shared storage, and flushes the initial pages so any
+    /// node can open the table.
+    pub fn create_table(
+        &self,
+        name: &str,
+        columns: Vec<imci_common::ColumnDef>,
+        indexes: Vec<imci_common::IndexDef>,
+    ) -> Result<Arc<TableRt>> {
+        let lname = name.to_ascii_lowercase();
+        if self.tables.read().contains_key(&lname) {
+            return Err(Error::Catalog(format!("table {lname} already exists")));
+        }
+        let table_id = TableId(self.next_table_id.fetch_add(1, Ordering::SeqCst));
+        let schema = Schema::new(table_id, lname.clone(), columns, indexes)?;
+        let ctx = self.ctx_for(SYSTEM_TID, table_id);
+        let tree = BTree::create(self.bp.clone(), self.page_alloc.clone(), &ctx)?;
+        let rt = Arc::new(TableRt::new(schema, tree));
+        self.tables.write().insert(lname, rt.clone());
+        self.tables_by_id.write().insert(table_id, rt.clone());
+        self.persist_catalog();
+        Ok(rt)
+    }
+
+    /// Register an already-existing table (used by replicas during
+    /// catalog refresh and by checkpoint loading).
+    pub fn register_table(&self, schema: Schema, meta_page: imci_common::PageId) {
+        let rt = Arc::new(TableRt::new(
+            schema.clone(),
+            BTree::open(self.bp.clone(), self.page_alloc.clone(), meta_page),
+        ));
+        self.tables.write().insert(schema.name.clone(), rt.clone());
+        self.tables_by_id.write().insert(schema.table_id, rt);
+    }
+
+    /// Replace a table's schema in place (online DDL such as
+    /// `ALTER TABLE ... ADD COLUMN INDEX`, §3.3). Runtime state (tree,
+    /// secondaries, counters) is preserved; the catalog is re-persisted
+    /// so replicas pick the change up on refresh.
+    pub fn replace_table_schema(&self, name: &str, schema: Schema) -> Result<()> {
+        let old = self.table(name)?;
+        let new_rt = Arc::new(TableRt::new(
+            schema.clone(),
+            BTree::open(
+                self.bp.clone(),
+                self.page_alloc.clone(),
+                old.tree.meta_page(),
+            ),
+        ));
+        new_rt
+            .row_counter
+            .store(old.approx_rows(), Ordering::SeqCst);
+        new_rt.rebuild_secondaries()?;
+        self.tables
+            .write()
+            .insert(schema.name.clone(), new_rt.clone());
+        self.tables_by_id.write().insert(schema.table_id, new_rt);
+        self.persist_catalog();
+        Ok(())
+    }
+
+    /// Look up a table by name.
+    pub fn table(&self, name: &str) -> Result<Arc<TableRt>> {
+        self.tables
+            .read()
+            .get(&name.to_ascii_lowercase())
+            .cloned()
+            .ok_or_else(|| Error::Catalog(format!("unknown table {name}")))
+    }
+
+    /// Look up a table by id.
+    pub fn table_by_id(&self, id: TableId) -> Result<Arc<TableRt>> {
+        self.tables_by_id
+            .read()
+            .get(&id)
+            .cloned()
+            .ok_or_else(|| Error::Catalog(format!("unknown table id {id}")))
+    }
+
+    /// All table names.
+    pub fn table_names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.tables.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    fn persist_catalog(&self) {
+        let mut out = String::new();
+        for rt in self.tables.read().values() {
+            let s = &rt.schema;
+            out.push_str(&format!(
+                "table\t{}\t{}\t{}\n",
+                s.table_id.get(),
+                s.name,
+                rt.tree.meta_page().get()
+            ));
+            for c in &s.columns {
+                out.push_str(&format!("col\t{}\t{}\t{}\n", c.name, c.ty, c.nullable));
+            }
+            for i in &s.indexes {
+                let kind = match i.kind {
+                    imci_common::IndexKind::Primary => "primary",
+                    imci_common::IndexKind::Secondary => "secondary",
+                    imci_common::IndexKind::Column => "column",
+                };
+                let cols: Vec<String> =
+                    i.columns.iter().map(|c| c.to_string()).collect();
+                out.push_str(&format!(
+                    "idx\t{}\t{}\t{}\n",
+                    kind,
+                    i.name,
+                    cols.join(",")
+                ));
+            }
+            out.push_str("end\n");
+        }
+        out.push_str(&format!(
+            "alloc\t{}\t{}\n",
+            self.page_alloc.load(Ordering::SeqCst),
+            self.next_table_id.load(Ordering::SeqCst)
+        ));
+        self.fs.put_object(CATALOG_KEY, bytes::Bytes::from(out));
+    }
+
+    /// (Re)load the catalog from shared storage. Newly-seen tables are
+    /// registered; existing ones are kept (their runtime state stays).
+    pub fn refresh_catalog(&self) -> Result<()> {
+        let bytes = match self.fs.get_object(CATALOG_KEY) {
+            Ok(b) => b,
+            Err(_) => return Ok(()), // no tables yet
+        };
+        let text = std::str::from_utf8(&bytes)
+            .map_err(|e| Error::Catalog(format!("catalog not utf8: {e}")))?;
+        let mut lines = text.lines().peekable();
+        while let Some(line) = lines.next() {
+            let parts: Vec<&str> = line.split('\t').collect();
+            match parts[0] {
+                "table" => {
+                    let id = TableId(parts[1].parse().map_err(|_| {
+                        Error::Catalog("bad table id in catalog".into())
+                    })?);
+                    let name = parts[2].to_string();
+                    let meta = imci_common::PageId(parts[3].parse().map_err(|_| {
+                        Error::Catalog("bad meta page in catalog".into())
+                    })?);
+                    let mut columns = Vec::new();
+                    let mut indexes = Vec::new();
+                    for l in lines.by_ref() {
+                        let p: Vec<&str> = l.split('\t').collect();
+                        match p[0] {
+                            "col" => columns.push(imci_common::ColumnDef {
+                                name: p[1].to_string(),
+                                ty: DataType::parse_sql(p[2])?,
+                                nullable: p[3] == "true",
+                            }),
+                            "idx" => {
+                                let kind = match p[1] {
+                                    "primary" => imci_common::IndexKind::Primary,
+                                    "secondary" => imci_common::IndexKind::Secondary,
+                                    _ => imci_common::IndexKind::Column,
+                                };
+                                let cols: Vec<usize> = if p[3].is_empty() {
+                                    Vec::new()
+                                } else {
+                                    p[3].split(',')
+                                        .map(|c| c.parse().unwrap_or(0))
+                                        .collect()
+                                };
+                                indexes.push(imci_common::IndexDef {
+                                    kind,
+                                    name: p[2].to_string(),
+                                    columns: cols,
+                                });
+                            }
+                            "end" => break,
+                            other => {
+                                return Err(Error::Catalog(format!(
+                                    "bad catalog line: {other}"
+                                )))
+                            }
+                        }
+                    }
+                    if !self.tables.read().contains_key(&name) {
+                        let schema = Schema::new(id, name, columns, indexes)?;
+                        self.register_table(schema, meta);
+                        let nid = self.next_table_id.load(Ordering::SeqCst);
+                        if id.get() >= nid {
+                            self.next_table_id.store(id.get() + 1, Ordering::SeqCst);
+                        }
+                    }
+                }
+                "alloc" => {
+                    let pa: u64 = parts[1].parse().unwrap_or(1);
+                    self.page_alloc.fetch_max(pa, Ordering::SeqCst);
+                }
+                "" => {}
+                other => {
+                    return Err(Error::Catalog(format!("bad catalog line: {other}")))
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ---- DML ----
+
+    fn maybe_binlog(&self, ev: BinlogEvent) {
+        if let Some(log) = &self.log {
+            if log.mode() == PropagationMode::Binlog {
+                log.binlog().log_event(&ev);
+            }
+        }
+    }
+
+    /// Insert a row.
+    pub fn insert(&self, txn: &mut Txn, table: &str, values: Vec<Value>) -> Result<()> {
+        let rt = self.table(table)?;
+        rt.schema.validate_row(&values)?;
+        let pk = rt.schema.pk_of(&values)?;
+        let row = Row::new(values);
+        let image = row.encode();
+        let ctx = self.ctx_for(txn.tid, rt.schema.table_id);
+        {
+            let _g = rt.write_lock.lock();
+            rt.tree.insert(pk, image, &ctx)?;
+            rt.sec_add(pk, &row.values);
+            rt.count_insert();
+        }
+        txn.undo.push(UndoOp::Insert {
+            table: rt.schema.table_id,
+            pk,
+        });
+        self.maybe_binlog(BinlogEvent {
+            tid: txn.tid,
+            table_id: rt.schema.table_id,
+            kind: BinlogKind::Insert { row },
+        });
+        Ok(())
+    }
+
+    /// Replace the full row at `pk`. The primary key must not change.
+    pub fn update(
+        &self,
+        txn: &mut Txn,
+        table: &str,
+        pk: i64,
+        new_values: Vec<Value>,
+    ) -> Result<()> {
+        let rt = self.table(table)?;
+        rt.schema.validate_row(&new_values)?;
+        if rt.schema.pk_of(&new_values)? != pk {
+            return Err(Error::Unsupported(
+                "primary key updates are not supported; delete + insert instead".into(),
+            ));
+        }
+        let new_row = Row::new(new_values);
+        let ctx = self.ctx_for(txn.tid, rt.schema.table_id);
+        let old_image;
+        {
+            let _g = rt.write_lock.lock();
+            old_image = rt.tree.update(pk, new_row.encode(), &ctx)?;
+            let old_row = Row::decode(&old_image)?;
+            rt.sec_update(pk, &old_row.values, &new_row.values);
+            txn.undo.push(UndoOp::Update {
+                table: rt.schema.table_id,
+                pk,
+                old: old_row,
+            });
+        }
+        self.maybe_binlog(BinlogEvent {
+            tid: txn.tid,
+            table_id: rt.schema.table_id,
+            kind: BinlogKind::Update { pk, row: new_row },
+        });
+        Ok(())
+    }
+
+    /// Delete the row at `pk`.
+    pub fn delete(&self, txn: &mut Txn, table: &str, pk: i64) -> Result<()> {
+        let rt = self.table(table)?;
+        let ctx = self.ctx_for(txn.tid, rt.schema.table_id);
+        {
+            let _g = rt.write_lock.lock();
+            let old_image = rt.tree.delete(pk, &ctx)?;
+            let old_row = Row::decode(&old_image)?;
+            rt.sec_remove(pk, &old_row.values);
+            rt.count_delete();
+            txn.undo.push(UndoOp::Delete {
+                table: rt.schema.table_id,
+                pk,
+                old: old_row,
+            });
+        }
+        self.maybe_binlog(BinlogEvent {
+            tid: txn.tid,
+            table_id: rt.schema.table_id,
+            kind: BinlogKind::Delete { pk },
+        });
+        Ok(())
+    }
+
+    /// Begin a transaction.
+    pub fn begin(&self) -> Txn {
+        self.txns.begin()
+    }
+
+    /// Commit a transaction; returns its commit sequence number.
+    pub fn commit(&self, txn: Txn) -> Vid {
+        self.txns.commit(txn)
+    }
+
+    /// Abort: physically roll back with SYSTEM_TID page changes (so RO
+    /// replicas roll back too), then log the abort record.
+    pub fn abort(&self, txn: Txn) -> Result<()> {
+        for op in txn.undo.iter().rev() {
+            match op {
+                UndoOp::Insert { table, pk } => {
+                    let rt = self.table_by_id(*table)?;
+                    let ctx = self.ctx_for(SYSTEM_TID, *table);
+                    let _g = rt.write_lock.lock();
+                    let old = rt.tree.delete(*pk, &ctx)?;
+                    let old_row = Row::decode(&old)?;
+                    rt.sec_remove(*pk, &old_row.values);
+                    rt.count_delete();
+                }
+                UndoOp::Update { table, pk, old } => {
+                    let rt = self.table_by_id(*table)?;
+                    let ctx = self.ctx_for(SYSTEM_TID, *table);
+                    let _g = rt.write_lock.lock();
+                    let cur = rt.tree.update(*pk, old.encode(), &ctx)?;
+                    let cur_row = Row::decode(&cur)?;
+                    rt.sec_update(*pk, &cur_row.values, &old.values);
+                }
+                UndoOp::Delete { table, pk, old } => {
+                    let rt = self.table_by_id(*table)?;
+                    let ctx = self.ctx_for(SYSTEM_TID, *table);
+                    let _g = rt.write_lock.lock();
+                    rt.tree.insert(*pk, old.encode(), &ctx)?;
+                    rt.sec_add(*pk, &old.values);
+                    rt.count_insert();
+                }
+            }
+        }
+        self.txns.log_abort(txn.tid);
+        Ok(())
+    }
+
+    // ---- reads ----
+
+    /// Point lookup by primary key.
+    pub fn get_row(&self, table: &str, pk: i64) -> Result<Option<Row>> {
+        let rt = self.table(table)?;
+        match rt.tree.get(pk)? {
+            Some(img) => Ok(Some(Row::decode(&img)?)),
+            None => Ok(None),
+        }
+    }
+
+    /// Scan rows with `lo <= pk <= hi`.
+    pub fn scan(
+        &self,
+        table: &str,
+        lo: i64,
+        hi: i64,
+        mut f: impl FnMut(i64, Row),
+    ) -> Result<usize> {
+        let rt = self.table(table)?;
+        rt.tree.scan_range(lo, hi, |pk, img| {
+            if let Ok(row) = Row::decode(img) {
+                f(pk, row);
+            }
+        })
+    }
+
+    /// Total rows in a table.
+    pub fn row_count(&self, table: &str) -> Result<usize> {
+        self.table(table)?.tree.count()
+    }
+
+    /// Flush all dirty pages (RW checkpoint / pre-snapshot step).
+    pub fn flush_all(&self) {
+        self.bp.flush_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imci_common::{ColumnDef, IndexDef, IndexKind};
+    use imci_wal::PropagationMode;
+
+    fn demo_columns() -> (Vec<ColumnDef>, Vec<IndexDef>) {
+        (
+            vec![
+                ColumnDef::not_null("id", DataType::Int),
+                ColumnDef::new("grp", DataType::Int),
+                ColumnDef::new("note", DataType::Str),
+            ],
+            vec![
+                IndexDef {
+                    kind: IndexKind::Primary,
+                    name: "PRIMARY".into(),
+                    columns: vec![0],
+                },
+                IndexDef {
+                    kind: IndexKind::Secondary,
+                    name: "grp_idx".into(),
+                    columns: vec![1],
+                },
+            ],
+        )
+    }
+
+    fn rw_engine() -> (Arc<RowEngine>, PolarFs) {
+        let fs = PolarFs::instant();
+        let log = LogWriter::new(fs.clone(), PropagationMode::ReuseRedo);
+        (RowEngine::new_rw(fs.clone(), log, 4096), fs)
+    }
+
+    #[test]
+    fn create_insert_get() {
+        let (e, _) = rw_engine();
+        let (cols, idxs) = demo_columns();
+        e.create_table("t", cols, idxs).unwrap();
+        let mut txn = e.begin();
+        e.insert(
+            &mut txn,
+            "t",
+            vec![Value::Int(1), Value::Int(10), Value::Str("a".into())],
+        )
+        .unwrap();
+        e.commit(txn);
+        let row = e.get_row("t", 1).unwrap().unwrap();
+        assert_eq!(row.values[2], Value::Str("a".into()));
+        assert_eq!(e.row_count("t").unwrap(), 1);
+    }
+
+    #[test]
+    fn update_delete_and_secondary_maintenance() {
+        let (e, _) = rw_engine();
+        let (cols, idxs) = demo_columns();
+        e.create_table("t", cols, idxs).unwrap();
+        let mut txn = e.begin();
+        for i in 0..10 {
+            e.insert(
+                &mut txn,
+                "t",
+                vec![Value::Int(i), Value::Int(i % 3), Value::Str("x".into())],
+            )
+            .unwrap();
+        }
+        e.commit(txn);
+        let rt = e.table("t").unwrap();
+        assert_eq!(rt.secondaries[0].lookup_eq(&Value::Int(0)).len(), 4);
+
+        let mut txn = e.begin();
+        e.update(
+            &mut txn,
+            "t",
+            0,
+            vec![Value::Int(0), Value::Int(2), Value::Str("y".into())],
+        )
+        .unwrap();
+        e.delete(&mut txn, "t", 3).unwrap();
+        e.commit(txn);
+        assert_eq!(rt.secondaries[0].lookup_eq(&Value::Int(0)).len(), 2);
+        assert_eq!(rt.secondaries[0].lookup_eq(&Value::Int(2)).len(), 4);
+        assert_eq!(e.row_count("t").unwrap(), 9);
+    }
+
+    #[test]
+    fn abort_rolls_back_everything() {
+        let (e, _) = rw_engine();
+        let (cols, idxs) = demo_columns();
+        e.create_table("t", cols, idxs).unwrap();
+        let mut setup = e.begin();
+        e.insert(
+            &mut setup,
+            "t",
+            vec![Value::Int(1), Value::Int(7), Value::Str("keep".into())],
+        )
+        .unwrap();
+        e.commit(setup);
+
+        let mut txn = e.begin();
+        e.insert(
+            &mut txn,
+            "t",
+            vec![Value::Int(2), Value::Int(8), Value::Str("new".into())],
+        )
+        .unwrap();
+        e.update(
+            &mut txn,
+            "t",
+            1,
+            vec![Value::Int(1), Value::Int(9), Value::Str("mut".into())],
+        )
+        .unwrap();
+        e.delete(&mut txn, "t", 2).unwrap(); // delete the row we inserted
+        e.abort(txn).unwrap();
+
+        assert_eq!(e.row_count("t").unwrap(), 1);
+        let row = e.get_row("t", 1).unwrap().unwrap();
+        assert_eq!(row.values[1], Value::Int(7));
+        assert_eq!(row.values[2], Value::Str("keep".into()));
+        let rt = e.table("t").unwrap();
+        assert_eq!(rt.secondaries[0].lookup_eq(&Value::Int(7)), vec![1]);
+        assert!(rt.secondaries[0].lookup_eq(&Value::Int(9)).is_empty());
+    }
+
+    #[test]
+    fn pk_update_rejected() {
+        let (e, _) = rw_engine();
+        let (cols, idxs) = demo_columns();
+        e.create_table("t", cols, idxs).unwrap();
+        let mut txn = e.begin();
+        e.insert(
+            &mut txn,
+            "t",
+            vec![Value::Int(1), Value::Null, Value::Null],
+        )
+        .unwrap();
+        let r = e.update(
+            &mut txn,
+            "t",
+            1,
+            vec![Value::Int(2), Value::Null, Value::Null],
+        );
+        assert!(r.is_err());
+        e.commit(txn);
+    }
+
+    #[test]
+    fn catalog_roundtrips_to_replica() {
+        let (e, fs) = rw_engine();
+        let (cols, idxs) = demo_columns();
+        e.create_table("t", cols, idxs).unwrap();
+        let mut txn = e.begin();
+        for i in 0..100 {
+            e.insert(
+                &mut txn,
+                "t",
+                vec![Value::Int(i), Value::Int(i), Value::Str("v".into())],
+            )
+            .unwrap();
+        }
+        e.commit(txn);
+        e.flush_all();
+
+        let replica = RowEngine::new_replica(fs, 4096);
+        replica.refresh_catalog().unwrap();
+        let rt = replica.table("t").unwrap();
+        assert_eq!(rt.schema.columns.len(), 3);
+        assert_eq!(replica.row_count("t").unwrap(), 100);
+        rt.rebuild_secondaries().unwrap();
+        assert_eq!(rt.secondaries[0].lookup_eq(&Value::Int(5)), vec![5]);
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let (e, _) = rw_engine();
+        let (cols, idxs) = demo_columns();
+        e.create_table("t", cols.clone(), idxs.clone()).unwrap();
+        assert!(e.create_table("t", cols, idxs).is_err());
+    }
+}

@@ -1,0 +1,219 @@
+//! Abstract syntax tree for the MySQL-flavoured SQL subset.
+
+use imci_common::Value;
+
+/// A parsed statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// CREATE TABLE (Figure 3 syntax incl. `KEY COLUMN_INDEX(...)`).
+    CreateTable(CreateTable),
+    /// `ALTER TABLE t ADD COLUMN INDEX (c1, c2, ...)` (§3.3 online DDL).
+    AlterAddColumnIndex {
+        /// Table name.
+        table: String,
+        /// Covered columns.
+        columns: Vec<String>,
+    },
+    /// INSERT INTO t VALUES (...), (...).
+    Insert {
+        /// Table name.
+        table: String,
+        /// Row literals.
+        rows: Vec<Vec<Value>>,
+    },
+    /// UPDATE t SET c = lit, ... WHERE <pk> = lit.
+    Update {
+        /// Table name.
+        table: String,
+        /// Column/value assignments.
+        sets: Vec<(String, Value)>,
+        /// WHERE conjuncts (must pin the primary key).
+        filter: Vec<AstExpr>,
+    },
+    /// DELETE FROM t WHERE <pk> = lit.
+    Delete {
+        /// Table name.
+        table: String,
+        /// WHERE conjuncts.
+        filter: Vec<AstExpr>,
+    },
+    /// SELECT query.
+    Select(Box<SelectStmt>),
+}
+
+/// CREATE TABLE payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CreateTable {
+    /// Table name.
+    pub name: String,
+    /// Column definitions: (name, sql type, not_null).
+    pub columns: Vec<(String, String, bool)>,
+    /// Primary key column.
+    pub primary_key: String,
+    /// Secondary indexes: (index name, columns).
+    pub secondary: Vec<(String, Vec<String>)>,
+    /// Column index columns (empty = none declared).
+    pub column_index: Vec<String>,
+}
+
+/// A SELECT statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    /// Select list.
+    pub items: Vec<SelectItem>,
+    /// FROM tables (comma list and/or JOIN chain), with aliases.
+    pub from: Vec<TableRef>,
+    /// ON equalities from explicit JOIN syntax: (a, b) column refs.
+    pub join_on: Vec<(ColRef, ColRef)>,
+    /// WHERE expression (None = no filter).
+    pub filter: Option<AstExpr>,
+    /// GROUP BY expressions.
+    pub group_by: Vec<AstExpr>,
+    /// ORDER BY items: (key, descending).
+    pub order_by: Vec<(OrderKey, bool)>,
+    /// LIMIT.
+    pub limit: Option<usize>,
+}
+
+/// One select-list item.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectItem {
+    /// The expression (may contain aggregate calls).
+    pub expr: AstExpr,
+    /// Optional alias.
+    pub alias: Option<String>,
+}
+
+/// A FROM-clause table with optional alias.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRef {
+    /// Table name.
+    pub table: String,
+    /// Alias (defaults to the table name).
+    pub alias: String,
+}
+
+/// A (possibly qualified) column reference.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ColRef {
+    /// Qualifier (alias or table name), if written.
+    pub qualifier: Option<String>,
+    /// Column name.
+    pub column: String,
+}
+
+/// ORDER BY key.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OrderKey {
+    /// 1-based select-list position.
+    Position(usize),
+    /// Alias or column name.
+    Name(String),
+}
+
+/// Aggregate function names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggName {
+    /// COUNT
+    Count,
+    /// SUM
+    Sum,
+    /// AVG
+    Avg,
+    /// MIN
+    Min,
+    /// MAX
+    Max,
+}
+
+/// Expression AST.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AstExpr {
+    /// Column reference.
+    Col(ColRef),
+    /// Literal value.
+    Lit(Value),
+    /// Binary operation (`=`, `<`, `AND`, `+`, ...).
+    Binary {
+        /// Operator lexeme (upper-cased for keywords).
+        op: String,
+        /// Left operand.
+        l: Box<AstExpr>,
+        /// Right operand.
+        r: Box<AstExpr>,
+    },
+    /// NOT expr.
+    Not(Box<AstExpr>),
+    /// expr BETWEEN lo AND hi.
+    Between {
+        /// Tested expression.
+        e: Box<AstExpr>,
+        /// Lower bound literal.
+        lo: Value,
+        /// Upper bound literal.
+        hi: Value,
+    },
+    /// expr IN (v, ...).
+    InList {
+        /// Tested expression.
+        e: Box<AstExpr>,
+        /// List literals.
+        list: Vec<Value>,
+    },
+    /// expr LIKE 'pattern'.
+    Like {
+        /// Tested expression.
+        e: Box<AstExpr>,
+        /// Raw pattern.
+        pattern: String,
+    },
+    /// expr IS [NOT] NULL.
+    IsNull {
+        /// Tested expression.
+        e: Box<AstExpr>,
+        /// True for IS NOT NULL.
+        negated: bool,
+    },
+    /// Aggregate call.
+    Agg {
+        /// Function.
+        func: AggName,
+        /// Argument (None = `*`).
+        arg: Option<Box<AstExpr>>,
+        /// DISTINCT flag.
+        distinct: bool,
+    },
+    /// YEAR(expr).
+    Year(Box<AstExpr>),
+    /// -expr.
+    Neg(Box<AstExpr>),
+}
+
+impl AstExpr {
+    /// Split a conjunctive expression into its conjuncts.
+    pub fn split_conjuncts(self, out: &mut Vec<AstExpr>) {
+        match self {
+            AstExpr::Binary { op, l, r } if op == "AND" => {
+                l.split_conjuncts(out);
+                r.split_conjuncts(out);
+            }
+            e => out.push(e),
+        }
+    }
+
+    /// Does this expression contain an aggregate call?
+    pub fn has_agg(&self) -> bool {
+        match self {
+            AstExpr::Agg { .. } => true,
+            AstExpr::Col(_) | AstExpr::Lit(_) => false,
+            AstExpr::Binary { l, r, .. } => l.has_agg() || r.has_agg(),
+            AstExpr::Not(e)
+            | AstExpr::Year(e)
+            | AstExpr::Neg(e)
+            | AstExpr::Like { e, .. }
+            | AstExpr::IsNull { e, .. }
+            | AstExpr::Between { e, .. }
+            | AstExpr::InList { e, .. } => e.has_agg(),
+        }
+    }
+}

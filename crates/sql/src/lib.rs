@@ -1,0 +1,607 @@
+//! SQL frontend: parser, binder/optimizer, cost-based engine routing,
+//! and statement execution against one node (paper §6.1–§6.2).
+//!
+//! [`QueryEngine`] is the per-node entry point: DML and DDL run on the
+//! row engine (auto-commit), SELECTs are bound once and routed by the
+//! row-plan cost estimate — below the threshold they run on the
+//! row-at-a-time executor, above it they are transformed into a column
+//! plan and run on the batch engine, with run-time fallback to the row
+//! engine on column-engine errors (§6.2).
+
+pub mod ast;
+pub mod parser;
+pub mod plan;
+pub mod row_exec;
+
+use imci_common::{
+    ColumnDef, DataType, Error, FxHashMap, IndexDef, IndexKind, Result, Schema, Value,
+};
+use imci_core::ColumnStore;
+use imci_executor::{ExecContext, PhysicalPlan};
+use parking_lot::Mutex;
+use rowstore::RowEngine;
+use std::sync::Arc;
+
+pub use ast::{SelectStmt, Statement};
+pub use parser::{is_read_only, parse};
+pub use plan::{bind_select, to_column_plan, BoundQuery, Stats};
+pub use row_exec::{eval_row, execute_row};
+
+/// Which engine executed a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineChoice {
+    /// Row-at-a-time executor over the row store.
+    Row,
+    /// Vectorized batch executor over the column index.
+    Column,
+}
+
+/// A query result in row form.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// Output column names.
+    pub columns: Vec<String>,
+    /// Result rows.
+    pub rows: Vec<Vec<Value>>,
+    /// Engine that produced the result (SELECTs; Row for DML).
+    pub engine: EngineChoice,
+    /// Rows affected (DML).
+    pub affected: usize,
+}
+
+impl QueryResult {
+    fn dml(affected: usize) -> QueryResult {
+        QueryResult {
+            columns: Vec::new(),
+            rows: Vec::new(),
+            engine: EngineChoice::Row,
+            affected,
+        }
+    }
+}
+
+/// Per-node query engine: row store + optional column store + router.
+pub struct QueryEngine {
+    /// The node's row engine (RW: logging; RO: replica).
+    pub row: Arc<RowEngine>,
+    /// The node's column store (present on RO nodes).
+    pub store: Option<Arc<ColumnStore>>,
+    /// Row-cost threshold above which queries route to the column
+    /// engine (paper §6.1 intra-node routing).
+    pub cost_threshold: f64,
+    /// Scan parallelism for the column engine.
+    pub parallelism: std::sync::atomic::AtomicUsize,
+    /// Pack min/max pruning switch (ablation).
+    pub prune_enabled: std::sync::atomic::AtomicBool,
+    /// Force a specific engine (benchmarks); None = cost-based.
+    pub force: Mutex<Option<EngineChoice>>,
+}
+
+impl QueryEngine {
+    /// Engine over a row store only (RW node).
+    pub fn row_only(row: Arc<RowEngine>) -> QueryEngine {
+        QueryEngine {
+            row,
+            store: None,
+            cost_threshold: 10_000.0,
+            parallelism: std::sync::atomic::AtomicUsize::new(
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(4),
+            ),
+            prune_enabled: std::sync::atomic::AtomicBool::new(true),
+            force: Mutex::new(None),
+        }
+    }
+
+    /// Engine over both formats (RO node).
+    pub fn dual(row: Arc<RowEngine>, store: Arc<ColumnStore>) -> QueryEngine {
+        QueryEngine {
+            store: Some(store),
+            ..QueryEngine::row_only(row)
+        }
+    }
+
+    /// Force all SELECTs to one engine (benchmarks/ablations).
+    pub fn set_force(&self, choice: Option<EngineChoice>) {
+        *self.force.lock() = choice;
+    }
+
+    /// Set scan parallelism (thread-safe; benches/ablations).
+    pub fn set_parallelism(&self, n: usize) {
+        self.parallelism
+            .store(n.max(1), std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Toggle pack min/max pruning (thread-safe; ablations).
+    pub fn set_prune_enabled(&self, on: bool) {
+        self.prune_enabled
+            .store(on, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Current scan parallelism.
+    pub fn get_parallelism(&self) -> usize {
+        self.parallelism.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Whether pruning is enabled.
+    pub fn get_prune_enabled(&self) -> bool {
+        self.prune_enabled.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Execute any SQL statement (DML auto-commits).
+    pub fn execute(&self, sql: &str) -> Result<QueryResult> {
+        let stmt = parse(sql)?;
+        self.execute_stmt(&stmt)
+    }
+
+    /// Execute a parsed statement.
+    pub fn execute_stmt(&self, stmt: &Statement) -> Result<QueryResult> {
+        match stmt {
+            Statement::Select(s) => self.execute_select(s).map(|(r, _)| r),
+            Statement::CreateTable(ct) => {
+                let mut columns = Vec::with_capacity(ct.columns.len());
+                for (name, ty, not_null) in &ct.columns {
+                    let ty = DataType::parse_sql(ty)?;
+                    columns.push(if *not_null {
+                        ColumnDef::not_null(name.clone(), ty)
+                    } else {
+                        ColumnDef::new(name.clone(), ty)
+                    });
+                }
+                let col_of = |n: &str| -> Result<usize> {
+                    ct.columns
+                        .iter()
+                        .position(|(c, _, _)| c == n)
+                        .ok_or_else(|| Error::Catalog(format!("unknown column {n}")))
+                };
+                let mut indexes = vec![IndexDef {
+                    kind: IndexKind::Primary,
+                    name: "PRIMARY".into(),
+                    columns: vec![col_of(&ct.primary_key)?],
+                }];
+                for (name, cols) in &ct.secondary {
+                    indexes.push(IndexDef {
+                        kind: IndexKind::Secondary,
+                        name: name.clone(),
+                        columns: cols
+                            .iter()
+                            .map(|c| col_of(c))
+                            .collect::<Result<_>>()?,
+                    });
+                }
+                if !ct.column_index.is_empty() {
+                    indexes.push(IndexDef {
+                        kind: IndexKind::Column,
+                        name: "column_index".into(),
+                        columns: ct
+                            .column_index
+                            .iter()
+                            .map(|c| col_of(c))
+                            .collect::<Result<_>>()?,
+                    });
+                }
+                self.row.create_table(&ct.name, columns, indexes)?;
+                Ok(QueryResult::dml(0))
+            }
+            Statement::AlterAddColumnIndex { table, columns } => {
+                self.alter_add_column_index(table, columns)?;
+                Ok(QueryResult::dml(0))
+            }
+            Statement::Insert { table, rows } => {
+                let rt = self.row.table(table)?;
+                let mut txn = self.row.begin();
+                let mut n = 0;
+                for lits in rows {
+                    // Coerce literals to the declared column types
+                    // (date strings, int→double).
+                    let mut vals = Vec::with_capacity(lits.len());
+                    for (v, c) in lits.iter().zip(&rt.schema.columns) {
+                        vals.push(if v.is_null() {
+                            Value::Null
+                        } else {
+                            v.coerce_to(c.ty)?
+                        });
+                    }
+                    if let Err(e) = self.row.insert(&mut txn, table, vals) {
+                        self.row.abort(txn)?;
+                        return Err(e);
+                    }
+                    n += 1;
+                }
+                self.row.commit(txn);
+                Ok(QueryResult::dml(n))
+            }
+            Statement::Update {
+                table,
+                sets,
+                filter,
+            } => {
+                let rt = self.row.table(table)?;
+                let pk = pk_from_filter(&rt.schema, filter)?;
+                let mut txn = self.row.begin();
+                let affected = match self.row.get_row(table, pk)? {
+                    Some(mut row) => {
+                        for (col, v) in sets {
+                            let ci = rt.schema.col_index(col).ok_or_else(|| {
+                                Error::Plan(format!("unknown column {col}"))
+                            })?;
+                            row.values[ci] = if v.is_null() {
+                                Value::Null
+                            } else {
+                                v.coerce_to(rt.schema.columns[ci].ty)?
+                            };
+                        }
+                        if let Err(e) = self.row.update(&mut txn, table, pk, row.values)
+                        {
+                            self.row.abort(txn)?;
+                            return Err(e);
+                        }
+                        self.row.commit(txn);
+                        1
+                    }
+                    None => {
+                        self.row.commit(txn);
+                        0
+                    }
+                };
+                Ok(QueryResult::dml(affected))
+            }
+            Statement::Delete { table, filter } => {
+                let rt = self.row.table(table)?;
+                let pk = pk_from_filter(&rt.schema, filter)?;
+                let mut txn = self.row.begin();
+                let affected = if self.row.get_row(table, pk)?.is_some() {
+                    if let Err(e) = self.row.delete(&mut txn, table, pk) {
+                        self.row.abort(txn)?;
+                        return Err(e);
+                    }
+                    self.row.commit(txn);
+                    1
+                } else {
+                    self.row.commit(txn);
+                    0
+                };
+                Ok(QueryResult::dml(affected))
+            }
+        }
+    }
+
+    /// Bind, route, and execute a SELECT; returns the engine used.
+    pub fn execute_select(&self, s: &SelectStmt) -> Result<(QueryResult, EngineChoice)> {
+        let row_engine = self.row.clone();
+        let lookup = |name: &str| -> Result<Arc<Schema>> {
+            Ok(Arc::new(row_engine.table(name)?.schema.clone()))
+        };
+        let q = bind_select(s, &lookup, self)?;
+        let choice = match *self.force.lock() {
+            Some(c) => c,
+            None => {
+                if q.row_cost > self.cost_threshold && self.store.is_some() {
+                    EngineChoice::Column
+                } else {
+                    EngineChoice::Row
+                }
+            }
+        };
+        if choice == EngineChoice::Column {
+            match self.run_column(&q) {
+                Ok(rows) => {
+                    return Ok((
+                        QueryResult {
+                            columns: q.out_names.clone(),
+                            rows,
+                            engine: EngineChoice::Column,
+                            affected: 0,
+                        },
+                        EngineChoice::Column,
+                    ))
+                }
+                Err(Error::ColumnEngineUnsupported(_)) => {
+                    // Run-time fallback to the row engine (§6.2).
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        let rows = execute_row(&q, &self.row)?;
+        Ok((
+            QueryResult {
+                columns: q.out_names.clone(),
+                rows,
+                engine: EngineChoice::Row,
+                affected: 0,
+            },
+            EngineChoice::Row,
+        ))
+    }
+
+    /// Execute the bound query on the column engine.
+    pub fn run_column(&self, q: &BoundQuery) -> Result<Vec<Vec<Value>>> {
+        let store = self.store.as_ref().ok_or_else(|| {
+            Error::ColumnEngineUnsupported("node has no column store".into())
+        })?;
+        let covered_of = |schema: &Schema| -> Option<Vec<usize>> {
+            store
+                .index(schema.table_id)
+                .ok()
+                .map(|i| i.covered.clone())
+        };
+        let plan = to_column_plan(q, &covered_of)?;
+        let mut snaps = FxHashMap::default();
+        for bt in &q.tables {
+            let idx = store.index(bt.schema.table_id).map_err(|_| {
+                Error::ColumnEngineUnsupported(format!(
+                    "no column index for {}",
+                    bt.schema.name
+                ))
+            })?;
+            snaps.insert(bt.schema.table_id, Arc::new(idx.snapshot()));
+        }
+        let mut ctx = ExecContext::new(snaps);
+        ctx.parallelism = self.parallelism.load(std::sync::atomic::Ordering::Relaxed);
+        ctx.prune_enabled = self.prune_enabled.load(std::sync::atomic::Ordering::Relaxed);
+        let out = imci_executor::execute(&plan, &ctx)?;
+        Ok((0..out.len).map(|r| out.row(r)).collect())
+    }
+
+    /// Build the column physical plan without running it (benches).
+    pub fn column_plan(&self, s: &SelectStmt) -> Result<PhysicalPlan> {
+        let row_engine = self.row.clone();
+        let lookup = |name: &str| -> Result<Arc<Schema>> {
+            Ok(Arc::new(row_engine.table(name)?.schema.clone()))
+        };
+        let q = bind_select(s, &lookup, self)?;
+        let store = self.store.as_ref().ok_or_else(|| {
+            Error::ColumnEngineUnsupported("node has no column store".into())
+        })?;
+        let covered_of = |schema: &Schema| -> Option<Vec<usize>> {
+            store.index(schema.table_id).ok().map(|i| i.covered.clone())
+        };
+        to_column_plan(&q, &covered_of)
+    }
+
+    /// §3.3 online `ALTER TABLE ... ADD COLUMN INDEX`: register the new
+    /// index in the schema and (on nodes with a column store) build it
+    /// by a consistent scan of the row store.
+    pub fn alter_add_column_index(&self, table: &str, columns: &[String]) -> Result<()> {
+        let rt = self.row.table(table)?;
+        let mut schema = rt.schema.clone();
+        let cols: Vec<usize> = columns
+            .iter()
+            .map(|c| {
+                schema
+                    .col_index(c)
+                    .ok_or_else(|| Error::Catalog(format!("unknown column {c}")))
+            })
+            .collect::<Result<_>>()?;
+        schema.indexes.retain(|i| i.kind != IndexKind::Column);
+        schema.indexes.push(IndexDef {
+            kind: IndexKind::Column,
+            name: "column_index".into(),
+            columns: cols,
+        });
+        self.row
+            .replace_table_schema(table, schema.clone())?;
+        if let Some(store) = &self.store {
+            let mut rows = Vec::new();
+            self.row.scan(table, i64::MIN, i64::MAX, |_, row| {
+                rows.push(row.values);
+            })?;
+            let idx = imci_core::build_from_rows(
+                &schema,
+                store.group_capacity(),
+                imci_common::Vid(self.row.txns.last_commit_vid().get()),
+                rows.into_iter(),
+            )?;
+            store.install(idx);
+        }
+        Ok(())
+    }
+}
+
+impl Stats for QueryEngine {
+    fn table_rows(&self, schema: &Schema) -> u64 {
+        if let Some(store) = &self.store {
+            if let Ok(idx) = store.index(schema.table_id) {
+                let n = idx.approx_live_rows();
+                if n > 0 {
+                    return n;
+                }
+            }
+        }
+        self.row
+            .table(&schema.name)
+            .map(|rt| rt.approx_rows())
+            .unwrap_or(0)
+    }
+}
+
+fn pk_from_filter(schema: &Schema, filter: &[ast::AstExpr]) -> Result<i64> {
+    for c in filter {
+        if let ast::AstExpr::Binary { op, l, r } = c {
+            if op == "=" {
+                if let (ast::AstExpr::Col(cr), ast::AstExpr::Lit(v)) = (&**l, &**r) {
+                    if schema.col_index(&cr.column) == Some(schema.pk_col()) {
+                        return v.as_int().ok_or_else(|| {
+                            Error::Plan("primary key literal must be an integer".into())
+                        });
+                    }
+                }
+            }
+        }
+    }
+    Err(Error::Unsupported(
+        "UPDATE/DELETE must pin the primary key with `pk = <int>`".into(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imci_wal::{LogWriter, PropagationMode};
+    use polarfs_sim::PolarFs;
+
+    fn node() -> QueryEngine {
+        let fs = PolarFs::instant();
+        let log = LogWriter::new(fs.clone(), PropagationMode::ReuseRedo);
+        let row = RowEngine::new_rw(fs, log, 1 << 20);
+        let store = Arc::new(ColumnStore::new(256));
+        let qe = QueryEngine {
+            store: Some(store),
+            ..QueryEngine::row_only(row)
+        };
+        qe.execute(
+            "CREATE TABLE items (
+                id INT NOT NULL, grp INT, qty INT, price DOUBLE, name VARCHAR(32),
+                PRIMARY KEY(id), KEY grp_idx(grp),
+                KEY COLUMN_INDEX(id, grp, qty, price, name))",
+        )
+        .unwrap();
+        // mirror DML into the column store for dual-engine tests
+        qe
+    }
+
+    fn seed(qe: &QueryEngine, n: i64) {
+        for i in 0..n {
+            qe.execute(&format!(
+                "INSERT INTO items VALUES ({i}, {}, {}, {}, 'name{}')",
+                i % 5,
+                i % 10,
+                i as f64 * 1.5,
+                i % 7
+            ))
+            .unwrap();
+        }
+        // Mirror into the column index (on a single test node we play
+        // both RW and RO roles).
+        let store = qe.store.as_ref().unwrap();
+        let rt = qe.row.table("items").unwrap();
+        let idx = store.create_index(&rt.schema);
+        let mut rows = Vec::new();
+        qe.row
+            .scan("items", i64::MIN, i64::MAX, |_, r| rows.push(r.values))
+            .unwrap();
+        for r in rows {
+            idx.insert(imci_common::Vid(1), &idx.project_row(&r)).unwrap();
+        }
+        idx.advance_visible(imci_common::Vid(1));
+    }
+
+    #[test]
+    fn dml_roundtrip() {
+        let qe = node();
+        assert_eq!(
+            qe.execute("INSERT INTO items VALUES (1, 1, 1, 9.5, 'x')")
+                .unwrap()
+                .affected,
+            1
+        );
+        qe.execute("UPDATE items SET qty = 42 WHERE id = 1").unwrap();
+        let row = qe.row.get_row("items", 1).unwrap().unwrap();
+        assert_eq!(row.values[2], Value::Int(42));
+        assert_eq!(
+            qe.execute("DELETE FROM items WHERE id = 1").unwrap().affected,
+            1
+        );
+        assert!(qe.row.get_row("items", 1).unwrap().is_none());
+        assert_eq!(
+            qe.execute("DELETE FROM items WHERE id = 1").unwrap().affected,
+            0
+        );
+    }
+
+    #[test]
+    fn both_engines_agree_on_aggregation() {
+        let qe = node();
+        seed(&qe, 200);
+        let sql = "SELECT grp, COUNT(*), SUM(qty), AVG(price)
+                   FROM items WHERE id < 100 GROUP BY grp ORDER BY grp";
+        let stmt = match parse(sql).unwrap() {
+            Statement::Select(s) => *s,
+            _ => unreachable!(),
+        };
+        qe.set_force(Some(EngineChoice::Row));
+        let (row_res, e1) = qe.execute_select(&stmt).unwrap();
+        assert_eq!(e1, EngineChoice::Row);
+        qe.set_force(Some(EngineChoice::Column));
+        let (col_res, e2) = qe.execute_select(&stmt).unwrap();
+        assert_eq!(e2, EngineChoice::Column);
+        assert_eq!(row_res.rows.len(), 5);
+        assert_eq!(row_res.rows, col_res.rows, "engines must agree");
+    }
+
+    #[test]
+    fn both_engines_agree_on_join() {
+        let qe = node();
+        seed(&qe, 60);
+        // Self-join via qty → id.
+        let sql = "SELECT a.id, b.name FROM items a JOIN items b ON a.qty = b.id
+                   WHERE a.id < 20 ORDER BY 1, 2 LIMIT 50";
+        let stmt = match parse(sql).unwrap() {
+            Statement::Select(s) => *s,
+            _ => unreachable!(),
+        };
+        qe.set_force(Some(EngineChoice::Row));
+        let (r1, _) = qe.execute_select(&stmt).unwrap();
+        qe.set_force(Some(EngineChoice::Column));
+        let (r2, _) = qe.execute_select(&stmt).unwrap();
+        assert!(!r1.rows.is_empty());
+        assert_eq!(r1.rows, r2.rows);
+    }
+
+    #[test]
+    fn cost_routing_prefers_row_for_point_queries() {
+        let qe = node();
+        seed(&qe, 100);
+        let stmt = match parse("SELECT name FROM items WHERE id = 5").unwrap() {
+            Statement::Select(s) => *s,
+            _ => unreachable!(),
+        };
+        let (res, engine) = qe.execute_select(&stmt).unwrap();
+        assert_eq!(engine, EngineChoice::Row, "PK lookup routes to row engine");
+        assert_eq!(res.rows.len(), 1);
+    }
+
+    #[test]
+    fn cost_routing_prefers_column_for_scans() {
+        let mut qe = node();
+        qe.cost_threshold = 50.0;
+        seed(&qe, 200);
+        let stmt = match parse(
+            "SELECT grp, SUM(price) FROM items GROUP BY grp ORDER BY grp",
+        )
+        .unwrap()
+        {
+            Statement::Select(s) => *s,
+            _ => unreachable!(),
+        };
+        let (_, engine) = qe.execute_select(&stmt).unwrap();
+        assert_eq!(engine, EngineChoice::Column);
+    }
+
+    #[test]
+    fn fallback_when_column_index_missing() {
+        let mut qe = node();
+        qe.cost_threshold = 0.0; // force column attempt
+        qe.execute(
+            "CREATE TABLE bare (id INT NOT NULL, v INT, PRIMARY KEY(id))",
+        )
+        .unwrap();
+        qe.execute("INSERT INTO bare VALUES (1, 10), (2, 20)").unwrap();
+        let (res, engine) = qe
+            .execute_select(&match parse("SELECT v FROM bare ORDER BY v").unwrap() {
+                Statement::Select(s) => *s,
+                _ => unreachable!(),
+            })
+            .unwrap();
+        assert_eq!(engine, EngineChoice::Row, "run-time fallback (§6.2)");
+        assert_eq!(res.rows.len(), 2);
+    }
+
+    #[test]
+    fn update_requires_pk() {
+        let qe = node();
+        seed(&qe, 5);
+        assert!(qe.execute("UPDATE items SET qty = 1 WHERE grp = 0").is_err());
+    }
+}

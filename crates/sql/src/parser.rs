@@ -1,0 +1,862 @@
+//! Hand-written lexer + recursive-descent parser for the SQL subset.
+
+use crate::ast::*;
+use imci_common::{Error, Result, Value};
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Num(String),
+    Str(String),
+    Punct(String),
+    Eof,
+}
+
+struct Lexer {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+fn lex(sql: &str) -> Result<Vec<Tok>> {
+    let b = sql.as_bytes();
+    let mut i = 0;
+    let mut out = Vec::new();
+    while i < b.len() {
+        let c = b[i] as char;
+        if c.is_ascii_whitespace() {
+            i += 1;
+        } else if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < b.len() && ((b[i] as char).is_ascii_alphanumeric() || b[i] == b'_') {
+                i += 1;
+            }
+            out.push(Tok::Ident(sql[start..i].to_string()));
+        } else if c.is_ascii_digit()
+            || (c == '.' && i + 1 < b.len() && (b[i + 1] as char).is_ascii_digit())
+        {
+            let start = i;
+            while i < b.len()
+                && ((b[i] as char).is_ascii_digit() || b[i] == b'.' || b[i] == b'e'
+                    || b[i] == b'E'
+                    || ((b[i] == b'+' || b[i] == b'-')
+                        && i > start
+                        && (b[i - 1] == b'e' || b[i - 1] == b'E')))
+            {
+                i += 1;
+            }
+            out.push(Tok::Num(sql[start..i].to_string()));
+        } else if c == '\'' {
+            i += 1;
+            let mut s = String::new();
+            loop {
+                if i >= b.len() {
+                    return Err(Error::Parse("unterminated string literal".into()));
+                }
+                if b[i] == b'\'' {
+                    if i + 1 < b.len() && b[i + 1] == b'\'' {
+                        s.push('\'');
+                        i += 2;
+                    } else {
+                        i += 1;
+                        break;
+                    }
+                } else {
+                    s.push(b[i] as char);
+                    i += 1;
+                }
+            }
+            out.push(Tok::Str(s));
+        } else {
+            // multi-char operators first
+            let two = if i + 1 < b.len() { &sql[i..i + 2] } else { "" };
+            if ["<=", ">=", "<>", "!="].contains(&two) {
+                out.push(Tok::Punct(if two == "!=" { "<>".into() } else { two.into() }));
+                i += 2;
+            } else if "(),.=<>*+-/;".contains(c) {
+                out.push(Tok::Punct(c.to_string()));
+                i += 1;
+            } else {
+                return Err(Error::Parse(format!("unexpected character '{c}'")));
+            }
+        }
+    }
+    out.push(Tok::Eof);
+    Ok(out)
+}
+
+impl Lexer {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos]
+    }
+
+    fn next(&mut self) -> Tok {
+        let t = self.toks[self.pos].clone();
+        if self.pos < self.toks.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn peek_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Tok::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek_kw(kw) {
+            self.next();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(Error::Parse(format!("expected {kw}, got {:?}", self.peek())))
+        }
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if matches!(self.peek(), Tok::Punct(s) if s == p) {
+            self.next();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: &str) -> Result<()> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            Err(Error::Parse(format!(
+                "expected '{p}', got {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.next() {
+            Tok::Ident(s) => Ok(s.to_ascii_lowercase()),
+            t => Err(Error::Parse(format!("expected identifier, got {t:?}"))),
+        }
+    }
+}
+
+/// Parse one SQL statement.
+pub fn parse(sql: &str) -> Result<Statement> {
+    let mut lx = Lexer {
+        toks: lex(sql)?,
+        pos: 0,
+    };
+    let stmt = if lx.peek_kw("select") {
+        Statement::Select(Box::new(parse_select(&mut lx)?))
+    } else if lx.peek_kw("create") {
+        parse_create(&mut lx)?
+    } else if lx.peek_kw("insert") {
+        parse_insert(&mut lx)?
+    } else if lx.peek_kw("update") {
+        parse_update(&mut lx)?
+    } else if lx.peek_kw("delete") {
+        parse_delete(&mut lx)?
+    } else if lx.peek_kw("alter") {
+        parse_alter(&mut lx)?
+    } else {
+        return Err(Error::Parse(format!(
+            "unsupported statement start: {:?}",
+            lx.peek()
+        )));
+    };
+    lx.eat_punct(";");
+    if *lx.peek() != Tok::Eof {
+        return Err(Error::Parse(format!(
+            "trailing tokens after statement: {:?}",
+            lx.peek()
+        )));
+    }
+    Ok(stmt)
+}
+
+/// Cheap statement classification for the proxy's "rough syntax parser"
+/// (paper §6.1 inter-node routing): read-only SELECTs go to RO nodes.
+pub fn is_read_only(sql: &str) -> bool {
+    sql.trim_start()
+        .get(..6)
+        .map(|s| s.eq_ignore_ascii_case("select"))
+        .unwrap_or(false)
+}
+
+fn parse_create(lx: &mut Lexer) -> Result<Statement> {
+    lx.expect_kw("create")?;
+    lx.expect_kw("table")?;
+    let name = lx.ident()?;
+    lx.expect_punct("(")?;
+    let mut columns = Vec::new();
+    let mut primary_key = None;
+    let mut secondary = Vec::new();
+    let mut column_index = Vec::new();
+    loop {
+        if lx.peek_kw("primary") {
+            lx.next();
+            lx.expect_kw("key")?;
+            lx.expect_punct("(")?;
+            primary_key = Some(lx.ident()?);
+            lx.expect_punct(")")?;
+        } else if lx.peek_kw("key") || lx.peek_kw("index") {
+            lx.next();
+            let idx_name = lx.ident()?;
+            lx.expect_punct("(")?;
+            let mut cols = vec![lx.ident()?];
+            while lx.eat_punct(",") {
+                cols.push(lx.ident()?);
+            }
+            lx.expect_punct(")")?;
+            if idx_name.starts_with("column_index") {
+                column_index = cols;
+            } else {
+                secondary.push((idx_name, cols));
+            }
+        } else {
+            let col = lx.ident()?;
+            let mut ty = lx.ident()?;
+            // swallow (11) / (15,2) type params
+            if lx.eat_punct("(") {
+                loop {
+                    match lx.next() {
+                        Tok::Punct(p) if p == ")" => break,
+                        Tok::Eof => return Err(Error::Parse("bad type params".into())),
+                        _ => {}
+                    }
+                }
+            }
+            let mut not_null = false;
+            loop {
+                if lx.eat_kw("not") {
+                    lx.expect_kw("null")?;
+                    not_null = true;
+                } else if lx.eat_kw("default") {
+                    // DEFAULT NULL / literal — swallow one token
+                    lx.next();
+                } else if lx.eat_kw("defult") {
+                    // the paper's Figure 3 typo; accept it for fun
+                    lx.next();
+                } else {
+                    break;
+                }
+            }
+            ty = ty.to_ascii_uppercase();
+            columns.push((col, ty, not_null));
+        }
+        if !lx.eat_punct(",") {
+            break;
+        }
+    }
+    lx.expect_punct(")")?;
+    Ok(Statement::CreateTable(CreateTable {
+        name,
+        columns,
+        primary_key: primary_key
+            .ok_or_else(|| Error::Parse("CREATE TABLE requires a PRIMARY KEY".into()))?,
+        secondary,
+        column_index,
+    }))
+}
+
+fn parse_alter(lx: &mut Lexer) -> Result<Statement> {
+    lx.expect_kw("alter")?;
+    lx.expect_kw("table")?;
+    let table = lx.ident()?;
+    lx.expect_kw("add")?;
+    lx.expect_kw("column")?;
+    lx.expect_kw("index")?;
+    lx.expect_punct("(")?;
+    let mut columns = vec![lx.ident()?];
+    while lx.eat_punct(",") {
+        columns.push(lx.ident()?);
+    }
+    lx.expect_punct(")")?;
+    Ok(Statement::AlterAddColumnIndex { table, columns })
+}
+
+fn parse_literal(lx: &mut Lexer) -> Result<Value> {
+    let neg = lx.eat_punct("-");
+    match lx.next() {
+        Tok::Num(n) => {
+            if n.contains('.') || n.contains('e') || n.contains('E') {
+                let v: f64 = n
+                    .parse()
+                    .map_err(|_| Error::Parse(format!("bad number {n}")))?;
+                Ok(Value::Double(if neg { -v } else { v }))
+            } else {
+                let v: i64 = n
+                    .parse()
+                    .map_err(|_| Error::Parse(format!("bad number {n}")))?;
+                Ok(Value::Int(if neg { -v } else { v }))
+            }
+        }
+        Tok::Str(s) => Ok(Value::Str(s)),
+        Tok::Ident(s) if s.eq_ignore_ascii_case("null") => Ok(Value::Null),
+        Tok::Ident(s) if s.eq_ignore_ascii_case("date") => match lx.next() {
+            Tok::Str(d) => Ok(Value::Date(imci_common::value::parse_date_str(&d)?)),
+            t => Err(Error::Parse(format!("expected date string, got {t:?}"))),
+        },
+        t => Err(Error::Parse(format!("expected literal, got {t:?}"))),
+    }
+}
+
+fn parse_insert(lx: &mut Lexer) -> Result<Statement> {
+    lx.expect_kw("insert")?;
+    lx.expect_kw("into")?;
+    let table = lx.ident()?;
+    lx.expect_kw("values")?;
+    let mut rows = Vec::new();
+    loop {
+        lx.expect_punct("(")?;
+        let mut row = vec![parse_literal(lx)?];
+        while lx.eat_punct(",") {
+            row.push(parse_literal(lx)?);
+        }
+        lx.expect_punct(")")?;
+        rows.push(row);
+        if !lx.eat_punct(",") {
+            break;
+        }
+    }
+    Ok(Statement::Insert { table, rows })
+}
+
+fn parse_update(lx: &mut Lexer) -> Result<Statement> {
+    lx.expect_kw("update")?;
+    let table = lx.ident()?;
+    lx.expect_kw("set")?;
+    let mut sets = Vec::new();
+    loop {
+        let col = lx.ident()?;
+        lx.expect_punct("=")?;
+        sets.push((col, parse_literal(lx)?));
+        if !lx.eat_punct(",") {
+            break;
+        }
+    }
+    lx.expect_kw("where")?;
+    let filter_expr = parse_expr(lx)?;
+    let mut filter = Vec::new();
+    filter_expr.split_conjuncts(&mut filter);
+    Ok(Statement::Update {
+        table,
+        sets,
+        filter,
+    })
+}
+
+fn parse_delete(lx: &mut Lexer) -> Result<Statement> {
+    lx.expect_kw("delete")?;
+    lx.expect_kw("from")?;
+    let table = lx.ident()?;
+    lx.expect_kw("where")?;
+    let filter_expr = parse_expr(lx)?;
+    let mut filter = Vec::new();
+    filter_expr.split_conjuncts(&mut filter);
+    Ok(Statement::Delete { table, filter })
+}
+
+fn parse_select(lx: &mut Lexer) -> Result<SelectStmt> {
+    lx.expect_kw("select")?;
+    let mut items = Vec::new();
+    loop {
+        let expr = parse_expr(lx)?;
+        let alias = if lx.eat_kw("as") {
+            Some(lx.ident()?)
+        } else {
+            None
+        };
+        items.push(SelectItem { expr, alias });
+        if !lx.eat_punct(",") {
+            break;
+        }
+    }
+    lx.expect_kw("from")?;
+    let mut from = Vec::new();
+    let mut join_on = Vec::new();
+    let parse_table = |lx: &mut Lexer| -> Result<TableRef> {
+        let table = lx.ident()?;
+        let alias = match lx.peek() {
+            Tok::Ident(s)
+                if !["inner", "join", "on", "where", "group", "order", "limit", "as"]
+                    .contains(&s.to_ascii_lowercase().as_str()) =>
+            {
+                lx.ident()?
+            }
+            _ => {
+                if lx.eat_kw("as") {
+                    lx.ident()?
+                } else {
+                    table.clone()
+                }
+            }
+        };
+        Ok(TableRef { table, alias })
+    };
+    from.push(parse_table(lx)?);
+    loop {
+        if lx.eat_punct(",") {
+            from.push(parse_table(lx)?);
+        } else if lx.peek_kw("inner") || lx.peek_kw("join") {
+            lx.eat_kw("inner");
+            lx.expect_kw("join")?;
+            from.push(parse_table(lx)?);
+            lx.expect_kw("on")?;
+            // ON a.c1 = b.c2 [AND a.c3 = b.c4 ...]
+            loop {
+                let l = parse_colref(lx)?;
+                lx.expect_punct("=")?;
+                let r = parse_colref(lx)?;
+                join_on.push((l, r));
+                if !lx.eat_kw("and") {
+                    break;
+                }
+                // lookahead: if the next AND operand is not a colref=colref,
+                // we mis-split; our dialect restricts ON to equalities.
+            }
+        } else {
+            break;
+        }
+    }
+    let filter = if lx.eat_kw("where") {
+        Some(parse_expr(lx)?)
+    } else {
+        None
+    };
+    let mut group_by = Vec::new();
+    if lx.eat_kw("group") {
+        lx.expect_kw("by")?;
+        loop {
+            group_by.push(parse_expr(lx)?);
+            if !lx.eat_punct(",") {
+                break;
+            }
+        }
+    }
+    let mut order_by = Vec::new();
+    if lx.eat_kw("order") {
+        lx.expect_kw("by")?;
+        loop {
+            let key = match lx.peek().clone() {
+                Tok::Num(n) => {
+                    lx.next();
+                    OrderKey::Position(n.parse().map_err(|_| {
+                        Error::Parse(format!("bad ORDER BY position {n}"))
+                    })?)
+                }
+                Tok::Ident(_) => {
+                    let name = lx.ident()?;
+                    // qualified name t.c → keep only column part
+                    if lx.eat_punct(".") {
+                        OrderKey::Name(lx.ident()?)
+                    } else {
+                        OrderKey::Name(name)
+                    }
+                }
+                t => return Err(Error::Parse(format!("bad ORDER BY key {t:?}"))),
+            };
+            let desc = if lx.eat_kw("desc") {
+                true
+            } else {
+                lx.eat_kw("asc");
+                false
+            };
+            order_by.push((key, desc));
+            if !lx.eat_punct(",") {
+                break;
+            }
+        }
+    }
+    let limit = if lx.eat_kw("limit") {
+        match lx.next() {
+            Tok::Num(n) => Some(
+                n.parse()
+                    .map_err(|_| Error::Parse(format!("bad LIMIT {n}")))?,
+            ),
+            t => return Err(Error::Parse(format!("bad LIMIT {t:?}"))),
+        }
+    } else {
+        None
+    };
+    Ok(SelectStmt {
+        items,
+        from,
+        join_on,
+        filter,
+        group_by,
+        order_by,
+        limit,
+    })
+}
+
+fn parse_colref(lx: &mut Lexer) -> Result<ColRef> {
+    let a = lx.ident()?;
+    if lx.eat_punct(".") {
+        Ok(ColRef {
+            qualifier: Some(a),
+            column: lx.ident()?,
+        })
+    } else {
+        Ok(ColRef {
+            qualifier: None,
+            column: a,
+        })
+    }
+}
+
+// Expression parsing with precedence: OR < AND < NOT < cmp < +- < */ < unary.
+fn parse_expr(lx: &mut Lexer) -> Result<AstExpr> {
+    parse_or(lx)
+}
+
+fn parse_or(lx: &mut Lexer) -> Result<AstExpr> {
+    let mut l = parse_and(lx)?;
+    while lx.eat_kw("or") {
+        let r = parse_and(lx)?;
+        l = AstExpr::Binary {
+            op: "OR".into(),
+            l: Box::new(l),
+            r: Box::new(r),
+        };
+    }
+    Ok(l)
+}
+
+fn parse_and(lx: &mut Lexer) -> Result<AstExpr> {
+    let mut l = parse_not(lx)?;
+    while lx.eat_kw("and") {
+        let r = parse_not(lx)?;
+        l = AstExpr::Binary {
+            op: "AND".into(),
+            l: Box::new(l),
+            r: Box::new(r),
+        };
+    }
+    Ok(l)
+}
+
+fn parse_not(lx: &mut Lexer) -> Result<AstExpr> {
+    if lx.eat_kw("not") {
+        Ok(AstExpr::Not(Box::new(parse_not(lx)?)))
+    } else {
+        parse_cmp(lx)
+    }
+}
+
+fn parse_cmp(lx: &mut Lexer) -> Result<AstExpr> {
+    let l = parse_add(lx)?;
+    // BETWEEN / IN / LIKE / IS
+    if lx.eat_kw("between") {
+        let lo = parse_literal(lx)?;
+        lx.expect_kw("and")?;
+        let hi = parse_literal(lx)?;
+        return Ok(AstExpr::Between {
+            e: Box::new(l),
+            lo,
+            hi,
+        });
+    }
+    if lx.eat_kw("in") {
+        lx.expect_punct("(")?;
+        let mut list = vec![parse_literal(lx)?];
+        while lx.eat_punct(",") {
+            list.push(parse_literal(lx)?);
+        }
+        lx.expect_punct(")")?;
+        return Ok(AstExpr::InList {
+            e: Box::new(l),
+            list,
+        });
+    }
+    if lx.eat_kw("like") {
+        match lx.next() {
+            Tok::Str(p) => {
+                return Ok(AstExpr::Like {
+                    e: Box::new(l),
+                    pattern: p,
+                })
+            }
+            t => return Err(Error::Parse(format!("LIKE expects a string, got {t:?}"))),
+        }
+    }
+    if lx.eat_kw("is") {
+        let negated = lx.eat_kw("not");
+        lx.expect_kw("null")?;
+        return Ok(AstExpr::IsNull {
+            e: Box::new(l),
+            negated,
+        });
+    }
+    for op in ["<=", ">=", "<>", "=", "<", ">"] {
+        if lx.eat_punct(op) {
+            let r = parse_add(lx)?;
+            return Ok(AstExpr::Binary {
+                op: op.to_string(),
+                l: Box::new(l),
+                r: Box::new(r),
+            });
+        }
+    }
+    Ok(l)
+}
+
+fn parse_add(lx: &mut Lexer) -> Result<AstExpr> {
+    let mut l = parse_mul(lx)?;
+    loop {
+        let op = if lx.eat_punct("+") {
+            "+"
+        } else if lx.eat_punct("-") {
+            "-"
+        } else {
+            break;
+        };
+        let r = parse_mul(lx)?;
+        l = AstExpr::Binary {
+            op: op.into(),
+            l: Box::new(l),
+            r: Box::new(r),
+        };
+    }
+    Ok(l)
+}
+
+fn parse_mul(lx: &mut Lexer) -> Result<AstExpr> {
+    let mut l = parse_unary(lx)?;
+    loop {
+        let op = if lx.eat_punct("*") {
+            "*"
+        } else if lx.eat_punct("/") {
+            "/"
+        } else {
+            break;
+        };
+        let r = parse_unary(lx)?;
+        l = AstExpr::Binary {
+            op: op.into(),
+            l: Box::new(l),
+            r: Box::new(r),
+        };
+    }
+    Ok(l)
+}
+
+fn parse_unary(lx: &mut Lexer) -> Result<AstExpr> {
+    if lx.eat_punct("-") {
+        return Ok(AstExpr::Neg(Box::new(parse_unary(lx)?)));
+    }
+    parse_primary(lx)
+}
+
+fn parse_primary(lx: &mut Lexer) -> Result<AstExpr> {
+    match lx.peek().clone() {
+        Tok::Punct(p) if p == "(" => {
+            lx.next();
+            let e = parse_expr(lx)?;
+            lx.expect_punct(")")?;
+            Ok(e)
+        }
+        Tok::Num(_) | Tok::Str(_) => Ok(AstExpr::Lit(parse_literal(lx)?)),
+        Tok::Punct(p) if p == "*" => {
+            Err(Error::Parse("bare * outside COUNT(*) is unsupported".into()))
+        }
+        Tok::Ident(id) => {
+            let upper = id.to_ascii_uppercase();
+            let agg = match upper.as_str() {
+                "COUNT" => Some(AggName::Count),
+                "SUM" => Some(AggName::Sum),
+                "AVG" => Some(AggName::Avg),
+                "MIN" => Some(AggName::Min),
+                "MAX" => Some(AggName::Max),
+                _ => None,
+            };
+            if let Some(func) = agg {
+                lx.next();
+                lx.expect_punct("(")?;
+                if lx.eat_punct("*") {
+                    lx.expect_punct(")")?;
+                    return Ok(AstExpr::Agg {
+                        func,
+                        arg: None,
+                        distinct: false,
+                    });
+                }
+                let distinct = lx.eat_kw("distinct");
+                let arg = parse_expr(lx)?;
+                lx.expect_punct(")")?;
+                return Ok(AstExpr::Agg {
+                    func,
+                    arg: Some(Box::new(arg)),
+                    distinct,
+                });
+            }
+            if upper == "YEAR" {
+                lx.next();
+                lx.expect_punct("(")?;
+                let e = parse_expr(lx)?;
+                lx.expect_punct(")")?;
+                return Ok(AstExpr::Year(Box::new(e)));
+            }
+            if upper == "NULL" {
+                lx.next();
+                return Ok(AstExpr::Lit(Value::Null));
+            }
+            if upper == "DATE" {
+                return Ok(AstExpr::Lit(parse_literal(lx)?));
+            }
+            Ok(AstExpr::Col(parse_colref(lx)?))
+        }
+        t => Err(Error::Parse(format!("unexpected token {t:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_figure3_ddl() {
+        let sql = "CREATE TABLE demo_table (
+            C1 INT(11) NOT NULL,
+            C2 INT(11) DEFAULT NULL,
+            C3 INT(11) DEFAULT NULL,
+            C4 INT(11) DEFAULT NULL,
+            C5 LONGTEXT DEFAULT NULL,
+            PRIMARY KEY(C1),
+            KEY SEC_INDEX(C2),
+            KEY COLUMN_INDEX(C3, C4, C5)
+        )";
+        match parse(sql).unwrap() {
+            Statement::CreateTable(ct) => {
+                assert_eq!(ct.name, "demo_table");
+                assert_eq!(ct.columns.len(), 5);
+                assert_eq!(ct.primary_key, "c1");
+                assert_eq!(ct.secondary, vec![("sec_index".into(), vec!["c2".into()])]);
+                assert_eq!(ct.column_index, vec!["c3", "c4", "c5"]);
+                assert!(ct.columns[0].2, "C1 NOT NULL");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_insert_update_delete() {
+        match parse("INSERT INTO t VALUES (1, 'a', 2.5), (2, NULL, -3.0)").unwrap() {
+            Statement::Insert { table, rows } => {
+                assert_eq!(table, "t");
+                assert_eq!(rows.len(), 2);
+                assert_eq!(rows[1][2], Value::Double(-3.0));
+                assert_eq!(rows[1][1], Value::Null);
+            }
+            o => panic!("{o:?}"),
+        }
+        match parse("UPDATE t SET a = 5, b = 'x' WHERE id = 3").unwrap() {
+            Statement::Update { sets, filter, .. } => {
+                assert_eq!(sets.len(), 2);
+                assert_eq!(filter.len(), 1);
+            }
+            o => panic!("{o:?}"),
+        }
+        assert!(matches!(
+            parse("DELETE FROM t WHERE id = 9").unwrap(),
+            Statement::Delete { .. }
+        ));
+    }
+
+    #[test]
+    fn parses_select_with_joins_and_aggs() {
+        let sql = "SELECT o.region, SUM(l.price * l.qty) AS revenue, COUNT(*)
+                   FROM orders o INNER JOIN lineitem l ON o.id = l.order_id
+                   WHERE l.shipdate <= DATE '1998-09-02' AND o.status = 'F'
+                   GROUP BY o.region ORDER BY revenue DESC LIMIT 10";
+        match parse(sql).unwrap() {
+            Statement::Select(s) => {
+                assert_eq!(s.items.len(), 3);
+                assert_eq!(s.from.len(), 2);
+                assert_eq!(s.join_on.len(), 1);
+                assert!(s.filter.is_some());
+                assert_eq!(s.group_by.len(), 1);
+                assert_eq!(s.order_by.len(), 1);
+                assert!(s.order_by[0].1, "DESC");
+                assert_eq!(s.limit, Some(10));
+                assert!(s.items[1].expr.has_agg());
+                assert_eq!(s.items[1].alias.as_deref(), Some("revenue"));
+            }
+            o => panic!("{o:?}"),
+        }
+    }
+
+    #[test]
+    fn expression_precedence() {
+        let sql = "SELECT a + b * 2, (a + b) * 2 FROM t WHERE a = 1 OR b = 2 AND c = 3";
+        match parse(sql).unwrap() {
+            Statement::Select(s) => {
+                // a + (b*2)
+                match &s.items[0].expr {
+                    AstExpr::Binary { op, r, .. } => {
+                        assert_eq!(op, "+");
+                        assert!(matches!(&**r, AstExpr::Binary { op, .. } if op == "*"));
+                    }
+                    o => panic!("{o:?}"),
+                }
+                // OR binds loosest
+                match s.filter.as_ref().unwrap() {
+                    AstExpr::Binary { op, .. } => assert_eq!(op, "OR"),
+                    o => panic!("{o:?}"),
+                }
+            }
+            o => panic!("{o:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_between_in_like_isnull() {
+        let sql = "SELECT a FROM t WHERE a BETWEEN 1 AND 5 AND b IN ('x','y')
+                   AND c LIKE 'pre%' AND d IS NOT NULL";
+        match parse(sql).unwrap() {
+            Statement::Select(s) => {
+                let mut conj = Vec::new();
+                s.filter.unwrap().split_conjuncts(&mut conj);
+                assert_eq!(conj.len(), 4);
+                assert!(matches!(conj[0], AstExpr::Between { .. }));
+                assert!(matches!(conj[1], AstExpr::InList { .. }));
+                assert!(matches!(conj[2], AstExpr::Like { .. }));
+                assert!(matches!(conj[3], AstExpr::IsNull { negated: true, .. }));
+            }
+            o => panic!("{o:?}"),
+        }
+    }
+
+    #[test]
+    fn alter_add_column_index() {
+        match parse("ALTER TABLE t ADD COLUMN INDEX (a, b)").unwrap() {
+            Statement::AlterAddColumnIndex { table, columns } => {
+                assert_eq!(table, "t");
+                assert_eq!(columns, vec!["a", "b"]);
+            }
+            o => panic!("{o:?}"),
+        }
+    }
+
+    #[test]
+    fn rough_routing_classifier() {
+        assert!(is_read_only("SELECT 1 FROM t"));
+        assert!(is_read_only("  select * from t"));
+        assert!(!is_read_only("INSERT INTO t VALUES (1)"));
+        assert!(!is_read_only("UPDATE t SET a=1 WHERE id=1"));
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(parse("SELEC 1").is_err());
+        assert!(parse("SELECT 'unterminated FROM t").is_err());
+        assert!(parse("CREATE TABLE t (a INT)").is_err(), "missing pk");
+        assert!(parse("SELECT a FROM t WHERE a ~ 1").is_err());
+    }
+}

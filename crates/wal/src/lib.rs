@@ -1,0 +1,32 @@
+//! Physical REDO log and logical Binlog for the PolarDB-IMCI repro.
+//!
+//! The REDO log entry layout follows the paper's Figure 7:
+//! `LSN | PrevLSN | TID | PageID | RecordType | SlotID | size | diff`.
+//! Our entries additionally carry the table id (real InnoDB recovers it
+//! from the page header's index id; we keep the log self-contained) and
+//! the primary key of the affected slot, which is the "physiological"
+//! flavour of logging InnoDB actually uses (byte-physical within a page,
+//! logical across pages).
+//!
+//! Two families of record types exist:
+//!
+//! * **user DML records** (`Insert`, `Update`, `Delete`) carrying a TID
+//!   of a user transaction, plus `Commit`/`Abort` decision records; and
+//! * **system records** (`Smo*`) for page changes produced by the row
+//!   store itself — B+tree splits, new roots, page initialization. They
+//!   carry [`SYSTEM_TID`] and must be *applied* by Phase-1 replay but
+//!   *filtered out* of logical DML extraction (paper §5.3, challenge 2).
+//!
+//! The [`binlog`] module implements the strawman the paper compares
+//! against in Fig. 11: an additional logical log whose extra commit-path
+//! fsync is what perturbs OLTP.
+
+pub mod binlog;
+pub mod reader;
+pub mod record;
+pub mod writer;
+
+pub use binlog::{BinlogEvent, BinlogKind, BinlogWriter};
+pub use reader::LogReader;
+pub use record::{RedoEntry, RedoPayload};
+pub use writer::{LogWriter, PropagationMode, REDO_LOG_NAME};

@@ -1,0 +1,175 @@
+//! Sequential REDO log reader used by RO nodes.
+
+use crate::record::RedoEntry;
+use polarfs_sim::PolarFs;
+use std::time::Duration;
+
+use crate::writer::REDO_LOG_NAME;
+
+/// Chunked tail-reader over the shared-storage REDO log.
+///
+/// RO nodes keep one of these per replication pipeline; `read_available`
+/// drains everything currently durable-or-not (CALS reads entries as
+/// soon as they are appended, *before* the commit fsync — §5.1), and
+/// `wait_and_read` blocks until the log grows.
+pub struct LogReader {
+    fs: PolarFs,
+    offset: u64,
+    buf: Vec<u8>,
+}
+
+const CHUNK: usize = 1 << 20;
+
+impl LogReader {
+    /// Start reading at `offset` bytes into the log (0 = from start).
+    pub fn new(fs: PolarFs, offset: u64) -> LogReader {
+        LogReader {
+            fs,
+            offset,
+            buf: Vec::new(),
+        }
+    }
+
+    /// Byte offset of the next unread position.
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// Read and decode all complete entries currently in the log.
+    pub fn read_available(&mut self) -> Vec<RedoEntry> {
+        let mut out = Vec::new();
+        loop {
+            let chunk = self.fs.read_log(REDO_LOG_NAME, self.offset, CHUNK);
+            if chunk.is_empty() {
+                break;
+            }
+            self.offset += chunk.len() as u64;
+            if self.buf.is_empty() {
+                self.buf = chunk;
+            } else {
+                self.buf.extend_from_slice(&chunk);
+            }
+            let mut pos = 0;
+            while let Ok(Some((entry, used))) = RedoEntry::decode(&self.buf[pos..]) {
+                out.push(entry);
+                pos += used;
+            }
+            self.buf.drain(..pos);
+        }
+        out
+    }
+
+    /// Read and decode entries, but never consume bytes at or beyond
+    /// offset `cap`. Used by the OnCommit (non-CALS) strawman, which
+    /// must not see log entries that are not yet durable.
+    pub fn read_until(&mut self, cap: u64) -> Vec<RedoEntry> {
+        let mut out = Vec::new();
+        while self.offset < cap {
+            let max = (cap - self.offset).min(CHUNK as u64) as usize;
+            let chunk = self.fs.read_log(REDO_LOG_NAME, self.offset, max);
+            if chunk.is_empty() {
+                break;
+            }
+            self.offset += chunk.len() as u64;
+            self.buf.extend_from_slice(&chunk);
+            let mut pos = 0;
+            while let Ok(Some((entry, used))) = RedoEntry::decode(&self.buf[pos..]) {
+                out.push(entry);
+                pos += used;
+            }
+            self.buf.drain(..pos);
+        }
+        out
+    }
+
+    /// Block (up to `timeout`) for new log data, then decode it.
+    pub fn wait_and_read(&mut self, timeout: Duration) -> Vec<RedoEntry> {
+        let have = self.read_available();
+        if !have.is_empty() {
+            return have;
+        }
+        self.fs
+            .wait_for_growth(REDO_LOG_NAME, self.offset, timeout);
+        self.read_available()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::RedoPayload;
+    use crate::writer::{LogWriter, PropagationMode};
+    use imci_common::{PageId, TableId, Tid, Vid};
+
+    #[test]
+    fn reads_in_order_across_chunks() {
+        let fs = PolarFs::instant();
+        let w = LogWriter::new(fs.clone(), PropagationMode::ReuseRedo);
+        for i in 0..500 {
+            w.append(
+                Tid(1),
+                TableId(1),
+                PageId(i % 7),
+                0,
+                RedoPayload::Insert {
+                    pk: i as i64,
+                    image: vec![0u8; 100],
+                },
+            );
+        }
+        w.commit(Tid(1), Vid(1));
+        let mut r = LogReader::new(fs, 0);
+        let es = r.read_available();
+        assert_eq!(es.len(), 501);
+        for (i, e) in es.iter().enumerate() {
+            assert_eq!(e.lsn.get(), (i + 1) as u64);
+        }
+    }
+
+    #[test]
+    fn resumes_from_saved_offset() {
+        let fs = PolarFs::instant();
+        let w = LogWriter::new(fs.clone(), PropagationMode::ReuseRedo);
+        w.append(
+            Tid(1),
+            TableId(1),
+            PageId(1),
+            0,
+            RedoPayload::Delete { pk: 1 },
+        );
+        let mut r = LogReader::new(fs.clone(), 0);
+        assert_eq!(r.read_available().len(), 1);
+        let off = r.offset();
+        w.append(
+            Tid(1),
+            TableId(1),
+            PageId(1),
+            0,
+            RedoPayload::Delete { pk: 2 },
+        );
+        let mut r2 = LogReader::new(fs, off);
+        let es = r2.read_available();
+        assert_eq!(es.len(), 1);
+        assert_eq!(es[0].lsn.get(), 2);
+    }
+
+    #[test]
+    fn sees_uncommitted_entries_before_commit() {
+        // The CALS property: DML entries are readable before the commit
+        // record exists at all.
+        let fs = PolarFs::instant();
+        let w = LogWriter::new(fs.clone(), PropagationMode::ReuseRedo);
+        w.append(
+            Tid(42),
+            TableId(1),
+            PageId(1),
+            0,
+            RedoPayload::Insert { pk: 9, image: vec![1] },
+        );
+        let mut r = LogReader::new(fs, 0);
+        let es = r.read_available();
+        assert_eq!(es.len(), 1);
+        assert_eq!(es[0].tid, Tid(42));
+        assert!(!es[0].payload.is_decision());
+    }
+}

@@ -1,0 +1,414 @@
+//! REDO record types and their binary codec.
+
+use imci_common::{Error, Lsn, PageId, Result, RowDiff, TableId, Tid, Vid};
+
+/// Payload of a REDO entry, discriminated by record type.
+///
+/// `Insert`/`Update`/`Delete` act on a leaf page slot identified by the
+/// row's primary key. `Smo*` records describe structure modification
+/// operations; each touches exactly one page so that Phase-1's
+/// page-partitioned parallel replay never needs cross-worker
+/// coordination (paper §5.2: "Phase #1 is page-grained").
+#[derive(Debug, Clone, PartialEq)]
+pub enum RedoPayload {
+    /// Insert `row image` at key `pk` into a leaf page.
+    Insert { pk: i64, image: Vec<u8> },
+    /// Byte-differential update of the row at key `pk`.
+    Update { pk: i64, diff: RowDiff },
+    /// Delete the row at key `pk`.
+    Delete { pk: i64 },
+    /// SMO: drop all entries with key >= `from_pk` from a leaf (they
+    /// moved to a sibling during a split).
+    SmoTruncate { from_pk: i64 },
+    /// SMO: bulk-write entries into a (possibly fresh) leaf page; used
+    /// for the right sibling of a split. `next_leaf` rewires the leaf
+    /// chain.
+    SmoLeafWrite {
+        entries: Vec<(i64, Vec<u8>)>,
+        next_leaf: Option<PageId>,
+    },
+    /// SMO: set a leaf's next-leaf pointer.
+    SmoSetNext { next_leaf: Option<PageId> },
+    /// SMO: insert a separator `key`/`child` pair into an internal page.
+    SmoParentInsert { key: i64, child: PageId },
+    /// SMO: (re)initialize an internal page with full content.
+    SmoInternalWrite { keys: Vec<i64>, children: Vec<PageId> },
+    /// SMO: table metadata change — new root page. `page_id` is the
+    /// table's meta page.
+    SmoSetRoot { root: PageId },
+    /// Transaction committed; `commit_vid` is its commit sequence number
+    /// (becomes the version id stamped into the column index VID maps).
+    Commit { commit_vid: Vid },
+    /// Transaction aborted; RO nodes drop its buffered DMLs (§5.1).
+    Abort,
+}
+
+impl RedoPayload {
+    /// Numeric record-type tag (Fig. 7's "Record Type" field).
+    pub fn kind_tag(&self) -> u8 {
+        match self {
+            RedoPayload::Insert { .. } => 1,
+            RedoPayload::Update { .. } => 2,
+            RedoPayload::Delete { .. } => 3,
+            RedoPayload::SmoTruncate { .. } => 10,
+            RedoPayload::SmoLeafWrite { .. } => 11,
+            RedoPayload::SmoSetNext { .. } => 12,
+            RedoPayload::SmoParentInsert { .. } => 13,
+            RedoPayload::SmoInternalWrite { .. } => 14,
+            RedoPayload::SmoSetRoot { .. } => 15,
+            RedoPayload::Commit { .. } => 20,
+            RedoPayload::Abort => 21,
+        }
+    }
+
+    /// Whether this is a structure-modification (system) record.
+    pub fn is_smo(&self) -> bool {
+        (10..20).contains(&self.kind_tag())
+    }
+
+    /// Whether this is a transaction decision record.
+    pub fn is_decision(&self) -> bool {
+        matches!(self, RedoPayload::Commit { .. } | RedoPayload::Abort)
+    }
+}
+
+/// One REDO log entry (paper Fig. 7).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RedoEntry {
+    /// Log sequence number: order of this entry in the log.
+    pub lsn: Lsn,
+    /// LSN of the previous entry of the same transaction (0 = none).
+    pub prev_lsn: Lsn,
+    /// Transaction that produced this entry; [`imci_common::SYSTEM_TID`]
+    /// for SMO records.
+    pub tid: Tid,
+    /// Table whose page is modified.
+    pub table_id: TableId,
+    /// Physical page modified by this entry.
+    pub page_id: PageId,
+    /// Slot hint within the page (position at emit time; replay relies
+    /// on the pk instead, which is robust to concurrent reordering).
+    pub slot_id: u32,
+    /// Record type + differential payload.
+    pub payload: RedoPayload,
+}
+
+// ---- binary codec ----
+//
+// Entry frame: u32 body_len | body. Body:
+//   u64 lsn | u64 prev_lsn | u64 tid | u64 table_id | u64 page_id
+//   | u32 slot_id | u8 kind | payload bytes.
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_i64(out: &mut Vec<u8>, v: i64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    put_u32(out, b.len() as u32);
+    out.extend_from_slice(b);
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.pos + n > self.buf.len() {
+            return Err(Error::Storage("redo entry truncated".into()));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn i64(&mut self) -> Result<i64> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn bytes(&mut self) -> Result<Vec<u8>> {
+        let n = self.u32()? as usize;
+        Ok(self.take(n)?.to_vec())
+    }
+}
+
+impl RedoEntry {
+    /// Encode to the framed wire format.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut body = Vec::with_capacity(64);
+        put_u64(&mut body, self.lsn.get());
+        put_u64(&mut body, self.prev_lsn.get());
+        put_u64(&mut body, self.tid.get());
+        put_u64(&mut body, self.table_id.get());
+        put_u64(&mut body, self.page_id.get());
+        put_u32(&mut body, self.slot_id);
+        body.push(self.payload.kind_tag());
+        match &self.payload {
+            RedoPayload::Insert { pk, image } => {
+                put_i64(&mut body, *pk);
+                put_bytes(&mut body, image);
+            }
+            RedoPayload::Update { pk, diff } => {
+                put_i64(&mut body, *pk);
+                put_u32(&mut body, diff.new_len);
+                put_u32(&mut body, diff.splices.len() as u32);
+                for (off, bytes) in &diff.splices {
+                    put_u32(&mut body, *off);
+                    put_bytes(&mut body, bytes);
+                }
+            }
+            RedoPayload::Delete { pk } => put_i64(&mut body, *pk),
+            RedoPayload::SmoTruncate { from_pk } => put_i64(&mut body, *from_pk),
+            RedoPayload::SmoLeafWrite { entries, next_leaf } => {
+                put_u32(&mut body, entries.len() as u32);
+                for (pk, img) in entries {
+                    put_i64(&mut body, *pk);
+                    put_bytes(&mut body, img);
+                }
+                put_u64(&mut body, next_leaf.map_or(u64::MAX, |p| p.get()));
+            }
+            RedoPayload::SmoSetNext { next_leaf } => {
+                put_u64(&mut body, next_leaf.map_or(u64::MAX, |p| p.get()));
+            }
+            RedoPayload::SmoParentInsert { key, child } => {
+                put_i64(&mut body, *key);
+                put_u64(&mut body, child.get());
+            }
+            RedoPayload::SmoInternalWrite { keys, children } => {
+                put_u32(&mut body, keys.len() as u32);
+                for k in keys {
+                    put_i64(&mut body, *k);
+                }
+                put_u32(&mut body, children.len() as u32);
+                for c in children {
+                    put_u64(&mut body, c.get());
+                }
+            }
+            RedoPayload::SmoSetRoot { root } => put_u64(&mut body, root.get()),
+            RedoPayload::Commit { commit_vid } => put_u64(&mut body, commit_vid.get()),
+            RedoPayload::Abort => {}
+        }
+        let mut out = Vec::with_capacity(body.len() + 4);
+        put_u32(&mut out, body.len() as u32);
+        out.extend_from_slice(&body);
+        out
+    }
+
+    /// Decode one framed entry from the front of `buf`.
+    /// Returns `(entry, bytes_consumed)`, or `Ok(None)` if the frame is
+    /// incomplete (reader should fetch more bytes).
+    pub fn decode(buf: &[u8]) -> Result<Option<(RedoEntry, usize)>> {
+        if buf.len() < 4 {
+            return Ok(None);
+        }
+        let body_len = u32::from_le_bytes(buf[..4].try_into().unwrap()) as usize;
+        if buf.len() < 4 + body_len {
+            return Ok(None);
+        }
+        let mut r = Reader {
+            buf: &buf[4..4 + body_len],
+            pos: 0,
+        };
+        let lsn = Lsn(r.u64()?);
+        let prev_lsn = Lsn(r.u64()?);
+        let tid = Tid(r.u64()?);
+        let table_id = TableId(r.u64()?);
+        let page_id = PageId(r.u64()?);
+        let slot_id = r.u32()?;
+        let kind = r.u8()?;
+        let payload = match kind {
+            1 => RedoPayload::Insert {
+                pk: r.i64()?,
+                image: r.bytes()?,
+            },
+            2 => {
+                let pk = r.i64()?;
+                let new_len = r.u32()?;
+                let n = r.u32()? as usize;
+                let mut splices = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let off = r.u32()?;
+                    splices.push((off, r.bytes()?));
+                }
+                RedoPayload::Update {
+                    pk,
+                    diff: RowDiff { new_len, splices },
+                }
+            }
+            3 => RedoPayload::Delete { pk: r.i64()? },
+            10 => RedoPayload::SmoTruncate { from_pk: r.i64()? },
+            11 => {
+                let n = r.u32()? as usize;
+                let mut entries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let pk = r.i64()?;
+                    entries.push((pk, r.bytes()?));
+                }
+                let nl = r.u64()?;
+                RedoPayload::SmoLeafWrite {
+                    entries,
+                    next_leaf: (nl != u64::MAX).then_some(PageId(nl)),
+                }
+            }
+            12 => {
+                let nl = r.u64()?;
+                RedoPayload::SmoSetNext {
+                    next_leaf: (nl != u64::MAX).then_some(PageId(nl)),
+                }
+            }
+            13 => RedoPayload::SmoParentInsert {
+                key: r.i64()?,
+                child: PageId(r.u64()?),
+            },
+            14 => {
+                let nk = r.u32()? as usize;
+                let mut keys = Vec::with_capacity(nk);
+                for _ in 0..nk {
+                    keys.push(r.i64()?);
+                }
+                let nc = r.u32()? as usize;
+                let mut children = Vec::with_capacity(nc);
+                for _ in 0..nc {
+                    children.push(PageId(r.u64()?));
+                }
+                RedoPayload::SmoInternalWrite { keys, children }
+            }
+            15 => RedoPayload::SmoSetRoot {
+                root: PageId(r.u64()?),
+            },
+            20 => RedoPayload::Commit {
+                commit_vid: Vid(r.u64()?),
+            },
+            21 => RedoPayload::Abort,
+            t => return Err(Error::Storage(format!("unknown redo record type {t}"))),
+        };
+        Ok(Some((
+            RedoEntry {
+                lsn,
+                prev_lsn,
+                tid,
+                table_id,
+                page_id,
+                slot_id,
+                payload,
+            },
+            4 + body_len,
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imci_common::SYSTEM_TID;
+
+    fn roundtrip(p: RedoPayload) {
+        let e = RedoEntry {
+            lsn: Lsn(42),
+            prev_lsn: Lsn(17),
+            tid: Tid(5),
+            table_id: TableId(3),
+            page_id: PageId(99),
+            slot_id: 7,
+            payload: p,
+        };
+        let enc = e.encode();
+        let (dec, used) = RedoEntry::decode(&enc).unwrap().unwrap();
+        assert_eq!(used, enc.len());
+        assert_eq!(dec, e);
+    }
+
+    #[test]
+    fn roundtrip_all_kinds() {
+        roundtrip(RedoPayload::Insert {
+            pk: -5,
+            image: vec![1, 2, 3],
+        });
+        roundtrip(RedoPayload::Update {
+            pk: 10,
+            diff: RowDiff {
+                new_len: 20,
+                splices: vec![(3, vec![9, 9])],
+            },
+        });
+        roundtrip(RedoPayload::Delete { pk: 123 });
+        roundtrip(RedoPayload::SmoTruncate { from_pk: 50 });
+        roundtrip(RedoPayload::SmoLeafWrite {
+            entries: vec![(1, vec![0xA]), (2, vec![0xB, 0xC])],
+            next_leaf: Some(PageId(4)),
+        });
+        roundtrip(RedoPayload::SmoLeafWrite {
+            entries: vec![],
+            next_leaf: None,
+        });
+        roundtrip(RedoPayload::SmoSetNext { next_leaf: None });
+        roundtrip(RedoPayload::SmoParentInsert {
+            key: 7,
+            child: PageId(8),
+        });
+        roundtrip(RedoPayload::SmoInternalWrite {
+            keys: vec![10, 20],
+            children: vec![PageId(1), PageId(2), PageId(3)],
+        });
+        roundtrip(RedoPayload::SmoSetRoot { root: PageId(77) });
+        roundtrip(RedoPayload::Commit {
+            commit_vid: Vid(1000),
+        });
+        roundtrip(RedoPayload::Abort);
+    }
+
+    #[test]
+    fn incomplete_frames_return_none() {
+        let e = RedoEntry {
+            lsn: Lsn(1),
+            prev_lsn: Lsn(0),
+            tid: SYSTEM_TID,
+            table_id: TableId(1),
+            page_id: PageId(1),
+            slot_id: 0,
+            payload: RedoPayload::Abort,
+        };
+        let enc = e.encode();
+        assert!(RedoEntry::decode(&enc[..3]).unwrap().is_none());
+        assert!(RedoEntry::decode(&enc[..enc.len() - 1]).unwrap().is_none());
+    }
+
+    #[test]
+    fn smo_classification() {
+        assert!(RedoPayload::SmoTruncate { from_pk: 0 }.is_smo());
+        assert!(!RedoPayload::Insert { pk: 0, image: vec![] }.is_smo());
+        assert!(RedoPayload::Commit { commit_vid: Vid(1) }.is_decision());
+        assert!(!RedoPayload::Delete { pk: 0 }.is_decision());
+    }
+
+    #[test]
+    fn decode_rejects_bad_kind() {
+        let mut enc = RedoEntry {
+            lsn: Lsn(1),
+            prev_lsn: Lsn(0),
+            tid: Tid(1),
+            table_id: TableId(1),
+            page_id: PageId(1),
+            slot_id: 0,
+            payload: RedoPayload::Abort,
+        }
+        .encode();
+        // Corrupt the kind byte (last byte of the body for Abort).
+        let n = enc.len();
+        enc[n - 1] = 200;
+        assert!(RedoEntry::decode(&enc).is_err());
+    }
+}

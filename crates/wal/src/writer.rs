@@ -1,0 +1,261 @@
+//! The REDO log writer living on the RW node.
+//!
+//! Responsibilities:
+//! * assign LSNs and maintain per-transaction `prev_lsn` chains;
+//! * append encoded entries to the shared-storage log file — entries are
+//!   visible to RO nodes *immediately*, before commit, which is what
+//!   makes commit-ahead log shipping possible (paper §5.1);
+//! * on commit, write the decision record and fsync (group-commit
+//!   boundary); in [`PropagationMode::Binlog`] also write the logical
+//!   binlog and fsync it too — the strawman's extra cost (§3.2, Fig. 11).
+
+use crate::record::{RedoEntry, RedoPayload};
+use imci_common::{FxHashMap, Lsn, PageId, TableId, Tid, Vid};
+use parking_lot::Mutex;
+use polarfs_sim::PolarFs;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared-storage file name of the REDO log.
+pub const REDO_LOG_NAME: &str = "redo.log";
+
+/// How updates are propagated to RO nodes (ablated in Fig. 11).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PropagationMode {
+    /// Reuse the physical REDO log (the paper's design).
+    #[default]
+    ReuseRedo,
+    /// Additionally ship a logical Binlog (the strawman baseline): one
+    /// more log stream to append to and one more fsync per commit.
+    Binlog,
+}
+
+struct WriterState {
+    next_lsn: u64,
+    /// prev-LSN chain per open transaction.
+    txn_last_lsn: FxHashMap<Tid, Lsn>,
+}
+
+/// REDO log writer. One per RW node; thread-safe.
+pub struct LogWriter {
+    fs: PolarFs,
+    state: Mutex<WriterState>,
+    /// Highest LSN whose commit record has been made durable — the
+    /// proxy's "written LSN" for strong consistency (paper §6.4).
+    written_lsn: AtomicU64,
+    mode: PropagationMode,
+    binlog: crate::binlog::BinlogWriter,
+}
+
+impl LogWriter {
+    /// Create a writer over shared storage.
+    pub fn new(fs: PolarFs, mode: PropagationMode) -> Arc<LogWriter> {
+        Arc::new(LogWriter {
+            binlog: crate::binlog::BinlogWriter::new(fs.clone()),
+            fs,
+            state: Mutex::new(WriterState {
+                next_lsn: 1,
+                txn_last_lsn: FxHashMap::default(),
+            }),
+            written_lsn: AtomicU64::new(0),
+            mode,
+        })
+    }
+
+    /// Propagation mode in force.
+    pub fn mode(&self) -> PropagationMode {
+        self.mode
+    }
+
+    /// Shared storage handle.
+    pub fn fs(&self) -> &PolarFs {
+        &self.fs
+    }
+
+    /// Append one entry; returns its LSN. The append is immediately
+    /// readable by RO nodes tailing the log (CALS).
+    pub fn append(
+        &self,
+        tid: Tid,
+        table_id: TableId,
+        page_id: PageId,
+        slot_id: u32,
+        payload: RedoPayload,
+    ) -> Lsn {
+        let is_decision = payload.is_decision();
+        let (entry, lsn) = {
+            let mut st = self.state.lock();
+            let lsn = Lsn(st.next_lsn);
+            st.next_lsn += 1;
+            let prev = if is_decision {
+                st.txn_last_lsn.remove(&tid).unwrap_or(Lsn::ZERO)
+            } else {
+                st.txn_last_lsn.insert(tid, lsn).unwrap_or(Lsn::ZERO)
+            };
+            (
+                RedoEntry {
+                    lsn,
+                    prev_lsn: prev,
+                    tid,
+                    table_id,
+                    page_id,
+                    slot_id,
+                    payload,
+                },
+                lsn,
+            )
+        };
+        let bytes = entry.encode();
+        self.fs.append(REDO_LOG_NAME, &bytes);
+        lsn
+    }
+
+    /// Write the commit record for `tid`, fsync the log(s), and publish
+    /// the new written-LSN. Returns the commit record's LSN.
+    pub fn commit(&self, tid: Tid, commit_vid: Vid) -> Lsn {
+        let lsn = self.append(
+            tid,
+            TableId::ZERO,
+            PageId::ZERO,
+            0,
+            RedoPayload::Commit { commit_vid },
+        );
+        self.fs.fsync(REDO_LOG_NAME);
+        if self.mode == PropagationMode::Binlog {
+            self.binlog.commit(tid);
+        }
+        self.written_lsn.fetch_max(lsn.get(), Ordering::SeqCst);
+        lsn
+    }
+
+    /// Write an abort record for `tid` (no fsync required: aborts don't
+    /// gate durability of anything).
+    pub fn abort(&self, tid: Tid) -> Lsn {
+        let lsn = self.append(
+            tid,
+            TableId::ZERO,
+            PageId::ZERO,
+            0,
+            RedoPayload::Abort,
+        );
+        if self.mode == PropagationMode::Binlog {
+            self.binlog.abort(tid);
+        }
+        lsn
+    }
+
+    /// Logical binlog writer (used by the row engine in Binlog mode).
+    pub fn binlog(&self) -> &crate::binlog::BinlogWriter {
+        &self.binlog
+    }
+
+    /// Highest durably-committed LSN (the proxy's written LSN, §6.4).
+    pub fn written_lsn(&self) -> Lsn {
+        Lsn(self.written_lsn.load(Ordering::SeqCst))
+    }
+
+    /// Highest assigned LSN (for monitoring / LSN-delay plots, Fig. 14).
+    pub fn tail_lsn(&self) -> Lsn {
+        Lsn(self.state.lock().next_lsn - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reader::LogReader;
+    use polarfs_sim::PolarFs;
+
+    #[test]
+    fn lsns_are_dense_and_prev_chains_link() {
+        let fs = PolarFs::instant();
+        let w = LogWriter::new(fs.clone(), PropagationMode::ReuseRedo);
+        let t = Tid(7);
+        let l1 = w.append(
+            t,
+            TableId(1),
+            PageId(1),
+            0,
+            RedoPayload::Insert { pk: 1, image: vec![1] },
+        );
+        let l2 = w.append(
+            t,
+            TableId(1),
+            PageId(1),
+            1,
+            RedoPayload::Insert { pk: 2, image: vec![2] },
+        );
+        let l3 = w.commit(t, Vid(1));
+        assert_eq!((l1, l2, l3), (Lsn(1), Lsn(2), Lsn(3)));
+
+        let mut r = LogReader::new(fs, 0);
+        let es = r.read_available();
+        assert_eq!(es.len(), 3);
+        assert_eq!(es[0].prev_lsn, Lsn::ZERO);
+        assert_eq!(es[1].prev_lsn, Lsn(1));
+        assert_eq!(es[2].prev_lsn, Lsn(2));
+        assert_eq!(w.written_lsn(), l3);
+    }
+
+    #[test]
+    fn commit_fsyncs_once_in_redo_mode() {
+        let fs = PolarFs::instant();
+        let w = LogWriter::new(fs.clone(), PropagationMode::ReuseRedo);
+        w.append(
+            Tid(1),
+            TableId(1),
+            PageId(1),
+            0,
+            RedoPayload::Insert { pk: 1, image: vec![] },
+        );
+        w.commit(Tid(1), Vid(1));
+        assert_eq!(fs.stats().fsyncs(), 1);
+    }
+
+    #[test]
+    fn commit_fsyncs_twice_in_binlog_mode() {
+        let fs = PolarFs::instant();
+        let w = LogWriter::new(fs.clone(), PropagationMode::Binlog);
+        w.append(
+            Tid(1),
+            TableId(1),
+            PageId(1),
+            0,
+            RedoPayload::Insert { pk: 1, image: vec![] },
+        );
+        w.commit(Tid(1), Vid(1));
+        // One redo fsync + one binlog fsync: the Fig. 11 overhead.
+        assert_eq!(fs.stats().fsyncs(), 2);
+    }
+
+    #[test]
+    fn interleaved_transactions_keep_separate_chains() {
+        let fs = PolarFs::instant();
+        let w = LogWriter::new(fs.clone(), PropagationMode::ReuseRedo);
+        let a = Tid(1);
+        let b = Tid(2);
+        w.append(a, TableId(1), PageId(1), 0, RedoPayload::Delete { pk: 1 });
+        w.append(b, TableId(1), PageId(2), 0, RedoPayload::Delete { pk: 2 });
+        w.append(a, TableId(1), PageId(1), 0, RedoPayload::Delete { pk: 3 });
+        let mut r = LogReader::new(fs, 0);
+        let es = r.read_available();
+        assert_eq!(es[2].prev_lsn, es[0].lsn);
+        assert_eq!(es[1].prev_lsn, Lsn::ZERO);
+    }
+
+    #[test]
+    fn abort_does_not_advance_written_lsn() {
+        let fs = PolarFs::instant();
+        let w = LogWriter::new(fs, PropagationMode::ReuseRedo);
+        w.append(
+            Tid(9),
+            TableId(1),
+            PageId(1),
+            0,
+            RedoPayload::Insert { pk: 1, image: vec![] },
+        );
+        w.abort(Tid(9));
+        assert_eq!(w.written_lsn(), Lsn::ZERO);
+        assert_eq!(w.tail_lsn(), Lsn(2));
+    }
+}

@@ -1,0 +1,210 @@
+//! CH-benCHmark-like hybrid workload (paper §8.1, Fig. 10): TPC-C-style
+//! transactions (NewOrder, Payment) and analytical queries over the
+//! same schema.
+
+use imci_cluster::Cluster;
+use imci_common::{Result, Value};
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+
+/// The CH-bench table set, scaled by warehouse count.
+pub struct ChBench {
+    /// Number of warehouses (the scale factor).
+    pub warehouses: i64,
+    /// Items in the catalog.
+    pub items: i64,
+    /// Customers per district.
+    pub customers_per_district: i64,
+    next_order: Arc<AtomicI64>,
+}
+
+/// TPC-C-ish DDL with column indexes on the analytics-relevant tables.
+pub fn ddl() -> Vec<&'static str> {
+    vec![
+        "CREATE TABLE warehouse (w_id INT NOT NULL, w_name VARCHAR(10), w_tax DOUBLE, w_ytd DOUBLE,
+          PRIMARY KEY(w_id), KEY COLUMN_INDEX(w_id, w_name, w_tax, w_ytd))",
+        "CREATE TABLE district (d_id INT NOT NULL, d_w_id INT, d_tax DOUBLE, d_ytd DOUBLE, d_next_o INT,
+          PRIMARY KEY(d_id), KEY d_w(d_w_id), KEY COLUMN_INDEX(d_id, d_w_id, d_tax, d_ytd, d_next_o))",
+        "CREATE TABLE chcustomer (c_id INT NOT NULL, c_d_id INT, c_w_id INT, c_balance DOUBLE,
+          c_ytd_payment DOUBLE, c_payment_cnt INT, c_last VARCHAR(16),
+          PRIMARY KEY(c_id), KEY c_d(c_d_id), KEY c_w(c_w_id),
+          KEY COLUMN_INDEX(c_id, c_d_id, c_w_id, c_balance, c_ytd_payment, c_payment_cnt, c_last))",
+        "CREATE TABLE chitem (i_id INT NOT NULL, i_name VARCHAR(24), i_price DOUBLE,
+          PRIMARY KEY(i_id), KEY COLUMN_INDEX(i_id, i_name, i_price))",
+        "CREATE TABLE chstock (s_id INT NOT NULL, s_i_id INT, s_w_id INT, s_quantity INT, s_ytd INT,
+          PRIMARY KEY(s_id), KEY s_i(s_i_id), KEY s_w(s_w_id),
+          KEY COLUMN_INDEX(s_id, s_i_id, s_w_id, s_quantity, s_ytd))",
+        "CREATE TABLE chorder (o_id INT NOT NULL, o_d_id INT, o_w_id INT, o_c_id INT,
+          o_entry_d DATE, o_ol_cnt INT,
+          PRIMARY KEY(o_id), KEY o_c(o_c_id), KEY o_w(o_w_id),
+          KEY COLUMN_INDEX(o_id, o_d_id, o_w_id, o_c_id, o_entry_d, o_ol_cnt))",
+        "CREATE TABLE order_line (ol_id INT NOT NULL, ol_o_id INT, ol_d_id INT, ol_w_id INT,
+          ol_i_id INT, ol_quantity INT, ol_amount DOUBLE,
+          PRIMARY KEY(ol_id), KEY ol_o(ol_o_id), KEY ol_i(ol_i_id),
+          KEY COLUMN_INDEX(ol_id, ol_o_id, ol_d_id, ol_w_id, ol_i_id, ol_quantity, ol_amount))",
+    ]
+}
+
+/// The analytical side: CH-bench-style queries in our dialect.
+pub fn analytical_queries() -> Vec<(&'static str, String)> {
+    vec![
+        ("CH-Q1", "SELECT ol_d_id, SUM(ol_quantity), SUM(ol_amount), AVG(ol_amount), COUNT(*) \
+                   FROM order_line GROUP BY ol_d_id ORDER BY ol_d_id".into()),
+        ("CH-Q3", "SELECT o_id, SUM(ol_amount) AS revenue FROM chcustomer, chorder, order_line \
+                   WHERE c_id = o_c_id AND ol_o_id = o_id AND c_balance < 0 \
+                   GROUP BY o_id ORDER BY revenue DESC LIMIT 10".into()),
+        ("CH-Q5", "SELECT s_w_id, SUM(ol_amount) AS revenue FROM order_line, chstock \
+                   WHERE ol_i_id = s_i_id GROUP BY s_w_id ORDER BY revenue DESC".into()),
+        ("CH-Q6", "SELECT SUM(ol_amount) FROM order_line WHERE ol_quantity BETWEEN 1 AND 10".into()),
+        ("CH-Q12", "SELECT o_ol_cnt, COUNT(*) FROM chorder, order_line \
+                    WHERE ol_o_id = o_id AND ol_quantity > 5 \
+                    GROUP BY o_ol_cnt ORDER BY o_ol_cnt".into()),
+    ]
+}
+
+impl ChBench {
+    /// Create + populate the tables.
+    pub fn setup(cluster: &Cluster, warehouses: i64) -> Result<ChBench> {
+        for stmt in ddl() {
+            cluster.execute(stmt)?;
+        }
+        let items = 1000.max(warehouses * 100);
+        let customers_per_district = 30;
+        let rw = &cluster.rw;
+        let mut txn = rw.begin();
+        for w in 0..warehouses {
+            rw.insert(&mut txn, "warehouse", vec![
+                Value::Int(w), Value::Str(format!("wh{w}")),
+                Value::Double(0.1), Value::Double(0.0),
+            ])?;
+            for d in 0..10 {
+                let d_id = w * 10 + d;
+                rw.insert(&mut txn, "district", vec![
+                    Value::Int(d_id), Value::Int(w), Value::Double(0.05),
+                    Value::Double(0.0), Value::Int(0),
+                ])?;
+                for c in 0..customers_per_district {
+                    let c_id = d_id * 1000 + c;
+                    rw.insert(&mut txn, "chcustomer", vec![
+                        Value::Int(c_id), Value::Int(d_id), Value::Int(w),
+                        Value::Double(if c % 9 == 0 { -10.0 } else { 100.0 }),
+                        Value::Double(10.0), Value::Int(1),
+                        Value::Str(format!("LAST{}", c % 10)),
+                    ])?;
+                }
+            }
+        }
+        for i in 0..items {
+            rw.insert(&mut txn, "chitem", vec![
+                Value::Int(i), Value::Str(format!("item{i}")),
+                Value::Double(1.0 + (i % 100) as f64),
+            ])?;
+        }
+        for w in 0..warehouses {
+            for i in 0..items {
+                rw.insert(&mut txn, "chstock", vec![
+                    Value::Int(w * items + i), Value::Int(i), Value::Int(w),
+                    Value::Int(100), Value::Int(0),
+                ])?;
+            }
+        }
+        rw.commit(txn);
+        Ok(ChBench {
+            warehouses,
+            items,
+            customers_per_district,
+            next_order: Arc::new(AtomicI64::new(0)),
+        })
+    }
+
+    /// One NewOrder transaction: insert an order + 5..15 order lines and
+    /// decrement stock. Returns the number of order lines.
+    pub fn new_order(&self, cluster: &Cluster, rng: &mut StdRng) -> Result<usize> {
+        let rw = &cluster.rw;
+        let w = rng.gen_range(0..self.warehouses);
+        let d = w * 10 + rng.gen_range(0..10);
+        let c = d * 1000 + rng.gen_range(0..self.customers_per_district);
+        let o_id = self.next_order.fetch_add(1, Ordering::SeqCst);
+        let n_lines = rng.gen_range(5..=15);
+        let mut txn = rw.begin();
+        rw.insert(&mut txn, "chorder", vec![
+            Value::Int(o_id), Value::Int(d), Value::Int(w), Value::Int(c),
+            Value::Date(10_000 + (o_id % 365)), Value::Int(n_lines as i64),
+        ])?;
+        for l in 0..n_lines {
+            let i = rng.gen_range(0..self.items);
+            rw.insert(&mut txn, "order_line", vec![
+                Value::Int(o_id * 16 + l as i64), Value::Int(o_id), Value::Int(d),
+                Value::Int(w), Value::Int(i),
+                Value::Int(rng.gen_range(1..=10)),
+                Value::Double(rng.gen_range(1.0..300.0)),
+            ])?;
+            // stock update
+            let s_id = w * self.items + i;
+            if let Some(mut row) = rw.get_row("chstock", s_id)? {
+                let q = row.values[3].as_int().unwrap_or(100);
+                row.values[3] = Value::Int(if q <= 10 { 100 } else { q - 1 });
+                row.values[4] = Value::Int(row.values[4].as_int().unwrap_or(0) + 1);
+                rw.update(&mut txn, "chstock", s_id, row.values)?;
+            }
+        }
+        rw.commit(txn);
+        Ok(n_lines)
+    }
+
+    /// One Payment transaction: update a customer balance + district ytd.
+    pub fn payment(&self, cluster: &Cluster, rng: &mut StdRng) -> Result<()> {
+        let rw = &cluster.rw;
+        let w = rng.gen_range(0..self.warehouses);
+        let d = w * 10 + rng.gen_range(0..10);
+        let c = d * 1000 + rng.gen_range(0..self.customers_per_district);
+        let amount = rng.gen_range(1.0..5000.0);
+        let mut txn = rw.begin();
+        if let Some(mut row) = rw.get_row("chcustomer", c)? {
+            row.values[3] = Value::Double(row.values[3].as_f64().unwrap_or(0.0) - amount);
+            row.values[4] = Value::Double(row.values[4].as_f64().unwrap_or(0.0) + amount);
+            row.values[5] = Value::Int(row.values[5].as_int().unwrap_or(0) + 1);
+            rw.update(&mut txn, "chcustomer", c, row.values)?;
+        }
+        if let Some(mut row) = rw.get_row("district", d)? {
+            row.values[3] = Value::Double(row.values[3].as_f64().unwrap_or(0.0) + amount);
+            rw.update(&mut txn, "district", d, row.values)?;
+        }
+        rw.commit(txn);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imci_cluster::ClusterConfig;
+    use rand::SeedableRng;
+
+    #[test]
+    fn setup_and_transactions() {
+        let cluster = Cluster::start(ClusterConfig {
+            n_ro: 0,
+            group_cap: 64,
+            ..Default::default()
+        });
+        let ch = ChBench::setup(&cluster, 1).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut lines = 0;
+        for _ in 0..10 {
+            lines += ch.new_order(&cluster, &mut rng).unwrap();
+            ch.payment(&cluster, &mut rng).unwrap();
+        }
+        assert_eq!(cluster.rw.row_count("chorder").unwrap(), 10);
+        assert_eq!(cluster.rw.row_count("order_line").unwrap(), lines);
+    }
+
+    #[test]
+    fn analytical_queries_parse() {
+        for (name, sql) in analytical_queries() {
+            imci_sql::parse(&sql).unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+}

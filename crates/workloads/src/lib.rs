@@ -1,0 +1,109 @@
+//! Workload generators for the evaluation (paper §8.1):
+//!
+//! * [`tpch`] — a TPC-H-derived schema/data/query set (Fig. 9);
+//! * [`chbench`] — a CH-benCHmark-like hybrid workload: TPC-C-style
+//!   transactions + analytical queries over the same schema (Fig. 10);
+//! * [`sysbench`] — sysbench-style insert-only / write-only tables with
+//!   Zipfian key access (Figs. 11/14);
+//! * [`production`] — synthetic customer profiles matching the aggregate
+//!   statistics of Table 2 (Fig. 15 / Table 3).
+
+pub mod chbench;
+pub mod production;
+pub mod sysbench;
+pub mod tpch;
+
+/// Zipfian index sampler (approximate, via the classic power-law CDF
+/// inversion) used by the sysbench-style workloads.
+pub struct Zipf {
+    n: u64,
+    theta: f64,
+    zeta_n: f64,
+    alpha: f64,
+    eta: f64,
+    zeta_theta: f64,
+}
+
+impl Zipf {
+    /// Sampler over `1..=n` with skew `theta` (0 < theta < 1).
+    pub fn new(n: u64, theta: f64) -> Zipf {
+        let zeta = |m: u64, t: f64| -> f64 {
+            // For large m use a coarse approximation to keep setup O(1k).
+            let cap = m.min(10_000);
+            let mut s = 0.0;
+            for i in 1..=cap {
+                s += 1.0 / (i as f64).powf(t);
+            }
+            if m > cap {
+                // integral tail approximation
+                s += ((m as f64).powf(1.0 - t) - (cap as f64).powf(1.0 - t))
+                    / (1.0 - t);
+            }
+            s
+        };
+        let zeta_n = zeta(n, theta);
+        let zeta_theta = zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta))
+            / (1.0 - zeta_theta / zeta_n);
+        Zipf {
+            n,
+            theta,
+            zeta_n,
+            alpha,
+            eta,
+            zeta_theta,
+        }
+    }
+
+    /// Sample an index in `1..=n` from a uniform `u` in `[0,1)`.
+    pub fn sample(&self, u: f64) -> u64 {
+        let uz = u * self.zeta_n;
+        if uz < 1.0 {
+            return 1;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 2;
+        }
+        let v = 1.0 + (self.n as f64) * (self.eta * u - self.eta + 1.0).powf(self.alpha);
+        (v as u64).clamp(1, self.n)
+    }
+
+    /// Skew parameter.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Convenience: zeta(2, theta) (tests).
+    pub fn zeta_theta(&self) -> f64 {
+        self.zeta_theta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn zipf_is_skewed_toward_small_indices() {
+        let z = Zipf::new(10_000, 0.9);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut hot = 0;
+        let n = 20_000;
+        for _ in 0..n {
+            let k = z.sample(rng.gen::<f64>());
+            assert!((1..=10_000).contains(&k));
+            if k <= 100 {
+                hot += 1;
+            }
+        }
+        // With theta=0.9 the hottest 1% of keys should draw far more
+        // than 1% of accesses.
+        assert!(
+            hot as f64 / n as f64 > 0.2,
+            "hot fraction {}",
+            hot as f64 / n as f64
+        );
+    }
+}

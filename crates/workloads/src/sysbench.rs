@@ -1,0 +1,176 @@
+//! sysbench-style OLTP micro-workloads (paper §8.1: "insert-only and
+//! write-only (update) workloads with Zipfian distribution... 100
+//! tables using 64-bit integers as primary keys and 188 bytes per
+//! record").
+
+use crate::Zipf;
+use imci_cluster::Cluster;
+use imci_common::{Result, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+
+/// The sysbench table set.
+pub struct Sysbench {
+    /// Number of `sbtest<i>` tables.
+    pub n_tables: usize,
+    next_pk: Vec<Arc<AtomicI64>>,
+    zipf: Zipf,
+}
+
+fn pad(len: usize, seed: i64) -> String {
+    let mut s = String::with_capacity(len);
+    let mut x = seed as u64 | 1;
+    while s.len() < len {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        s.push((b'a' + (x >> 33) as u8 % 26) as char);
+    }
+    s
+}
+
+impl Sysbench {
+    /// Create the tables (`sbtest1..=n`): id PK, k INT (secondary), and
+    /// two padding strings bringing the record to ~188 bytes.
+    pub fn setup(cluster: &Cluster, n_tables: usize, initial_rows: i64) -> Result<Sysbench> {
+        let mut next_pk = Vec::with_capacity(n_tables);
+        for t in 1..=n_tables {
+            cluster.execute(&format!(
+                "CREATE TABLE sbtest{t} (id INT NOT NULL, k INT, c VARCHAR(120), p VARCHAR(60),
+                 PRIMARY KEY(id), KEY k_{t}(k), KEY COLUMN_INDEX(id, k, c, p))"
+            ))?;
+            let rw = &cluster.rw;
+            let mut txn = rw.begin();
+            for i in 0..initial_rows {
+                rw.insert(
+                    &mut txn,
+                    &format!("sbtest{t}"),
+                    vec![
+                        Value::Int(i),
+                        Value::Int(i % 1000),
+                        Value::Str(pad(120, i)),
+                        Value::Str(pad(60, i + 7)),
+                    ],
+                )?;
+            }
+            rw.commit(txn);
+            next_pk.push(Arc::new(AtomicI64::new(initial_rows)));
+        }
+        Ok(Sysbench {
+            n_tables,
+            next_pk,
+            zipf: Zipf::new(initial_rows.max(2) as u64, 0.9),
+        })
+    }
+
+    /// One insert-only operation (returns the commit VID).
+    pub fn insert_one(&self, cluster: &Cluster, rng: &mut StdRng) -> Result<()> {
+        let t = rng.gen_range(0..self.n_tables);
+        let pk = self.next_pk[t].fetch_add(1, Ordering::SeqCst);
+        let rw = &cluster.rw;
+        let mut txn = rw.begin();
+        rw.insert(
+            &mut txn,
+            &format!("sbtest{}", t + 1),
+            vec![
+                Value::Int(pk),
+                Value::Int(pk % 1000),
+                Value::Str(pad(120, pk)),
+                Value::Str(pad(60, pk + 7)),
+            ],
+        )?;
+        rw.commit(txn);
+        Ok(())
+    }
+
+    /// One write-only (update) operation on a Zipfian-hot key.
+    pub fn update_one(&self, cluster: &Cluster, rng: &mut StdRng) -> Result<()> {
+        let t = rng.gen_range(0..self.n_tables);
+        let hot = self.zipf.sample(rng.gen::<f64>()) as i64 - 1;
+        let table = format!("sbtest{}", t + 1);
+        let rw = &cluster.rw;
+        if let Some(mut row) = rw.get_row(&table, hot)? {
+            let mut txn = rw.begin();
+            row.values[1] = Value::Int(rng.gen_range(0..1000));
+            row.values[2] = Value::Str(pad(120, rng.gen::<i64>().abs() % 100000));
+            rw.update(&mut txn, &table, hot, row.values)?;
+            rw.commit(txn);
+        }
+        Ok(())
+    }
+
+    /// Run `n_threads` client threads issuing ops for `duration`;
+    /// returns total committed operations.
+    pub fn run_clients(
+        self: &Arc<Self>,
+        cluster: &Arc<Cluster>,
+        n_threads: usize,
+        duration: std::time::Duration,
+        inserts: bool,
+    ) -> u64 {
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let total = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for tid in 0..n_threads {
+            let wl = self.clone();
+            let cluster = cluster.clone();
+            let stop = stop.clone();
+            let total = total.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(tid as u64 * 77 + 1);
+                while !stop.load(Ordering::Relaxed) {
+                    let r = if inserts {
+                        wl.insert_one(&cluster, &mut rng)
+                    } else {
+                        wl.update_one(&cluster, &mut rng)
+                    };
+                    if r.is_ok() {
+                        total.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }));
+        }
+        std::thread::sleep(duration);
+        stop.store(true, Ordering::SeqCst);
+        for h in handles {
+            let _ = h.join();
+        }
+        total.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imci_cluster::ClusterConfig;
+
+    #[test]
+    fn setup_and_ops() {
+        let cluster = Cluster::start(ClusterConfig {
+            n_ro: 0,
+            group_cap: 64,
+            ..Default::default()
+        });
+        let wl = Sysbench::setup(&cluster, 2, 100).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            wl.insert_one(&cluster, &mut rng).unwrap();
+            wl.update_one(&cluster, &mut rng).unwrap();
+        }
+        let n1 = cluster.rw.row_count("sbtest1").unwrap();
+        let n2 = cluster.rw.row_count("sbtest2").unwrap();
+        assert_eq!(n1 + n2, 250, "100+100 initial + 50 inserts");
+    }
+
+    #[test]
+    fn record_is_roughly_188_bytes() {
+        let row = imci_common::Row::new(vec![
+            Value::Int(1),
+            Value::Int(1),
+            Value::Str(pad(120, 1)),
+            Value::Str(pad(60, 8)),
+        ]);
+        let n = row.encode().len();
+        assert!((180..230).contains(&n), "encoded record {n} bytes");
+    }
+}

@@ -1,0 +1,41 @@
+//! TPC-H-style analytics: load the 8-table schema at a small scale
+//! factor and run all 22 dialect-adapted queries on both engines.
+//!
+//! Run with: `cargo run --release --example analytics_tpch`
+
+use polardb_imci::sql::EngineChoice;
+use polardb_imci::{Cluster, ClusterConfig};
+use std::time::{Duration, Instant};
+
+fn main() {
+    let cluster = Cluster::start(ClusterConfig::default());
+    let rows = polardb_imci::workloads::tpch::load(&cluster, 0.001, 42).unwrap();
+    assert!(cluster.wait_sync(Duration::from_secs(120)));
+    println!("loaded {rows} rows");
+
+    let node = cluster.ros.read()[0].clone();
+    for (name, sql) in polardb_imci::workloads::tpch::queries() {
+        let stmt = match polardb_imci::sql::parse(&sql).unwrap() {
+            polardb_imci::sql::Statement::Select(s) => *s,
+            _ => unreachable!(),
+        };
+        node.query.set_force(Some(EngineChoice::Column));
+        let t = Instant::now();
+        let (col, _) = node.query.execute_select(&stmt).unwrap();
+        let t_col = t.elapsed();
+        node.query.set_force(Some(EngineChoice::Row));
+        let t = Instant::now();
+        let (row, _) = node.query.execute_select(&stmt).unwrap();
+        let t_row = t.elapsed();
+        assert_eq!(col.rows.len(), row.rows.len(), "{name}: engines must agree");
+        println!(
+            "{name}: column {:>8.2} ms | row {:>8.2} ms | {} rows | speedup {:.1}x",
+            t_col.as_secs_f64() * 1e3,
+            t_row.as_secs_f64() * 1e3,
+            col.rows.len(),
+            t_row.as_secs_f64() / t_col.as_secs_f64().max(1e-9)
+        );
+    }
+    node.query.set_force(None);
+    cluster.shutdown();
+}

@@ -1,0 +1,20 @@
+//! PolarDB-IMCI reproduction — facade crate.
+//!
+//! Re-exports the public API of the workspace so examples, integration
+//! tests, and downstream users can depend on one crate. See README.md
+//! for the architecture overview and DESIGN.md for the paper mapping.
+
+pub use imci_cluster as cluster;
+pub use imci_common as common;
+pub use imci_core as imci;
+pub use imci_executor as executor;
+pub use imci_replication as replication;
+pub use imci_sql as sql;
+pub use imci_wal as wal;
+pub use imci_workloads as workloads;
+pub use polarfs_sim as polarfs;
+pub use rowstore;
+
+pub use imci_cluster::{Cluster, ClusterConfig, Consistency};
+pub use imci_common::{Error, Result, Value};
+pub use imci_sql::{EngineChoice, QueryResult};
