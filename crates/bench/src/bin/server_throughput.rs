@@ -1,0 +1,126 @@
+//! `server_throughput`: queries/sec through the full service stack
+//! (client → TCP → thread-pool server → proxy routing → RW/RO nodes)
+//! for a mixed OLTP point-read + OLAP aggregate workload at 1, 4, and
+//! 16 client connections.
+//!
+//! The paper's claim this exercises: the stateless proxy tier scales
+//! concurrent mixed traffic by read/write splitting and RO
+//! load-balancing (§6.1), without analytical queries starving point
+//! reads (Fig. 10's HTAP mix, here at the service layer).
+
+use imci_cluster::{Cluster, ClusterConfig, Consistency};
+use imci_server::{Client, Server, ServerConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const ROWS: i64 = 20_000;
+const GROUPS: i64 = 16;
+/// One OLAP aggregate per this many OLTP point reads.
+const OLAP_EVERY: u64 = 20;
+const MEASURE: Duration = Duration::from_secs(3);
+
+fn main() {
+    let cluster = Cluster::start(ClusterConfig {
+        n_ro: 2,
+        group_cap: 4096,
+        ..Default::default()
+    });
+    cluster
+        .execute(
+            "CREATE TABLE mix (id INT NOT NULL, grp INT, val DOUBLE, note VARCHAR(32),
+             PRIMARY KEY(id), KEY COLUMN_INDEX(id, grp, val, note))",
+        )
+        .unwrap();
+    // Bulk-load through the cluster API (batched inserts), then let the
+    // ROs catch up before measuring.
+    let mut batch = Vec::new();
+    for i in 0..ROWS {
+        batch.push(format!("({i}, {}, {}, 'n{}')", i % GROUPS, i as f64 * 0.5, i % 7));
+        if batch.len() == 500 {
+            cluster
+                .execute(&format!("INSERT INTO mix VALUES {}", batch.join(", ")))
+                .unwrap();
+            batch.clear();
+        }
+    }
+    if !batch.is_empty() {
+        cluster
+            .execute(&format!("INSERT INTO mix VALUES {}", batch.join(", ")))
+            .unwrap();
+    }
+    assert!(cluster.wait_sync(Duration::from_secs(60)), "RO catch-up");
+
+    let server = Server::start(
+        cluster.clone(),
+        ServerConfig {
+            workers: 32,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!(
+        "server_throughput: {ROWS} rows, OLTP:OLAP = {OLAP_EVERY}:1, {MEASURE:?} per point, {cores} core(s)"
+    );
+    if cores == 1 {
+        println!("note: single-core host — expect a flat curve; connection scaling needs cores");
+    }
+    println!("{:>6} {:>12} {:>12} {:>12}", "conns", "queries/s", "oltp/s", "olap/s");
+    for conns in [1usize, 4, 16] {
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut handles = Vec::new();
+        for t in 0..conns {
+            let stop = stop.clone();
+            let mut client = Client::connect(addr).unwrap();
+            handles.push(std::thread::spawn(move || {
+                client.set_consistency(Consistency::Eventual).unwrap();
+                let mut rng = StdRng::seed_from_u64(t as u64 + 1);
+                let (mut oltp, mut olap) = (0u64, 0u64);
+                let mut n = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    n += 1;
+                    if n % OLAP_EVERY == 0 {
+                        client
+                            .execute(
+                                "SELECT grp, COUNT(*), SUM(val) FROM mix
+                                 GROUP BY grp ORDER BY grp",
+                            )
+                            .unwrap();
+                        olap += 1;
+                    } else {
+                        let id = rng.gen_range(0..ROWS);
+                        client
+                            .execute(&format!("SELECT note FROM mix WHERE id = {id}"))
+                            .unwrap();
+                        oltp += 1;
+                    }
+                }
+                (oltp, olap)
+            }));
+        }
+        let t0 = Instant::now();
+        std::thread::sleep(MEASURE);
+        stop.store(true, Ordering::Relaxed);
+        let (mut oltp, mut olap) = (0u64, 0u64);
+        for h in handles {
+            let (a, b) = h.join().unwrap();
+            oltp += a;
+            olap += b;
+        }
+        let secs = t0.elapsed().as_secs_f64();
+        println!(
+            "{:>6} {:>12.0} {:>12.0} {:>12.0}",
+            conns,
+            (oltp + olap) as f64 / secs,
+            oltp as f64 / secs,
+            olap as f64 / secs
+        );
+    }
+    server.shutdown();
+    cluster.shutdown();
+}

@@ -110,6 +110,17 @@ pub struct Cluster {
     next_ckpt: AtomicU64,
 }
 
+/// Per-statement routing overrides, carried by proxy sessions
+/// (`imci_server`): `None` fields inherit the cluster-level defaults.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecOpts {
+    /// Consistency level for reads (paper §6.4); `None` uses
+    /// `ClusterConfig::consistency`.
+    pub consistency: Option<Consistency>,
+    /// Pin SELECTs to one engine; `None` keeps cost-based routing.
+    pub force_engine: Option<imci_sql::EngineChoice>,
+}
+
 /// Timing breakdown of one scale-out operation (Fig. 14).
 #[derive(Debug, Clone)]
 pub struct ScaleOutReport {
@@ -259,14 +270,21 @@ impl Cluster {
     }
 
     /// Pick the RO node with the fewest active sessions (proxy
-    /// load-balancing, §6.1), honoring the consistency level.
+    /// load-balancing, §6.1), honoring the cluster's default
+    /// consistency level.
     pub fn route_ro(&self) -> Result<Arc<RoNode>> {
+        self.route_ro_with(self.config.consistency)
+    }
+
+    /// Like [`Cluster::route_ro`] but with an explicit consistency
+    /// level — the per-session enforcement point of §6.4.
+    pub fn route_ro_with(&self, consistency: Consistency) -> Result<Arc<RoNode>> {
         let ros = self.ros.read();
         if ros.is_empty() {
             return Err(Error::Execution("no RO nodes available".into()));
         }
         let target = self.written_lsn();
-        let eligible: Vec<&Arc<RoNode>> = match self.config.consistency {
+        let eligible: Vec<&Arc<RoNode>> = match consistency {
             Consistency::Eventual => ros.iter().collect(),
             Consistency::Strong => {
                 ros.iter().filter(|n| n.applied_lsn() >= target).collect()
@@ -301,10 +319,27 @@ impl Cluster {
     /// node, everything else to the RW node (§6.1 inter-node routing,
     /// via the rough classifier + full parse).
     pub fn execute(&self, sql: &str) -> Result<QueryResult> {
+        self.execute_opts(sql, ExecOpts::default())
+    }
+
+    /// [`Cluster::execute`] with per-statement overrides. This is what
+    /// proxy sessions (`imci_server`) call: each session carries its
+    /// own consistency level and engine pin without touching
+    /// cluster-global or node-global state.
+    pub fn execute_opts(&self, sql: &str, opts: ExecOpts) -> Result<QueryResult> {
         if imci_sql::is_read_only(sql) && !self.ros.read().is_empty() {
-            let node = self.route_ro()?;
+            let consistency = opts.consistency.unwrap_or(self.config.consistency);
+            let node = self.route_ro_with(consistency)?;
             node.sessions.fetch_add(1, Ordering::Relaxed);
-            let out = node.query.execute(sql);
+            let mut out = node.query.execute_forced(sql, opts.force_engine);
+            // RO catalogs refresh lazily (DDL reaches them through the
+            // replication pipeline); a read can race ahead of the first
+            // DML for a new table. The catalog itself lives in shared
+            // storage, so refresh and retry once before failing.
+            if matches!(out, Err(Error::Catalog(_))) && node.engine.refresh_catalog().is_ok()
+            {
+                out = node.query.execute_forced(sql, opts.force_engine);
+            }
             node.sessions.fetch_sub(1, Ordering::Relaxed);
             return out;
         }

@@ -1,0 +1,102 @@
+//! Blocking client library for the `imci-server` line protocol, used
+//! by tests, examples, and the throughput bench.
+
+use crate::protocol::{read_response, Response};
+use imci_cluster::Consistency;
+use imci_common::{Error, Result};
+use imci_sql::{EngineChoice, QueryResult};
+use std::io::{BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// One client session. Each statement is a request/response roundtrip;
+/// session settings (`SET ...`) persist server-side for the
+/// connection's lifetime.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connect to a running server.
+    pub fn connect<A: ToSocketAddrs + std::fmt::Debug>(addr: A) -> Result<Client> {
+        let stream = TcpStream::connect(&addr)
+            .map_err(|e| Error::Execution(format!("connect {addr:?}: {e}")))?;
+        stream
+            .set_nodelay(true)
+            .map_err(|e| Error::Execution(format!("set_nodelay: {e}")))?;
+        let reader = BufReader::new(
+            stream
+                .try_clone()
+                .map_err(|e| Error::Execution(format!("clone stream: {e}")))?,
+        );
+        Ok(Client {
+            reader,
+            writer: stream,
+        })
+    }
+
+    fn roundtrip(&mut self, line: &str) -> Result<Response> {
+        // The protocol is line-oriented: escape embedded newlines (and
+        // backslashes/tabs) so SQL containing literal newlines — e.g.
+        // inside string values — survives the framing byte-exactly.
+        let encoded = crate::protocol::escape_request(line);
+        writeln!(self.writer, "{encoded}")
+            .and_then(|_| self.writer.flush())
+            .map_err(|e| Error::Execution(format!("connection write failed: {e}")))?;
+        read_response(&mut self.reader)
+    }
+
+    /// Execute one SQL statement; errors reported by the server come
+    /// back as [`Error::Execution`].
+    pub fn execute(&mut self, sql: &str) -> Result<QueryResult> {
+        match self.roundtrip(sql)? {
+            Response::Ok { affected } => Ok(QueryResult {
+                columns: Vec::new(),
+                rows: Vec::new(),
+                engine: EngineChoice::Row,
+                affected,
+            }),
+            Response::Rows {
+                columns,
+                rows,
+                engine,
+            } => Ok(QueryResult {
+                columns,
+                rows,
+                engine,
+                affected: 0,
+            }),
+            Response::Err(msg) => Err(Error::Execution(msg)),
+        }
+    }
+
+    /// Set this session's consistency level (paper §6.4).
+    pub fn set_consistency(&mut self, level: Consistency) -> Result<()> {
+        let word = match level {
+            Consistency::Strong => "STRONG",
+            Consistency::Eventual => "EVENTUAL",
+        };
+        self.expect_ok(&format!("SET CONSISTENCY {word}"))
+    }
+
+    /// Pin this session's SELECTs to one engine; `None` restores
+    /// cost-based routing.
+    pub fn set_force_engine(&mut self, engine: Option<EngineChoice>) -> Result<()> {
+        let word = match engine {
+            Some(EngineChoice::Row) => "ROW",
+            Some(EngineChoice::Column) => "COLUMN",
+            None => "AUTO",
+        };
+        self.expect_ok(&format!("SET FORCE_ENGINE {word}"))
+    }
+
+    fn expect_ok(&mut self, line: &str) -> Result<()> {
+        match self.roundtrip(line)? {
+            Response::Ok { .. } => Ok(()),
+            Response::Err(msg) => Err(Error::Execution(msg)),
+            Response::Rows { .. } => {
+                Err(Error::Execution("unexpected result set for SET".into()))
+            }
+        }
+    }
+}

@@ -1,0 +1,367 @@
+//! Line-oriented text protocol between `imci-server` and its clients.
+//!
+//! Requests are single lines (the client escapes embedded newlines,
+//! tabs and backslashes via [`escape_request`] so SQL survives the
+//! framing byte-exactly; the server undoes it with
+//! [`unescape_request`]):
+//!
+//! ```text
+//! SET CONSISTENCY STRONG|EVENTUAL
+//! SET FORCE_ENGINE ROW|COLUMN|AUTO
+//! <any SQL statement>
+//! ```
+//!
+//! Responses are one of:
+//!
+//! ```text
+//! OK <affected>
+//! ROWS <nrows> ROW|COLUMN
+//! <tab-separated column names>
+//! <tab-separated typed values>        (nrows lines)
+//! END
+//! ERR <escaped message>
+//! ```
+//!
+//! Values carry a one-letter type tag so the client can reconstruct
+//! [`Value`]s exactly: `N` (null), `I:<i64>`, `F:<f64 bits as hex>`,
+//! `T:<days>` (date), `S:<escaped utf-8>`. Strings escape `\`, tab and
+//! newline so every row stays a single line.
+
+use imci_cluster::Consistency;
+use imci_common::{Error, Result, Value};
+use imci_sql::{EngineChoice, QueryResult};
+use std::io::{BufRead, Write};
+
+/// A per-session setting change (paper §6.4: the proxy enforces the
+/// consistency level per session).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionSetting {
+    /// `SET CONSISTENCY ...` — routing constraint for this session's
+    /// reads.
+    Consistency(Consistency),
+    /// `SET FORCE_ENGINE ...` — pin this session's SELECTs to one
+    /// engine; `None` restores cost-based routing (`AUTO`).
+    ForceEngine(Option<EngineChoice>),
+}
+
+/// One parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    Set(SessionSetting),
+    Query(String),
+}
+
+/// One server response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// DML/DDL/SET acknowledged; `affected` rows changed.
+    Ok { affected: usize },
+    /// SELECT result set.
+    Rows {
+        columns: Vec<String>,
+        rows: Vec<Vec<Value>>,
+        engine: EngineChoice,
+    },
+    /// Execution error (the session stays usable).
+    Err(String),
+}
+
+/// Parse one request line. `SET` statements the proxy handles itself
+/// are recognized here; everything else is passed through as SQL.
+pub fn parse_request(line: &str) -> Request {
+    let trimmed = line.trim();
+    let upper = trimmed.to_ascii_uppercase();
+    let words: Vec<&str> = upper.split_whitespace().collect();
+    if words.len() == 3 && words[0] == "SET" {
+        match (words[1], words[2]) {
+            ("CONSISTENCY", "STRONG") => {
+                return Request::Set(SessionSetting::Consistency(Consistency::Strong))
+            }
+            ("CONSISTENCY", "EVENTUAL") => {
+                return Request::Set(SessionSetting::Consistency(Consistency::Eventual))
+            }
+            ("FORCE_ENGINE", "ROW") => {
+                return Request::Set(SessionSetting::ForceEngine(Some(EngineChoice::Row)))
+            }
+            ("FORCE_ENGINE", "COLUMN") => {
+                return Request::Set(SessionSetting::ForceEngine(Some(
+                    EngineChoice::Column,
+                )))
+            }
+            ("FORCE_ENGINE", "AUTO") => {
+                return Request::Set(SessionSetting::ForceEngine(None))
+            }
+            _ => {}
+        }
+    }
+    Request::Query(trimmed.to_string())
+}
+
+/// Escape a request line before sending (client side): `\`, tab and
+/// newline become two-character sequences so SQL containing literal
+/// newlines survives the line framing. Symmetric with
+/// [`unescape_request`].
+pub fn escape_request(sql: &str) -> String {
+    escape(sql)
+}
+
+/// Undo [`escape_request`] (server side). Requests typed by hand (e.g.
+/// over netcat) without backslashes pass through unchanged.
+pub fn unescape_request(line: &str) -> String {
+    unescape(line)
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut it = s.chars();
+    while let Some(c) = it.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match it.next() {
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('\\') => out.push('\\'),
+            Some(other) => out.push(other),
+            None => {}
+        }
+    }
+    out
+}
+
+fn encode_value(v: &Value) -> String {
+    match v {
+        Value::Null => "N".to_string(),
+        Value::Int(i) => format!("I:{i}"),
+        // Hex bit pattern: exact roundtrip, no float-formatting loss.
+        Value::Double(d) => format!("F:{:016x}", d.to_bits()),
+        Value::Date(d) => format!("T:{d}"),
+        Value::Str(s) => format!("S:{}", escape(s)),
+    }
+}
+
+fn decode_value(s: &str) -> Result<Value> {
+    if s == "N" {
+        return Ok(Value::Null);
+    }
+    let (tag, body) = s
+        .split_once(':')
+        .ok_or_else(|| Error::Execution(format!("malformed value {s:?}")))?;
+    match tag {
+        "I" => body
+            .parse()
+            .map(Value::Int)
+            .map_err(|e| Error::Execution(format!("bad int: {e}"))),
+        "F" => u64::from_str_radix(body, 16)
+            .map(|bits| Value::Double(f64::from_bits(bits)))
+            .map_err(|e| Error::Execution(format!("bad double: {e}"))),
+        "T" => body
+            .parse()
+            .map(Value::Date)
+            .map_err(|e| Error::Execution(format!("bad date: {e}"))),
+        "S" => Ok(Value::Str(unescape(body))),
+        _ => Err(Error::Execution(format!("unknown value tag {tag:?}"))),
+    }
+}
+
+fn engine_name(e: EngineChoice) -> &'static str {
+    match e {
+        EngineChoice::Row => "ROW",
+        EngineChoice::Column => "COLUMN",
+    }
+}
+
+/// Serialize one response to a writer (server side).
+pub fn write_response<W: Write>(w: &mut W, resp: &Response) -> std::io::Result<()> {
+    match resp {
+        Response::Ok { affected } => writeln!(w, "OK {affected}")?,
+        Response::Err(msg) => writeln!(w, "ERR {}", escape(msg))?,
+        Response::Rows {
+            columns,
+            rows,
+            engine,
+        } => {
+            writeln!(w, "ROWS {} {}", rows.len(), engine_name(*engine))?;
+            let header: Vec<String> = columns.iter().map(|c| escape(c)).collect();
+            writeln!(w, "{}", header.join("\t"))?;
+            for row in rows {
+                let cells: Vec<String> = row.iter().map(encode_value).collect();
+                writeln!(w, "{}", cells.join("\t"))?;
+            }
+            writeln!(w, "END")?;
+        }
+    }
+    w.flush()
+}
+
+/// Read one response from a buffered reader (client side).
+pub fn read_response<R: BufRead>(r: &mut R) -> Result<Response> {
+    let mut line = String::new();
+    if r.read_line(&mut line)
+        .map_err(|e| Error::Execution(format!("connection read failed: {e}")))?
+        == 0
+    {
+        return Err(Error::Execution("server closed the connection".into()));
+    }
+    let line = line.trim_end_matches(['\n', '\r']);
+    if let Some(rest) = line.strip_prefix("OK ") {
+        let affected = rest
+            .trim()
+            .parse()
+            .map_err(|e| Error::Execution(format!("bad OK line: {e}")))?;
+        return Ok(Response::Ok { affected });
+    }
+    if let Some(rest) = line.strip_prefix("ERR ") {
+        return Ok(Response::Err(unescape(rest)));
+    }
+    let rest = line
+        .strip_prefix("ROWS ")
+        .ok_or_else(|| Error::Execution(format!("unexpected response line {line:?}")))?;
+    let mut parts = rest.split_whitespace();
+    let nrows: usize = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| Error::Execution("bad ROWS count".into()))?;
+    let engine = match parts.next() {
+        Some("ROW") => EngineChoice::Row,
+        Some("COLUMN") => EngineChoice::Column,
+        other => return Err(Error::Execution(format!("bad engine tag {other:?}"))),
+    };
+    let mut header = String::new();
+    r.read_line(&mut header)
+        .map_err(|e| Error::Execution(format!("connection read failed: {e}")))?;
+    let header = header.trim_end_matches(['\n', '\r']);
+    let columns: Vec<String> = if header.is_empty() {
+        Vec::new()
+    } else {
+        header.split('\t').map(unescape).collect()
+    };
+    let mut rows = Vec::with_capacity(nrows);
+    for _ in 0..nrows {
+        let mut rl = String::new();
+        if r.read_line(&mut rl)
+            .map_err(|e| Error::Execution(format!("connection read failed: {e}")))?
+            == 0
+        {
+            return Err(Error::Execution("truncated result set".into()));
+        }
+        let rl = rl.trim_end_matches(['\n', '\r']);
+        let row: Vec<Value> = if rl.is_empty() {
+            Vec::new()
+        } else {
+            rl.split('\t').map(decode_value).collect::<Result<_>>()?
+        };
+        rows.push(row);
+    }
+    let mut end = String::new();
+    r.read_line(&mut end)
+        .map_err(|e| Error::Execution(format!("connection read failed: {e}")))?;
+    if end.trim_end_matches(['\n', '\r']) != "END" {
+        return Err(Error::Execution("missing END marker".into()));
+    }
+    Ok(Response::Rows {
+        columns,
+        rows,
+        engine,
+    })
+}
+
+/// Convert a [`QueryResult`] into the wire response. SELECTs (anything
+/// with columns) become `ROWS`, DML becomes `OK`. Takes the result by
+/// value: serving a query never copies the row data.
+pub fn response_of(result: QueryResult) -> Response {
+    if result.columns.is_empty() && result.rows.is_empty() {
+        Response::Ok {
+            affected: result.affected,
+        }
+    } else {
+        Response::Rows {
+            columns: result.columns,
+            rows: result.rows,
+            engine: result.engine,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn set_statements_parse() {
+        assert_eq!(
+            parse_request("set consistency strong"),
+            Request::Set(SessionSetting::Consistency(Consistency::Strong))
+        );
+        assert_eq!(
+            parse_request("SET FORCE_ENGINE column"),
+            Request::Set(SessionSetting::ForceEngine(Some(EngineChoice::Column)))
+        );
+        assert_eq!(
+            parse_request("SET FORCE_ENGINE AUTO"),
+            Request::Set(SessionSetting::ForceEngine(None))
+        );
+        assert_eq!(
+            parse_request("SELECT 1"),
+            Request::Query("SELECT 1".to_string())
+        );
+        // Unknown SET shapes fall through to SQL.
+        assert_eq!(
+            parse_request("SET foo bar"),
+            Request::Query("SET foo bar".to_string())
+        );
+    }
+
+    fn roundtrip(resp: &Response) -> Response {
+        let mut buf = Vec::new();
+        write_response(&mut buf, resp).unwrap();
+        let mut r = BufReader::new(&buf[..]);
+        read_response(&mut r).unwrap()
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        assert_eq!(roundtrip(&Response::Ok { affected: 7 }), Response::Ok {
+            affected: 7
+        });
+        assert_eq!(
+            roundtrip(&Response::Err("boom\nwith newline".into())),
+            Response::Err("boom\nwith newline".into())
+        );
+        let rows = Response::Rows {
+            columns: vec!["id".into(), "note".into()],
+            rows: vec![
+                vec![Value::Int(1), Value::Str("tab\there".into())],
+                vec![Value::Double(1.5), Value::Null],
+                vec![Value::Date(19000), Value::Str("multi\nline".into())],
+            ],
+            engine: EngineChoice::Column,
+        };
+        assert_eq!(roundtrip(&rows), rows);
+    }
+
+    #[test]
+    fn double_encoding_is_exact() {
+        for d in [0.1, -1.0 / 3.0, f64::MAX, 1e-300] {
+            let v = decode_value(&encode_value(&Value::Double(d))).unwrap();
+            assert_eq!(v, Value::Double(d));
+        }
+    }
+}

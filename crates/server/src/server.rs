@@ -1,0 +1,289 @@
+//! The `imci-server` service: a bounded thread pool serving the line
+//! protocol over TCP, one session per connection.
+//!
+//! This is the paper's stateless proxy tier (§6.1) made concrete: the
+//! server owns no data, it only holds per-session state (consistency
+//! level, forced engine) and maps each statement onto the cluster's
+//! routing rules — writes to the RW node, reads load-balanced across
+//! RO nodes, with strong-consistency reads held until an RO's applied
+//! LSN catches the RW's written LSN (§6.4).
+
+use crate::protocol::{
+    parse_request, response_of, unescape_request, write_response, Request, Response,
+    SessionSetting,
+};
+use imci_cluster::{Cluster, ExecOpts};
+use imci_common::{Error, Result};
+use std::io::{BufRead, BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Server construction knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks a free port (see
+    /// [`Server::local_addr`]).
+    pub addr: String,
+    /// Worker threads = maximum concurrently served sessions. Further
+    /// connections queue in `backlog`.
+    pub workers: usize,
+    /// Accepted-but-unserved connection queue depth.
+    pub backlog: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 16,
+            backlog: 64,
+        }
+    }
+}
+
+/// Service counters (observability for benches and tests).
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Connections accepted over the server's lifetime.
+    pub connections: AtomicU64,
+    /// Statements executed (including failed ones).
+    pub queries: AtomicU64,
+    /// Statements that returned an error to the client.
+    pub errors: AtomicU64,
+    /// Sessions being served right now.
+    pub active_sessions: AtomicUsize,
+}
+
+// Per-session proxy state is exactly the per-statement override set
+// the cluster accepts, so sessions hold an `ExecOpts` directly.
+
+/// A running server; dropping it (or calling [`Server::shutdown`])
+/// stops the acceptor and joins the worker pool.
+pub struct Server {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    stats: Arc<ServerStats>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind and start serving `cluster` on `config.workers` threads.
+    pub fn start(cluster: Arc<Cluster>, config: ServerConfig) -> Result<Server> {
+        let listener = TcpListener::bind(&config.addr)
+            .map_err(|e| Error::Execution(format!("bind {}: {e}", config.addr)))?;
+        let local_addr = listener
+            .local_addr()
+            .map_err(|e| Error::Execution(format!("local_addr: {e}")))?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(ServerStats::default());
+
+        let (conn_tx, conn_rx) = mpsc::sync_channel::<TcpStream>(config.backlog.max(1));
+        let conn_rx = Arc::new(Mutex::new(conn_rx));
+
+        let mut workers = Vec::with_capacity(config.workers.max(1));
+        for _ in 0..config.workers.max(1) {
+            let cluster = cluster.clone();
+            let rx = conn_rx.clone();
+            let stats = stats.clone();
+            let stop = stop.clone();
+            workers.push(std::thread::spawn(move || loop {
+                // Hold the lock only while dequeuing, not while serving.
+                let conn = match rx.lock() {
+                    Ok(rx) => rx.recv(),
+                    Err(_) => break,
+                };
+                match conn {
+                    Ok(stream) => serve_session(&cluster, stream, &stats, &stop),
+                    Err(_) => break, // acceptor gone: shutdown
+                }
+            }));
+        }
+
+        let acceptor = {
+            let stop = stop.clone();
+            let stats = stats.clone();
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    match stream {
+                        Ok(s) => {
+                            stats.connections.fetch_add(1, Ordering::Relaxed);
+                            // Blocks when all workers are busy and the
+                            // backlog is full — natural admission control.
+                            if conn_tx.send(s).is_err() {
+                                break;
+                            }
+                        }
+                        Err(_) => continue,
+                    }
+                }
+                // conn_tx drops here; idle workers see RecvError and exit.
+            })
+        };
+
+        Ok(Server {
+            local_addr,
+            stop,
+            stats,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address (use this to connect when the port was 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Service counters.
+    pub fn stats(&self) -> &ServerStats {
+        &self.stats
+    }
+
+    /// Shared handle to the counters (for watcher threads that outlive
+    /// a borrow of the server).
+    pub fn stats_handle(&self) -> Arc<ServerStats> {
+        self.stats.clone()
+    }
+
+    /// Stop accepting, finish in-flight sessions, join all threads.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        if self.acceptor.is_none() {
+            return;
+        }
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the acceptor's blocking `accept` with a dummy connect.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Serve one connection to completion: read request lines, route each
+/// through the cluster, write one response per request.
+fn serve_session(
+    cluster: &Arc<Cluster>,
+    stream: TcpStream,
+    stats: &ServerStats,
+    stop: &AtomicBool,
+) {
+    stats.active_sessions.fetch_add(1, Ordering::SeqCst);
+    let _ = serve_session_inner(cluster, stream, stats, stop);
+    stats.active_sessions.fetch_sub(1, Ordering::SeqCst);
+}
+
+/// Read one request line, waking up periodically to honor server
+/// shutdown while the client is idle. Returns `Ok(0)` for EOF or
+/// shutdown; partial data read before a timeout stays buffered in
+/// `line` and the next attempt appends the rest.
+fn read_request_line(
+    reader: &mut BufReader<TcpStream>,
+    line: &mut String,
+    stop: &AtomicBool,
+) -> std::io::Result<usize> {
+    loop {
+        match reader.read_line(line) {
+            Ok(n) => return Ok(n),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if stop.load(Ordering::SeqCst) {
+                    return Ok(0);
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn serve_session_inner(
+    cluster: &Arc<Cluster>,
+    stream: TcpStream,
+    stats: &ServerStats,
+    stop: &AtomicBool,
+) -> std::io::Result<()> {
+    // Periodic read timeouts let idle sessions notice server shutdown
+    // instead of pinning a worker until the client hangs up.
+    stream.set_read_timeout(Some(std::time::Duration::from_millis(100)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let mut session = ExecOpts::default();
+    let mut line = String::new();
+    loop {
+        // Sessions end at the next request boundary once the server is
+        // stopping, even if the client keeps a statement stream going.
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        line.clear();
+        let n = match read_request_line(&mut reader, &mut line, stop) {
+            Ok(n) => n,
+            Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+                // Non-UTF-8 input: tell the client why before closing
+                // (the line framing can't be trusted after this).
+                let _ = write_response(
+                    &mut writer,
+                    &Response::Err("request was not valid UTF-8".into()),
+                );
+                break;
+            }
+            Err(_) => break, // client went away
+        };
+        if n == 0 {
+            // EOF or shutdown. Anything left in `line` is a request the
+            // client never finished sending — never execute a fragment.
+            break;
+        }
+        let line = unescape_request(&line);
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if trimmed.eq_ignore_ascii_case("quit") || trimmed.eq_ignore_ascii_case("exit") {
+            break;
+        }
+        let resp = match parse_request(trimmed) {
+            Request::Set(setting) => {
+                match setting {
+                    SessionSetting::Consistency(c) => session.consistency = Some(c),
+                    SessionSetting::ForceEngine(f) => session.force_engine = f,
+                }
+                Response::Ok { affected: 0 }
+            }
+            Request::Query(sql) => {
+                stats.queries.fetch_add(1, Ordering::Relaxed);
+                match cluster.execute_opts(&sql, session) {
+                    Ok(result) => response_of(result),
+                    Err(e) => {
+                        stats.errors.fetch_add(1, Ordering::Relaxed);
+                        Response::Err(e.to_string())
+                    }
+                }
+            }
+        };
+        if write_response(&mut writer, &resp).is_err() {
+            break; // client went away mid-response
+        }
+    }
+    Ok(())
+}

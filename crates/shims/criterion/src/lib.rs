@@ -1,0 +1,128 @@
+//! API-compatible subset of `criterion` for offline builds (see the
+//! workspace manifest). No statistics engine: each `bench_function`
+//! warms up, then runs timed batches for the configured measurement
+//! window and reports the median batch's ns/iter to stdout.
+
+use std::time::{Duration, Instant};
+
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Criterion {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            ns_per_iter: Vec::new(),
+        };
+        f(&mut b);
+        let mut samples = b.ns_per_iter;
+        if samples.is_empty() {
+            println!("{name:<32} (no samples)");
+            return self;
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let median = samples[samples.len() / 2];
+        let (lo, hi) = (samples[0], samples[samples.len() - 1]);
+        println!("{name:<32} {median:>12.1} ns/iter  (min {lo:.1}, max {hi:.1})");
+        self
+    }
+}
+
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    ns_per_iter: Vec<f64>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up, and calibrate how many iterations fill one sample.
+        let warm_deadline = Instant::now() + self.warm_up_time;
+        let mut warm_iters: u64 = 0;
+        let warm_start = Instant::now();
+        while Instant::now() < warm_deadline {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        let per_sample =
+            self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let batch = ((per_sample / per_iter.max(1e-9)) as u64).clamp(1, 1 << 24);
+
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let dt = t0.elapsed();
+            self.ns_per_iter
+                .push(dt.as_nanos() as f64 / batch as f64);
+        }
+    }
+}
+
+/// Opaque value barrier (same contract as criterion's re-export).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// `criterion_group!` in both its struct-ish and positional forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

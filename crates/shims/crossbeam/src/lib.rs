@@ -1,0 +1,75 @@
+//! API-compatible subset of `crossbeam::channel`, backed by
+//! `std::sync::mpsc`. Offline shim — see the workspace manifest for
+//! the policy. Only the bounded MPSC shape the replication pipeline
+//! uses is provided (cloneable senders, single-consumer receivers).
+
+pub mod channel {
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+    use std::time::Duration;
+
+    pub struct Sender<T> {
+        inner: std::sync::mpsc::SyncSender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Sender<T> {
+            Sender {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    pub struct Receiver<T> {
+        inner: std::sync::mpsc::Receiver<T>,
+    }
+
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = std::sync::mpsc::sync_channel(cap);
+        (Sender { inner: tx }, Receiver { inner: rx })
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner.send(value)
+        }
+
+        pub fn try_send(&self, value: T) -> Result<(), std::sync::mpsc::TrySendError<T>> {
+            self.inner.try_send(value)
+        }
+    }
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv()
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.inner.try_recv()
+        }
+
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.inner.recv_timeout(timeout)
+        }
+
+        pub fn iter(&self) -> std::sync::mpsc::Iter<'_, T> {
+            self.inner.iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::bounded;
+
+    #[test]
+    fn bounded_roundtrip() {
+        let (tx, rx) = bounded::<u32>(4);
+        let tx2 = tx.clone();
+        std::thread::spawn(move || {
+            tx2.send(7).unwrap();
+        });
+        assert_eq!(rx.recv().unwrap(), 7);
+        drop(tx);
+        assert!(rx.recv().is_err());
+    }
+}

@@ -1,0 +1,48 @@
+//! `prop::collection::vec(elem, size)`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+pub struct VecStrategy<S> {
+    elem: S,
+    min: usize,
+    max: usize, // exclusive
+}
+
+/// Size specifications accepted by [`vec`].
+pub trait IntoSizeRange {
+    /// (min, exclusive max)
+    fn bounds(self) -> (usize, usize);
+}
+
+impl IntoSizeRange for std::ops::Range<usize> {
+    fn bounds(self) -> (usize, usize) {
+        (self.start, self.end)
+    }
+}
+
+impl IntoSizeRange for std::ops::RangeInclusive<usize> {
+    fn bounds(self) -> (usize, usize) {
+        (*self.start(), *self.end() + 1)
+    }
+}
+
+impl IntoSizeRange for usize {
+    fn bounds(self) -> (usize, usize) {
+        (self, self + 1)
+    }
+}
+
+pub fn vec<S: Strategy>(elem: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+    let (min, max) = size.bounds();
+    assert!(min < max, "empty size range for collection::vec");
+    VecStrategy { elem, min, max }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.min + rng.below((self.max - self.min) as u64) as usize;
+        (0..n).map(|_| self.elem.generate(rng)).collect()
+    }
+}

@@ -1,0 +1,94 @@
+//! API-compatible subset of `proptest` for offline builds (see the
+//! workspace manifest for the policy).
+//!
+//! Differences from the real crate, deliberately accepted:
+//! * no shrinking — a failing case panics with the generated inputs in
+//!   the assertion message instead of a minimized counterexample;
+//! * regex string strategies support only the `[class]{m,n}` shape the
+//!   tests use (character classes with ranges and literals);
+//! * generation is deterministic per test (seeded from the test name),
+//!   so failures reproduce across runs.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+    /// The real proptest prelude re-exports the crate root as `prop`
+    /// so tests can write `prop::collection::vec(...)`.
+    pub use crate as prop;
+}
+
+/// Assertion macros: the real ones return `Err(TestCaseError)` to feed
+/// the shrinker; without shrinking a panic carries the same
+/// information.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($arg:tt)*) => { assert!($($arg)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($arg:tt)*) => { assert_eq!($($arg)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($arg:tt)*) => { assert_ne!($($arg)*) };
+}
+
+/// `prop_oneof![s1, s2, ...]`: uniform choice between strategies that
+/// share a value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// The `proptest! { ... }` block: expands each contained
+/// `#[test] fn name(arg in strategy, ...) { body }` into a plain test
+/// that runs the body for `config.cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            $crate::test_runner::ProptestConfig::default(); $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ($cfg:expr; ) => {};
+    ($cfg:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng =
+                $crate::test_runner::TestRng::for_test(stringify!($name));
+            for _case in 0..config.cases {
+                $(let $arg =
+                    $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_items! { $cfg; $($rest)* }
+    };
+}

@@ -1,0 +1,130 @@
+//! Tiny regex-subset string generator: `[class]{m,n}`, `[class]{n}`,
+//! `[class]*` / `[class]+`, and literal characters. Enough for the
+//! patterns the test-suite uses (e.g. `"[a-z0-9 ]{0,24}"`); anything
+//! unparseable falls back to short alphanumeric strings.
+
+use crate::test_runner::TestRng;
+
+enum Piece {
+    Literal(char),
+    Class { chars: Vec<char>, min: u32, max: u32 },
+}
+
+fn parse(pattern: &str) -> Option<Vec<Piece>> {
+    let mut pieces = Vec::new();
+    let mut it = pattern.chars().peekable();
+    while let Some(c) = it.next() {
+        if c == '[' {
+            let mut chars = Vec::new();
+            loop {
+                let c = it.next()?;
+                if c == ']' {
+                    break;
+                }
+                if it.peek() == Some(&'-') {
+                    let mut look = it.clone();
+                    look.next(); // '-'
+                    match look.peek() {
+                        Some(&end) if end != ']' => {
+                            it = look;
+                            let end = it.next()?;
+                            for v in c as u32..=end as u32 {
+                                chars.push(char::from_u32(v)?);
+                            }
+                            continue;
+                        }
+                        _ => {}
+                    }
+                }
+                chars.push(c);
+            }
+            if chars.is_empty() {
+                return None;
+            }
+            let (min, max) = match it.peek() {
+                Some('{') => {
+                    it.next();
+                    let mut spec = String::new();
+                    loop {
+                        let c = it.next()?;
+                        if c == '}' {
+                            break;
+                        }
+                        spec.push(c);
+                    }
+                    match spec.split_once(',') {
+                        Some((lo, hi)) => (lo.parse().ok()?, hi.parse().ok()?),
+                        None => {
+                            let n: u32 = spec.parse().ok()?;
+                            (n, n)
+                        }
+                    }
+                }
+                Some('*') => {
+                    it.next();
+                    (0, 8)
+                }
+                Some('+') => {
+                    it.next();
+                    (1, 8)
+                }
+                _ => (1, 1),
+            };
+            pieces.push(Piece::Class { chars, min, max });
+        } else {
+            pieces.push(Piece::Literal(c));
+        }
+    }
+    Some(pieces)
+}
+
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let pieces = match parse(pattern) {
+        Some(p) => p,
+        None => {
+            // Fallback: short alphanumeric.
+            let alphabet: Vec<char> =
+                ('a'..='z').chain('0'..='9').collect();
+            let len = rng.below(9) as usize;
+            return (0..len)
+                .map(|_| alphabet[rng.below(alphabet.len() as u64) as usize])
+                .collect();
+        }
+    };
+    let mut out = String::new();
+    for piece in &pieces {
+        match piece {
+            Piece::Literal(c) => out.push(*c),
+            Piece::Class { chars, min, max } => {
+                let n = *min + rng.below((*max - *min + 1) as u64) as u32;
+                for _ in 0..n {
+                    out.push(chars[rng.below(chars.len() as u64) as usize]);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_with_counts() {
+        let mut rng = TestRng::for_test("class_with_counts");
+        for _ in 0..200 {
+            let s = generate_matching("[a-z0-9 ]{0,24}", &mut rng);
+            assert!(s.len() <= 24);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == ' '));
+        }
+    }
+
+    #[test]
+    fn literals_pass_through() {
+        let mut rng = TestRng::for_test("literals");
+        assert_eq!(generate_matching("abc", &mut rng), "abc");
+    }
+}

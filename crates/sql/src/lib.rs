@@ -135,6 +135,22 @@ impl QueryEngine {
         self.execute_stmt(&stmt)
     }
 
+    /// Execute any SQL statement with a per-call engine pin for
+    /// SELECTs. Unlike [`QueryEngine::set_force`] (node-global, meant
+    /// for benches), this is safe under concurrent sessions: the pin
+    /// travels with the call.
+    pub fn execute_forced(
+        &self,
+        sql: &str,
+        force: Option<EngineChoice>,
+    ) -> Result<QueryResult> {
+        let stmt = parse(sql)?;
+        match &stmt {
+            Statement::Select(s) => self.execute_select_with(s, force).map(|(r, _)| r),
+            _ => self.execute_stmt(&stmt),
+        }
+    }
+
     /// Execute a parsed statement.
     pub fn execute_stmt(&self, stmt: &Statement) -> Result<QueryResult> {
         match stmt {
@@ -269,12 +285,22 @@ impl QueryEngine {
 
     /// Bind, route, and execute a SELECT; returns the engine used.
     pub fn execute_select(&self, s: &SelectStmt) -> Result<(QueryResult, EngineChoice)> {
+        self.execute_select_with(s, None)
+    }
+
+    /// [`QueryEngine::execute_select`] with a per-call engine pin
+    /// taking precedence over the node-global force.
+    pub fn execute_select_with(
+        &self,
+        s: &SelectStmt,
+        force: Option<EngineChoice>,
+    ) -> Result<(QueryResult, EngineChoice)> {
         let row_engine = self.row.clone();
         let lookup = |name: &str| -> Result<Arc<Schema>> {
             Ok(Arc::new(row_engine.table(name)?.schema.clone()))
         };
         let q = bind_select(s, &lookup, self)?;
-        let choice = match *self.force.lock() {
+        let choice = match force.or(*self.force.lock()) {
             Some(c) => c,
             None => {
                 if q.row_cost > self.cost_threshold && self.store.is_some() {

@@ -9,12 +9,14 @@ pub use imci_common as common;
 pub use imci_core as imci;
 pub use imci_executor as executor;
 pub use imci_replication as replication;
+pub use imci_server as server;
 pub use imci_sql as sql;
 pub use imci_wal as wal;
 pub use imci_workloads as workloads;
 pub use polarfs_sim as polarfs;
 pub use rowstore;
 
-pub use imci_cluster::{Cluster, ClusterConfig, Consistency};
+pub use imci_cluster::{Cluster, ClusterConfig, Consistency, ExecOpts};
 pub use imci_common::{Error, Result, Value};
+pub use imci_server::{Client, Server, ServerConfig};
 pub use imci_sql::{EngineChoice, QueryResult};

@@ -1,0 +1,199 @@
+//! Concurrent multi-client sessions over `imci-server` (paper §6.1/§6.4).
+//!
+//! Two scenarios:
+//! * ≥4 writers + ≥4 readers under `SET CONSISTENCY STRONG`, asserting
+//!   read-your-writes on every write, and that ≥8 sessions really were
+//!   being served simultaneously;
+//! * writers under eventual consistency, asserting no committed update
+//!   is lost once replication catches up, while eventual readers only
+//!   ever observe committed states.
+
+use polardb_imci::cluster::{Cluster, ClusterConfig, Consistency};
+use polardb_imci::common::Value;
+use polardb_imci::server::{Client, Server, ServerConfig};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+const WRITERS: usize = 4;
+const READERS: usize = 4;
+
+fn boot() -> (Server, Arc<Cluster>) {
+    let cluster = Cluster::start(ClusterConfig {
+        n_ro: 2,
+        group_cap: 64,
+        ..Default::default()
+    });
+    let server = Server::start(
+        cluster.clone(),
+        ServerConfig {
+            workers: 2 * (WRITERS + READERS),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    (server, cluster)
+}
+
+#[test]
+fn strong_sessions_read_their_writes_concurrently() {
+    let (server, cluster) = boot();
+    let addr = server.local_addr();
+    let mut admin = Client::connect(addr).unwrap();
+    admin
+        .execute(
+            "CREATE TABLE acct (id INT NOT NULL, bal INT, owner INT,
+             PRIMARY KEY(id), KEY COLUMN_INDEX(id, bal, owner))",
+        )
+        .unwrap();
+
+    // All sessions connect, then start together so they overlap.
+    let barrier = Arc::new(Barrier::new(WRITERS + READERS + 1));
+    let max_active = Arc::new(AtomicUsize::new(0));
+    let mut handles = Vec::new();
+
+    for w in 0..WRITERS as i64 {
+        let barrier = barrier.clone();
+        let mut c = Client::connect(addr).unwrap();
+        handles.push(std::thread::spawn(move || {
+            c.set_consistency(Consistency::Strong).unwrap();
+            barrier.wait();
+            for i in 0..25i64 {
+                let id = w * 1000 + i;
+                c.execute(&format!("INSERT INTO acct VALUES ({id}, {i}, {w})"))
+                    .unwrap();
+                // §6.4: a strong read right after the write must see it,
+                // even though it is served by an RO node.
+                let res = c
+                    .execute(&format!("SELECT bal FROM acct WHERE id = {id}"))
+                    .unwrap();
+                assert_eq!(
+                    res.rows,
+                    vec![vec![Value::Int(i)]],
+                    "writer {w} lost read-your-writes on id {id}"
+                );
+            }
+        }));
+    }
+    for _ in 0..READERS {
+        let barrier = barrier.clone();
+        let mut c = Client::connect(addr).unwrap();
+        handles.push(std::thread::spawn(move || {
+            c.set_consistency(Consistency::Strong).unwrap();
+            barrier.wait();
+            for _ in 0..20 {
+                let res = c.execute("SELECT COUNT(*) FROM acct").unwrap();
+                assert_eq!(res.rows.len(), 1);
+            }
+        }));
+    }
+
+    // Watch concurrency from the outside while the sessions run.
+    barrier.wait();
+    let watcher = {
+        let max_active = max_active.clone();
+        let stats = server.stats_handle();
+        std::thread::spawn(move || loop {
+            let a = stats.active_sessions.load(Ordering::SeqCst);
+            max_active.fetch_max(a, Ordering::SeqCst);
+            if a == 0 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        })
+    };
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    // Final state: every write visible under strong consistency.
+    let res = admin.execute("SELECT COUNT(*) FROM acct").unwrap();
+    assert_eq!(res.rows[0][0], Value::Int((WRITERS * 25) as i64));
+    drop(admin);
+    watcher.join().unwrap();
+    assert!(
+        max_active.load(Ordering::SeqCst) >= WRITERS + READERS,
+        "expected >= {} simultaneous sessions, saw {}",
+        WRITERS + READERS,
+        max_active.load(Ordering::SeqCst)
+    );
+    assert!(server.stats().connections.load(Ordering::Relaxed) >= (WRITERS + READERS) as u64);
+    server.shutdown();
+    cluster.shutdown();
+}
+
+#[test]
+fn eventual_sessions_lose_no_updates() {
+    let (server, cluster) = boot();
+    let addr = server.local_addr();
+    let mut admin = Client::connect(addr).unwrap();
+    admin
+        .execute(
+            "CREATE TABLE ctr (id INT NOT NULL, v INT,
+             PRIMARY KEY(id), KEY COLUMN_INDEX(id, v))",
+        )
+        .unwrap();
+
+    const ROWS_PER_WRITER: i64 = 5;
+    const UPDATES: i64 = 20;
+    let barrier = Arc::new(Barrier::new(WRITERS + READERS));
+    let mut handles = Vec::new();
+    for w in 0..WRITERS as i64 {
+        let barrier = barrier.clone();
+        let mut c = Client::connect(addr).unwrap();
+        handles.push(std::thread::spawn(move || {
+            // Default consistency: eventual.
+            barrier.wait();
+            for r in 0..ROWS_PER_WRITER {
+                let id = w * 100 + r;
+                c.execute(&format!("INSERT INTO ctr VALUES ({id}, 0)"))
+                    .unwrap();
+                for k in 1..=UPDATES {
+                    c.execute(&format!("UPDATE ctr SET v = {k} WHERE id = {id}"))
+                        .unwrap();
+                }
+            }
+        }));
+    }
+    for _ in 0..READERS {
+        let barrier = barrier.clone();
+        let mut c = Client::connect(addr).unwrap();
+        handles.push(std::thread::spawn(move || {
+            c.set_consistency(Consistency::Eventual).unwrap();
+            barrier.wait();
+            for _ in 0..30 {
+                // Stale reads are fine (possibly even the empty table);
+                // observed values must still be ones some transaction
+                // committed (0..=UPDATES).
+                let res = c.execute("SELECT MAX(v) FROM ctr").unwrap();
+                if let Some(Value::Int(v)) = res.rows.first().map(|r| r[0].clone()) {
+                    assert!((0..=UPDATES).contains(&v), "impossible value {v}");
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    // Once the ROs catch up, *every* committed update must be there:
+    // all rows exist and each carries its last update (no lost writes).
+    assert!(cluster.wait_sync(Duration::from_secs(30)), "ROs never caught up");
+    admin.set_consistency(Consistency::Strong).unwrap();
+    let res = admin.execute("SELECT COUNT(*) FROM ctr").unwrap();
+    assert_eq!(
+        res.rows[0][0],
+        Value::Int(WRITERS as i64 * ROWS_PER_WRITER),
+        "missing rows after catch-up"
+    );
+    let res = admin
+        .execute("SELECT MIN(v), MAX(v) FROM ctr")
+        .unwrap();
+    assert_eq!(
+        res.rows[0],
+        vec![Value::Int(UPDATES), Value::Int(UPDATES)],
+        "a committed update was lost"
+    );
+    server.shutdown();
+    cluster.shutdown();
+}
