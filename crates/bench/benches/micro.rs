@@ -31,7 +31,8 @@ fn bench_locator(c: &mut Criterion) {
 fn bench_pack(c: &mut Criterion) {
     let mut col = ColumnData::new(DataType::Int);
     for i in 0..65_536 {
-        col.set(i, &Value::Int(1_000_000 + (i as i64 % 500))).unwrap();
+        col.set(i, &Value::Int(1_000_000 + (i as i64 % 500)))
+            .unwrap();
     }
     c.bench_function("pack_seal_64k_ints", |b| b.iter(|| Pack::seal(&col)));
     let pack = Pack::seal(&col);
@@ -64,9 +65,14 @@ fn bench_expr(c: &mut Criterion) {
     for i in 0..65_536 {
         col.set(i, &Value::Int(i as i64)).unwrap();
     }
-    let batch = Batch { cols: vec![col], len: 65_536 };
+    let batch = Batch {
+        cols: vec![col],
+        len: 65_536,
+    };
     let e = Expr::cmp(CmpOp::Lt, Expr::col(0), Expr::lit(32_768i64));
-    c.bench_function("expr_int_cmp_64k", |b| b.iter(|| e.eval_mask(&batch).unwrap()));
+    c.bench_function("expr_int_cmp_64k", |b| {
+        b.iter(|| e.eval_mask(&batch).unwrap())
+    });
 }
 
 criterion_group! {

@@ -36,12 +36,18 @@ fn main() {
     println!("## ablation B: commit-ahead log shipping vs on-commit shipping");
     println!("## (VD after a 2000-row transaction: CALS overlaps parse/apply with");
     println!("## the transaction's execution; OnCommit starts only after the fsync)");
-    for (label, mode) in [("CALS", ShipMode::CommitAhead), ("OnCommit", ShipMode::OnCommit)] {
+    for (label, mode) in [
+        ("CALS", ShipMode::CommitAhead),
+        ("OnCommit", ShipMode::OnCommit),
+    ] {
         let cluster = Cluster::start(ClusterConfig {
             n_ro: 1,
             group_cap: 4096,
             latency: polarfs_sim::LatencyProfile::polarfs_like(),
-            replication: ReplicationConfig { ship_mode: mode, ..Default::default() },
+            replication: ReplicationConfig {
+                ship_mode: mode,
+                ..Default::default()
+            },
             ..Default::default()
         });
         let _ = imci_workloads::sysbench::Sysbench::setup(&cluster, 1, 100).unwrap();
@@ -53,18 +59,25 @@ fn main() {
             let rw = &cluster.rw;
             let mut txn = rw.begin();
             for _ in 0..2000 {
-                let _ = rw.insert(&mut txn, "sbtest1", vec![
-                    imci_common::Value::Int(pk),
-                    imci_common::Value::Int(rng.gen_range(0..1000)),
-                    imci_common::Value::Str("x".repeat(100)),
-                    imci_common::Value::Str("y".repeat(50)),
-                ]);
+                let _ = rw.insert(
+                    &mut txn,
+                    "sbtest1",
+                    vec![
+                        imci_common::Value::Int(pk),
+                        imci_common::Value::Int(rng.gen_range(0..1000)),
+                        imci_common::Value::Str("x".repeat(100)),
+                        imci_common::Value::Str("y".repeat(50)),
+                    ],
+                );
                 pk += 1;
             }
             rw.commit(txn);
             total += cluster.measure_visibility_delay().unwrap_or(Duration::ZERO);
         }
-        println!("{label}\tmean_vd_us\t{:.1}", total.as_secs_f64() * 1e6 / samples as f64);
+        println!(
+            "{label}\tmean_vd_us\t{:.1}",
+            total.as_secs_f64() * 1e6 / samples as f64
+        );
         cluster.shutdown();
     }
 }

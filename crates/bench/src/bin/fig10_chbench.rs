@@ -11,11 +11,15 @@ use std::time::Duration;
 fn main() {
     let warehouses = env_usize("WAREHOUSES", 2) as i64;
     let window_ms = env_usize("WINDOW_MS", 1500) as u64;
-    println!("# paper: Fig 10 — OLTP loss <5% as AP clients grow; OLAP loss <20% as TP clients grow");
+    println!(
+        "# paper: Fig 10 — OLTP loss <5% as AP clients grow; OLAP loss <20% as TP clients grow"
+    );
     let cluster = bench_cluster(1);
     let ch = Arc::new(imci_workloads::chbench::ChBench::setup(&cluster, warehouses).unwrap());
     assert!(cluster.wait_sync(Duration::from_secs(120)));
-    cluster.ros.read()[0].query.set_force(Some(EngineChoice::Column));
+    cluster.ros.read()[0]
+        .query
+        .set_force(Some(EngineChoice::Column));
     let queries = imci_workloads::chbench::analytical_queries();
 
     let run_mix = |tp_threads: usize, ap_threads: usize| -> (f64, f64) {
@@ -28,27 +32,43 @@ fn main() {
             handles.push(std::thread::spawn(move || {
                 let mut rng = StdRng::seed_from_u64(t as u64 + 1);
                 while !stop.load(Ordering::Relaxed) {
-                    if ch.new_order(&c, &mut rng).is_ok() { ops.fetch_add(1, Ordering::Relaxed); }
-                    if ch.payment(&c, &mut rng).is_ok() { ops.fetch_add(1, Ordering::Relaxed); }
+                    if ch.new_order(&c, &mut rng).is_ok() {
+                        ops.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if ch.payment(&c, &mut rng).is_ok() {
+                        ops.fetch_add(1, Ordering::Relaxed);
+                    }
                 }
             }));
         }
         for t in 0..ap_threads {
-            let (c, stop, ops, qs) = (cluster.clone(), stop.clone(), ap_ops.clone(), queries.clone());
+            let (c, stop, ops, qs) = (
+                cluster.clone(),
+                stop.clone(),
+                ap_ops.clone(),
+                queries.clone(),
+            );
             handles.push(std::thread::spawn(move || {
                 let mut i = t;
                 while !stop.load(Ordering::Relaxed) {
                     let (_, sql) = &qs[i % qs.len()];
-                    if c.execute(sql).is_ok() { ops.fetch_add(1, Ordering::Relaxed); }
+                    if c.execute(sql).is_ok() {
+                        ops.fetch_add(1, Ordering::Relaxed);
+                    }
                     i += 1;
                 }
             }));
         }
         std::thread::sleep(Duration::from_millis(window_ms));
         stop.store(true, Ordering::SeqCst);
-        for h in handles { let _ = h.join(); }
+        for h in handles {
+            let _ = h.join();
+        }
         let secs = window_ms as f64 / 1e3;
-        (tp_ops.load(Ordering::SeqCst) as f64 / secs, ap_ops.load(Ordering::SeqCst) as f64 / secs)
+        (
+            tp_ops.load(Ordering::SeqCst) as f64 / secs,
+            ap_ops.load(Ordering::SeqCst) as f64 / secs,
+        )
     };
 
     println!("## (a) fixed TP clients, growing AP clients");

@@ -1,8 +1,8 @@
 //! Fig. 11: OLTP throughput loss of propagation methods vs a no-IMCI
 //! baseline — reusing REDO vs shipping an extra Binlog.
 
-use imci_cluster::{Cluster, ClusterConfig};
 use imci_bench::env_usize;
+use imci_cluster::{Cluster, ClusterConfig};
 use imci_wal::PropagationMode;
 use polarfs_sim::LatencyProfile;
 use rand::{rngs::StdRng, SeedableRng};
@@ -21,14 +21,18 @@ fn tput(mode: Option<PropagationMode>, clients: usize, window_ms: u64) -> f64 {
     let cluster = Cluster::start(cfg);
     let wl = Arc::new(imci_workloads::sysbench::Sysbench::setup(&cluster, 4, 200).unwrap());
     let mut warm = StdRng::seed_from_u64(9);
-    for _ in 0..200 { let _ = wl.insert_one(&cluster, &mut warm); }
+    for _ in 0..200 {
+        let _ = wl.insert_one(&cluster, &mut warm);
+    }
     let ops = wl.run_clients(&cluster, clients, Duration::from_millis(window_ms), true);
     cluster.shutdown();
     ops as f64 / (window_ms as f64 / 1e3)
 }
 
 fn main() {
-    println!("# paper: Fig 11 — REDO reuse loses <5%; Binlog loses 24-56%, worse with more clients");
+    println!(
+        "# paper: Fig 11 — REDO reuse loses <5%; Binlog loses 24-56%, worse with more clients"
+    );
     println!("clients\tbaseline_tps\treuse_redo_tps\tredo_loss_pct\tbinlog_tps\tbinlog_loss_pct");
     let window = env_usize("WINDOW_MS", 1200) as u64;
     for clients in [4usize, 16, 64] {

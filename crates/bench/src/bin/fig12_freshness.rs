@@ -38,7 +38,9 @@ fn main() {
             }
         }
         stop.store(true, Ordering::SeqCst);
-        for h in handles { let _ = h.join(); }
+        for h in handles {
+            let _ = h.join();
+        }
         println!(
             "{threads}\t{:.3}\t{:.3}\t{:.3}\t{:.3}",
             percentile(&mut samples, 50.0),

@@ -17,13 +17,26 @@ fn per_second(total: u64, dt: Duration) -> f64 {
 
 fn schema() -> Schema {
     Schema::new(
-        TableId(1), "t",
-        vec![ColumnDef::not_null("id", DataType::Int), ColumnDef::new("v", DataType::Int)],
+        TableId(1),
+        "t",
         vec![
-            IndexDef { kind: IndexKind::Primary, name: "PRIMARY".into(), columns: vec![0] },
-            IndexDef { kind: IndexKind::Column, name: "ci".into(), columns: vec![0, 1] },
+            ColumnDef::not_null("id", DataType::Int),
+            ColumnDef::new("v", DataType::Int),
         ],
-    ).unwrap()
+        vec![
+            IndexDef {
+                kind: IndexKind::Primary,
+                name: "PRIMARY".into(),
+                columns: vec![0],
+            },
+            IndexDef {
+                kind: IndexKind::Column,
+                name: "ci".into(),
+                columns: vec![0, 1],
+            },
+        ],
+    )
+    .unwrap()
 }
 
 fn main() {
@@ -34,7 +47,8 @@ fn main() {
     let fs = PolarFs::instant();
     let log = LogWriter::new(fs.clone(), PropagationMode::ReuseRedo);
     let rw = RowEngine::new_rw(fs.clone(), log, 1 << 20);
-    rw.create_table("t", schema().columns.clone(), schema().indexes.clone()).unwrap();
+    rw.create_table("t", schema().columns.clone(), schema().indexes.clone())
+        .unwrap();
     let total = Arc::new(AtomicU64::new(0));
     let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
     let mut hs = Vec::new();
@@ -44,7 +58,10 @@ fn main() {
             let mut pk = w as i64 * 100_000_000;
             while !stop.load(Ordering::Relaxed) {
                 let mut txn = rw.begin();
-                if rw.insert(&mut txn, "t", vec![Value::Int(pk), Value::Int(0)]).is_ok() {
+                if rw
+                    .insert(&mut txn, "t", vec![Value::Int(pk), Value::Int(0)])
+                    .is_ok()
+                {
                     rw.commit(txn);
                     total.fetch_add(1, Ordering::Relaxed);
                 }
@@ -54,7 +71,9 @@ fn main() {
     }
     std::thread::sleep(window);
     stop.store(true, Ordering::SeqCst);
-    for h in hs { let _ = h.join(); }
+    for h in hs {
+        let _ = h.join();
+    }
     let rw_tput = per_second(total.load(Ordering::SeqCst), window);
     println!("# MAX RW OLTP tput (8 writer threads): {rw_tput:.0} txn/s");
 
@@ -78,7 +97,9 @@ fn main() {
         }
         std::thread::sleep(window);
         stop.store(true, Ordering::SeqCst);
-        for h in hs { let _ = h.join(); }
+        for h in hs {
+            let _ = h.join();
+        }
         let v = per_second(done.load(Ordering::SeqCst), window);
         println!("update_locator\t{threads}\t{v:.0}\t{:.1}", v / rw_tput);
 
@@ -100,7 +121,9 @@ fn main() {
         }
         std::thread::sleep(window);
         stop.store(true, Ordering::SeqCst);
-        for h in hs { let _ = h.join(); }
+        for h in hs {
+            let _ = h.join();
+        }
         let v = per_second(done.load(Ordering::SeqCst), window);
         println!("update_data_packs\t{threads}\t{v:.0}\t{:.1}", v / rw_tput);
     }
@@ -110,11 +133,13 @@ fn main() {
     let fs2 = PolarFs::instant();
     let log2 = LogWriter::new(fs2.clone(), PropagationMode::ReuseRedo);
     let rw2 = RowEngine::new_rw(fs2.clone(), log2, 1 << 20);
-    rw2.create_table("t", schema().columns.clone(), schema().indexes.clone()).unwrap();
+    rw2.create_table("t", schema().columns.clone(), schema().indexes.clone())
+        .unwrap();
     let mut txn = rw2.begin();
     let n_entries = env_usize("REPLAY_ENTRIES", 100_000);
     for pk in 0..n_entries as i64 {
-        rw2.insert(&mut txn, "t", vec![Value::Int(pk), Value::Int(pk)]).unwrap();
+        rw2.insert(&mut txn, "t", vec![Value::Int(pk), Value::Int(pk)])
+            .unwrap();
     }
     rw2.commit(txn);
     let ro = RowEngine::new_replica(fs2.clone(), 1 << 20);
@@ -124,7 +149,9 @@ fn main() {
     let t = Instant::now();
     let mut applied = 0u64;
     for e in &entries {
-        if rowstore::apply_entry(&ro, e).unwrap().is_some() { applied += 1; }
+        if rowstore::apply_entry(&ro, e).unwrap().is_some() {
+            applied += 1;
+        }
     }
     let v = per_second(applied, t.elapsed());
     println!("replay_on_row_store\t1\t{v:.0}\t{:.1}", v / rw_tput);

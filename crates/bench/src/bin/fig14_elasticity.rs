@@ -13,7 +13,9 @@ fn main() {
     let cluster = bench_cluster(1);
     imci_workloads::tpch::load(&cluster, 0.001, 7).unwrap();
     let wl = Arc::new(imci_workloads::sysbench::Sysbench::setup(&cluster, 2, 500).unwrap());
-    let host_cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2);
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2);
     assert!(cluster.wait_sync(Duration::from_secs(120)));
     cluster.checkpoint_now().unwrap();
 
@@ -56,26 +58,45 @@ fn main() {
         std::thread::sleep(Duration::from_millis(phase_ms));
         let qps = (ops.load(Ordering::SeqCst) - before) as f64 / (phase_ms as f64 / 1e3);
         let written = cluster.written_lsn();
-        let max_delay = cluster.ros.read().iter()
+        let max_delay = cluster
+            .ros
+            .read()
+            .iter()
             .map(|n| written.saturating_sub(n.applied_lsn()))
-            .max().unwrap_or(0);
-        println!("{}\t{label}\t{}\t{qps:.1}\t{max_delay}",
-            t0.elapsed().as_millis(), cluster.ros.read().len());
+            .max()
+            .unwrap_or(0);
+        println!(
+            "{}\t{label}\t{}\t{qps:.1}\t{max_delay}",
+            t0.elapsed().as_millis(),
+            cluster.ros.read().len()
+        );
     };
     sample("steady-1-ro", &cluster, &ap_ops);
     let r1 = cluster.scale_out().unwrap();
-    println!("{}\tscale-out-No.1 load={}ms catchup={}ms from_ckpt={}\t{}\t-\t-",
-        t0.elapsed().as_millis(), r1.load_time.as_millis(), r1.catchup_time.as_millis(),
-        r1.from_checkpoint, cluster.ros.read().len());
+    println!(
+        "{}\tscale-out-No.1 load={}ms catchup={}ms from_ckpt={}\t{}\t-\t-",
+        t0.elapsed().as_millis(),
+        r1.load_time.as_millis(),
+        r1.catchup_time.as_millis(),
+        r1.from_checkpoint,
+        cluster.ros.read().len()
+    );
     sample("steady-2-ro", &cluster, &ap_ops);
     cluster.checkpoint_now().unwrap();
     let r2 = cluster.scale_out().unwrap();
-    println!("{}\tscale-out-No.2 load={}ms catchup={}ms from_ckpt={}\t{}\t-\t-",
-        t0.elapsed().as_millis(), r2.load_time.as_millis(), r2.catchup_time.as_millis(),
-        r2.from_checkpoint, cluster.ros.read().len());
+    println!(
+        "{}\tscale-out-No.2 load={}ms catchup={}ms from_ckpt={}\t{}\t-\t-",
+        t0.elapsed().as_millis(),
+        r2.load_time.as_millis(),
+        r2.catchup_time.as_millis(),
+        r2.from_checkpoint,
+        cluster.ros.read().len()
+    );
     sample("steady-3-ro", &cluster, &ap_ops);
 
     stop.store(true, Ordering::SeqCst);
-    for h in handles { let _ = h.join(); }
+    for h in handles {
+        let _ = h.join();
+    }
     cluster.shutdown();
 }

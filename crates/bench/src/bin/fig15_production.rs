@@ -10,7 +10,14 @@ fn main() {
     let cluster = bench_cluster(1);
     let mut all = Vec::new();
     for (i, p) in imci_workloads::production::profiles().iter().enumerate() {
-        let wl = imci_workloads::production::generate(&cluster, p, &format!("c{i}"), scale, 99 + i as u64).unwrap();
+        let wl = imci_workloads::production::generate(
+            &cluster,
+            p,
+            &format!("c{i}"),
+            scale,
+            99 + i as u64,
+        )
+        .unwrap();
         assert!(cluster.wait_sync(Duration::from_secs(300)));
         all.push(wl);
     }
@@ -22,9 +29,23 @@ fn main() {
             let (tc, n2) = run_query_on(&cluster, sql, EngineChoice::Column);
             assert_eq!(n1, n2, "{name}");
             let s = tr.as_secs_f64() / tc.as_secs_f64().max(1e-9);
-            let b = if s < 2.0 { 0 } else if s < 5.0 { 1 } else if s < 10.0 { 2 } else if s < 100.0 { 3 } else { 4 };
+            let b = if s < 2.0 {
+                0
+            } else if s < 5.0 {
+                1
+            } else if s < 10.0 {
+                2
+            } else if s < 100.0 {
+                3
+            } else {
+                4
+            };
             buckets[wi][b] += 1;
-            println!("{name}\t{:.2}\t{:.2}\t{s:.1}", tr.as_secs_f64()*1e3, tc.as_secs_f64()*1e3);
+            println!(
+                "{name}\t{:.2}\t{:.2}\t{s:.1}",
+                tr.as_secs_f64() * 1e3,
+                tc.as_secs_f64() * 1e3
+            );
         }
     }
     println!("## Table 3: distribution of speedups");
@@ -32,7 +53,15 @@ fn main() {
     for (wl, b) in all.iter().zip(&buckets) {
         let n: usize = b.iter().sum();
         let pct = |x: usize| format!("{:.0}%", 100.0 * x as f64 / n.max(1) as f64);
-        println!("{}\t{}\t{}\t{}\t{}\t{}", wl.profile.name, pct(b[0]), pct(b[1]), pct(b[2]), pct(b[3]), pct(b[4]));
+        println!(
+            "{}\t{}\t{}\t{}\t{}\t{}",
+            wl.profile.name,
+            pct(b[0]),
+            pct(b[1]),
+            pct(b[2]),
+            pct(b[3]),
+            pct(b[4])
+        );
     }
     cluster.shutdown();
 }

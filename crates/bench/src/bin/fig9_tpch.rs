@@ -28,11 +28,22 @@ fn main() {
         let (tr, n3) = run_query_on(&cluster, &sql, EngineChoice::Row);
         assert_eq!(n1, n3, "{name}: engines disagree on row count");
         assert_eq!(n2, n3, "{name}: naive engine disagrees");
-        let (c, nv, r) = (tc.as_secs_f64()*1e3, tn.as_secs_f64()*1e3, tr.as_secs_f64()*1e3);
+        let (c, nv, r) = (
+            tc.as_secs_f64() * 1e3,
+            tn.as_secs_f64() * 1e3,
+            tr.as_secs_f64() * 1e3,
+        );
         println!("{name}\t{c:.2}\t{nv:.2}\t{r:.2}\t{:.1}", r / c.max(1e-6));
-        col.push(c); naive.push(nv); row.push(r);
+        col.push(c);
+        naive.push(nv);
+        row.push(r);
     }
-    println!("Gmean\t{:.2}\t{:.2}\t{:.2}\t{:.1}",
-        geomean(&col), geomean(&naive), geomean(&row), geomean(&row)/geomean(&col).max(1e-9));
+    println!(
+        "Gmean\t{:.2}\t{:.2}\t{:.2}\t{:.1}",
+        geomean(&col),
+        geomean(&naive),
+        geomean(&row),
+        geomean(&row) / geomean(&col).max(1e-9)
+    );
     cluster.shutdown();
 }

@@ -1,12 +1,19 @@
 //! `server_throughput`: queries/sec through the full service stack
-//! (client → TCP → thread-pool server → proxy routing → RW/RO nodes)
-//! for a mixed OLTP point-read + OLAP aggregate workload at 1, 4, and
-//! 16 client connections.
+//! (client → TCP → thread-pool server → proxy routing → RW/RO nodes).
 //!
-//! The paper's claim this exercises: the stateless proxy tier scales
-//! concurrent mixed traffic by read/write splitting and RO
-//! load-balancing (§6.1), without analytical queries starving point
-//! reads (Fig. 10's HTAP mix, here at the service layer).
+//! Two measurements:
+//!
+//! 1. **Protocol modes** (1 connection, pure point reads): the same
+//!    workload through the v1 text protocol, the v2 binary protocol
+//!    one statement per roundtrip, v2 with a 32-deep pipeline, and v2
+//!    with `BATCH 32` framing. This isolates the wire-layer overhead
+//!    the v2 redesign removes — per-roundtrip syscalls/flushes and
+//!    per-cell text formatting (~80µs/query before it).
+//! 2. **Mixed workload scaling** (1/4/16 connections, OLTP point reads
+//!    and OLAP aggregates): the paper's claim that the stateless proxy
+//!    tier scales concurrent mixed traffic by read/write splitting and
+//!    RO load-balancing (§6.1) without analytical queries starving
+//!    point reads.
 
 use imci_cluster::{Cluster, ClusterConfig, Consistency};
 use imci_server::{Client, Server, ServerConfig};
@@ -21,6 +28,69 @@ const GROUPS: i64 = 16;
 /// One OLAP aggregate per this many OLTP point reads.
 const OLAP_EVERY: u64 = 20;
 const MEASURE: Duration = Duration::from_secs(3);
+/// Pipeline depth / batch size for the protocol-mode comparison.
+const WINDOW: usize = 32;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    RoundtripV1,
+    RoundtripV2,
+    Pipelined,
+    Batched,
+}
+
+impl Mode {
+    fn name(self) -> &'static str {
+        match self {
+            Mode::RoundtripV1 => "roundtrip-v1",
+            Mode::RoundtripV2 => "roundtrip-v2",
+            Mode::Pipelined => "pipelined-32",
+            Mode::Batched => "batched-32",
+        }
+    }
+}
+
+fn point_read(rng: &mut StdRng) -> String {
+    let id = rng.gen_range(0..ROWS);
+    format!("SELECT note FROM mix WHERE id = {id}")
+}
+
+/// Point-read throughput on one connection in the given protocol mode.
+fn run_mode(addr: std::net::SocketAddr, mode: Mode) -> f64 {
+    let mut client = match mode {
+        Mode::RoundtripV1 => Client::connect_v1(addr).unwrap(),
+        _ => Client::connect(addr).unwrap(),
+    };
+    client.set_consistency(Consistency::Eventual).unwrap();
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut done = 0u64;
+    let t0 = Instant::now();
+    while t0.elapsed() < MEASURE {
+        match mode {
+            Mode::RoundtripV1 | Mode::RoundtripV2 => {
+                client.execute(&point_read(&mut rng)).unwrap();
+                done += 1;
+            }
+            Mode::Pipelined => {
+                for _ in 0..WINDOW {
+                    client.send(&point_read(&mut rng)).unwrap();
+                }
+                for _ in 0..WINDOW {
+                    client.recv().unwrap();
+                }
+                done += WINDOW as u64;
+            }
+            Mode::Batched => {
+                let stmts: Vec<String> = (0..WINDOW).map(|_| point_read(&mut rng)).collect();
+                for r in client.execute_batch(&stmts).unwrap() {
+                    r.unwrap();
+                }
+                done += WINDOW as u64;
+            }
+        }
+    }
+    done as f64 / t0.elapsed().as_secs_f64()
+}
 
 fn main() {
     let cluster = Cluster::start(ClusterConfig {
@@ -38,7 +108,12 @@ fn main() {
     // ROs catch up before measuring.
     let mut batch = Vec::new();
     for i in 0..ROWS {
-        batch.push(format!("({i}, {}, {}, 'n{}')", i % GROUPS, i as f64 * 0.5, i % 7));
+        batch.push(format!(
+            "({i}, {}, {}, 'n{}')",
+            i % GROUPS,
+            i as f64 * 0.5,
+            i % 7
+        ));
         if batch.len() == 500 {
             cluster
                 .execute(&format!("INSERT INTO mix VALUES {}", batch.join(", ")))
@@ -63,14 +138,47 @@ fn main() {
     .unwrap();
     let addr = server.local_addr();
 
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    println!(
-        "server_throughput: {ROWS} rows, OLTP:OLAP = {OLAP_EVERY}:1, {MEASURE:?} per point, {cores} core(s)"
-    );
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("server_throughput: {ROWS} rows, {MEASURE:?} per point, {cores} core(s)");
     if cores == 1 {
-        println!("note: single-core host — expect a flat curve; connection scaling needs cores");
+        println!("note: single-core host — expect a flat connection curve; scaling needs cores");
     }
-    println!("{:>6} {:>12} {:>12} {:>12}", "conns", "queries/s", "oltp/s", "olap/s");
+
+    // ---- 1. protocol modes, pure point reads, one connection ----
+    println!("\nprotocol modes (point reads, 1 connection, window={WINDOW}):");
+    println!(
+        "{:>14} {:>12} {:>10} {:>12}",
+        "mode", "queries/s", "µs/query", "vs roundtrip"
+    );
+    let baseline = run_mode(addr, Mode::RoundtripV2);
+    for mode in [
+        Mode::RoundtripV1,
+        Mode::RoundtripV2,
+        Mode::Pipelined,
+        Mode::Batched,
+    ] {
+        let qps = if mode == Mode::RoundtripV2 {
+            baseline
+        } else {
+            run_mode(addr, mode)
+        };
+        println!(
+            "{:>14} {:>12.0} {:>10.1} {:>11.2}x",
+            mode.name(),
+            qps,
+            1e6 / qps,
+            qps / baseline
+        );
+    }
+
+    // ---- 2. mixed workload, connection scaling ----
+    println!("\nmixed workload (OLTP:OLAP = {OLAP_EVERY}:1, per-statement roundtrips):");
+    println!(
+        "{:>6} {:>12} {:>12} {:>12}",
+        "conns", "queries/s", "oltp/s", "olap/s"
+    );
     for conns in [1usize, 4, 16] {
         let stop = Arc::new(AtomicBool::new(false));
         let mut handles = Vec::new();
@@ -84,7 +192,7 @@ fn main() {
                 let mut n = 0u64;
                 while !stop.load(Ordering::Relaxed) {
                     n += 1;
-                    if n % OLAP_EVERY == 0 {
+                    if n.is_multiple_of(OLAP_EVERY) {
                         client
                             .execute(
                                 "SELECT grp, COUNT(*), SUM(val) FROM mix
@@ -93,10 +201,7 @@ fn main() {
                             .unwrap();
                         olap += 1;
                     } else {
-                        let id = rng.gen_range(0..ROWS);
-                        client
-                            .execute(&format!("SELECT note FROM mix WHERE id = {id}"))
-                            .unwrap();
+                        client.execute(&point_read(&mut rng)).unwrap();
                         oltp += 1;
                     }
                 }

@@ -1,7 +1,9 @@
 //! Table 1: configuration of the (simulated) evaluation setup.
 
 fn main() {
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(0);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(0);
     println!("# paper: Table 1 — 32 vCPU / 256GB nodes, 10Gb network, PolarFS 288k IOPS");
     println!("component\tpaper\tthis reproduction");
     println!("RW/RO node\t32 vCPU, 256GB DRAM\tsimulated in-process node, {cores} host threads");

@@ -8,7 +8,9 @@ fn main() {
     let scale = env_f64("PROD_SCALE", 0.1);
     let cluster = bench_cluster(0);
     for (i, p) in imci_workloads::production::profiles().iter().enumerate() {
-        let wl = imci_workloads::production::generate(&cluster, p, &format!("s{i}"), scale, i as u64).unwrap();
+        let wl =
+            imci_workloads::production::generate(&cluster, p, &format!("s{i}"), scale, i as u64)
+                .unwrap();
         println!("{}", imci_workloads::production::table2_stats(&wl));
     }
     let _ = cluster.wait_sync(Duration::from_secs(10));

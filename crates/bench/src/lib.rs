@@ -27,11 +27,7 @@ pub fn env_usize(name: &str, default: usize) -> usize {
 
 /// Run one SELECT on a chosen engine of the first RO node; returns
 /// (elapsed, row count).
-pub fn run_query_on(
-    cluster: &Cluster,
-    sql: &str,
-    engine: EngineChoice,
-) -> (Duration, usize) {
+pub fn run_query_on(cluster: &Cluster, sql: &str, engine: EngineChoice) -> (Duration, usize) {
     let node = cluster.ros.read()[0].clone();
     let stmt = match imci_sql::parse(sql).expect("query parses") {
         Statement::Select(s) => *s,

@@ -12,9 +12,7 @@
 
 use imci_common::{Error, Result};
 use imci_core::ColumnStore;
-use imci_replication::{
-    load_checkpoint_pages, take_checkpoint, Pipeline, ReplicationConfig,
-};
+use imci_replication::{load_checkpoint_pages, take_checkpoint, Pipeline, ReplicationConfig};
 use imci_sql::{QueryEngine, QueryResult, Statement};
 use imci_wal::{LogWriter, PropagationMode};
 use parking_lot::RwLock;
@@ -121,6 +119,28 @@ pub struct ExecOpts {
     pub force_engine: Option<imci_sql::EngineChoice>,
 }
 
+/// RAII hold on an RO node's active-session counter (the §6.1
+/// load-balancing signal). A plain `fetch_add`/`fetch_sub` pair leaks
+/// the increment if the query panics in between, permanently skewing
+/// routing away from the node; the drop guard decrements on every exit
+/// path, panic included.
+struct SessionGuard {
+    node: Arc<RoNode>,
+}
+
+impl SessionGuard {
+    fn enter(node: &Arc<RoNode>) -> SessionGuard {
+        node.sessions.fetch_add(1, Ordering::Relaxed);
+        SessionGuard { node: node.clone() }
+    }
+}
+
+impl Drop for SessionGuard {
+    fn drop(&mut self) {
+        self.node.sessions.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
 /// Timing breakdown of one scale-out operation (Fig. 14).
 #[derive(Debug, Clone)]
 pub struct ScaleOutReport {
@@ -166,53 +186,44 @@ impl Cluster {
         let engine = RowEngine::new_replica(self.fs.clone(), usize::MAX / 2);
         engine.refresh_catalog()?;
         let store = Arc::new(ColumnStore::new(self.config.group_cap));
-        let (start_offset, from_checkpoint) =
-            match imci_core::latest_checkpoint(&self.fs) {
-                Some(seq) => {
-                    // Fast start: checkpointed row pages + column state.
-                    load_checkpoint_pages(&self.fs, seq, &engine)?;
-                    let meta = imci_core::read_meta(&self.fs, seq)?;
-                    for tname in engine.table_names() {
-                        let rt = engine.table(&tname)?;
-                        rt.rebuild_secondaries()?;
-                        rt.row_counter
-                            .store(rt.tree.count()? as u64, Ordering::SeqCst);
-                        if rt.schema.has_column_index() {
-                            if let Ok(idx) = imci_core::load_index(
-                                &self.fs,
-                                seq,
-                                &rt.schema,
-                                self.config.group_cap,
-                            ) {
-                                store.install(idx);
-                            } else {
-                                store.create_index(&rt.schema);
-                            }
-                        }
-                    }
-                    (meta.redo_offset, true)
-                }
-                None => {
-                    // Cold start: everything from the REDO log.
-                    for tname in engine.table_names() {
-                        let rt = engine.table(&tname)?;
-                        if rt.schema.has_column_index() {
+        let (start_offset, from_checkpoint) = match imci_core::latest_checkpoint(&self.fs) {
+            Some(seq) => {
+                // Fast start: checkpointed row pages + column state.
+                load_checkpoint_pages(&self.fs, seq, &engine)?;
+                let meta = imci_core::read_meta(&self.fs, seq)?;
+                for tname in engine.table_names() {
+                    let rt = engine.table(&tname)?;
+                    rt.rebuild_secondaries()?;
+                    rt.row_counter
+                        .store(rt.tree.count()? as u64, Ordering::SeqCst);
+                    if rt.schema.has_column_index() {
+                        if let Ok(idx) =
+                            imci_core::load_index(&self.fs, seq, &rt.schema, self.config.group_cap)
+                        {
+                            store.install(idx);
+                        } else {
                             store.create_index(&rt.schema);
                         }
                     }
-                    (0, false)
                 }
-            };
+                (meta.redo_offset, true)
+            }
+            None => {
+                // Cold start: everything from the REDO log.
+                for tname in engine.table_names() {
+                    let rt = engine.table(&tname)?;
+                    if rt.schema.has_column_index() {
+                        store.create_index(&rt.schema);
+                    }
+                }
+                (0, false)
+            }
+        };
         let load_time = t0.elapsed();
 
         let mut repl = self.config.replication.clone();
         repl.start_offset = start_offset;
-        let pipeline = Pipeline::start(
-            self.fs.clone(),
-            engine.clone(),
-            store.clone(),
-            repl,
-        );
+        let pipeline = Pipeline::start(self.fs.clone(), engine.clone(), store.clone(), repl);
 
         // Catch up to the RW's current commit point before serving.
         let t1 = Instant::now();
@@ -241,24 +252,20 @@ impl Cluster {
         })
     }
 
-    /// Remove the most recently added RO node (scale-in).
+    /// Remove the most recently added RO node (scale-in). The node's
+    /// replication pipeline is stopped here, unconditionally: sessions
+    /// may still hold `Arc`s to the node (their in-flight queries keep
+    /// working against its frozen state), but its threads must not keep
+    /// tailing the log after the node left the routing set.
     pub fn scale_in(&self) -> Option<String> {
         let node = self.ros.write().pop()?;
-        let name = node.name.clone();
-        // Pipeline threads stop when the Arc unwinds; we stop explicitly
-        // if we are the last holder.
-        if let Ok(n) = Arc::try_unwrap(node) {
-            n.pipeline.stop();
-        }
-        Some(name)
+        node.pipeline.stop();
+        Some(node.name.clone())
     }
 
     /// RW's durable commit LSN ("written LSN", §6.4).
     pub fn written_lsn(&self) -> u64 {
-        self.rw
-            .log()
-            .map(|l| l.written_lsn().get())
-            .unwrap_or(0)
+        self.rw.log().map(|l| l.written_lsn().get()).unwrap_or(0)
     }
 
     /// Take a checkpoint covering the current log prefix (the RO-leader
@@ -286,9 +293,7 @@ impl Cluster {
         let target = self.written_lsn();
         let eligible: Vec<&Arc<RoNode>> = match consistency {
             Consistency::Eventual => ros.iter().collect(),
-            Consistency::Strong => {
-                ros.iter().filter(|n| n.applied_lsn() >= target).collect()
-            }
+            Consistency::Strong => ros.iter().filter(|n| n.applied_lsn() >= target).collect(),
         };
         let pick = |nodes: &[&Arc<RoNode>]| -> Arc<RoNode> {
             nodes
@@ -300,17 +305,13 @@ impl Cluster {
         if !eligible.is_empty() {
             return Ok(pick(&eligible));
         }
-        // Strong consistency with lagging ROs: wait for one to catch up.
+        // Strong consistency with lagging ROs: park (condvar, not a
+        // spin — a busy-wait here burns a core per blocked read) until
+        // one catches up.
         let node = pick(&ros.iter().collect::<Vec<_>>());
         drop(ros);
-        let deadline = Instant::now() + Duration::from_secs(30);
-        while node.applied_lsn() < target {
-            if Instant::now() > deadline {
-                return Err(Error::Execution(
-                    "strong consistency wait timed out".into(),
-                ));
-            }
-            std::thread::yield_now();
+        if !node.pipeline.wait_applied(target, Duration::from_secs(30)) {
+            return Err(Error::Execution("strong consistency wait timed out".into()));
         }
         Ok(node)
     }
@@ -330,19 +331,76 @@ impl Cluster {
         if imci_sql::is_read_only(sql) && !self.ros.read().is_empty() {
             let consistency = opts.consistency.unwrap_or(self.config.consistency);
             let node = self.route_ro_with(consistency)?;
-            node.sessions.fetch_add(1, Ordering::Relaxed);
-            let mut out = node.query.execute_forced(sql, opts.force_engine);
-            // RO catalogs refresh lazily (DDL reaches them through the
-            // replication pipeline); a read can race ahead of the first
-            // DML for a new table. The catalog itself lives in shared
-            // storage, so refresh and retry once before failing.
-            if matches!(out, Err(Error::Catalog(_))) && node.engine.refresh_catalog().is_ok()
-            {
-                out = node.query.execute_forced(sql, opts.force_engine);
-            }
-            node.sessions.fetch_sub(1, Ordering::Relaxed);
-            return out;
+            let _session = SessionGuard::enter(&node);
+            return self.execute_on_ro(&node, sql, opts);
         }
+        self.execute_rw(sql)
+    }
+
+    /// Execute a batch of statements in one proxy call — the service
+    /// tier's `BATCH` fast path. Inter-node routing is resolved **once
+    /// per batch** (one `route_ro_with`, one session-counter update)
+    /// instead of once per statement; per-statement errors are returned
+    /// in place so one bad statement doesn't void the rest.
+    ///
+    /// Consistency: under `Strong`, each read in the batch still waits
+    /// for the chosen RO to apply every write committed so far —
+    /// including writes earlier in the same batch — so read-your-writes
+    /// holds within a batch.
+    pub fn execute_many(
+        &self,
+        stmts: &[impl AsRef<str>],
+        opts: ExecOpts,
+    ) -> Vec<Result<QueryResult>> {
+        let consistency = opts.consistency.unwrap_or(self.config.consistency);
+        let mut out = Vec::with_capacity(stmts.len());
+        // One routing decision (and one session-counter hold) for all
+        // reads in the batch.
+        let mut ro: Option<SessionGuard> = None;
+        for sql in stmts {
+            let sql = sql.as_ref();
+            if imci_sql::is_read_only(sql) && !self.ros.read().is_empty() {
+                let resolved = match &ro {
+                    Some(guard) => Ok(guard.node.clone()),
+                    None => self
+                        .route_ro_with(consistency)
+                        .inspect(|node| ro = Some(SessionGuard::enter(node))),
+                };
+                out.push(resolved.and_then(|node| {
+                    // Re-arm the strong-consistency fence: writes earlier
+                    // in this batch advanced the written LSN after the
+                    // route was resolved.
+                    if consistency == Consistency::Strong
+                        && !node
+                            .pipeline
+                            .wait_applied(self.written_lsn(), Duration::from_secs(30))
+                    {
+                        return Err(Error::Execution("strong consistency wait timed out".into()));
+                    }
+                    self.execute_on_ro(&node, sql, opts)
+                }));
+            } else {
+                out.push(self.execute_rw(sql));
+            }
+        }
+        out
+    }
+
+    /// Run one read on a specific RO node (routing already done).
+    fn execute_on_ro(&self, node: &RoNode, sql: &str, opts: ExecOpts) -> Result<QueryResult> {
+        let mut out = node.query.execute_forced(sql, opts.force_engine);
+        // RO catalogs refresh lazily (DDL reaches them through the
+        // replication pipeline); a read can race ahead of the first
+        // DML for a new table. The catalog itself lives in shared
+        // storage, so refresh and retry once before failing.
+        if matches!(out, Err(Error::Catalog(_))) && node.engine.refresh_catalog().is_ok() {
+            out = node.query.execute_forced(sql, opts.force_engine);
+        }
+        out
+    }
+
+    /// Run one write/DDL statement on the RW node.
+    fn execute_rw(&self, sql: &str) -> Result<QueryResult> {
         // Writes and DDL go to RW; DDL additionally builds column
         // indexes on the RO side lazily (via catalog refresh in the
         // pipeline) — ALTER ADD COLUMN INDEX builds eagerly below.
@@ -362,12 +420,11 @@ impl Cluster {
     pub fn wait_sync(&self, timeout: Duration) -> bool {
         let target = self.written_lsn();
         let deadline = Instant::now() + timeout;
-        for ro in self.ros.read().iter() {
-            while ro.applied_lsn() < target {
-                if Instant::now() > deadline {
-                    return false;
-                }
-                std::thread::yield_now();
+        let nodes: Vec<Arc<RoNode>> = self.ros.read().iter().cloned().collect();
+        for ro in nodes {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if !ro.pipeline.wait_applied(target, remaining) {
+                return false;
             }
         }
         true
@@ -382,23 +439,20 @@ impl Cluster {
         let t0 = Instant::now();
         self.rw.commit(txn);
         let target = self.written_lsn();
-        let deadline = Instant::now() + Duration::from_secs(10);
-        while ro.applied_lsn() < target {
-            if Instant::now() > deadline {
-                return Err(Error::Execution("VD wait timed out".into()));
-            }
-            std::hint::spin_loop();
+        if !ro.pipeline.wait_applied(target, Duration::from_secs(10)) {
+            return Err(Error::Execution("VD wait timed out".into()));
         }
         Ok(t0.elapsed())
     }
 
-    /// Stop all RO pipelines (drops the nodes).
+    /// Stop all RO pipelines (drops the nodes). Pipelines are stopped
+    /// explicitly — not via `Arc::try_unwrap`, which fails (and used to
+    /// silently leak running threads) whenever a session still holds a
+    /// node.
     pub fn shutdown(&self) {
-        let mut ros = self.ros.write();
-        for node in ros.drain(..) {
-            if let Ok(n) = Arc::try_unwrap(node) {
-                n.pipeline.stop();
-            }
+        let nodes: Vec<Arc<RoNode>> = self.ros.write().drain(..).collect();
+        for node in &nodes {
+            node.pipeline.stop();
         }
     }
 }
@@ -440,9 +494,7 @@ mod tests {
         }
         assert!(c.wait_sync(Duration::from_secs(20)), "ROs must catch up");
         // Analytical query routes to RO; force column for determinism.
-        c.ros.read()[0]
-            .query
-            .set_force(Some(EngineChoice::Column));
+        c.ros.read()[0].query.set_force(Some(EngineChoice::Column));
         let res = c
             .execute("SELECT grp, COUNT(*), SUM(val) FROM demo GROUP BY grp ORDER BY grp")
             .unwrap();
@@ -465,12 +517,11 @@ mod tests {
             c.execute(&format!("INSERT INTO demo VALUES ({i}, 0, 1.0, 'x')"))
                 .unwrap();
         }
-        c.execute("UPDATE demo SET val = 99.0 WHERE id = 10").unwrap();
+        c.execute("UPDATE demo SET val = 99.0 WHERE id = 10")
+            .unwrap();
         c.execute("DELETE FROM demo WHERE id = 20").unwrap();
         assert!(c.wait_sync(Duration::from_secs(20)));
-        let res = c
-            .execute("SELECT COUNT(*), MAX(val) FROM demo")
-            .unwrap();
+        let res = c.execute("SELECT COUNT(*), MAX(val) FROM demo").unwrap();
         assert_eq!(res.rows[0][0], Value::Int(49));
         assert_eq!(res.rows[0][1], Value::Double(99.0));
         c.shutdown();
@@ -505,8 +556,11 @@ mod tests {
         let c = small_cluster();
         c.execute(DDL).unwrap();
         for i in 0..500 {
-            c.execute(&format!("INSERT INTO demo VALUES ({i}, {}, 2.0, 'z')", i % 7))
-                .unwrap();
+            c.execute(&format!(
+                "INSERT INTO demo VALUES ({i}, {}, 2.0, 'z')",
+                i % 7
+            ))
+            .unwrap();
         }
         assert!(c.wait_sync(Duration::from_secs(20)));
         c.checkpoint_now().unwrap();
@@ -537,16 +591,15 @@ mod tests {
     #[test]
     fn alter_add_column_index_online() {
         let c = small_cluster();
-        c.execute(
-            "CREATE TABLE plain (id INT NOT NULL, v INT, PRIMARY KEY(id))",
-        )
-        .unwrap();
+        c.execute("CREATE TABLE plain (id INT NOT NULL, v INT, PRIMARY KEY(id))")
+            .unwrap();
         for i in 0..100 {
             c.execute(&format!("INSERT INTO plain VALUES ({i}, {i})"))
                 .unwrap();
         }
         assert!(c.wait_sync(Duration::from_secs(20)));
-        c.execute("ALTER TABLE plain ADD COLUMN INDEX (id, v)").unwrap();
+        c.execute("ALTER TABLE plain ADD COLUMN INDEX (id, v)")
+            .unwrap();
         let node = c.ros.read()[0].clone();
         node.query.set_force(Some(EngineChoice::Column));
         let res = c.execute("SELECT SUM(v) FROM plain").unwrap();
@@ -555,10 +608,116 @@ mod tests {
     }
 
     #[test]
+    fn commented_and_parenthesized_selects_route_to_ro() {
+        // Regression: `is_read_only` used to look only at the first six
+        // bytes, so a SELECT behind a comment or paren was misrouted to
+        // the RW node — bypassing RO load balancing and FORCE_ENGINE.
+        let c = small_cluster();
+        c.execute(DDL).unwrap();
+        for i in 0..50 {
+            c.execute(&format!("INSERT INTO demo VALUES ({i}, 0, 1.0, 'x')"))
+                .unwrap();
+        }
+        let opts = ExecOpts {
+            consistency: Some(Consistency::Strong),
+            // The RW node has no column store: a result on the COLUMN
+            // engine proves the statement ran on an RO node.
+            force_engine: Some(EngineChoice::Column),
+        };
+        for sql in [
+            "-- comment\nSELECT COUNT(*) FROM demo",
+            "/* hint */ SELECT COUNT(*) FROM demo",
+            "(SELECT COUNT(*) FROM demo)",
+        ] {
+            let res = c.execute_opts(sql, opts).unwrap();
+            assert_eq!(res.rows[0][0], Value::Int(50), "{sql}");
+            assert_eq!(res.engine, EngineChoice::Column, "{sql} must hit an RO");
+        }
+        c.shutdown();
+    }
+
+    #[test]
+    fn execute_many_batches_reads_and_writes() {
+        let c = small_cluster();
+        c.execute(DDL).unwrap();
+        let stmts: Vec<String> = (0..20)
+            .map(|i| format!("INSERT INTO demo VALUES ({i}, 0, 1.0, 'b')"))
+            .chain(std::iter::once("SELECT COUNT(*) FROM demo".to_string()))
+            .chain(std::iter::once("SELECT bogus FROM nowhere".to_string()))
+            .chain(std::iter::once("SELECT MAX(id) FROM demo".to_string()))
+            .collect();
+        let results = c.execute_many(
+            &stmts,
+            ExecOpts {
+                consistency: Some(Consistency::Strong),
+                force_engine: None,
+            },
+        );
+        assert_eq!(results.len(), 23);
+        for r in &results[..20] {
+            assert_eq!(r.as_ref().unwrap().affected, 1);
+        }
+        // Read-your-writes within the batch: the count sees all 20
+        // inserts issued moments earlier in the same call.
+        assert_eq!(results[20].as_ref().unwrap().rows[0][0], Value::Int(20));
+        assert!(results[21].is_err(), "bad statement errors in place");
+        assert_eq!(results[22].as_ref().unwrap().rows[0][0], Value::Int(19));
+        c.shutdown();
+    }
+
+    #[test]
+    fn session_counters_return_to_zero() {
+        let c = small_cluster();
+        c.execute(DDL).unwrap();
+        c.execute("INSERT INTO demo VALUES (1, 0, 1.0, 'x')")
+            .unwrap();
+        for _ in 0..10 {
+            let _ = c.execute("SELECT COUNT(*) FROM demo");
+            // Errors (parse failures on the RO) must not leak the
+            // session count either.
+            let _ = c.execute("SELECT FROM demo WHERE");
+        }
+        let _ = c.execute_many(
+            &["SELECT COUNT(*) FROM demo", "SELECT * FROM missing"],
+            ExecOpts::default(),
+        );
+        for ro in c.ros.read().iter() {
+            assert_eq!(ro.sessions.load(Ordering::SeqCst), 0);
+        }
+        c.shutdown();
+    }
+
+    #[test]
+    fn scale_in_stops_pipeline_with_live_arcs() {
+        let c = small_cluster();
+        c.execute(DDL).unwrap();
+        c.scale_out().unwrap();
+        // A "session" still holds the node when it is scaled in.
+        let held = c.ros.read().last().unwrap().clone();
+        let before = held.applied_lsn();
+        assert!(c.scale_in().is_some());
+        // The pipeline was stopped even though `held` kept the Arc
+        // alive: new writes must no longer advance its applied LSN.
+        for i in 100..160 {
+            c.execute(&format!("INSERT INTO demo VALUES ({i}, 0, 1.0, 'x')"))
+                .unwrap();
+        }
+        assert!(c.wait_sync(Duration::from_secs(20)));
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(
+            held.applied_lsn(),
+            before,
+            "stopped pipeline must not apply"
+        );
+        c.shutdown();
+    }
+
+    #[test]
     fn visibility_delay_is_measurable() {
         let c = small_cluster();
         c.execute(DDL).unwrap();
-        c.execute("INSERT INTO demo VALUES (1, 1, 1.0, 'a')").unwrap();
+        c.execute("INSERT INTO demo VALUES (1, 1, 1.0, 'a')")
+            .unwrap();
         let vd = c.measure_visibility_delay().unwrap();
         assert!(vd < Duration::from_secs(5));
         c.shutdown();

@@ -38,6 +38,45 @@ pub enum Error {
 }
 
 impl Error {
+    /// The bare message, without the failure-domain tag that
+    /// [`fmt::Display`] prepends.
+    pub fn message(&self) -> &str {
+        match self {
+            Error::Parse(m)
+            | Error::Plan(m)
+            | Error::Execution(m)
+            | Error::ColumnEngineUnsupported(m)
+            | Error::Storage(m)
+            | Error::TxnAborted(m)
+            | Error::Constraint(m)
+            | Error::Catalog(m)
+            | Error::Replication(m)
+            | Error::PolarFs(m)
+            | Error::Unsupported(m) => m,
+        }
+    }
+
+    /// Rebuild an error from a [`Error::kind`] tag and a bare message —
+    /// the inverse used by wire protocols that ship the two parts
+    /// separately so clients can preserve the failure domain. Unknown
+    /// tags (from a newer peer) degrade to [`Error::Execution`].
+    pub fn from_kind(kind: &str, msg: String) -> Error {
+        match kind {
+            "parse" => Error::Parse(msg),
+            "plan" => Error::Plan(msg),
+            "execution" => Error::Execution(msg),
+            "column_engine_unsupported" => Error::ColumnEngineUnsupported(msg),
+            "storage" => Error::Storage(msg),
+            "txn_aborted" => Error::TxnAborted(msg),
+            "constraint" => Error::Constraint(msg),
+            "catalog" => Error::Catalog(msg),
+            "replication" => Error::Replication(msg),
+            "polarfs" => Error::PolarFs(msg),
+            "unsupported" => Error::Unsupported(msg),
+            _ => Error::Execution(msg),
+        }
+    }
+
     /// Short machine-readable tag for the failure domain.
     pub fn kind(&self) -> &'static str {
         match self {
@@ -86,6 +125,31 @@ mod tests {
         let e = Error::Parse("unexpected token".into());
         assert_eq!(e.to_string(), "parse error: unexpected token");
         assert_eq!(e.kind(), "parse");
+    }
+
+    #[test]
+    fn kind_message_roundtrip() {
+        let all = [
+            Error::Parse("a".into()),
+            Error::Plan("b".into()),
+            Error::Execution("c".into()),
+            Error::ColumnEngineUnsupported("d".into()),
+            Error::Storage("e".into()),
+            Error::TxnAborted("f".into()),
+            Error::Constraint("g".into()),
+            Error::Catalog("h".into()),
+            Error::Replication("i".into()),
+            Error::PolarFs("j".into()),
+            Error::Unsupported("k".into()),
+        ];
+        for e in all {
+            let rebuilt = Error::from_kind(e.kind(), e.message().to_string());
+            assert_eq!(rebuilt, e);
+        }
+        assert_eq!(
+            Error::from_kind("no_such_kind", "m".into()),
+            Error::Execution("m".into())
+        );
     }
 
     #[test]

@@ -161,9 +161,7 @@ impl RowDiff {
             pre += 1;
         }
         let mut suf = 0;
-        while suf < max_pre - pre
-            && old[old.len() - 1 - suf] == new[new.len() - 1 - suf]
-        {
+        while suf < max_pre - pre && old[old.len() - 1 - suf] == new[new.len() - 1 - suf] {
             suf += 1;
         }
         let mid = new[pre..new.len() - suf].to_vec();
@@ -214,11 +212,7 @@ impl RowDiff {
     /// Size in bytes of the payload this diff would occupy in a log
     /// entry (used for log-volume accounting in the benches).
     pub fn payload_size(&self) -> usize {
-        8 + self
-            .splices
-            .iter()
-            .map(|(_, b)| 8 + b.len())
-            .sum::<usize>()
+        8 + self.splices.iter().map(|(_, b)| 8 + b.len()).sum::<usize>()
     }
 }
 

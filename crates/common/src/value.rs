@@ -138,25 +138,21 @@ impl Value {
             (Value::Double(v), DataType::Double) => Value::Double(*v),
             (Value::Double(v), DataType::Int) => Value::Int(*v as i64),
             (Value::Str(s), DataType::Str) => Value::Str(s.clone()),
-            (Value::Str(s), DataType::Int) => {
-                Value::Int(s.trim().parse::<i64>().map_err(|e| {
-                    Error::Execution(format!("cannot cast '{s}' to INT: {e}"))
-                })?)
-            }
-            (Value::Str(s), DataType::Double) => {
-                Value::Double(s.trim().parse::<f64>().map_err(|e| {
-                    Error::Execution(format!("cannot cast '{s}' to DOUBLE: {e}"))
-                })?)
-            }
+            (Value::Str(s), DataType::Int) => Value::Int(
+                s.trim()
+                    .parse::<i64>()
+                    .map_err(|e| Error::Execution(format!("cannot cast '{s}' to INT: {e}")))?,
+            ),
+            (Value::Str(s), DataType::Double) => Value::Double(
+                s.trim()
+                    .parse::<f64>()
+                    .map_err(|e| Error::Execution(format!("cannot cast '{s}' to DOUBLE: {e}")))?,
+            ),
             (Value::Str(s), DataType::Date) => Value::Date(parse_date_str(s)?),
             (Value::Date(v), DataType::Date) => Value::Date(*v),
             (Value::Date(v), DataType::Int) => Value::Int(*v),
             (Value::Date(v), DataType::Double) => Value::Double(*v as f64),
-            (v, t) => {
-                return Err(Error::Execution(format!(
-                    "cannot cast {v} to {t}"
-                )))
-            }
+            (v, t) => return Err(Error::Execution(format!("cannot cast {v} to {t}"))),
         };
         Ok(out)
     }
@@ -338,10 +334,7 @@ mod tests {
     fn sql_cmp_null_propagates() {
         assert_eq!(Value::Null.sql_cmp(&Value::Int(1)), None);
         assert_eq!(Value::Int(1).sql_cmp(&Value::Null), None);
-        assert_eq!(
-            Value::Int(1).sql_cmp(&Value::Int(2)),
-            Some(Ordering::Less)
-        );
+        assert_eq!(Value::Int(1).sql_cmp(&Value::Int(2)), Some(Ordering::Less));
     }
 
     #[test]
@@ -353,7 +346,7 @@ mod tests {
 
     #[test]
     fn total_order_null_first_str_last() {
-        let mut vs = vec![
+        let mut vs = [
             Value::Str("a".into()),
             Value::Int(5),
             Value::Null,
@@ -383,7 +376,10 @@ mod tests {
         assert_eq!(DataType::parse_sql("INT(11)").unwrap(), DataType::Int);
         assert_eq!(DataType::parse_sql("varchar(44)").unwrap(), DataType::Str);
         assert_eq!(DataType::parse_sql("LONGTEXT").unwrap(), DataType::Str);
-        assert_eq!(DataType::parse_sql("DECIMAL(15,2)").unwrap(), DataType::Double);
+        assert_eq!(
+            DataType::parse_sql("DECIMAL(15,2)").unwrap(),
+            DataType::Double
+        );
         assert_eq!(DataType::parse_sql("DATE").unwrap(), DataType::Date);
         assert!(DataType::parse_sql("BLOB").is_err());
     }

@@ -77,7 +77,13 @@ pub fn write_checkpoint(
         ));
         let sealed: Vec<String> = groups
             .iter()
-            .map(|g| if g.is_sealed() { "1".into() } else { "0".into() })
+            .map(|g| {
+                if g.is_sealed() {
+                    "1".into()
+                } else {
+                    "0".into()
+                }
+            })
             .collect();
         meta.push_str(&sealed.join(","));
         meta.push('\t');
@@ -111,8 +117,7 @@ pub fn write_checkpoint(
                 );
             }
             let (ins, del) = g.checkpoint_vids(csn);
-            let mut vbytes =
-                Vec::with_capacity(16 + ins.len() * 8 + del.len() * 8);
+            let mut vbytes = Vec::with_capacity(16 + ins.len() * 8 + del.len() * 8);
             vbytes.extend_from_slice(&(ins.len() as u64).to_le_bytes());
             for v in &ins {
                 vbytes.extend_from_slice(&v.to_le_bytes());
@@ -149,8 +154,8 @@ pub fn latest_checkpoint(fs: &PolarFs) -> Option<u64> {
 /// Parse a checkpoint's `meta` object.
 pub fn read_meta(fs: &PolarFs, seq: u64) -> Result<CheckpointMeta> {
     let bytes = fs.get_object(&format!("{}meta", prefix(seq)))?;
-    let text = std::str::from_utf8(&bytes)
-        .map_err(|e| Error::Storage(format!("ckpt meta utf8: {e}")))?;
+    let text =
+        std::str::from_utf8(&bytes).map_err(|e| Error::Storage(format!("ckpt meta utf8: {e}")))?;
     let mut csn = 0;
     let mut redo_offset = 0;
     let mut tables = Vec::new();
@@ -201,10 +206,7 @@ pub fn load_index(
         .iter()
         .find(|t| t.table_id == schema.table_id)
         .ok_or_else(|| {
-            Error::Storage(format!(
-                "checkpoint {seq} has no table {}",
-                schema.table_id
-            ))
+            Error::Storage(format!("checkpoint {seq} has no table {}", schema.table_id))
         })?;
     let p = prefix(seq);
     let index = ColumnIndex::for_schema(schema, group_cap);
@@ -222,8 +224,7 @@ pub fn load_index(
                 slots.push(ColumnSlot::Partial(pack.decode()));
             }
         }
-        let vbytes =
-            fs.get_object(&format!("{p}t{}/g{}/vids", schema.table_id.get(), gid))?;
+        let vbytes = fs.get_object(&format!("{p}t{}/g{}/vids", schema.table_id.get(), gid))?;
         let (ins, del) = decode_vids(&vbytes)?;
         groups.push(Arc::new(RowGroup::from_checkpoint(
             gid,
@@ -326,7 +327,11 @@ mod tests {
         for pk in 0..20i64 {
             idx.insert(
                 Vid(pk as u64 + 1),
-                &[Value::Int(pk), Value::Int(pk * 2), Value::Str(format!("s{pk}"))],
+                &[
+                    Value::Int(pk),
+                    Value::Int(pk * 2),
+                    Value::Str(format!("s{pk}")),
+                ],
             )
             .unwrap();
         }
@@ -340,7 +345,7 @@ mod tests {
     fn checkpoint_roundtrip() {
         let fs = PolarFs::instant();
         let idx = populated_index();
-        write_checkpoint(&fs, 1, 21, 12345, &[idx.clone()]).unwrap();
+        write_checkpoint(&fs, 1, 21, 12345, std::slice::from_ref(&idx)).unwrap();
         assert_eq!(latest_checkpoint(&fs), Some(1));
         let meta = read_meta(&fs, 1).unwrap();
         assert_eq!(meta.csn, 21);
@@ -373,7 +378,8 @@ mod tests {
                 &[Value::Int(100), Value::Int(1), Value::Str("new".into())],
             )
             .unwrap();
-        restored.update(Vid(23), 0, &[Value::Int(0), Value::Int(999), Value::Null])
+        restored
+            .update(Vid(23), 0, &[Value::Int(0), Value::Int(999), Value::Null])
             .unwrap();
         restored.advance_visible(Vid(23));
         let snap = restored.snapshot();
@@ -406,7 +412,7 @@ mod tests {
     fn latest_checkpoint_picks_max() {
         let fs = PolarFs::instant();
         let idx = populated_index();
-        write_checkpoint(&fs, 3, 21, 0, &[idx.clone()]).unwrap();
+        write_checkpoint(&fs, 3, 21, 0, std::slice::from_ref(&idx)).unwrap();
         write_checkpoint(&fs, 10, 21, 0, &[idx]).unwrap();
         assert_eq!(latest_checkpoint(&fs), Some(10));
         assert_eq!(latest_checkpoint(&PolarFs::instant()), None);
@@ -414,9 +420,8 @@ mod tests {
 
     #[test]
     fn build_from_rows_bulk_load() {
-        let rows = (0..100i64).map(|pk| {
-            vec![Value::Int(pk), Value::Int(pk), Value::Str("x".into())]
-        });
+        let rows =
+            (0..100i64).map(|pk| vec![Value::Int(pk), Value::Int(pk), Value::Str("x".into())]);
         let idx = build_from_rows(&schema(), 16, Vid(1), rows).unwrap();
         let snap = idx.snapshot();
         assert_eq!(snap.get_by_pk(42).unwrap()[1], Value::Int(42));

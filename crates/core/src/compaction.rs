@@ -53,8 +53,7 @@ pub fn compact(index: &Arc<ColumnIndex>, valid_ratio_threshold: f64) -> Result<C
             continue;
         }
         let live = group.live_rows();
-        if live == 0 || (live as f64) / (group.capacity() as f64) >= valid_ratio_threshold
-        {
+        if live == 0 || (live as f64) / (group.capacity() as f64) >= valid_ratio_threshold {
             continue;
         }
         // Re-append each live row: a compaction "update" (delete old
@@ -178,7 +177,8 @@ mod tests {
     fn dense_groups_left_alone() {
         let idx = ColumnIndex::for_schema(&schema(), 8);
         for pk in 0..16i64 {
-            idx.insert(Vid(1), &[Value::Int(pk), Value::Int(0)]).unwrap();
+            idx.insert(Vid(1), &[Value::Int(pk), Value::Int(0)])
+                .unwrap();
         }
         idx.advance_visible(Vid(1));
         idx.delete(Vid(2), 0).unwrap(); // 7/8 live: above threshold
@@ -192,7 +192,8 @@ mod tests {
     fn old_versions_stay_visible_to_pinned_snapshots() {
         let idx = ColumnIndex::for_schema(&schema(), 4);
         for pk in 0..8i64 {
-            idx.insert(Vid(1), &[Value::Int(pk), Value::Int(pk)]).unwrap();
+            idx.insert(Vid(1), &[Value::Int(pk), Value::Int(pk)])
+                .unwrap();
         }
         idx.advance_visible(Vid(1));
         let pinned = idx.snapshot(); // csn = 1

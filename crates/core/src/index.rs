@@ -89,11 +89,7 @@ impl Snapshot {
         if !group.visible(off, self.csn) {
             return None;
         }
-        Some(
-            (0..group.width())
-                .map(|c| group.value_at(c, off))
-                .collect(),
-        )
+        Some((0..group.width()).map(|c| group.value_at(c, off)).collect())
     }
 }
 
@@ -174,9 +170,9 @@ impl ColumnIndex {
     /// §4.2 Insert. `values` are the covered columns (via
     /// [`Self::project_row`]); returns the RID.
     pub fn insert(&self, vid: Vid, values: &[Value]) -> Result<Rid> {
-        let pk = values[self.pk_pos].as_int().ok_or_else(|| {
-            Error::Storage("column index insert without integer pk".into())
-        })?;
+        let pk = values[self.pk_pos]
+            .as_int()
+            .ok_or_else(|| Error::Storage("column index insert without integer pk".into()))?;
         let rid = self.alloc_rids(1);
         // Step 2 of §4.2: record the PK→RID mapping.
         self.locator.insert(pk, rid);
@@ -219,9 +215,10 @@ impl ColumnIndex {
 
     /// §4.2 Delete: locator lookup → stamp delete VID → drop mapping.
     pub fn delete(&self, vid: Vid, pk: i64) -> Result<Rid> {
-        let rid = self.locator.get(pk).ok_or_else(|| {
-            Error::Storage(format!("column index delete: pk {pk} not found"))
-        })?;
+        let rid = self
+            .locator
+            .get(pk)
+            .ok_or_else(|| Error::Storage(format!("column index delete: pk {pk} not found")))?;
         let (g, off) = self.rid_pos(rid);
         let group = self.group_for(g);
         group.set_delete_vid(off, vid);
@@ -479,11 +476,8 @@ mod tests {
     fn insert_map_drop_via_index() {
         let idx = ColumnIndex::for_schema(&test_schema(), 4);
         for pk in 0..4 {
-            idx.insert(
-                Vid(1),
-                &[Value::Int(pk), Value::Int(0), Value::Double(0.0)],
-            )
-            .unwrap();
+            idx.insert(Vid(1), &[Value::Int(pk), Value::Int(0), Value::Double(0.0)])
+                .unwrap();
         }
         idx.advance_visible(Vid(1));
         assert_eq!(idx.drop_old_insert_maps(), 1);

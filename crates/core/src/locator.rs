@@ -159,8 +159,7 @@ impl RidLocator {
         if mt.is_empty() {
             return;
         }
-        let entries: Vec<(i64, Option<Rid>)> =
-            std::mem::take(&mut *mt).into_iter().collect();
+        let entries: Vec<(i64, Option<Rid>)> = std::mem::take(&mut *mt).into_iter().collect();
         drop(mt);
         let mut runs = self.runs.write();
         let mut list: Vec<Arc<Run>> = (**runs).clone();
@@ -181,10 +180,7 @@ impl RidLocator {
             }
         }
         Run {
-            entries: map
-                .into_iter()
-                .filter(|(_, rid)| rid.is_some())
-                .collect(),
+            entries: map.into_iter().filter(|(_, rid)| rid.is_some()).collect(),
         }
     }
 

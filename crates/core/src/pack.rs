@@ -287,9 +287,7 @@ impl Pack {
                 nulls: Bitmap::from_bools(nulls),
             },
             ColumnData::Str { codes, nulls, dict } => PackData::Str {
-                codes: BitPacked::pack(
-                    &codes.iter().map(|&c| c as u64).collect::<Vec<u64>>(),
-                ),
+                codes: BitPacked::pack(&codes.iter().map(|&c| c as u64).collect::<Vec<u64>>()),
                 dict: dict.strings().to_vec(),
                 nulls: Bitmap::from_bools(nulls),
             },
@@ -314,7 +312,11 @@ impl Pack {
     /// Read row `i` as a [`Value`].
     pub fn get(&self, i: usize) -> Value {
         match &self.data {
-            PackData::Int { base, packed, nulls } => {
+            PackData::Int {
+                base,
+                packed,
+                nulls,
+            } => {
                 if nulls.get(i) {
                     Value::Null
                 } else {
@@ -342,7 +344,11 @@ impl Pack {
     /// the executor's materializing scan).
     pub fn decode(&self) -> ColumnData {
         match &self.data {
-            PackData::Int { base, packed, nulls } => {
+            PackData::Int {
+                base,
+                packed,
+                nulls,
+            } => {
                 let mut vals = Vec::with_capacity(packed.len);
                 let mut nl = Vec::with_capacity(packed.len);
                 for i in 0..packed.len {
@@ -390,7 +396,11 @@ impl Pack {
     /// mutable typed column (scan hot path).
     pub fn gather(&self, idx: &[u32]) -> ColumnData {
         match &self.data {
-            PackData::Int { base, packed, nulls } => {
+            PackData::Int {
+                base,
+                packed,
+                nulls,
+            } => {
                 let mut vals = Vec::with_capacity(idx.len());
                 let mut nl = Vec::with_capacity(idx.len());
                 for &i in idx {
@@ -424,7 +434,11 @@ impl Pack {
                     let i = i as usize;
                     let isnull = nulls.get(i);
                     nl.push(isnull);
-                    cs.push(if isnull { 0 } else { remap[codes.get(i) as usize] });
+                    cs.push(if isnull {
+                        0
+                    } else {
+                        remap[codes.get(i) as usize]
+                    });
                 }
                 ColumnData::Str {
                     codes: cs,
@@ -471,7 +485,11 @@ impl Pack {
             }
         };
         match &self.data {
-            PackData::Int { base, packed, nulls } => {
+            PackData::Int {
+                base,
+                packed,
+                nulls,
+            } => {
                 out.push(1);
                 out.extend_from_slice(&base.to_le_bytes());
                 put_bitpacked(&mut out, packed);
@@ -582,11 +600,7 @@ impl Pack {
                     );
                 }
                 let nulls = r.bitmap()?;
-                PackData::Str {
-                    codes,
-                    dict,
-                    nulls,
-                }
+                PackData::Str { codes, dict, nulls }
             }
             t => return Err(Error::Storage(format!("bad pack tag {t}"))),
         };
@@ -642,7 +656,8 @@ mod tests {
             if i % 17 == 0 {
                 col.set(i, &Value::Null).unwrap();
             } else {
-                col.set(i, &Value::Int(1_000_000 + (i as i64 % 100))).unwrap();
+                col.set(i, &Value::Int(1_000_000 + (i as i64 % 100)))
+                    .unwrap();
             }
         }
         let pack = Pack::seal(&col);

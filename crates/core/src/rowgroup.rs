@@ -215,9 +215,7 @@ impl RowGroup {
         match &*s {
             ColumnSlot::Partial(c) => ColumnRead::Materialized(c.clone()),
             ColumnSlot::Sealed(p) => ColumnRead::Pack(p.clone()),
-            ColumnSlot::Reclaimed => {
-                ColumnRead::Materialized(ColumnData::new(self.col_types[col]))
-            }
+            ColumnSlot::Reclaimed => ColumnRead::Materialized(ColumnData::new(self.col_types[col])),
         }
     }
 
@@ -317,7 +315,13 @@ impl RowGroup {
             Some(m) => m
                 .snapshot_raw()
                 .into_iter()
-                .map(|v| if v != VID_UNSET && v > csn { VID_UNSET } else { v })
+                .map(|v| {
+                    if v != VID_UNSET && v > csn {
+                        VID_UNSET
+                    } else {
+                        v
+                    }
+                })
                 .collect(),
             None => vec![0; self.capacity],
         };
@@ -325,12 +329,19 @@ impl RowGroup {
             .delete_vids
             .snapshot_raw()
             .into_iter()
-            .map(|v| if v != VID_UNSET && v > csn { VID_UNSET } else { v })
+            .map(|v| {
+                if v != VID_UNSET && v > csn {
+                    VID_UNSET
+                } else {
+                    v
+                }
+            })
             .collect();
         (ins, del)
     }
 
     /// Rebuild a group from checkpoint state.
+    #[allow(clippy::too_many_arguments)]
     pub fn from_checkpoint(
         id: u32,
         capacity: usize,
@@ -397,7 +408,8 @@ mod tests {
     #[test]
     fn write_stamp_read() {
         let g = RowGroup::new(0, 8, &types());
-        g.write_row(0, &[Value::Int(1), Value::Str("a".into())]).unwrap();
+        g.write_row(0, &[Value::Int(1), Value::Str("a".into())])
+            .unwrap();
         g.set_insert_vid(0, Vid(5));
         assert!(g.visible(0, 5));
         assert!(!g.visible(0, 4));
@@ -455,7 +467,8 @@ mod tests {
         let cap = 4;
         let g = RowGroup::new(0, cap, &types());
         for i in 0..cap {
-            g.write_row(i, &[Value::Int(i as i64), Value::Null]).unwrap();
+            g.write_row(i, &[Value::Int(i as i64), Value::Null])
+                .unwrap();
             g.set_insert_vid(i, Vid(3));
         }
         g.seal_if_full();

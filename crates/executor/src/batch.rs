@@ -72,7 +72,10 @@ impl Batch {
     /// Concatenate batches (all must share the same width/types).
     pub fn concat(batches: &[Batch]) -> Result<Batch> {
         if batches.is_empty() {
-            return Ok(Batch { cols: Vec::new(), len: 0 });
+            return Ok(Batch {
+                cols: Vec::new(),
+                len: 0,
+            });
         }
         let mut out = Batch {
             cols: batches[0]

@@ -138,7 +138,14 @@ fn scan(
                 let mut local: Vec<Result<Option<Batch>>> = Vec::new();
                 let mut gi = w;
                 while gi < groups.len() {
-                    local.push(scan_group(&groups[gi], csn, cols, prune, filter, prune_enabled));
+                    local.push(scan_group(
+                        &groups[gi],
+                        csn,
+                        cols,
+                        prune,
+                        filter,
+                        prune_enabled,
+                    ));
                     gi += n_workers;
                 }
                 local
@@ -179,10 +186,7 @@ fn scan_group(
     if prune_enabled && group.is_sealed() {
         for pr in prune {
             if let Some(pack) = group.column_pack(pr.col) {
-                if !pack
-                    .meta
-                    .may_contain_range(pr.lo.as_ref(), pr.hi.as_ref())
-                {
+                if !pack.meta.may_contain_range(pr.lo.as_ref(), pr.hi.as_ref()) {
                     return Ok(None);
                 }
             }
@@ -240,8 +244,7 @@ fn hash_join(
         }
     } else {
         for r in 0..build.len {
-            let key: Vec<Value> =
-                right_keys.iter().map(|&k| build.cols[k].get(r)).collect();
+            let key: Vec<Value> = right_keys.iter().map(|&k| build.cols[k].get(r)).collect();
             if key.iter().any(|v| v.is_null()) {
                 continue; // SQL: NULL keys never join
             }
@@ -285,8 +288,7 @@ fn hash_join(
             }
         } else {
             for r in 0..lb.len {
-                let key: Vec<Value> =
-                    left_keys.iter().map(|&k| lb.cols[k].get(r)).collect();
+                let key: Vec<Value> = left_keys.iter().map(|&k| lb.cols[k].get(r)).collect();
                 if key.iter().any(|v| v.is_null()) {
                     continue;
                 }
@@ -301,8 +303,7 @@ fn hash_join(
         if lidx.is_empty() {
             continue;
         }
-        let mut cols: Vec<ColumnData> =
-            lb.cols.iter().map(|c| c.gather(&lidx)).collect();
+        let mut cols: Vec<ColumnData> = lb.cols.iter().map(|c| c.gather(&lidx)).collect();
         cols.extend(build.cols.iter().map(|c| c.gather(&ridx)));
         out.push(Batch {
             cols,
@@ -316,8 +317,16 @@ enum Acc {
     CountStar(u64),
     Count(u64),
     CountDistinct(imci_common::FxHashSet<Value>),
-    Sum { sum: f64, any: bool, int: bool, isum: i64 },
-    Avg { sum: f64, n: u64 },
+    Sum {
+        sum: f64,
+        any: bool,
+        int: bool,
+        isum: i64,
+    },
+    Avg {
+        sum: f64,
+        n: u64,
+    },
     Min(Option<Value>),
     Max(Option<Value>),
 }
@@ -387,14 +396,14 @@ impl Acc {
             }
             Acc::Min(m) => {
                 if let Some(x) = v {
-                    if !x.is_null() && m.as_ref().map_or(true, |cur| x < cur) {
+                    if !x.is_null() && m.as_ref().is_none_or(|cur| x < cur) {
                         *m = Some(x.clone());
                     }
                 }
             }
             Acc::Max(m) => {
                 if let Some(x) = v {
-                    if !x.is_null() && m.as_ref().map_or(true, |cur| x > cur) {
+                    if !x.is_null() && m.as_ref().is_none_or(|cur| x > cur) {
                         *m = Some(x.clone());
                     }
                 }
@@ -487,9 +496,7 @@ fn hash_agg(
         });
         out.push_values(&vals)?;
     }
-    Ok(out.unwrap_or_else(|| {
-        Batch::empty(&vec![imci_common::DataType::Int; width])
-    }))
+    Ok(out.unwrap_or_else(|| Batch::empty(&vec![imci_common::DataType::Int; width])))
 }
 
 fn sort_batch(b: Batch, keys: &[(usize, bool)], limit: Option<usize>) -> Result<Batch> {
@@ -682,7 +689,10 @@ mod tests {
         };
         let b = execute(&plan, &ctx).unwrap();
         assert_eq!(b.len, 1);
-        assert_eq!(b.row(0), vec![Value::Int(0), Value::Int(49), Value::Int(50)]);
+        assert_eq!(
+            b.row(0),
+            vec![Value::Int(0), Value::Int(49), Value::Int(50)]
+        );
     }
 
     #[test]

@@ -173,9 +173,7 @@ impl Expr {
         match self {
             Expr::Col(i) => Expr::Col(map(*i)),
             Expr::Lit(v) => Expr::Lit(v.clone()),
-            Expr::Cmp(op, a, b) => {
-                Expr::Cmp(*op, Box::new(a.remap(map)), Box::new(b.remap(map)))
-            }
+            Expr::Cmp(op, a, b) => Expr::Cmp(*op, Box::new(a.remap(map)), Box::new(b.remap(map))),
             Expr::Arith(op, a, b) => {
                 Expr::Arith(*op, Box::new(a.remap(map)), Box::new(b.remap(map)))
             }
@@ -212,9 +210,9 @@ impl Expr {
                     match col.get(r) {
                         Value::Null => out.set(r, &Value::Null)?,
                         v => {
-                            let days = v.as_int().ok_or_else(|| {
-                                Error::Execution("YEAR() on non-date".into())
-                            })?;
+                            let days = v
+                                .as_int()
+                                .ok_or_else(|| Error::Execution("YEAR() on non-date".into()))?;
                             let y = imci_common::value::format_date(days)[..4]
                                 .parse::<i64>()
                                 .unwrap_or(0);
@@ -265,16 +263,8 @@ impl Expr {
             }
             Expr::Cmp(op, a, b) => eval_cmp_mask(*op, a, b, batch),
             Expr::Between(a, lo, hi) => {
-                let ge = Expr::Cmp(
-                    CmpOp::Ge,
-                    a.clone(),
-                    Box::new(Expr::Lit(lo.clone())),
-                );
-                let le = Expr::Cmp(
-                    CmpOp::Le,
-                    a.clone(),
-                    Box::new(Expr::Lit(hi.clone())),
-                );
+                let ge = Expr::Cmp(CmpOp::Ge, a.clone(), Box::new(Expr::Lit(lo.clone())));
+                let le = Expr::Cmp(CmpOp::Le, a.clone(), Box::new(Expr::Lit(hi.clone())));
                 ge.and(le).eval_mask(batch)
             }
             Expr::InList(a, vs) => {
@@ -327,9 +317,7 @@ fn eval_cmp_mask(op: CmpOp, a: &Expr, b: &Expr, batch: &Batch) -> Result<Vec<boo
     }
     // Fast path: Double column vs numeric literal.
     if let (Expr::Col(i), Expr::Lit(lit)) = (a, b) {
-        if let (ColumnData::Double { vals, nulls }, Some(k)) =
-            (&batch.cols[*i], lit.as_f64())
-        {
+        if let (ColumnData::Double { vals, nulls }, Some(k)) = (&batch.cols[*i], lit.as_f64()) {
             return Ok(vals
                 .iter()
                 .zip(nulls)
@@ -353,8 +341,14 @@ fn eval_arith(op: ArithOp, a: &Expr, b: &Expr, batch: &Batch) -> Result<ColumnDa
     let cb = b.eval(batch)?;
     // Typed fast path: Double ⊙ Double.
     if let (
-        ColumnData::Double { vals: va, nulls: na },
-        ColumnData::Double { vals: vb, nulls: nb },
+        ColumnData::Double {
+            vals: va,
+            nulls: na,
+        },
+        ColumnData::Double {
+            vals: vb,
+            nulls: nb,
+        },
     ) = (&ca, &cb)
     {
         let n = batch.len;
@@ -379,10 +373,8 @@ fn eval_arith(op: ArithOp, a: &Expr, b: &Expr, batch: &Batch) -> Result<ColumnDa
     }
     // Generic path with numeric promotion.
     let n = batch.len;
-    let int_int = matches!(
-        (&ca, &cb),
-        (ColumnData::Int { .. }, ColumnData::Int { .. })
-    ) && op != ArithOp::Div;
+    let int_int = matches!((&ca, &cb), (ColumnData::Int { .. }, ColumnData::Int { .. }))
+        && op != ArithOp::Div;
     let mut out = ColumnData::new(if int_int {
         DataType::Int
     } else {
@@ -404,12 +396,10 @@ fn eval_arith(op: ArithOp, a: &Expr, b: &Expr, batch: &Batch) -> Result<ColumnDa
             })
         } else {
             let (x, y) = (
-                x.as_f64().ok_or_else(|| {
-                    Error::Execution(format!("arith on non-numeric {x}"))
-                })?,
-                y.as_f64().ok_or_else(|| {
-                    Error::Execution(format!("arith on non-numeric {y}"))
-                })?,
+                x.as_f64()
+                    .ok_or_else(|| Error::Execution(format!("arith on non-numeric {x}")))?,
+                y.as_f64()
+                    .ok_or_else(|| Error::Execution(format!("arith on non-numeric {y}")))?,
             );
             Value::Double(match op {
                 ArithOp::Add => x + y,
@@ -474,8 +464,11 @@ mod tests {
     #[test]
     fn and_or_not_between_in() {
         let b = batch();
-        let e = Expr::cmp(CmpOp::Ge, Expr::col(0), Expr::lit(2i64))
-            .and(Expr::cmp(CmpOp::Le, Expr::col(0), Expr::lit(6i64)));
+        let e = Expr::cmp(CmpOp::Ge, Expr::col(0), Expr::lit(2i64)).and(Expr::cmp(
+            CmpOp::Le,
+            Expr::col(0),
+            Expr::lit(6i64),
+        ));
         assert_eq!(e.eval_mask(&b).unwrap().iter().filter(|&&x| x).count(), 5);
         let between = Expr::Between(Box::new(Expr::col(0)), Value::Int(2), Value::Int(6));
         assert_eq!(
@@ -513,8 +506,11 @@ mod tests {
         let e = Expr::IsNull(Box::new(Expr::col(0)), false);
         assert_eq!(e.eval_mask(&b).unwrap().iter().filter(|&&x| x).count(), 1);
         let mut d = ColumnData::new(DataType::Date);
-        d.set(0, &Value::Date(imci_common::value::parse_date_str("1995-06-17").unwrap()))
-            .unwrap();
+        d.set(
+            0,
+            &Value::Date(imci_common::value::parse_date_str("1995-06-17").unwrap()),
+        )
+        .unwrap();
         let db = Batch {
             cols: vec![d],
             len: 1,

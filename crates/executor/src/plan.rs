@@ -122,9 +122,7 @@ impl PhysicalPlan {
             | PhysicalPlan::HashAgg { input, .. }
             | PhysicalPlan::Sort { input, .. }
             | PhysicalPlan::Limit { input, .. } => input.op_count(),
-            PhysicalPlan::HashJoin { left, right, .. } => {
-                left.op_count() + right.op_count()
-            }
+            PhysicalPlan::HashJoin { left, right, .. } => left.op_count() + right.op_count(),
         }
     }
 

@@ -159,12 +159,7 @@ impl PolarFs {
     /// return its new length. Used by RO nodes tailing the REDO log —
     /// this models the "RW broadcasts its up-to-date LSN" notification
     /// (paper §5.1) without a real network.
-    pub fn wait_for_growth(
-        &self,
-        name: &str,
-        offset: u64,
-        timeout: std::time::Duration,
-    ) -> u64 {
+    pub fn wait_for_growth(&self, name: &str, offset: u64, timeout: std::time::Duration) -> u64 {
         let f = self.log(name);
         let mut data = f.data.lock();
         if (data.len() as u64) > offset {
@@ -194,9 +189,7 @@ impl PolarFs {
             .read()
             .get(&(space.to_string(), page))
             .cloned()
-            .ok_or_else(|| {
-                Error::PolarFs(format!("page {page} not found in space {space}"))
-            })?;
+            .ok_or_else(|| Error::PolarFs(format!("page {page} not found in space {space}")))?;
         self.inner.stats.record_page_read(out.len());
         self.inner.latency.page_read();
         Ok(out)
@@ -325,9 +318,7 @@ mod tests {
     fn wait_for_growth_wakes_on_append() {
         let fs = PolarFs::instant();
         let fs2 = fs.clone();
-        let h = std::thread::spawn(move || {
-            fs2.wait_for_growth("redo", 0, Duration::from_secs(5))
-        });
+        let h = std::thread::spawn(move || fs2.wait_for_growth("redo", 0, Duration::from_secs(5)));
         std::thread::sleep(Duration::from_millis(20));
         fs.append("redo", b"grow");
         assert_eq!(h.join().unwrap(), 4);

@@ -24,7 +24,8 @@ pub struct IoStats {
 impl IoStats {
     pub(crate) fn record_append(&self, bytes: usize) {
         self.appends.fetch_add(1, Ordering::Relaxed);
-        self.bytes_appended.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.bytes_appended
+            .fetch_add(bytes as u64, Ordering::Relaxed);
     }
 
     pub(crate) fn record_fsync(&self) {
@@ -33,7 +34,8 @@ impl IoStats {
 
     pub(crate) fn record_log_read(&self, bytes: usize) {
         self.log_reads.fetch_add(1, Ordering::Relaxed);
-        self.bytes_log_read.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.bytes_log_read
+            .fetch_add(bytes as u64, Ordering::Relaxed);
     }
 
     pub(crate) fn record_page_read(&self, _bytes: usize) {

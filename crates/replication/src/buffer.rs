@@ -346,7 +346,11 @@ mod tests {
         bufs.add_dml(insert_change(5, 1), &store).unwrap();
         bufs.add_dml(insert_change(5, 1), &store).unwrap(); // migration echo
         let txn = bufs.commit(Tid(5), Vid(1), Lsn(10)).unwrap();
-        assert_eq!(txn.ops.len(), 1, "§5.3: duplicate PK insert is not a user DML");
+        assert_eq!(
+            txn.ops.len(),
+            1,
+            "§5.3: duplicate PK insert is not a user DML"
+        );
     }
 
     #[test]
@@ -405,8 +409,10 @@ mod tests {
     fn update_and_delete_ops_apply() {
         let (store, _) = store_with_table();
         let idx = store.index(TableId(1)).unwrap();
-        idx.insert(Vid(1), &[Value::Int(1), Value::Int(10)]).unwrap();
-        idx.insert(Vid(1), &[Value::Int(2), Value::Int(20)]).unwrap();
+        idx.insert(Vid(1), &[Value::Int(1), Value::Int(10)])
+            .unwrap();
+        idx.insert(Vid(1), &[Value::Int(2), Value::Int(20)])
+            .unwrap();
         store.advance_all(Vid(1));
         apply_txn_op(
             &store,

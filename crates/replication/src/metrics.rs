@@ -1,6 +1,8 @@
 //! Replication pipeline counters and watermarks.
 
+use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
 /// Shared metrics of one RO node's replication pipeline. Watermarks are
 /// what the proxy's consistency levels (paper §6.4) and the Fig. 14 LSN
@@ -26,12 +28,47 @@ pub struct ReplicationMetrics {
     pub applied_lsn: AtomicU64,
     /// Highest VID visible to readers.
     pub visible_vid: AtomicU64,
+    /// Waiters parked on applied-LSN advance (strong-consistency
+    /// routing, `wait_sync`, visibility-delay probes). Notified by
+    /// [`ReplicationMetrics::advance_applied`] so nobody spins.
+    applied_mutex: Mutex<()>,
+    applied_cv: Condvar,
 }
 
 impl ReplicationMetrics {
     /// Applied LSN (strong-consistency routing input).
     pub fn applied_lsn(&self) -> u64 {
         self.applied_lsn.load(Ordering::SeqCst)
+    }
+
+    /// Publish a new applied LSN and wake every parked waiter. The
+    /// notification happens under the waiter mutex, so a waiter that
+    /// checked the watermark before this store cannot miss the wakeup.
+    pub fn advance_applied(&self, lsn: u64) {
+        let prev = self.applied_lsn.fetch_max(lsn, Ordering::SeqCst);
+        if lsn > prev {
+            let _guard = self.applied_mutex.lock();
+            self.applied_cv.notify_all();
+        }
+    }
+
+    /// Block (without spinning) until the applied LSN reaches `lsn`;
+    /// returns `false` on timeout. Replaces the yield/spin loops that
+    /// used to burn a full core during strong-consistency waits.
+    pub fn wait_applied_at_least(&self, lsn: u64, timeout: Duration) -> bool {
+        if self.applied_lsn() >= lsn {
+            return true;
+        }
+        let deadline = Instant::now() + timeout;
+        let mut guard = self.applied_mutex.lock();
+        while self.applied_lsn() < lsn {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            self.applied_cv.wait_for(&mut guard, deadline - now);
+        }
+        true
     }
 
     /// Reader progress LSN.
@@ -63,6 +100,26 @@ impl ReplicationMetrics {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn wait_applied_blocks_until_advance() {
+        use std::sync::Arc;
+        let m = Arc::new(ReplicationMetrics::default());
+        assert!(!m.wait_applied_at_least(5, Duration::from_millis(20)));
+        let waiter = {
+            let m = m.clone();
+            std::thread::spawn(move || m.wait_applied_at_least(5, Duration::from_secs(10)))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        m.advance_applied(3);
+        m.advance_applied(7);
+        assert!(waiter.join().unwrap());
+        // Watermark never regresses.
+        m.advance_applied(2);
+        assert_eq!(m.applied_lsn(), 7);
+        // Already-satisfied waits return immediately.
+        assert!(m.wait_applied_at_least(7, Duration::from_millis(1)));
+    }
 
     #[test]
     fn summary_contains_counters() {

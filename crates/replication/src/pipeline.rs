@@ -104,7 +104,10 @@ enum P2Msg {
 pub struct Pipeline {
     metrics: Arc<ReplicationMetrics>,
     stop: Arc<AtomicBool>,
-    handles: Vec<JoinHandle<()>>,
+    // Behind a mutex so `stop` works through a shared reference: the
+    // cluster must be able to halt a node's pipeline even while proxy
+    // sessions still hold `Arc`s to the node (scale-in/shutdown).
+    handles: parking_lot::Mutex<Vec<JoinHandle<()>>>,
     /// Errors observed by workers (pipeline keeps running; benches
     /// assert this stays 0).
     errors: Arc<AtomicU64>,
@@ -196,7 +199,7 @@ impl Pipeline {
         Pipeline {
             metrics,
             stop,
-            handles,
+            handles: parking_lot::Mutex::new(handles),
             errors,
         }
     }
@@ -212,25 +215,26 @@ impl Pipeline {
     }
 
     /// Block until the node's applied LSN reaches `lsn` (true) or the
-    /// timeout expires (false).
+    /// timeout expires (false). Parks on the metrics condvar — no
+    /// spinning.
     pub fn wait_applied(&self, lsn: u64, timeout: Duration) -> bool {
-        let deadline = std::time::Instant::now() + timeout;
-        while self.metrics.applied_lsn() < lsn {
-            if std::time::Instant::now() > deadline {
-                return false;
-            }
-            std::thread::yield_now();
-        }
-        true
+        self.metrics.wait_applied_at_least(lsn, timeout)
     }
 
-    /// Stop and join all threads (drains what has been read; does not
-    /// wait for the RW to stop producing).
-    pub fn stop(mut self) {
+    /// Stop and join all threads. Idempotent, and callable through a
+    /// shared reference so the cluster can halt a node's replication
+    /// even when sessions still hold the node `Arc`.
+    pub fn stop(&self) {
         self.stop.store(true, Ordering::SeqCst);
-        for h in self.handles.drain(..) {
+        for h in self.handles.lock().drain(..) {
             let _ = h.join();
         }
+    }
+}
+
+impl Drop for Pipeline {
+    fn drop(&mut self) {
+        self.stop();
     }
 }
 
@@ -246,6 +250,11 @@ fn reader_thread(
     let mut seq = 0u64;
     let n1 = p1.len() as u64;
     loop {
+        // Stop promptly even while the RW keeps producing; `stop` means
+        // stop, not "stop once the log goes quiet".
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
         // OnCommit strawman: cap reads at the durable commit point.
         let entries = match cfg.ship_mode {
             ShipMode::CommitAhead => reader.wait_and_read(cfg.poll_interval),
@@ -370,9 +379,7 @@ fn collector_thread(
                     if bufs.add_dml(*change, &store).is_err() {
                         errors.fetch_add(1, Ordering::Relaxed);
                     }
-                    metrics
-                        .precommits
-                        .store(bufs.precommits, Ordering::Relaxed);
+                    metrics.precommits.store(bufs.precommits, Ordering::Relaxed);
                 }
                 Outcome::Commit { tid, vid, lsn } => {
                     if let Some(txn) = bufs.commit(tid, vid, imci_common::Lsn(lsn)) {
@@ -444,7 +451,7 @@ fn dispatcher_thread(
         }
         store.advance_all(Vid(max_vid));
         metrics.visible_vid.fetch_max(max_vid, Ordering::SeqCst);
-        metrics.applied_lsn.fetch_max(last_lsn, Ordering::SeqCst);
+        metrics.advance_applied(last_lsn);
         metrics.txns_committed.fetch_add(n_txns, Ordering::Relaxed);
         metrics.batches.fetch_add(1, Ordering::Relaxed);
     }

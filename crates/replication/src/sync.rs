@@ -170,12 +170,8 @@ mod tests {
         .unwrap();
         let mut txn = rw.begin();
         for pk in 0..n {
-            rw.insert(
-                &mut txn,
-                "t",
-                vec![Value::Int(pk), Value::Int(pk * 7)],
-            )
-            .unwrap();
+            rw.insert(&mut txn, "t", vec![Value::Int(pk), Value::Int(pk * 7)])
+                .unwrap();
         }
         rw.commit(txn);
         (fs, rw)
@@ -190,10 +186,7 @@ mod tests {
         let snap = idx.snapshot();
         assert_eq!(snap.get_by_pk(100).unwrap()[1], Value::Int(700));
         assert_eq!(state.last_vid, Vid(1));
-        assert_eq!(
-            state.last_commit_lsn,
-            rw.log().unwrap().written_lsn()
-        );
+        assert_eq!(state.last_commit_lsn, rw.log().unwrap().written_lsn());
     }
 
     #[test]
@@ -250,8 +243,7 @@ mod tests {
                 .unwrap();
         }
         rw.commit(txn);
-        let state =
-            replay_log_sync(&fs, Some(offset_after_first), 64, usize::MAX / 2).unwrap();
+        let state = replay_log_sync(&fs, Some(offset_after_first), 64, usize::MAX / 2).unwrap();
         assert_eq!(state.engine.row_count("t").unwrap(), 50);
         assert_eq!(state.stopped_at, offset_after_first);
     }

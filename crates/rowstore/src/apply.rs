@@ -50,10 +50,7 @@ pub struct LogicalChange {
 /// Find a table's runtime state, refreshing the catalog once if the
 /// id is unknown (DDL may have happened after this node booted; the
 /// row images must still maintain secondary indexes and counters).
-fn table_of(
-    engine: &RowEngine,
-    id: TableId,
-) -> Option<std::sync::Arc<crate::table::TableRt>> {
+fn table_of(engine: &RowEngine, id: TableId) -> Option<std::sync::Arc<crate::table::TableRt>> {
     engine.table_by_id(id).ok().or_else(|| {
         engine.refresh_catalog().ok()?;
         engine.table_by_id(id).ok()
@@ -247,11 +244,7 @@ pub fn apply_entry(engine: &RowEngine, e: &RedoEntry) -> Result<Option<LogicalCh
                     keys.insert(pos, *key);
                     children.insert(pos + 1, *child);
                 }
-                _ => {
-                    return Err(Error::Replication(
-                        "SmoParentInsert on non-internal".into(),
-                    ))
-                }
+                _ => return Err(Error::Replication("SmoParentInsert on non-internal".into())),
             }
             page.last_lsn = e.lsn;
             page.dirty = true;
@@ -343,7 +336,11 @@ mod tests {
             rw.insert(
                 &mut txn,
                 "t",
-                vec![Value::Int(i), Value::Int(i % 10), Value::Str(format!("r{i}"))],
+                vec![
+                    Value::Int(i),
+                    Value::Int(i % 10),
+                    Value::Str(format!("r{i}")),
+                ],
             )
             .unwrap();
         }

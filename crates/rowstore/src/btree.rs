@@ -69,11 +69,7 @@ impl BTree {
     /// Create a brand-new tree: a meta page and one empty root leaf.
     /// Emits SMO records so RO replicas can replay the creation, and
     /// flushes both pages so replicas can also cold-load them.
-    pub fn create(
-        bp: Arc<BufferPool>,
-        page_alloc: Arc<AtomicU64>,
-        ctx: &RedoCtx,
-    ) -> Result<BTree> {
+    pub fn create(bp: Arc<BufferPool>, page_alloc: Arc<AtomicU64>, ctx: &RedoCtx) -> Result<BTree> {
         let meta_id = PageId(page_alloc.fetch_add(1, Ordering::SeqCst));
         let root_id = PageId(page_alloc.fetch_add(1, Ordering::SeqCst));
         let root_arc = bp.install(Page::new_leaf(root_id));
@@ -119,9 +115,11 @@ impl BTree {
     fn flush_page(&self, id: PageId) -> Result<()> {
         let arc = self.bp.get(id)?;
         let mut p = arc.write();
-        self.bp
-            .fs()
-            .write_page(crate::bufferpool::PAGE_SPACE, id, bytes::Bytes::from(p.encode()));
+        self.bp.fs().write_page(
+            crate::bufferpool::PAGE_SPACE,
+            id,
+            bytes::Bytes::from(p.encode()),
+        );
         p.dirty = false;
         Ok(())
     }
@@ -180,17 +178,12 @@ impl BTree {
         {
             let mut leaf = leaf_arc.write();
             let slot = match leaf.leaf_slot(pk)? {
-                Ok(_) => {
-                    return Err(Error::Constraint(format!(
-                        "duplicate primary key {pk}"
-                    )))
-                }
+                Ok(_) => return Err(Error::Constraint(format!("duplicate primary key {pk}"))),
                 Err(pos) => pos,
             };
             leaf.leaf_entries_mut()?.insert(slot, (pk, image.clone()));
             ctx.emit_dml(&mut leaf, slot as u32, RedoPayload::Insert { pk, image });
-            needs_split = leaf.byte_size() > PAGE_BYTE_CAPACITY
-                && leaf.leaf_entries()?.len() >= 4;
+            needs_split = leaf.byte_size() > PAGE_BYTE_CAPACITY && leaf.leaf_entries()?.len() >= 4;
         }
         if needs_split {
             self.split_leaf(&path, ctx)?;
@@ -208,16 +201,13 @@ impl BTree {
             let mut leaf = leaf_arc.write();
             let idx = match leaf.leaf_slot(pk)? {
                 Ok(i) => i,
-                Err(_) => {
-                    return Err(Error::Storage(format!("update: pk {pk} not found")))
-                }
+                Err(_) => return Err(Error::Storage(format!("update: pk {pk} not found"))),
             };
             let entries = leaf.leaf_entries_mut()?;
             old = std::mem::replace(&mut entries[idx].1, new_image.clone());
             let diff = RowDiff::between(&old, &new_image);
             ctx.emit_dml(&mut leaf, idx as u32, RedoPayload::Update { pk, diff });
-            needs_split = leaf.byte_size() > PAGE_BYTE_CAPACITY
-                && leaf.leaf_entries()?.len() >= 4;
+            needs_split = leaf.byte_size() > PAGE_BYTE_CAPACITY && leaf.leaf_entries()?.len() >= 4;
         }
         if needs_split {
             self.split_leaf(&path, ctx)?;
@@ -394,7 +384,13 @@ impl BTree {
                 },
             );
         }
-        self.insert_into_parent(&ancestors[..ancestors.len() - 1], page_id, up_key, right_id, ctx)
+        self.insert_into_parent(
+            &ancestors[..ancestors.len() - 1],
+            page_id,
+            up_key,
+            right_id,
+            ctx,
+        )
     }
 
     /// Leftmost leaf (start of the leaf chain).
@@ -410,20 +406,13 @@ impl BTree {
                     drop(p);
                     cur = c;
                 }
-                PageKind::Meta { .. } => {
-                    return Err(Error::Storage("meta inside tree".into()))
-                }
+                PageKind::Meta { .. } => return Err(Error::Storage("meta inside tree".into())),
             }
         }
     }
 
     /// Scan rows with `lo <= pk <= hi` into a callback; returns count.
-    pub fn scan_range<F: FnMut(i64, &[u8])>(
-        &self,
-        lo: i64,
-        hi: i64,
-        mut f: F,
-    ) -> Result<usize> {
+    pub fn scan_range<F: FnMut(i64, &[u8])>(&self, lo: i64, hi: i64, mut f: F) -> Result<usize> {
         let mut count = 0;
         let path = self.descend(lo)?;
         let mut cur = Some(*path.last().unwrap());

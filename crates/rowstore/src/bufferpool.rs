@@ -130,7 +130,8 @@ impl BufferPool {
             if let Some(f) = frames.remove(&id) {
                 let page = f.page.read();
                 if page.dirty {
-                    self.fs.write_page(PAGE_SPACE, id, Bytes::from(page.encode()));
+                    self.fs
+                        .write_page(PAGE_SPACE, id, Bytes::from(page.encode()));
                 }
             }
         }

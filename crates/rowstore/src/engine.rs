@@ -195,14 +195,8 @@ impl RowEngine {
                     imci_common::IndexKind::Secondary => "secondary",
                     imci_common::IndexKind::Column => "column",
                 };
-                let cols: Vec<String> =
-                    i.columns.iter().map(|c| c.to_string()).collect();
-                out.push_str(&format!(
-                    "idx\t{}\t{}\t{}\n",
-                    kind,
-                    i.name,
-                    cols.join(",")
-                ));
+                let cols: Vec<String> = i.columns.iter().map(|c| c.to_string()).collect();
+                out.push_str(&format!("idx\t{}\t{}\t{}\n", kind, i.name, cols.join(",")));
             }
             out.push_str("end\n");
         }
@@ -228,13 +222,17 @@ impl RowEngine {
             let parts: Vec<&str> = line.split('\t').collect();
             match parts[0] {
                 "table" => {
-                    let id = TableId(parts[1].parse().map_err(|_| {
-                        Error::Catalog("bad table id in catalog".into())
-                    })?);
+                    let id = TableId(
+                        parts[1]
+                            .parse()
+                            .map_err(|_| Error::Catalog("bad table id in catalog".into()))?,
+                    );
                     let name = parts[2].to_string();
-                    let meta = imci_common::PageId(parts[3].parse().map_err(|_| {
-                        Error::Catalog("bad meta page in catalog".into())
-                    })?);
+                    let meta = imci_common::PageId(
+                        parts[3]
+                            .parse()
+                            .map_err(|_| Error::Catalog("bad meta page in catalog".into()))?,
+                    );
                     let mut columns = Vec::new();
                     let mut indexes = Vec::new();
                     for l in lines.by_ref() {
@@ -254,9 +252,7 @@ impl RowEngine {
                                 let cols: Vec<usize> = if p[3].is_empty() {
                                     Vec::new()
                                 } else {
-                                    p[3].split(',')
-                                        .map(|c| c.parse().unwrap_or(0))
-                                        .collect()
+                                    p[3].split(',').map(|c| c.parse().unwrap_or(0)).collect()
                                 };
                                 indexes.push(imci_common::IndexDef {
                                     kind,
@@ -266,9 +262,7 @@ impl RowEngine {
                             }
                             "end" => break,
                             other => {
-                                return Err(Error::Catalog(format!(
-                                    "bad catalog line: {other}"
-                                )))
+                                return Err(Error::Catalog(format!("bad catalog line: {other}")))
                             }
                         }
                     }
@@ -286,9 +280,7 @@ impl RowEngine {
                     self.page_alloc.fetch_max(pa, Ordering::SeqCst);
                 }
                 "" => {}
-                other => {
-                    return Err(Error::Catalog(format!("bad catalog line: {other}")))
-                }
+                other => return Err(Error::Catalog(format!("bad catalog line: {other}"))),
             }
         }
         Ok(())
@@ -606,12 +598,8 @@ mod tests {
         let (cols, idxs) = demo_columns();
         e.create_table("t", cols, idxs).unwrap();
         let mut txn = e.begin();
-        e.insert(
-            &mut txn,
-            "t",
-            vec![Value::Int(1), Value::Null, Value::Null],
-        )
-        .unwrap();
+        e.insert(&mut txn, "t", vec![Value::Int(1), Value::Null, Value::Null])
+            .unwrap();
         let r = e.update(
             &mut txn,
             "t",

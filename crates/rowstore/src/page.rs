@@ -80,9 +80,7 @@ impl Page {
     /// Approximate byte footprint (drives leaf splits).
     pub fn byte_size(&self) -> usize {
         match &self.kind {
-            PageKind::Leaf { entries, .. } => {
-                entries.iter().map(|(_, img)| 16 + img.len()).sum()
-            }
+            PageKind::Leaf { entries, .. } => entries.iter().map(|(_, img)| 16 + img.len()).sum(),
             PageKind::Internal { keys, children } => keys.len() * 8 + children.len() * 8,
             PageKind::Meta { .. } => 16,
         }
@@ -107,9 +105,7 @@ impl Page {
     /// Find the slot of `pk` in a leaf: `Ok(idx)` if present,
     /// `Err(insert_pos)` if absent.
     pub fn leaf_slot(&self, pk: i64) -> Result<std::result::Result<usize, usize>> {
-        Ok(self
-            .leaf_entries()?
-            .binary_search_by_key(&pk, |(k, _)| *k))
+        Ok(self.leaf_entries()?.binary_search_by_key(&pk, |(k, _)| *k))
     }
 
     /// In an internal page, the child index to descend into for `pk`.
@@ -122,10 +118,7 @@ impl Page {
                 };
                 Ok(children[idx])
             }
-            _ => Err(Error::Storage(format!(
-                "page {} is not internal",
-                self.id
-            ))),
+            _ => Err(Error::Storage(format!("page {} is not internal", self.id))),
         }
     }
 

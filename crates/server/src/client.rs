@@ -1,24 +1,51 @@
-//! Blocking client library for the `imci-server` line protocol, used
-//! by tests, examples, and the throughput bench.
+//! Blocking client library for the `imci-server` protocol, used by
+//! tests, examples, and the throughput bench.
+//!
+//! [`Client::connect`] negotiates protocol v2 (binary responses) via
+//! the `HELLO` handshake; [`Client::connect_v1`] skips the handshake
+//! and speaks the v1 text protocol, exactly like a netcat user. Beyond
+//! the one-statement [`Client::execute`] roundtrip, the client supports
+//! **pipelining** ([`Client::send`] many requests, then [`Client::recv`]
+//! the responses in order) and **batching** ([`Client::execute_batch`]:
+//! n statements, one roundtrip, one aggregate reply).
 
-use crate::protocol::{read_response, Response};
+use crate::protocol::{self, read_response, read_response_v2, result_of, Response, MAX_BATCH};
 use imci_cluster::Consistency;
 use imci_common::{Error, Result};
 use imci_sql::{EngineChoice, QueryResult};
-use std::io::{BufReader, Write};
+use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
-/// One client session. Each statement is a request/response roundtrip;
-/// session settings (`SET ...`) persist server-side for the
-/// connection's lifetime.
+/// One client session. Session settings (`SET ...`) persist server-side
+/// for the connection's lifetime.
 pub struct Client {
     reader: BufReader<TcpStream>,
-    writer: TcpStream,
+    writer: BufWriter<TcpStream>,
+    version: u32,
+    /// Requests sent but not yet answered (pipelining depth).
+    pending: usize,
 }
 
 impl Client {
-    /// Connect to a running server.
+    /// Connect and negotiate the newest protocol both sides speak
+    /// (currently v2: binary responses).
     pub fn connect<A: ToSocketAddrs + std::fmt::Debug>(addr: A) -> Result<Client> {
+        Client::connect_version(addr, protocol::MAX_VERSION)
+    }
+
+    /// Connect without a handshake: plain v1 text protocol. What a
+    /// hand-typed netcat session gets, kept for interop tests and
+    /// debugging.
+    pub fn connect_v1<A: ToSocketAddrs + std::fmt::Debug>(addr: A) -> Result<Client> {
+        Client::connect_version(addr, 1)
+    }
+
+    /// Connect requesting at most protocol `version`; the server may
+    /// negotiate down (see [`Client::protocol_version`]).
+    pub fn connect_version<A: ToSocketAddrs + std::fmt::Debug>(
+        addr: A,
+        version: u32,
+    ) -> Result<Client> {
         let stream = TcpStream::connect(&addr)
             .map_err(|e| Error::Execution(format!("connect {addr:?}: {e}")))?;
         stream
@@ -29,44 +56,152 @@ impl Client {
                 .try_clone()
                 .map_err(|e| Error::Execution(format!("clone stream: {e}")))?,
         );
-        Ok(Client {
+        let mut client = Client {
             reader,
-            writer: stream,
-        })
+            writer: BufWriter::with_capacity(1 << 16, stream),
+            version: 1,
+            pending: 0,
+        };
+        if version > 1 {
+            client.hello(version)?;
+        }
+        Ok(client)
     }
 
-    fn roundtrip(&mut self, line: &str) -> Result<Response> {
+    /// The negotiated response-protocol version (1 = text, 2 = binary).
+    pub fn protocol_version(&self) -> u32 {
+        self.version
+    }
+
+    /// Outstanding pipelined requests ([`Client::send`]s not yet
+    /// [`Client::recv`]ed).
+    pub fn pending(&self) -> usize {
+        self.pending
+    }
+
+    fn hello(&mut self, version: u32) -> Result<()> {
+        writeln!(self.writer, "HELLO {version}")
+            .and_then(|_| self.writer.flush())
+            .map_err(|e| Error::Execution(format!("connection write failed: {e}")))?;
+        // The handshake reply is a text line in every version.
+        let mut line = String::new();
+        if self
+            .reader
+            .read_line(&mut line)
+            .map_err(|e| Error::Execution(format!("connection read failed: {e}")))?
+            == 0
+        {
+            return Err(Error::Execution("server closed during handshake".into()));
+        }
+        let line = line.trim();
+        let granted: u32 = line
+            .strip_prefix("HELLO ")
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| Error::Execution(format!("unexpected handshake reply {line:?}")))?;
+        self.version = granted.min(version).max(1);
+        Ok(())
+    }
+
+    fn write_line(&mut self, line: &str) -> Result<()> {
         // The protocol is line-oriented: escape embedded newlines (and
         // backslashes/tabs) so SQL containing literal newlines — e.g.
         // inside string values — survives the framing byte-exactly.
         let encoded = crate::protocol::escape_request(line);
         writeln!(self.writer, "{encoded}")
-            .and_then(|_| self.writer.flush())
-            .map_err(|e| Error::Execution(format!("connection write failed: {e}")))?;
-        read_response(&mut self.reader)
+            .map_err(|e| Error::Execution(format!("connection write failed: {e}")))
     }
 
-    /// Execute one SQL statement; errors reported by the server come
-    /// back as [`Error::Execution`].
+    fn flush(&mut self) -> Result<()> {
+        self.writer
+            .flush()
+            .map_err(|e| Error::Execution(format!("connection write failed: {e}")))
+    }
+
+    fn read_one(&mut self) -> Result<Response> {
+        if self.version >= 2 {
+            read_response_v2(&mut self.reader)
+        } else {
+            read_response(&mut self.reader)
+        }
+    }
+
+    /// Pipeline one request: queue it without waiting for (or reading)
+    /// its response. Call [`Client::recv`] once per `send`, in order.
+    /// Nothing is guaranteed to reach the server until `recv` flushes.
+    ///
+    /// Keep the pipeline depth moderate (≲ a few hundred point-read
+    /// sized requests): once the un-recv'd responses overflow the
+    /// socket buffers on both sides, the server blocks writing and
+    /// stops reading, and a sender that still isn't `recv`ing
+    /// deadlocks with it. `BATCH` ([`Client::execute_batch`]) is the
+    /// right tool for large units of work.
+    pub fn send(&mut self, line: &str) -> Result<()> {
+        self.write_line(line)?;
+        self.pending += 1;
+        Ok(())
+    }
+
+    /// Read the next pipelined response (flushes queued requests
+    /// first). Server-reported errors keep their category: a constraint
+    /// violation comes back as [`Error::Constraint`], not a generic
+    /// execution error.
+    pub fn recv(&mut self) -> Result<QueryResult> {
+        self.flush()?;
+        let resp = self.read_one()?;
+        self.pending = self.pending.saturating_sub(1);
+        result_of(resp)
+    }
+
+    /// Execute one SQL statement (a `send` + `recv` roundtrip).
     pub fn execute(&mut self, sql: &str) -> Result<QueryResult> {
-        match self.roundtrip(sql)? {
-            Response::Ok { affected } => Ok(QueryResult {
-                columns: Vec::new(),
-                rows: Vec::new(),
-                engine: EngineChoice::Row,
-                affected,
-            }),
-            Response::Rows {
-                columns,
-                rows,
-                engine,
-            } => Ok(QueryResult {
-                columns,
-                rows,
-                engine,
-                affected: 0,
-            }),
-            Response::Err(msg) => Err(Error::Execution(msg)),
+        self.send(sql)?;
+        self.recv()
+    }
+
+    /// Execute `stmts` as one `BATCH`: one roundtrip, one aggregate
+    /// reply, per-statement results in order. A failed statement yields
+    /// its error in place without voiding the rest of the batch.
+    ///
+    /// Errors without touching the wire if pipelined requests are
+    /// still outstanding — their responses must be [`Client::recv`]ed
+    /// first, or the batch reply would be misread as theirs.
+    pub fn execute_batch(&mut self, stmts: &[impl AsRef<str>]) -> Result<Vec<Result<QueryResult>>> {
+        if self.pending > 0 {
+            return Err(Error::Execution(format!(
+                "cannot batch with {} pipelined response(s) unread; recv() them first",
+                self.pending
+            )));
+        }
+        if stmts.len() > MAX_BATCH {
+            return Err(Error::Execution(format!(
+                "batch of {} exceeds limit {MAX_BATCH}",
+                stmts.len()
+            )));
+        }
+        writeln!(self.writer, "BATCH {}", stmts.len())
+            .map_err(|e| Error::Execution(format!("connection write failed: {e}")))?;
+        for s in stmts {
+            self.write_line(s.as_ref())?;
+        }
+        self.flush()?;
+        match self.read_one()? {
+            Response::Batch(parts) => {
+                if parts.len() != stmts.len() {
+                    return Err(Error::Execution(format!(
+                        "batch reply has {} parts for {} statements",
+                        parts.len(),
+                        stmts.len()
+                    )));
+                }
+                Ok(parts.into_iter().map(result_of).collect())
+            }
+            other => match result_of(other) {
+                // e.g. the server rejecting an oversized batch.
+                Err(e) => Err(e),
+                Ok(_) => Err(Error::Execution(
+                    "expected a BATCH reply, got a single response".into(),
+                )),
+            },
         }
     }
 
@@ -91,12 +226,12 @@ impl Client {
     }
 
     fn expect_ok(&mut self, line: &str) -> Result<()> {
-        match self.roundtrip(line)? {
-            Response::Ok { .. } => Ok(()),
-            Response::Err(msg) => Err(Error::Execution(msg)),
-            Response::Rows { .. } => {
-                Err(Error::Execution("unexpected result set for SET".into()))
-            }
+        self.send(line)?;
+        let result = self.recv()?;
+        if result.columns.is_empty() && result.rows.is_empty() {
+            Ok(())
+        } else {
+            Err(Error::Execution("unexpected result set for SET".into()))
         }
     }
 }

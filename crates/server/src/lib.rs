@@ -8,18 +8,26 @@
 //! the RW's written LSN (§6.4). This crate exposes that tier as an
 //! actual network service:
 //!
-//! * [`protocol`] — the line-oriented text protocol: SQL statements
-//!   plus per-session `SET CONSISTENCY STRONG|EVENTUAL` and
-//!   `SET FORCE_ENGINE ROW|COLUMN|AUTO`;
-//! * [`server`] — a bounded thread-pool TCP server
-//!   ([`Server`]) mapping sessions onto [`imci_cluster::Cluster`]'s
-//!   proxy routing;
+//! * [`protocol`] — the wire protocol: text request lines (SQL plus
+//!   per-session `SET CONSISTENCY STRONG|EVENTUAL` and
+//!   `SET FORCE_ENGINE ROW|COLUMN|AUTO`), `HELLO` version negotiation,
+//!   `BATCH <n>` framing, and two response encodings — v1 text (netcat
+//!   friendly) and v2 length-prefixed binary rows;
+//! * [`wire`] — varint / tagged-value primitives behind the v2
+//!   encoding;
+//! * [`server`] — a bounded thread-pool TCP server ([`Server`]) mapping
+//!   sessions onto [`imci_cluster::Cluster`]'s proxy routing, with
+//!   pipelining (many requests in flight per connection, responses
+//!   strictly ordered) and a batch fast path through
+//!   [`imci_cluster::Cluster::execute_many`];
 //! * [`client`] — a blocking client ([`Client`]) for tests, examples,
-//!   and the `server_throughput` bench.
+//!   and the `server_throughput` bench, supporting `send`/`recv`
+//!   pipelining and `execute_batch`.
 
 pub mod client;
 pub mod protocol;
 pub mod server;
+pub mod wire;
 
 pub use client::Client;
 pub use protocol::{Request, Response, SessionSetting};
@@ -68,13 +76,12 @@ mod tests {
     fn sql_with_embedded_newline_roundtrips() {
         let (server, cluster) = serve_small_cluster();
         let mut c = Client::connect(server.local_addr()).unwrap();
-        c.execute(
-            "CREATE TABLE nl (id INT NOT NULL, note VARCHAR(64), PRIMARY KEY(id))",
-        )
-        .unwrap();
+        c.execute("CREATE TABLE nl (id INT NOT NULL, note VARCHAR(64), PRIMARY KEY(id))")
+            .unwrap();
         // A literal newline inside a SQL string value must survive the
         // line-oriented framing byte-exactly.
-        c.execute("INSERT INTO nl VALUES (1, 'line1\nline2')").unwrap();
+        c.execute("INSERT INTO nl VALUES (1, 'line1\nline2')")
+            .unwrap();
         c.set_consistency(Consistency::Strong).unwrap();
         let res = c.execute("SELECT note FROM nl WHERE id = 1").unwrap();
         assert_eq!(res.rows, vec![vec![Value::Str("line1\nline2".into())]]);
@@ -96,7 +103,9 @@ mod tests {
             let mut i = 0i64;
             loop {
                 i += 1;
-                if c.execute(&format!("INSERT INTO busy VALUES ({i})")).is_err() {
+                if c.execute(&format!("INSERT INTO busy VALUES ({i})"))
+                    .is_err()
+                {
                     break i;
                 }
             }
@@ -121,6 +130,255 @@ mod tests {
     }
 
     #[test]
+    fn oversized_batch_is_rejected_without_executing_its_body() {
+        use std::io::{BufRead, BufReader, Write};
+        let (server, cluster) = serve_small_cluster();
+        let mut admin = Client::connect(server.local_addr()).unwrap();
+        admin
+            .execute("CREATE TABLE ob (id INT NOT NULL, PRIMARY KEY(id))")
+            .unwrap();
+        // Hand-rolled v1 session: announce an over-limit batch, then
+        // send body lines anyway. The server must reply with one error
+        // and close the connection — the body statements must never
+        // execute as stray individual requests.
+        let stream = std::net::TcpStream::connect(server.local_addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut w = stream;
+        writeln!(w, "BATCH 999999").unwrap();
+        writeln!(w, "INSERT INTO ob VALUES (1)").unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.starts_with("ERR execution batch of"), "got {line:?}");
+        line.clear();
+        assert_eq!(reader.read_line(&mut line).unwrap(), 0, "must close");
+        admin
+            .set_consistency(imci_cluster::Consistency::Strong)
+            .unwrap();
+        let res = admin.execute("SELECT COUNT(*) FROM ob").unwrap();
+        assert_eq!(res.rows[0][0], Value::Int(0), "body must not execute");
+        server.shutdown();
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn batch_header_pipelined_behind_unread_response_does_not_deadlock() {
+        use std::io::{BufRead, BufReader, Write};
+        let (server, cluster) = serve_small_cluster();
+        // Raw v1 session: pipeline a statement AND a BATCH header in
+        // one write, then wait for the statement's response before
+        // sending the batch body. The server must flush the buffered
+        // response while blocked on the body, or both sides deadlock.
+        let stream = std::net::TcpStream::connect(server.local_addr()).unwrap();
+        stream
+            .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+            .unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut w = stream;
+        write!(
+            w,
+            "CREATE TABLE dl (id INT NOT NULL, PRIMARY KEY(id))\nBATCH 1\n"
+        )
+        .unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap(); // would time out before the fix
+        assert_eq!(line.trim(), "OK 0");
+        writeln!(w, "INSERT INTO dl VALUES (1)").unwrap();
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(line.trim(), "BATCH 1");
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(line.trim(), "OK 1");
+        server.shutdown();
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn batch_refused_while_pipelined_responses_pending() {
+        let (server, cluster) = serve_small_cluster();
+        let mut c = Client::connect(server.local_addr()).unwrap();
+        c.execute("CREATE TABLE bp (id INT NOT NULL, PRIMARY KEY(id))")
+            .unwrap();
+        c.send("INSERT INTO bp VALUES (1)").unwrap();
+        // Batching now would misread the pending insert's response as
+        // the batch reply; the client must refuse without touching the
+        // wire, and the session must stay fully usable.
+        assert!(c.execute_batch(&["SELECT COUNT(*) FROM bp"]).is_err());
+        assert_eq!(c.recv().unwrap().affected, 1);
+        let results = c.execute_batch(&["SELECT COUNT(*) FROM bp"]).unwrap();
+        assert!(results[0].is_ok());
+        server.shutdown();
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn pipelining_100_requests_before_reading() {
+        let (server, cluster) = serve_small_cluster();
+        let mut c = Client::connect(server.local_addr()).unwrap();
+        assert_eq!(c.protocol_version(), 2);
+        c.execute("CREATE TABLE p (id INT NOT NULL, v INT, PRIMARY KEY(id))")
+            .unwrap();
+        c.set_consistency(Consistency::Strong).unwrap();
+        // Write 100 requests before reading a single response.
+        for i in 0..50 {
+            c.send(&format!("INSERT INTO p VALUES ({i}, {i})")).unwrap();
+        }
+        for i in 0..50 {
+            c.send(&format!("SELECT v FROM p WHERE id = {i}")).unwrap();
+        }
+        assert_eq!(c.pending(), 100);
+        // Responses come back strictly in request order.
+        for _ in 0..50 {
+            assert_eq!(c.recv().unwrap().affected, 1);
+        }
+        for i in 0..50 {
+            let res = c.recv().unwrap();
+            assert_eq!(res.rows, vec![vec![Value::Int(i)]]);
+        }
+        assert_eq!(c.pending(), 0);
+        server.shutdown();
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn batch_executes_in_one_roundtrip() {
+        let (server, cluster) = serve_small_cluster();
+        let mut c = Client::connect(server.local_addr()).unwrap();
+        c.execute(
+            "CREATE TABLE b (id INT NOT NULL, v INT, PRIMARY KEY(id),
+             KEY COLUMN_INDEX(id, v))",
+        )
+        .unwrap();
+        let mut stmts: Vec<String> = vec!["SET CONSISTENCY STRONG".into()];
+        for i in 0..30 {
+            stmts.push(format!("INSERT INTO b VALUES ({i}, {i})"));
+        }
+        stmts.push("SELECT COUNT(*) FROM b".into());
+        stmts.push("INSERT INTO b VALUES (0, 0)".into()); // dup pk -> error
+        stmts.push("SELECT MAX(v) FROM b".into());
+        let results = c.execute_batch(&stmts).unwrap();
+        assert_eq!(results.len(), 34);
+        assert!(results[0].as_ref().unwrap().rows.is_empty(), "SET ok");
+        for r in &results[1..31] {
+            assert_eq!(r.as_ref().unwrap().affected, 1);
+        }
+        // Read-your-writes inside the batch.
+        assert_eq!(
+            results[31].as_ref().unwrap().rows,
+            vec![vec![Value::Int(30)]]
+        );
+        // The duplicate-key failure keeps its category and does not
+        // void the statements after it.
+        assert!(matches!(
+            results[32],
+            Err(imci_common::Error::Constraint(_))
+        ));
+        assert_eq!(
+            results[33].as_ref().unwrap().rows,
+            vec![vec![Value::Int(29)]]
+        );
+        server.shutdown();
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn v1_text_client_interoperates_with_v2_server() {
+        let (server, cluster) = serve_small_cluster();
+        // No HELLO: the session stays on the v1 text protocol.
+        let mut c = Client::connect_v1(server.local_addr()).unwrap();
+        assert_eq!(c.protocol_version(), 1);
+        c.execute("CREATE TABLE iv (id INT NOT NULL, note VARCHAR(64), PRIMARY KEY(id))")
+            .unwrap();
+        c.execute("INSERT INTO iv VALUES (1, 'text\nstill works')")
+            .unwrap();
+        c.set_consistency(Consistency::Strong).unwrap();
+        let res = c.execute("SELECT note FROM iv WHERE id = 1").unwrap();
+        assert_eq!(res.rows, vec![vec![Value::Str("text\nstill works".into())]]);
+        // v1 and v2 sessions coexist on one server.
+        let mut c2 = Client::connect(server.local_addr()).unwrap();
+        c2.set_consistency(Consistency::Strong).unwrap();
+        let res2 = c2.execute("SELECT note FROM iv WHERE id = 1").unwrap();
+        assert_eq!(res2.rows, res.rows);
+        server.shutdown();
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn raw_v1_line_session_like_netcat() {
+        use std::io::{BufRead, BufReader, Write};
+        let (server, cluster) = serve_small_cluster();
+        // Hand-rolled text session: no Client involved at all.
+        let stream = std::net::TcpStream::connect(server.local_addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut w = stream;
+        let mut line = String::new();
+        writeln!(w, "CREATE TABLE nc (id INT NOT NULL, PRIMARY KEY(id))").unwrap();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(line.trim(), "OK 0");
+        line.clear();
+        writeln!(w, "INSERT INTO nc VALUES (7)").unwrap();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(line.trim(), "OK 1");
+        line.clear();
+        writeln!(w, "SET CONSISTENCY STRONG").unwrap();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(line.trim(), "OK 0");
+        line.clear();
+        writeln!(w, "SELECT id FROM nc").unwrap();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.starts_with("ROWS 1"), "got {line:?}");
+        server.shutdown();
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn error_categories_reach_the_client() {
+        let (server, cluster) = serve_small_cluster();
+        let mut c = Client::connect(server.local_addr()).unwrap();
+        // Parse failure.
+        assert!(matches!(
+            c.execute("SELEC 1"),
+            Err(imci_common::Error::Parse(_))
+        ));
+        c.execute("CREATE TABLE ec (id INT NOT NULL, PRIMARY KEY(id))")
+            .unwrap();
+        c.execute("INSERT INTO ec VALUES (1)").unwrap();
+        // Constraint violation.
+        assert!(matches!(
+            c.execute("INSERT INTO ec VALUES (1)"),
+            Err(imci_common::Error::Constraint(_))
+        ));
+        server.shutdown();
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn commented_select_routes_to_ro_through_server() {
+        let (server, cluster) = serve_small_cluster();
+        let mut c = Client::connect(server.local_addr()).unwrap();
+        c.execute(
+            "CREATE TABLE cr (id INT NOT NULL, v INT, PRIMARY KEY(id),
+             KEY COLUMN_INDEX(id, v))",
+        )
+        .unwrap();
+        for i in 0..20 {
+            c.execute(&format!("INSERT INTO cr VALUES ({i}, {i})"))
+                .unwrap();
+        }
+        c.set_consistency(Consistency::Strong).unwrap();
+        // Only RO nodes have a column store: COLUMN proves RO routing
+        // even with the SELECT hidden behind a comment.
+        c.set_force_engine(Some(EngineChoice::Column)).unwrap();
+        let res = c
+            .execute("-- routed through the proxy\nSELECT SUM(v) FROM cr")
+            .unwrap();
+        assert_eq!(res.engine, EngineChoice::Column);
+        assert_eq!(res.rows, vec![vec![Value::Int((0..20).sum::<i64>())]]);
+        server.shutdown();
+        cluster.shutdown();
+    }
+
+    #[test]
     fn force_engine_is_per_session() {
         let (server, cluster) = serve_small_cluster();
         let mut a = Client::connect(server.local_addr()).unwrap();
@@ -140,7 +398,11 @@ mod tests {
         b.set_force_engine(Some(EngineChoice::Row)).unwrap();
         let ra = a.execute("SELECT SUM(v) FROM ft").unwrap();
         let rb = b.execute("SELECT SUM(v) FROM ft").unwrap();
-        assert_eq!(ra.engine, EngineChoice::Column, "session A pinned to column");
+        assert_eq!(
+            ra.engine,
+            EngineChoice::Column,
+            "session A pinned to column"
+        );
         assert_eq!(rb.engine, EngineChoice::Row, "session B pinned to row");
         assert_eq!(ra.rows, rb.rows);
         server.shutdown();

@@ -1,4 +1,7 @@
-//! Line-oriented text protocol between `imci-server` and its clients.
+//! The `imci-server` wire protocol: text requests, text (v1) or binary
+//! (v2) responses.
+//!
+//! ## Requests (all versions)
 //!
 //! Requests are single lines (the client escapes embedded newlines,
 //! tabs and backslashes via [`escape_request`] so SQL survives the
@@ -6,12 +9,23 @@
 //! [`unescape_request`]):
 //!
 //! ```text
+//! HELLO <version>                      negotiate the response encoding
 //! SET CONSISTENCY STRONG|EVENTUAL
 //! SET FORCE_ENGINE ROW|COLUMN|AUTO
+//! BATCH <n>                            the next n lines are one batch
 //! <any SQL statement>
 //! ```
 //!
-//! Responses are one of:
+//! Clients may **pipeline**: send many request lines before reading a
+//! single response. The server executes in order and writes exactly
+//! one response per request, in order. Depth is bounded by socket
+//! buffering: the server blocks writing responses once the client's
+//! receive window fills, so a client that pipelines unboundedly
+//! without reading deadlocks itself. Keep roughly a few hundred
+//! point-read-sized requests in flight, or use `BATCH` (whose reply
+//! is a single frame) for bigger units.
+//!
+//! ## Responses, v1 (default — what netcat users see)
 //!
 //! ```text
 //! OK <affected>
@@ -19,18 +33,56 @@
 //! <tab-separated column names>
 //! <tab-separated typed values>        (nrows lines)
 //! END
-//! ERR <escaped message>
+//! ERR <kind> <escaped message>
+//! BATCH <n>                           (then n responses, one per stmt)
 //! ```
 //!
 //! Values carry a one-letter type tag so the client can reconstruct
 //! [`Value`]s exactly: `N` (null), `I:<i64>`, `F:<f64 bits as hex>`,
-//! `T:<days>` (date), `S:<escaped utf-8>`. Strings escape `\`, tab and
-//! newline so every row stays a single line.
+//! `T:<days>` (date), `S:<escaped utf-8>`. `<kind>` is the
+//! [`imci_common::Error::kind`] tag, so clients keep the error category.
+//!
+//! ## Responses, v2 (after `HELLO 2` / `HELLO 2` handshake)
+//!
+//! Length-prefixed binary frames (see [`crate::wire`] for the varint
+//! and tagged-value primitives) — no per-cell formatting, no escaping:
+//!
+//! ```text
+//! frame     := 0x01 uv(affected)                                 OK
+//!            | 0x02 str(kind) str(message)                       ERR
+//!            | 0x03 engine:u8 uv(ncols) str* uv(nrows) row*      ROWS
+//!            | 0x04 uv(n) frame*                                 BATCH
+//! row       := value*ncols
+//! value     := 0x00 | 0x01 iv | 0x02 f64le | 0x03 iv | 0x04 str
+//! str       := uv(len) byte*len
+//! ```
+//!
+//! `uv`/`iv` are LEB128 varints (`iv` zigzag-signed); `engine` is 0 for
+//! ROW, 1 for COLUMN. The `HELLO <v>` reply itself is always a text
+//! line, so the handshake is debuggable from netcat and a v1 client
+//! that never sends `HELLO` keeps getting text forever.
 
+use crate::wire;
 use imci_cluster::Consistency;
 use imci_common::{Error, Result, Value};
 use imci_sql::{EngineChoice, QueryResult};
 use std::io::{BufRead, Write};
+
+/// Highest response-protocol version this build speaks.
+pub const MAX_VERSION: u32 = 2;
+
+/// Largest statement count one `BATCH` may carry.
+pub const MAX_BATCH: usize = 65_536;
+
+/// Cap on any single length-prefixed string read off the wire (guards
+/// against a corrupt length prefix allocating unbounded memory).
+const MAX_WIRE_STR: u64 = 1 << 28;
+
+// v2 frame tags.
+const FRAME_OK: u8 = 0x01;
+const FRAME_ERR: u8 = 0x02;
+const FRAME_ROWS: u8 = 0x03;
+const FRAME_BATCH: u8 = 0x04;
 
 /// A per-session setting change (paper §6.4: the proxy enforces the
 /// consistency level per session).
@@ -47,6 +99,11 @@ pub enum SessionSetting {
 /// One parsed client request.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
+    /// `HELLO <version>` — negotiate the response encoding.
+    Hello(u32),
+    /// `BATCH <n>` — the next `n` request lines form one batch with a
+    /// single aggregate reply.
+    Batch(usize),
     Set(SessionSetting),
     Query(String),
 }
@@ -62,36 +119,64 @@ pub enum Response {
         rows: Vec<Vec<Value>>,
         engine: EngineChoice,
     },
-    /// Execution error (the session stays usable).
-    Err(String),
+    /// Execution error (the session stays usable). `kind` is the
+    /// [`Error::kind`] tag so clients can rebuild the exact category.
+    Err { kind: String, msg: String },
+    /// Aggregate reply to `BATCH <n>`: one sub-response per statement.
+    Batch(Vec<Response>),
 }
 
-/// Parse one request line. `SET` statements the proxy handles itself
-/// are recognized here; everything else is passed through as SQL.
+impl Response {
+    /// Build the error response for `e`, preserving its category.
+    pub fn from_error(e: &Error) -> Response {
+        Response::Err {
+            kind: e.kind().to_string(),
+            msg: e.message().to_string(),
+        }
+    }
+}
+
+/// Parse one request line. `HELLO`/`BATCH` framing and the `SET`
+/// statements the proxy handles itself are recognized here; everything
+/// else is passed through as SQL.
 pub fn parse_request(line: &str) -> Request {
     let trimmed = line.trim();
-    let upper = trimmed.to_ascii_uppercase();
-    let words: Vec<&str> = upper.split_whitespace().collect();
-    if words.len() == 3 && words[0] == "SET" {
-        match (words[1], words[2]) {
-            ("CONSISTENCY", "STRONG") => {
-                return Request::Set(SessionSetting::Consistency(Consistency::Strong))
+    // Allocation-free dispatch on the first word: this runs once per
+    // request on the hot path, and almost every request is plain SQL.
+    let mut words = trimmed.split_whitespace();
+    let w0 = words.next().unwrap_or("");
+    if w0.eq_ignore_ascii_case("HELLO") {
+        if let (Some(v), None) = (words.next(), words.next()) {
+            if let Ok(v) = v.parse::<u32>() {
+                return Request::Hello(v);
             }
-            ("CONSISTENCY", "EVENTUAL") => {
-                return Request::Set(SessionSetting::Consistency(Consistency::Eventual))
+        }
+    } else if w0.eq_ignore_ascii_case("BATCH") {
+        if let (Some(n), None) = (words.next(), words.next()) {
+            if let Ok(n) = n.parse::<usize>() {
+                return Request::Batch(n);
             }
-            ("FORCE_ENGINE", "ROW") => {
-                return Request::Set(SessionSetting::ForceEngine(Some(EngineChoice::Row)))
+        }
+    } else if w0.eq_ignore_ascii_case("SET") {
+        if let (Some(w1), Some(w2), None) = (words.next(), words.next(), words.next()) {
+            if w1.eq_ignore_ascii_case("CONSISTENCY") {
+                if w2.eq_ignore_ascii_case("STRONG") {
+                    return Request::Set(SessionSetting::Consistency(Consistency::Strong));
+                }
+                if w2.eq_ignore_ascii_case("EVENTUAL") {
+                    return Request::Set(SessionSetting::Consistency(Consistency::Eventual));
+                }
+            } else if w1.eq_ignore_ascii_case("FORCE_ENGINE") {
+                if w2.eq_ignore_ascii_case("ROW") {
+                    return Request::Set(SessionSetting::ForceEngine(Some(EngineChoice::Row)));
+                }
+                if w2.eq_ignore_ascii_case("COLUMN") {
+                    return Request::Set(SessionSetting::ForceEngine(Some(EngineChoice::Column)));
+                }
+                if w2.eq_ignore_ascii_case("AUTO") {
+                    return Request::Set(SessionSetting::ForceEngine(None));
+                }
             }
-            ("FORCE_ENGINE", "COLUMN") => {
-                return Request::Set(SessionSetting::ForceEngine(Some(
-                    EngineChoice::Column,
-                )))
-            }
-            ("FORCE_ENGINE", "AUTO") => {
-                return Request::Set(SessionSetting::ForceEngine(None))
-            }
-            _ => {}
         }
     }
     Request::Query(trimmed.to_string())
@@ -106,9 +191,14 @@ pub fn escape_request(sql: &str) -> String {
 }
 
 /// Undo [`escape_request`] (server side). Requests typed by hand (e.g.
-/// over netcat) without backslashes pass through unchanged.
-pub fn unescape_request(line: &str) -> String {
-    unescape(line)
+/// over netcat) without backslashes pass through unchanged — and
+/// without copying, which matters on the per-request hot path.
+pub fn unescape_request(line: &str) -> std::borrow::Cow<'_, str> {
+    if line.contains('\\') {
+        std::borrow::Cow::Owned(unescape(line))
+    } else {
+        std::borrow::Cow::Borrowed(line)
+    }
 }
 
 fn escape(s: &str) -> String {
@@ -187,11 +277,13 @@ fn engine_name(e: EngineChoice) -> &'static str {
     }
 }
 
-/// Serialize one response to a writer (server side).
+/// Serialize one response in the v1 text encoding (server side). Does
+/// **not** flush: the session loop flushes once no further pipelined
+/// requests are pending, which is what makes pipelining pay off.
 pub fn write_response<W: Write>(w: &mut W, resp: &Response) -> std::io::Result<()> {
     match resp {
         Response::Ok { affected } => writeln!(w, "OK {affected}")?,
-        Response::Err(msg) => writeln!(w, "ERR {}", escape(msg))?,
+        Response::Err { kind, msg } => writeln!(w, "ERR {kind} {}", escape(msg))?,
         Response::Rows {
             columns,
             rows,
@@ -206,12 +298,22 @@ pub fn write_response<W: Write>(w: &mut W, resp: &Response) -> std::io::Result<(
             }
             writeln!(w, "END")?;
         }
+        Response::Batch(parts) => {
+            writeln!(w, "BATCH {}", parts.len())?;
+            for part in parts {
+                write_response(w, part)?;
+            }
+        }
     }
-    w.flush()
+    Ok(())
 }
 
-/// Read one response from a buffered reader (client side).
+/// Read one v1 text response from a buffered reader (client side).
 pub fn read_response<R: BufRead>(r: &mut R) -> Result<Response> {
+    read_response_depth(r, 0)
+}
+
+fn read_response_depth<R: BufRead>(r: &mut R, depth: u32) -> Result<Response> {
     let mut line = String::new();
     if r.read_line(&mut line)
         .map_err(|e| Error::Execution(format!("connection read failed: {e}")))?
@@ -228,7 +330,33 @@ pub fn read_response<R: BufRead>(r: &mut R) -> Result<Response> {
         return Ok(Response::Ok { affected });
     }
     if let Some(rest) = line.strip_prefix("ERR ") {
-        return Ok(Response::Err(unescape(rest)));
+        // `ERR <kind> <escaped message>`; a lone token is a bare
+        // message from some hand-rolled peer — treat it as the message.
+        let (kind, msg) = match rest.split_once(' ') {
+            Some((k, m)) => (k.to_string(), unescape(m)),
+            None => ("execution".to_string(), unescape(rest)),
+        };
+        return Ok(Response::Err { kind, msg });
+    }
+    if let Some(rest) = line.strip_prefix("BATCH ") {
+        // The server never nests batches; a nested one in the stream is
+        // a protocol violation, and recursing on it unguarded would let
+        // a malicious peer overflow the stack (mirrors the v2 reader).
+        if depth > 0 {
+            return Err(Error::Execution("nested BATCH responses".into()));
+        }
+        let n: usize = rest
+            .trim()
+            .parse()
+            .map_err(|e| Error::Execution(format!("bad BATCH line: {e}")))?;
+        if n > MAX_BATCH {
+            return Err(Error::Execution(format!("batch of {n} exceeds limit")));
+        }
+        let mut parts = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            parts.push(read_response_depth(r, depth + 1)?);
+        }
+        return Ok(Response::Batch(parts));
     }
     let rest = line
         .strip_prefix("ROWS ")
@@ -282,20 +410,169 @@ pub fn read_response<R: BufRead>(r: &mut R) -> Result<Response> {
     })
 }
 
-/// Convert a [`QueryResult`] into the wire response. SELECTs (anything
-/// with columns) become `ROWS`, DML becomes `OK`. Takes the result by
-/// value: serving a query never copies the row data.
-pub fn response_of(result: QueryResult) -> Response {
-    if result.columns.is_empty() && result.rows.is_empty() {
-        Response::Ok {
-            affected: result.affected,
+/// Encode one response as a v2 binary frame, appended to `out`.
+pub fn encode_response_v2(out: &mut Vec<u8>, resp: &Response) {
+    match resp {
+        Response::Ok { affected } => {
+            out.push(FRAME_OK);
+            wire::put_uvarint(out, *affected as u64);
         }
-    } else {
+        Response::Err { kind, msg } => {
+            out.push(FRAME_ERR);
+            wire::put_bytes(out, kind.as_bytes());
+            wire::put_bytes(out, msg.as_bytes());
+        }
+        Response::Rows {
+            columns,
+            rows,
+            engine,
+        } => {
+            out.push(FRAME_ROWS);
+            out.push(match engine {
+                EngineChoice::Row => 0,
+                EngineChoice::Column => 1,
+            });
+            wire::put_uvarint(out, columns.len() as u64);
+            for c in columns {
+                wire::put_bytes(out, c.as_bytes());
+            }
+            wire::put_uvarint(out, rows.len() as u64);
+            for row in rows {
+                debug_assert_eq!(row.len(), columns.len());
+                for v in row {
+                    wire::put_value(out, v);
+                }
+            }
+        }
+        Response::Batch(parts) => {
+            out.push(FRAME_BATCH);
+            wire::put_uvarint(out, parts.len() as u64);
+            for part in parts {
+                encode_response_v2(out, part);
+            }
+        }
+    }
+}
+
+/// Serialize one response as a v2 binary frame (server side). Like
+/// [`write_response`], flushing is the session loop's job.
+pub fn write_response_v2<W: Write>(w: &mut W, resp: &Response) -> std::io::Result<()> {
+    let mut buf = Vec::with_capacity(64);
+    encode_response_v2(&mut buf, resp);
+    w.write_all(&buf)
+}
+
+/// Read one v2 binary response frame (client side).
+pub fn read_response_v2<R: BufRead>(r: &mut R) -> Result<Response> {
+    read_response_v2_depth(r, 0)
+}
+
+fn read_response_v2_depth<R: BufRead>(r: &mut R, depth: u32) -> Result<Response> {
+    let mut tag = [0u8; 1];
+    r.read_exact(&mut tag)
+        .map_err(|e| Error::Execution(format!("connection read failed: {e}")))?;
+    match tag[0] {
+        FRAME_OK => Ok(Response::Ok {
+            affected: wire::get_uvarint(r)? as usize,
+        }),
+        FRAME_ERR => Ok(Response::Err {
+            kind: wire::get_string(r, 256)?,
+            msg: wire::get_string(r, MAX_WIRE_STR)?,
+        }),
+        FRAME_ROWS => {
+            let mut eng = [0u8; 1];
+            r.read_exact(&mut eng)
+                .map_err(|e| Error::Execution(format!("connection read failed: {e}")))?;
+            let engine = match eng[0] {
+                0 => EngineChoice::Row,
+                1 => EngineChoice::Column,
+                e => return Err(Error::Execution(format!("bad engine byte {e:#x}"))),
+            };
+            let ncols = wire::get_uvarint(r)? as usize;
+            if ncols > 4096 {
+                return Err(Error::Execution(format!("{ncols} columns exceeds limit")));
+            }
+            let mut columns = Vec::with_capacity(ncols);
+            for _ in 0..ncols {
+                columns.push(wire::get_string(r, MAX_WIRE_STR)?);
+            }
+            let nrows = wire::get_uvarint(r)? as usize;
+            let mut rows = Vec::with_capacity(nrows.min(1 << 20));
+            for _ in 0..nrows {
+                let mut row = Vec::with_capacity(ncols);
+                for _ in 0..ncols {
+                    row.push(wire::get_value(r, MAX_WIRE_STR)?);
+                }
+                rows.push(row);
+            }
+            Ok(Response::Rows {
+                columns,
+                rows,
+                engine,
+            })
+        }
+        FRAME_BATCH => {
+            if depth > 0 {
+                return Err(Error::Execution("nested BATCH frames".into()));
+            }
+            let n = wire::get_uvarint(r)? as usize;
+            if n > MAX_BATCH {
+                return Err(Error::Execution(format!("batch of {n} exceeds limit")));
+            }
+            let mut parts = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                parts.push(read_response_v2_depth(r, depth + 1)?);
+            }
+            Ok(Response::Batch(parts))
+        }
+        t => Err(Error::Execution(format!("unknown response frame {t:#x}"))),
+    }
+}
+
+/// Convert a [`QueryResult`] into the wire response. `read_only` is the
+/// proxy's routing classification of the statement: reads become `ROWS`
+/// even when the result set is legitimately empty (zero rows, or zero
+/// columns), everything else becomes `OK`. Deciding by result shape
+/// alone — the old behavior — conflated an empty SELECT result with a
+/// DML acknowledgment.
+pub fn response_of(result: QueryResult, read_only: bool) -> Response {
+    if read_only || !result.columns.is_empty() {
         Response::Rows {
             columns: result.columns,
             rows: result.rows,
             engine: result.engine,
         }
+    } else {
+        Response::Ok {
+            affected: result.affected,
+        }
+    }
+}
+
+/// Convert a wire response back into a [`QueryResult`] (client side),
+/// rebuilding the server's error category from its kind tag.
+pub fn result_of(resp: Response) -> Result<QueryResult> {
+    match resp {
+        Response::Ok { affected } => Ok(QueryResult {
+            columns: Vec::new(),
+            rows: Vec::new(),
+            engine: EngineChoice::Row,
+            affected,
+        }),
+        Response::Rows {
+            columns,
+            rows,
+            engine,
+        } => Ok(QueryResult {
+            columns,
+            rows,
+            engine,
+            affected: 0,
+        }),
+        Response::Err { kind, msg } => Err(Error::from_kind(&kind, msg)),
+        Response::Batch(_) => Err(Error::Execution(
+            "unexpected BATCH reply to a single statement".into(),
+        )),
     }
 }
 
@@ -329,23 +606,39 @@ mod tests {
         );
     }
 
-    fn roundtrip(resp: &Response) -> Response {
+    #[test]
+    fn framing_requests_parse() {
+        assert_eq!(parse_request("HELLO 2"), Request::Hello(2));
+        assert_eq!(parse_request("hello 17"), Request::Hello(17));
+        assert_eq!(parse_request("BATCH 32"), Request::Batch(32));
+        assert_eq!(parse_request("batch 0"), Request::Batch(0));
+        // Non-numeric arguments fall through to SQL.
+        assert_eq!(
+            parse_request("HELLO world"),
+            Request::Query("HELLO world".to_string())
+        );
+        assert_eq!(
+            parse_request("BATCH job"),
+            Request::Query("BATCH job".to_string())
+        );
+    }
+
+    fn roundtrip_v1(resp: &Response) -> Response {
         let mut buf = Vec::new();
         write_response(&mut buf, resp).unwrap();
         let mut r = BufReader::new(&buf[..]);
         read_response(&mut r).unwrap()
     }
 
-    #[test]
-    fn responses_roundtrip() {
-        assert_eq!(roundtrip(&Response::Ok { affected: 7 }), Response::Ok {
-            affected: 7
-        });
-        assert_eq!(
-            roundtrip(&Response::Err("boom\nwith newline".into())),
-            Response::Err("boom\nwith newline".into())
-        );
-        let rows = Response::Rows {
+    fn roundtrip_v2(resp: &Response) -> Response {
+        let mut buf = Vec::new();
+        write_response_v2(&mut buf, resp).unwrap();
+        let mut r = BufReader::new(&buf[..]);
+        read_response_v2(&mut r).unwrap()
+    }
+
+    fn sample_rows() -> Response {
+        Response::Rows {
             columns: vec!["id".into(), "note".into()],
             rows: vec![
                 vec![Value::Int(1), Value::Str("tab\there".into())],
@@ -353,8 +646,45 @@ mod tests {
                 vec![Value::Date(19000), Value::Str("multi\nline".into())],
             ],
             engine: EngineChoice::Column,
-        };
-        assert_eq!(roundtrip(&rows), rows);
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip_both_encodings() {
+        let samples = [
+            Response::Ok { affected: 7 },
+            Response::Err {
+                kind: "constraint".into(),
+                msg: "boom\nwith newline".into(),
+            },
+            sample_rows(),
+            Response::Batch(vec![
+                Response::Ok { affected: 1 },
+                sample_rows(),
+                Response::Err {
+                    kind: "parse".into(),
+                    msg: "nope".into(),
+                },
+            ]),
+        ];
+        for resp in &samples {
+            assert_eq!(&roundtrip_v1(resp), resp, "v1");
+            assert_eq!(&roundtrip_v2(resp), resp, "v2");
+        }
+    }
+
+    #[test]
+    fn v2_is_smaller_than_v1_for_rows() {
+        let resp = sample_rows();
+        let (mut t, mut b) = (Vec::new(), Vec::new());
+        write_response(&mut t, &resp).unwrap();
+        write_response_v2(&mut b, &resp).unwrap();
+        assert!(
+            b.len() < t.len(),
+            "binary ({}) should undercut text ({})",
+            b.len(),
+            t.len()
+        );
     }
 
     #[test]
@@ -363,5 +693,45 @@ mod tests {
             let v = decode_value(&encode_value(&Value::Double(d))).unwrap();
             assert_eq!(v, Value::Double(d));
         }
+    }
+
+    #[test]
+    fn error_category_survives_the_wire() {
+        let e = Error::Constraint("duplicate key 7".into());
+        let resp = Response::from_error(&e);
+        for got in [roundtrip_v1(&resp), roundtrip_v2(&resp)] {
+            match result_of(got) {
+                Err(back) => assert_eq!(back, e),
+                other => panic!("expected error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn empty_select_is_not_conflated_with_ok() {
+        // A read that returns no rows — and even no columns — must stay
+        // a ROWS response; only non-reads collapse to OK.
+        let empty = QueryResult {
+            columns: Vec::new(),
+            rows: Vec::new(),
+            engine: EngineChoice::Row,
+            affected: 0,
+        };
+        assert!(matches!(
+            response_of(empty.clone(), true),
+            Response::Rows { .. }
+        ));
+        assert!(matches!(
+            response_of(empty, false),
+            Response::Ok { affected: 0 }
+        ));
+        // And both encodings preserve the zero-column ROWS shape.
+        let zero_cols = Response::Rows {
+            columns: Vec::new(),
+            rows: Vec::new(),
+            engine: EngineChoice::Row,
+        };
+        assert_eq!(roundtrip_v1(&zero_cols), zero_cols);
+        assert_eq!(roundtrip_v2(&zero_cols), zero_cols);
     }
 }

@@ -9,12 +9,12 @@
 //! LSN catches the RW's written LSN (§6.4).
 
 use crate::protocol::{
-    parse_request, response_of, unescape_request, write_response, Request, Response,
-    SessionSetting,
+    encode_response_v2, parse_request, response_of, unescape_request, write_response, Request,
+    Response, SessionSetting, MAX_BATCH, MAX_VERSION,
 };
 use imci_cluster::{Cluster, ExecOpts};
 use imci_common::{Error, Result};
-use std::io::{BufRead, BufReader, BufWriter};
+use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
@@ -216,6 +216,117 @@ fn read_request_line(
     }
 }
 
+/// Write `resp` in the session's negotiated encoding (v1 text or v2
+/// binary). `scratch` is a per-session reusable encode buffer so the
+/// per-response hot path allocates nothing. Flushing is the caller's
+/// decision — see the pipelining policy in [`serve_session_inner`].
+fn write_versioned<W: Write>(
+    w: &mut W,
+    resp: &Response,
+    version: u32,
+    scratch: &mut Vec<u8>,
+) -> std::io::Result<()> {
+    if version >= 2 {
+        scratch.clear();
+        encode_response_v2(scratch, resp);
+        w.write_all(scratch)
+    } else {
+        write_response(w, resp)
+    }
+}
+
+/// Apply one `SET` to the session state.
+fn apply_setting(session: &mut ExecOpts, setting: SessionSetting) {
+    match setting {
+        SessionSetting::Consistency(c) => session.consistency = Some(c),
+        SessionSetting::ForceEngine(f) => session.force_engine = f,
+    }
+}
+
+/// Read the `n` request lines of a `BATCH <n>` body. Returns `None` on
+/// EOF/shutdown mid-batch — a partial batch is never executed.
+///
+/// Takes the session writer because the flush-before-blocking rule of
+/// [`serve_session_inner`] applies to every blocking read, including
+/// body lines: a pipelining client may legitimately wait for earlier
+/// responses before sending the body, and responses still sitting in
+/// the write buffer would deadlock the session.
+fn read_batch_body<W: Write>(
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut W,
+    n: usize,
+    stop: &AtomicBool,
+) -> std::io::Result<Option<Vec<Request>>> {
+    let mut reqs = Vec::with_capacity(n);
+    let mut line = String::new();
+    for _ in 0..n {
+        if reader.buffer().is_empty() {
+            writer.flush()?;
+        }
+        line.clear();
+        if read_request_line(reader, &mut line, stop)? == 0 {
+            return Ok(None);
+        }
+        reqs.push(parse_request(unescape_request(&line).trim()));
+    }
+    Ok(Some(reqs))
+}
+
+/// Execute a batch: `SET`s apply in order, and **consecutive** SQL
+/// statements go through [`Cluster::execute_many`], which resolves
+/// proxy routing once per run instead of once per statement. One
+/// sub-response per request, in order.
+fn execute_batch(
+    cluster: &Arc<Cluster>,
+    session: &mut ExecOpts,
+    reqs: Vec<Request>,
+    stats: &ServerStats,
+) -> Response {
+    let mut parts = Vec::with_capacity(reqs.len());
+    let mut i = 0;
+    while i < reqs.len() {
+        match &reqs[i] {
+            Request::Set(setting) => {
+                apply_setting(session, *setting);
+                parts.push(Response::Ok { affected: 0 });
+                i += 1;
+            }
+            Request::Hello(_) | Request::Batch(_) => {
+                parts.push(Response::Err {
+                    kind: "execution".into(),
+                    msg: "HELLO/BATCH cannot appear inside a batch".into(),
+                });
+                i += 1;
+            }
+            Request::Query(_) => {
+                let mut sqls: Vec<&str> = Vec::new();
+                while let Some(Request::Query(sql)) = reqs.get(i) {
+                    sqls.push(sql);
+                    i += 1;
+                }
+                stats
+                    .queries
+                    .fetch_add(sqls.len() as u64, Ordering::Relaxed);
+                let results = cluster.execute_many(&sqls, *session);
+                for (k, result) in results.into_iter().enumerate() {
+                    match result {
+                        Ok(r) => {
+                            let read_only = imci_sql::is_read_only(sqls[k]);
+                            parts.push(response_of(r, read_only));
+                        }
+                        Err(e) => {
+                            stats.errors.fetch_add(1, Ordering::Relaxed);
+                            parts.push(Response::from_error(&e));
+                        }
+                    }
+                }
+                debug_assert_eq!(parts.len(), i, "one response per request");
+            }
+        }
+    }
+    Response::Batch(parts)
+}
+
 fn serve_session_inner(
     cluster: &Arc<Cluster>,
     stream: TcpStream,
@@ -226,14 +337,28 @@ fn serve_session_inner(
     // instead of pinning a worker until the client hangs up.
     stream.set_read_timeout(Some(std::time::Duration::from_millis(100)))?;
     let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream);
+    // Responses buffer up here while the client is still pipelining
+    // requests at us; 256 KiB absorbs a deep pipeline of point-read
+    // results between flushes.
+    let mut writer = BufWriter::with_capacity(1 << 18, stream);
     let mut session = ExecOpts::default();
+    let mut version: u32 = 1;
     let mut line = String::new();
+    // Reused v2 encode buffer (see `write_versioned`).
+    let mut scratch: Vec<u8> = Vec::with_capacity(4096);
     loop {
         // Sessions end at the next request boundary once the server is
         // stopping, even if the client keeps a statement stream going.
         if stop.load(Ordering::SeqCst) {
             break;
+        }
+        // Pipelining flush policy: only flush when no further request
+        // is already buffered — while the client keeps requests coming,
+        // responses coalesce into few large writes instead of one
+        // syscall + TCP packet per query. Must happen before we block
+        // in read below, or a waiting client deadlocks the session.
+        if reader.buffer().is_empty() {
+            writer.flush()?;
         }
         line.clear();
         let n = match read_request_line(&mut reader, &mut line, stop) {
@@ -241,10 +366,16 @@ fn serve_session_inner(
             Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
                 // Non-UTF-8 input: tell the client why before closing
                 // (the line framing can't be trusted after this).
-                let _ = write_response(
+                let _ = write_versioned(
                     &mut writer,
-                    &Response::Err("request was not valid UTF-8".into()),
+                    &Response::Err {
+                        kind: "execution".into(),
+                        msg: "request was not valid UTF-8".into(),
+                    },
+                    version,
+                    &mut scratch,
                 );
+                let _ = writer.flush();
                 break;
             }
             Err(_) => break, // client went away
@@ -263,27 +394,76 @@ fn serve_session_inner(
             break;
         }
         let resp = match parse_request(trimmed) {
-            Request::Set(setting) => {
-                match setting {
-                    SessionSetting::Consistency(c) => session.consistency = Some(c),
-                    SessionSetting::ForceEngine(f) => session.force_engine = f,
+            Request::Hello(v) => {
+                // Negotiate down to what both sides speak. The reply is
+                // always a text line — the encoding switch applies from
+                // the *next* response on.
+                version = v.clamp(1, MAX_VERSION);
+                if writeln!(writer, "HELLO {version}").is_err() || writer.flush().is_err() {
+                    break;
                 }
+                continue;
+            }
+            Request::Batch(count) => {
+                if count > MAX_BATCH {
+                    // The batch body is in flight and cannot be skipped
+                    // without reading `count` lines we refuse to buffer
+                    // or execute — report the error and drop the
+                    // connection, exactly like the non-UTF-8 case:
+                    // request framing can no longer be trusted.
+                    let _ = write_versioned(
+                        &mut writer,
+                        &Response::Err {
+                            kind: "execution".into(),
+                            msg: format!("batch of {count} exceeds limit {MAX_BATCH}"),
+                        },
+                        version,
+                        &mut scratch,
+                    );
+                    let _ = writer.flush();
+                    break;
+                }
+                match read_batch_body(&mut reader, &mut writer, count, stop) {
+                    Ok(None) => break, // EOF mid-batch: drop the fragment
+                    Ok(Some(reqs)) => execute_batch(cluster, &mut session, reqs, stats),
+                    Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+                        // Same courtesy as the top-level non-UTF-8 case:
+                        // report why, flush what executed, then close.
+                        let _ = write_versioned(
+                            &mut writer,
+                            &Response::Err {
+                                kind: "execution".into(),
+                                msg: "request was not valid UTF-8".into(),
+                            },
+                            version,
+                            &mut scratch,
+                        );
+                        let _ = writer.flush();
+                        break;
+                    }
+                    Err(_) => break, // client went away mid-body
+                }
+            }
+            Request::Set(setting) => {
+                apply_setting(&mut session, setting);
                 Response::Ok { affected: 0 }
             }
             Request::Query(sql) => {
                 stats.queries.fetch_add(1, Ordering::Relaxed);
+                let read_only = imci_sql::is_read_only(&sql);
                 match cluster.execute_opts(&sql, session) {
-                    Ok(result) => response_of(result),
+                    Ok(result) => response_of(result, read_only),
                     Err(e) => {
                         stats.errors.fetch_add(1, Ordering::Relaxed);
-                        Response::Err(e.to_string())
+                        Response::from_error(&e)
                     }
                 }
             }
         };
-        if write_response(&mut writer, &resp).is_err() {
+        if write_versioned(&mut writer, &resp, version, &mut scratch).is_err() {
             break; // client went away mid-response
         }
     }
+    let _ = writer.flush();
     Ok(())
 }

@@ -1,0 +1,207 @@
+//! Binary primitives for protocol v2: LEB128 varints, zigzag signed
+//! integers, and length-prefixed tagged values.
+//!
+//! Everything here is length-prefixed or fixed-width — no per-cell
+//! string formatting, no escaping, no line framing. The v1 text
+//! protocol (see [`crate::protocol`]) pays an escape pass plus a
+//! `format!` per cell; v2 writes raw bytes and a varint length.
+
+use imci_common::{Error, Result, Value};
+use std::io::Read;
+
+/// Value tag bytes on the wire.
+pub const TAG_NULL: u8 = 0;
+pub const TAG_INT: u8 = 1;
+pub const TAG_DOUBLE: u8 = 2;
+pub const TAG_DATE: u8 = 3;
+pub const TAG_STR: u8 = 4;
+
+/// Append an unsigned LEB128 varint.
+pub fn put_uvarint(out: &mut Vec<u8>, mut v: u64) {
+    while v >= 0x80 {
+        out.push((v as u8 & 0x7f) | 0x80);
+        v >>= 7;
+    }
+    out.push(v as u8);
+}
+
+/// Append a zigzag-encoded signed varint.
+pub fn put_ivarint(out: &mut Vec<u8>, v: i64) {
+    put_uvarint(out, ((v << 1) ^ (v >> 63)) as u64);
+}
+
+/// Append a length-prefixed byte string.
+pub fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    put_uvarint(out, b.len() as u64);
+    out.extend_from_slice(b);
+}
+
+fn read_byte<R: Read>(r: &mut R) -> Result<u8> {
+    let mut b = [0u8; 1];
+    r.read_exact(&mut b)
+        .map_err(|e| Error::Execution(format!("connection read failed: {e}")))?;
+    Ok(b[0])
+}
+
+/// Read an unsigned LEB128 varint (max 10 bytes).
+pub fn get_uvarint<R: Read>(r: &mut R) -> Result<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let b = read_byte(r)?;
+        if shift == 63 && b > 1 {
+            return Err(Error::Execution("varint overflows u64".into()));
+        }
+        v |= u64::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(Error::Execution("varint too long".into()));
+        }
+    }
+}
+
+/// Read a zigzag-encoded signed varint.
+pub fn get_ivarint<R: Read>(r: &mut R) -> Result<i64> {
+    let u = get_uvarint(r)?;
+    Ok(((u >> 1) as i64) ^ -((u & 1) as i64))
+}
+
+/// Read a length-prefixed byte string, bounded by `max_len` to keep a
+/// corrupt length prefix from allocating unbounded memory.
+pub fn get_bytes<R: Read>(r: &mut R, max_len: u64) -> Result<Vec<u8>> {
+    let len = get_uvarint(r)?;
+    if len > max_len {
+        return Err(Error::Execution(format!(
+            "length {len} exceeds limit {max_len}"
+        )));
+    }
+    let mut buf = vec![0u8; len as usize];
+    r.read_exact(&mut buf)
+        .map_err(|e| Error::Execution(format!("connection read failed: {e}")))?;
+    Ok(buf)
+}
+
+/// Read a length-prefixed UTF-8 string.
+pub fn get_string<R: Read>(r: &mut R, max_len: u64) -> Result<String> {
+    String::from_utf8(get_bytes(r, max_len)?)
+        .map_err(|e| Error::Execution(format!("invalid utf-8 on wire: {e}")))
+}
+
+/// Append one tagged value. Doubles travel as raw IEEE bits (exact,
+/// including NaN and infinities); strings as raw length-prefixed bytes.
+pub fn put_value(out: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null => out.push(TAG_NULL),
+        Value::Int(i) => {
+            out.push(TAG_INT);
+            put_ivarint(out, *i);
+        }
+        Value::Double(d) => {
+            out.push(TAG_DOUBLE);
+            out.extend_from_slice(&d.to_bits().to_le_bytes());
+        }
+        Value::Date(d) => {
+            out.push(TAG_DATE);
+            put_ivarint(out, *d);
+        }
+        Value::Str(s) => {
+            out.push(TAG_STR);
+            put_bytes(out, s.as_bytes());
+        }
+    }
+}
+
+/// Read one tagged value.
+pub fn get_value<R: Read>(r: &mut R, max_str: u64) -> Result<Value> {
+    match read_byte(r)? {
+        TAG_NULL => Ok(Value::Null),
+        TAG_INT => get_ivarint(r).map(Value::Int),
+        TAG_DOUBLE => {
+            let mut b = [0u8; 8];
+            r.read_exact(&mut b)
+                .map_err(|e| Error::Execution(format!("connection read failed: {e}")))?;
+            Ok(Value::Double(f64::from_bits(u64::from_le_bytes(b))))
+        }
+        TAG_DATE => get_ivarint(r).map(Value::Date),
+        TAG_STR => get_string(r, max_str).map(Value::Str),
+        t => Err(Error::Execution(format!("unknown value tag {t:#x}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uvarint_roundtrip(v: u64) -> u64 {
+        let mut buf = Vec::new();
+        put_uvarint(&mut buf, v);
+        get_uvarint(&mut &buf[..]).unwrap()
+    }
+
+    #[test]
+    fn varints_roundtrip() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            assert_eq!(uvarint_roundtrip(v), v);
+        }
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            let mut buf = Vec::new();
+            put_ivarint(&mut buf, v);
+            assert_eq!(get_ivarint(&mut &buf[..]).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn varint_sizes_are_compact() {
+        let mut buf = Vec::new();
+        put_uvarint(&mut buf, 100);
+        assert_eq!(buf.len(), 1);
+        buf.clear();
+        put_ivarint(&mut buf, -3);
+        assert_eq!(buf.len(), 1);
+    }
+
+    #[test]
+    fn overlong_and_oversized_inputs_rejected() {
+        // 11-byte varint.
+        let bad = [0x80u8; 11];
+        assert!(get_uvarint(&mut &bad[..]).is_err());
+        // Length prefix beyond the cap.
+        let mut buf = Vec::new();
+        put_uvarint(&mut buf, 1 << 40);
+        assert!(get_bytes(&mut &buf[..], 1 << 20).is_err());
+    }
+
+    #[test]
+    fn values_roundtrip_exactly() {
+        let vals = [
+            Value::Null,
+            Value::Int(i64::MIN),
+            Value::Int(-1),
+            Value::Double(f64::NAN),
+            Value::Double(f64::NEG_INFINITY),
+            Value::Double(-0.0),
+            Value::Date(19720),
+            Value::Str("tab\there \\ and\nnewline".into()),
+            Value::Str(String::new()),
+        ];
+        let mut buf = Vec::new();
+        for v in &vals {
+            put_value(&mut buf, v);
+        }
+        let mut r = &buf[..];
+        for v in &vals {
+            let got = get_value(&mut r, 1 << 20).unwrap();
+            // Compare bit patterns: NaN != NaN under PartialEq.
+            match (&got, v) {
+                (Value::Double(a), Value::Double(b)) => {
+                    assert_eq!(a.to_bits(), b.to_bits())
+                }
+                _ => assert_eq!(&got, v),
+            }
+        }
+        assert!(r.is_empty());
+    }
+}

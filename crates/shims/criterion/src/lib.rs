@@ -79,8 +79,7 @@ impl Bencher {
             warm_iters += 1;
         }
         let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
-        let per_sample =
-            self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let per_sample = self.measurement_time.as_secs_f64() / self.sample_size as f64;
         let batch = ((per_sample / per_iter.max(1e-9)) as u64).clamp(1, 1 << 24);
 
         for _ in 0..self.sample_size {
@@ -89,8 +88,7 @@ impl Bencher {
                 black_box(f());
             }
             let dt = t0.elapsed();
-            self.ns_per_iter
-                .push(dt.as_nanos() as f64 / batch as f64);
+            self.ns_per_iter.push(dt.as_nanos() as f64 / batch as f64);
         }
     }
 }

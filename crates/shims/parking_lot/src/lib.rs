@@ -203,6 +203,12 @@ pub struct Condvar {
     inner: std::sync::Condvar,
 }
 
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Condvar { .. }")
+    }
+}
+
 pub struct WaitTimeoutResult {
     timed_out: bool,
 }

@@ -17,13 +17,13 @@ pub mod string;
 pub mod test_runner;
 
 pub mod prelude {
+    /// The real proptest prelude re-exports the crate root as `prop`
+    /// so tests can write `prop::collection::vec(...)`.
+    pub use crate as prop;
     pub use crate::arbitrary::any;
     pub use crate::strategy::{Just, Strategy};
     pub use crate::test_runner::ProptestConfig;
     pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
-    /// The real proptest prelude re-exports the crate root as `prop`
-    /// so tests can write `prop::collection::vec(...)`.
-    pub use crate as prop;
 }
 
 /// Assertion macros: the real ones return `Err(TestCaseError)` to feed

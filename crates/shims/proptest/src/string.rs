@@ -7,7 +7,11 @@ use crate::test_runner::TestRng;
 
 enum Piece {
     Literal(char),
-    Class { chars: Vec<char>, min: u32, max: u32 },
+    Class {
+        chars: Vec<char>,
+        min: u32,
+        max: u32,
+    },
 }
 
 fn parse(pattern: &str) -> Option<Vec<Piece>> {
@@ -83,8 +87,7 @@ pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
         Some(p) => p,
         None => {
             // Fallback: short alphanumeric.
-            let alphabet: Vec<char> =
-                ('a'..='z').chain('0'..='9').collect();
+            let alphabet: Vec<char> = ('a'..='z').chain('0'..='9').collect();
             let len = rng.below(9) as usize;
             return (0..len)
                 .map(|_| alphabet[rng.below(alphabet.len() as u64) as usize])

@@ -126,7 +126,8 @@ impl QueryEngine {
 
     /// Whether pruning is enabled.
     pub fn get_prune_enabled(&self) -> bool {
-        self.prune_enabled.load(std::sync::atomic::Ordering::Relaxed)
+        self.prune_enabled
+            .load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// Execute any SQL statement (DML auto-commits).
@@ -139,11 +140,19 @@ impl QueryEngine {
     /// SELECTs. Unlike [`QueryEngine::set_force`] (node-global, meant
     /// for benches), this is safe under concurrent sessions: the pin
     /// travels with the call.
-    pub fn execute_forced(
-        &self,
-        sql: &str,
-        force: Option<EngineChoice>,
-    ) -> Result<QueryResult> {
+    pub fn execute_forced(&self, sql: &str, force: Option<EngineChoice>) -> Result<QueryResult> {
+        // Scanner-level point-read fast path: recognize the hot OLTP
+        // shape (`SELECT cols FROM t WHERE pk = k`) before even lexing
+        // — the full parse costs more than the lookup. Any mismatch or
+        // failed name resolution falls through to the real parser.
+        if force.or(*self.force.lock()) != Some(EngineChoice::Column) {
+            if let Some(ps) = parser::scan_point_select(sql) {
+                let out: Vec<(&str, Option<&str>)> = ps.cols.iter().map(|c| (*c, None)).collect();
+                if let Some(r) = self.point_lookup(ps.table, ps.filter_col, &out, ps.pk)? {
+                    return Ok(r);
+                }
+            }
+        }
         let stmt = parse(sql)?;
         match &stmt {
             Statement::Select(s) => self.execute_select_with(s, force).map(|(r, _)| r),
@@ -180,10 +189,7 @@ impl QueryEngine {
                     indexes.push(IndexDef {
                         kind: IndexKind::Secondary,
                         name: name.clone(),
-                        columns: cols
-                            .iter()
-                            .map(|c| col_of(c))
-                            .collect::<Result<_>>()?,
+                        columns: cols.iter().map(|c| col_of(c)).collect::<Result<_>>()?,
                     });
                 }
                 if !ct.column_index.is_empty() {
@@ -239,17 +245,17 @@ impl QueryEngine {
                 let affected = match self.row.get_row(table, pk)? {
                     Some(mut row) => {
                         for (col, v) in sets {
-                            let ci = rt.schema.col_index(col).ok_or_else(|| {
-                                Error::Plan(format!("unknown column {col}"))
-                            })?;
+                            let ci = rt
+                                .schema
+                                .col_index(col)
+                                .ok_or_else(|| Error::Plan(format!("unknown column {col}")))?;
                             row.values[ci] = if v.is_null() {
                                 Value::Null
                             } else {
                                 v.coerce_to(rt.schema.columns[ci].ty)?
                             };
                         }
-                        if let Err(e) = self.row.update(&mut txn, table, pk, row.values)
-                        {
+                        if let Err(e) = self.row.update(&mut txn, table, pk, row.values) {
                             self.row.abort(txn)?;
                             return Err(e);
                         }
@@ -295,6 +301,17 @@ impl QueryEngine {
         s: &SelectStmt,
         force: Option<EngineChoice>,
     ) -> Result<(QueryResult, EngineChoice)> {
+        // Point-read fast path: a single-table pk-equality SELECT of
+        // plain columns skips bind/plan entirely and hits the row
+        // store's pk index directly. This is the hot shape of the
+        // service tier's OLTP traffic; binding alone costs more than
+        // the lookup. Anything the fast path cannot prove returns
+        // `None` and falls through to the general path unchanged.
+        if force.or(*self.force.lock()) != Some(EngineChoice::Column) {
+            if let Some(result) = self.try_point_select(s)? {
+                return Ok((result, EngineChoice::Row));
+            }
+        }
         let row_engine = self.row.clone();
         let lookup = |name: &str| -> Result<Arc<Schema>> {
             Ok(Arc::new(row_engine.table(name)?.schema.clone()))
@@ -341,31 +358,122 @@ impl QueryEngine {
         ))
     }
 
+    /// Try the point-read fast path: `SELECT <plain cols> FROM <one
+    /// table> WHERE <pk> = <int literal>` (optionally qualified,
+    /// aliased, or LIMITed). Returns `Ok(None)` when the statement
+    /// doesn't fit, deferring every error report to the general
+    /// bind/plan path so messages stay identical.
+    fn try_point_select(&self, s: &SelectStmt) -> Result<Option<QueryResult>> {
+        if s.from.len() != 1
+            || !s.join_on.is_empty()
+            || !s.group_by.is_empty()
+            || !s.order_by.is_empty()
+            || s.limit == Some(0)
+            || s.items.is_empty()
+        {
+            return Ok(None);
+        }
+        let tref = &s.from[0];
+        let qualifier_ok = |c: &ast::ColRef| match &c.qualifier {
+            None => true,
+            Some(q) => q == &tref.alias || q == &tref.table,
+        };
+        // WHERE <pk col> = <int literal> (either operand order).
+        let Some(ast::AstExpr::Binary { op, l, r }) = &s.filter else {
+            return Ok(None);
+        };
+        if op != "=" {
+            return Ok(None);
+        }
+        let (fcol, lit) = match (&**l, &**r) {
+            (ast::AstExpr::Col(c), ast::AstExpr::Lit(v))
+            | (ast::AstExpr::Lit(v), ast::AstExpr::Col(c)) => (c, v),
+            _ => return Ok(None),
+        };
+        let &Value::Int(pk) = lit else {
+            return Ok(None);
+        };
+        if !qualifier_ok(fcol) {
+            return Ok(None);
+        }
+        let mut out = Vec::with_capacity(s.items.len());
+        for item in &s.items {
+            let ast::AstExpr::Col(c) = &item.expr else {
+                return Ok(None); // expressions/aggregates: general path
+            };
+            if !qualifier_ok(c) {
+                return Ok(None);
+            }
+            out.push((c.column.as_str(), item.alias.as_deref()));
+        }
+        self.point_lookup(&tref.table, &fcol.column, &out, pk)
+    }
+
+    /// Shared core of the point-read fast path: resolve names against
+    /// the catalog and answer from the row store's pk index. `Ok(None)`
+    /// whenever resolution fails — the general path owns error
+    /// reporting (and the cluster's catalog-refresh retry relies on
+    /// the general path's `Error::Catalog`).
+    fn point_lookup(
+        &self,
+        table: &str,
+        filter_col: &str,
+        out: &[(&str, Option<&str>)],
+        pk: i64,
+    ) -> Result<Option<QueryResult>> {
+        let Ok(rt) = self.row.table(table) else {
+            return Ok(None); // unknown table: let bind report it
+        };
+        let schema = &rt.schema;
+        if schema.col_index(filter_col) != Some(schema.pk_col()) {
+            return Ok(None); // not keyed on the pk: needs the planner
+        }
+        let mut proj = Vec::with_capacity(out.len());
+        let mut columns = Vec::with_capacity(out.len());
+        for (name, alias) in out {
+            let Some(idx) = schema.col_index(name) else {
+                return Ok(None); // unknown column: let bind report it
+            };
+            proj.push(idx);
+            columns.push(alias.unwrap_or(name).to_ascii_lowercase());
+        }
+        let rows = match rt.tree.get(pk)? {
+            Some(img) => {
+                let row = imci_common::Row::decode(&img)?;
+                vec![proj.iter().map(|&i| row.values[i].clone()).collect()]
+            }
+            None => Vec::new(),
+        };
+        Ok(Some(QueryResult {
+            columns,
+            rows,
+            engine: EngineChoice::Row,
+            affected: 0,
+        }))
+    }
+
     /// Execute the bound query on the column engine.
     pub fn run_column(&self, q: &BoundQuery) -> Result<Vec<Vec<Value>>> {
-        let store = self.store.as_ref().ok_or_else(|| {
-            Error::ColumnEngineUnsupported("node has no column store".into())
-        })?;
+        let store = self
+            .store
+            .as_ref()
+            .ok_or_else(|| Error::ColumnEngineUnsupported("node has no column store".into()))?;
         let covered_of = |schema: &Schema| -> Option<Vec<usize>> {
-            store
-                .index(schema.table_id)
-                .ok()
-                .map(|i| i.covered.clone())
+            store.index(schema.table_id).ok().map(|i| i.covered.clone())
         };
         let plan = to_column_plan(q, &covered_of)?;
         let mut snaps = FxHashMap::default();
         for bt in &q.tables {
             let idx = store.index(bt.schema.table_id).map_err(|_| {
-                Error::ColumnEngineUnsupported(format!(
-                    "no column index for {}",
-                    bt.schema.name
-                ))
+                Error::ColumnEngineUnsupported(format!("no column index for {}", bt.schema.name))
             })?;
             snaps.insert(bt.schema.table_id, Arc::new(idx.snapshot()));
         }
         let mut ctx = ExecContext::new(snaps);
         ctx.parallelism = self.parallelism.load(std::sync::atomic::Ordering::Relaxed);
-        ctx.prune_enabled = self.prune_enabled.load(std::sync::atomic::Ordering::Relaxed);
+        ctx.prune_enabled = self
+            .prune_enabled
+            .load(std::sync::atomic::Ordering::Relaxed);
         let out = imci_executor::execute(&plan, &ctx)?;
         Ok((0..out.len).map(|r| out.row(r)).collect())
     }
@@ -377,9 +485,10 @@ impl QueryEngine {
             Ok(Arc::new(row_engine.table(name)?.schema.clone()))
         };
         let q = bind_select(s, &lookup, self)?;
-        let store = self.store.as_ref().ok_or_else(|| {
-            Error::ColumnEngineUnsupported("node has no column store".into())
-        })?;
+        let store = self
+            .store
+            .as_ref()
+            .ok_or_else(|| Error::ColumnEngineUnsupported("node has no column store".into()))?;
         let covered_of = |schema: &Schema| -> Option<Vec<usize>> {
             store.index(schema.table_id).ok().map(|i| i.covered.clone())
         };
@@ -406,8 +515,7 @@ impl QueryEngine {
             name: "column_index".into(),
             columns: cols,
         });
-        self.row
-            .replace_table_schema(table, schema.clone())?;
+        self.row.replace_table_schema(table, schema.clone())?;
         if let Some(store) = &self.store {
             let mut rows = Vec::new();
             self.row.scan(table, i64::MIN, i64::MAX, |_, row| {
@@ -508,7 +616,8 @@ mod tests {
             .scan("items", i64::MIN, i64::MAX, |_, r| rows.push(r.values))
             .unwrap();
         for r in rows {
-            idx.insert(imci_common::Vid(1), &idx.project_row(&r)).unwrap();
+            idx.insert(imci_common::Vid(1), &idx.project_row(&r))
+                .unwrap();
         }
         idx.advance_visible(imci_common::Vid(1));
     }
@@ -522,18 +631,75 @@ mod tests {
                 .affected,
             1
         );
-        qe.execute("UPDATE items SET qty = 42 WHERE id = 1").unwrap();
+        qe.execute("UPDATE items SET qty = 42 WHERE id = 1")
+            .unwrap();
         let row = qe.row.get_row("items", 1).unwrap().unwrap();
         assert_eq!(row.values[2], Value::Int(42));
         assert_eq!(
-            qe.execute("DELETE FROM items WHERE id = 1").unwrap().affected,
+            qe.execute("DELETE FROM items WHERE id = 1")
+                .unwrap()
+                .affected,
             1
         );
         assert!(qe.row.get_row("items", 1).unwrap().is_none());
         assert_eq!(
-            qe.execute("DELETE FROM items WHERE id = 1").unwrap().affected,
+            qe.execute("DELETE FROM items WHERE id = 1")
+                .unwrap()
+                .affected,
             0
         );
+    }
+
+    #[test]
+    fn point_select_fast_path_matches_general_path() {
+        let qe = node();
+        seed(&qe, 50);
+        // Shapes the fast path serves; the column engine (which never
+        // takes it) is the reference for result equivalence.
+        let shapes = [
+            "SELECT name FROM items WHERE id = 7",
+            "SELECT qty, name FROM items WHERE 8 = id",
+            "SELECT i.name AS n, i.id FROM items i WHERE i.id = 9",
+            "SELECT price FROM items WHERE id = 3 LIMIT 5",
+            "SELECT id FROM items WHERE id = 99999", // miss -> 0 rows
+        ];
+        for sql in shapes {
+            let stmt = match parse(sql).unwrap() {
+                Statement::Select(s) => *s,
+                _ => unreachable!(),
+            };
+            let (fast, e) = qe.execute_select_with(&stmt, None).unwrap();
+            assert_eq!(e, EngineChoice::Row, "{sql}");
+            let (general, _) = qe
+                .execute_select_with(&stmt, Some(EngineChoice::Column))
+                .unwrap();
+            assert_eq!(fast.rows, general.rows, "{sql}");
+            assert_eq!(fast.columns, general.columns, "{sql}");
+        }
+        // Aliased output names survive the fast path.
+        let stmt = match parse("SELECT name AS label FROM items WHERE id = 1").unwrap() {
+            Statement::Select(s) => *s,
+            _ => unreachable!(),
+        };
+        let (res, _) = qe.execute_select_with(&stmt, None).unwrap();
+        assert_eq!(res.columns, vec!["label".to_string()]);
+        // Shapes that must fall back still work and stay correct.
+        let res = qe
+            .execute("SELECT COUNT(*) FROM items WHERE id = 7")
+            .unwrap();
+        assert_eq!(res.rows[0][0], Value::Int(1));
+        let res = qe.execute("SELECT id FROM items WHERE grp = 2").unwrap();
+        assert_eq!(res.rows.len(), 10);
+        // Error reporting is untouched: unknown column/table messages
+        // still come from the binder.
+        assert!(matches!(
+            qe.execute("SELECT nope FROM items WHERE id = 1"),
+            Err(Error::Plan(_))
+        ));
+        assert!(matches!(
+            qe.execute("SELECT x FROM missing WHERE id = 1"),
+            Err(Error::Catalog(_))
+        ));
     }
 
     #[test]
@@ -593,14 +759,11 @@ mod tests {
         let mut qe = node();
         qe.cost_threshold = 50.0;
         seed(&qe, 200);
-        let stmt = match parse(
-            "SELECT grp, SUM(price) FROM items GROUP BY grp ORDER BY grp",
-        )
-        .unwrap()
-        {
-            Statement::Select(s) => *s,
-            _ => unreachable!(),
-        };
+        let stmt =
+            match parse("SELECT grp, SUM(price) FROM items GROUP BY grp ORDER BY grp").unwrap() {
+                Statement::Select(s) => *s,
+                _ => unreachable!(),
+            };
         let (_, engine) = qe.execute_select(&stmt).unwrap();
         assert_eq!(engine, EngineChoice::Column);
     }
@@ -609,11 +772,10 @@ mod tests {
     fn fallback_when_column_index_missing() {
         let mut qe = node();
         qe.cost_threshold = 0.0; // force column attempt
-        qe.execute(
-            "CREATE TABLE bare (id INT NOT NULL, v INT, PRIMARY KEY(id))",
-        )
-        .unwrap();
-        qe.execute("INSERT INTO bare VALUES (1, 10), (2, 20)").unwrap();
+        qe.execute("CREATE TABLE bare (id INT NOT NULL, v INT, PRIMARY KEY(id))")
+            .unwrap();
+        qe.execute("INSERT INTO bare VALUES (1, 10), (2, 20)")
+            .unwrap();
         let (res, engine) = qe
             .execute_select(&match parse("SELECT v FROM bare ORDER BY v").unwrap() {
                 Statement::Select(s) => *s,
@@ -628,6 +790,8 @@ mod tests {
     fn update_requires_pk() {
         let qe = node();
         seed(&qe, 5);
-        assert!(qe.execute("UPDATE items SET qty = 1 WHERE grp = 0").is_err());
+        assert!(qe
+            .execute("UPDATE items SET qty = 1 WHERE grp = 0")
+            .is_err());
     }
 }

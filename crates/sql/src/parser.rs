@@ -25,6 +25,17 @@ fn lex(sql: &str) -> Result<Vec<Tok>> {
         let c = b[i] as char;
         if c.is_ascii_whitespace() {
             i += 1;
+        } else if c == '-' && i + 1 < b.len() && b[i + 1] == b'-' {
+            // `-- ...` line comment: runs to end of line (or input).
+            while i < b.len() && b[i] != b'\n' {
+                i += 1;
+            }
+        } else if c == '/' && i + 1 < b.len() && b[i + 1] == b'*' {
+            // `/* ... */` block comment.
+            match sql[i + 2..].find("*/") {
+                Some(end) => i += 2 + end + 2,
+                None => return Err(Error::Parse("unterminated block comment".into())),
+            }
         } else if c.is_ascii_alphabetic() || c == '_' {
             let start = i;
             while i < b.len() && ((b[i] as char).is_ascii_alphanumeric() || b[i] == b'_') {
@@ -36,7 +47,9 @@ fn lex(sql: &str) -> Result<Vec<Tok>> {
         {
             let start = i;
             while i < b.len()
-                && ((b[i] as char).is_ascii_digit() || b[i] == b'.' || b[i] == b'e'
+                && ((b[i] as char).is_ascii_digit()
+                    || b[i] == b'.'
+                    || b[i] == b'e'
                     || b[i] == b'E'
                     || ((b[i] == b'+' || b[i] == b'-')
                         && i > start
@@ -70,7 +83,11 @@ fn lex(sql: &str) -> Result<Vec<Tok>> {
             // multi-char operators first
             let two = if i + 1 < b.len() { &sql[i..i + 2] } else { "" };
             if ["<=", ">=", "<>", "!="].contains(&two) {
-                out.push(Tok::Punct(if two == "!=" { "<>".into() } else { two.into() }));
+                out.push(Tok::Punct(if two == "!=" {
+                    "<>".into()
+                } else {
+                    two.into()
+                }));
                 i += 2;
             } else if "(),.=<>*+-/;".contains(c) {
                 out.push(Tok::Punct(c.to_string()));
@@ -114,7 +131,10 @@ impl Lexer {
         if self.eat_kw(kw) {
             Ok(())
         } else {
-            Err(Error::Parse(format!("expected {kw}, got {:?}", self.peek())))
+            Err(Error::Parse(format!(
+                "expected {kw}, got {:?}",
+                self.peek()
+            )))
         }
     }
 
@@ -152,10 +172,38 @@ pub fn parse(sql: &str) -> Result<Statement> {
         toks: lex(sql)?,
         pos: 0,
     };
+    // `(SELECT ...)` — set-operation-style parenthesized query. Only
+    // SELECT may be parenthesized at statement level.
+    let mut parens = 0usize;
+    while matches!(lx.peek(), Tok::Punct(p) if p == "(") {
+        lx.next();
+        parens += 1;
+    }
+    if parens > 0 {
+        let inner = parse_select(&mut lx)?;
+        for _ in 0..parens {
+            lx.expect_punct(")")?;
+        }
+        lx.eat_punct(";");
+        if *lx.peek() != Tok::Eof {
+            return Err(Error::Parse(format!(
+                "trailing tokens after statement: {:?}",
+                lx.peek()
+            )));
+        }
+        return Ok(Statement::Select(Box::new(inner)));
+    }
     let stmt = if lx.peek_kw("select") {
         Statement::Select(Box::new(parse_select(&mut lx)?))
     } else if lx.peek_kw("create") {
         parse_create(&mut lx)?
+    } else if lx.peek_kw("with") {
+        // CTEs classify as reads (see `is_read_only`) but are not yet
+        // executable; surface that precisely instead of "unsupported
+        // statement start".
+        return Err(Error::Unsupported(
+            "WITH (common table expressions) is not yet supported".into(),
+        ));
     } else if lx.peek_kw("insert") {
         parse_insert(&mut lx)?
     } else if lx.peek_kw("update") {
@@ -181,12 +229,173 @@ pub fn parse(sql: &str) -> Result<Statement> {
 }
 
 /// Cheap statement classification for the proxy's "rough syntax parser"
-/// (paper §6.1 inter-node routing): read-only SELECTs go to RO nodes.
+/// (paper §6.1 inter-node routing): read-only statements go to RO
+/// nodes. Leading `--`/`/* */` comments and `(` are stripped first, and
+/// both `SELECT` and `WITH` count as reads — a `SELECT` hidden behind a
+/// comment must not be misrouted to the RW node, which would bypass RO
+/// load balancing, per-session consistency, and `FORCE_ENGINE`.
 pub fn is_read_only(sql: &str) -> bool {
-    sql.trim_start()
-        .get(..6)
-        .map(|s| s.eq_ignore_ascii_case("select"))
-        .unwrap_or(false)
+    let mut rest = sql;
+    loop {
+        rest = rest.trim_start();
+        if let Some(after) = rest.strip_prefix("--") {
+            // Line comment: everything up to the newline (or the end).
+            rest = match after.find('\n') {
+                Some(nl) => &after[nl + 1..],
+                None => "",
+            };
+        } else if let Some(after) = rest.strip_prefix("/*") {
+            rest = match after.find("*/") {
+                Some(end) => &after[end + 2..],
+                None => "",
+            };
+        } else if let Some(after) = rest.strip_prefix('(') {
+            rest = after;
+        } else {
+            break;
+        }
+    }
+    let word_len = rest
+        .find(|c: char| !c.is_ascii_alphanumeric() && c != '_')
+        .unwrap_or(rest.len());
+    let word = &rest[..word_len];
+    word.eq_ignore_ascii_case("select") || word.eq_ignore_ascii_case("with")
+}
+
+/// The shape recognized by [`scan_point_select`]: a single-table
+/// pk-equality point read of bare columns.
+#[derive(Debug, PartialEq, Eq)]
+pub struct PointSelect<'a> {
+    /// Projected column names, in select-list order.
+    pub cols: Vec<&'a str>,
+    /// Table name.
+    pub table: &'a str,
+    /// The filtered column (callers must verify it is the pk).
+    pub filter_col: &'a str,
+    /// The literal key.
+    pub pk: i64,
+}
+
+/// Zero-allocation recognizer for the hot OLTP statement shape:
+///
+/// ```text
+/// SELECT c1, c2, ... FROM t WHERE c = <int> [;]
+/// ```
+///
+/// This is the service tier's "rough syntax parser" (paper §6.1) taken
+/// one step further: the full lexer allocates a token vector per
+/// statement, which costs more than the pk lookup the statement asks
+/// for. Anything that doesn't match exactly — qualifiers, aliases,
+/// expressions, extra clauses, comments — returns `None` and goes
+/// through the real parser. Matching is purely syntactic; callers
+/// resolve names against the catalog and fall back if that fails.
+pub fn scan_point_select(sql: &str) -> Option<PointSelect<'_>> {
+    struct Scan<'a> {
+        b: &'a [u8],
+        s: &'a str,
+        pos: usize,
+    }
+    impl<'a> Scan<'a> {
+        fn skip_ws(&mut self) {
+            while self.pos < self.b.len() && self.b[self.pos].is_ascii_whitespace() {
+                self.pos += 1;
+            }
+        }
+        fn ident(&mut self) -> Option<&'a str> {
+            self.skip_ws();
+            let start = self.pos;
+            if self.pos >= self.b.len()
+                || !(self.b[self.pos].is_ascii_alphabetic() || self.b[self.pos] == b'_')
+            {
+                return None;
+            }
+            while self.pos < self.b.len()
+                && (self.b[self.pos].is_ascii_alphanumeric() || self.b[self.pos] == b'_')
+            {
+                self.pos += 1;
+            }
+            Some(&self.s[start..self.pos])
+        }
+        fn kw(&mut self, kw: &str) -> Option<()> {
+            let save = self.pos;
+            match self.ident() {
+                Some(w) if w.eq_ignore_ascii_case(kw) => Some(()),
+                _ => {
+                    self.pos = save;
+                    None
+                }
+            }
+        }
+        fn punct(&mut self, c: u8) -> bool {
+            self.skip_ws();
+            if self.pos < self.b.len() && self.b[self.pos] == c {
+                self.pos += 1;
+                true
+            } else {
+                false
+            }
+        }
+        fn int(&mut self) -> Option<i64> {
+            self.skip_ws();
+            let start = self.pos;
+            if self.pos < self.b.len() && self.b[self.pos] == b'-' {
+                self.pos += 1;
+            }
+            let digits = self.pos;
+            while self.pos < self.b.len() && self.b[self.pos].is_ascii_digit() {
+                self.pos += 1;
+            }
+            if self.pos == digits {
+                self.pos = start;
+                return None;
+            }
+            self.s[start..self.pos].parse().ok()
+        }
+        fn end(&mut self) -> bool {
+            let _ = self.punct(b';');
+            self.skip_ws();
+            self.pos == self.b.len()
+        }
+    }
+    let mut t = Scan {
+        b: sql.as_bytes(),
+        s: sql,
+        pos: 0,
+    };
+    t.kw("select")?;
+    let mut cols = Vec::new();
+    loop {
+        cols.push(t.ident()?);
+        if !t.punct(b',') {
+            break;
+        }
+    }
+    t.kw("from")?;
+    let table = t.ident()?;
+    t.kw("where")?;
+    let filter_col = t.ident()?;
+    if !t.punct(b'=') {
+        return None;
+    }
+    let pk = t.int()?;
+    if !t.end() {
+        return None;
+    }
+    // A projected "column" that is really a keyword means the shape was
+    // misread (e.g. `SELECT x FROM t` aliasing) — be conservative.
+    for w in cols.iter().chain([&table, &filter_col]) {
+        for kw in ["select", "from", "where", "and", "or", "join", "as"] {
+            if w.eq_ignore_ascii_case(kw) {
+                return None;
+            }
+        }
+    }
+    Some(PointSelect {
+        cols,
+        table,
+        filter_col,
+        pk,
+    })
 }
 
 fn parse_create(lx: &mut Lexer) -> Result<Statement> {
@@ -385,8 +594,10 @@ fn parse_select(lx: &mut Lexer) -> Result<SelectStmt> {
         let table = lx.ident()?;
         let alias = match lx.peek() {
             Tok::Ident(s)
-                if !["inner", "join", "on", "where", "group", "order", "limit", "as"]
-                    .contains(&s.to_ascii_lowercase().as_str()) =>
+                if ![
+                    "inner", "join", "on", "where", "group", "order", "limit", "as",
+                ]
+                .contains(&s.to_ascii_lowercase().as_str()) =>
             {
                 lx.ident()?
             }
@@ -447,9 +658,10 @@ fn parse_select(lx: &mut Lexer) -> Result<SelectStmt> {
             let key = match lx.peek().clone() {
                 Tok::Num(n) => {
                     lx.next();
-                    OrderKey::Position(n.parse().map_err(|_| {
-                        Error::Parse(format!("bad ORDER BY position {n}"))
-                    })?)
+                    OrderKey::Position(
+                        n.parse()
+                            .map_err(|_| Error::Parse(format!("bad ORDER BY position {n}")))?,
+                    )
                 }
                 Tok::Ident(_) => {
                     let name = lx.ident()?;
@@ -663,9 +875,9 @@ fn parse_primary(lx: &mut Lexer) -> Result<AstExpr> {
             Ok(e)
         }
         Tok::Num(_) | Tok::Str(_) => Ok(AstExpr::Lit(parse_literal(lx)?)),
-        Tok::Punct(p) if p == "*" => {
-            Err(Error::Parse("bare * outside COUNT(*) is unsupported".into()))
-        }
+        Tok::Punct(p) if p == "*" => Err(Error::Parse(
+            "bare * outside COUNT(*) is unsupported".into(),
+        )),
         Tok::Ident(id) => {
             let upper = id.to_ascii_uppercase();
             let agg = match upper.as_str() {
@@ -850,6 +1062,87 @@ mod tests {
         assert!(is_read_only("  select * from t"));
         assert!(!is_read_only("INSERT INTO t VALUES (1)"));
         assert!(!is_read_only("UPDATE t SET a=1 WHERE id=1"));
+    }
+
+    #[test]
+    fn routing_classifier_sees_through_comments_parens_and_with() {
+        // Leading line comment.
+        assert!(is_read_only("-- point read\nSELECT v FROM t WHERE id = 1"));
+        // Leading block comment, no newline anywhere.
+        assert!(is_read_only("/* hint */ SELECT 1"));
+        // Stacked comments and whitespace.
+        assert!(is_read_only("/* a */ -- b\n  /* c */\tselect 1"));
+        // Parenthesized SELECT (set-operation style).
+        assert!(is_read_only("(SELECT 1)"));
+        assert!(is_read_only(" ( (SELECT a FROM t) )"));
+        // WITH is a read even though CTEs are not executable yet.
+        assert!(is_read_only("WITH x AS (SELECT 1) SELECT * FROM x"));
+        // Comments ahead of writes must not flip them to reads.
+        assert!(!is_read_only("-- note\nINSERT INTO t VALUES (1)"));
+        assert!(!is_read_only("/* SELECT */ UPDATE t SET a=1"));
+        // Degenerate inputs: nothing after the noise.
+        assert!(!is_read_only("-- only a comment"));
+        assert!(!is_read_only("/* x */"));
+        assert!(!is_read_only("((("));
+        assert!(!is_read_only(""));
+        // `selection` must not prefix-match `select`.
+        assert!(!is_read_only("selection into t"));
+    }
+
+    #[test]
+    fn comments_and_parens_parse() {
+        // The lexer must skip comments so the statements the classifier
+        // routes to an RO node actually execute there.
+        match parse("-- fetch one row\nSELECT a FROM t WHERE a = 1").unwrap() {
+            Statement::Select(_) => {}
+            o => panic!("{o:?}"),
+        }
+        match parse("/* block */ SELECT a FROM t").unwrap() {
+            Statement::Select(_) => {}
+            o => panic!("{o:?}"),
+        }
+        match parse("((SELECT a FROM t))").unwrap() {
+            Statement::Select(_) => {}
+            o => panic!("{o:?}"),
+        }
+        // Unbalanced parens and unterminated block comments error out.
+        assert!(parse("(SELECT a FROM t").is_err());
+        assert!(parse("/* no end SELECT 1").is_err());
+        // WITH reports a precise unsupported error, not a parse error.
+        assert!(matches!(
+            parse("WITH x AS (SELECT 1) SELECT * FROM x"),
+            Err(Error::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn point_select_scanner_matches_exact_shape() {
+        let ps = scan_point_select("SELECT note FROM mix WHERE id = 42").unwrap();
+        assert_eq!(ps.cols, vec!["note"]);
+        assert_eq!(ps.table, "mix");
+        assert_eq!(ps.filter_col, "id");
+        assert_eq!(ps.pk, 42);
+        let ps = scan_point_select("select a,b , c from t where pk=-7;").unwrap();
+        assert_eq!(ps.cols, vec!["a", "b", "c"]);
+        assert_eq!(ps.pk, -7);
+        // Everything else must fall through to the real parser.
+        for sql in [
+            "SELECT COUNT(*) FROM t WHERE id = 1",    // aggregate
+            "SELECT a FROM t WHERE id = 1 AND b = 2", // conjunction
+            "SELECT a FROM t WHERE id > 1",           // non-equality
+            "SELECT a FROM t WHERE id = 1.5",         // non-int literal
+            "SELECT a FROM t WHERE id = 'x'",         // string literal
+            "SELECT t.a FROM t WHERE id = 1",         // qualified
+            "SELECT a AS x FROM t WHERE id = 1",      // alias
+            "SELECT a FROM t u WHERE id = 1",         // table alias
+            "SELECT a FROM t WHERE id = 1 LIMIT 1",   // limit
+            "SELECT a FROM t, s WHERE id = 1",        // join
+            "-- c\nSELECT a FROM t WHERE id = 1",     // comment
+            "SELECT a FROM t WHERE id = 1 garbage",   // trailing junk
+            "INSERT INTO t VALUES (1)",               // not a select
+        ] {
+            assert!(scan_point_select(sql).is_none(), "{sql}");
+        }
     }
 
     #[test]

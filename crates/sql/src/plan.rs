@@ -10,7 +10,9 @@
 
 use crate::ast::{AggName, AstExpr, ColRef, OrderKey, SelectStmt};
 use imci_common::{DataType, Error, FxHashMap, Result, Schema, Value};
-use imci_executor::{AggCall, AggFunc, ArithOp, CmpOp, Expr, LikePattern, PhysicalPlan, PruneRange};
+use imci_executor::{
+    AggCall, AggFunc, ArithOp, CmpOp, Expr, LikePattern, PhysicalPlan, PruneRange,
+};
 use std::sync::Arc;
 
 /// Table statistics provider (row counts feed the cost model; the paper
@@ -39,6 +41,9 @@ pub enum AccessPath {
     FullScan,
 }
 
+/// Per-table pruning bounds: (column ordinal, lower, upper).
+pub type PruneBounds = Vec<(usize, Option<Value>, Option<Value>)>;
+
 /// A bound single-table slice of the query.
 #[derive(Debug)]
 pub struct BoundTable {
@@ -51,7 +56,7 @@ pub struct BoundTable {
     /// Filter over the flat output (conjuncts local to this table).
     pub filter: Option<Expr>,
     /// Pruning ranges in table-column ordinals.
-    pub prune: Vec<(usize, Option<Value>, Option<Value>)>,
+    pub prune: PruneBounds,
     /// Chosen row-engine access path.
     pub access: AccessPath,
     /// Estimated rows after filtering.
@@ -99,10 +104,7 @@ impl Binder {
             }
             if let Some(ci) = schema.col_index(&c.column) {
                 if found.is_some() && c.qualifier.is_none() {
-                    return Err(Error::Plan(format!(
-                        "ambiguous column {}",
-                        c.column
-                    )));
+                    return Err(Error::Plan(format!("ambiguous column {}", c.column)));
                 }
                 found = Some((ti, ci));
                 if c.qualifier.is_some() {
@@ -144,12 +146,10 @@ impl Binder {
 /// Column type lookup helper for literal coercion (date strings).
 fn coerce_lit(v: &Value, ty: DataType) -> Value {
     match (v, ty) {
-        (Value::Str(s), DataType::Date) => {
-            match imci_common::value::parse_date_str(s) {
-                Ok(d) => Value::Date(d),
-                Err(_) => v.clone(),
-            }
-        }
+        (Value::Str(s), DataType::Date) => match imci_common::value::parse_date_str(s) {
+            Ok(d) => Value::Date(d),
+            Err(_) => v.clone(),
+        },
         (Value::Int(i), DataType::Double) => Value::Double(*i as f64),
         (Value::Date(d), DataType::Int) => Value::Int(*d),
         _ => v.clone(),
@@ -201,10 +201,7 @@ pub fn bind_select(
         for c in cs {
             // equality join predicate in WHERE form: a.x = b.y
             if let AstExpr::Binary { op, l, r } = &c {
-                if op == "="
-                    && matches!(**l, AstExpr::Col(_))
-                    && matches!(**r, AstExpr::Col(_))
-                {
+                if op == "=" && matches!(**l, AstExpr::Col(_)) && matches!(**r, AstExpr::Col(_)) {
                     let (AstExpr::Col(lc), AstExpr::Col(rc)) = (&**l, &**r) else {
                         unreachable!()
                     };
@@ -233,7 +230,7 @@ pub fn bind_select(
     let n = binder.tables.len();
     let mut est = vec![0f64; n];
     let mut access = vec![AccessPath::FullScan; n];
-    let mut prune: Vec<Vec<(usize, Option<Value>, Option<Value>)>> = vec![Vec::new(); n];
+    let mut prune: Vec<PruneBounds> = vec![Vec::new(); n];
     for ti in 0..n {
         let schema = &binder.tables[ti].0;
         let rows = stats.table_rows(schema).max(1) as f64;
@@ -305,9 +302,7 @@ pub fn bind_select(
         off += needed[ti].len();
     }
 
-    let bind_expr = |e: &AstExpr| -> Result<Expr> {
-        bind_scalar(e, &binder, &flat_of, None)
-    };
+    let bind_expr = |e: &AstExpr| -> Result<Expr> { bind_scalar(e, &binder, &flat_of, None) };
 
     // ---- build BoundTables ----
     let mut tables = Vec::with_capacity(n);
@@ -327,7 +322,13 @@ pub fn bind_select(
         };
         let mut conds = Vec::new();
         for (a, b) in &join_pairs {
-            let (inner, outer) = if a.0 == ti { (a, b) } else if b.0 == ti { (b, a) } else { continue };
+            let (inner, outer) = if a.0 == ti {
+                (a, b)
+            } else if b.0 == ti {
+                (b, a)
+            } else {
+                continue;
+            };
             // outer must already be placed before this table
             if order[..ji].contains(&outer.0) {
                 conds.push((flat_of[outer], flat_of[inner]));
@@ -358,11 +359,7 @@ pub fn bind_select(
     };
 
     // ---- aggregates & output ----
-    let group_by: Vec<Expr> = stmt
-        .group_by
-        .iter()
-        .map(|g| bind_expr(g))
-        .collect::<Result<_>>()?;
+    let group_by: Vec<Expr> = stmt.group_by.iter().map(bind_expr).collect::<Result<_>>()?;
     let has_aggs = stmt.items.iter().any(|i| i.expr.has_agg());
     let mut aggs: Vec<AggCall> = Vec::new();
     let mut output = Vec::with_capacity(stmt.items.len());
@@ -591,9 +588,11 @@ fn bind_scalar(
     Ok(match e {
         AstExpr::Col(c) => {
             let key = b.resolve(c)?;
-            Expr::Col(*flat.get(&key).ok_or_else(|| {
-                Error::Plan(format!("column {} not in layout", c.column))
-            })?)
+            Expr::Col(
+                *flat
+                    .get(&key)
+                    .ok_or_else(|| Error::Plan(format!("column {} not in layout", c.column)))?,
+            )
         }
         AstExpr::Lit(v) => Expr::Lit(match col_ty {
             Some(ty) => coerce_lit(v, ty),
@@ -753,10 +752,7 @@ pub fn to_column_plan(
     let mut flat_off = 0usize;
     for (ji, bt) in q.tables.iter().enumerate() {
         let covered = covered_of(&bt.schema).ok_or_else(|| {
-            Error::ColumnEngineUnsupported(format!(
-                "table {} has no column index",
-                bt.schema.name
-            ))
+            Error::ColumnEngineUnsupported(format!("table {} has no column index", bt.schema.name))
         })?;
         // map table col ordinal → covered position
         let cov_pos = |ci: usize| -> Result<usize> {
@@ -784,9 +780,7 @@ pub fn to_column_plan(
             })
             .collect::<Result<_>>()?;
         // scan filter: remap flat positions → local scan output positions
-        let filter = bt.filter.as_ref().map(|f| {
-            f.remap(&|flat| flat - flat_off)
-        });
+        let filter = bt.filter.as_ref().map(|f| f.remap(&|flat| flat - flat_off));
         let scan = PhysicalPlan::ColumnScan {
             table: bt.schema.table_id,
             cols,

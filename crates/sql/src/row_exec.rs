@@ -70,8 +70,7 @@ pub fn eval_row(e: &Expr, row: &[Value]) -> Result<Value> {
             let v = eval_row(a, row)?;
             match (v.sql_cmp(lo), v.sql_cmp(hi)) {
                 (Some(l), Some(h)) => Value::Int(
-                    (l != std::cmp::Ordering::Less && h != std::cmp::Ordering::Greater)
-                        as i64,
+                    (l != std::cmp::Ordering::Less && h != std::cmp::Ordering::Greater) as i64,
                 ),
                 _ => Value::Null,
             }
@@ -84,9 +83,7 @@ pub fn eval_row(e: &Expr, row: &[Value]) -> Result<Value> {
             Value::Str(s) => Value::Int(pat.matches(&s) as i64),
             _ => Value::Int(0),
         },
-        Expr::IsNull(a, negated) => {
-            Value::Int((eval_row(a, row)?.is_null() != *negated) as i64)
-        }
+        Expr::IsNull(a, negated) => Value::Int((eval_row(a, row)?.is_null() != *negated) as i64),
         Expr::Year(a) => match eval_row(a, row)? {
             Value::Null => Value::Null,
             v => {
@@ -113,9 +110,8 @@ fn fetch_table_rows(
     access: &AccessPath,
 ) -> Result<Vec<Vec<Value>>> {
     let rt = engine.table(&bt.schema.name)?;
-    let project = |values: &[Value]| -> Vec<Value> {
-        bt.needed.iter().map(|&c| values[c].clone()).collect()
-    };
+    let project =
+        |values: &[Value]| -> Vec<Value> { bt.needed.iter().map(|&c| values[c].clone()).collect() };
     let mut out = Vec::new();
     match access {
         AccessPath::PkLookup(pk) => {
@@ -124,9 +120,9 @@ fn fetch_table_rows(
             }
         }
         AccessPath::Secondary { col, lo, hi } => {
-            let sec = rt.secondary_on(*col).ok_or_else(|| {
-                Error::Plan(format!("missing secondary index on col {col}"))
-            })?;
+            let sec = rt
+                .secondary_on(*col)
+                .ok_or_else(|| Error::Plan(format!("missing secondary index on col {col}")))?;
             for pk in sec.lookup_range(lo, hi) {
                 if let Some(row) = engine.get_row(&bt.schema.name, pk)? {
                     out.push(project(&row.values));
@@ -195,9 +191,7 @@ pub fn execute_row(q: &BoundQuery, engine: &RowEngine) -> Result<Vec<Vec<Value>>
                     let key = outer_row[*outer].clone();
                     if *is_pk {
                         match key.as_int() {
-                            Some(pk) => {
-                                fetch_table_rows(engine, bt, &AccessPath::PkLookup(pk))?
-                            }
+                            Some(pk) => fetch_table_rows(engine, bt, &AccessPath::PkLookup(pk))?,
                             None => Vec::new(),
                         }
                     } else {
@@ -218,8 +212,7 @@ pub fn execute_row(q: &BoundQuery, engine: &RowEngine) -> Result<Vec<Vec<Value>>
                 // check all join conds + local filter
                 let ok = conds.iter().all(|(outer, inner_flat)| {
                     let local = inner_flat - flat_off;
-                    outer_row[*outer].sql_cmp(&inner[local])
-                        == Some(std::cmp::Ordering::Equal)
+                    outer_row[*outer].sql_cmp(&inner[local]) == Some(std::cmp::Ordering::Equal)
                 });
                 if !ok || !filter_local(bt, flat_off, &inner)? {
                     continue;
@@ -366,14 +359,14 @@ impl RowAcc {
             }
             RowAcc::Min(m) => {
                 if let Some(x) = v {
-                    if !x.is_null() && m.as_ref().map_or(true, |c| x < c) {
+                    if !x.is_null() && m.as_ref().is_none_or(|c| x < c) {
                         *m = Some(x.clone());
                     }
                 }
             }
             RowAcc::Max(m) => {
                 if let Some(x) = v {
-                    if !x.is_null() && m.as_ref().map_or(true, |c| x > c) {
+                    if !x.is_null() && m.as_ref().is_none_or(|c| x > c) {
                         *m = Some(x.clone());
                     }
                 }
@@ -428,11 +421,7 @@ mod tests {
         assert_eq!(eval_row(&e, &row).unwrap(), Value::Int(1));
         let e = Expr::IsNull(Box::new(Expr::col(2)), false);
         assert_eq!(eval_row(&e, &row).unwrap(), Value::Int(1));
-        let e = Expr::Arith(
-            ArithOp::Add,
-            Box::new(Expr::col(0)),
-            Box::new(Expr::col(2)),
-        );
+        let e = Expr::Arith(ArithOp::Add, Box::new(Expr::col(0)), Box::new(Expr::col(2)));
         assert_eq!(eval_row(&e, &row).unwrap(), Value::Null);
     }
 }

@@ -88,8 +88,7 @@ impl LogReader {
         if !have.is_empty() {
             return have;
         }
-        self.fs
-            .wait_for_growth(REDO_LOG_NAME, self.offset, timeout);
+        self.fs.wait_for_growth(REDO_LOG_NAME, self.offset, timeout);
         self.read_available()
     }
 }
@@ -164,7 +163,10 @@ mod tests {
             TableId(1),
             PageId(1),
             0,
-            RedoPayload::Insert { pk: 9, image: vec![1] },
+            RedoPayload::Insert {
+                pk: 9,
+                image: vec![1],
+            },
         );
         let mut r = LogReader::new(fs, 0);
         let es = r.read_available();

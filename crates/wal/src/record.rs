@@ -32,7 +32,10 @@ pub enum RedoPayload {
     /// SMO: insert a separator `key`/`child` pair into an internal page.
     SmoParentInsert { key: i64, child: PageId },
     /// SMO: (re)initialize an internal page with full content.
-    SmoInternalWrite { keys: Vec<i64>, children: Vec<PageId> },
+    SmoInternalWrite {
+        keys: Vec<i64>,
+        children: Vec<PageId>,
+    },
     /// SMO: table metadata change — new root page. `page_id` is the
     /// table's meta page.
     SmoSetRoot { root: PageId },
@@ -389,7 +392,11 @@ mod tests {
     #[test]
     fn smo_classification() {
         assert!(RedoPayload::SmoTruncate { from_pk: 0 }.is_smo());
-        assert!(!RedoPayload::Insert { pk: 0, image: vec![] }.is_smo());
+        assert!(!RedoPayload::Insert {
+            pk: 0,
+            image: vec![]
+        }
+        .is_smo());
         assert!(RedoPayload::Commit { commit_vid: Vid(1) }.is_decision());
         assert!(!RedoPayload::Delete { pk: 0 }.is_decision());
     }

@@ -131,13 +131,7 @@ impl LogWriter {
     /// Write an abort record for `tid` (no fsync required: aborts don't
     /// gate durability of anything).
     pub fn abort(&self, tid: Tid) -> Lsn {
-        let lsn = self.append(
-            tid,
-            TableId::ZERO,
-            PageId::ZERO,
-            0,
-            RedoPayload::Abort,
-        );
+        let lsn = self.append(tid, TableId::ZERO, PageId::ZERO, 0, RedoPayload::Abort);
         if self.mode == PropagationMode::Binlog {
             self.binlog.abort(tid);
         }
@@ -176,14 +170,20 @@ mod tests {
             TableId(1),
             PageId(1),
             0,
-            RedoPayload::Insert { pk: 1, image: vec![1] },
+            RedoPayload::Insert {
+                pk: 1,
+                image: vec![1],
+            },
         );
         let l2 = w.append(
             t,
             TableId(1),
             PageId(1),
             1,
-            RedoPayload::Insert { pk: 2, image: vec![2] },
+            RedoPayload::Insert {
+                pk: 2,
+                image: vec![2],
+            },
         );
         let l3 = w.commit(t, Vid(1));
         assert_eq!((l1, l2, l3), (Lsn(1), Lsn(2), Lsn(3)));
@@ -206,7 +206,10 @@ mod tests {
             TableId(1),
             PageId(1),
             0,
-            RedoPayload::Insert { pk: 1, image: vec![] },
+            RedoPayload::Insert {
+                pk: 1,
+                image: vec![],
+            },
         );
         w.commit(Tid(1), Vid(1));
         assert_eq!(fs.stats().fsyncs(), 1);
@@ -221,7 +224,10 @@ mod tests {
             TableId(1),
             PageId(1),
             0,
-            RedoPayload::Insert { pk: 1, image: vec![] },
+            RedoPayload::Insert {
+                pk: 1,
+                image: vec![],
+            },
         );
         w.commit(Tid(1), Vid(1));
         // One redo fsync + one binlog fsync: the Fig. 11 overhead.
@@ -252,7 +258,10 @@ mod tests {
             TableId(1),
             PageId(1),
             0,
-            RedoPayload::Insert { pk: 1, image: vec![] },
+            RedoPayload::Insert {
+                pk: 1,
+                image: vec![],
+            },
         );
         w.abort(Tid(9));
         assert_eq!(w.written_lsn(), Lsn::ZERO);

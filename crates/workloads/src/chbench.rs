@@ -50,17 +50,36 @@ pub fn ddl() -> Vec<&'static str> {
 /// The analytical side: CH-bench-style queries in our dialect.
 pub fn analytical_queries() -> Vec<(&'static str, String)> {
     vec![
-        ("CH-Q1", "SELECT ol_d_id, SUM(ol_quantity), SUM(ol_amount), AVG(ol_amount), COUNT(*) \
-                   FROM order_line GROUP BY ol_d_id ORDER BY ol_d_id".into()),
-        ("CH-Q3", "SELECT o_id, SUM(ol_amount) AS revenue FROM chcustomer, chorder, order_line \
+        (
+            "CH-Q1",
+            "SELECT ol_d_id, SUM(ol_quantity), SUM(ol_amount), AVG(ol_amount), COUNT(*) \
+                   FROM order_line GROUP BY ol_d_id ORDER BY ol_d_id"
+                .into(),
+        ),
+        (
+            "CH-Q3",
+            "SELECT o_id, SUM(ol_amount) AS revenue FROM chcustomer, chorder, order_line \
                    WHERE c_id = o_c_id AND ol_o_id = o_id AND c_balance < 0 \
-                   GROUP BY o_id ORDER BY revenue DESC LIMIT 10".into()),
-        ("CH-Q5", "SELECT s_w_id, SUM(ol_amount) AS revenue FROM order_line, chstock \
-                   WHERE ol_i_id = s_i_id GROUP BY s_w_id ORDER BY revenue DESC".into()),
-        ("CH-Q6", "SELECT SUM(ol_amount) FROM order_line WHERE ol_quantity BETWEEN 1 AND 10".into()),
-        ("CH-Q12", "SELECT o_ol_cnt, COUNT(*) FROM chorder, order_line \
+                   GROUP BY o_id ORDER BY revenue DESC LIMIT 10"
+                .into(),
+        ),
+        (
+            "CH-Q5",
+            "SELECT s_w_id, SUM(ol_amount) AS revenue FROM order_line, chstock \
+                   WHERE ol_i_id = s_i_id GROUP BY s_w_id ORDER BY revenue DESC"
+                .into(),
+        ),
+        (
+            "CH-Q6",
+            "SELECT SUM(ol_amount) FROM order_line WHERE ol_quantity BETWEEN 1 AND 10".into(),
+        ),
+        (
+            "CH-Q12",
+            "SELECT o_ol_cnt, COUNT(*) FROM chorder, order_line \
                     WHERE ol_o_id = o_id AND ol_quantity > 5 \
-                    GROUP BY o_ol_cnt ORDER BY o_ol_cnt".into()),
+                    GROUP BY o_ol_cnt ORDER BY o_ol_cnt"
+                .into(),
+        ),
     ]
 }
 
@@ -75,39 +94,71 @@ impl ChBench {
         let rw = &cluster.rw;
         let mut txn = rw.begin();
         for w in 0..warehouses {
-            rw.insert(&mut txn, "warehouse", vec![
-                Value::Int(w), Value::Str(format!("wh{w}")),
-                Value::Double(0.1), Value::Double(0.0),
-            ])?;
+            rw.insert(
+                &mut txn,
+                "warehouse",
+                vec![
+                    Value::Int(w),
+                    Value::Str(format!("wh{w}")),
+                    Value::Double(0.1),
+                    Value::Double(0.0),
+                ],
+            )?;
             for d in 0..10 {
                 let d_id = w * 10 + d;
-                rw.insert(&mut txn, "district", vec![
-                    Value::Int(d_id), Value::Int(w), Value::Double(0.05),
-                    Value::Double(0.0), Value::Int(0),
-                ])?;
+                rw.insert(
+                    &mut txn,
+                    "district",
+                    vec![
+                        Value::Int(d_id),
+                        Value::Int(w),
+                        Value::Double(0.05),
+                        Value::Double(0.0),
+                        Value::Int(0),
+                    ],
+                )?;
                 for c in 0..customers_per_district {
                     let c_id = d_id * 1000 + c;
-                    rw.insert(&mut txn, "chcustomer", vec![
-                        Value::Int(c_id), Value::Int(d_id), Value::Int(w),
-                        Value::Double(if c % 9 == 0 { -10.0 } else { 100.0 }),
-                        Value::Double(10.0), Value::Int(1),
-                        Value::Str(format!("LAST{}", c % 10)),
-                    ])?;
+                    rw.insert(
+                        &mut txn,
+                        "chcustomer",
+                        vec![
+                            Value::Int(c_id),
+                            Value::Int(d_id),
+                            Value::Int(w),
+                            Value::Double(if c % 9 == 0 { -10.0 } else { 100.0 }),
+                            Value::Double(10.0),
+                            Value::Int(1),
+                            Value::Str(format!("LAST{}", c % 10)),
+                        ],
+                    )?;
                 }
             }
         }
         for i in 0..items {
-            rw.insert(&mut txn, "chitem", vec![
-                Value::Int(i), Value::Str(format!("item{i}")),
-                Value::Double(1.0 + (i % 100) as f64),
-            ])?;
+            rw.insert(
+                &mut txn,
+                "chitem",
+                vec![
+                    Value::Int(i),
+                    Value::Str(format!("item{i}")),
+                    Value::Double(1.0 + (i % 100) as f64),
+                ],
+            )?;
         }
         for w in 0..warehouses {
             for i in 0..items {
-                rw.insert(&mut txn, "chstock", vec![
-                    Value::Int(w * items + i), Value::Int(i), Value::Int(w),
-                    Value::Int(100), Value::Int(0),
-                ])?;
+                rw.insert(
+                    &mut txn,
+                    "chstock",
+                    vec![
+                        Value::Int(w * items + i),
+                        Value::Int(i),
+                        Value::Int(w),
+                        Value::Int(100),
+                        Value::Int(0),
+                    ],
+                )?;
             }
         }
         rw.commit(txn);
@@ -129,18 +180,33 @@ impl ChBench {
         let o_id = self.next_order.fetch_add(1, Ordering::SeqCst);
         let n_lines = rng.gen_range(5..=15);
         let mut txn = rw.begin();
-        rw.insert(&mut txn, "chorder", vec![
-            Value::Int(o_id), Value::Int(d), Value::Int(w), Value::Int(c),
-            Value::Date(10_000 + (o_id % 365)), Value::Int(n_lines as i64),
-        ])?;
+        rw.insert(
+            &mut txn,
+            "chorder",
+            vec![
+                Value::Int(o_id),
+                Value::Int(d),
+                Value::Int(w),
+                Value::Int(c),
+                Value::Date(10_000 + (o_id % 365)),
+                Value::Int(n_lines as i64),
+            ],
+        )?;
         for l in 0..n_lines {
             let i = rng.gen_range(0..self.items);
-            rw.insert(&mut txn, "order_line", vec![
-                Value::Int(o_id * 16 + l as i64), Value::Int(o_id), Value::Int(d),
-                Value::Int(w), Value::Int(i),
-                Value::Int(rng.gen_range(1..=10)),
-                Value::Double(rng.gen_range(1.0..300.0)),
-            ])?;
+            rw.insert(
+                &mut txn,
+                "order_line",
+                vec![
+                    Value::Int(o_id * 16 + l as i64),
+                    Value::Int(o_id),
+                    Value::Int(d),
+                    Value::Int(w),
+                    Value::Int(i),
+                    Value::Int(rng.gen_range(1..=10)),
+                    Value::Double(rng.gen_range(1.0..300.0)),
+                ],
+            )?;
             // stock update
             let s_id = w * self.items + i;
             if let Some(mut row) = rw.get_row("chstock", s_id)? {

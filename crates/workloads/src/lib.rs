@@ -36,16 +36,14 @@ impl Zipf {
             }
             if m > cap {
                 // integral tail approximation
-                s += ((m as f64).powf(1.0 - t) - (cap as f64).powf(1.0 - t))
-                    / (1.0 - t);
+                s += ((m as f64).powf(1.0 - t) - (cap as f64).powf(1.0 - t)) / (1.0 - t);
             }
             s
         };
         let zeta_n = zeta(n, theta);
         let zeta_theta = zeta(2, theta);
         let alpha = 1.0 / (1.0 - theta);
-        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta))
-            / (1.0 - zeta_theta / zeta_n);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta_theta / zeta_n);
         Zipf {
             n,
             theta,

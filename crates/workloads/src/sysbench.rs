@@ -23,7 +23,9 @@ fn pad(len: usize, seed: i64) -> String {
     let mut s = String::with_capacity(len);
     let mut x = seed as u64 | 1;
     while s.len() < len {
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         s.push((b'a' + (x >> 33) as u8 % 26) as char);
     }
     s

@@ -15,8 +15,8 @@
 //! `l_orderkey * 8 + l_linenumber`, `partsupp` uses
 //! `ps_partkey * 1000 + ps_suppkey` (both documented in DESIGN.md).
 
-use imci_common::Result;
 use imci_cluster::Cluster;
+use imci_common::Result;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -82,20 +82,51 @@ pub fn sizes(sf: f64) -> Sizes {
     }
 }
 
-const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "MACHINERY",
+    "HOUSEHOLD",
+];
 const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECI", "5-LOW"];
 const MODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
 const BRANDS: [&str; 5] = ["Brand#11", "Brand#22", "Brand#33", "Brand#44", "Brand#55"];
 const TYPES: [&str; 6] = [
-    "ECONOMY ANODIZED STEEL", "STANDARD BRUSHED BRASS", "PROMO BURNISHED COPPER",
-    "MEDIUM PLATED NICKEL", "SMALL POLISHED TIN", "LARGE BURNISHED STEEL",
+    "ECONOMY ANODIZED STEEL",
+    "STANDARD BRUSHED BRASS",
+    "PROMO BURNISHED COPPER",
+    "MEDIUM PLATED NICKEL",
+    "SMALL POLISHED TIN",
+    "LARGE BURNISHED STEEL",
 ];
 const CONTAINERS: [&str; 4] = ["SM CASE", "MED BOX", "LG DRUM", "JUMBO JAR"];
 const NATIONS: [&str; 25] = [
-    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE",
-    "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA",
-    "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA", "SAUDI ARABIA", "VIETNAM",
-    "RUSSIA", "UNITED KINGDOM", "UNITED STATES",
+    "ALGERIA",
+    "ARGENTINA",
+    "BRAZIL",
+    "CANADA",
+    "EGYPT",
+    "ETHIOPIA",
+    "FRANCE",
+    "GERMANY",
+    "INDIA",
+    "INDONESIA",
+    "IRAN",
+    "IRAQ",
+    "JAPAN",
+    "JORDAN",
+    "KENYA",
+    "MOROCCO",
+    "MOZAMBIQUE",
+    "PERU",
+    "CHINA",
+    "ROMANIA",
+    "SAUDI ARABIA",
+    "VIETNAM",
+    "RUSSIA",
+    "UNITED KINGDOM",
+    "UNITED STATES",
 ];
 const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
 
@@ -119,96 +150,147 @@ pub fn load(cluster: &Cluster, sf: f64, seed: u64) -> Result<u64> {
 
     let mut txn = rw.begin();
     for (i, r) in REGIONS.iter().enumerate() {
-        rw.insert(&mut txn, "region", vec![
-            V::Int(i as i64), V::Str((*r).into()), V::Str(format!("region {r}")),
-        ])?;
+        rw.insert(
+            &mut txn,
+            "region",
+            vec![
+                V::Int(i as i64),
+                V::Str((*r).into()),
+                V::Str(format!("region {r}")),
+            ],
+        )?;
         total += 1;
     }
     for (i, n) in NATIONS.iter().enumerate() {
-        rw.insert(&mut txn, "nation", vec![
-            V::Int(i as i64), V::Str((*n).into()), V::Int((i % 5) as i64),
-            V::Str(format!("nation {n}")),
-        ])?;
+        rw.insert(
+            &mut txn,
+            "nation",
+            vec![
+                V::Int(i as i64),
+                V::Str((*n).into()),
+                V::Int((i % 5) as i64),
+                V::Str(format!("nation {n}")),
+            ],
+        )?;
         total += 1;
     }
     for s in 0..sz.suppliers {
-        rw.insert(&mut txn, "supplier", vec![
-            V::Int(s), V::Str(format!("Supplier#{s:09}")), V::Int(s % 25),
-            V::Double(rng.gen_range(-999.99..9999.99)),
-        ])?;
+        rw.insert(
+            &mut txn,
+            "supplier",
+            vec![
+                V::Int(s),
+                V::Str(format!("Supplier#{s:09}")),
+                V::Int(s % 25),
+                V::Double(rng.gen_range(-999.99..9999.99)),
+            ],
+        )?;
         total += 1;
     }
     rw.commit(txn);
 
     let mut txn = rw.begin();
     for c in 0..sz.customers {
-        rw.insert(&mut txn, "customer", vec![
-            V::Int(c), V::Str(format!("Customer#{c:09}")), V::Int(c % 25),
-            V::Double(rng.gen_range(-999.99..9999.99)),
-            V::Str(SEGMENTS[rng.gen_range(0..SEGMENTS.len())].into()),
-        ])?;
+        rw.insert(
+            &mut txn,
+            "customer",
+            vec![
+                V::Int(c),
+                V::Str(format!("Customer#{c:09}")),
+                V::Int(c % 25),
+                V::Double(rng.gen_range(-999.99..9999.99)),
+                V::Str(SEGMENTS[rng.gen_range(0..SEGMENTS.len())].into()),
+            ],
+        )?;
         total += 1;
-        if total % 20_000 == 0 {
+        if total.is_multiple_of(20_000) {
             rw.commit(std::mem::replace(&mut txn, rw.begin()));
         }
     }
     for p in 0..sz.parts {
-        rw.insert(&mut txn, "part", vec![
-            V::Int(p), V::Str(format!("part name {}", p % 97)),
-            V::Str(BRANDS[rng.gen_range(0..BRANDS.len())].into()),
-            V::Str(TYPES[rng.gen_range(0..TYPES.len())].into()),
-            V::Int(rng.gen_range(1..51)),
-            V::Str(CONTAINERS[rng.gen_range(0..CONTAINERS.len())].into()),
-            V::Double(900.0 + (p % 1000) as f64 * 0.1),
-        ])?;
+        rw.insert(
+            &mut txn,
+            "part",
+            vec![
+                V::Int(p),
+                V::Str(format!("part name {}", p % 97)),
+                V::Str(BRANDS[rng.gen_range(0..BRANDS.len())].into()),
+                V::Str(TYPES[rng.gen_range(0..TYPES.len())].into()),
+                V::Int(rng.gen_range(1..51)),
+                V::Str(CONTAINERS[rng.gen_range(0..CONTAINERS.len())].into()),
+                V::Double(900.0 + (p % 1000) as f64 * 0.1),
+            ],
+        )?;
         total += 1;
         // 2 partsupp rows per part (scaled down from 4).
         for k in 0..2 {
             let suppkey = (p * 7 + k * 13) % sz.suppliers;
-            rw.insert(&mut txn, "partsupp", vec![
-                V::Int(p * 1000 + suppkey), V::Int(p), V::Int(suppkey),
-                V::Int(rng.gen_range(1..10_000)),
-                V::Double(rng.gen_range(1.0..1000.0)),
-            ])?;
+            rw.insert(
+                &mut txn,
+                "partsupp",
+                vec![
+                    V::Int(p * 1000 + suppkey),
+                    V::Int(p),
+                    V::Int(suppkey),
+                    V::Int(rng.gen_range(1..10_000)),
+                    V::Double(rng.gen_range(1.0..1000.0)),
+                ],
+            )?;
             total += 1;
         }
-        if total % 20_000 == 0 {
+        if total.is_multiple_of(20_000) {
             rw.commit(std::mem::replace(&mut txn, rw.begin()));
         }
     }
     for o in 0..sz.orders {
         let odate = day(&mut rng);
-        rw.insert(&mut txn, "orders", vec![
-            V::Int(o), V::Int(rng.gen_range(0..sz.customers)),
-            V::Str(if o % 2 == 0 { "F" } else { "O" }.into()),
-            V::Double(rng.gen_range(1000.0..400_000.0)),
-            V::Date(odate),
-            V::Str(PRIORITIES[rng.gen_range(0..PRIORITIES.len())].into()),
-            V::Int((o % 2) as i64 * 0),
-        ])?;
+        rw.insert(
+            &mut txn,
+            "orders",
+            vec![
+                V::Int(o),
+                V::Int(rng.gen_range(0..sz.customers)),
+                V::Str(if o % 2 == 0 { "F" } else { "O" }.into()),
+                V::Double(rng.gen_range(1000.0..400_000.0)),
+                V::Date(odate),
+                V::Str(PRIORITIES[rng.gen_range(0..PRIORITIES.len())].into()),
+                V::Int(0),
+            ],
+        )?;
         total += 1;
         let lines = rng.gen_range(1..=7);
         for l in 0..lines {
             let ship = odate + rng.gen_range(1..122);
-            rw.insert(&mut txn, "lineitem", vec![
-                V::Int(o * 8 + l),
-                V::Int(o),
-                V::Int(rng.gen_range(0..sz.parts)),
-                V::Int(rng.gen_range(0..sz.suppliers)),
-                V::Double(rng.gen_range(1.0f64..51.0).floor()),
-                V::Double(rng.gen_range(900.0..105_000.0)),
-                V::Double((rng.gen_range(0..11) as f64) / 100.0),
-                V::Double((rng.gen_range(0..9) as f64) / 100.0),
-                V::Str(["R", "A", "N"][rng.gen_range(0..3)].into()),
-                V::Str(if ship > imci_common::value::parse_date_str("1995-06-17").unwrap() { "O" } else { "F" }.into()),
-                V::Date(ship),
-                V::Date(ship + rng.gen_range(-30..31)),
-                V::Date(ship + rng.gen_range(1..31)),
-                V::Str(MODES[rng.gen_range(0..MODES.len())].into()),
-            ])?;
+            rw.insert(
+                &mut txn,
+                "lineitem",
+                vec![
+                    V::Int(o * 8 + l),
+                    V::Int(o),
+                    V::Int(rng.gen_range(0..sz.parts)),
+                    V::Int(rng.gen_range(0..sz.suppliers)),
+                    V::Double(rng.gen_range(1.0f64..51.0).floor()),
+                    V::Double(rng.gen_range(900.0..105_000.0)),
+                    V::Double((rng.gen_range(0..11) as f64) / 100.0),
+                    V::Double((rng.gen_range(0..9) as f64) / 100.0),
+                    V::Str(["R", "A", "N"][rng.gen_range(0..3)].into()),
+                    V::Str(
+                        if ship > imci_common::value::parse_date_str("1995-06-17").unwrap() {
+                            "O"
+                        } else {
+                            "F"
+                        }
+                        .into(),
+                    ),
+                    V::Date(ship),
+                    V::Date(ship + rng.gen_range(-30..31)),
+                    V::Date(ship + rng.gen_range(1..31)),
+                    V::Str(MODES[rng.gen_range(0..MODES.len())].into()),
+                ],
+            )?;
             total += 1;
         }
-        if total % 20_000 == 0 {
+        if total.is_multiple_of(20_000) {
             rw.commit(std::mem::replace(&mut txn, rw.begin()));
         }
     }
@@ -335,8 +417,8 @@ mod tests {
     #[test]
     fn all_22_queries_parse() {
         for (name, sql) in queries() {
-            let stmt = imci_sql::parse(&sql)
-                .unwrap_or_else(|e| panic!("{name} failed to parse: {e}"));
+            let stmt =
+                imci_sql::parse(&sql).unwrap_or_else(|e| panic!("{name} failed to parse: {e}"));
             assert!(matches!(stmt, imci_sql::Statement::Select(_)), "{name}");
         }
     }

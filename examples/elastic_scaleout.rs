@@ -36,9 +36,7 @@ fn main() {
     );
 
     // The new node serves immediately and sees the post-checkpoint rows.
-    let res = cluster
-        .execute("SELECT COUNT(*) FROM supplier")
-        .unwrap();
+    let res = cluster.execute("SELECT COUNT(*) FROM supplier").unwrap();
     println!("suppliers visible cluster-wide: {}", res.rows[0][0]);
 
     let full_rebuild = {

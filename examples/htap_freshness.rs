@@ -15,9 +15,8 @@ fn main() {
         consistency: Consistency::Strong,
         ..Default::default()
     });
-    let wl = Arc::new(
-        polardb_imci::workloads::sysbench::Sysbench::setup(&cluster, 4, 1_000).unwrap(),
-    );
+    let wl =
+        Arc::new(polardb_imci::workloads::sysbench::Sysbench::setup(&cluster, 4, 1_000).unwrap());
     assert!(cluster.wait_sync(Duration::from_secs(30)));
 
     // Background OLTP writers.

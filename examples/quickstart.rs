@@ -32,8 +32,12 @@ fn main() {
             ))
             .unwrap();
     }
-    cluster.execute("UPDATE demo_table SET c3 = 999 WHERE c1 = 5").unwrap();
-    cluster.execute("DELETE FROM demo_table WHERE c1 = 6").unwrap();
+    cluster
+        .execute("UPDATE demo_table SET c3 = 999 WHERE c1 = 5")
+        .unwrap();
+    cluster
+        .execute("DELETE FROM demo_table WHERE c1 = 6")
+        .unwrap();
 
     // Wait for the replication pipeline to catch up (or use
     // Consistency::Strong to have the proxy do it per query).
@@ -49,8 +53,13 @@ fn main() {
         println!("  c3={} count={} sum_c4={}", row[0], row[1], row[2]);
     }
 
-    let point = cluster.execute("SELECT c5 FROM demo_table WHERE c1 = 42").unwrap();
-    println!("point lookup via {:?} engine: {}", point.engine, point.rows[0][0]);
+    let point = cluster
+        .execute("SELECT c5 FROM demo_table WHERE c1 = 42")
+        .unwrap();
+    println!(
+        "point lookup via {:?} engine: {}",
+        point.engine, point.rows[0][0]
+    );
 
     cluster.shutdown();
     println!("done");

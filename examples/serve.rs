@@ -1,5 +1,6 @@
-//! Start an `imci-server` over a small HTAP cluster and run a few
-//! queries through the client library.
+//! Start an `imci-server` over a small HTAP cluster and drive it
+//! through the client library: protocol v2 negotiation, `BATCH`
+//! loading, pipelined point reads, and per-session engine pinning.
 //!
 //! ```sh
 //! cargo run --release --example serve
@@ -8,6 +9,7 @@
 use polardb_imci::cluster::{Cluster, ClusterConfig};
 use polardb_imci::server::{Client, Server, ServerConfig};
 use polardb_imci::{Consistency, EngineChoice};
+use std::time::Instant;
 
 fn main() {
     // One RW node + two RO nodes over shared storage (paper Fig. 2),
@@ -20,51 +22,85 @@ fn main() {
     let server = Server::start(cluster.clone(), ServerConfig::default()).unwrap();
     println!("imci-server listening on {}", server.local_addr());
 
+    // `connect` negotiates the newest protocol via the HELLO handshake;
+    // netcat users (and `Client::connect_v1`) keep the v1 text protocol.
     let mut session = Client::connect(server.local_addr()).unwrap();
+    println!("negotiated protocol v{}", session.protocol_version());
     session
         .execute(
             "CREATE TABLE orders (id INT NOT NULL, grp INT, amount DOUBLE, note VARCHAR(32),
              PRIMARY KEY(id), KEY COLUMN_INDEX(id, grp, amount, note))",
         )
         .unwrap();
-    for i in 0..1_000 {
-        session
-            .execute(&format!(
-                "INSERT INTO orders VALUES ({i}, {}, {}, 'order-{}')",
-                i % 4,
-                i as f64 * 1.25,
-                i % 10
-            ))
-            .unwrap();
+
+    // Bulk load with BATCH framing: 1000 inserts, 4 roundtrips.
+    let t0 = Instant::now();
+    for chunk in (0..1_000).collect::<Vec<i64>>().chunks(250) {
+        let stmts: Vec<String> = chunk
+            .iter()
+            .map(|i| {
+                format!(
+                    "INSERT INTO orders VALUES ({i}, {}, {}, 'order-{}')",
+                    i % 4,
+                    *i as f64 * 1.25,
+                    i % 10
+                )
+            })
+            .collect();
+        for r in session.execute_batch(&stmts).unwrap() {
+            r.unwrap();
+        }
     }
-    println!("loaded 1000 orders through the writer session");
+    println!("loaded 1000 orders via BATCH in {:?}", t0.elapsed());
 
     // Strong consistency: this read waits until an RO node has applied
     // our last write (§6.4), so it always sees all 1000 rows.
     session.set_consistency(Consistency::Strong).unwrap();
     let res = session.execute("SELECT COUNT(*) FROM orders").unwrap();
-    println!("strong COUNT(*) -> {:?} (engine: {:?})", res.rows[0][0], res.engine);
+    println!(
+        "strong COUNT(*) -> {:?} (engine: {:?})",
+        res.rows[0][0], res.engine
+    );
 
     // Pin the analytical aggregate to the column engine for this
     // session only.
-    session.set_force_engine(Some(EngineChoice::Column)).unwrap();
+    session
+        .set_force_engine(Some(EngineChoice::Column))
+        .unwrap();
     let res = session
         .execute("SELECT grp, COUNT(*), SUM(amount) FROM orders GROUP BY grp ORDER BY grp")
         .unwrap();
-    println!("per-group aggregate on the {} engine:", match res.engine {
-        EngineChoice::Column => "COLUMN",
-        EngineChoice::Row => "ROW",
-    });
+    println!(
+        "per-group aggregate on the {} engine:",
+        match res.engine {
+            EngineChoice::Column => "COLUMN",
+            EngineChoice::Row => "ROW",
+        }
+    );
     for row in &res.rows {
         println!("  {row:?}");
     }
 
-    // Point read: even with AUTO routing this stays on the row engine.
+    // Pipelined point reads: 100 requests in flight, responses read
+    // afterwards in order — no per-query roundtrip.
     session.set_force_engine(None).unwrap();
-    let res = session
-        .execute("SELECT note FROM orders WHERE id = 42")
-        .unwrap();
-    println!("point read id=42 -> {:?} (engine: {:?})", res.rows[0][0], res.engine);
+    let t0 = Instant::now();
+    for i in 0..100 {
+        session
+            .send(&format!("SELECT note FROM orders WHERE id = {}", i * 7))
+            .unwrap();
+    }
+    let mut last = None;
+    for _ in 0..100 {
+        last = Some(session.recv().unwrap());
+    }
+    let last = last.unwrap();
+    println!(
+        "100 pipelined point reads in {:?}; last -> {:?} (engine: {:?})",
+        t0.elapsed(),
+        last.rows[0][0],
+        last.engine
+    );
 
     server.shutdown();
     cluster.shutdown();

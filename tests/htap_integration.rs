@@ -14,10 +14,7 @@ fn assert_rows_approx_eq(a: &[Vec<Value>], b: &[Vec<Value>], ctx: &str) {
             match (va, vb) {
                 (Value::Double(x), Value::Double(y)) => {
                     let scale = x.abs().max(y.abs()).max(1.0);
-                    assert!(
-                        (x - y).abs() / scale < 1e-9,
-                        "{ctx}: {x} vs {y}"
-                    );
+                    assert!((x - y).abs() / scale < 1e-9, "{ctx}: {x} vs {y}");
                 }
                 _ => assert_eq!(va, vb, "{ctx}"),
             }
@@ -48,7 +45,7 @@ fn tpch_mini_engines_agree_on_all_22_queries() {
         assert_eq!(used, EngineChoice::Column, "{name}");
         node.query.set_force(Some(EngineChoice::Row));
         let (row, _) = node.query.execute_select(&stmt).unwrap();
-        assert_rows_approx_eq(&col.rows, &row.rows, &name);
+        assert_rows_approx_eq(&col.rows, &row.rows, name);
     }
     c.shutdown();
 }
@@ -62,8 +59,11 @@ fn mixed_workload_stays_consistent() {
     )
     .unwrap();
     for i in 0..500 {
-        c.execute(&format!("INSERT INTO acct VALUES ({i}, 100.0, 't{}')", i % 4))
-            .unwrap();
+        c.execute(&format!(
+            "INSERT INTO acct VALUES ({i}, 100.0, 't{}')",
+            i % 4
+        ))
+        .unwrap();
     }
     // Transfer-style updates: total balance must be invariant.
     for i in 0..200 {
@@ -93,10 +93,8 @@ fn mixed_workload_stays_consistent() {
 #[test]
 fn aborted_transfer_leaves_no_trace_in_analytics() {
     let c = cluster();
-    c.execute(
-        "CREATE TABLE t (id INT NOT NULL, v INT, PRIMARY KEY(id), KEY COLUMN_INDEX(id, v))",
-    )
-    .unwrap();
+    c.execute("CREATE TABLE t (id INT NOT NULL, v INT, PRIMARY KEY(id), KEY COLUMN_INDEX(id, v))")
+        .unwrap();
     c.execute("INSERT INTO t VALUES (1, 10), (2, 20)").unwrap();
     let rw = &c.rw;
     let mut bad = rw.begin();
@@ -118,12 +116,11 @@ fn strong_consistency_end_to_end() {
         consistency: Consistency::Strong,
         ..Default::default()
     });
-    c.execute(
-        "CREATE TABLE kv (id INT NOT NULL, v INT, PRIMARY KEY(id), KEY COLUMN_INDEX(id, v))",
-    )
-    .unwrap();
+    c.execute("CREATE TABLE kv (id INT NOT NULL, v INT, PRIMARY KEY(id), KEY COLUMN_INDEX(id, v))")
+        .unwrap();
     for i in 0..100 {
-        c.execute(&format!("INSERT INTO kv VALUES ({i}, {i})")).unwrap();
+        c.execute(&format!("INSERT INTO kv VALUES ({i}, {i})"))
+            .unwrap();
         let res = c
             .execute(&format!("SELECT v FROM kv WHERE id = {i}"))
             .unwrap();
@@ -135,17 +132,17 @@ fn strong_consistency_end_to_end() {
 #[test]
 fn scale_out_preserves_query_results() {
     let c = cluster();
-    c.execute(
-        "CREATE TABLE s (id INT NOT NULL, g INT, PRIMARY KEY(id), KEY COLUMN_INDEX(id, g))",
-    )
-    .unwrap();
+    c.execute("CREATE TABLE s (id INT NOT NULL, g INT, PRIMARY KEY(id), KEY COLUMN_INDEX(id, g))")
+        .unwrap();
     for i in 0..400 {
-        c.execute(&format!("INSERT INTO s VALUES ({i}, {})", i % 4)).unwrap();
+        c.execute(&format!("INSERT INTO s VALUES ({i}, {})", i % 4))
+            .unwrap();
     }
     assert!(c.wait_sync(Duration::from_secs(30)));
     c.checkpoint_now().unwrap();
     for i in 400..500 {
-        c.execute(&format!("INSERT INTO s VALUES ({i}, {})", i % 4)).unwrap();
+        c.execute(&format!("INSERT INTO s VALUES ({i}, {})", i % 4))
+            .unwrap();
     }
     let report = c.scale_out().unwrap();
     assert!(report.from_checkpoint);

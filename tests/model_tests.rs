@@ -2,9 +2,9 @@
 //! and a randomized end-to-end replication equivalence check.
 
 use polardb_imci::common::{ColumnDef, DataType, IndexDef, IndexKind, Value};
+use polardb_imci::polarfs::PolarFs;
 use polardb_imci::rowstore::RowEngine;
 use polardb_imci::wal::{LogWriter, PropagationMode};
-use polardb_imci::polarfs::PolarFs;
 use proptest::prelude::*;
 use std::collections::BTreeMap;
 

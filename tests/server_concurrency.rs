@@ -123,6 +123,79 @@ fn strong_sessions_read_their_writes_concurrently() {
 }
 
 #[test]
+fn pipelined_and_batched_sessions_interleave() {
+    // Protocol v2 exercise under concurrency: half the sessions stream
+    // deep pipelines (many requests in flight before the first read),
+    // half issue BATCH frames, all against the same table. Responses
+    // must stay strictly ordered per connection.
+    let (server, cluster) = boot();
+    let addr = server.local_addr();
+    let mut admin = Client::connect(addr).unwrap();
+    admin
+        .execute(
+            "CREATE TABLE pl (id INT NOT NULL, v INT,
+             PRIMARY KEY(id), KEY COLUMN_INDEX(id, v))",
+        )
+        .unwrap();
+
+    const SESSIONS: i64 = 4;
+    const PER_SESSION: i64 = 40;
+    let barrier = Arc::new(Barrier::new(2 * SESSIONS as usize));
+    let mut handles = Vec::new();
+    for s in 0..SESSIONS {
+        // Pipelining session: 2 * PER_SESSION requests in flight.
+        let pipe_barrier = barrier.clone();
+        let mut c = Client::connect(addr).unwrap();
+        handles.push(std::thread::spawn(move || {
+            c.set_consistency(Consistency::Strong).unwrap();
+            pipe_barrier.wait();
+            for i in 0..PER_SESSION {
+                let id = s * 10_000 + i;
+                c.send(&format!("INSERT INTO pl VALUES ({id}, {i})"))
+                    .unwrap();
+                c.send(&format!("SELECT v FROM pl WHERE id = {id}"))
+                    .unwrap();
+            }
+            for i in 0..PER_SESSION {
+                assert_eq!(c.recv().unwrap().affected, 1, "insert {i}");
+                let res = c.recv().unwrap();
+                assert_eq!(res.rows, vec![vec![Value::Int(i)]], "session {s} id {i}");
+            }
+        }));
+        // Batching session.
+        let barrier = barrier.clone();
+        let mut c = Client::connect(addr).unwrap();
+        handles.push(std::thread::spawn(move || {
+            barrier.wait();
+            let mut stmts: Vec<String> = vec!["SET CONSISTENCY STRONG".into()];
+            for i in 0..PER_SESSION {
+                let id = (s + SESSIONS) * 10_000 + i;
+                stmts.push(format!("INSERT INTO pl VALUES ({id}, {i})"));
+            }
+            stmts.push(format!(
+                "SELECT COUNT(*) FROM pl WHERE id >= {} AND id < {}",
+                (s + SESSIONS) * 10_000,
+                (s + SESSIONS) * 10_000 + PER_SESSION
+            ));
+            let results = c.execute_batch(&stmts).unwrap();
+            assert_eq!(results.len(), stmts.len());
+            // Batch-local read-your-writes: the trailing count sees all
+            // of this batch's inserts.
+            let count = results.last().unwrap().as_ref().unwrap();
+            assert_eq!(count.rows, vec![vec![Value::Int(PER_SESSION)]]);
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    admin.set_consistency(Consistency::Strong).unwrap();
+    let res = admin.execute("SELECT COUNT(*) FROM pl").unwrap();
+    assert_eq!(res.rows[0][0], Value::Int(2 * SESSIONS * PER_SESSION));
+    server.shutdown();
+    cluster.shutdown();
+}
+
+#[test]
 fn eventual_sessions_lose_no_updates() {
     let (server, cluster) = boot();
     let addr = server.local_addr();
@@ -178,7 +251,10 @@ fn eventual_sessions_lose_no_updates() {
 
     // Once the ROs catch up, *every* committed update must be there:
     // all rows exist and each carries its last update (no lost writes).
-    assert!(cluster.wait_sync(Duration::from_secs(30)), "ROs never caught up");
+    assert!(
+        cluster.wait_sync(Duration::from_secs(30)),
+        "ROs never caught up"
+    );
     admin.set_consistency(Consistency::Strong).unwrap();
     let res = admin.execute("SELECT COUNT(*) FROM ctr").unwrap();
     assert_eq!(
@@ -186,9 +262,7 @@ fn eventual_sessions_lose_no_updates() {
         Value::Int(WRITERS as i64 * ROWS_PER_WRITER),
         "missing rows after catch-up"
     );
-    let res = admin
-        .execute("SELECT MIN(v), MAX(v) FROM ctr")
-        .unwrap();
+    let res = admin.execute("SELECT MIN(v), MAX(v) FROM ctr").unwrap();
     assert_eq!(
         res.rows[0],
         vec![Value::Int(UPDATES), Value::Int(UPDATES)],
