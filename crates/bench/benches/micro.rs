@@ -1,10 +1,11 @@
 //! Criterion micro-benchmarks over the core data structures (M1 in
 //! DESIGN.md): RID locator, pack codec, VID maps, expression eval,
-//! hash join probe.
+//! and the late-materialization scan kernels (bulk unpack,
+//! filter-on-compressed vs decode-then-filter).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use imci_common::{DataType, Rid, Value, Vid};
-use imci_core::{ColumnData, Pack, RidLocator, VidMap};
+use imci_core::{BitPacked, ColumnData, Pack, RidLocator, SelVec, VidMap};
 
 fn bench_locator(c: &mut Criterion) {
     let loc = RidLocator::new(4096);
@@ -46,6 +47,49 @@ fn bench_pack(c: &mut Criterion) {
     });
 }
 
+fn bench_kernels(c: &mut Criterion) {
+    use imci_executor::{compressible, eval_sel, CmpOp, ColView, Expr};
+    // 64 Ki values, 13-bit packed.
+    let values: Vec<u64> = (0..65_536u64).map(|i| (i * 2654435761) % 8000).collect();
+    let bp = BitPacked::pack(&values);
+    c.bench_function("bitpacked_unpack_bulk_64k", |b| {
+        let mut out = Vec::new();
+        b.iter(|| {
+            bp.unpack_into(&mut out);
+            out.len()
+        })
+    });
+
+    let mut col = ColumnData::new(DataType::Int);
+    for (i, &v) in values.iter().enumerate() {
+        col.set(i, &Value::Int(1_000_000 + v as i64)).unwrap();
+    }
+    let pack = Pack::seal(&col);
+    // ~5% selectivity predicate over the compressed pack.
+    let pred = Expr::cmp(CmpOp::Lt, Expr::col(0), Expr::lit(1_000_400i64));
+    c.bench_function("pack_filter_on_compressed_64k", |b| {
+        let views = [ColView::Pack(&pack)];
+        assert!(compressible(&pred, &views));
+        b.iter(|| {
+            eval_sel(&pred, &views, SelVec::identity(pack.len()))
+                .unwrap()
+                .len()
+        })
+    });
+    c.bench_function("pack_decode_then_filter_64k", |b| {
+        use imci_executor::Batch;
+        b.iter(|| {
+            let decoded = pack.decode();
+            let batch = Batch {
+                cols: vec![decoded],
+                len: pack.len(),
+            };
+            let mask = pred.eval_mask(&batch).unwrap();
+            batch.filter(&mask).unwrap().len
+        })
+    });
+}
+
 fn bench_vidmap(c: &mut Criterion) {
     let m = VidMap::new(65_536);
     c.bench_function("vidmap_set_get", |b| {
@@ -78,6 +122,6 @@ fn bench_expr(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_locator, bench_pack, bench_vidmap, bench_expr
+    targets = bench_locator, bench_pack, bench_kernels, bench_vidmap, bench_expr
 }
 criterion_main!(benches);

@@ -1,25 +1,44 @@
-//! Ablations of DESIGN.md §3: pack pruning on/off, CALS on/off.
+//! Ablations of DESIGN.md §3: pack pruning on/off, CALS on/off, and
+//! late-materialized scans on/off.
+//!
+//! `--smoke` runs every ablation at a tiny scale — CI uses it to keep
+//! this binary from rotting without paying for real measurements.
 
 use imci_bench::{bench_cluster, run_query_on};
 use imci_cluster::{Cluster, ClusterConfig};
+use imci_common::{
+    ColumnDef, DataType, FxHashMap, IndexDef, IndexKind, Schema, TableId, Value, Vid,
+};
+use imci_core::ColumnIndex;
+use imci_executor::{execute, CmpOp, ExecContext, Expr, PhysicalPlan};
 use imci_replication::{ReplicationConfig, ShipMode};
 use imci_sql::EngineChoice;
 use rand::{rngs::StdRng, Rng, SeedableRng};
-use std::time::Duration;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 fn main() {
-    // (A) pack pruning: selective Q6-style scan with/without min-max skipping.
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    ablation_a(smoke);
+    ablation_b(smoke);
+    ablation_c(smoke);
+}
+
+/// (A) pack pruning: selective Q6-style scan with/without min-max skipping.
+fn ablation_a(smoke: bool) {
     println!("## ablation A: pack min/max pruning (TPC-H Q6-style scan)");
     let cluster = bench_cluster(1);
-    imci_workloads::tpch::load(&cluster, 0.002, 21).unwrap();
+    let sf = if smoke { 0.0005 } else { 0.002 };
+    imci_workloads::tpch::load(&cluster, sf, 21).unwrap();
     assert!(cluster.wait_sync(Duration::from_secs(120)));
     let q6 = imci_workloads::tpch::queries()[5].1.clone();
     let node = cluster.ros.read()[0].clone();
     // Alternate and take the minimum of several runs (cache warm-up
     // otherwise dominates at this scale).
+    let reps = if smoke { 1 } else { 5 };
     let mut t_on = f64::MAX;
     let mut t_off = f64::MAX;
-    for _ in 0..5 {
+    for _ in 0..reps {
         node.query.set_prune_enabled(true);
         let (t, _) = run_query_on(&cluster, &q6, EngineChoice::Column);
         t_on = t_on.min(t.as_secs_f64() * 1e3);
@@ -31,11 +50,14 @@ fn main() {
     println!("pruning_on_ms\t{t_on:.2}");
     println!("pruning_off_ms\t{t_off:.2}");
     cluster.shutdown();
+}
 
-    // (B) CALS vs on-commit shipping: visibility delay comparison.
+/// (B) CALS vs on-commit shipping: visibility delay comparison.
+fn ablation_b(smoke: bool) {
     println!("## ablation B: commit-ahead log shipping vs on-commit shipping");
     println!("## (VD after a 2000-row transaction: CALS overlaps parse/apply with");
     println!("## the transaction's execution; OnCommit starts only after the fsync)");
+    let (samples, txn_rows) = if smoke { (2, 200) } else { (10, 2000) };
     for (label, mode) in [
         ("CALS", ShipMode::CommitAhead),
         ("OnCommit", ShipMode::OnCommit),
@@ -53,12 +75,11 @@ fn main() {
         let _ = imci_workloads::sysbench::Sysbench::setup(&cluster, 1, 100).unwrap();
         let mut rng = StdRng::seed_from_u64(5);
         let mut total = Duration::ZERO;
-        let samples = 10;
         let mut pk = 1_000_000i64;
         for _ in 0..samples {
             let rw = &cluster.rw;
             let mut txn = rw.begin();
-            for _ in 0..2000 {
+            for _ in 0..txn_rows {
                 let _ = rw.insert(
                     &mut txn,
                     "sbtest1",
@@ -80,4 +101,92 @@ fn main() {
         );
         cluster.shutdown();
     }
+}
+
+/// (C) late materialization: a selective (5%) filtered scan over a wide
+/// table, filter evaluated on the compressed packs + one post-filter
+/// gather vs the decode-everything-then-mask baseline.
+fn ablation_c(smoke: bool) {
+    let n: i64 = if smoke { 20_000 } else { 400_000 };
+    let sel_limit = n / 20;
+    println!("## ablation C: late-materialized scan (filter on compressed packs)");
+    println!("## 6-column scan of {n} rows, key < {sel_limit} (5% selectivity)");
+    let schema = Schema::new(
+        TableId(99),
+        "wide",
+        vec![
+            ColumnDef::not_null("id", DataType::Int),
+            ColumnDef::new("key", DataType::Int),
+            ColumnDef::new("qty", DataType::Int),
+            ColumnDef::new("price", DataType::Double),
+            ColumnDef::new("region", DataType::Str),
+            ColumnDef::new("note", DataType::Str),
+        ],
+        vec![
+            IndexDef {
+                kind: IndexKind::Primary,
+                name: "PRIMARY".into(),
+                columns: vec![0],
+            },
+            IndexDef {
+                kind: IndexKind::Column,
+                name: "ci".into(),
+                columns: vec![0, 1, 2, 3, 4, 5],
+            },
+        ],
+    )
+    .unwrap();
+    let idx = ColumnIndex::for_schema(&schema, 65_536);
+    let regions = [
+        "east", "west", "north", "south", "eu", "apac", "latam", "mea",
+    ];
+    for i in 0..n {
+        // 7919 is coprime to n: `key` is a uniform permutation, so every
+        // pack spans the full key range and nothing min/max-prunes — the
+        // measurement isolates the filter + gather path.
+        let key = (i * 7919) % n;
+        idx.insert(
+            Vid(1),
+            &[
+                Value::Int(i),
+                Value::Int(key),
+                Value::Int(i % 50),
+                Value::Double(i as f64 * 0.25),
+                Value::Str(regions[(i % 8) as usize].into()),
+                Value::Str(format!("note-{}", i % 997)),
+            ],
+        )
+        .unwrap();
+    }
+    idx.advance_visible(Vid(1));
+    let mut snaps = FxHashMap::default();
+    snaps.insert(TableId(99), Arc::new(idx.snapshot()));
+    let mut ctx = ExecContext::new(snaps);
+    let plan = PhysicalPlan::ColumnScan {
+        table: TableId(99),
+        cols: vec![0, 1, 2, 3, 4, 5],
+        prune: vec![],
+        filter: Some(Expr::cmp(CmpOp::Lt, Expr::col(1), Expr::lit(sel_limit))),
+    };
+    let reps = if smoke { 2 } else { 7 };
+    let mut t_on = f64::MAX;
+    let mut t_off = f64::MAX;
+    let mut rows = 0;
+    for _ in 0..reps {
+        ctx.late_materialization = true;
+        let t0 = Instant::now();
+        let on = execute(&plan, &ctx).unwrap();
+        t_on = t_on.min(t0.elapsed().as_secs_f64() * 1e3);
+        ctx.late_materialization = false;
+        let t0 = Instant::now();
+        let off = execute(&plan, &ctx).unwrap();
+        t_off = t_off.min(t0.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(on.len, off.len, "ablation modes disagree");
+        rows = on.len;
+    }
+    println!("rows_selected\t{rows}");
+    println!("late_mat_on_ms\t{t_on:.2}");
+    println!("late_mat_off_ms\t{t_off:.2}");
+    println!("scan_mrows_per_s_on\t{:.1}", n as f64 / t_on / 1e3);
+    println!("speedup\t{:.2}x", t_off / t_on);
 }

@@ -257,6 +257,97 @@ impl ColumnData {
         }
     }
 
+    /// Append the first `rows` entries of `other` (typed bulk copy —
+    /// batch concatenation without per-cell `Value` boxing). String
+    /// dictionaries merge once per append, not once per row; columns
+    /// stored shorter than `rows` pad with NULLs, matching the
+    /// NULL-past-the-end read semantics of [`ColumnData::get`].
+    pub fn append(&mut self, other: &ColumnData, rows: usize) -> Result<()> {
+        let stored = rows.min(other.len());
+        match (self, other) {
+            (
+                ColumnData::Int { vals, nulls },
+                ColumnData::Int {
+                    vals: ov,
+                    nulls: on,
+                },
+            ) => {
+                vals.extend_from_slice(&ov[..stored]);
+                nulls.extend_from_slice(&on[..stored]);
+                vals.resize(vals.len() + rows - stored, 0);
+                nulls.resize(nulls.len() + rows - stored, true);
+            }
+            (
+                ColumnData::Double { vals, nulls },
+                ColumnData::Double {
+                    vals: ov,
+                    nulls: on,
+                },
+            ) => {
+                vals.extend_from_slice(&ov[..stored]);
+                nulls.extend_from_slice(&on[..stored]);
+                vals.resize(vals.len() + rows - stored, 0.0);
+                nulls.resize(nulls.len() + rows - stored, true);
+            }
+            (
+                ColumnData::Str { codes, nulls, dict },
+                ColumnData::Str {
+                    codes: oc,
+                    nulls: on,
+                    dict: od,
+                },
+            ) => {
+                let remap: Vec<u32> = od.strings().iter().map(|s| dict.intern(s)).collect();
+                // Codes at NULL slots are always 0 by construction; an
+                // all-null source may carry an empty dictionary.
+                codes.extend(
+                    oc[..stored]
+                        .iter()
+                        .map(|&c| remap.get(c as usize).copied().unwrap_or(0)),
+                );
+                nulls.extend_from_slice(&on[..stored]);
+                codes.resize(codes.len() + rows - stored, 0);
+                nulls.resize(nulls.len() + rows - stored, true);
+            }
+            (me, other) => {
+                return Err(Error::Storage(format!(
+                    "cannot append {} column to {} column",
+                    match other {
+                        ColumnData::Int { .. } => "INT",
+                        ColumnData::Double { .. } => "DOUBLE",
+                        ColumnData::Str { .. } => "STR",
+                    },
+                    match me {
+                        ColumnData::Int { .. } => "INT",
+                        ColumnData::Double { .. } => "DOUBLE",
+                        ColumnData::Str { .. } => "STR",
+                    }
+                )))
+            }
+        }
+        Ok(())
+    }
+
+    /// Drop all rows past the first `n` (no-op when already shorter).
+    /// Lets `LIMIT` shorten a batch in place instead of gathering a
+    /// prefix copy.
+    pub fn truncate(&mut self, n: usize) {
+        match self {
+            ColumnData::Int { vals, nulls } => {
+                vals.truncate(n);
+                nulls.truncate(n);
+            }
+            ColumnData::Double { vals, nulls } => {
+                vals.truncate(n);
+                nulls.truncate(n);
+            }
+            ColumnData::Str { codes, nulls, .. } => {
+                codes.truncate(n);
+                nulls.truncate(n);
+            }
+        }
+    }
+
     /// Data type of this column.
     pub fn data_type(&self) -> DataType {
         match self {

@@ -16,6 +16,7 @@
 //! Module map:
 //! * [`column`] — mutable typed columns (Partial Packs);
 //! * [`pack`] — compressed immutable packs + min/max/histogram metadata;
+//! * [`selvec`] — sorted selection vectors for late-materialized scans;
 //! * [`vidmap`] — insert/delete version maps and the visibility rule;
 //! * [`locator`] — the two-layer LSM RID locator;
 //! * [`rowgroup`] — row groups tying the above together;
@@ -31,6 +32,7 @@ pub mod index;
 pub mod locator;
 pub mod pack;
 pub mod rowgroup;
+pub mod selvec;
 pub mod store;
 pub mod vidmap;
 
@@ -43,5 +45,6 @@ pub use index::{ColumnIndex, Snapshot, DEFAULT_GROUP_CAPACITY};
 pub use locator::{LocatorSnapshot, RidLocator};
 pub use pack::{BitPacked, Bitmap, Pack, PackData, PackMeta};
 pub use rowgroup::{ColumnRead, ColumnSlot, RowGroup};
+pub use selvec::SelVec;
 pub use store::ColumnStore;
 pub use vidmap::{row_visible, VidMap, VID_UNSET};

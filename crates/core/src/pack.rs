@@ -71,13 +71,53 @@ impl BitPacked {
         }
     }
 
-    /// Unpack everything into `out`.
+    /// Visit every entry in order, word-at-a-time: a running
+    /// word/offset cursor replaces the per-element `bit = i * width;
+    /// bit / 64; bit % 64` round-trip that [`BitPacked::get`] pays, so
+    /// bulk decode touches each packed word once. Monomorphizes per
+    /// caller — the single home of the cross-word splice arithmetic.
+    #[inline]
+    pub fn unpack_each(&self, mut f: impl FnMut(u64)) {
+        if self.width == 0 {
+            for _ in 0..self.len {
+                f(0);
+            }
+            return;
+        }
+        let width = self.width as usize;
+        let mask = if width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        };
+        let (mut w, mut off) = (0usize, 0usize);
+        for _ in 0..self.len {
+            let mut v = self.words[w] >> off;
+            if off + width > 64 {
+                v |= self.words[w + 1] << (64 - off);
+            }
+            f(v & mask);
+            off += width;
+            if off >= 64 {
+                off -= 64;
+                w += 1;
+            }
+        }
+    }
+
+    /// Bulk-unpack everything into `out`.
     pub fn unpack_into(&self, out: &mut Vec<u64>) {
         out.clear();
         out.reserve(self.len);
-        for i in 0..self.len {
-            out.push(self.get(i));
-        }
+        self.unpack_each(|v| out.push(v));
+    }
+
+    /// Bulk-unpack into `u32`s (dictionary codes; entries must fit in
+    /// 32 bits).
+    pub fn unpack_into_u32(&self, out: &mut Vec<u32>) {
+        out.clear();
+        out.reserve(self.len);
+        self.unpack_each(|v| out.push(v as u32));
     }
 
     fn encoded_size(&self) -> usize {
@@ -118,6 +158,24 @@ impl Bitmap {
     /// Number of set bits.
     pub fn count_ones(&self) -> usize {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True when no bit is set (lets bulk readers skip per-row tests).
+    pub fn none_set(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Expand to one bool per logical bit.
+    pub fn to_bools(&self) -> Vec<bool> {
+        let mut out = Vec::with_capacity(self.len);
+        for w in 0..self.words.len() {
+            let word = self.words[w];
+            let n = (self.len - w * 64).min(64);
+            for b in 0..n {
+                out.push((word >> b) & 1 == 1);
+            }
+        }
+        out
     }
 }
 
@@ -209,6 +267,27 @@ impl PackMeta {
         }
         if let Some(hi) = hi {
             if self.min > *hi {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Does *every* row in this pack satisfy `lo <= v <= hi`? The dual
+    /// of [`PackMeta::may_contain_range`]: when true, a scan can skip
+    /// per-row predicate evaluation entirely and keep its whole
+    /// selection (nulls force per-row checks, so any null disqualifies).
+    pub fn all_in_range(&self, lo: Option<&Value>, hi: Option<&Value>) -> bool {
+        if self.null_count > 0 || self.min.is_null() {
+            return false;
+        }
+        if let Some(lo) = lo {
+            if self.min < *lo {
+                return false;
+            }
+        }
+        if let Some(hi) = hi {
+            if self.max > *hi {
                 return false;
             }
         }
@@ -341,7 +420,9 @@ impl Pack {
     }
 
     /// Decompress into a mutable column (used by checkpoint load and by
-    /// the executor's materializing scan).
+    /// the executor's materializing scan). Bulk path: one word-at-a-time
+    /// unpack of the packed codes plus one bitmap expansion — no
+    /// per-element shift/mask round-trips.
     pub fn decode(&self) -> ColumnData {
         match &self.data {
             PackData::Int {
@@ -349,39 +430,34 @@ impl Pack {
                 packed,
                 nulls,
             } => {
-                let mut vals = Vec::with_capacity(packed.len);
-                let mut nl = Vec::with_capacity(packed.len);
-                for i in 0..packed.len {
-                    let isnull = nulls.get(i);
-                    nl.push(isnull);
-                    vals.push(if isnull {
-                        0
-                    } else {
-                        base.wrapping_add(packed.get(i) as i64)
-                    });
-                }
+                let mut residuals = Vec::new();
+                packed.unpack_into(&mut residuals);
+                let nl = nulls.to_bools();
+                let vals: Vec<i64> = residuals
+                    .iter()
+                    .zip(&nl)
+                    .map(|(&r, &isnull)| {
+                        if isnull {
+                            0
+                        } else {
+                            base.wrapping_add(r as i64)
+                        }
+                    })
+                    .collect();
                 ColumnData::Int { vals, nulls: nl }
             }
-            PackData::Double { vals, nulls } => {
-                let nl: Vec<bool> = (0..vals.len()).map(|i| nulls.get(i)).collect();
-                ColumnData::Double {
-                    vals: vals.clone(),
-                    nulls: nl,
-                }
-            }
+            PackData::Double { vals, nulls } => ColumnData::Double {
+                vals: vals.clone(),
+                nulls: nulls.to_bools(),
+            },
             PackData::Str { codes, dict, nulls } => {
                 let mut d = Dictionary::default();
                 let remap: Vec<u32> = dict.iter().map(|s| d.intern(s)).collect();
-                let mut cs = Vec::with_capacity(codes.len);
-                let mut nl = Vec::with_capacity(codes.len);
-                for i in 0..codes.len {
-                    let isnull = nulls.get(i);
-                    nl.push(isnull);
-                    cs.push(if isnull {
-                        0
-                    } else {
-                        remap[codes.get(i) as usize]
-                    });
+                let mut cs = Vec::new();
+                codes.unpack_into_u32(&mut cs);
+                let nl = nulls.to_bools();
+                for (c, &isnull) in cs.iter_mut().zip(&nl) {
+                    *c = if isnull { 0 } else { remap[*c as usize] };
                 }
                 ColumnData::Str {
                     codes: cs,
@@ -393,8 +469,11 @@ impl Pack {
     }
 
     /// Gather rows at `idx` directly from the compressed form into a
-    /// mutable typed column (scan hot path).
+    /// mutable typed column (scan hot path). With late materialization
+    /// this runs once per column, *after* filtering, over the surviving
+    /// selection only. Null-free packs skip the per-row bitmap probes.
     pub fn gather(&self, idx: &[u32]) -> ColumnData {
+        let no_nulls = self.meta.null_count == 0;
         match &self.data {
             PackData::Int {
                 base,
@@ -402,6 +481,15 @@ impl Pack {
                 nulls,
             } => {
                 let mut vals = Vec::with_capacity(idx.len());
+                if no_nulls {
+                    for &i in idx {
+                        vals.push(base.wrapping_add(packed.get(i as usize) as i64));
+                    }
+                    return ColumnData::Int {
+                        vals,
+                        nulls: vec![false; idx.len()],
+                    };
+                }
                 let mut nl = Vec::with_capacity(idx.len());
                 for &i in idx {
                     let i = i as usize;
@@ -429,6 +517,16 @@ impl Pack {
                 let mut d = Dictionary::default();
                 let remap: Vec<u32> = dict.iter().map(|s| d.intern(s)).collect();
                 let mut cs = Vec::with_capacity(idx.len());
+                if no_nulls {
+                    for &i in idx {
+                        cs.push(remap[codes.get(i as usize) as usize]);
+                    }
+                    return ColumnData::Str {
+                        codes: cs,
+                        nulls: vec![false; idx.len()],
+                        dict: d,
+                    };
+                }
                 let mut nl = Vec::with_capacity(idx.len());
                 for &i in idx {
                     let i = i as usize;
@@ -709,6 +807,60 @@ mod tests {
         assert_eq!(pack.meta.count, 160);
         assert_eq!(pack.meta.histogram.len(), 16);
         assert_eq!(pack.meta.histogram.iter().sum::<u32>(), 160);
+    }
+
+    #[test]
+    fn bulk_unpack_matches_point_gets() {
+        for width_max in [0u64, 1, 3, 100, 1 << 13, 1 << 33, u64::MAX] {
+            let values: Vec<u64> = (0..777)
+                .map(|i| (i as u64).wrapping_mul(0x9e37_79b9) % width_max.max(1))
+                .collect();
+            let bp = BitPacked::pack(&values);
+            let mut out64 = Vec::new();
+            bp.unpack_into(&mut out64);
+            assert_eq!(out64, values, "u64 bulk, width {}", bp.width);
+            if bp.width <= 32 {
+                let mut out32 = Vec::new();
+                bp.unpack_into_u32(&mut out32);
+                let expect: Vec<u32> = values.iter().map(|&v| v as u32).collect();
+                assert_eq!(out32, expect, "u32 bulk, width {}", bp.width);
+            }
+        }
+    }
+
+    #[test]
+    fn bitmap_bulk_helpers() {
+        let bools: Vec<bool> = (0..130).map(|i| i % 7 == 0).collect();
+        let bm = Bitmap::from_bools(&bools);
+        assert_eq!(bm.to_bools(), bools);
+        assert!(!bm.none_set());
+        assert!(Bitmap::from_bools(&[false; 100]).none_set());
+        assert_eq!(Bitmap::from_bools(&[]).to_bools(), Vec::<bool>::new());
+    }
+
+    #[test]
+    fn all_in_range_dual_of_pruning() {
+        let mut col = ColumnData::new(DataType::Int);
+        for i in 0..10 {
+            col.set(i, &Value::Int(100 + i as i64)).unwrap();
+        }
+        let m = &Pack::seal(&col).meta;
+        assert!(m.all_in_range(Some(&Value::Int(100)), Some(&Value::Int(109))));
+        assert!(m.all_in_range(Some(&Value::Int(0)), None));
+        assert!(
+            !m.all_in_range(Some(&Value::Int(101)), None),
+            "min below lo"
+        );
+        assert!(
+            !m.all_in_range(None, Some(&Value::Int(108))),
+            "max above hi"
+        );
+        // Any null disqualifies: per-row checks must still run.
+        let mut with_null = ColumnData::new(DataType::Int);
+        with_null.set(0, &Value::Int(5)).unwrap();
+        with_null.set(1, &Value::Null).unwrap();
+        let m = &Pack::seal(&with_null).meta;
+        assert!(!m.all_in_range(Some(&Value::Int(0)), None));
     }
 
     #[test]

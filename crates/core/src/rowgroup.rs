@@ -10,6 +10,7 @@
 
 use crate::column::ColumnData;
 use crate::pack::Pack;
+use crate::selvec::SelVec;
 use crate::vidmap::{row_visible, VidMap, VID_UNSET};
 use imci_common::{DataType, Error, Result, Value, Vid};
 use parking_lot::{Mutex, RwLock};
@@ -159,10 +160,12 @@ impl RowGroup {
         row_visible(self.insert_vid(offset), self.delete_vid(offset), csn)
     }
 
-    /// Offsets of rows visible at `csn` (the scan's selection vector).
-    pub fn visible_offsets(&self, csn: u64) -> Vec<u32> {
+    /// Offsets of rows visible at `csn` — the scan's initial selection
+    /// vector, refined by predicate kernels before any column data is
+    /// materialized.
+    pub fn visible_offsets(&self, csn: u64) -> SelVec {
         if self.reclaimed.load(Ordering::Acquire) {
-            return Vec::new();
+            return SelVec::new();
         }
         let n = self.rows_written();
         let mut out = Vec::with_capacity(n);
@@ -182,7 +185,7 @@ impl RowGroup {
                 }
             }
         }
-        out
+        SelVec::from_sorted(out)
     }
 
     /// Number of rows fully written so far.
@@ -395,6 +398,15 @@ impl ColumnRead {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Gather rows at `idx` into a typed column (late materialization's
+    /// single post-filter gather).
+    pub fn gather(&self, idx: &[u32]) -> ColumnData {
+        match self {
+            ColumnRead::Pack(p) => p.gather(idx),
+            ColumnRead::Materialized(c) => c.gather(idx),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -422,7 +434,7 @@ mod tests {
         let g = RowGroup::new(0, 8, &types());
         g.write_row(0, &[Value::Int(1), Value::Null]).unwrap();
         assert!(!g.visible(0, u64::MAX - 1));
-        assert_eq!(g.visible_offsets(100), Vec::<u32>::new());
+        assert!(g.visible_offsets(100).is_empty());
     }
 
     #[test]
@@ -493,7 +505,7 @@ mod tests {
         assert!(!g.try_reclaim(1), "snapshot at 1 still sees the rows");
         assert!(g.try_reclaim(2), "deleted at 2 is invisible at csn 2");
         assert!(g.is_reclaimed());
-        assert_eq!(g.visible_offsets(1), Vec::<u32>::new());
+        assert!(g.visible_offsets(1).is_empty());
     }
 
     #[test]

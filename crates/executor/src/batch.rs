@@ -1,7 +1,7 @@
 //! Column batches flowing between operators.
 
 use imci_common::{DataType, Result, Value};
-use imci_core::ColumnData;
+use imci_core::{ColumnData, SelVec};
 
 /// A batch of rows in columnar form.
 #[derive(Debug, Clone)]
@@ -51,13 +51,34 @@ impl Batch {
 
     /// Keep only rows where `mask` is true.
     pub fn filter(&self, mask: &[bool]) -> Result<Batch> {
-        let keep: Vec<usize> = mask
+        let keep: Vec<u32> = mask
             .iter()
             .enumerate()
             .filter(|(_, &m)| m)
-            .map(|(i, _)| i)
+            .map(|(i, _)| i as u32)
             .collect();
-        self.gather(&keep)
+        Ok(self.take(&SelVec::from_sorted(keep)))
+    }
+
+    /// Keep only the rows a selection vector names (one typed gather
+    /// per column).
+    pub fn take(&self, sel: &SelVec) -> Batch {
+        Batch {
+            cols: self.cols.iter().map(|c| c.gather(sel.as_slice())).collect(),
+            len: sel.len(),
+        }
+    }
+
+    /// Drop all rows past the first `n`, in place — `LIMIT` without the
+    /// gather-a-prefix copy.
+    pub fn truncate(&mut self, n: usize) {
+        if n >= self.len {
+            return;
+        }
+        for c in &mut self.cols {
+            c.truncate(n);
+        }
+        self.len = n;
     }
 
     /// Gather the given row indices into a new batch (typed bulk copy).
@@ -69,7 +90,9 @@ impl Batch {
         })
     }
 
-    /// Concatenate batches (all must share the same width/types).
+    /// Concatenate batches (all must share the same width/types). Typed
+    /// bulk appends: no per-cell `Value` boxing, dictionaries merge once
+    /// per batch.
     pub fn concat(batches: &[Batch]) -> Result<Batch> {
         if batches.is_empty() {
             return Ok(Batch {
@@ -86,9 +109,10 @@ impl Batch {
             len: 0,
         };
         for b in batches {
-            for r in 0..b.len {
-                out.push_row_from(b, r)?;
+            for (dst, src) in out.cols.iter_mut().zip(&b.cols) {
+                dst.append(src, b.len)?;
             }
+            out.len += b.len;
         }
         Ok(out)
     }
@@ -123,6 +147,21 @@ mod tests {
         let g = b.gather(&[4, 0]).unwrap();
         assert_eq!(g.row(0)[0], Value::Int(4));
         assert_eq!(g.row(1)[0], Value::Int(0));
+    }
+
+    #[test]
+    fn take_and_truncate() {
+        let b = sample();
+        let t = b.take(&SelVec::from_sorted(vec![1, 3]));
+        assert_eq!(t.len, 2);
+        assert_eq!(t.row(1), vec![Value::Int(3), Value::Str("r3".into())]);
+        let mut tr = sample();
+        tr.truncate(2);
+        assert_eq!(tr.len, 2);
+        assert_eq!(tr.cols[0].len(), 2);
+        assert_eq!(tr.row(1)[0], Value::Int(1));
+        tr.truncate(10); // no-op past the end
+        assert_eq!(tr.len, 2);
     }
 
     #[test]

@@ -9,9 +9,10 @@
 
 use crate::batch::Batch;
 use crate::expr::Expr;
+use crate::kernels::{self, ColView};
 use crate::plan::{AggCall, AggFunc, PhysicalPlan, PruneRange};
 use imci_common::{Error, FxHashMap, Result, TableId, Value};
-use imci_core::{ColumnData, Snapshot};
+use imci_core::{ColumnData, ColumnRead, SelVec, Snapshot};
 use std::sync::Arc;
 
 /// Execution context: pinned snapshots + tuning.
@@ -22,6 +23,10 @@ pub struct ExecContext {
     pub parallelism: usize,
     /// Min/max pack pruning (ablation switch).
     pub prune_enabled: bool,
+    /// Late materialization (ablation switch): evaluate scan filters on
+    /// the compressed packs and gather payload columns only for
+    /// surviving rows. Off = decode-then-filter baseline.
+    pub late_materialization: bool,
 }
 
 impl ExecContext {
@@ -33,6 +38,7 @@ impl ExecContext {
                 .map(|n| n.get())
                 .unwrap_or(4),
             prune_enabled: true,
+            late_materialization: true,
         }
     }
 
@@ -62,8 +68,16 @@ pub fn exec_stream(plan: &PhysicalPlan, ctx: &ExecContext) -> Result<Vec<Batch>>
         PhysicalPlan::Filter { input, pred } => {
             let mut out = Vec::new();
             for b in exec_stream(input, ctx)? {
-                let mask = pred.eval_mask(&b)?;
-                let f = b.filter(&mask)?;
+                // Selection-vector path: typed kernels (dictionary-aware
+                // for strings) straight to one gather per column.
+                let views = kernels::batch_views(&b);
+                let f = if ctx.late_materialization && kernels::compressible(pred, &views) {
+                    let sel = kernels::eval_sel(pred, &views, SelVec::identity(b.len))?;
+                    b.take(&sel)
+                } else {
+                    let mask = pred.eval_mask(&b)?;
+                    b.filter(&mask)?
+                };
                 if f.len > 0 {
                     out.push(f);
                 }
@@ -107,8 +121,9 @@ pub fn exec_stream(plan: &PhysicalPlan, ctx: &ExecContext) -> Result<Vec<Batch>>
                     remaining -= b.len;
                     out.push(b);
                 } else {
-                    let rows: Vec<usize> = (0..remaining).collect();
-                    out.push(b.gather(&rows)?);
+                    let mut b = b;
+                    b.truncate(remaining);
+                    out.push(b);
                     remaining = 0;
                 }
             }
@@ -129,6 +144,7 @@ fn scan(
     let csn = snap.csn;
     let n_workers = ctx.parallelism.clamp(1, groups.len().max(1));
     let prune_enabled = ctx.prune_enabled;
+    let late_mat = ctx.late_materialization;
 
     let results: Vec<Result<Option<Batch>>> = std::thread::scope(|s| {
         let mut handles = Vec::with_capacity(n_workers);
@@ -145,6 +161,7 @@ fn scan(
                         prune,
                         filter,
                         prune_enabled,
+                        late_mat,
                     ));
                     gi += n_workers;
                 }
@@ -176,6 +193,7 @@ fn scan_group(
     prune: &[PruneRange],
     filter: Option<&Expr>,
     prune_enabled: bool,
+    late_materialization: bool,
 ) -> Result<Option<Batch>> {
     if group.is_reclaimed() {
         return Ok(None);
@@ -196,16 +214,63 @@ fn scan_group(
     if visible.is_empty() {
         return Ok(None);
     }
-    // Materialize the needed columns at visible offsets (typed bulk
-    // gathers — no per-cell Value boxing on the scan hot path).
-    let mut out_cols = Vec::with_capacity(cols.len());
-    for &c in cols {
-        let col = match group.read_column(c) {
-            imci_core::ColumnRead::Pack(p) => p.gather(&visible),
-            imci_core::ColumnRead::Materialized(m) => m.gather(&visible),
-        };
-        out_cols.push(col);
+    let reads: Vec<ColumnRead> = cols.iter().map(|&c| group.read_column(c)).collect();
+    if !late_materialization {
+        return scan_group_early_mat(&reads, &visible, filter);
     }
+    // Late materialization: refine the visibility selection with the
+    // predicate kernels over the *compressed* packs, then gather every
+    // requested column exactly once, at the surviving offsets only.
+    let sel = match filter {
+        None => visible,
+        Some(f) => {
+            let views: Vec<ColView> = reads.iter().map(ColView::of).collect();
+            if kernels::compressible(f, &views) {
+                kernels::eval_sel(f, &views, visible)?
+            } else {
+                // Fallback for non-kernel shapes (arithmetic, col/col
+                // compares): materialize only the filter's columns at
+                // the visible offsets, mask, and still late-gather the
+                // full payload.
+                let mut refs = Vec::new();
+                f.referenced_cols(&mut refs);
+                refs.sort_unstable();
+                refs.dedup();
+                let sub = Batch {
+                    cols: refs.iter().map(|&j| reads[j].gather(&visible)).collect(),
+                    len: visible.len(),
+                };
+                let remapped = f.remap(&|j| refs.binary_search(&j).unwrap_or(0));
+                let mask = remapped.eval_mask(&sub)?;
+                let kept: Vec<u32> = visible
+                    .iter()
+                    .zip(mask)
+                    .filter(|&(_, m)| m)
+                    .map(|(i, _)| i)
+                    .collect();
+                SelVec::from_sorted(kept)
+            }
+        }
+    };
+    if sel.is_empty() {
+        return Ok(None);
+    }
+    let out_cols: Vec<ColumnData> = reads.iter().map(|r| r.gather(&sel)).collect();
+    Ok(Some(Batch {
+        cols: out_cols,
+        len: sel.len(),
+    }))
+}
+
+/// Ablation baseline (the pre-selection-vector pipeline): decode every
+/// requested column at all visible offsets, evaluate the filter as a
+/// bool mask over the materialized batch, then gather a second time.
+fn scan_group_early_mat(
+    reads: &[ColumnRead],
+    visible: &SelVec,
+    filter: Option<&Expr>,
+) -> Result<Option<Batch>> {
+    let out_cols: Vec<ColumnData> = reads.iter().map(|r| r.gather(visible)).collect();
     let batch = Batch {
         cols: out_cols,
         len: visible.len(),
@@ -501,18 +566,29 @@ fn hash_agg(
 
 fn sort_batch(b: Batch, keys: &[(usize, bool)], limit: Option<usize>) -> Result<Batch> {
     let mut idx: Vec<usize> = (0..b.len).collect();
-    idx.sort_by(|&x, &y| {
+    // Total order: sort keys, then original position — ties resolve like
+    // a stable sort, and the top-K path selects the same rows the full
+    // sort would.
+    let cmp = |x: &usize, y: &usize| {
         for &(k, desc) in keys {
-            let (vx, vy) = (b.cols[k].get(x), b.cols[k].get(y));
+            let (vx, vy) = (b.cols[k].get(*x), b.cols[k].get(*y));
             let ord = vx.cmp(&vy);
             if ord != std::cmp::Ordering::Equal {
                 return if desc { ord.reverse() } else { ord };
             }
         }
-        std::cmp::Ordering::Equal
-    });
-    if let Some(n) = limit {
-        idx.truncate(n);
+        x.cmp(y)
+    };
+    match limit {
+        Some(0) => idx.clear(),
+        // Bounded top-K: O(n) partition around the k-th row, then sort
+        // only the prefix — no full sort of rows a LIMIT discards.
+        Some(k) if k < idx.len() => {
+            idx.select_nth_unstable_by(k - 1, cmp);
+            idx.truncate(k);
+            idx.sort_unstable_by(cmp);
+        }
+        _ => idx.sort_unstable_by(cmp),
     }
     b.gather(&idx)
 }
@@ -740,6 +816,74 @@ mod tests {
             n: 7,
         };
         assert_eq!(execute(&plan, &ctx).unwrap().len, 7);
+    }
+
+    #[test]
+    fn late_materialization_matches_early_baseline() {
+        let (mut ctx, idx) = ctx_with_data(100, 16);
+        // Deletes give partial visibility inside sealed groups.
+        idx.delete(Vid(2), 13).unwrap();
+        idx.delete(Vid(2), 57).unwrap();
+        idx.advance_visible(Vid(2));
+        let mut snaps = FxHashMap::default();
+        snaps.insert(TableId(1), Arc::new(idx.snapshot()));
+        ctx.snapshots = snaps;
+        // One compressed-kernel filter, one fallback (arith) filter.
+        let preds = [
+            Expr::cmp(CmpOp::Lt, Expr::col(2), Expr::lit(3i64)).and(Expr::cmp(
+                CmpOp::Eq,
+                Expr::col(1),
+                Expr::Lit(Value::Str("east".into())),
+            )),
+            Expr::cmp(
+                CmpOp::Lt,
+                Expr::Arith(
+                    crate::expr::ArithOp::Add,
+                    Box::new(Expr::col(0)),
+                    Box::new(Expr::lit(1i64)),
+                ),
+                Expr::lit(20i64),
+            ),
+        ];
+        for pred in preds {
+            let plan = PhysicalPlan::ColumnScan {
+                table: TableId(1),
+                cols: vec![0, 1, 2, 3],
+                prune: vec![],
+                filter: Some(pred),
+            };
+            ctx.late_materialization = true;
+            let on = execute(&plan, &ctx).unwrap();
+            ctx.late_materialization = false;
+            let off = execute(&plan, &ctx).unwrap();
+            assert_eq!(on.len, off.len);
+            for r in 0..on.len {
+                assert_eq!(on.row(r), off.row(r), "row {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn top_k_sort_matches_full_sort_under_ties() {
+        let (ctx, _) = ctx_with_data(50, 8);
+        // qty = pk % 10 is full of ties; the bounded top-K path must
+        // pick the same rows (and order) the full stable sort would.
+        let sorted = |limit| {
+            let plan = PhysicalPlan::Sort {
+                input: Box::new(scan_all()),
+                keys: vec![(2, false)],
+                limit,
+            };
+            execute(&plan, &ctx).unwrap()
+        };
+        let full = sorted(None);
+        let topk = sorted(Some(12));
+        assert_eq!(topk.len, 12);
+        for r in 0..12 {
+            assert_eq!(topk.row(r), full.row(r), "row {r}");
+        }
+        assert_eq!(sorted(Some(0)).len, 0);
+        assert_eq!(sorted(Some(500)).len, 50, "limit past the end");
     }
 
     #[test]

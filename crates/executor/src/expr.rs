@@ -29,6 +29,19 @@ pub enum CmpOp {
 }
 
 impl CmpOp {
+    /// Mirror the operator across the operands: `a op b` ⇔
+    /// `b op.flip() a` (used to normalize `lit op col` to `col op lit`).
+    #[inline]
+    pub fn flip(self) -> CmpOp {
+        match self {
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+            CmpOp::Eq | CmpOp::Ne => self,
+        }
+    }
+
     /// Test an ordering against the operator.
     #[inline]
     pub fn test(self, ord: Ordering) -> bool {

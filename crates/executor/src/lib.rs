@@ -2,16 +2,21 @@
 //!
 //! * [`batch`] — columnar batches between operators;
 //! * [`expr`] — vectorized expression evaluation;
+//! * [`kernels`] — predicate kernels over compressed packs (selection
+//!   vectors, frame-of-reference compares, dictionary-code predicates);
 //! * [`plan`] — physical operator tree;
-//! * [`exec`] — pipeline execution with parallel pack-pruned scans,
-//!   partitioned hash join, hash aggregation, sort/top-N.
+//! * [`exec`] — pipeline execution with parallel pack-pruned,
+//!   late-materialized scans, partitioned hash join, hash aggregation,
+//!   sort/top-K.
 
 pub mod batch;
 pub mod exec;
 pub mod expr;
+pub mod kernels;
 pub mod plan;
 
 pub use batch::Batch;
 pub use exec::{exec_stream, execute, ExecContext};
 pub use expr::{ArithOp, CmpOp, Expr, LikePattern};
+pub use kernels::{batch_views, compressible, eval_sel, ColView};
 pub use plan::{AggCall, AggFunc, PhysicalPlan, PruneRange};

@@ -5,6 +5,13 @@
 
 use std::time::{Duration, Instant};
 
+/// `cargo bench -- --test` runs each benchmark body once and skips the
+/// timing loops — the smoke mode real criterion provides, used by CI to
+/// keep bench binaries compiling *and running*.
+fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
 pub struct Criterion {
     sample_size: usize,
     measurement_time: Duration,
@@ -41,13 +48,19 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
+        let test_only = test_mode();
         let mut b = Bencher {
             warm_up_time: self.warm_up_time,
             measurement_time: self.measurement_time,
             sample_size: self.sample_size,
             ns_per_iter: Vec::new(),
+            test_only,
         };
         f(&mut b);
+        if test_only {
+            println!("{name:<32} ok (--test: ran once)");
+            return self;
+        }
         let mut samples = b.ns_per_iter;
         if samples.is_empty() {
             println!("{name:<32} (no samples)");
@@ -66,10 +79,15 @@ pub struct Bencher {
     measurement_time: Duration,
     sample_size: usize,
     ns_per_iter: Vec<f64>,
+    test_only: bool,
 }
 
 impl Bencher {
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_only {
+            black_box(f());
+            return;
+        }
         // Warm-up, and calibrate how many iterations fill one sample.
         let warm_deadline = Instant::now() + self.warm_up_time;
         let mut warm_iters: u64 = 0;

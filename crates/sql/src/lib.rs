@@ -73,6 +73,9 @@ pub struct QueryEngine {
     pub parallelism: std::sync::atomic::AtomicUsize,
     /// Pack min/max pruning switch (ablation).
     pub prune_enabled: std::sync::atomic::AtomicBool,
+    /// Late-materialized scan switch (ablation): filter on compressed
+    /// packs, gather payload columns after.
+    pub late_mat_enabled: std::sync::atomic::AtomicBool,
     /// Force a specific engine (benchmarks); None = cost-based.
     pub force: Mutex<Option<EngineChoice>>,
 }
@@ -90,6 +93,7 @@ impl QueryEngine {
                     .unwrap_or(4),
             ),
             prune_enabled: std::sync::atomic::AtomicBool::new(true),
+            late_mat_enabled: std::sync::atomic::AtomicBool::new(true),
             force: Mutex::new(None),
         }
     }
@@ -127,6 +131,18 @@ impl QueryEngine {
     /// Whether pruning is enabled.
     pub fn get_prune_enabled(&self) -> bool {
         self.prune_enabled
+            .load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Toggle late-materialized scans (thread-safe; ablations).
+    pub fn set_late_materialization(&self, on: bool) {
+        self.late_mat_enabled
+            .store(on, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Whether late materialization is enabled.
+    pub fn get_late_materialization(&self) -> bool {
+        self.late_mat_enabled
             .load(std::sync::atomic::Ordering::Relaxed)
     }
 
@@ -473,6 +489,9 @@ impl QueryEngine {
         ctx.parallelism = self.parallelism.load(std::sync::atomic::Ordering::Relaxed);
         ctx.prune_enabled = self
             .prune_enabled
+            .load(std::sync::atomic::Ordering::Relaxed);
+        ctx.late_materialization = self
+            .late_mat_enabled
             .load(std::sync::atomic::Ordering::Relaxed);
         let out = imci_executor::execute(&plan, &ctx)?;
         Ok((0..out.len).map(|r| out.row(r)).collect())
