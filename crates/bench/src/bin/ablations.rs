@@ -1,11 +1,11 @@
-//! Ablations of DESIGN.md §3: pack pruning on/off, CALS on/off, and
-//! late-materialized scans on/off.
+//! Ablations of DESIGN.md §3: pack pruning on/off, CALS on/off,
+//! late-materialized scans on/off, and DDL churn visibility.
 //!
 //! `--smoke` runs every ablation at a tiny scale — CI uses it to keep
 //! this binary from rotting without paying for real measurements.
 
 use imci_bench::{bench_cluster, run_query_on};
-use imci_cluster::{Cluster, ClusterConfig};
+use imci_cluster::{Cluster, ClusterConfig, Consistency, ExecOpts};
 use imci_common::{
     ColumnDef, DataType, FxHashMap, IndexDef, IndexKind, Schema, TableId, Value, Vid,
 };
@@ -22,6 +22,7 @@ fn main() {
     ablation_a(smoke);
     ablation_b(smoke);
     ablation_c(smoke);
+    ablation_d(smoke);
 }
 
 /// (A) pack pruning: selective Q6-style scan with/without min-max skipping.
@@ -189,4 +190,65 @@ fn ablation_c(smoke: bool) {
     println!("late_mat_off_ms\t{t_off:.2}");
     println!("scan_mrows_per_s_on\t{:.1}", n as f64 / t_on / 1e3);
     println!("speedup\t{:.2}x", t_off / t_on);
+}
+
+/// (D) DDL churn: tenant-per-table workloads create tables constantly.
+/// Measures CREATE TABLE → INSERT → first row-returning SELECT on an RO
+/// node, per consistency level. DDL ships through the REDO stream and
+/// its commit advances the written LSN, so strong reads fence on the
+/// replica having applied the DDL (zero retries by construction);
+/// eventual reads poll until the replica catches up, which is the
+/// actual visibility latency.
+fn ablation_d(smoke: bool) {
+    println!("## ablation D: ddl_churn (create-table → RO visibility latency)");
+    let tenants = if smoke { 5 } else { 50 };
+    for (label, level) in [
+        ("eventual", Consistency::Eventual),
+        ("strong", Consistency::Strong),
+    ] {
+        let cluster = Cluster::start(ClusterConfig {
+            n_ro: 1,
+            group_cap: 64,
+            ..Default::default()
+        });
+        let opts = ExecOpts {
+            consistency: Some(level),
+            force_engine: None,
+        };
+        let mut total = Duration::ZERO;
+        let mut retries = 0u64;
+        for t in 0..tenants {
+            let name = format!("tenant_{t}");
+            let t0 = Instant::now();
+            cluster
+                .execute(&format!(
+                    "CREATE TABLE {name} (id INT NOT NULL, v INT, PRIMARY KEY(id),
+                     KEY COLUMN_INDEX(id, v))"
+                ))
+                .unwrap();
+            cluster
+                .execute(&format!("INSERT INTO {name} VALUES (1, {t})"))
+                .unwrap();
+            let deadline = Instant::now() + Duration::from_secs(10);
+            loop {
+                match cluster.execute_opts(&format!("SELECT v FROM {name} WHERE id = 1"), opts) {
+                    Ok(res) if res.rows.len() == 1 => break,
+                    r => {
+                        assert!(
+                            Instant::now() < deadline,
+                            "tenant {t} never became visible: {r:?}"
+                        );
+                        retries += 1;
+                        std::thread::yield_now();
+                    }
+                }
+            }
+            total += t0.elapsed();
+        }
+        println!(
+            "{label}\tmean_create_to_visible_us\t{:.1}\tread_retries\t{retries}",
+            total.as_secs_f64() * 1e6 / tenants as f64
+        );
+        cluster.shutdown();
+    }
 }

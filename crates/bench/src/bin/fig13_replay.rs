@@ -142,8 +142,9 @@ fn main() {
             .unwrap();
     }
     rw2.commit(txn);
+    // No catalog refresh: the CREATE TABLE's DDL record is in the log
+    // and registers the table during replay.
     let ro = RowEngine::new_replica(fs2.clone(), 1 << 20);
-    ro.refresh_catalog().unwrap();
     let mut reader = imci_wal::LogReader::new(fs2.clone(), 0);
     let entries: Vec<RedoEntry> = reader.read_available();
     let t = Instant::now();

@@ -13,7 +13,7 @@
 use imci_common::{Error, Result};
 use imci_core::ColumnStore;
 use imci_replication::{load_checkpoint_pages, take_checkpoint, Pipeline, ReplicationConfig};
-use imci_sql::{QueryEngine, QueryResult, Statement};
+use imci_sql::{QueryEngine, QueryResult};
 use imci_wal::{LogWriter, PropagationMode};
 use parking_lot::RwLock;
 use polarfs_sim::{LatencyProfile, PolarFs};
@@ -184,11 +184,14 @@ impl Cluster {
         let name = format!("ro-{id}");
         let t0 = Instant::now();
         let engine = RowEngine::new_replica(self.fs.clone(), usize::MAX / 2);
-        engine.refresh_catalog()?;
         let store = Arc::new(ColumnStore::new(self.config.group_cap));
         let (start_offset, from_checkpoint) = match imci_core::latest_checkpoint(&self.fs) {
             Some(seq) => {
-                // Fast start: checkpointed row pages + column state.
+                // Fast start: the checkpoint's catalog snapshot (schemas
+                // + catalog version as of its redo cursor), row pages,
+                // and column state. DDL after the cursor replays from
+                // the log like any other change — no catalog refresh.
+                engine.import_catalog(&self.fs.get_object(&imci_core::ckpt_catalog_key(seq))?)?;
                 load_checkpoint_pages(&self.fs, seq, &engine)?;
                 let meta = imci_core::read_meta(&self.fs, seq)?;
                 for tname in engine.table_names() {
@@ -208,16 +211,10 @@ impl Cluster {
                 }
                 (meta.redo_offset, true)
             }
-            None => {
-                // Cold start: everything from the REDO log.
-                for tname in engine.table_names() {
-                    let rt = engine.table(&tname)?;
-                    if rt.schema.has_column_index() {
-                        store.create_index(&rt.schema);
-                    }
-                }
-                (0, false)
-            }
+            // Cold start: the node boots with an *empty* catalog — the
+            // log's DDL records rebuild tables and column indexes in
+            // LSN order as the pipeline replays from offset 0.
+            None => (0, false),
         };
         let load_time = t0.elapsed();
 
@@ -386,34 +383,21 @@ impl Cluster {
         out
     }
 
-    /// Run one read on a specific RO node (routing already done).
+    /// Run one read on a specific RO node (routing already done). No
+    /// catalog-miss retry: the RO catalog is versioned with the log, so
+    /// a table the node doesn't know simply does not exist at its
+    /// applied LSN — strong-consistency reads fence on DDL commits and
+    /// therefore always see the catalog their session expects.
     fn execute_on_ro(&self, node: &RoNode, sql: &str, opts: ExecOpts) -> Result<QueryResult> {
-        let mut out = node.query.execute_forced(sql, opts.force_engine);
-        // RO catalogs refresh lazily (DDL reaches them through the
-        // replication pipeline); a read can race ahead of the first
-        // DML for a new table. The catalog itself lives in shared
-        // storage, so refresh and retry once before failing.
-        if matches!(out, Err(Error::Catalog(_))) && node.engine.refresh_catalog().is_ok() {
-            out = node.query.execute_forced(sql, opts.force_engine);
-        }
-        out
+        node.query.execute_forced(sql, opts.force_engine)
     }
 
-    /// Run one write/DDL statement on the RW node.
+    /// Run one write/DDL statement on the RW node. DDL (CREATE / DROP /
+    /// ALTER) needs no per-replica fan-out: it ships through the REDO
+    /// stream as a versioned record and every RO applies it in LSN
+    /// order with the data changes.
     fn execute_rw(&self, sql: &str) -> Result<QueryResult> {
-        // Writes and DDL go to RW; DDL additionally builds column
-        // indexes on the RO side lazily (via catalog refresh in the
-        // pipeline) — ALTER ADD COLUMN INDEX builds eagerly below.
-        let stmt = imci_sql::parse(sql)?;
-        if let Statement::AlterAddColumnIndex { table, columns } = &stmt {
-            let r = self.rw_query.execute_stmt(&stmt)?;
-            for ro in self.ros.read().iter() {
-                ro.engine.refresh_catalog()?;
-                ro.query.alter_add_column_index(table, columns)?;
-            }
-            return Ok(r);
-        }
-        self.rw_query.execute_stmt(&stmt)
+        self.rw_query.execute(sql)
     }
 
     /// Block until every RO has applied the RW's current written LSN.
@@ -461,7 +445,7 @@ impl Cluster {
 mod tests {
     use super::*;
     use imci_common::Value;
-    use imci_sql::EngineChoice;
+    use imci_sql::{EngineChoice, Statement};
 
     const DDL: &str = "CREATE TABLE demo (
         id INT NOT NULL, grp INT, val DOUBLE, note VARCHAR(32),
@@ -600,10 +584,120 @@ mod tests {
         assert!(c.wait_sync(Duration::from_secs(20)));
         c.execute("ALTER TABLE plain ADD COLUMN INDEX (id, v)")
             .unwrap();
+        // The ALTER ships as a DDL record whose commit advances the
+        // written LSN, so wait_sync covers the RO-side index rebuild.
+        assert!(c.wait_sync(Duration::from_secs(20)));
         let node = c.ros.read()[0].clone();
         node.query.set_force(Some(EngineChoice::Column));
         let res = c.execute("SELECT SUM(v) FROM plain").unwrap();
         assert_eq!(res.rows[0][0], Value::Int((0..100).sum::<i64>()));
+        assert_eq!(
+            res.engine,
+            EngineChoice::Column,
+            "replicated ALTER must make the column index servable"
+        );
+        c.shutdown();
+    }
+
+    #[test]
+    fn ddl_immediately_visible_on_every_ro_node() {
+        // Regression for two lazy-refresh races:
+        // (1) the pipeline's mid-apply table pickup could drop committed
+        //     DMLs for a table created after node start;
+        // (2) `execute_opts`'s catalog-miss retry refreshed only the
+        //     routed node, leaving sibling replicas stale until they
+        //     happened to be routed a failing query.
+        // With DDL in the log, a strong read after CREATE;INSERT must
+        // succeed on whichever of the 3 RO nodes it round-robins to,
+        // with no retry path in the proxy at all.
+        let c = Cluster::start(ClusterConfig {
+            n_ro: 3,
+            group_cap: 64,
+            ..Default::default()
+        });
+        let opts = ExecOpts {
+            consistency: Some(Consistency::Strong),
+            force_engine: None,
+        };
+        for round in 0..5 {
+            let t = format!("tenant_{round}");
+            c.execute(&format!(
+                "CREATE TABLE {t} (id INT NOT NULL, v INT, PRIMARY KEY(id),
+                 KEY COLUMN_INDEX(id, v))"
+            ))
+            .unwrap();
+            c.execute(&format!("INSERT INTO {t} VALUES (1, {round})"))
+                .unwrap();
+            // Round-robin immediately after the DDL: every RO must
+            // serve the row (strong reads spread across the
+            // least-loaded node, and all three see the DDL in order).
+            for _ in 0..6 {
+                let res = c
+                    .execute_opts(&format!("SELECT v FROM {t} WHERE id = 1"), opts)
+                    .unwrap();
+                assert_eq!(res.rows.len(), 1, "round {round}: row must be visible");
+                assert_eq!(res.rows[0][0], Value::Int(round));
+            }
+            // Every node individually (not just the routed one). The
+            // siblings converge through the log — the old design left
+            // them stale until they happened to be routed a *failing*
+            // query — so after a sync they must all know the table.
+            assert!(c.wait_sync(Duration::from_secs(20)));
+            for ro in c.ros.read().iter() {
+                assert!(
+                    ro.engine.table(&t).is_ok(),
+                    "round {round}: {} must know {t}",
+                    ro.name
+                );
+                assert_eq!(ro.engine.row_count(&t).unwrap(), 1, "{}", ro.name);
+            }
+        }
+        for ro in c.ros.read().iter() {
+            assert_eq!(ro.pipeline.error_count(), 0, "{}", ro.name);
+        }
+        c.shutdown();
+    }
+
+    #[test]
+    fn drop_table_errors_on_every_ro_node() {
+        let c = Cluster::start(ClusterConfig {
+            n_ro: 2,
+            group_cap: 64,
+            ..Default::default()
+        });
+        c.execute(DDL).unwrap();
+        c.execute("INSERT INTO demo VALUES (1, 0, 1.0, 'x')")
+            .unwrap();
+        let opts = ExecOpts {
+            consistency: Some(Consistency::Strong),
+            force_engine: None,
+        };
+        assert_eq!(
+            c.execute_opts("SELECT id FROM demo WHERE id = 1", opts)
+                .unwrap()
+                .rows
+                .len(),
+            1
+        );
+        c.execute("DROP TABLE demo").unwrap();
+        // The drop's commit advances the written LSN, so strong reads
+        // fence on it: after the drop every RO must report the table
+        // gone (a catalog error), never stale rows.
+        assert!(c.wait_sync(Duration::from_secs(20)));
+        for _ in 0..4 {
+            let err = c
+                .execute_opts("SELECT id FROM demo WHERE id = 1", opts)
+                .unwrap_err();
+            assert!(matches!(err, Error::Catalog(_)), "got {err}");
+        }
+        for ro in c.ros.read().iter() {
+            assert!(ro.engine.table("demo").is_err(), "{}", ro.name);
+            assert_eq!(ro.pipeline.error_count(), 0, "{}", ro.name);
+        }
+        // A write to the dropped table fails on the RW too.
+        assert!(c
+            .execute("INSERT INTO demo VALUES (2, 0, 1.0, 'y')")
+            .is_err());
         c.shutdown();
     }
 

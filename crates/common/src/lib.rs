@@ -18,5 +18,5 @@ pub use error::{Error, Result};
 pub use hash::{fx_hash_bytes, fx_hash_u64, FxBuildHasher, FxHashMap, FxHashSet};
 pub use ids::{Csn, Lsn, PageId, Rid, TableId, Tid, Vid, INVALID_VID, SYSTEM_TID};
 pub use row::{Row, RowDiff};
-pub use schema::{ColumnDef, IndexDef, IndexKind, Schema};
+pub use schema::{ByteReader, ColumnDef, DdlOp, IndexDef, IndexKind, Schema};
 pub use value::{DataType, Value};

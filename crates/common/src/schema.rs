@@ -5,7 +5,7 @@
 //! *column index* covering a chosen subset of columns.
 
 use crate::error::{Error, Result};
-use crate::ids::TableId;
+use crate::ids::{PageId, TableId};
 use crate::value::{DataType, Value};
 use serde::{Deserialize, Serialize};
 
@@ -215,6 +215,257 @@ impl Schema {
     }
 }
 
+// ---- binary codec (DDL log records, catalog snapshots) ----
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Minimal bounds-checked cursor over a byte slice, shared by the
+/// schema/DDL codecs and the rowstore's catalog-snapshot codec.
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Start reading at the front of `buf`.
+    pub fn new(buf: &'a [u8]) -> ByteReader<'a> {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Bytes consumed so far.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Consume exactly `n` bytes; errors when the buffer is short.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.pos + n > self.buf.len() {
+            return Err(Error::Storage("byte stream truncated".into()));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Consume one byte.
+    pub fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Consume a little-endian u32.
+    pub fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Consume a little-endian u64.
+    pub fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Consume a u32-length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String> {
+        let n = self.u32()? as usize;
+        String::from_utf8(self.take(n)?.to_vec())
+            .map_err(|e| Error::Storage(format!("string not utf8: {e}")))
+    }
+}
+
+fn datatype_tag(ty: DataType) -> u8 {
+    match ty {
+        DataType::Int => 0,
+        DataType::Double => 1,
+        DataType::Str => 2,
+        DataType::Date => 3,
+    }
+}
+
+fn datatype_from_tag(tag: u8) -> Result<DataType> {
+    match tag {
+        0 => Ok(DataType::Int),
+        1 => Ok(DataType::Double),
+        2 => Ok(DataType::Str),
+        3 => Ok(DataType::Date),
+        t => Err(Error::Storage(format!("unknown data type tag {t}"))),
+    }
+}
+
+fn indexkind_tag(kind: IndexKind) -> u8 {
+    match kind {
+        IndexKind::Primary => 0,
+        IndexKind::Secondary => 1,
+        IndexKind::Column => 2,
+    }
+}
+
+fn indexkind_from_tag(tag: u8) -> Result<IndexKind> {
+    match tag {
+        0 => Ok(IndexKind::Primary),
+        1 => Ok(IndexKind::Secondary),
+        2 => Ok(IndexKind::Column),
+        t => Err(Error::Storage(format!("unknown index kind tag {t}"))),
+    }
+}
+
+impl Schema {
+    /// Serialize to the compact binary form used by DDL log records and
+    /// checkpoint catalog snapshots.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        out.extend_from_slice(&self.table_id.get().to_le_bytes());
+        put_str(&mut out, &self.name);
+        put_u32(&mut out, self.columns.len() as u32);
+        for c in &self.columns {
+            put_str(&mut out, &c.name);
+            out.push(datatype_tag(c.ty));
+            out.push(c.nullable as u8);
+        }
+        put_u32(&mut out, self.indexes.len() as u32);
+        for i in &self.indexes {
+            out.push(indexkind_tag(i.kind));
+            put_str(&mut out, &i.name);
+            put_u32(&mut out, i.columns.len() as u32);
+            for &c in &i.columns {
+                put_u32(&mut out, c as u32);
+            }
+        }
+        out
+    }
+
+    /// Decode a schema from the front of `buf`; returns the schema and
+    /// the number of bytes consumed. Validates the same invariants as
+    /// [`Schema::new`].
+    pub fn decode(buf: &[u8]) -> Result<(Schema, usize)> {
+        let mut r = ByteReader { buf, pos: 0 };
+        let schema = Schema::decode_reader(&mut r)?;
+        Ok((schema, r.pos))
+    }
+
+    fn decode_reader(r: &mut ByteReader<'_>) -> Result<Schema> {
+        let table_id = TableId(r.u64()?);
+        let name = r.str()?;
+        let n_cols = r.u32()? as usize;
+        let mut columns = Vec::with_capacity(n_cols);
+        for _ in 0..n_cols {
+            let cname = r.str()?;
+            let ty = datatype_from_tag(r.u8()?)?;
+            let nullable = r.u8()? != 0;
+            columns.push(ColumnDef {
+                name: cname,
+                ty,
+                nullable,
+            });
+        }
+        let n_idx = r.u32()? as usize;
+        let mut indexes = Vec::with_capacity(n_idx);
+        for _ in 0..n_idx {
+            let kind = indexkind_from_tag(r.u8()?)?;
+            let iname = r.str()?;
+            let nc = r.u32()? as usize;
+            let mut cols = Vec::with_capacity(nc);
+            for _ in 0..nc {
+                cols.push(r.u32()? as usize);
+            }
+            indexes.push(IndexDef {
+                kind,
+                name: iname,
+                columns: cols,
+            });
+        }
+        Schema::new(table_id, name, columns, indexes)
+    }
+}
+
+/// A catalog change, shipped through the REDO stream as a first-class
+/// log record (the versioned-catalog design: schema changes are ordered
+/// with data changes in LSN order instead of being discovered
+/// out-of-band via lazy catalog refresh).
+#[derive(Debug, Clone, PartialEq)]
+pub enum DdlOp {
+    /// A table was created; carries the full schema plus the meta page
+    /// of its (already SMO-logged) B+tree so replicas can open it.
+    CreateTable {
+        /// Full schema of the new table.
+        schema: Schema,
+        /// Meta page of the table's primary B+tree.
+        meta_page: PageId,
+    },
+    /// A table was dropped.
+    DropTable {
+        /// Id of the dropped table.
+        table_id: TableId,
+        /// Name of the dropped table (lower-cased).
+        name: String,
+    },
+    /// A table's schema was replaced in place (online DDL such as
+    /// `ALTER TABLE ... ADD COLUMN INDEX`, §3.3); runtime state is
+    /// preserved, replicas rebuild derived structures.
+    ReplaceSchema {
+        /// The replacement schema (same table id and name).
+        schema: Schema,
+    },
+}
+
+impl DdlOp {
+    /// The table this DDL affects.
+    pub fn table_id(&self) -> TableId {
+        match self {
+            DdlOp::CreateTable { schema, .. } | DdlOp::ReplaceSchema { schema } => schema.table_id,
+            DdlOp::DropTable { table_id, .. } => *table_id,
+        }
+    }
+
+    /// Serialize to the binary form embedded in log records.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        match self {
+            DdlOp::CreateTable { schema, meta_page } => {
+                out.push(1);
+                out.extend_from_slice(&meta_page.get().to_le_bytes());
+                out.extend_from_slice(&schema.encode());
+            }
+            DdlOp::DropTable { table_id, name } => {
+                out.push(2);
+                out.extend_from_slice(&table_id.get().to_le_bytes());
+                put_str(&mut out, name);
+            }
+            DdlOp::ReplaceSchema { schema } => {
+                out.push(3);
+                out.extend_from_slice(&schema.encode());
+            }
+        }
+        out
+    }
+
+    /// Decode from the front of `buf`; returns the op and the bytes
+    /// consumed.
+    pub fn decode(buf: &[u8]) -> Result<(DdlOp, usize)> {
+        let mut r = ByteReader { buf, pos: 0 };
+        let op = match r.u8()? {
+            1 => {
+                let meta_page = PageId(r.u64()?);
+                let schema = Schema::decode_reader(&mut r)?;
+                DdlOp::CreateTable { schema, meta_page }
+            }
+            2 => DdlOp::DropTable {
+                table_id: TableId(r.u64()?),
+                name: r.str()?,
+            },
+            3 => DdlOp::ReplaceSchema {
+                schema: Schema::decode_reader(&mut r)?,
+            },
+            t => return Err(Error::Storage(format!("unknown ddl op tag {t}"))),
+        };
+        Ok((op, r.pos))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -320,6 +571,39 @@ mod tests {
                 Value::Str("ok".into())
             ])
             .is_ok());
+    }
+
+    #[test]
+    fn schema_binary_roundtrip() {
+        let s = demo_schema();
+        let enc = s.encode();
+        let (dec, used) = Schema::decode(&enc).unwrap();
+        assert_eq!(used, enc.len());
+        assert_eq!(dec, s);
+    }
+
+    #[test]
+    fn ddl_op_roundtrips() {
+        let ops = [
+            DdlOp::CreateTable {
+                schema: demo_schema(),
+                meta_page: PageId(42),
+            },
+            DdlOp::DropTable {
+                table_id: TableId(7),
+                name: "gone".into(),
+            },
+            DdlOp::ReplaceSchema {
+                schema: demo_schema(),
+            },
+        ];
+        for op in ops {
+            let enc = op.encode();
+            let (dec, used) = DdlOp::decode(&enc).unwrap();
+            assert_eq!(used, enc.len());
+            assert_eq!(dec, op);
+        }
+        assert!(DdlOp::decode(&[9]).is_err());
     }
 
     #[test]

@@ -53,6 +53,14 @@ fn prefix(seq: u64) -> String {
     format!("ckpt/{seq:012}/")
 }
 
+/// Object key of checkpoint `seq`'s catalog snapshot (written by the
+/// checkpointing replayer, read at node bring-up). The snapshot embeds
+/// the catalog version so DDL records after the checkpoint's redo
+/// cursor apply exactly once.
+pub fn ckpt_catalog_key(seq: u64) -> String {
+    format!("{}catalog", prefix(seq))
+}
+
 /// Write a checkpoint of `indexes` at `csn` / `redo_offset`.
 ///
 /// Caller must quiesce Phase-2 appliers first so that the visible state

@@ -41,6 +41,12 @@ impl ColumnStore {
         self.indexes.write().insert(index.table_id, index);
     }
 
+    /// Remove a table's index (DROP TABLE replay). In-flight snapshots
+    /// keep their `Arc` and finish; new lookups fail. Idempotent.
+    pub fn remove_index(&self, table: TableId) -> Option<Arc<ColumnIndex>> {
+        self.indexes.write().remove(&table)
+    }
+
     /// Look up a table's index.
     pub fn index(&self, table: TableId) -> Result<Arc<ColumnIndex>> {
         self.indexes

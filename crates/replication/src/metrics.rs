@@ -21,6 +21,9 @@ pub struct ReplicationMetrics {
     pub batches: AtomicU64,
     /// Large-transaction pre-commits (§5.5).
     pub precommits: AtomicU64,
+    /// DDL log records applied to this node's catalog (versioned
+    /// catalog replication; idempotent replays are not counted).
+    pub ddls_applied: AtomicU64,
     /// Highest LSN read from the log (reader progress).
     pub read_lsn: AtomicU64,
     /// Highest commit-record LSN fully applied to the column store —
@@ -84,13 +87,14 @@ impl ReplicationMetrics {
     /// One-line summary for bench output.
     pub fn summary(&self) -> String {
         format!(
-            "entries={} dmls={} committed={} aborted={} batches={} precommits={} read_lsn={} applied_lsn={}",
+            "entries={} dmls={} committed={} aborted={} batches={} precommits={} ddls={} read_lsn={} applied_lsn={}",
             self.entries_read.load(Ordering::Relaxed),
             self.dmls_extracted.load(Ordering::Relaxed),
             self.txns_committed.load(Ordering::Relaxed),
             self.txns_aborted.load(Ordering::Relaxed),
             self.batches.load(Ordering::Relaxed),
             self.precommits.load(Ordering::Relaxed),
+            self.ddls_applied.load(Ordering::Relaxed),
             self.read_lsn(),
             self.applied_lsn(),
         )

@@ -15,7 +15,7 @@
 use crate::buffer::{apply_txn_op, CommittedTxn, TxnBuffers};
 use crate::metrics::ReplicationMetrics;
 use crossbeam::channel::{bounded, Receiver, Sender};
-use imci_common::{fx_hash_u64, Tid, Vid};
+use imci_common::{fx_hash_u64, DdlOp, Result, Tid, Vid};
 use imci_core::ColumnStore;
 use imci_wal::{LogReader, RedoEntry, RedoPayload};
 use polarfs_sim::PolarFs;
@@ -79,8 +79,21 @@ enum P1Msg {
 
 enum Outcome {
     Dml(Box<LogicalChange>),
-    Commit { tid: Tid, vid: Vid, lsn: u64 },
-    Abort { tid: Tid },
+    Commit {
+        tid: Tid,
+        vid: Vid,
+        lsn: u64,
+    },
+    Abort {
+        tid: Tid,
+    },
+    /// A destructive/in-place catalog change (DROP / ALTER) deferred to
+    /// the collector's LSN-sorted drain; CREATEs are applied by the
+    /// reader (see `reader_thread`).
+    Ddl {
+        version: u64,
+        op: DdlOp,
+    },
     Noop,
 }
 
@@ -91,6 +104,10 @@ enum ResultMsg {
 
 enum DispatchMsg {
     Txn(CommittedTxn),
+    /// Barrier RPC: apply everything dispatched so far, then ack on the
+    /// flush channel. Used by the collector to quiesce Phase 2 before a
+    /// destructive catalog change.
+    Flush,
     Shutdown,
 }
 
@@ -152,8 +169,11 @@ impl Pipeline {
             let out = result_tx.clone();
             let p1 = p1_txs.clone();
             let cfg = config.clone();
+            let engine = engine.clone();
+            let store = store.clone();
+            let errors = errors.clone();
             handles.push(std::thread::spawn(move || {
-                reader_thread(fs, cfg, stop, metrics, p1, out);
+                reader_thread(fs, cfg, stop, metrics, p1, out, engine, store, errors);
             }));
         }
         drop(result_tx);
@@ -161,6 +181,7 @@ impl Pipeline {
         // ---- dispatcher + Phase-2 workers ----
         let (disp_tx, disp_rx) = bounded::<DispatchMsg>(4_096);
         let (ack_tx, ack_rx) = bounded::<()>(n2 * 2);
+        let (flush_tx, flush_rx) = bounded::<()>(1);
         let mut p2_txs: Vec<Sender<P2Msg>> = Vec::with_capacity(n2);
         for _ in 0..n2 {
             let (tx, rx) = bounded::<P2Msg>(8_192);
@@ -177,7 +198,7 @@ impl Pipeline {
             let metrics = metrics.clone();
             let batch = config.batch_txns.max(1);
             handles.push(std::thread::spawn(move || {
-                dispatcher_thread(disp_rx, p2_txs, ack_rx, store, metrics, batch);
+                dispatcher_thread(disp_rx, p2_txs, ack_rx, store, metrics, batch, flush_tx);
             }));
         }
 
@@ -191,7 +212,8 @@ impl Pipeline {
             let markers = n1 + 1; // workers + reader
             handles.push(std::thread::spawn(move || {
                 collector_thread(
-                    result_rx, disp_tx, engine, store, metrics, errors, threshold, markers,
+                    result_rx, disp_tx, flush_rx, engine, store, metrics, errors, threshold,
+                    markers,
                 );
             }));
         }
@@ -238,6 +260,7 @@ impl Drop for Pipeline {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn reader_thread(
     fs: PolarFs,
     cfg: ReplicationConfig,
@@ -245,6 +268,9 @@ fn reader_thread(
     metrics: Arc<ReplicationMetrics>,
     p1: Vec<Sender<P1Msg>>,
     results: Sender<ResultMsg>,
+    engine: Arc<RowEngine>,
+    store: Arc<ColumnStore>,
+    errors: Arc<AtomicU64>,
 ) {
     let mut reader = LogReader::new(fs.clone(), cfg.start_offset);
     let mut seq = 0u64;
@@ -294,6 +320,47 @@ fn reader_thread(
                         outcome: Outcome::Abort { tid: e.tid },
                     });
                 }
+                RedoPayload::Ddl { version, op } => {
+                    match op {
+                        // CREATE applies here, synchronously: the reader
+                        // forwards entries in LSN order, so registering
+                        // the table runtime (and its column index)
+                        // *before* forwarding anything further
+                        // guarantees Phase 1 and the transaction buffers
+                        // never see a DML for an unknown table.
+                        DdlOp::CreateTable { schema, .. } => {
+                            match engine.apply_ddl(*version, op) {
+                                Ok(true) => {
+                                    if schema.has_column_index() {
+                                        store.create_index(schema);
+                                    }
+                                    metrics.ddls_applied.fetch_add(1, Ordering::Relaxed);
+                                }
+                                Ok(false) => {} // replayed below our version
+                                Err(_) => {
+                                    errors.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                            let _ = results.send(ResultMsg::Out {
+                                seq,
+                                outcome: Outcome::Noop,
+                            });
+                        }
+                        // DROP / ALTER are destructive: defer to the
+                        // collector's LSN-sorted drain, where every
+                        // earlier entry has finished Phase 1 and Phase 2
+                        // can be flushed.
+                        _ => {
+                            let _ = results.send(ResultMsg::Out {
+                                seq,
+                                outcome: Outcome::Ddl {
+                                    version: *version,
+                                    op: op.clone(),
+                                },
+                            });
+                        }
+                    }
+                }
                 _ => {
                     let w = (fx_hash_u64(e.page_id.get()) % n1) as usize;
                     let _ = p1[w].send(P1Msg::Entry(Box::new(e), seq));
@@ -333,10 +400,20 @@ fn phase1_worker(
     let _ = out.send(ResultMsg::Done);
 }
 
+/// Send a flush barrier to the dispatcher and wait for the ack: on
+/// return, every op dispatched so far has been applied to the column
+/// store and the watermark published.
+fn flush_phase2(disp: &Sender<DispatchMsg>, flush_ack: &Receiver<()>) {
+    if disp.send(DispatchMsg::Flush).is_ok() {
+        let _ = flush_ack.recv();
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn collector_thread(
     rx: Receiver<ResultMsg>,
     disp: Sender<DispatchMsg>,
+    flush_ack: Receiver<()>,
     engine: Arc<RowEngine>,
     store: Arc<ColumnStore>,
     metrics: Arc<ReplicationMetrics>,
@@ -367,19 +444,37 @@ fn collector_thread(
                 Outcome::Noop => {}
                 Outcome::Dml(change) => {
                     metrics.dmls_extracted.fetch_add(1, Ordering::Relaxed);
-                    // Lazily pick up new tables (DDL since node start).
-                    if store.index(change.table_id).is_err() {
-                        let _ = engine.refresh_catalog();
-                        if let Ok(rt) = engine.table_by_id(change.table_id) {
-                            if rt.schema.has_column_index() {
-                                store.create_index(&rt.schema);
-                            }
-                        }
-                    }
+                    // No lazy table pickup here: the table's DDL record
+                    // precedes its first DML in the drain, so the column
+                    // index (if declared) already exists.
                     if bufs.add_dml(*change, &store).is_err() {
                         errors.fetch_add(1, Ordering::Relaxed);
                     }
                     metrics.precommits.store(bufs.precommits, Ordering::Relaxed);
+                }
+                Outcome::Ddl { version, op } => {
+                    // At this drain position every earlier entry has
+                    // completed Phase 1 (contiguous-prefix guarantee);
+                    // flushing Phase 2 quiesces the column store, so the
+                    // catalog change cannot race any in-flight apply.
+                    flush_phase2(&disp, &flush_ack);
+                    match engine.apply_ddl(version, &op) {
+                        Ok(true) => {
+                            metrics.ddls_applied.fetch_add(1, Ordering::Relaxed);
+                            // Rebuilt ALTER rows become visible at the
+                            // current watermark, with the rest of the
+                            // already-applied state.
+                            if apply_column_ddl(&op, &engine, &store, Vid(metrics.visible_vid()))
+                                .is_err()
+                            {
+                                errors.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        Ok(false) => {}
+                        Err(_) => {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
                 }
                 Outcome::Commit { tid, vid, lsn } => {
                     if let Some(txn) = bufs.commit(tid, vid, imci_common::Lsn(lsn)) {
@@ -405,6 +500,50 @@ fn collector_thread(
     let _ = disp.send(DispatchMsg::Shutdown);
 }
 
+/// Column-store side of an applied DDL record — shared by the
+/// collector drain (Phase 2 quiesced first) and the single-threaded
+/// bootstrap replay in [`crate::sync`]. `stamp` is the VID rebuilt
+/// ALTER rows are made visible at (the caller's current commit point).
+pub(crate) fn apply_column_ddl(
+    op: &DdlOp,
+    engine: &RowEngine,
+    store: &ColumnStore,
+    stamp: Vid,
+) -> Result<()> {
+    match op {
+        // Normally applied by the reader; kept for completeness (e.g.
+        // a future path that routes creates through the drain).
+        DdlOp::CreateTable { schema, .. } => {
+            if schema.has_column_index() {
+                store.create_index(schema);
+            }
+        }
+        DdlOp::DropTable { table_id, .. } => {
+            store.remove_index(*table_id);
+        }
+        DdlOp::ReplaceSchema { schema } => {
+            if schema.has_column_index() {
+                // Rebuild from the local row replica, which replay has
+                // brought up to this record's LSN.
+                let mut rows = Vec::new();
+                engine.scan(&schema.name, i64::MIN, i64::MAX, |_, row| {
+                    rows.push(row.values);
+                })?;
+                let idx = imci_core::build_from_rows(
+                    schema,
+                    store.group_capacity(),
+                    stamp,
+                    rows.into_iter(),
+                )?;
+                store.install(idx);
+            } else {
+                store.remove_index(schema.table_id);
+            }
+        }
+    }
+    Ok(())
+}
+
 fn dispatcher_thread(
     rx: Receiver<DispatchMsg>,
     p2: Vec<Sender<P2Msg>>,
@@ -412,19 +551,31 @@ fn dispatcher_thread(
     store: Arc<ColumnStore>,
     metrics: Arc<ReplicationMetrics>,
     batch_txns: usize,
+    flush_done: Sender<()>,
 ) {
     let n2 = p2.len() as u64;
     let mut shutdown = false;
     while !shutdown {
         // Collect a batch: block for the first txn, then drain greedily.
         let mut batch: Vec<CommittedTxn> = Vec::with_capacity(batch_txns);
+        let mut flush_after = false;
         match rx.recv() {
             Ok(DispatchMsg::Txn(t)) => batch.push(t),
+            // Between batches everything dispatched so far is applied
+            // (each batch ends on a worker barrier): ack immediately.
+            Ok(DispatchMsg::Flush) => {
+                let _ = flush_done.send(());
+                continue;
+            }
             Ok(DispatchMsg::Shutdown) | Err(_) => break,
         }
         while batch.len() < batch_txns {
             match rx.try_recv() {
                 Ok(DispatchMsg::Txn(t)) => batch.push(t),
+                Ok(DispatchMsg::Flush) => {
+                    flush_after = true;
+                    break;
+                }
                 Ok(DispatchMsg::Shutdown) => {
                     shutdown = true;
                     break;
@@ -454,6 +605,9 @@ fn dispatcher_thread(
         metrics.advance_applied(last_lsn);
         metrics.txns_committed.fetch_add(n_txns, Ordering::Relaxed);
         metrics.batches.fetch_add(1, Ordering::Relaxed);
+        if flush_after {
+            let _ = flush_done.send(());
+        }
     }
     for tx in &p2 {
         let _ = tx.send(P2Msg::Shutdown);
@@ -519,15 +673,10 @@ mod tests {
     }
 
     fn start_ro(fs: &PolarFs, cfg: ReplicationConfig) -> (Pipeline, Arc<ColumnStore>) {
+        // No catalog refresh, no manual index creation: the log's DDL
+        // records build both as the pipeline replays from offset 0.
         let ro_engine = RowEngine::new_replica(fs.clone(), 1 << 20);
-        ro_engine.refresh_catalog().unwrap();
         let store = Arc::new(ColumnStore::new(1024));
-        for name in ro_engine.table_names() {
-            let rt = ro_engine.table(&name).unwrap();
-            if rt.schema.has_column_index() {
-                store.create_index(&rt.schema);
-            }
-        }
         let p = Pipeline::start(fs.clone(), ro_engine, store.clone(), cfg);
         (p, store)
     }
@@ -707,15 +856,107 @@ mod tests {
     }
 
     #[test]
+    fn ddl_after_start_never_loses_dml() {
+        // Regression for the lazy-pickup race: a table created *after*
+        // the RO pipeline started used to be discovered out-of-band
+        // (`let _ = refresh_catalog()` mid-apply), and committed DMLs
+        // racing that discovery were silently dropped — only an error
+        // counter moved. With DDL in the log, the CREATE's record
+        // strictly precedes the INSERT's entries, so every row must
+        // land, every round, with zero errors.
+        let fs = PolarFs::instant();
+        let log = LogWriter::new(fs.clone(), PropagationMode::ReuseRedo);
+        let rw = RowEngine::new_rw(fs.clone(), log, 1 << 20);
+        let (pipe, store) = start_ro(&fs, ReplicationConfig::default());
+        for round in 0..20i64 {
+            let name = format!("t{round}");
+            let (cols, idxs) = table_parts();
+            rw.create_table(&name, cols, idxs).unwrap();
+            let mut txn = rw.begin();
+            rw.insert(
+                &mut txn,
+                &name,
+                vec![Value::Int(1), Value::Int(round), Value::Null],
+            )
+            .unwrap();
+            rw.commit(txn);
+            let target = rw.log().unwrap().written_lsn().get();
+            assert!(pipe.wait_applied(target, Duration::from_secs(20)));
+            let idx = store
+                .index(imci_common::TableId(round as u64 + 1))
+                .unwrap_or_else(|_| panic!("round {round}: column index must exist"));
+            assert_eq!(
+                idx.snapshot().get_by_pk(1).unwrap()[1],
+                Value::Int(round),
+                "round {round}: committed insert must never be lost"
+            );
+        }
+        assert_eq!(pipe.error_count(), 0);
+        assert_eq!(
+            pipe.metrics().ddls_applied.load(Ordering::Relaxed),
+            20,
+            "all 20 CREATEs applied through the log"
+        );
+        pipe.stop();
+    }
+
+    #[test]
+    fn drop_table_destroys_replica_state_in_lsn_order() {
+        let (fs, rw) = setup(); // creates table "t"
+        let ro_engine = RowEngine::new_replica(fs.clone(), 1 << 20);
+        let store = Arc::new(ColumnStore::new(1024));
+        let pipe = Pipeline::start(
+            fs.clone(),
+            ro_engine.clone(),
+            store.clone(),
+            ReplicationConfig::default(),
+        );
+        let mut txn = rw.begin();
+        for pk in 0..200i64 {
+            rw.insert(
+                &mut txn,
+                "t",
+                vec![Value::Int(pk), Value::Int(pk), Value::Null],
+            )
+            .unwrap();
+        }
+        rw.commit(txn);
+        rw.drop_table("t").unwrap();
+        let target = rw.log().unwrap().written_lsn().get();
+        assert!(pipe.wait_applied(target, Duration::from_secs(20)));
+        // All 200 inserts were applied (and not raced by the drop), then
+        // the drop destroyed both formats.
+        assert_eq!(pipe.error_count(), 0, "{}", pipe.metrics().summary());
+        assert!(
+            store.index(imci_common::TableId(1)).is_err(),
+            "column index destroyed"
+        );
+        assert!(ro_engine.table("t").is_err(), "row runtime destroyed");
+        // Re-creating the same name works and replicates cleanly.
+        let (cols, idxs) = table_parts();
+        rw.create_table("t", cols, idxs).unwrap();
+        let mut txn = rw.begin();
+        rw.insert(
+            &mut txn,
+            "t",
+            vec![Value::Int(7), Value::Int(70), Value::Null],
+        )
+        .unwrap();
+        rw.commit(txn);
+        let target = rw.log().unwrap().written_lsn().get();
+        assert!(pipe.wait_applied(target, Duration::from_secs(20)));
+        let idx = store.index(imci_common::TableId(2)).unwrap();
+        assert_eq!(idx.snapshot().get_by_pk(7).unwrap()[1], Value::Int(70));
+        assert_eq!(ro_engine.row_count("t").unwrap(), 1);
+        assert_eq!(pipe.error_count(), 0);
+        pipe.stop();
+    }
+
+    #[test]
     fn row_replica_also_converges() {
         let (fs, rw) = setup();
         let ro_engine = RowEngine::new_replica(fs.clone(), 1 << 20);
-        ro_engine.refresh_catalog().unwrap();
         let store = Arc::new(ColumnStore::new(1024));
-        for name in ro_engine.table_names() {
-            let rt = ro_engine.table(&name).unwrap();
-            store.create_index(&rt.schema);
-        }
         let pipe = Pipeline::start(
             fs.clone(),
             ro_engine.clone(),

@@ -48,15 +48,11 @@ pub fn replay_log_sync(
     group_cap: usize,
     large_txn_threshold: usize,
 ) -> Result<ReplicaState> {
+    // The catalog is NOT pre-loaded from any shared object: the log's
+    // DDL records rebuild it in LSN order, exactly like the live
+    // pipeline does.
     let engine = RowEngine::new_replica(fs.clone(), usize::MAX / 2);
-    engine.refresh_catalog()?;
     let store = Arc::new(ColumnStore::new(group_cap));
-    for name in engine.table_names() {
-        let rt = engine.table(&name)?;
-        if rt.schema.has_column_index() {
-            store.create_index(&rt.schema);
-        }
-    }
     let cap = upto_offset.unwrap_or_else(|| fs.log_len(imci_wal::REDO_LOG_NAME));
     let mut reader = LogReader::new(fs.clone(), 0);
     let mut bufs = TxnBuffers::new(large_txn_threshold);
@@ -75,16 +71,15 @@ pub fn replay_log_sync(
                 store.advance_all(*commit_vid);
             }
             RedoPayload::Abort => bufs.abort(e.tid),
+            RedoPayload::Ddl { version, op } => {
+                // Single-threaded replay: nothing is in flight, so both
+                // sides of the DDL apply immediately and in LSN order.
+                if engine.apply_ddl(*version, op)? {
+                    crate::pipeline::apply_column_ddl(op, &engine, &store, last_vid)?;
+                }
+            }
             _ => {
                 if let Some(change) = apply_entry(&engine, &e)? {
-                    if store.index(change.table_id).is_err() {
-                        engine.refresh_catalog()?;
-                        if let Ok(rt) = engine.table_by_id(change.table_id) {
-                            if rt.schema.has_column_index() {
-                                store.create_index(&rt.schema);
-                            }
-                        }
-                    }
                     bufs.add_dml(change, &store)?;
                 }
             }
@@ -118,6 +113,13 @@ pub fn take_checkpoint(
         state.stopped_at,
         &state.store.all(),
     )?;
+    // The catalog snapshot (schemas + catalog version as of the redo
+    // cursor) rides with the checkpoint: a node booting from it applies
+    // only the DDL records *after* the cursor — no lazy refresh.
+    fs.put_object(
+        &imci_core::ckpt_catalog_key(seq),
+        Bytes::from(state.engine.export_catalog()),
+    );
     for (id, bytes) in state.engine.buffer_pool().export_pages() {
         fs.put_object(
             &format!("ckpt/{seq:012}/rowpages/{:020}", id.get()),
@@ -185,7 +187,9 @@ mod tests {
         let idx = state.store.index(TableId(1)).unwrap();
         let snap = idx.snapshot();
         assert_eq!(snap.get_by_pk(100).unwrap()[1], Value::Int(700));
-        assert_eq!(state.last_vid, Vid(1));
+        // Vid(1) is the CREATE TABLE's own commit (DDL is a committed
+        // transaction now); the data transaction commits at Vid(2).
+        assert_eq!(state.last_vid, Vid(2));
         assert_eq!(state.last_commit_lsn, rw.log().unwrap().written_lsn());
     }
 
@@ -201,9 +205,11 @@ mod tests {
         }
         rw.commit(txn);
 
-        // New node: load checkpoint, then catch up via pipeline.
+        // New node: catalog snapshot + pages from the checkpoint, then
+        // catch up via the pipeline (no lazy refresh anywhere).
         let node = RowEngine::new_replica(fs.clone(), 1 << 20);
-        node.refresh_catalog().unwrap();
+        node.import_catalog(&fs.get_object(&imci_core::ckpt_catalog_key(1)).unwrap())
+            .unwrap();
         let n = load_checkpoint_pages(&fs, 1, &node).unwrap();
         assert!(n > 0);
         assert_eq!(node.row_count("t").unwrap(), 300, "pages restore rows");

@@ -6,8 +6,10 @@
 //! solved:
 //!
 //! 1. *"REDO logs lack table-level information"* — our physiological
-//!    records carry the table id, and the catalog object maps it to a
-//!    schema (real InnoDB recovers it from page headers; same effect).
+//!    records carry the table id, and the catalog maps it to a schema
+//!    (real InnoDB recovers it from page headers; same effect). The
+//!    catalog itself is versioned with the log: `Ddl` records precede
+//!    every DML of their table, so replay never sees an unknown id.
 //! 2. *"Page changes caused by the row store itself"* — SMO records are
 //!    applied physically but excluded from logical extraction (they
 //!    carry [`SYSTEM_TID`]); so are the page changes of undo/rollback.
@@ -47,13 +49,17 @@ pub struct LogicalChange {
     pub dml: LogicalDml,
 }
 
-/// Find a table's runtime state, refreshing the catalog once if the
-/// id is unknown (DDL may have happened after this node booted; the
-/// row images must still maintain secondary indexes and counters).
-fn table_of(engine: &RowEngine, id: TableId) -> Option<std::sync::Arc<crate::table::TableRt>> {
-    engine.table_by_id(id).ok().or_else(|| {
-        engine.refresh_catalog().ok()?;
-        engine.table_by_id(id).ok()
+/// Find a table's runtime state. With DDL shipped through the REDO
+/// stream, a table's `Ddl` record precedes every one of its DMLs in LSN
+/// order, so by the time a DML entry is applied the table is always
+/// registered — no lazy catalog refresh. An unknown id therefore
+/// indicates a replay-ordering bug and surfaces as a replication error
+/// (it used to be silently papered over by an out-of-band refresh).
+fn table_of(engine: &RowEngine, id: TableId) -> Result<std::sync::Arc<crate::table::TableRt>> {
+    engine.table_by_id(id).map_err(|_| {
+        Error::Replication(format!(
+            "replay references table {id} before its DDL record"
+        ))
     })
 }
 
@@ -78,6 +84,15 @@ pub fn apply_entry(engine: &RowEngine, e: &RedoEntry) -> Result<Option<LogicalCh
     match &e.payload {
         RedoPayload::Commit { .. } | RedoPayload::Abort => Ok(None),
 
+        // Catalog record: apply to this node's catalog (version-gated,
+        // so mixed replay paths stay idempotent). Column-store side
+        // effects are the replication layer's job — this function only
+        // owns the row replica.
+        RedoPayload::Ddl { version, op } => {
+            engine.apply_ddl(*version, op)?;
+            Ok(None)
+        }
+
         RedoPayload::Insert { pk, image } => {
             let arc = local_page(bp, e.page_id)?;
             let mut page = arc.write();
@@ -98,10 +113,9 @@ pub fn apply_entry(engine: &RowEngine, e: &RedoEntry) -> Result<Option<LogicalCh
             page.dirty = true;
             drop(page);
             let new = Row::decode(image)?;
-            if let Some(rt) = table_of(engine, e.table_id) {
-                rt.sec_add(*pk, &new.values);
-                rt.count_insert();
-            }
+            let rt = table_of(engine, e.table_id)?;
+            rt.sec_add(*pk, &new.values);
+            rt.count_insert();
             if e.tid == SYSTEM_TID {
                 return Ok(None); // undo application, not a user DML
             }
@@ -138,9 +152,8 @@ pub fn apply_entry(engine: &RowEngine, e: &RedoEntry) -> Result<Option<LogicalCh
             drop(page);
             let old = Row::decode(&old_image)?;
             let new = Row::decode(&new_image)?;
-            if let Some(rt) = table_of(engine, e.table_id) {
-                rt.sec_update(*pk, &old.values, &new.values);
-            }
+            let rt = table_of(engine, e.table_id)?;
+            rt.sec_update(*pk, &old.values, &new.values);
             if e.tid == SYSTEM_TID {
                 return Ok(None);
             }
@@ -172,10 +185,9 @@ pub fn apply_entry(engine: &RowEngine, e: &RedoEntry) -> Result<Option<LogicalCh
             page.dirty = true;
             drop(page);
             let old = Row::decode(&old_image)?;
-            if let Some(rt) = table_of(engine, e.table_id) {
-                rt.sec_remove(*pk, &old.values);
-                rt.count_delete();
-            }
+            let rt = table_of(engine, e.table_id)?;
+            rt.sec_remove(*pk, &old.values);
+            rt.count_delete();
             if e.tid == SYSTEM_TID {
                 return Ok(None);
             }
@@ -379,8 +391,9 @@ mod tests {
         rw.abort(bad).unwrap();
 
         // Replay on a fresh replica.
+        // No catalog refresh: the CREATE TABLE's DDL record is in the
+        // log and registers the table during replay.
         let ro = RowEngine::new_replica(fs.clone(), 1 << 20);
-        ro.refresh_catalog().unwrap();
         let mut reader = LogReader::new(fs, 0);
         let mut user_dmls = 0;
         for e in reader.read_available() {
@@ -439,8 +452,9 @@ mod tests {
         .unwrap();
         rw.commit(txn);
 
+        // No catalog refresh: the CREATE TABLE's DDL record is in the
+        // log and registers the table during replay.
         let ro = RowEngine::new_replica(fs.clone(), 1 << 20);
-        ro.refresh_catalog().unwrap();
         let mut reader = LogReader::new(fs, 0);
         let changes: Vec<LogicalChange> = reader
             .read_available()
@@ -476,8 +490,9 @@ mod tests {
         }
         rw.commit(txn);
 
+        // No catalog refresh: the CREATE TABLE's DDL record is in the
+        // log and registers the table during replay.
         let ro = RowEngine::new_replica(fs.clone(), 1 << 20);
-        ro.refresh_catalog().unwrap();
         let mut reader = LogReader::new(fs, 0);
         let entries = reader.read_available();
         for e in &entries {

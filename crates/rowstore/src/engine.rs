@@ -12,10 +12,10 @@ use crate::bufferpool::BufferPool;
 use crate::table::TableRt;
 use crate::txn::{Txn, TxnManager, UndoOp};
 use imci_common::{
-    DataType, Error, FxHashMap, Result, Row, Schema, TableId, Value, Vid, SYSTEM_TID,
+    DataType, DdlOp, Error, FxHashMap, PageId, Result, Row, Schema, TableId, Value, Vid, SYSTEM_TID,
 };
-use imci_wal::{BinlogEvent, BinlogKind, LogWriter, PropagationMode};
-use parking_lot::RwLock;
+use imci_wal::{BinlogEvent, BinlogKind, LogWriter, PropagationMode, RedoPayload};
+use parking_lot::{Mutex, RwLock};
 use polarfs_sim::PolarFs;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -34,6 +34,20 @@ pub struct RowEngine {
     /// Transaction manager (meaningful on the RW node).
     pub txns: TxnManager,
     next_table_id: AtomicU64,
+    /// Monotonic catalog version. On the RW node it is bumped by each
+    /// DDL (which ships a [`RedoPayload::Ddl`] record at that version);
+    /// replicas track the maximum applied version for checkpoint
+    /// snapshots.
+    catalog_version: AtomicU64,
+    /// Replica replay bookkeeping: last applied DDL version **per
+    /// table**. The idempotency gate must be per-table, not the global
+    /// scalar: the pipeline applies creates in the reader but defers
+    /// drops/alters to the collector drain, so a create for table B can
+    /// legitimately apply *before* an earlier-versioned drop of table A
+    /// — a global gate would silently mask the drop.
+    ddl_versions: RwLock<FxHashMap<TableId, u64>>,
+    /// Serializes DDL so that catalog-version order equals log order.
+    ddl_lock: Mutex<()>,
 }
 
 impl RowEngine {
@@ -48,6 +62,9 @@ impl RowEngine {
             txns: TxnManager::new(Some(log.clone())),
             log: Some(log),
             next_table_id: AtomicU64::new(1),
+            catalog_version: AtomicU64::new(0),
+            ddl_versions: RwLock::new(FxHashMap::default()),
+            ddl_lock: Mutex::new(()),
         })
     }
 
@@ -62,6 +79,9 @@ impl RowEngine {
             txns: TxnManager::new(None),
             log: None,
             next_table_id: AtomicU64::new(1),
+            catalog_version: AtomicU64::new(0),
+            ddl_versions: RwLock::new(FxHashMap::default()),
+            ddl_lock: Mutex::new(()),
         })
     }
 
@@ -90,15 +110,51 @@ impl RowEngine {
 
     // ---- catalog ----
 
-    /// Create a table (DDL). Emits creation SMO records, persists the
-    /// catalog to shared storage, and flushes the initial pages so any
-    /// node can open the table.
+    /// Emit a DDL log record (plus binlog event in Binlog mode) at the
+    /// next catalog version, as its own committed transaction. Returns
+    /// the pending transaction whose commit record the caller writes
+    /// once its local catalog mutation is done — the commit advances the
+    /// written LSN, so strong-consistency reads fence on DDL exactly
+    /// like they fence on DML. Caller must hold `ddl_lock`.
+    fn append_ddl(&self, op: &DdlOp) -> Option<Txn> {
+        let version = self.catalog_version.fetch_add(1, Ordering::SeqCst) + 1;
+        let log = self.log.as_ref()?;
+        let txn = self.begin();
+        log.append(
+            txn.tid,
+            op.table_id(),
+            PageId::ZERO,
+            0,
+            RedoPayload::Ddl {
+                version,
+                op: op.clone(),
+            },
+        );
+        if log.mode() == PropagationMode::Binlog {
+            log.binlog().log_event(&BinlogEvent {
+                tid: txn.tid,
+                table_id: op.table_id(),
+                kind: BinlogKind::Ddl {
+                    version,
+                    op: op.clone(),
+                },
+            });
+        }
+        Some(txn)
+    }
+
+    /// Create a table (DDL). Emits creation SMO records, then a
+    /// versioned [`RedoPayload::Ddl`] record carrying the full schema —
+    /// the record is appended *before* the table becomes visible to
+    /// local DML, so in the log every DML of the table follows its DDL —
+    /// and finally a commit record that advances the written LSN.
     pub fn create_table(
         &self,
         name: &str,
         columns: Vec<imci_common::ColumnDef>,
         indexes: Vec<imci_common::IndexDef>,
     ) -> Result<Arc<TableRt>> {
+        let _ddl = self.ddl_lock.lock();
         let lname = name.to_ascii_lowercase();
         if self.tables.read().contains_key(&lname) {
             return Err(Error::Catalog(format!("table {lname} already exists")));
@@ -107,15 +163,53 @@ impl RowEngine {
         let schema = Schema::new(table_id, lname.clone(), columns, indexes)?;
         let ctx = self.ctx_for(SYSTEM_TID, table_id);
         let tree = BTree::create(self.bp.clone(), self.page_alloc.clone(), &ctx)?;
+        let pending = self.append_ddl(&DdlOp::CreateTable {
+            schema: schema.clone(),
+            meta_page: tree.meta_page(),
+        });
         let rt = Arc::new(TableRt::new(schema, tree));
         self.tables.write().insert(lname, rt.clone());
         self.tables_by_id.write().insert(table_id, rt.clone());
         self.persist_catalog();
+        if let Some(txn) = pending {
+            self.txns.commit(txn);
+        }
         Ok(rt)
     }
 
-    /// Register an already-existing table (used by replicas during
-    /// catalog refresh and by checkpoint loading).
+    /// Drop a table (DDL). The table is removed from the local catalog
+    /// *before* the DDL record is appended, so in the log no DML of the
+    /// table can follow its drop. Replicas destroy the row-table runtime
+    /// and column index in LSN order with the data changes. The table's
+    /// pages are left to garbage (this reproduction has no page
+    /// reclamation).
+    pub fn drop_table(&self, name: &str) -> Result<()> {
+        let _ddl = self.ddl_lock.lock();
+        let rt = self.table(name)?;
+        // Claim the table under its writer lock: a DML that already
+        // resolved this runtime either finished its log appends before
+        // this point, or will take the lock afterwards, observe the
+        // flag, and fail — so no DML entry can follow the drop's DDL
+        // record in the log.
+        {
+            let _g = rt.write_lock.lock();
+            rt.dropped.store(true, std::sync::atomic::Ordering::Release);
+        }
+        self.tables.write().remove(&rt.schema.name);
+        self.tables_by_id.write().remove(&rt.schema.table_id);
+        let pending = self.append_ddl(&DdlOp::DropTable {
+            table_id: rt.schema.table_id,
+            name: rt.schema.name.clone(),
+        });
+        self.persist_catalog();
+        if let Some(txn) = pending {
+            self.txns.commit(txn);
+        }
+        Ok(())
+    }
+
+    /// Register an already-existing table (used by replicas applying
+    /// DDL records and by checkpoint-catalog loading).
     pub fn register_table(&self, schema: Schema, meta_page: imci_common::PageId) {
         let rt = Arc::new(TableRt::new(
             schema.clone(),
@@ -127,10 +221,16 @@ impl RowEngine {
 
     /// Replace a table's schema in place (online DDL such as
     /// `ALTER TABLE ... ADD COLUMN INDEX`, §3.3). Runtime state (tree,
-    /// secondaries, counters) is preserved; the catalog is re-persisted
-    /// so replicas pick the change up on refresh.
+    /// secondaries, counters) is preserved. The change ships through the
+    /// REDO stream as a versioned DDL record, so replicas observe it in
+    /// LSN order — previously this mutated only the shared catalog
+    /// object, which replicas would never (re)read.
     pub fn replace_table_schema(&self, name: &str, schema: Schema) -> Result<()> {
+        let _ddl = self.ddl_lock.lock();
         let old = self.table(name)?;
+        let pending = self.append_ddl(&DdlOp::ReplaceSchema {
+            schema: schema.clone(),
+        });
         let new_rt = Arc::new(TableRt::new(
             schema.clone(),
             BTree::open(
@@ -148,6 +248,117 @@ impl RowEngine {
             .insert(schema.name.clone(), new_rt.clone());
         self.tables_by_id.write().insert(schema.table_id, new_rt);
         self.persist_catalog();
+        if let Some(txn) = pending {
+            self.txns.commit(txn);
+        }
+        Ok(())
+    }
+
+    /// Current catalog version (0 = empty catalog).
+    pub fn catalog_version(&self) -> u64 {
+        self.catalog_version.load(Ordering::SeqCst)
+    }
+
+    /// Apply a DDL log record to this node's catalog (replica replay).
+    /// Returns `false` — without touching anything — when `version` is
+    /// not newer than the last version applied **for that table**,
+    /// making replay idempotent (checkpoint catalogs embed their
+    /// version). The gate is per-table because the pipeline applies
+    /// creates in the reader but drops/alters in the collector drain:
+    /// a later-versioned create of table B must not mask an
+    /// earlier-versioned, still-undrained drop of table A.
+    pub fn apply_ddl(&self, version: u64, op: &DdlOp) -> Result<bool> {
+        let _ddl = self.ddl_lock.lock();
+        let gate_id = op.table_id();
+        if version <= self.ddl_versions.read().get(&gate_id).copied().unwrap_or(0) {
+            return Ok(false);
+        }
+        match op {
+            DdlOp::CreateTable { schema, meta_page } => {
+                self.register_table(schema.clone(), *meta_page);
+                let id = schema.table_id.get();
+                self.next_table_id.fetch_max(id + 1, Ordering::SeqCst);
+            }
+            DdlOp::DropTable { table_id, name } => {
+                // Remove the name entry only while it still maps to the
+                // dropped id: a reader-applied re-create of the same
+                // name (higher version, new id) may already own it.
+                let mut tables = self.tables.write();
+                if tables
+                    .get(name)
+                    .is_some_and(|rt| rt.schema.table_id == *table_id)
+                {
+                    tables.remove(name);
+                }
+                drop(tables);
+                self.tables_by_id.write().remove(table_id);
+            }
+            DdlOp::ReplaceSchema { schema } => {
+                let old = self.table_by_id(schema.table_id)?;
+                let new_rt = Arc::new(TableRt::new(
+                    schema.clone(),
+                    BTree::open(
+                        self.bp.clone(),
+                        self.page_alloc.clone(),
+                        old.tree.meta_page(),
+                    ),
+                ));
+                new_rt
+                    .row_counter
+                    .store(old.approx_rows(), Ordering::SeqCst);
+                new_rt.rebuild_secondaries()?;
+                self.tables
+                    .write()
+                    .insert(schema.name.clone(), new_rt.clone());
+                self.tables_by_id.write().insert(schema.table_id, new_rt);
+            }
+        }
+        self.ddl_versions.write().insert(gate_id, version);
+        self.catalog_version.fetch_max(version, Ordering::SeqCst);
+        Ok(true)
+    }
+
+    /// Serialize the catalog (version + schemas + meta pages) for a
+    /// checkpoint. A node booting from the checkpoint imports this and
+    /// then applies only the DDL records *after* the checkpoint's redo
+    /// cursor — the catalog stays versioned with the log end to end.
+    pub fn export_catalog(&self) -> Vec<u8> {
+        let tables = self.tables.read();
+        let mut out = Vec::with_capacity(64);
+        out.extend_from_slice(&self.catalog_version.load(Ordering::SeqCst).to_le_bytes());
+        out.extend_from_slice(&self.page_alloc.load(Ordering::SeqCst).to_le_bytes());
+        out.extend_from_slice(&(tables.len() as u32).to_le_bytes());
+        for rt in tables.values() {
+            out.extend_from_slice(&rt.tree.meta_page().get().to_le_bytes());
+            let enc = rt.schema.encode();
+            out.extend_from_slice(&(enc.len() as u32).to_le_bytes());
+            out.extend_from_slice(&enc);
+        }
+        out
+    }
+
+    /// Load a catalog snapshot produced by [`RowEngine::export_catalog`]
+    /// into an empty node. Every imported table's per-table DDL gate is
+    /// set to the snapshot version: records at or below it are covered
+    /// by the snapshot, records after the checkpoint's redo cursor
+    /// carry higher versions and apply normally.
+    pub fn import_catalog(&self, bytes: &[u8]) -> Result<()> {
+        let _ddl = self.ddl_lock.lock();
+        let mut r = imci_common::ByteReader::new(bytes);
+        let version = r.u64()?;
+        let page_alloc = r.u64()?;
+        let n = r.u32()? as usize;
+        for _ in 0..n {
+            let meta = PageId(r.u64()?);
+            let len = r.u32()? as usize;
+            let (schema, _) = Schema::decode(r.take(len)?)?;
+            let id = schema.table_id;
+            self.register_table(schema, meta);
+            self.next_table_id.fetch_max(id.get() + 1, Ordering::SeqCst);
+            self.ddl_versions.write().insert(id, version);
+        }
+        self.catalog_version.fetch_max(version, Ordering::SeqCst);
+        self.page_alloc.fetch_max(page_alloc, Ordering::SeqCst);
         Ok(())
     }
 
@@ -205,11 +416,22 @@ impl RowEngine {
             self.page_alloc.load(Ordering::SeqCst),
             self.next_table_id.load(Ordering::SeqCst)
         ));
+        out.push_str(&format!(
+            "version\t{}\n",
+            self.catalog_version.load(Ordering::SeqCst)
+        ));
         self.fs.put_object(CATALOG_KEY, bytes::Bytes::from(out));
     }
 
-    /// (Re)load the catalog from shared storage. Newly-seen tables are
-    /// registered; existing ones are kept (their runtime state stays).
+    /// (Re)load the catalog from the shared-storage catalog *object*.
+    /// Newly-seen tables are registered; existing ones are kept (their
+    /// runtime state stays).
+    ///
+    /// NOTE: replication no longer uses this — RO catalogs are versioned
+    /// with the REDO log via [`RedoPayload::Ddl`] records (created
+    /// nodes replay DDL from the log or import a checkpoint catalog
+    /// snapshot). This path remains for offline inspection and for
+    /// opening an engine directly over an existing volume.
     pub fn refresh_catalog(&self) -> Result<()> {
         let bytes = match self.fs.get_object(CATALOG_KEY) {
             Ok(b) => b,
@@ -279,6 +501,10 @@ impl RowEngine {
                     let pa: u64 = parts[1].parse().unwrap_or(1);
                     self.page_alloc.fetch_max(pa, Ordering::SeqCst);
                 }
+                "version" => {
+                    let v: u64 = parts[1].parse().unwrap_or(0);
+                    self.catalog_version.fetch_max(v, Ordering::SeqCst);
+                }
                 "" => {}
                 other => return Err(Error::Catalog(format!("bad catalog line: {other}"))),
             }
@@ -306,6 +532,7 @@ impl RowEngine {
         let ctx = self.ctx_for(txn.tid, rt.schema.table_id);
         {
             let _g = rt.write_lock.lock();
+            rt.ensure_live()?;
             rt.tree.insert(pk, image, &ctx)?;
             rt.sec_add(pk, &row.values);
             rt.count_insert();
@@ -342,6 +569,7 @@ impl RowEngine {
         let old_image;
         {
             let _g = rt.write_lock.lock();
+            rt.ensure_live()?;
             old_image = rt.tree.update(pk, new_row.encode(), &ctx)?;
             let old_row = Row::decode(&old_image)?;
             rt.sec_update(pk, &old_row.values, &new_row.values);
@@ -365,6 +593,7 @@ impl RowEngine {
         let ctx = self.ctx_for(txn.tid, rt.schema.table_id);
         {
             let _g = rt.write_lock.lock();
+            rt.ensure_live()?;
             let old_image = rt.tree.delete(pk, &ctx)?;
             let old_row = Row::decode(&old_image)?;
             rt.sec_remove(pk, &old_row.values);
@@ -402,6 +631,7 @@ impl RowEngine {
                     let rt = self.table_by_id(*table)?;
                     let ctx = self.ctx_for(SYSTEM_TID, *table);
                     let _g = rt.write_lock.lock();
+                    rt.ensure_live()?;
                     let old = rt.tree.delete(*pk, &ctx)?;
                     let old_row = Row::decode(&old)?;
                     rt.sec_remove(*pk, &old_row.values);
@@ -411,6 +641,7 @@ impl RowEngine {
                     let rt = self.table_by_id(*table)?;
                     let ctx = self.ctx_for(SYSTEM_TID, *table);
                     let _g = rt.write_lock.lock();
+                    rt.ensure_live()?;
                     let cur = rt.tree.update(*pk, old.encode(), &ctx)?;
                     let cur_row = Row::decode(&cur)?;
                     rt.sec_update(*pk, &cur_row.values, &old.values);
@@ -419,6 +650,7 @@ impl RowEngine {
                     let rt = self.table_by_id(*table)?;
                     let ctx = self.ctx_for(SYSTEM_TID, *table);
                     let _g = rt.write_lock.lock();
+                    rt.ensure_live()?;
                     rt.tree.insert(*pk, old.encode(), &ctx)?;
                     rt.sec_add(*pk, &old.values);
                     rt.count_insert();
@@ -634,6 +866,140 @@ mod tests {
         assert_eq!(replica.row_count("t").unwrap(), 100);
         rt.rebuild_secondaries().unwrap();
         assert_eq!(rt.secondaries[0].lookup_eq(&Value::Int(5)), vec![5]);
+    }
+
+    #[test]
+    fn ddl_version_gate_is_per_table() {
+        // The pipeline applies creates in the reader but drops in the
+        // collector drain, so a later-versioned create can reach
+        // apply_ddl *before* an earlier-versioned drop of a different
+        // table. The gate must not mask the drop.
+        let fs = PolarFs::instant();
+        let ro = RowEngine::new_replica(fs, 4096);
+        let (cols, idxs) = demo_columns();
+        let s1 = Schema::new(TableId(1), "t1", cols.clone(), idxs.clone()).unwrap();
+        let s2 = Schema::new(TableId(2), "t2", cols, idxs).unwrap();
+        assert!(ro
+            .apply_ddl(
+                1,
+                &DdlOp::CreateTable {
+                    schema: s1,
+                    meta_page: PageId(1)
+                }
+            )
+            .unwrap());
+        // Reader races ahead: create of t2 at version 3 applies first.
+        assert!(ro
+            .apply_ddl(
+                3,
+                &DdlOp::CreateTable {
+                    schema: s2,
+                    meta_page: PageId(2)
+                }
+            )
+            .unwrap());
+        // The deferred drop of t1 at version 2 must still apply.
+        assert!(ro
+            .apply_ddl(
+                2,
+                &DdlOp::DropTable {
+                    table_id: TableId(1),
+                    name: "t1".into()
+                }
+            )
+            .unwrap());
+        assert!(ro.table("t1").is_err(), "drop must not be version-masked");
+        assert!(ro.table("t2").is_ok());
+        // Same-name re-create racing a deferred drop: the drop of the
+        // *old* id must not evict the new table's name mapping.
+        let (cols, idxs) = demo_columns();
+        let s3 = Schema::new(TableId(3), "t2", cols, idxs).unwrap();
+        assert!(ro
+            .apply_ddl(
+                5,
+                &DdlOp::CreateTable {
+                    schema: s3,
+                    meta_page: PageId(3)
+                }
+            )
+            .unwrap());
+        assert!(ro
+            .apply_ddl(
+                4,
+                &DdlOp::DropTable {
+                    table_id: TableId(2),
+                    name: "t2".into()
+                }
+            )
+            .unwrap());
+        assert_eq!(
+            ro.table("t2").unwrap().schema.table_id,
+            TableId(3),
+            "deferred drop of the old id must not evict the re-created name"
+        );
+        assert!(ro.table_by_id(TableId(2)).is_err());
+        // Idempotency still holds per table: replaying any of them is
+        // a no-op.
+        assert!(!ro
+            .apply_ddl(
+                2,
+                &DdlOp::DropTable {
+                    table_id: TableId(1),
+                    name: "t1".into()
+                }
+            )
+            .unwrap());
+        assert_eq!(ro.catalog_version(), 5, "max applied version overall");
+    }
+
+    #[test]
+    fn concurrent_drop_and_dml_keep_log_replayable() {
+        // A DML that resolved the table runtime just before DROP TABLE
+        // must not append entries after the drop's DDL record — the
+        // replica treats DML-after-drop as a hard replay error. Hammer
+        // inserts from another thread while dropping, then replay the
+        // whole log and require zero errors.
+        let (e, fs) = rw_engine();
+        let (cols, idxs) = demo_columns();
+        e.create_table("t", cols, idxs).unwrap();
+        let writer = {
+            let e = e.clone();
+            std::thread::spawn(move || {
+                let mut i = 0i64;
+                loop {
+                    let mut txn = e.begin();
+                    let r = e.insert(
+                        &mut txn,
+                        "t",
+                        vec![Value::Int(i), Value::Int(0), Value::Null],
+                    );
+                    match r {
+                        Ok(()) => e.commit(txn),
+                        Err(_) => {
+                            // Table dropped mid-flight: abort may also
+                            // fail (runtime gone) — either way no log
+                            // entries for the dead table were appended.
+                            let _ = e.abort(txn);
+                            break;
+                        }
+                    };
+                    i += 1;
+                }
+                i
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        e.drop_table("t").unwrap();
+        let inserted = writer.join().unwrap();
+        assert!(inserted > 0, "writer must have made progress");
+
+        let ro = RowEngine::new_replica(fs.clone(), 1 << 20);
+        let mut reader = imci_wal::LogReader::new(fs, 0);
+        for entry in reader.read_available() {
+            crate::apply::apply_entry(&ro, &entry)
+                .unwrap_or_else(|err| panic!("log must stay replayable: {err}"));
+        }
+        assert!(ro.table("t").is_err(), "replica observed the drop");
     }
 
     #[test]

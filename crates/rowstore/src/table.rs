@@ -1,7 +1,7 @@
 //! Runtime table object: B+tree + secondary indexes + write serialization.
 
 use crate::btree::BTree;
-use imci_common::{Result, Row, Schema, Value};
+use imci_common::{Error, Result, Row, Schema, Value};
 use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeMap;
 use std::ops::Bound;
@@ -80,6 +80,12 @@ pub struct TableRt {
     /// Serializes writers on this table (single-writer-per-table; the
     /// single-RW-node design means there is no cross-node writer).
     pub write_lock: Mutex<()>,
+    /// Set (under `write_lock`) by `DROP TABLE` before its DDL record
+    /// is appended. A DML that resolved this runtime before the drop
+    /// must observe the flag under the same lock and fail instead of
+    /// appending log entries *after* the drop's DDL record — replicas
+    /// treat a DML following its table's drop as a replay error.
+    pub dropped: std::sync::atomic::AtomicBool,
 }
 
 impl TableRt {
@@ -95,7 +101,21 @@ impl TableRt {
             tree,
             secondaries,
             write_lock: Mutex::new(()),
+            dropped: std::sync::atomic::AtomicBool::new(false),
         }
+    }
+
+    /// Fail if `DROP TABLE` has claimed this table. Callers must hold
+    /// `write_lock` (the flag is set under it) so the check and the
+    /// subsequent log appends are atomic with respect to the drop.
+    pub fn ensure_live(&self) -> Result<()> {
+        if self.dropped.load(std::sync::atomic::Ordering::Acquire) {
+            return Err(Error::Catalog(format!(
+                "table {} was dropped",
+                self.schema.name
+            )));
+        }
+        Ok(())
     }
 
     /// Approximate live rows (cheap, lock-free).

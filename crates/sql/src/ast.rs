@@ -14,6 +14,12 @@ pub enum Statement {
         /// Covered columns.
         columns: Vec<String>,
     },
+    /// `DROP TABLE t` — shipped to replicas as a versioned DDL record
+    /// through the REDO stream, like every other catalog change.
+    DropTable {
+        /// Table name.
+        table: String,
+    },
     /// INSERT INTO t VALUES (...), (...).
     Insert {
         /// Table name.

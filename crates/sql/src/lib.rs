@@ -226,6 +226,17 @@ impl QueryEngine {
                 self.alter_add_column_index(table, columns)?;
                 Ok(QueryResult::dml(0))
             }
+            Statement::DropTable { table } => {
+                let table_id = self.row.table(table)?.schema.table_id;
+                self.row.drop_table(table)?;
+                if let Some(store) = &self.store {
+                    // Single-node engines (RW playing both roles in
+                    // tests/benches) drop their local index too; RO
+                    // nodes do this via the replicated DDL record.
+                    store.remove_index(table_id);
+                }
+                Ok(QueryResult::dml(0))
+            }
             Statement::Insert { table, rows } => {
                 let rt = self.row.table(table)?;
                 let mut txn = self.row.begin();

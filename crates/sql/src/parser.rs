@@ -212,6 +212,8 @@ pub fn parse(sql: &str) -> Result<Statement> {
         parse_delete(&mut lx)?
     } else if lx.peek_kw("alter") {
         parse_alter(&mut lx)?
+    } else if lx.peek_kw("drop") {
+        parse_drop(&mut lx)?
     } else {
         return Err(Error::Parse(format!(
             "unsupported statement start: {:?}",
@@ -488,6 +490,13 @@ fn parse_alter(lx: &mut Lexer) -> Result<Statement> {
     }
     lx.expect_punct(")")?;
     Ok(Statement::AlterAddColumnIndex { table, columns })
+}
+
+fn parse_drop(lx: &mut Lexer) -> Result<Statement> {
+    lx.expect_kw("drop")?;
+    lx.expect_kw("table")?;
+    let table = lx.ident()?;
+    Ok(Statement::DropTable { table })
 }
 
 fn parse_literal(lx: &mut Lexer) -> Result<Value> {
@@ -1057,11 +1066,28 @@ mod tests {
     }
 
     #[test]
+    fn drop_table_parses() {
+        match parse("DROP TABLE tenants").unwrap() {
+            Statement::DropTable { table } => assert_eq!(table, "tenants"),
+            o => panic!("{o:?}"),
+        }
+        assert_eq!(
+            parse("drop table T1;").unwrap(),
+            Statement::DropTable { table: "t1".into() }
+        );
+        assert!(parse("DROP TABLE").is_err());
+        assert!(parse("DROP INDEX i").is_err());
+    }
+
+    #[test]
     fn rough_routing_classifier() {
         assert!(is_read_only("SELECT 1 FROM t"));
         assert!(is_read_only("  select * from t"));
         assert!(!is_read_only("INSERT INTO t VALUES (1)"));
         assert!(!is_read_only("UPDATE t SET a=1 WHERE id=1"));
+        // DDL routes to the RW node.
+        assert!(!is_read_only("DROP TABLE t"));
+        assert!(!is_read_only("CREATE TABLE t (id INT, PRIMARY KEY(id))"));
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! implements exactly that so the Fig. 11 experiment can measure the
 //! perturbation honestly.
 
-use imci_common::{Error, Result, Row, TableId, Tid};
+use imci_common::{DdlOp, Error, Result, Row, TableId, Tid};
 use polarfs_sim::PolarFs;
 
 /// Shared-storage file name of the binlog.
@@ -26,6 +26,14 @@ pub enum BinlogKind {
     Commit,
     /// Transaction rolled back.
     Abort,
+    /// Catalog change (CREATE/DROP/ALTER): logical binlogs ship DDL as
+    /// statements; we ship the structured op with its catalog version.
+    Ddl {
+        /// Catalog version this event advances the catalog to.
+        version: u64,
+        /// The catalog change.
+        op: DdlOp,
+    },
 }
 
 /// A logical binlog event.
@@ -65,6 +73,13 @@ impl BinlogEvent {
             }
             BinlogKind::Commit => body.push(4),
             BinlogKind::Abort => body.push(5),
+            BinlogKind::Ddl { version, op } => {
+                body.push(6);
+                body.extend_from_slice(&version.to_le_bytes());
+                let enc = op.encode();
+                body.extend_from_slice(&(enc.len() as u32).to_le_bytes());
+                body.extend_from_slice(&enc);
+            }
         }
         let mut out = Vec::with_capacity(body.len() + 4);
         out.extend_from_slice(&(body.len() as u32).to_le_bytes());
@@ -109,6 +124,12 @@ impl BinlogEvent {
             },
             4 => BinlogKind::Commit,
             5 => BinlogKind::Abort,
+            6 => {
+                let version = u64::from_le_bytes(rest[0..8].try_into().unwrap());
+                let n = u32::from_le_bytes(rest[8..12].try_into().unwrap()) as usize;
+                let (op, _) = DdlOp::decode(&rest[12..12 + n])?;
+                BinlogKind::Ddl { version, op }
+            }
             t => return Err(Error::Storage(format!("unknown binlog kind {t}"))),
         };
         Ok(Some((
@@ -191,6 +212,17 @@ mod tests {
                 table_id: TableId::ZERO,
                 kind: BinlogKind::Commit,
             },
+            BinlogEvent {
+                tid: Tid(2),
+                table_id: TableId(3),
+                kind: BinlogKind::Ddl {
+                    version: 4,
+                    op: DdlOp::DropTable {
+                        table_id: TableId(3),
+                        name: "t3".into(),
+                    },
+                },
+            },
         ];
         let mut buf = Vec::new();
         for e in &evs {
@@ -203,6 +235,50 @@ mod tests {
             pos += used;
         }
         assert_eq!(out, evs);
+    }
+
+    #[test]
+    fn ddl_event_roundtrips_full_schema() {
+        use imci_common::{ColumnDef, DataType, IndexDef, IndexKind, PageId, Schema};
+        let schema = Schema::new(
+            TableId(5),
+            "t5",
+            vec![
+                ColumnDef::not_null("id", DataType::Int),
+                ColumnDef::new("d", DataType::Date),
+                ColumnDef::new("x", DataType::Double),
+            ],
+            vec![
+                IndexDef {
+                    kind: IndexKind::Primary,
+                    name: "PRIMARY".into(),
+                    columns: vec![0],
+                },
+                IndexDef {
+                    kind: IndexKind::Secondary,
+                    name: "d_idx".into(),
+                    columns: vec![1],
+                },
+            ],
+        )
+        .unwrap();
+        for op in [
+            DdlOp::CreateTable {
+                schema: schema.clone(),
+                meta_page: PageId(77),
+            },
+            DdlOp::ReplaceSchema { schema },
+        ] {
+            let ev = BinlogEvent {
+                tid: Tid(9),
+                table_id: op.table_id(),
+                kind: BinlogKind::Ddl { version: 11, op },
+            };
+            let enc = ev.encode();
+            let (dec, used) = BinlogEvent::decode(&enc).unwrap().unwrap();
+            assert_eq!(used, enc.len());
+            assert_eq!(dec, ev);
+        }
     }
 
     #[test]

@@ -8,14 +8,18 @@
 //! flavour of logging InnoDB actually uses (byte-physical within a page,
 //! logical across pages).
 //!
-//! Two families of record types exist:
+//! Three families of record types exist:
 //!
 //! * **user DML records** (`Insert`, `Update`, `Delete`) carrying a TID
 //!   of a user transaction, plus `Commit`/`Abort` decision records; and
 //! * **system records** (`Smo*`) for page changes produced by the row
 //!   store itself — B+tree splits, new roots, page initialization. They
 //!   carry [`SYSTEM_TID`] and must be *applied* by Phase-1 replay but
-//!   *filtered out* of logical DML extraction (paper §5.3, challenge 2).
+//!   *filtered out* of logical DML extraction (paper §5.3, challenge 2);
+//! * **catalog records** (`Ddl`) carrying a full serialized schema and
+//!   a monotonic catalog version, so RO catalogs are versioned with the
+//!   log instead of lazily refreshed (CREATE/DROP/ALTER apply in LSN
+//!   order with the data changes).
 //!
 //! The [`binlog`] module implements the strawman the paper compares
 //! against in Fig. 11: an additional logical log whose extra commit-path

@@ -1,6 +1,6 @@
 //! REDO record types and their binary codec.
 
-use imci_common::{Error, Lsn, PageId, Result, RowDiff, TableId, Tid, Vid};
+use imci_common::{DdlOp, Error, Lsn, PageId, Result, RowDiff, TableId, Tid, Vid};
 
 /// Payload of a REDO entry, discriminated by record type.
 ///
@@ -44,6 +44,16 @@ pub enum RedoPayload {
     Commit { commit_vid: Vid },
     /// Transaction aborted; RO nodes drop its buffered DMLs (§5.1).
     Abort,
+    /// Catalog change (CREATE/DROP/ALTER), shipped through the REDO
+    /// stream so replicas apply DDL in LSN order with the data changes.
+    /// `version` is the monotonically increasing catalog version; replay
+    /// is idempotent (records at or below a node's version are skipped).
+    Ddl {
+        /// Catalog version this record advances the catalog to.
+        version: u64,
+        /// The catalog change itself (full serialized schema payloads).
+        op: DdlOp,
+    },
 }
 
 impl RedoPayload {
@@ -61,6 +71,7 @@ impl RedoPayload {
             RedoPayload::SmoSetRoot { .. } => 15,
             RedoPayload::Commit { .. } => 20,
             RedoPayload::Abort => 21,
+            RedoPayload::Ddl { .. } => 30,
         }
     }
 
@@ -72,6 +83,11 @@ impl RedoPayload {
     /// Whether this is a transaction decision record.
     pub fn is_decision(&self) -> bool {
         matches!(self, RedoPayload::Commit { .. } | RedoPayload::Abort)
+    }
+
+    /// Whether this is a catalog (DDL) record.
+    pub fn is_ddl(&self) -> bool {
+        matches!(self, RedoPayload::Ddl { .. })
     }
 }
 
@@ -203,6 +219,10 @@ impl RedoEntry {
             RedoPayload::SmoSetRoot { root } => put_u64(&mut body, root.get()),
             RedoPayload::Commit { commit_vid } => put_u64(&mut body, commit_vid.get()),
             RedoPayload::Abort => {}
+            RedoPayload::Ddl { version, op } => {
+                put_u64(&mut body, *version);
+                put_bytes(&mut body, &op.encode());
+            }
         }
         let mut out = Vec::with_capacity(body.len() + 4);
         put_u32(&mut out, body.len() as u32);
@@ -296,6 +316,12 @@ impl RedoEntry {
                 commit_vid: Vid(r.u64()?),
             },
             21 => RedoPayload::Abort,
+            30 => {
+                let version = r.u64()?;
+                let op_bytes = r.bytes()?;
+                let (op, _) = DdlOp::decode(&op_bytes)?;
+                RedoPayload::Ddl { version, op }
+            }
             t => return Err(Error::Storage(format!("unknown redo record type {t}"))),
         };
         Ok(Some((
@@ -371,6 +397,62 @@ mod tests {
             commit_vid: Vid(1000),
         });
         roundtrip(RedoPayload::Abort);
+    }
+
+    #[test]
+    fn roundtrip_ddl_records() {
+        use imci_common::{ColumnDef, DataType, DdlOp, IndexDef, IndexKind, Schema};
+        let schema = Schema::new(
+            TableId(9),
+            "tenant_t",
+            vec![
+                ColumnDef::not_null("id", DataType::Int),
+                ColumnDef::new("payload", DataType::Str),
+            ],
+            vec![
+                IndexDef {
+                    kind: IndexKind::Primary,
+                    name: "PRIMARY".into(),
+                    columns: vec![0],
+                },
+                IndexDef {
+                    kind: IndexKind::Column,
+                    name: "ci".into(),
+                    columns: vec![0, 1],
+                },
+            ],
+        )
+        .unwrap();
+        roundtrip(RedoPayload::Ddl {
+            version: 1,
+            op: DdlOp::CreateTable {
+                schema: schema.clone(),
+                meta_page: PageId(12),
+            },
+        });
+        roundtrip(RedoPayload::Ddl {
+            version: 2,
+            op: DdlOp::ReplaceSchema {
+                schema: schema.clone(),
+            },
+        });
+        roundtrip(RedoPayload::Ddl {
+            version: 3,
+            op: DdlOp::DropTable {
+                table_id: TableId(9),
+                name: "tenant_t".into(),
+            },
+        });
+        let p = RedoPayload::Ddl {
+            version: 3,
+            op: DdlOp::DropTable {
+                table_id: TableId(9),
+                name: "tenant_t".into(),
+            },
+        };
+        assert!(p.is_ddl());
+        assert!(!p.is_smo());
+        assert!(!p.is_decision());
     }
 
     #[test]

@@ -271,3 +271,50 @@ fn eventual_sessions_lose_no_updates() {
     server.shutdown();
     cluster.shutdown();
 }
+
+#[test]
+fn ddl_lifecycle_surfaces_errors_over_the_wire() {
+    // CREATE → INSERT → strong SELECT works immediately through the
+    // service tier; after DROP the same SELECT must come back as a
+    // `catalog` error (category preserved across the wire, not a
+    // generic execution failure), on a session pinned to strong
+    // consistency so the drop's replication is fenced, with no
+    // lazy-refresh retry anywhere in the path.
+    let (server, cluster) = boot();
+    let addr = server.local_addr();
+    let mut c = Client::connect(addr).unwrap();
+    c.set_consistency(Consistency::Strong).unwrap();
+    c.execute(
+        "CREATE TABLE tenants (id INT NOT NULL, v INT,
+         PRIMARY KEY(id), KEY COLUMN_INDEX(id, v))",
+    )
+    .unwrap();
+    c.execute("INSERT INTO tenants VALUES (1, 10)").unwrap();
+    let res = c.execute("SELECT v FROM tenants WHERE id = 1").unwrap();
+    assert_eq!(res.rows, vec![vec![Value::Int(10)]]);
+
+    c.execute("DROP TABLE tenants").unwrap();
+    let err = c
+        .execute("SELECT v FROM tenants WHERE id = 1")
+        .expect_err("dropped table must error");
+    assert_eq!(
+        err.kind(),
+        "catalog",
+        "wire must preserve the category: {err}"
+    );
+    // A second session sees the same state (no per-session catalog).
+    let mut c2 = Client::connect(addr).unwrap();
+    c2.set_consistency(Consistency::Strong).unwrap();
+    let err = c2
+        .execute("SELECT COUNT(*) FROM tenants")
+        .expect_err("dropped table must error on fresh sessions too");
+    assert_eq!(err.kind(), "catalog");
+    // And the name is reusable.
+    c2.execute("CREATE TABLE tenants (id INT NOT NULL, v INT, PRIMARY KEY(id))")
+        .unwrap();
+    c2.execute("INSERT INTO tenants VALUES (1, 77)").unwrap();
+    let res = c2.execute("SELECT v FROM tenants WHERE id = 1").unwrap();
+    assert_eq!(res.rows, vec![vec![Value::Int(77)]]);
+    server.shutdown();
+    cluster.shutdown();
+}
