@@ -1,10 +1,15 @@
 //! Ablations of DESIGN.md §3: pack pruning on/off, CALS on/off,
-//! late-materialized scans on/off, and DDL churn visibility.
+//! late-materialized scans on/off, DDL churn visibility, and
+//! crash-recovery / RO→RW failover latency.
 //!
 //! `--smoke` runs every ablation at a tiny scale — CI uses it to keep
 //! this binary from rotting without paying for real measurements.
+//! `--json <path>` additionally writes the metrics as a `BENCH_*.json`
+//! report (scenario → metric → value + git SHA) that CI uploads as an
+//! artifact and gates with `bench-check` against the committed
+//! baselines.
 
-use imci_bench::{bench_cluster, run_query_on};
+use imci_bench::{bench_cluster, run_query_on, BenchReport};
 use imci_cluster::{Cluster, ClusterConfig, Consistency, ExecOpts};
 use imci_common::{
     ColumnDef, DataType, FxHashMap, IndexDef, IndexKind, Schema, TableId, Value, Vid,
@@ -19,14 +24,20 @@ use std::time::{Duration, Instant};
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
-    ablation_a(smoke);
-    ablation_b(smoke);
-    ablation_c(smoke);
-    ablation_d(smoke);
+    let mut rep = BenchReport::new(smoke);
+    ablation_a(smoke, &mut rep);
+    ablation_b(smoke, &mut rep);
+    ablation_c(smoke, &mut rep);
+    ablation_d(smoke, &mut rep);
+    ablation_e(smoke, &mut rep);
+    if let Some(path) = imci_bench::report::json_path_arg() {
+        rep.write(&path).expect("write bench json");
+        println!("\nwrote {path}");
+    }
 }
 
 /// (A) pack pruning: selective Q6-style scan with/without min-max skipping.
-fn ablation_a(smoke: bool) {
+fn ablation_a(smoke: bool, rep: &mut BenchReport) {
     println!("## ablation A: pack min/max pruning (TPC-H Q6-style scan)");
     let cluster = bench_cluster(1);
     let sf = if smoke { 0.0005 } else { 0.002 };
@@ -50,11 +61,13 @@ fn ablation_a(smoke: bool) {
     node.query.set_prune_enabled(true);
     println!("pruning_on_ms\t{t_on:.2}");
     println!("pruning_off_ms\t{t_off:.2}");
+    rep.set("pruning", "pruning_on_ms", t_on);
+    rep.set("pruning", "pruning_off_ms", t_off);
     cluster.shutdown();
 }
 
 /// (B) CALS vs on-commit shipping: visibility delay comparison.
-fn ablation_b(smoke: bool) {
+fn ablation_b(smoke: bool, rep: &mut BenchReport) {
     println!("## ablation B: commit-ahead log shipping vs on-commit shipping");
     println!("## (VD after a 2000-row transaction: CALS overlaps parse/apply with");
     println!("## the transaction's execution; OnCommit starts only after the fsync)");
@@ -78,7 +91,7 @@ fn ablation_b(smoke: bool) {
         let mut total = Duration::ZERO;
         let mut pk = 1_000_000i64;
         for _ in 0..samples {
-            let rw = &cluster.rw;
+            let rw = cluster.rw().expect("RW node is up");
             let mut txn = rw.begin();
             for _ in 0..txn_rows {
                 let _ = rw.insert(
@@ -93,12 +106,15 @@ fn ablation_b(smoke: bool) {
                 );
                 pk += 1;
             }
-            rw.commit(txn);
+            rw.commit(txn).unwrap();
             total += cluster.measure_visibility_delay().unwrap_or(Duration::ZERO);
         }
-        println!(
-            "{label}\tmean_vd_us\t{:.1}",
-            total.as_secs_f64() * 1e6 / samples as f64
+        let mean_us = total.as_secs_f64() * 1e6 / samples as f64;
+        println!("{label}\tmean_vd_us\t{mean_us:.1}");
+        rep.set(
+            "ship_mode",
+            &format!("{}_mean_vd_us", label.to_ascii_lowercase()),
+            mean_us,
         );
         cluster.shutdown();
     }
@@ -107,7 +123,7 @@ fn ablation_b(smoke: bool) {
 /// (C) late materialization: a selective (5%) filtered scan over a wide
 /// table, filter evaluated on the compressed packs + one post-filter
 /// gather vs the decode-everything-then-mask baseline.
-fn ablation_c(smoke: bool) {
+fn ablation_c(smoke: bool, rep: &mut BenchReport) {
     let n: i64 = if smoke { 20_000 } else { 400_000 };
     let sel_limit = n / 20;
     println!("## ablation C: late-materialized scan (filter on compressed packs)");
@@ -190,17 +206,25 @@ fn ablation_c(smoke: bool) {
     println!("late_mat_off_ms\t{t_off:.2}");
     println!("scan_mrows_per_s_on\t{:.1}", n as f64 / t_on / 1e3);
     println!("speedup\t{:.2}x", t_off / t_on);
+    rep.set("late_mat", "rows_selected", rows as f64);
+    rep.set("late_mat", "late_mat_on_ms", t_on);
+    rep.set("late_mat", "late_mat_off_ms", t_off);
+    rep.set("late_mat", "scan_mrows_per_s_on", n as f64 / t_on / 1e3);
+    rep.set("late_mat", "speedup", t_off / t_on);
 }
 
-/// (D) DDL churn: tenant-per-table workloads create tables constantly.
-/// Measures CREATE TABLE → INSERT → first row-returning SELECT on an RO
-/// node, per consistency level. DDL ships through the REDO stream and
-/// its commit advances the written LSN, so strong reads fence on the
-/// replica having applied the DDL (zero retries by construction);
-/// eventual reads poll until the replica catches up, which is the
-/// actual visibility latency.
-fn ablation_d(smoke: bool) {
-    println!("## ablation D: ddl_churn (create-table → RO visibility latency)");
+/// (D) DDL churn: tenant-per-table workloads create and drop tables
+/// constantly. Measures CREATE TABLE → INSERT → first row-returning
+/// SELECT on an RO node, per consistency level. DDL ships through the
+/// REDO stream and its commit advances the written LSN, so strong reads
+/// fence on the replica having applied the DDL (zero retries by
+/// construction); eventual reads poll until the replica catches up,
+/// which is the actual visibility latency. Each tenant's table is
+/// dropped after the measurement, and the ablation asserts the page
+/// high-water mark stays flat — dropped tables' B+tree pages are
+/// recycled through the free list, not leaked.
+fn ablation_d(smoke: bool, rep: &mut BenchReport) {
+    println!("## ablation D: ddl_churn (create/drop-table → RO visibility latency)");
     let tenants = if smoke { 5 } else { 50 };
     for (label, level) in [
         ("eventual", Consistency::Eventual),
@@ -217,6 +241,7 @@ fn ablation_d(smoke: bool) {
         };
         let mut total = Duration::ZERO;
         let mut retries = 0u64;
+        let mut high_water_after_first = 0u64;
         for t in 0..tenants {
             let name = format!("tenant_{t}");
             let t0 = Instant::now();
@@ -244,11 +269,154 @@ fn ablation_d(smoke: bool) {
                 }
             }
             total += t0.elapsed();
+            // Tenant churn: the table goes away once measured; its
+            // pages must be recycled by the next tenant's CREATE.
+            cluster.execute(&format!("DROP TABLE {name}")).unwrap();
+            if t == 0 {
+                high_water_after_first = cluster.rw().unwrap().page_allocator().high_water();
+            }
         }
+        let high_water_delta =
+            cluster.rw().unwrap().page_allocator().high_water() - high_water_after_first;
+        assert_eq!(
+            high_water_delta, 0,
+            "{label}: dropped tenants' pages must be recycled, not leaked"
+        );
+        let mean_us = total.as_secs_f64() * 1e6 / tenants as f64;
         println!(
-            "{label}\tmean_create_to_visible_us\t{:.1}\tread_retries\t{retries}",
-            total.as_secs_f64() * 1e6 / tenants as f64
+            "{label}\tmean_create_to_visible_us\t{mean_us:.1}\tread_retries\t{retries}\tpage_high_water_delta\t{high_water_delta}"
+        );
+        rep.set(
+            "ddl_churn",
+            &format!("{label}_mean_create_to_visible_us"),
+            mean_us,
+        );
+        rep.set(
+            "ddl_churn",
+            &format!("{label}_read_retries"),
+            retries as f64,
+        );
+        rep.set(
+            "ddl_churn",
+            "page_high_water_delta",
+            high_water_delta as f64,
         );
         cluster.shutdown();
     }
+}
+
+/// (E) failover: the fault-tolerance workload class. Crash the RW and
+/// measure (1) crash→recovered latency (restart recovery: checkpoint +
+/// REDO suffix + in-flight rollback), then crash again and measure
+/// (2) crash→promoted latency (RO→RW failover: epoch fence, pipeline
+/// drain to the log tail, writer-mode flip) and (3) post-failover
+/// freshness (visibility delay through the new RW to the surviving RO).
+fn ablation_e(smoke: bool, rep: &mut BenchReport) {
+    println!("## ablation E: failover (crash→recovered / crash→promoted)");
+    let rows: i64 = if smoke { 2_000 } else { 50_000 };
+    let cluster = Cluster::start(ClusterConfig {
+        n_ro: 2,
+        group_cap: 4096,
+        ..Default::default()
+    });
+    cluster
+        .execute(
+            "CREATE TABLE ha (id INT NOT NULL, v INT, PRIMARY KEY(id),
+             KEY COLUMN_INDEX(id, v))",
+        )
+        .unwrap();
+    let rw = cluster.rw().unwrap();
+    let mut txn = rw.begin();
+    for i in 0..rows {
+        rw.insert(&mut txn, "ha", vec![Value::Int(i), Value::Int(i)])
+            .unwrap();
+    }
+    rw.commit(txn).unwrap();
+    assert!(cluster.wait_sync(Duration::from_secs(120)));
+    cluster.checkpoint_now().unwrap();
+    // Post-checkpoint traffic: recovery replays this suffix.
+    let suffix = rows / 10;
+    let mut txn = rw.begin();
+    for i in rows..rows + suffix {
+        rw.insert(&mut txn, "ha", vec![Value::Int(i), Value::Int(i)])
+            .unwrap();
+    }
+    rw.commit(txn).unwrap();
+    // One transaction is in flight at the crash.
+    let mut doomed = rw.begin();
+    rw.insert(&mut doomed, "ha", vec![Value::Int(-1), Value::Int(0)])
+        .unwrap();
+    drop(rw);
+    let committed = rows + suffix;
+
+    // Best-of-N cycles for the gated latencies: a single sub-ms sample
+    // is dominated by thread spawn/scheduler noise, and bench-check
+    // gates these against the committed baselines.
+    let cycles = if smoke { 3 } else { 5 };
+
+    // (1) crash → restart recovery (crash/recover repeats in place;
+    // each cycle replays the same checkpoint suffix plus the few
+    // compensation records earlier cycles appended).
+    let mut recover_ms = f64::MAX;
+    let mut replayed = 0usize;
+    let mut rolled_back = 0usize;
+    for _ in 0..cycles {
+        cluster.crash_rw();
+        let t0 = Instant::now();
+        let rec = cluster.recover_rw().unwrap();
+        recover_ms = recover_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        replayed = rec.entries_replayed;
+        rolled_back += rec.rolled_back_txns;
+        let count = cluster.rw().unwrap().row_count("ha").unwrap() as i64;
+        assert_eq!(
+            count, committed,
+            "recovery must restore every committed txn"
+        );
+    }
+    println!("recover_ms\t{recover_ms:.2}");
+    println!("recover_replayed_entries\t{replayed}\trolled_back_txns\t{rolled_back}");
+    rep.set("failover", "recover_ms", recover_ms);
+    rep.set("failover", "recover_replayed_entries", replayed as f64);
+
+    // (2) crash again → RO→RW promotion. Each cycle consumes an RO, so
+    // replenish with a checkpoint-seeded scale-out between cycles.
+    let mut failover_ms = f64::MAX;
+    let mut drain_ms = f64::MAX;
+    let mut promoted = String::new();
+    for cycle in 0..cycles {
+        cluster.crash_rw();
+        let t0 = Instant::now();
+        let fo = cluster.failover().unwrap();
+        failover_ms = failover_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        drain_ms = drain_ms.min(fo.drain_time.as_secs_f64() * 1e3);
+        promoted = fo.promoted;
+        let count = cluster.rw().unwrap().row_count("ha").unwrap() as i64;
+        assert_eq!(count, committed, "promotion must keep every committed txn");
+        if cycle + 1 < cycles {
+            cluster.scale_out().unwrap();
+        }
+    }
+    println!("failover_ms\t{failover_ms:.2}\tpromoted\t{promoted}\tdrain_ms\t{drain_ms:.2}");
+    rep.set("failover", "failover_ms", failover_ms);
+    rep.set("failover", "drain_ms", drain_ms);
+
+    // (3) post-failover freshness: writes through the promoted RW reach
+    // the surviving RO with ordinary CALS latency. Best-of-several
+    // probes — a single µs-scale condvar wakeup is scheduler noise,
+    // and this metric is gated by bench-check.
+    cluster
+        .execute(&format!("INSERT INTO ha VALUES ({}, 0)", rows * 2))
+        .unwrap();
+    let vd_us = (0..10)
+        .map(|_| {
+            cluster
+                .measure_visibility_delay()
+                .expect("surviving RO serves")
+                .as_secs_f64()
+                * 1e6
+        })
+        .fold(f64::MAX, f64::min);
+    println!("post_failover_vd_us\t{vd_us:.1}");
+    rep.set("failover", "post_failover_vd_us", vd_us);
+    cluster.shutdown();
 }

@@ -1,0 +1,102 @@
+//! `bench-check`: gate CI on the bench JSON trajectory.
+//!
+//! ```text
+//! bench-check <baseline.json> <current.json> [--tolerance 0.5]
+//! ```
+//!
+//! Compares every perf-shaped metric (latencies lower-is-better,
+//! throughputs higher-is-better; see `report::direction_of`) in the
+//! committed baseline against the current run and exits non-zero when
+//! any regresses beyond the tolerance. Counts and flags are printed but
+//! never gated. Smoke baselines only compare against smoke runs: the
+//! scales differ by design, so a cross comparison would gate nothing
+//! real.
+
+use imci_bench::report::{compare, parse_report, ParsedReport};
+
+fn load(path: &str) -> ParsedReport {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+    parse_report(&text).unwrap_or_else(|e| die(&format!("cannot parse {path}: {e}")))
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("bench-check: {msg}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut tolerance = 0.5f64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--tolerance" => {
+                tolerance = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--tolerance needs a number"));
+                i += 2;
+            }
+            other => {
+                paths.push(other.to_string());
+                i += 1;
+            }
+        }
+    }
+    if paths.len() != 2 {
+        die("usage: bench-check <baseline.json> <current.json> [--tolerance 0.5]");
+    }
+    let baseline = load(&paths[0]);
+    let current = load(&paths[1]);
+    if baseline.smoke != current.smoke {
+        die(&format!(
+            "scale mismatch: baseline smoke={} vs current smoke={} — \
+             comparing different scales gates nothing",
+            baseline.smoke, current.smoke
+        ));
+    }
+
+    let comparisons = compare(&baseline, &current, tolerance);
+    if comparisons.is_empty() {
+        println!(
+            "bench-check: no gated metrics in {} — nothing to compare",
+            paths[0]
+        );
+        return;
+    }
+    println!(
+        "bench-check: {} vs {} (tolerance {:.0}%, baseline sha {})",
+        paths[0],
+        paths[1],
+        tolerance * 100.0,
+        &baseline.git_sha[..baseline.git_sha.len().min(12)],
+    );
+    let mut failures = 0;
+    for c in &comparisons {
+        let status = if c.failed { "FAIL" } else { "ok  " };
+        println!(
+            "  {status} {:<45} base {:>12.2}  now {:>12.2}  ({:+.1}% worse)",
+            c.key,
+            c.baseline,
+            c.current,
+            c.regression * 100.0
+        );
+        if c.failed {
+            failures += 1;
+        }
+    }
+    if failures > 0 {
+        eprintln!(
+            "bench-check: {failures}/{} metric(s) regressed beyond {:.0}% — failing the build",
+            comparisons.len(),
+            tolerance * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "bench-check: all {} gated metric(s) within tolerance",
+        comparisons.len()
+    );
+}

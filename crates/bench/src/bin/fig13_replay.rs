@@ -62,7 +62,7 @@ fn main() {
                     .insert(&mut txn, "t", vec![Value::Int(pk), Value::Int(0)])
                     .is_ok()
                 {
-                    rw.commit(txn);
+                    rw.commit(txn).unwrap();
                     total.fetch_add(1, Ordering::Relaxed);
                 }
                 pk += 1;
@@ -141,7 +141,7 @@ fn main() {
         rw2.insert(&mut txn, "t", vec![Value::Int(pk), Value::Int(pk)])
             .unwrap();
     }
-    rw2.commit(txn);
+    rw2.commit(txn).unwrap();
     // No catalog refresh: the CREATE TABLE's DDL record is in the log
     // and registers the table during replay.
     let ro = RowEngine::new_replica(fs2.clone(), 1 << 20);

@@ -15,6 +15,7 @@
 //!    RO load-balancing (§6.1) without analytical queries starving
 //!    point reads.
 
+use imci_bench::BenchReport;
 use imci_cluster::{Cluster, ClusterConfig, Consistency};
 use imci_server::{Client, Server, ServerConfig};
 use rand::rngs::StdRng;
@@ -23,11 +24,9 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-const ROWS: i64 = 20_000;
 const GROUPS: i64 = 16;
 /// One OLAP aggregate per this many OLTP point reads.
 const OLAP_EVERY: u64 = 20;
-const MEASURE: Duration = Duration::from_secs(3);
 /// Pipeline depth / batch size for the protocol-mode comparison.
 const WINDOW: usize = 32;
 
@@ -50,13 +49,13 @@ impl Mode {
     }
 }
 
-fn point_read(rng: &mut StdRng) -> String {
-    let id = rng.gen_range(0..ROWS);
+fn point_read(rng: &mut StdRng, rows: i64) -> String {
+    let id = rng.gen_range(0..rows);
     format!("SELECT note FROM mix WHERE id = {id}")
 }
 
 /// Point-read throughput on one connection in the given protocol mode.
-fn run_mode(addr: std::net::SocketAddr, mode: Mode) -> f64 {
+fn run_mode(addr: std::net::SocketAddr, mode: Mode, rows: i64, measure: Duration) -> f64 {
     let mut client = match mode {
         Mode::RoundtripV1 => Client::connect_v1(addr).unwrap(),
         _ => Client::connect(addr).unwrap(),
@@ -65,15 +64,15 @@ fn run_mode(addr: std::net::SocketAddr, mode: Mode) -> f64 {
     let mut rng = StdRng::seed_from_u64(7);
     let mut done = 0u64;
     let t0 = Instant::now();
-    while t0.elapsed() < MEASURE {
+    while t0.elapsed() < measure {
         match mode {
             Mode::RoundtripV1 | Mode::RoundtripV2 => {
-                client.execute(&point_read(&mut rng)).unwrap();
+                client.execute(&point_read(&mut rng, rows)).unwrap();
                 done += 1;
             }
             Mode::Pipelined => {
                 for _ in 0..WINDOW {
-                    client.send(&point_read(&mut rng)).unwrap();
+                    client.send(&point_read(&mut rng, rows)).unwrap();
                 }
                 for _ in 0..WINDOW {
                     client.recv().unwrap();
@@ -81,7 +80,7 @@ fn run_mode(addr: std::net::SocketAddr, mode: Mode) -> f64 {
                 done += WINDOW as u64;
             }
             Mode::Batched => {
-                let stmts: Vec<String> = (0..WINDOW).map(|_| point_read(&mut rng)).collect();
+                let stmts: Vec<String> = (0..WINDOW).map(|_| point_read(&mut rng, rows)).collect();
                 for r in client.execute_batch(&stmts).unwrap() {
                     r.unwrap();
                 }
@@ -93,6 +92,15 @@ fn run_mode(addr: std::net::SocketAddr, mode: Mode) -> f64 {
 }
 
 fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let mut rep = BenchReport::new(smoke);
+    let rows: i64 = if smoke { 2_000 } else { 20_000 };
+    let measure = if smoke {
+        Duration::from_millis(300)
+    } else {
+        Duration::from_secs(3)
+    };
+    let conn_counts: &[usize] = if smoke { &[1, 4] } else { &[1, 4, 16] };
     let cluster = Cluster::start(ClusterConfig {
         n_ro: 2,
         group_cap: 4096,
@@ -107,7 +115,7 @@ fn main() {
     // Bulk-load through the cluster API (batched inserts), then let the
     // ROs catch up before measuring.
     let mut batch = Vec::new();
-    for i in 0..ROWS {
+    for i in 0..rows {
         batch.push(format!(
             "({i}, {}, {}, 'n{}')",
             i % GROUPS,
@@ -141,7 +149,7 @@ fn main() {
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    println!("server_throughput: {ROWS} rows, {MEASURE:?} per point, {cores} core(s)");
+    println!("server_throughput: {rows} rows, {measure:?} per point, {cores} core(s)");
     if cores == 1 {
         println!("note: single-core host — expect a flat connection curve; scaling needs cores");
     }
@@ -152,7 +160,7 @@ fn main() {
         "{:>14} {:>12} {:>10} {:>12}",
         "mode", "queries/s", "µs/query", "vs roundtrip"
     );
-    let baseline = run_mode(addr, Mode::RoundtripV2);
+    let baseline = run_mode(addr, Mode::RoundtripV2, rows, measure);
     for mode in [
         Mode::RoundtripV1,
         Mode::RoundtripV2,
@@ -162,7 +170,7 @@ fn main() {
         let qps = if mode == Mode::RoundtripV2 {
             baseline
         } else {
-            run_mode(addr, mode)
+            run_mode(addr, mode, rows, measure)
         };
         println!(
             "{:>14} {:>12.0} {:>10.1} {:>11.2}x",
@@ -170,6 +178,11 @@ fn main() {
             qps,
             1e6 / qps,
             qps / baseline
+        );
+        rep.set(
+            "protocol_modes",
+            &format!("{}_qps", mode.name().replace('-', "_")),
+            qps,
         );
     }
 
@@ -179,7 +192,7 @@ fn main() {
         "{:>6} {:>12} {:>12} {:>12}",
         "conns", "queries/s", "oltp/s", "olap/s"
     );
-    for conns in [1usize, 4, 16] {
+    for &conns in conn_counts {
         let stop = Arc::new(AtomicBool::new(false));
         let mut handles = Vec::new();
         for t in 0..conns {
@@ -201,7 +214,7 @@ fn main() {
                             .unwrap();
                         olap += 1;
                     } else {
-                        client.execute(&point_read(&mut rng)).unwrap();
+                        client.execute(&point_read(&mut rng, rows)).unwrap();
                         oltp += 1;
                     }
                 }
@@ -209,7 +222,7 @@ fn main() {
             }));
         }
         let t0 = Instant::now();
-        std::thread::sleep(MEASURE);
+        std::thread::sleep(measure);
         stop.store(true, Ordering::Relaxed);
         let (mut oltp, mut olap) = (0u64, 0u64);
         for h in handles {
@@ -225,6 +238,15 @@ fn main() {
             oltp as f64 / secs,
             olap as f64 / secs
         );
+        rep.set(
+            "mixed_scaling",
+            &format!("conns{conns}_total_qps"),
+            (oltp + olap) as f64 / secs,
+        );
+    }
+    if let Some(path) = imci_bench::report::json_path_arg() {
+        rep.write(&path).expect("write bench json");
+        println!("\nwrote {path}");
     }
     server.shutdown();
     cluster.shutdown();

@@ -8,6 +8,10 @@ use imci_cluster::{Cluster, ClusterConfig};
 use imci_sql::{EngineChoice, Statement};
 use std::time::{Duration, Instant};
 
+pub mod report;
+
+pub use report::{compare, parse_report, BenchReport, Direction, ParsedReport};
+
 /// Read an env var with a default (benches are parameterized by env so
 /// `cargo bench`/CI stay fast while bigger runs remain one-liner away).
 pub fn env_f64(name: &str, default: f64) -> f64 {

@@ -1,0 +1,478 @@
+//! Machine-readable bench output and the regression gate behind it.
+//!
+//! Every harness binary that CI smoke-runs can emit a `BENCH_*.json`
+//! file (`--json <path>`): scenario → metric → value, stamped with the
+//! git SHA and whether it was a `--smoke` run. CI uploads the files as
+//! artifacts (the bench trajectory) and `bench-check` compares them
+//! against the committed baselines under `crates/bench/baselines/`,
+//! failing the build when a perf metric regresses beyond a generous
+//! tolerance.
+//!
+//! The JSON codec is hand-rolled (the workspace builds offline; the
+//! serde shim is a no-op) and covers exactly the subset these reports
+//! use: two-level objects with string/bool/number leaves.
+
+use std::fmt::Write as _;
+
+/// A bench run's metrics, grouped by scenario, in insertion order.
+pub struct BenchReport {
+    smoke: bool,
+    scenarios: Vec<(String, Vec<(String, f64)>)>,
+}
+
+impl BenchReport {
+    /// Start a report; `smoke` marks reduced-scale CI runs so
+    /// `bench-check` refuses to compare smoke against full-scale.
+    pub fn new(smoke: bool) -> BenchReport {
+        BenchReport {
+            smoke,
+            scenarios: Vec::new(),
+        }
+    }
+
+    /// Record one metric (overwrites an earlier value of the same name).
+    pub fn set(&mut self, scenario: &str, metric: &str, value: f64) {
+        let group = match self.scenarios.iter_mut().find(|(s, _)| s == scenario) {
+            Some((_, g)) => g,
+            None => {
+                self.scenarios.push((scenario.to_string(), Vec::new()));
+                &mut self.scenarios.last_mut().unwrap().1
+            }
+        };
+        match group.iter_mut().find(|(m, _)| m == metric) {
+            Some((_, v)) => *v = value,
+            None => group.push((metric.to_string(), value)),
+        }
+    }
+
+    /// Serialize to the `BENCH_*.json` format.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"git_sha\": {},", quote(&git_sha()));
+        let _ = writeln!(out, "  \"smoke\": {},", self.smoke);
+        out.push_str("  \"scenarios\": {\n");
+        for (si, (scenario, metrics)) in self.scenarios.iter().enumerate() {
+            let _ = writeln!(out, "    {}: {{", quote(scenario));
+            for (mi, (metric, value)) in metrics.iter().enumerate() {
+                let comma = if mi + 1 == metrics.len() { "" } else { "," };
+                let _ = writeln!(out, "      {}: {}{comma}", quote(metric), fmt_num(*value));
+            }
+            let comma = if si + 1 == self.scenarios.len() {
+                ""
+            } else {
+                ","
+            };
+            let _ = writeln!(out, "    }}{comma}");
+        }
+        out.push_str("  }\n}\n");
+        out
+    }
+
+    /// Write the report to `path`.
+    pub fn write(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+fn fmt_num(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// The commit this run measured: `GITHUB_SHA` in CI, `git rev-parse`
+/// locally, `"unknown"` otherwise.
+pub fn git_sha() -> String {
+    if let Ok(sha) = std::env::var("GITHUB_SHA") {
+        if !sha.is_empty() {
+            return sha;
+        }
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Pull `--json <path>` out of the process args (harness binaries share
+/// this flag).
+pub fn json_path_arg() -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+// ---- parsing (bench-check's side) ----
+
+/// A parsed `BENCH_*.json` file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedReport {
+    /// Commit the numbers came from.
+    pub git_sha: String,
+    /// Reduced-scale run?
+    pub smoke: bool,
+    /// scenario → metric → value.
+    pub scenarios: Vec<(String, Vec<(String, f64)>)>,
+}
+
+impl ParsedReport {
+    /// Look up one metric.
+    pub fn get(&self, scenario: &str, metric: &str) -> Option<f64> {
+        self.scenarios
+            .iter()
+            .find(|(s, _)| s == scenario)
+            .and_then(|(_, g)| g.iter().find(|(m, _)| m == metric))
+            .map(|(_, v)| *v)
+    }
+}
+
+/// Parse the report subset of JSON. Errors carry a byte position.
+pub fn parse_report(text: &str) -> Result<ParsedReport, String> {
+    let mut p = Parser {
+        b: text.as_bytes(),
+        i: 0,
+    };
+    let top = p.object()?;
+    p.skip_ws();
+    if p.i != p.b.len() {
+        return Err(format!("trailing bytes at {}", p.i));
+    }
+    let mut git_sha = "unknown".to_string();
+    let mut smoke = false;
+    let mut scenarios = Vec::new();
+    for (k, v) in top {
+        match (k.as_str(), v) {
+            ("git_sha", Json::Str(s)) => git_sha = s,
+            ("smoke", Json::Bool(b)) => smoke = b,
+            ("scenarios", Json::Obj(groups)) => {
+                for (scenario, group) in groups {
+                    let Json::Obj(metrics) = group else {
+                        return Err(format!("scenario {scenario} is not an object"));
+                    };
+                    let mut flat = Vec::new();
+                    for (metric, value) in metrics {
+                        let Json::Num(n) = value else {
+                            return Err(format!("metric {scenario}/{metric} is not a number"));
+                        };
+                        flat.push((metric, n));
+                    }
+                    scenarios.push((scenario, flat));
+                }
+            }
+            _ => {} // unknown top-level keys are fine (forward compat)
+        }
+    }
+    Ok(ParsedReport {
+        git_sha,
+        smoke,
+        scenarios,
+    })
+}
+
+enum Json {
+    Str(String),
+    Num(f64),
+    Bool(bool),
+    Obj(Vec<(String, Json)>),
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.i < self.b.len() && self.b[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.i < self.b.len() && self.b[self.i] == c {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", c as char, self.i))
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.b.get(self.i).copied()
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        while let Some(&c) = self.b.get(self.i) {
+            self.i += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = *self
+                        .b
+                        .get(self.i)
+                        .ok_or_else(|| "unterminated escape".to_string())?;
+                    self.i += 1;
+                    out.push(match esc {
+                        b'n' => '\n',
+                        b't' => '\t',
+                        other => other as char,
+                    });
+                }
+                c => out.push(c as char),
+            }
+        }
+        Err("unterminated string".to_string())
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'{') => Ok(Json::Obj(self.object()?)),
+            Some(b't') | Some(b'f') => {
+                let word: &[u8] = if self.b[self.i] == b't' {
+                    b"true"
+                } else {
+                    b"false"
+                };
+                if self.b[self.i..].starts_with(word) {
+                    self.i += word.len();
+                    Ok(Json::Bool(word == b"true"))
+                } else {
+                    Err(format!("bad literal at byte {}", self.i))
+                }
+            }
+            Some(c) if c == b'-' || c.is_ascii_digit() => {
+                let start = self.i;
+                while self.b.get(self.i).is_some_and(|c| {
+                    c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E')
+                }) {
+                    self.i += 1;
+                }
+                std::str::from_utf8(&self.b[start..self.i])
+                    .ok()
+                    .and_then(|s| s.parse().ok())
+                    .map(Json::Num)
+                    .ok_or_else(|| format!("bad number at byte {start}"))
+            }
+            _ => Err(format!("unexpected value at byte {}", self.i)),
+        }
+    }
+
+    fn object(&mut self) -> Result<Vec<(String, Json)>, String> {
+        self.expect(b'{')?;
+        let mut out = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(out);
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            out.push((key, self.value()?));
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.i)),
+            }
+        }
+    }
+}
+
+// ---- regression comparison (bench-check's policy) ----
+
+/// Which way a metric is "better", inferred from its name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Throughput-shaped: regression = drop.
+    HigherIsBetter,
+    /// Latency-shaped: regression = growth.
+    LowerIsBetter,
+    /// Counts/flags: informational, never gated.
+    Informational,
+}
+
+/// Classify a metric name. Conservative: anything unrecognized is
+/// informational rather than a false-positive gate.
+pub fn direction_of(metric: &str) -> Direction {
+    if metric.contains("per_s") || metric.contains("qps") || metric.contains("speedup") {
+        return Direction::HigherIsBetter;
+    }
+    if metric.ends_with("_ms")
+        || metric.ends_with("_us")
+        || metric.ends_with("_ns")
+        || metric.contains("latency")
+        || metric.contains("_vd")
+    {
+        return Direction::LowerIsBetter;
+    }
+    Direction::Informational
+}
+
+/// One baseline-vs-current comparison.
+#[derive(Debug)]
+pub struct Comparison {
+    /// `scenario/metric`.
+    pub key: String,
+    /// Committed baseline value.
+    pub baseline: f64,
+    /// This run's value.
+    pub current: f64,
+    /// Relative change, sign-normalized so positive = worse.
+    pub regression: f64,
+    /// Beyond tolerance?
+    pub failed: bool,
+}
+
+/// Compare every gated metric present in both reports. `tolerance` is
+/// the allowed relative regression (0.5 = current may be 50% worse).
+/// Metrics missing from `current` fail (a deleted metric silently
+/// un-gates itself otherwise); metrics only in `current` are new and
+/// pass.
+pub fn compare(baseline: &ParsedReport, current: &ParsedReport, tolerance: f64) -> Vec<Comparison> {
+    let mut out = Vec::new();
+    for (scenario, metrics) in &baseline.scenarios {
+        for (metric, base) in metrics {
+            let dir = direction_of(metric);
+            if dir == Direction::Informational || *base <= 0.0 {
+                continue;
+            }
+            let key = format!("{scenario}/{metric}");
+            match current.get(scenario, metric) {
+                Some(cur) => {
+                    let regression = match dir {
+                        Direction::LowerIsBetter => cur / base - 1.0,
+                        Direction::HigherIsBetter => base / cur.max(f64::MIN_POSITIVE) - 1.0,
+                        Direction::Informational => unreachable!(),
+                    };
+                    out.push(Comparison {
+                        key,
+                        baseline: *base,
+                        current: cur,
+                        regression,
+                        failed: regression > tolerance,
+                    });
+                }
+                None => out.push(Comparison {
+                    key,
+                    baseline: *base,
+                    current: f64::NAN,
+                    regression: f64::INFINITY,
+                    failed: true,
+                }),
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_roundtrips_through_json() {
+        let mut rep = BenchReport::new(true);
+        rep.set("failover", "recover_ms", 12.5);
+        rep.set("failover", "failover_ms", 3.0);
+        rep.set("server", "pipelined_qps", 540000.0);
+        rep.set("failover", "recover_ms", 11.0); // overwrite
+        let parsed = parse_report(&rep.to_json()).unwrap();
+        assert!(parsed.smoke);
+        assert_eq!(parsed.get("failover", "recover_ms"), Some(11.0));
+        assert_eq!(parsed.get("failover", "failover_ms"), Some(3.0));
+        assert_eq!(parsed.get("server", "pipelined_qps"), Some(540000.0));
+        assert_eq!(parsed.get("server", "missing"), None);
+        assert!(!parsed.git_sha.is_empty());
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse_report("not json").is_err());
+        assert!(parse_report("{\"scenarios\": {\"a\": 5}}").is_err());
+        assert!(parse_report("{} trailing").is_err());
+        assert!(parse_report("{\"scenarios\": {\"a\": {\"m\": \"x\"}}}").is_err());
+    }
+
+    #[test]
+    fn directions_are_inferred_from_names() {
+        assert_eq!(direction_of("mean_vd_us"), Direction::LowerIsBetter);
+        assert_eq!(direction_of("recover_ms"), Direction::LowerIsBetter);
+        assert_eq!(direction_of("pipelined_qps"), Direction::HigherIsBetter);
+        assert_eq!(
+            direction_of("scan_mrows_per_s_on"),
+            Direction::HigherIsBetter
+        );
+        assert_eq!(direction_of("speedup"), Direction::HigherIsBetter);
+        assert_eq!(direction_of("rows_selected"), Direction::Informational);
+        assert_eq!(direction_of("read_retries"), Direction::Informational);
+    }
+
+    #[test]
+    fn compare_flags_real_regressions_only() {
+        let mut base = BenchReport::new(true);
+        base.set("a", "lat_ms", 10.0);
+        base.set("a", "tput_qps", 1000.0);
+        base.set("a", "rows_selected", 42.0); // informational
+        let base = parse_report(&base.to_json()).unwrap();
+
+        // Within tolerance: 30% worse latency, 20% lower throughput.
+        let mut ok = BenchReport::new(true);
+        ok.set("a", "lat_ms", 13.0);
+        ok.set("a", "tput_qps", 800.0);
+        let ok = parse_report(&ok.to_json()).unwrap();
+        assert!(compare(&base, &ok, 0.5).iter().all(|c| !c.failed));
+
+        // Beyond tolerance both ways.
+        let mut bad = BenchReport::new(true);
+        bad.set("a", "lat_ms", 40.0); // 4x slower
+        bad.set("a", "tput_qps", 400.0); // 2.5x less
+        let bad = parse_report(&bad.to_json()).unwrap();
+        let cmps = compare(&base, &bad, 0.5);
+        assert_eq!(cmps.iter().filter(|c| c.failed).count(), 2);
+
+        // A gated metric vanishing from the current run fails.
+        let mut gone = BenchReport::new(true);
+        gone.set("a", "lat_ms", 10.0);
+        let gone = parse_report(&gone.to_json()).unwrap();
+        assert!(compare(&base, &gone, 0.5).iter().any(|c| c.failed));
+
+        // Improvements never fail.
+        let mut fast = BenchReport::new(true);
+        fast.set("a", "lat_ms", 1.0);
+        fast.set("a", "tput_qps", 9000.0);
+        let fast = parse_report(&fast.to_json()).unwrap();
+        assert!(compare(&base, &fast, 0.5).iter().all(|c| !c.failed));
+    }
+}

@@ -17,7 +17,7 @@ use imci_sql::{QueryEngine, QueryResult};
 use imci_wal::{LogWriter, PropagationMode};
 use parking_lot::RwLock;
 use polarfs_sim::{LatencyProfile, PolarFs};
-use rowstore::RowEngine;
+use rowstore::{RecoverOptions, RecoveryReport, RowEngine};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -92,20 +92,49 @@ impl RoNode {
     }
 }
 
+/// The RW node: storage engine + row-only query engine. Behind
+/// [`Cluster::rw`]'s lock so crash/recovery/failover can replace it
+/// atomically while sessions keep running.
+struct RwNode {
+    engine: Arc<RowEngine>,
+    query: QueryEngine,
+}
+
+/// Timing + bookkeeping of one RO→RW promotion (ablation E's metrics).
+#[derive(Debug, Clone)]
+pub struct FailoverReport {
+    /// Name of the promoted (former RO) node.
+    pub promoted: String,
+    /// The new writer epoch fencing the deposed RW.
+    pub epoch: u64,
+    /// In-flight transactions rolled back with logged compensations.
+    pub rolled_back_txns: usize,
+    /// Individual undecided DMLs undone.
+    pub rolled_back_ops: usize,
+    /// Time to drain the promoted node's pipeline to the log tail.
+    pub drain_time: Duration,
+    /// Crash-to-promoted wall time (the paper's seconds-scale claim).
+    pub total_time: Duration,
+}
+
 /// The simulated PolarDB-IMCI cluster.
 pub struct Cluster {
     /// Shared storage volume.
     pub fs: PolarFs,
-    /// The RW node's storage engine.
-    pub rw: Arc<RowEngine>,
-    /// The RW node's query engine (row only).
-    pub rw_query: QueryEngine,
+    /// The RW node, absent between a crash and the next
+    /// recovery/promotion (statements then fail with the retryable
+    /// [`Error::Failover`] category).
+    rw: RwLock<Option<RwNode>>,
     /// RO nodes (the proxy's routing targets).
     pub ros: RwLock<Vec<Arc<RoNode>>>,
     /// Configuration.
     pub config: ClusterConfig,
     next_ro_id: AtomicU64,
     next_ckpt: AtomicU64,
+    /// Highest written LSN ever observed — the strong-consistency
+    /// fence floor while the writer role is vacant or moving, so reads
+    /// acknowledged before a crash stay read-your-writes after it.
+    written_floor: AtomicU64,
 }
 
 /// Per-statement routing overrides, carried by proxy sessions
@@ -159,22 +188,161 @@ impl Cluster {
     pub fn start(config: ClusterConfig) -> Arc<Cluster> {
         let fs = PolarFs::new(config.latency.clone());
         let log = LogWriter::new(fs.clone(), config.propagation);
-        let rw = RowEngine::new_rw(fs.clone(), log, config.bp_capacity);
-        let mut rw_query = QueryEngine::row_only(rw.clone());
-        rw_query.cost_threshold = config.cost_threshold;
+        let engine = RowEngine::new_rw(fs.clone(), log, config.bp_capacity);
+        let mut query = QueryEngine::row_only(engine.clone());
+        query.cost_threshold = config.cost_threshold;
         let cluster = Arc::new(Cluster {
             fs,
-            rw,
-            rw_query,
+            rw: RwLock::new(Some(RwNode { engine, query })),
             ros: RwLock::new(Vec::new()),
             config,
             next_ro_id: AtomicU64::new(1),
             next_ckpt: AtomicU64::new(1),
+            written_floor: AtomicU64::new(0),
         });
         for _ in 0..cluster.config.n_ro {
             cluster.scale_out().expect("initial RO boot");
         }
         cluster
+    }
+
+    /// The RW node's storage engine; a retryable [`Error::Failover`]
+    /// while the writer role is vacant (crashed, not yet recovered).
+    pub fn rw(&self) -> Result<Arc<RowEngine>> {
+        self.rw
+            .read()
+            .as_ref()
+            .map(|n| n.engine.clone())
+            .ok_or_else(|| Error::Failover("RW node is down; retry after recovery".into()))
+    }
+
+    /// Crash the RW node: drop every piece of its in-process state —
+    /// buffer pool, catalog maps, transaction counters — with no flush
+    /// of any kind. Everything durable lives in shared storage, which
+    /// is the whole §2.2 point. Returns the old engine handle so tests
+    /// can keep a "zombie" alive and prove the epoch fence holds.
+    /// Until [`Cluster::recover_rw`] or [`Cluster::failover`] installs
+    /// a new writer, write statements fail with the retryable
+    /// [`Error::Failover`] category.
+    pub fn crash_rw(&self) -> Option<Arc<RowEngine>> {
+        let taken = self.rw.write().take();
+        // Snapshot the durable-commit floor *after* acquiring the
+        // writer lock: a commit in flight when the crash begins holds
+        // the read lock, finishes (and acks its client) before the
+        // take — so it must be inside the strong-consistency fence for
+        // the whole vacancy.
+        if let Some(node) = &taken {
+            if let Some(log) = node.engine.log() {
+                self.written_floor
+                    .fetch_max(log.written_lsn().get(), Ordering::SeqCst);
+            }
+        }
+        taken.map(|n| n.engine)
+    }
+
+    /// Restart the RW in place: rebuild a writer from the newest
+    /// checkpoint (catalog snapshot + row pages) plus REDO replay from
+    /// its cursor, roll back whatever never committed, and start
+    /// serving again under a bumped writer epoch. See
+    /// [`RowEngine::recover`] for the storage-level contract.
+    pub fn recover_rw(&self) -> Result<RecoveryReport> {
+        if self.rw.read().is_some() {
+            return Err(Error::Execution(
+                "RW node is alive; crash_rw() before recover_rw()".into(),
+            ));
+        }
+        // The recovered engine gets a replica-sized (effectively
+        // unbounded) pool, like RO nodes and unlike the bootstrap RW:
+        // replay requires every replayed page to stay resident
+        // (`apply_entry` never falls back to shared storage), and the
+        // pool's capacity is fixed at engine creation. Deliberate:
+        // promoted nodes (former ROs) have the same shape.
+        let mut opts = RecoverOptions::from_log_start(self.config.propagation, usize::MAX / 2);
+        if let Some(seq) = imci_core::latest_checkpoint(&self.fs) {
+            opts.catalog_snapshot = Some(self.fs.get_object(&imci_core::ckpt_catalog_key(seq))?);
+            let mut pages = Vec::new();
+            for key in self.fs.list_objects(&imci_core::ckpt_rowpages_prefix(seq)) {
+                pages.push(self.fs.get_object(&key)?);
+            }
+            opts.checkpoint_pages = pages;
+            opts.start_offset = imci_core::read_meta(&self.fs, seq)?.redo_offset;
+        }
+        // Rebuild outside the writer lock (sessions fail fast instead
+        // of stalling behind a long replay), install atomically after.
+        let (engine, report) = RowEngine::recover(self.fs.clone(), opts)?;
+        let mut query = QueryEngine::row_only(engine.clone());
+        query.cost_threshold = self.config.cost_threshold;
+        *self.rw.write() = Some(RwNode { engine, query });
+        Ok(report)
+    }
+
+    /// Promote the most-caught-up RO node to RW (§7: "an up-to-date RO
+    /// can be promoted in seconds"). Sequence:
+    ///
+    /// 1. depose any current writer and **bump the storage epoch** —
+    ///    from here the old RW is a fenced zombie and the log tail is
+    ///    final;
+    /// 2. pick the RO with the highest applied LSN and remove it from
+    ///    the proxy's routing set;
+    /// 3. **drain** its pipeline to the log's end: every committed
+    ///    transaction applied, every undecided DML captured with its
+    ///    undo image;
+    /// 4. flip its row replica into writer mode (resumed LSN/TID/VID
+    ///    counters, epoch-stamped log writer announcing itself with an
+    ///    `EpochBump` record) and roll back the in-flight transactions
+    ///    with logged compensations, so sibling ROs converge through
+    ///    the log as if a live abort had happened;
+    /// 5. re-point the proxy: the node serves as the RW, remaining ROs
+    ///    keep tailing the same log.
+    ///
+    /// The promoted node's column store is dropped with its RO role
+    /// (the RW serves row-engine plans only, like the bootstrap RW).
+    pub fn failover(&self) -> Result<FailoverReport> {
+        let t0 = Instant::now();
+        // Depose (no-op if already crashed); the floor snapshot runs
+        // under the writer lock for the same last-commit race
+        // crash_rw() documents.
+        drop(self.crash_rw());
+        let epoch = self.fs.bump_epoch();
+        let node = {
+            let mut ros = self.ros.write();
+            if ros.is_empty() {
+                return Err(Error::Failover("no RO node available to promote".into()));
+            }
+            let best = ros
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, n)| n.applied_lsn())
+                .map(|(i, _)| i)
+                .expect("non-empty");
+            ros.remove(best)
+        };
+        let t_drain = Instant::now();
+        let state = node.pipeline.stop_after_drain();
+        let drain_time = t_drain.elapsed();
+        let log = LogWriter::resume(
+            self.fs.clone(),
+            self.config.propagation,
+            state.last_lsn + 1,
+            state.applied_lsn,
+        )?;
+        node.engine
+            .promote_to_writer(log, state.max_tid + 1, state.max_vid);
+        let rolled_back_txns = node.engine.rollback_inflight(&state.inflight)?;
+        let mut query = QueryEngine::row_only(node.engine.clone());
+        query.cost_threshold = self.config.cost_threshold;
+        *self.rw.write() = Some(RwNode {
+            engine: node.engine.clone(),
+            query,
+        });
+        Ok(FailoverReport {
+            promoted: node.name.clone(),
+            epoch,
+            rolled_back_txns,
+            rolled_back_ops: state.inflight.len(),
+            drain_time,
+            total_time: t0.elapsed(),
+        })
     }
 
     /// Add an RO node (paper §7): load the newest checkpoint if one
@@ -260,9 +428,20 @@ impl Cluster {
         Some(node.name.clone())
     }
 
-    /// RW's durable commit LSN ("written LSN", §6.4).
+    /// RW's durable commit LSN ("written LSN", §6.4). While the writer
+    /// role is vacant this returns the highest value ever observed, so
+    /// strong reads keep fencing on everything acknowledged before the
+    /// crash.
     pub fn written_lsn(&self) -> u64 {
-        self.rw.log().map(|l| l.written_lsn().get()).unwrap_or(0)
+        let current = self
+            .rw
+            .read()
+            .as_ref()
+            .and_then(|n| n.engine.log())
+            .map(|l| l.written_lsn().get())
+            .unwrap_or(0);
+        let floor = self.written_floor.fetch_max(current, Ordering::SeqCst);
+        current.max(floor)
     }
 
     /// Take a checkpoint covering the current log prefix (the RO-leader
@@ -395,9 +574,17 @@ impl Cluster {
     /// Run one write/DDL statement on the RW node. DDL (CREATE / DROP /
     /// ALTER) needs no per-replica fan-out: it ships through the REDO
     /// stream as a versioned record and every RO applies it in LSN
-    /// order with the data changes.
+    /// order with the data changes. With the writer role vacant
+    /// (crash/failover window) the statement fails fast with the
+    /// retryable failover category instead of stalling.
     fn execute_rw(&self, sql: &str) -> Result<QueryResult> {
-        self.rw_query.execute(sql)
+        let rw = self.rw.read();
+        match rw.as_ref() {
+            Some(node) => node.query.execute(sql),
+            None => Err(Error::Failover(
+                "RW node is down; retry after recovery".into(),
+            )),
+        }
     }
 
     /// Block until every RO has applied the RW's current written LSN.
@@ -419,9 +606,10 @@ impl Cluster {
     /// metric of Figs. 12/16).
     pub fn measure_visibility_delay(&self) -> Result<Duration> {
         let ro = self.route_ro()?;
-        let txn = self.rw.begin();
+        let rw = self.rw()?;
+        let txn = rw.begin();
         let t0 = Instant::now();
-        self.rw.commit(txn);
+        rw.commit(txn)?;
         let target = self.written_lsn();
         if !ro.pipeline.wait_applied(target, Duration::from_secs(10)) {
             return Err(Error::Execution("VD wait timed out".into()));
@@ -803,6 +991,240 @@ mod tests {
             before,
             "stopped pipeline must not apply"
         );
+        c.shutdown();
+    }
+
+    #[test]
+    fn crash_then_recover_restores_every_committed_transaction() {
+        let c = small_cluster();
+        c.execute(DDL).unwrap();
+        for i in 0..300 {
+            c.execute(&format!("INSERT INTO demo VALUES ({i}, 0, 1.0, 'a')"))
+                .unwrap();
+        }
+        assert!(c.wait_sync(Duration::from_secs(20)));
+        c.checkpoint_now().unwrap();
+        // Post-checkpoint traffic: must come back from REDO replay.
+        for i in 300..400 {
+            c.execute(&format!("INSERT INTO demo VALUES ({i}, 1, 2.0, 'b')"))
+                .unwrap();
+        }
+        c.execute("UPDATE demo SET val = 99.0 WHERE id = 7")
+            .unwrap();
+        c.execute("DELETE FROM demo WHERE id = 8").unwrap();
+        // An in-flight transaction dies with the node.
+        let rw = c.rw().unwrap();
+        let mut doomed = rw.begin();
+        rw.insert(
+            &mut doomed,
+            "demo",
+            vec![
+                Value::Int(9999),
+                Value::Int(0),
+                Value::Double(0.0),
+                Value::Null,
+            ],
+        )
+        .unwrap();
+        let written_before = c.written_lsn();
+
+        let zombie = c.crash_rw().expect("RW was up");
+        // Writes fail fast with the retryable category while down...
+        let err = c
+            .execute("INSERT INTO demo VALUES (400, 0, 1.0, 'x')")
+            .unwrap_err();
+        assert!(matches!(err, Error::Failover(_)), "got {err}");
+        assert!(err.is_retryable());
+        // ...but reads keep serving from the ROs, fencing on the
+        // pre-crash written LSN.
+        assert!(c.written_lsn() >= written_before);
+        // Commit-gated visibility lives on the column side (the row
+        // replica physically holds CALS-shipped uncommitted rows), so
+        // read through the column engine.
+        let opts = ExecOpts {
+            consistency: Some(Consistency::Strong),
+            force_engine: Some(EngineChoice::Column),
+        };
+        let res = c.execute_opts("SELECT COUNT(*) FROM demo", opts).unwrap();
+        assert_eq!(res.rows[0][0], Value::Int(399));
+
+        let report = c.recover_rw().unwrap();
+        assert!(report.from_checkpoint, "newest checkpoint must seed");
+        assert_eq!(report.rolled_back_txns, 1, "the in-flight txn");
+        // Every committed transaction restored, none of the
+        // uncommitted ones.
+        let rec = c.rw().unwrap();
+        assert_eq!(rec.row_count("demo").unwrap(), 399);
+        assert_eq!(
+            rec.get_row("demo", 7).unwrap().unwrap().values[2],
+            Value::Double(99.0)
+        );
+        assert!(rec.get_row("demo", 8).unwrap().is_none());
+        assert!(rec.get_row("demo", 9999).unwrap().is_none());
+        // The recovered RW serves writes; the zombie is fenced.
+        c.execute("INSERT INTO demo VALUES (400, 0, 1.0, 'x')")
+            .unwrap();
+        let mut ztxn = zombie.begin();
+        let zerr = zombie
+            .insert(
+                &mut ztxn,
+                "demo",
+                vec![
+                    Value::Int(7777),
+                    Value::Int(0),
+                    Value::Double(0.0),
+                    Value::Null,
+                ],
+            )
+            .unwrap_err();
+        assert!(zerr.is_retryable(), "zombie append must be fenced");
+        // ROs tail through the crash: compensations + new writes land.
+        assert!(c.wait_sync(Duration::from_secs(20)));
+        for ro in c.ros.read().iter() {
+            assert_eq!(ro.engine.row_count("demo").unwrap(), 400, "{}", ro.name);
+            assert!(ro.engine.get_row("demo", 9999).unwrap().is_none());
+            assert_eq!(ro.pipeline.error_count(), 0, "{}", ro.name);
+        }
+        c.shutdown();
+    }
+
+    #[test]
+    fn failover_promotes_an_ro_and_fences_the_old_rw() {
+        let c = Cluster::start(ClusterConfig {
+            n_ro: 2,
+            group_cap: 64,
+            ..Default::default()
+        });
+        c.execute(DDL).unwrap();
+        for i in 0..200 {
+            c.execute(&format!("INSERT INTO demo VALUES ({i}, 0, 1.0, 'a')"))
+                .unwrap();
+        }
+        // In flight at the crash: shipped by CALS, must be rolled back
+        // by the promotion on every surviving node.
+        let rw = c.rw().unwrap();
+        let mut doomed = rw.begin();
+        rw.update(
+            &mut doomed,
+            "demo",
+            5,
+            vec![
+                Value::Int(5),
+                Value::Int(0),
+                Value::Double(-1.0),
+                Value::Null,
+            ],
+        )
+        .unwrap();
+        rw.insert(
+            &mut doomed,
+            "demo",
+            vec![
+                Value::Int(5000),
+                Value::Int(0),
+                Value::Double(0.0),
+                Value::Null,
+            ],
+        )
+        .unwrap();
+
+        let zombie = c.crash_rw().expect("RW was up");
+        let report = c.failover().unwrap();
+        assert!(report.promoted.starts_with("ro-"), "{}", report.promoted);
+        assert_eq!(report.rolled_back_txns, 1);
+        assert_eq!(report.rolled_back_ops, 2);
+        assert_eq!(c.ros.read().len(), 1, "promoted node left the RO set");
+
+        // The committed prefix survived, the in-flight txn did not.
+        let new_rw = c.rw().unwrap();
+        assert_eq!(new_rw.row_count("demo").unwrap(), 200);
+        assert_eq!(
+            new_rw.get_row("demo", 5).unwrap().unwrap().values[2],
+            Value::Double(1.0),
+            "in-flight update rolled back on the promoted node"
+        );
+        assert!(new_rw.get_row("demo", 5000).unwrap().is_none());
+
+        // The deposed RW can never append again (epoch fence).
+        let mut ztxn = zombie.begin();
+        assert!(zombie
+            .insert(
+                &mut ztxn,
+                "demo",
+                vec![
+                    Value::Int(6000),
+                    Value::Int(0),
+                    Value::Double(0.0),
+                    Value::Null
+                ],
+            )
+            .unwrap_err()
+            .is_retryable());
+
+        // The cluster serves writes + strong reads through the new RW;
+        // the surviving RO converges through the same log, including
+        // the promotion's compensation records.
+        c.execute("INSERT INTO demo VALUES (201, 1, 2.0, 'post')")
+            .unwrap();
+        assert!(c.wait_sync(Duration::from_secs(20)));
+        let opts = ExecOpts {
+            consistency: Some(Consistency::Strong),
+            force_engine: None,
+        };
+        let res = c.execute_opts("SELECT COUNT(*) FROM demo", opts).unwrap();
+        assert_eq!(res.rows[0][0], Value::Int(201));
+        for ro in c.ros.read().iter() {
+            assert_eq!(ro.engine.row_count("demo").unwrap(), 201, "{}", ro.name);
+            assert_eq!(
+                ro.engine.get_row("demo", 5).unwrap().unwrap().values[2],
+                Value::Double(1.0),
+                "{}: rollback replicated",
+                ro.name
+            );
+            assert_eq!(ro.pipeline.error_count(), 0, "{}", ro.name);
+        }
+        c.shutdown();
+    }
+
+    #[test]
+    fn failover_with_no_ro_reports_failover_error() {
+        let c = Cluster::start(ClusterConfig {
+            n_ro: 0,
+            group_cap: 64,
+            ..Default::default()
+        });
+        c.execute("CREATE TABLE solo (id INT NOT NULL, PRIMARY KEY(id))")
+            .unwrap();
+        c.crash_rw();
+        let err = c.failover().unwrap_err();
+        assert!(matches!(err, Error::Failover(_)), "got {err}");
+        // Recovery still brings the cluster back.
+        c.recover_rw().unwrap();
+        c.execute("INSERT INTO solo VALUES (1)").unwrap();
+        c.shutdown();
+    }
+
+    #[test]
+    fn repeated_failovers_keep_epochs_monotonic() {
+        let c = Cluster::start(ClusterConfig {
+            n_ro: 3,
+            group_cap: 64,
+            ..Default::default()
+        });
+        c.execute(DDL).unwrap();
+        let mut last_epoch = 0;
+        for round in 0..3 {
+            c.execute(&format!("INSERT INTO demo VALUES ({round}, 0, 1.0, 'r')"))
+                .unwrap();
+            c.crash_rw();
+            let report = c.failover().unwrap();
+            assert!(report.epoch > last_epoch, "epochs strictly increase");
+            last_epoch = report.epoch;
+        }
+        assert_eq!(c.ros.read().len(), 0, "each round consumed one RO");
+        // All three rounds' writes survived three ownership changes.
+        let res = c.execute("SELECT COUNT(*) FROM demo").unwrap();
+        assert_eq!(res.rows[0][0], Value::Int(3));
         c.shutdown();
     }
 

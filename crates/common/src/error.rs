@@ -33,6 +33,12 @@ pub enum Error {
     Replication(String),
     /// Simulated shared-storage failure.
     PolarFs(String),
+    /// The cluster's writer role moved (RW crashed, is recovering, or
+    /// an RO was promoted) — the statement did not take effect and is
+    /// safe to retry once the new RW is serving. Also raised by the
+    /// shared-storage epoch fence when a deposed ("zombie") RW tries to
+    /// append after a promotion.
+    Failover(String),
     /// Feature intentionally out of scope for the reproduction.
     Unsupported(String),
 }
@@ -52,8 +58,18 @@ impl Error {
             | Error::Catalog(m)
             | Error::Replication(m)
             | Error::PolarFs(m)
+            | Error::Failover(m)
             | Error::Unsupported(m) => m,
         }
+    }
+
+    /// Whether the statement is safe to retry verbatim. Only failover
+    /// errors qualify: the write never took effect (the old writer is
+    /// epoch-fenced out of shared storage), so re-issuing it against
+    /// the promoted/recovered RW is exactly-once from the client's
+    /// point of view.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, Error::Failover(_))
     }
 
     /// Rebuild an error from a [`Error::kind`] tag and a bare message —
@@ -72,6 +88,7 @@ impl Error {
             "catalog" => Error::Catalog(msg),
             "replication" => Error::Replication(msg),
             "polarfs" => Error::PolarFs(msg),
+            "failover" => Error::Failover(msg),
             "unsupported" => Error::Unsupported(msg),
             _ => Error::Execution(msg),
         }
@@ -90,6 +107,7 @@ impl Error {
             Error::Catalog(_) => "catalog",
             Error::Replication(_) => "replication",
             Error::PolarFs(_) => "polarfs",
+            Error::Failover(_) => "failover",
             Error::Unsupported(_) => "unsupported",
         }
     }
@@ -108,6 +126,7 @@ impl fmt::Display for Error {
             Error::Catalog(m) => ("catalog error", m),
             Error::Replication(m) => ("replication error", m),
             Error::PolarFs(m) => ("polarfs error", m),
+            Error::Failover(m) => ("failover", m),
             Error::Unsupported(m) => ("unsupported", m),
         };
         write!(f, "{tag}: {msg}")
@@ -140,6 +159,7 @@ mod tests {
             Error::Catalog("h".into()),
             Error::Replication("i".into()),
             Error::PolarFs("j".into()),
+            Error::Failover("l".into()),
             Error::Unsupported("k".into()),
         ];
         for e in all {
@@ -150,6 +170,16 @@ mod tests {
             Error::from_kind("no_such_kind", "m".into()),
             Error::Execution("m".into())
         );
+    }
+
+    #[test]
+    fn only_failover_is_retryable() {
+        assert!(Error::Failover("rw down".into()).is_retryable());
+        assert!(!Error::Execution("boom".into()).is_retryable());
+        assert!(!Error::Constraint("dup".into()).is_retryable());
+        // The category survives a wire roundtrip, so clients can retry.
+        let e = Error::Failover("promotion in progress".into());
+        assert!(Error::from_kind(e.kind(), e.message().into()).is_retryable());
     }
 
     #[test]
@@ -165,6 +195,7 @@ mod tests {
             Error::Catalog(String::new()),
             Error::Replication(String::new()),
             Error::PolarFs(String::new()),
+            Error::Failover(String::new()),
             Error::Unsupported(String::new()),
         ];
         let mut kinds: Vec<_> = all.iter().map(|e| e.kind()).collect();

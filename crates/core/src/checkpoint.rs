@@ -61,6 +61,13 @@ pub fn ckpt_catalog_key(seq: u64) -> String {
     format!("{}catalog", prefix(seq))
 }
 
+/// Object-key prefix of checkpoint `seq`'s row-page images (written by
+/// the checkpointing replayer; read by scale-out and RW crash
+/// recovery).
+pub fn ckpt_rowpages_prefix(seq: u64) -> String {
+    format!("{}rowpages/", prefix(seq))
+}
+
 /// Write a checkpoint of `indexes` at `csn` / `redo_offset`.
 ///
 /// Caller must quiesce Phase-2 appliers first so that the visible state

@@ -52,6 +52,11 @@ struct FsInner {
     objects: RwLock<BTreeMap<String, Bytes>>,
     latency: LatencyProfile,
     stats: IoStats,
+    /// Volume-wide writer epoch — the I/O fencing register of the real
+    /// PolarFS. Log appends carry the writer's epoch; an append with a
+    /// stale epoch is rejected, so after a failover bumps the register
+    /// a deposed ("zombie") RW can never extend the REDO log again.
+    writer_epoch: std::sync::atomic::AtomicU64,
 }
 
 impl PolarFs {
@@ -64,6 +69,7 @@ impl PolarFs {
                 objects: RwLock::new(BTreeMap::new()),
                 latency,
                 stats: IoStats::default(),
+                writer_epoch: std::sync::atomic::AtomicU64::new(0),
             }),
         }
     }
@@ -99,6 +105,26 @@ impl PolarFs {
             .clone()
     }
 
+    // ---- writer epoch (I/O fencing) ----
+
+    /// The volume's current writer epoch.
+    pub fn current_epoch(&self) -> u64 {
+        self.inner
+            .writer_epoch
+            .load(std::sync::atomic::Ordering::SeqCst)
+    }
+
+    /// Advance the writer epoch and return the new value. Called by
+    /// crash recovery and RO→RW promotion *before* the new writer is
+    /// built: from this point every append carrying an older epoch is
+    /// rejected, so the drained log tail is final.
+    pub fn bump_epoch(&self) -> u64 {
+        self.inner
+            .writer_epoch
+            .fetch_add(1, std::sync::atomic::Ordering::SeqCst)
+            + 1
+    }
+
     // ---- append-only log files ----
 
     /// Append `bytes` to log `name`; returns the offset of the first
@@ -115,6 +141,32 @@ impl PolarFs {
         self.inner.stats.record_append(bytes.len());
         self.inner.latency.append(bytes.len());
         off
+    }
+
+    /// Fenced append: like [`PolarFs::append`] but rejected with a
+    /// [`Error::Failover`] when `epoch` is older than the volume's
+    /// writer epoch. The epoch check happens under the log's data lock,
+    /// so a concurrent [`PolarFs::bump_epoch`] either fences this
+    /// append entirely or happens strictly after it — a stale append
+    /// can never slip in *during* a promotion.
+    pub fn append_fenced(&self, name: &str, bytes: &[u8], epoch: u64) -> Result<u64> {
+        let f = self.log(name);
+        let off;
+        {
+            let mut data = f.data.lock();
+            let current = self.current_epoch();
+            if epoch < current {
+                return Err(Error::Failover(format!(
+                    "append to {name} fenced: writer epoch {epoch} < volume epoch {current}"
+                )));
+            }
+            off = data.len() as u64;
+            data.extend_from_slice(bytes);
+        }
+        f.grew.notify_all();
+        self.inner.stats.record_append(bytes.len());
+        self.inner.latency.append(bytes.len());
+        Ok(off)
     }
 
     /// Current length of log `name` (0 if absent).
@@ -322,6 +374,23 @@ mod tests {
         std::thread::sleep(Duration::from_millis(20));
         fs.append("redo", b"grow");
         assert_eq!(h.join().unwrap(), 4);
+    }
+
+    #[test]
+    fn epoch_fences_stale_appends() {
+        let fs = PolarFs::instant();
+        assert_eq!(fs.current_epoch(), 0);
+        assert_eq!(fs.append_fenced("redo", b"ok", 0).unwrap(), 0);
+        // Promotion bumps the register; the old epoch is fenced out.
+        assert_eq!(fs.bump_epoch(), 1);
+        let err = fs.append_fenced("redo", b"zombie", 0).unwrap_err();
+        assert!(matches!(err, Error::Failover(_)), "got {err}");
+        assert!(err.is_retryable());
+        // The new writer (and any later epoch) appends fine.
+        assert_eq!(fs.append_fenced("redo", b"new", 1).unwrap(), 2);
+        assert_eq!(fs.read_log("redo", 0, 64), b"oknew");
+        // The fenced append left no trace and counted no I/O latency.
+        assert_eq!(fs.log_len("redo"), 5);
     }
 
     #[test]

@@ -146,11 +146,7 @@ impl TxnBuffers {
             Err(_) => return Ok(()),
         };
         match change.dml {
-            LogicalDml::Insert { new } => {
-                let pk = match new.values.get(index.covered[index.pk_pos]) {
-                    Some(v) => v.as_int().unwrap_or(0),
-                    None => 0,
-                };
+            LogicalDml::Insert { pk, new } => {
                 // §5.3 duplicate-PK-insert check (row migrations).
                 if !unit.inserted_pks.insert((table, pk)) {
                     return Ok(());
@@ -307,6 +303,7 @@ mod tests {
             lsn: Lsn(0),
             tid: Tid(tid),
             dml: LogicalDml::Insert {
+                pk,
                 new: Row::new(vec![Value::Int(pk), Value::Int(pk * 2)]),
             },
         }

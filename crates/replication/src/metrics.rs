@@ -26,6 +26,9 @@ pub struct ReplicationMetrics {
     pub ddls_applied: AtomicU64,
     /// Highest LSN read from the log (reader progress).
     pub read_lsn: AtomicU64,
+    /// Highest transaction id seen in the log. A promoted node resumes
+    /// TID assignment above this so the log never sees a TID reused.
+    pub max_tid: AtomicU64,
     /// Highest commit-record LSN fully applied to the column store —
     /// the node's **applied LSN** (§6.4).
     pub applied_lsn: AtomicU64,

@@ -15,11 +15,11 @@
 use crate::buffer::{apply_txn_op, CommittedTxn, TxnBuffers};
 use crate::metrics::ReplicationMetrics;
 use crossbeam::channel::{bounded, Receiver, Sender};
-use imci_common::{fx_hash_u64, DdlOp, Result, Tid, Vid};
+use imci_common::{fx_hash_u64, DdlOp, FxHashMap, Result, Tid, Vid};
 use imci_core::ColumnStore;
 use imci_wal::{LogReader, RedoEntry, RedoPayload};
 use polarfs_sim::PolarFs;
-use rowstore::{apply_entry, LogicalChange, RowEngine};
+use rowstore::{apply_entry, LogicalChange, RowEngine, UndoOp};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -72,6 +72,10 @@ impl Default for ReplicationConfig {
     }
 }
 
+/// Row-side undo buffers for applied-but-undecided DMLs, keyed by
+/// transaction, each op stamped with its collector drain sequence.
+type InflightUndo = FxHashMap<Tid, Vec<(u64, UndoOp)>>;
+
 enum P1Msg {
     Entry(Box<RedoEntry>, u64),
     Shutdown,
@@ -117,10 +121,36 @@ enum P2Msg {
     Shutdown,
 }
 
+/// Everything a promotion needs from a drained pipeline: the §5.1
+/// transaction buffers' row-side mirror (undo for DMLs whose commit
+/// never arrived) plus the counters the resumed log writer starts from.
+pub struct PromotionState {
+    /// Undecided DMLs in original log order; the promoted engine undoes
+    /// them in reverse with logged compensations
+    /// (`RowEngine::rollback_inflight`).
+    pub inflight: Vec<(Tid, UndoOp)>,
+    /// Distinct in-flight transactions.
+    pub inflight_txns: usize,
+    /// Highest TID seen in the log.
+    pub max_tid: u64,
+    /// Highest committed VID applied.
+    pub max_vid: u64,
+    /// Last LSN consumed — the log's tail, since the drain runs to the
+    /// end. The resumed writer continues at `last_lsn + 1`.
+    pub last_lsn: u64,
+    /// Highest commit-record LSN applied (the promoted node's
+    /// written-LSN floor: strong reads never regress across failover).
+    pub applied_lsn: u64,
+}
+
 /// A running replication pipeline for one RO node.
 pub struct Pipeline {
     metrics: Arc<ReplicationMetrics>,
     stop: Arc<AtomicBool>,
+    /// Softer than `stop`: finish consuming the (now-static,
+    /// epoch-fenced) log to its end, then exit. Promotion's
+    /// drain-to-LSN handshake.
+    drain: Arc<AtomicBool>,
     // Behind a mutex so `stop` works through a shared reference: the
     // cluster must be able to halt a node's pipeline even while proxy
     // sessions still hold `Arc`s to the node (scale-in/shutdown).
@@ -128,6 +158,16 @@ pub struct Pipeline {
     /// Errors observed by workers (pipeline keeps running; benches
     /// assert this stays 0).
     errors: Arc<AtomicU64>,
+    /// Row-side undo for every applied-but-undecided DML (= log
+    /// order). Maintained by the collector, consumed by
+    /// [`Pipeline::stop_after_drain`].
+    inflight_undo: Arc<parking_lot::Mutex<InflightUndo>>,
+    /// Shared storage + the byte offset this pipeline started tailing
+    /// from. The promotion drain needs them: pipeline metrics only
+    /// cover entries *after* the checkpoint cursor, but the resumed
+    /// writer's LSN/TID/VID counters must clear the whole log.
+    fs: PolarFs,
+    start_offset: u64,
 }
 
 impl Pipeline {
@@ -141,7 +181,10 @@ impl Pipeline {
     ) -> Pipeline {
         let metrics = Arc::new(ReplicationMetrics::default());
         let stop = Arc::new(AtomicBool::new(false));
+        let drain = Arc::new(AtomicBool::new(false));
         let errors = Arc::new(AtomicU64::new(0));
+        let inflight_undo: Arc<parking_lot::Mutex<InflightUndo>> =
+            Arc::new(parking_lot::Mutex::new(FxHashMap::default()));
         let n1 = config.phase1_workers.max(1);
         let n2 = config.phase2_workers.max(1);
 
@@ -165,6 +208,7 @@ impl Pipeline {
         {
             let fs = fs.clone();
             let stop = stop.clone();
+            let drain = drain.clone();
             let metrics = metrics.clone();
             let out = result_tx.clone();
             let p1 = p1_txs.clone();
@@ -173,7 +217,9 @@ impl Pipeline {
             let store = store.clone();
             let errors = errors.clone();
             handles.push(std::thread::spawn(move || {
-                reader_thread(fs, cfg, stop, metrics, p1, out, engine, store, errors);
+                reader_thread(
+                    fs, cfg, stop, drain, metrics, p1, out, engine, store, errors,
+                );
             }));
         }
         drop(result_tx);
@@ -208,11 +254,12 @@ impl Pipeline {
             let engine = engine.clone();
             let store = store.clone();
             let errors = errors.clone();
+            let undo = inflight_undo.clone();
             let threshold = config.large_txn_threshold;
             let markers = n1 + 1; // workers + reader
             handles.push(std::thread::spawn(move || {
                 collector_thread(
-                    result_rx, disp_tx, flush_rx, engine, store, metrics, errors, threshold,
+                    result_rx, disp_tx, flush_rx, engine, store, metrics, errors, undo, threshold,
                     markers,
                 );
             }));
@@ -221,8 +268,12 @@ impl Pipeline {
         Pipeline {
             metrics,
             stop,
+            drain,
             handles: parking_lot::Mutex::new(handles),
             errors,
+            inflight_undo,
+            fs,
+            start_offset: config.start_offset,
         }
     }
 
@@ -252,6 +303,54 @@ impl Pipeline {
             let _ = h.join();
         }
     }
+
+    /// Drain the pipeline to the log's end, stop it, and hand back
+    /// everything a promotion needs — the RO half of the §7 failover
+    /// handshake. The caller must have epoch-fenced the old writer
+    /// first, so the tail this consumes is final. On return every
+    /// committed transaction in the log is applied to both formats, and
+    /// `inflight` holds the exact row-side undo for the rest: the
+    /// drained node's row replica equals "all committed + precisely
+    /// these undecided ops".
+    pub fn stop_after_drain(&self) -> PromotionState {
+        self.drain.store(true, Ordering::SeqCst);
+        for h in self.handles.lock().drain(..) {
+            let _ = h.join();
+        }
+        let drained = std::mem::take(&mut *self.inflight_undo.lock());
+        let (inflight, inflight_txns) = rowstore::recovery::order_inflight(drained);
+        // Metrics only saw entries after this pipeline's start offset.
+        // A checkpoint-seeded node promoted with little or no
+        // post-checkpoint traffic would otherwise resume the writer at
+        // LSN/TID/VID values the pre-cursor prefix already used —
+        // reused LSNs are silently skipped by every replica's per-page
+        // idempotency gate, losing committed writes. Decode the prefix
+        // (cheap, no application) exactly like crash recovery does.
+        let mut max_tid = self.metrics.max_tid.load(Ordering::SeqCst);
+        let mut max_vid = self.metrics.visible_vid();
+        let mut last_lsn = self.metrics.read_lsn();
+        let mut applied_lsn = self.metrics.applied_lsn();
+        if self.start_offset > 0 {
+            let mut prefix = LogReader::new(self.fs.clone(), 0);
+            for e in prefix.read_until(self.start_offset) {
+                last_lsn = last_lsn.max(e.lsn.get());
+                max_tid = max_tid.max(e.tid.get());
+                if let RedoPayload::Commit { commit_vid } = &e.payload {
+                    max_vid = max_vid.max(commit_vid.get());
+                    // The checkpoint state covers these commits.
+                    applied_lsn = applied_lsn.max(e.lsn.get());
+                }
+            }
+        }
+        PromotionState {
+            inflight,
+            inflight_txns,
+            max_tid,
+            max_vid,
+            last_lsn,
+            applied_lsn,
+        }
+    }
 }
 
 impl Drop for Pipeline {
@@ -265,6 +364,7 @@ fn reader_thread(
     fs: PolarFs,
     cfg: ReplicationConfig,
     stop: Arc<AtomicBool>,
+    drain: Arc<AtomicBool>,
     metrics: Arc<ReplicationMetrics>,
     p1: Vec<Sender<P1Msg>>,
     results: Sender<ResultMsg>,
@@ -281,21 +381,31 @@ fn reader_thread(
         if stop.load(Ordering::SeqCst) {
             break;
         }
-        // OnCommit strawman: cap reads at the durable commit point.
-        let entries = match cfg.ship_mode {
-            ShipMode::CommitAhead => reader.wait_and_read(cfg.poll_interval),
-            ShipMode::OnCommit => {
-                let cap = fs.synced_len(imci_wal::REDO_LOG_NAME);
-                if reader.offset() >= cap {
-                    std::thread::sleep(cfg.poll_interval);
-                    Vec::new()
-                } else {
-                    reader.read_until(cap)
+        let draining = drain.load(Ordering::SeqCst);
+        // Promotion drain: the old writer is epoch-fenced, so the log
+        // is static — consume it to the very end (even past the durable
+        // point in OnCommit mode: the resumed writer appends after the
+        // physical tail, so every byte before it must be accounted
+        // for), then exit.
+        let entries = if draining {
+            reader.read_available()
+        } else {
+            // OnCommit strawman: cap reads at the durable commit point.
+            match cfg.ship_mode {
+                ShipMode::CommitAhead => reader.wait_and_read(cfg.poll_interval),
+                ShipMode::OnCommit => {
+                    let cap = fs.synced_len(imci_wal::REDO_LOG_NAME);
+                    if reader.offset() >= cap {
+                        std::thread::sleep(cfg.poll_interval);
+                        Vec::new()
+                    } else {
+                        reader.read_until(cap)
+                    }
                 }
             }
         };
         if entries.is_empty() {
-            if stop.load(Ordering::SeqCst) {
+            if stop.load(Ordering::SeqCst) || draining {
                 break;
             }
             continue;
@@ -303,6 +413,7 @@ fn reader_thread(
         for e in entries {
             metrics.entries_read.fetch_add(1, Ordering::Relaxed);
             metrics.read_lsn.fetch_max(e.lsn.get(), Ordering::SeqCst);
+            metrics.max_tid.fetch_max(e.tid.get(), Ordering::SeqCst);
             match &e.payload {
                 RedoPayload::Commit { commit_vid } => {
                     let _ = results.send(ResultMsg::Out {
@@ -361,6 +472,15 @@ fn reader_thread(
                         }
                     }
                 }
+                // Ownership marker from a resumed writer: nothing to
+                // apply (fencing lives in shared storage); keep the
+                // drain sequence contiguous.
+                RedoPayload::EpochBump { .. } => {
+                    let _ = results.send(ResultMsg::Out {
+                        seq,
+                        outcome: Outcome::Noop,
+                    });
+                }
                 _ => {
                     let w = (fx_hash_u64(e.page_id.get()) % n1) as usize;
                     let _ = p1[w].send(P1Msg::Entry(Box::new(e), seq));
@@ -418,6 +538,7 @@ fn collector_thread(
     store: Arc<ColumnStore>,
     metrics: Arc<ReplicationMetrics>,
     errors: Arc<AtomicU64>,
+    inflight_undo: Arc<parking_lot::Mutex<InflightUndo>>,
     large_txn_threshold: usize,
     mut done_markers: usize,
 ) {
@@ -444,6 +565,20 @@ fn collector_thread(
                 Outcome::Noop => {}
                 Outcome::Dml(change) => {
                     metrics.dmls_extracted.fetch_add(1, Ordering::Relaxed);
+                    // Row-side mirror of the §5.1 transaction buffers:
+                    // keep the inverse of every applied-but-undecided
+                    // DML so a promotion can roll the row replica back
+                    // to the committed prefix. Freed at commit/abort.
+                    // Memory: one cloned pre-image per undecided DML —
+                    // deliberately unbounded like the pre-images
+                    // themselves (they cannot be re-derived from the
+                    // log later; updates ship diffs), duplicating the
+                    // column-side buffers for the in-flight window.
+                    inflight_undo
+                        .lock()
+                        .entry(change.tid)
+                        .or_default()
+                        .push((next_seq - 1, change.undo()));
                     // No lazy table pickup here: the table's DDL record
                     // precedes its first DML in the drain, so the column
                     // index (if declared) already exists.
@@ -477,6 +612,7 @@ fn collector_thread(
                     }
                 }
                 Outcome::Commit { tid, vid, lsn } => {
+                    inflight_undo.lock().remove(&tid);
                     if let Some(txn) = bufs.commit(tid, vid, imci_common::Lsn(lsn)) {
                         let _ = disp.send(DispatchMsg::Txn(txn));
                     } else {
@@ -492,6 +628,7 @@ fn collector_thread(
                 }
                 Outcome::Abort { tid } => {
                     metrics.txns_aborted.fetch_add(1, Ordering::Relaxed);
+                    inflight_undo.lock().remove(&tid);
                     bufs.abort(tid);
                 }
             }
@@ -695,7 +832,7 @@ mod tests {
             )
             .unwrap();
         }
-        rw.commit(txn);
+        rw.commit(txn).unwrap();
         let mut txn = rw.begin();
         for pk in (0..500i64).step_by(2) {
             rw.update(
@@ -709,7 +846,7 @@ mod tests {
         for pk in (1..500i64).step_by(10) {
             rw.delete(&mut txn, "t", pk).unwrap();
         }
-        rw.commit(txn);
+        rw.commit(txn).unwrap();
         let target = rw.log().unwrap().written_lsn().get();
         assert!(
             pipe.wait_applied(target, Duration::from_secs(20)),
@@ -738,7 +875,7 @@ mod tests {
             vec![Value::Int(1), Value::Int(1), Value::Null],
         )
         .unwrap();
-        rw.commit(good);
+        rw.commit(good).unwrap();
         let mut bad = rw.begin();
         rw.insert(
             &mut bad,
@@ -761,7 +898,7 @@ mod tests {
             vec![Value::Int(3), Value::Int(3), Value::Null],
         )
         .unwrap();
-        rw.commit(last);
+        rw.commit(last).unwrap();
 
         let target = rw.log().unwrap().written_lsn().get();
         assert!(pipe.wait_applied(target, Duration::from_secs(20)));
@@ -795,7 +932,7 @@ mod tests {
             vec![Value::Int(1), Value::Int(0), Value::Null],
         )
         .unwrap();
-        rw.commit(txn);
+        rw.commit(txn).unwrap();
         for i in 1..=200i64 {
             let mut txn = rw.begin();
             rw.update(
@@ -805,7 +942,7 @@ mod tests {
                 vec![Value::Int(1), Value::Int(i), Value::Null],
             )
             .unwrap();
-            rw.commit(txn);
+            rw.commit(txn).unwrap();
         }
         let target = rw.log().unwrap().written_lsn().get();
         assert!(pipe.wait_applied(target, Duration::from_secs(20)));
@@ -838,7 +975,7 @@ mod tests {
             )
             .unwrap();
         }
-        rw.commit(txn);
+        rw.commit(txn).unwrap();
         let target = rw.log().unwrap().written_lsn().get();
         assert!(pipe.wait_applied(target, Duration::from_secs(20)));
         let m = pipe.metrics();
@@ -879,7 +1016,7 @@ mod tests {
                 vec![Value::Int(1), Value::Int(round), Value::Null],
             )
             .unwrap();
-            rw.commit(txn);
+            rw.commit(txn).unwrap();
             let target = rw.log().unwrap().written_lsn().get();
             assert!(pipe.wait_applied(target, Duration::from_secs(20)));
             let idx = store
@@ -920,7 +1057,7 @@ mod tests {
             )
             .unwrap();
         }
-        rw.commit(txn);
+        rw.commit(txn).unwrap();
         rw.drop_table("t").unwrap();
         let target = rw.log().unwrap().written_lsn().get();
         assert!(pipe.wait_applied(target, Duration::from_secs(20)));
@@ -942,7 +1079,7 @@ mod tests {
             vec![Value::Int(7), Value::Int(70), Value::Null],
         )
         .unwrap();
-        rw.commit(txn);
+        rw.commit(txn).unwrap();
         let target = rw.log().unwrap().written_lsn().get();
         assert!(pipe.wait_applied(target, Duration::from_secs(20)));
         let idx = store.index(imci_common::TableId(2)).unwrap();
@@ -950,6 +1087,120 @@ mod tests {
         assert_eq!(ro_engine.row_count("t").unwrap(), 1);
         assert_eq!(pipe.error_count(), 0);
         pipe.stop();
+    }
+
+    #[test]
+    fn stop_after_drain_hands_back_inflight_undo() {
+        let (fs, rw) = setup();
+        let ro_engine = RowEngine::new_replica(fs.clone(), 1 << 20);
+        let store = Arc::new(ColumnStore::new(1024));
+        let pipe = Pipeline::start(
+            fs.clone(),
+            ro_engine.clone(),
+            store.clone(),
+            ReplicationConfig::default(),
+        );
+        // One committed txn...
+        let mut txn = rw.begin();
+        for pk in 0..20i64 {
+            rw.insert(
+                &mut txn,
+                "t",
+                vec![Value::Int(pk), Value::Int(pk), Value::Null],
+            )
+            .unwrap();
+        }
+        rw.commit(txn).unwrap();
+        // ...and one left in flight (CALS ships its entries anyway).
+        let mut open = rw.begin();
+        rw.insert(
+            &mut open,
+            "t",
+            vec![Value::Int(100), Value::Int(1), Value::Null],
+        )
+        .unwrap();
+        rw.update(
+            &mut open,
+            "t",
+            3,
+            vec![Value::Int(3), Value::Int(-3), Value::Null],
+        )
+        .unwrap();
+
+        // Fence the writer (the failover precondition), then drain.
+        fs.bump_epoch();
+        let state = pipe.stop_after_drain();
+        assert_eq!(state.inflight_txns, 1);
+        assert_eq!(state.inflight.len(), 2, "insert + update undecided");
+        assert_eq!(state.inflight[0].0, open.tid);
+        assert!(matches!(
+            state.inflight[0].1,
+            rowstore::UndoOp::Insert { pk: 100, .. }
+        ));
+        match &state.inflight[1].1 {
+            rowstore::UndoOp::Update { pk: 3, old, .. } => {
+                assert_eq!(old.values[1], Value::Int(3), "pre-image captured");
+            }
+            other => panic!("expected update undo, got {other:?}"),
+        }
+        // The drain consumed the whole log and applied every commit.
+        assert_eq!(state.last_lsn, rw.log().unwrap().tail_lsn().get());
+        assert_eq!(state.applied_lsn, rw.log().unwrap().written_lsn().get());
+        assert!(state.max_tid >= open.tid.get());
+        // Row replica holds committed + exactly the undecided ops.
+        assert_eq!(ro_engine.row_count("t").unwrap(), 21);
+        assert_eq!(
+            ro_engine.get_row("t", 3).unwrap().unwrap().values[1],
+            Value::Int(-3)
+        );
+        // Column store holds only the committed prefix.
+        let idx = store.index(imci_common::TableId(1)).unwrap();
+        assert!(idx.snapshot().get_by_pk(100).is_none());
+    }
+
+    #[test]
+    fn drain_of_checkpoint_seeded_pipeline_covers_the_whole_log() {
+        // Regression: a node whose pipeline started at a checkpoint
+        // cursor has metrics covering only the suffix. Promoting it
+        // with no post-checkpoint traffic must still resume the writer
+        // above every LSN/TID/VID the *prefix* used — otherwise the
+        // new writer's records reuse LSNs and every replica's per-page
+        // idempotency gate silently drops them.
+        let (fs, rw) = setup();
+        let mut txn = rw.begin();
+        for pk in 0..100i64 {
+            rw.insert(
+                &mut txn,
+                "t",
+                vec![Value::Int(pk), Value::Int(pk), Value::Null],
+            )
+            .unwrap();
+        }
+        rw.commit(txn).unwrap();
+        let tail = rw.log().unwrap().tail_lsn().get();
+        let written = rw.log().unwrap().written_lsn().get();
+        let last_vid = rw.txns.last_commit_vid().get();
+
+        // Checkpoint at the exact tail; boot a node from it.
+        let state = crate::sync::take_checkpoint(&fs, 1, None, 64).unwrap();
+        let meta = imci_core::read_meta(&fs, 1).unwrap();
+        let store = Arc::new(ColumnStore::new(64));
+        let pipe = Pipeline::start(
+            fs.clone(),
+            state.engine.clone(),
+            store,
+            ReplicationConfig {
+                start_offset: meta.redo_offset,
+                ..Default::default()
+            },
+        );
+        // Promote immediately: zero suffix entries read.
+        fs.bump_epoch();
+        let promo = pipe.stop_after_drain();
+        assert_eq!(promo.last_lsn, tail, "prefix LSNs must be covered");
+        assert_eq!(promo.applied_lsn, written);
+        assert_eq!(promo.max_vid, last_vid);
+        assert!(promo.max_tid >= 1, "prefix TIDs must be covered");
     }
 
     #[test]
@@ -972,7 +1223,7 @@ mod tests {
             )
             .unwrap();
         }
-        rw.commit(txn);
+        rw.commit(txn).unwrap();
         let target = rw.log().unwrap().written_lsn().get();
         assert!(pipe.wait_applied(target, Duration::from_secs(20)));
         // Phase 1 maintained the row replica pages too.

@@ -122,7 +122,7 @@ pub fn take_checkpoint(
     );
     for (id, bytes) in state.engine.buffer_pool().export_pages() {
         fs.put_object(
-            &format!("ckpt/{seq:012}/rowpages/{:020}", id.get()),
+            &format!("{}{:020}", imci_core::ckpt_rowpages_prefix(seq), id.get()),
             Bytes::from(bytes),
         );
     }
@@ -131,7 +131,7 @@ pub fn take_checkpoint(
 
 /// Load the row pages of checkpoint `seq` into `engine`'s buffer pool.
 pub fn load_checkpoint_pages(fs: &PolarFs, seq: u64, engine: &RowEngine) -> Result<usize> {
-    let keys = fs.list_objects(&format!("ckpt/{seq:012}/rowpages/"));
+    let keys = fs.list_objects(&imci_core::ckpt_rowpages_prefix(seq));
     let n = keys.len();
     for k in keys {
         let bytes = fs.get_object(&k)?;
@@ -175,7 +175,7 @@ mod tests {
             rw.insert(&mut txn, "t", vec![Value::Int(pk), Value::Int(pk * 7)])
                 .unwrap();
         }
-        rw.commit(txn);
+        rw.commit(txn).unwrap();
         (fs, rw)
     }
 
@@ -203,7 +203,7 @@ mod tests {
             rw.insert(&mut txn, "t", vec![Value::Int(pk), Value::Int(0)])
                 .unwrap();
         }
-        rw.commit(txn);
+        rw.commit(txn).unwrap();
 
         // New node: catalog snapshot + pages from the checkpoint, then
         // catch up via the pipeline (no lazy refresh anywhere).
@@ -248,7 +248,7 @@ mod tests {
             rw.insert(&mut txn, "t", vec![Value::Int(pk), Value::Int(0)])
                 .unwrap();
         }
-        rw.commit(txn);
+        rw.commit(txn).unwrap();
         let state = replay_log_sync(&fs, Some(offset_after_first), 64, usize::MAX / 2).unwrap();
         assert_eq!(state.engine.row_count("t").unwrap(), 50);
         assert_eq!(state.stopped_at, offset_after_first);

@@ -1,0 +1,122 @@
+//! Page-id allocation with a free list.
+//!
+//! Page ids used to come from a bare monotonic counter, so `DROP TABLE`
+//! leaked every page the table ever owned (the DDL-churn follow-up in
+//! the ROADMAP). The allocator now keeps a free list: a dropped table's
+//! pages are recycled by later allocations, keeping the page high-water
+//! mark flat under tenant-per-table churn.
+//!
+//! Recycling is safe for replicas without any coordination because
+//! every allocation path (tree creation, leaf/internal splits) emits a
+//! *full-page* SMO record (`SmoLeafWrite` / `SmoInternalWrite` /
+//! `SmoSetRoot`) as its first touch of the page, and per-page replay is
+//! LSN-ordered — a reused id is completely rewritten before any
+//! incremental record lands on it. Replicas therefore never recycle
+//! ids themselves (they never allocate); they only track the high-water
+//! mark so a promoted replica allocates above every id it has seen.
+//!
+//! Freed-but-unreused ids are lost across a crash (the free list is
+//! volatile); recovery resumes allocation above the highest id in the
+//! log, which only re-opens the leak for tables dropped just before the
+//! crash — bounded and harmless.
+
+use imci_common::PageId;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Node-local page-id allocator: monotonic high-water mark + free list.
+pub struct PageAllocator {
+    next: AtomicU64,
+    free: Mutex<Vec<PageId>>,
+}
+
+impl PageAllocator {
+    /// Create an allocator whose first fresh id is `start`.
+    pub fn new(start: u64) -> PageAllocator {
+        PageAllocator {
+            next: AtomicU64::new(start.max(1)),
+            free: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Allocate a page id, preferring recycled ones.
+    pub fn alloc(&self) -> PageId {
+        if let Some(id) = self.free.lock().pop() {
+            return id;
+        }
+        PageId(self.next.fetch_add(1, Ordering::SeqCst))
+    }
+
+    /// Return a batch of ids to the free list (table drop).
+    pub fn release(&self, ids: impl IntoIterator<Item = PageId>) {
+        let mut free = self.free.lock();
+        free.extend(ids);
+    }
+
+    /// Make sure no future fresh allocation collides with `id` — called
+    /// whenever an id enters this node from outside its own allocator
+    /// (log replay, checkpoint import, catalog snapshots).
+    pub fn ensure_above(&self, id: PageId) {
+        self.next.fetch_max(id.get() + 1, Ordering::SeqCst);
+    }
+
+    /// Highest fresh id ever handed out, plus one (the catalog's
+    /// persisted `alloc` field; also the page-leak metric the
+    /// `ddl_churn` ablation asserts on).
+    pub fn high_water(&self) -> u64 {
+        self.next.load(Ordering::SeqCst)
+    }
+
+    /// Ids currently waiting for reuse.
+    pub fn free_count(&self) -> usize {
+        self.free.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_ids_are_monotonic() {
+        let a = PageAllocator::new(1);
+        assert_eq!(a.alloc(), PageId(1));
+        assert_eq!(a.alloc(), PageId(2));
+        assert_eq!(a.high_water(), 3);
+    }
+
+    #[test]
+    fn released_ids_are_recycled_before_fresh_ones() {
+        let a = PageAllocator::new(1);
+        let p1 = a.alloc();
+        let p2 = a.alloc();
+        let hw = a.high_water();
+        a.release([p1, p2]);
+        assert_eq!(a.free_count(), 2);
+        // Recycled allocations don't move the high-water mark.
+        let r1 = a.alloc();
+        let r2 = a.alloc();
+        assert_eq!(
+            {
+                let mut v = [r1, r2];
+                v.sort();
+                v
+            },
+            [p1, p2]
+        );
+        assert_eq!(a.high_water(), hw);
+        assert_eq!(a.free_count(), 0);
+        // Free list empty again: back to fresh ids.
+        assert_eq!(a.alloc(), PageId(3));
+    }
+
+    #[test]
+    fn ensure_above_protects_imported_ids() {
+        let a = PageAllocator::new(1);
+        a.ensure_above(PageId(41));
+        assert_eq!(a.alloc(), PageId(42));
+        // Lower imports never regress the mark.
+        a.ensure_above(PageId(5));
+        assert_eq!(a.alloc(), PageId(43));
+    }
+}

@@ -28,7 +28,7 @@ use imci_wal::{RedoEntry, RedoPayload};
 #[derive(Debug, Clone, PartialEq)]
 pub enum LogicalDml {
     /// A row was inserted.
-    Insert { new: Row },
+    Insert { pk: i64, new: Row },
     /// A row was updated (out-of-place on the column side: delete old,
     /// insert new).
     Update { pk: i64, old: Row, new: Row },
@@ -47,6 +47,31 @@ pub struct LogicalChange {
     pub tid: Tid,
     /// The reconstructed DML.
     pub dml: LogicalDml,
+}
+
+impl LogicalChange {
+    /// The inverse of this DML — what rolls it back if its transaction
+    /// never reaches a decision record. One definition shared by crash
+    /// recovery's replay loop and the promotion drain's undo mirror.
+    pub fn undo(&self) -> crate::txn::UndoOp {
+        use crate::txn::UndoOp;
+        match &self.dml {
+            LogicalDml::Insert { pk, .. } => UndoOp::Insert {
+                table: self.table_id,
+                pk: *pk,
+            },
+            LogicalDml::Update { pk, old, .. } => UndoOp::Update {
+                table: self.table_id,
+                pk: *pk,
+                old: old.clone(),
+            },
+            LogicalDml::Delete { pk, old } => UndoOp::Delete {
+                table: self.table_id,
+                pk: *pk,
+                old: old.clone(),
+            },
+        }
+    }
 }
 
 /// Find a table's runtime state. With DDL shipped through the REDO
@@ -81,8 +106,18 @@ fn local_page(
 /// pass through here anyway.
 pub fn apply_entry(engine: &RowEngine, e: &RedoEntry) -> Result<Option<LogicalChange>> {
     let bp = engine.buffer_pool();
+    // Track the page high-water mark: replicas never allocate ids, but
+    // a promoted replica (RO→RW failover) must allocate above every id
+    // it has ever replayed.
+    if e.page_id != imci_common::PageId::ZERO {
+        engine.page_allocator().ensure_above(e.page_id);
+    }
     match &e.payload {
         RedoPayload::Commit { .. } | RedoPayload::Abort => Ok(None),
+
+        // Writer-ownership marker (crash recovery / promotion): nothing
+        // to apply — fencing is enforced by shared storage, not replay.
+        RedoPayload::EpochBump { .. } => Ok(None),
 
         // Catalog record: apply to this node's catalog (version-gated,
         // so mixed replay paths stay idempotent). Column-store side
@@ -123,7 +158,7 @@ pub fn apply_entry(engine: &RowEngine, e: &RedoEntry) -> Result<Option<LogicalCh
                 table_id: e.table_id,
                 lsn: e.lsn,
                 tid: e.tid,
-                dml: LogicalDml::Insert { new },
+                dml: LogicalDml::Insert { pk: *pk, new },
             }))
         }
 
@@ -356,7 +391,7 @@ mod tests {
             )
             .unwrap();
         }
-        rw.commit(txn);
+        rw.commit(txn).unwrap();
         let mut txn = rw.begin();
         for i in (0..3000i64).step_by(3) {
             rw.update(
@@ -372,7 +407,7 @@ mod tests {
                 rw.delete(&mut txn, "t", i).unwrap();
             }
         }
-        rw.commit(txn);
+        rw.commit(txn).unwrap();
         // An aborted transaction must leave no trace on the replica.
         let mut bad = rw.begin();
         rw.insert(
@@ -450,7 +485,7 @@ mod tests {
             vec![Value::Int(7), Value::Int(2), Value::Str("after".into())],
         )
         .unwrap();
-        rw.commit(txn);
+        rw.commit(txn).unwrap();
 
         // No catalog refresh: the CREATE TABLE's DDL record is in the
         // log and registers the table during replay.
@@ -488,7 +523,7 @@ mod tests {
             )
             .unwrap();
         }
-        rw.commit(txn);
+        rw.commit(txn).unwrap();
 
         // No catalog refresh: the CREATE TABLE's DDL record is in the
         // log and registers the table during replay.

@@ -9,11 +9,11 @@
 //! [`SYSTEM_TID`] so replay applies them physically but never interprets
 //! them as user changes (paper §5.3, challenge 2).
 
+use crate::alloc::PageAllocator;
 use crate::bufferpool::BufferPool;
 use crate::page::{Page, PageKind, INTERNAL_KEY_CAPACITY, PAGE_BYTE_CAPACITY};
 use imci_common::{Error, PageId, Result, RowDiff, TableId, Tid, SYSTEM_TID};
 use imci_wal::{LogWriter, RedoPayload};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Context threaded through mutations: where to emit REDO and on whose
@@ -39,22 +39,26 @@ impl RedoCtx {
         }
     }
 
-    fn emit(&self, page: &mut Page, slot: u32, tid: Tid, payload: RedoPayload) {
+    fn emit(&self, page: &mut Page, slot: u32, tid: Tid, payload: RedoPayload) -> Result<()> {
         if let Some(log) = &self.log {
-            let lsn = log.append(tid, self.table_id, page.id, slot, payload);
+            // A fenced append (this writer lost the RW role) errors out
+            // before the page's LSN moves; the local mutation stays, but
+            // the deposed node is permanently out of the cluster anyway.
+            let lsn = log.append(tid, self.table_id, page.id, slot, payload)?;
             page.last_lsn = lsn;
         }
         page.dirty = true;
+        Ok(())
     }
 
     /// Emit a user-DML record against `page`.
-    pub fn emit_dml(&self, page: &mut Page, slot: u32, payload: RedoPayload) {
-        self.emit(page, slot, self.tid, payload);
+    pub fn emit_dml(&self, page: &mut Page, slot: u32, payload: RedoPayload) -> Result<()> {
+        self.emit(page, slot, self.tid, payload)
     }
 
     /// Emit a structure-modification record against `page`.
-    pub fn emit_smo(&self, page: &mut Page, payload: RedoPayload) {
-        self.emit(page, 0, SYSTEM_TID, payload);
+    pub fn emit_smo(&self, page: &mut Page, payload: RedoPayload) -> Result<()> {
+        self.emit(page, 0, SYSTEM_TID, payload)
     }
 }
 
@@ -62,16 +66,20 @@ impl RedoCtx {
 pub struct BTree {
     meta_page: PageId,
     bp: Arc<BufferPool>,
-    page_alloc: Arc<AtomicU64>,
+    page_alloc: Arc<PageAllocator>,
 }
 
 impl BTree {
     /// Create a brand-new tree: a meta page and one empty root leaf.
     /// Emits SMO records so RO replicas can replay the creation, and
     /// flushes both pages so replicas can also cold-load them.
-    pub fn create(bp: Arc<BufferPool>, page_alloc: Arc<AtomicU64>, ctx: &RedoCtx) -> Result<BTree> {
-        let meta_id = PageId(page_alloc.fetch_add(1, Ordering::SeqCst));
-        let root_id = PageId(page_alloc.fetch_add(1, Ordering::SeqCst));
+    pub fn create(
+        bp: Arc<BufferPool>,
+        page_alloc: Arc<PageAllocator>,
+        ctx: &RedoCtx,
+    ) -> Result<BTree> {
+        let meta_id = page_alloc.alloc();
+        let root_id = page_alloc.alloc();
         let root_arc = bp.install(Page::new_leaf(root_id));
         {
             let mut root = root_arc.write();
@@ -81,12 +89,12 @@ impl BTree {
                     entries: Vec::new(),
                     next_leaf: None,
                 },
-            );
+            )?;
         }
         let meta_arc = bp.install(Page::new_meta(meta_id, root_id));
         {
             let mut meta = meta_arc.write();
-            ctx.emit_smo(&mut meta, RedoPayload::SmoSetRoot { root: root_id });
+            ctx.emit_smo(&mut meta, RedoPayload::SmoSetRoot { root: root_id })?;
         }
         let tree = BTree {
             meta_page: meta_id,
@@ -99,7 +107,7 @@ impl BTree {
     }
 
     /// Open an existing tree by its meta page.
-    pub fn open(bp: Arc<BufferPool>, page_alloc: Arc<AtomicU64>, meta_page: PageId) -> BTree {
+    pub fn open(bp: Arc<BufferPool>, page_alloc: Arc<PageAllocator>, meta_page: PageId) -> BTree {
         BTree {
             meta_page,
             bp,
@@ -110,6 +118,22 @@ impl BTree {
     /// The meta page id (stored in the catalog).
     pub fn meta_page(&self) -> PageId {
         self.meta_page
+    }
+
+    /// Every page id this tree owns: meta, internals, leaves. Used by
+    /// `DROP TABLE` to recycle the tree's pages through the free list.
+    pub fn all_pages(&self) -> Result<Vec<PageId>> {
+        let mut out = vec![self.meta_page];
+        let mut stack = vec![self.root()?];
+        while let Some(id) = stack.pop() {
+            out.push(id);
+            let arc = self.bp.get(id)?;
+            let p = arc.read();
+            if let PageKind::Internal { children, .. } = &p.kind {
+                stack.extend(children.iter().copied());
+            }
+        }
+        Ok(out)
     }
 
     fn flush_page(&self, id: PageId) -> Result<()> {
@@ -182,7 +206,7 @@ impl BTree {
                 Err(pos) => pos,
             };
             leaf.leaf_entries_mut()?.insert(slot, (pk, image.clone()));
-            ctx.emit_dml(&mut leaf, slot as u32, RedoPayload::Insert { pk, image });
+            ctx.emit_dml(&mut leaf, slot as u32, RedoPayload::Insert { pk, image })?;
             needs_split = leaf.byte_size() > PAGE_BYTE_CAPACITY && leaf.leaf_entries()?.len() >= 4;
         }
         if needs_split {
@@ -206,7 +230,7 @@ impl BTree {
             let entries = leaf.leaf_entries_mut()?;
             old = std::mem::replace(&mut entries[idx].1, new_image.clone());
             let diff = RowDiff::between(&old, &new_image);
-            ctx.emit_dml(&mut leaf, idx as u32, RedoPayload::Update { pk, diff });
+            ctx.emit_dml(&mut leaf, idx as u32, RedoPayload::Update { pk, diff })?;
             needs_split = leaf.byte_size() > PAGE_BYTE_CAPACITY && leaf.leaf_entries()?.len() >= 4;
         }
         if needs_split {
@@ -225,13 +249,13 @@ impl BTree {
             Err(_) => return Err(Error::Storage(format!("delete: pk {pk} not found"))),
         };
         let (_, old) = leaf.leaf_entries_mut()?.remove(idx);
-        ctx.emit_dml(&mut leaf, idx as u32, RedoPayload::Delete { pk });
+        ctx.emit_dml(&mut leaf, idx as u32, RedoPayload::Delete { pk })?;
         Ok(old)
     }
 
     fn split_leaf(&self, path: &[PageId], ctx: &RedoCtx) -> Result<()> {
         let leaf_id = *path.last().unwrap();
-        let right_id = PageId(self.page_alloc.fetch_add(1, Ordering::SeqCst));
+        let right_id = self.page_alloc.alloc();
         let split_key;
         {
             // Build the right sibling first so concurrent readers that
@@ -260,9 +284,9 @@ impl BTree {
                         entries: moved,
                         next_leaf: old_next,
                     },
-                );
+                )?;
             }
-            ctx.emit_smo(&mut leaf, RedoPayload::SmoTruncate { from_pk: split_key });
+            ctx.emit_smo(&mut leaf, RedoPayload::SmoTruncate { from_pk: split_key })?;
             if let PageKind::Leaf { next, .. } = &mut leaf.kind {
                 *next = Some(right_id);
             }
@@ -271,7 +295,7 @@ impl BTree {
                 RedoPayload::SmoSetNext {
                     next_leaf: Some(right_id),
                 },
-            );
+            )?;
         }
         self.insert_into_parent(&path[..path.len() - 1], leaf_id, split_key, right_id, ctx)
     }
@@ -286,7 +310,7 @@ impl BTree {
     ) -> Result<()> {
         if ancestors.is_empty() {
             // Root split: new internal root over (left, right).
-            let new_root_id = PageId(self.page_alloc.fetch_add(1, Ordering::SeqCst));
+            let new_root_id = self.page_alloc.alloc();
             let root_arc = self.bp.install(Page {
                 id: new_root_id,
                 last_lsn: imci_common::Lsn::ZERO,
@@ -304,12 +328,12 @@ impl BTree {
                         keys: vec![key],
                         children: vec![left, right],
                     },
-                );
+                )?;
             }
             let meta_arc = self.bp.get(self.meta_page)?;
             let mut meta = meta_arc.write();
             meta.kind = PageKind::Meta { root: new_root_id };
-            ctx.emit_smo(&mut meta, RedoPayload::SmoSetRoot { root: new_root_id });
+            ctx.emit_smo(&mut meta, RedoPayload::SmoSetRoot { root: new_root_id })?;
             return Ok(());
         }
         let parent_id = *ancestors.last().unwrap();
@@ -329,7 +353,7 @@ impl BTree {
             ctx.emit_smo(
                 &mut parent,
                 RedoPayload::SmoParentInsert { key, child: right },
-            );
+            )?;
         }
         if needs_split {
             self.split_internal(ancestors, ctx)?;
@@ -339,7 +363,7 @@ impl BTree {
 
     fn split_internal(&self, ancestors: &[PageId], ctx: &RedoCtx) -> Result<()> {
         let page_id = *ancestors.last().unwrap();
-        let right_id = PageId(self.page_alloc.fetch_add(1, Ordering::SeqCst));
+        let right_id = self.page_alloc.alloc();
         let up_key;
         {
             let arc = self.bp.get(page_id)?;
@@ -374,7 +398,7 @@ impl BTree {
                         keys: rk,
                         children: rc,
                     },
-                );
+                )?;
             }
             ctx.emit_smo(
                 &mut p,
@@ -382,7 +406,7 @@ impl BTree {
                     keys: lk,
                     children: lc,
                 },
-            );
+            )?;
         }
         self.insert_into_parent(
             &ancestors[..ancestors.len() - 1],
@@ -456,7 +480,7 @@ mod tests {
     fn fresh_tree() -> (BTree, RedoCtx) {
         let fs = PolarFs::instant();
         let bp = BufferPool::new(fs, 1024);
-        let alloc = Arc::new(AtomicU64::new(1));
+        let alloc = Arc::new(PageAllocator::new(1));
         let ctx = RedoCtx::unlogged(TableId(1));
         let t = BTree::create(bp, alloc, &ctx).unwrap();
         (t, ctx)
@@ -522,6 +546,23 @@ mod tests {
     }
 
     #[test]
+    fn all_pages_covers_meta_internals_and_leaves() {
+        let (t, ctx) = fresh_tree();
+        // Force a multi-level tree.
+        for pk in 0..3000i64 {
+            t.insert(pk, vec![0u8; 64], &ctx).unwrap();
+        }
+        let pages = t.all_pages().unwrap();
+        assert!(pages.contains(&t.meta_page()));
+        // One page per allocation: nothing double-counted, nothing lost.
+        let mut dedup = pages.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), pages.len(), "no duplicate page ids");
+        assert!(pages.len() > 10, "splits created internal + leaf pages");
+    }
+
+    #[test]
     fn range_scan_bounds() {
         let (t, ctx) = fresh_tree();
         for pk in 0..100i64 {
@@ -537,7 +578,7 @@ mod tests {
         use imci_wal::{LogReader, PropagationMode};
         let fs = PolarFs::instant();
         let bp = BufferPool::new(fs.clone(), 1024);
-        let alloc = Arc::new(AtomicU64::new(1));
+        let alloc = Arc::new(PageAllocator::new(1));
         let log = LogWriter::new(fs.clone(), PropagationMode::ReuseRedo);
         let ctx = RedoCtx {
             log: Some(log),
@@ -570,7 +611,7 @@ mod tests {
     fn reopen_from_meta_page_after_flush() {
         let fs = PolarFs::instant();
         let bp = BufferPool::new(fs.clone(), 1024);
-        let alloc = Arc::new(AtomicU64::new(1));
+        let alloc = Arc::new(PageAllocator::new(1));
         let ctx = RedoCtx::unlogged(TableId(1));
         let t = BTree::create(bp.clone(), alloc.clone(), &ctx).unwrap();
         for pk in 0..500i64 {

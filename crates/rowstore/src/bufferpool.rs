@@ -173,6 +173,13 @@ impl BufferPool {
         Ok(())
     }
 
+    /// Drop a page from the pool without writing it back. Used when a
+    /// table's pages are recycled (`DROP TABLE`): the stale frame must
+    /// not shadow a future [`BufferPool::install`] of the reused id.
+    pub fn discard(&self, id: PageId) {
+        self.frames.lock().remove(&id);
+    }
+
     /// Number of buffered pages.
     pub fn len(&self) -> usize {
         self.frames.lock().len()

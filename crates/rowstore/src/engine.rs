@@ -7,6 +7,7 @@
 //! row store ("PolarDB-IMCI lets RO nodes maintain the buffer pool of
 //! the row store like RW", paper §5.3).
 
+use crate::alloc::PageAllocator;
 use crate::btree::{BTree, RedoCtx};
 use crate::bufferpool::BufferPool;
 use crate::table::TableRt;
@@ -27,10 +28,12 @@ pub const CATALOG_KEY: &str = "catalog";
 pub struct RowEngine {
     fs: PolarFs,
     bp: Arc<BufferPool>,
-    page_alloc: Arc<AtomicU64>,
+    page_alloc: Arc<PageAllocator>,
     tables: RwLock<FxHashMap<String, Arc<TableRt>>>,
     tables_by_id: RwLock<FxHashMap<TableId, Arc<TableRt>>>,
-    log: Option<Arc<LogWriter>>,
+    /// Behind a lock so recovery/promotion can flip a replica into
+    /// writer mode in place ([`RowEngine::promote_to_writer`]).
+    log: RwLock<Option<Arc<LogWriter>>>,
     /// Transaction manager (meaningful on the RW node).
     pub txns: TxnManager,
     next_table_id: AtomicU64,
@@ -56,11 +59,11 @@ impl RowEngine {
         Arc::new(RowEngine {
             bp: BufferPool::new(fs.clone(), bp_capacity),
             fs,
-            page_alloc: Arc::new(AtomicU64::new(1)),
+            page_alloc: Arc::new(PageAllocator::new(1)),
             tables: RwLock::new(FxHashMap::default()),
             tables_by_id: RwLock::new(FxHashMap::default()),
             txns: TxnManager::new(Some(log.clone())),
-            log: Some(log),
+            log: RwLock::new(Some(log)),
             next_table_id: AtomicU64::new(1),
             catalog_version: AtomicU64::new(0),
             ddl_versions: RwLock::new(FxHashMap::default()),
@@ -73,11 +76,11 @@ impl RowEngine {
         Arc::new(RowEngine {
             bp: BufferPool::new(fs.clone(), bp_capacity),
             fs,
-            page_alloc: Arc::new(AtomicU64::new(1)),
+            page_alloc: Arc::new(PageAllocator::new(1)),
             tables: RwLock::new(FxHashMap::default()),
             tables_by_id: RwLock::new(FxHashMap::default()),
             txns: TxnManager::new(None),
-            log: None,
+            log: RwLock::new(None),
             next_table_id: AtomicU64::new(1),
             catalog_version: AtomicU64::new(0),
             ddl_versions: RwLock::new(FxHashMap::default()),
@@ -95,14 +98,30 @@ impl RowEngine {
         &self.bp
     }
 
-    /// The attached log writer (RW only).
-    pub fn log(&self) -> Option<&Arc<LogWriter>> {
-        self.log.as_ref()
+    /// The attached log writer (RW / promoted nodes only).
+    pub fn log(&self) -> Option<Arc<LogWriter>> {
+        self.log.read().clone()
+    }
+
+    /// This node's page-id allocator (high-water mark + free list).
+    pub fn page_allocator(&self) -> &Arc<PageAllocator> {
+        &self.page_alloc
+    }
+
+    /// Flip this (replica) engine into writer mode: attach the log
+    /// writer and fast-forward the transaction counters past everything
+    /// the log already contains. This is the storage-engine half of
+    /// RO→RW promotion — the caller (cluster failover) is responsible
+    /// for bumping the storage epoch first and rolling back in-flight
+    /// transactions afterwards.
+    pub fn promote_to_writer(&self, log: Arc<LogWriter>, next_tid: u64, commit_seq: u64) {
+        self.txns.promote(log.clone(), next_tid, commit_seq);
+        *self.log.write() = Some(log);
     }
 
     fn ctx_for(&self, tid: imci_common::Tid, table_id: TableId) -> RedoCtx {
         RedoCtx {
-            log: self.log.clone(),
+            log: self.log(),
             tid,
             table_id,
         }
@@ -116,9 +135,12 @@ impl RowEngine {
     /// once its local catalog mutation is done — the commit advances the
     /// written LSN, so strong-consistency reads fence on DDL exactly
     /// like they fence on DML. Caller must hold `ddl_lock`.
-    fn append_ddl(&self, op: &DdlOp) -> Option<Txn> {
+    fn append_ddl(&self, op: &DdlOp) -> Result<Option<Txn>> {
+        let log = match self.log() {
+            Some(log) => log,
+            None => return Ok(None),
+        };
         let version = self.catalog_version.fetch_add(1, Ordering::SeqCst) + 1;
-        let log = self.log.as_ref()?;
         let txn = self.begin();
         log.append(
             txn.tid,
@@ -129,7 +151,7 @@ impl RowEngine {
                 version,
                 op: op.clone(),
             },
-        );
+        )?;
         if log.mode() == PropagationMode::Binlog {
             log.binlog().log_event(&BinlogEvent {
                 tid: txn.tid,
@@ -140,7 +162,7 @@ impl RowEngine {
                 },
             });
         }
-        Some(txn)
+        Ok(Some(txn))
     }
 
     /// Create a table (DDL). Emits creation SMO records, then a
@@ -166,13 +188,13 @@ impl RowEngine {
         let pending = self.append_ddl(&DdlOp::CreateTable {
             schema: schema.clone(),
             meta_page: tree.meta_page(),
-        });
+        })?;
         let rt = Arc::new(TableRt::new(schema, tree));
         self.tables.write().insert(lname, rt.clone());
         self.tables_by_id.write().insert(table_id, rt.clone());
         self.persist_catalog();
         if let Some(txn) = pending {
-            self.txns.commit(txn);
+            self.txns.commit(txn)?;
         }
         Ok(rt)
     }
@@ -181,8 +203,9 @@ impl RowEngine {
     /// *before* the DDL record is appended, so in the log no DML of the
     /// table can follow its drop. Replicas destroy the row-table runtime
     /// and column index in LSN order with the data changes. The table's
-    /// pages are left to garbage (this reproduction has no page
-    /// reclamation).
+    /// B+tree pages are recycled through the free list — every reuse
+    /// path starts with a full-page SMO record, so replicas that replay
+    /// a reused id simply overwrite the stale frame (see [`crate::alloc`]).
     pub fn drop_table(&self, name: &str) -> Result<()> {
         let _ddl = self.ddl_lock.lock();
         let rt = self.table(name)?;
@@ -195,16 +218,26 @@ impl RowEngine {
             let _g = rt.write_lock.lock();
             rt.dropped.store(true, std::sync::atomic::Ordering::Release);
         }
+        // Collect the tree's pages while the runtime still exists; the
+        // ids go back to the allocator only after the drop record is in
+        // the log, so any reuse record strictly follows the drop.
+        let pages = rt.tree.all_pages().unwrap_or_default();
         self.tables.write().remove(&rt.schema.name);
         self.tables_by_id.write().remove(&rt.schema.table_id);
         let pending = self.append_ddl(&DdlOp::DropTable {
             table_id: rt.schema.table_id,
             name: rt.schema.name.clone(),
-        });
+        })?;
         self.persist_catalog();
         if let Some(txn) = pending {
-            self.txns.commit(txn);
+            self.txns.commit(txn)?;
         }
+        // Evict the stale frames (a future install of a reused id must
+        // not be shadowed) and recycle the ids.
+        for id in &pages {
+            self.bp.discard(*id);
+        }
+        self.page_alloc.release(pages);
         Ok(())
     }
 
@@ -230,7 +263,7 @@ impl RowEngine {
         let old = self.table(name)?;
         let pending = self.append_ddl(&DdlOp::ReplaceSchema {
             schema: schema.clone(),
-        });
+        })?;
         let new_rt = Arc::new(TableRt::new(
             schema.clone(),
             BTree::open(
@@ -249,7 +282,7 @@ impl RowEngine {
         self.tables_by_id.write().insert(schema.table_id, new_rt);
         self.persist_catalog();
         if let Some(txn) = pending {
-            self.txns.commit(txn);
+            self.txns.commit(txn)?;
         }
         Ok(())
     }
@@ -326,7 +359,7 @@ impl RowEngine {
         let tables = self.tables.read();
         let mut out = Vec::with_capacity(64);
         out.extend_from_slice(&self.catalog_version.load(Ordering::SeqCst).to_le_bytes());
-        out.extend_from_slice(&self.page_alloc.load(Ordering::SeqCst).to_le_bytes());
+        out.extend_from_slice(&self.page_alloc.high_water().to_le_bytes());
         out.extend_from_slice(&(tables.len() as u32).to_le_bytes());
         for rt in tables.values() {
             out.extend_from_slice(&rt.tree.meta_page().get().to_le_bytes());
@@ -358,7 +391,9 @@ impl RowEngine {
             self.ddl_versions.write().insert(id, version);
         }
         self.catalog_version.fetch_max(version, Ordering::SeqCst);
-        self.page_alloc.fetch_max(page_alloc, Ordering::SeqCst);
+        if page_alloc > 0 {
+            self.page_alloc.ensure_above(PageId(page_alloc - 1));
+        }
         Ok(())
     }
 
@@ -413,7 +448,7 @@ impl RowEngine {
         }
         out.push_str(&format!(
             "alloc\t{}\t{}\n",
-            self.page_alloc.load(Ordering::SeqCst),
+            self.page_alloc.high_water(),
             self.next_table_id.load(Ordering::SeqCst)
         ));
         out.push_str(&format!(
@@ -499,7 +534,9 @@ impl RowEngine {
                 }
                 "alloc" => {
                     let pa: u64 = parts[1].parse().unwrap_or(1);
-                    self.page_alloc.fetch_max(pa, Ordering::SeqCst);
+                    if pa > 0 {
+                        self.page_alloc.ensure_above(PageId(pa - 1));
+                    }
                 }
                 "version" => {
                     let v: u64 = parts[1].parse().unwrap_or(0);
@@ -515,7 +552,7 @@ impl RowEngine {
     // ---- DML ----
 
     fn maybe_binlog(&self, ev: BinlogEvent) {
-        if let Some(log) = &self.log {
+        if let Some(log) = self.log.read().as_ref() {
             if log.mode() == PropagationMode::Binlog {
                 log.binlog().log_event(&ev);
             }
@@ -617,48 +654,86 @@ impl RowEngine {
         self.txns.begin()
     }
 
-    /// Commit a transaction; returns its commit sequence number.
-    pub fn commit(&self, txn: Txn) -> Vid {
+    /// Commit a transaction; returns its commit sequence number. Fails
+    /// with a retryable [`Error::Failover`] when this node has been
+    /// deposed (epoch-fenced) — the transaction is then not durable
+    /// anywhere and must be retried against the new RW.
+    pub fn commit(&self, txn: Txn) -> Result<Vid> {
         self.txns.commit(txn)
+    }
+
+    /// Apply one inverse operation with SYSTEM_TID page changes (so RO
+    /// replicas roll back too). A table that no longer exists — or was
+    /// claimed by `DROP TABLE` — is skipped: the drop destroyed the
+    /// whole runtime, so there is nothing left to restore.
+    fn apply_undo(&self, op: &UndoOp) -> Result<()> {
+        let table = match op {
+            UndoOp::Insert { table, .. }
+            | UndoOp::Update { table, .. }
+            | UndoOp::Delete { table, .. } => *table,
+        };
+        let rt = match self.table_by_id(table) {
+            Ok(rt) => rt,
+            Err(_) => return Ok(()),
+        };
+        let ctx = self.ctx_for(SYSTEM_TID, table);
+        let _g = rt.write_lock.lock();
+        if rt.ensure_live().is_err() {
+            return Ok(());
+        }
+        match op {
+            UndoOp::Insert { pk, .. } => {
+                let old = rt.tree.delete(*pk, &ctx)?;
+                let old_row = Row::decode(&old)?;
+                rt.sec_remove(*pk, &old_row.values);
+                rt.count_delete();
+            }
+            UndoOp::Update { pk, old, .. } => {
+                let cur = rt.tree.update(*pk, old.encode(), &ctx)?;
+                let cur_row = Row::decode(&cur)?;
+                rt.sec_update(*pk, &cur_row.values, &old.values);
+            }
+            UndoOp::Delete { pk, old, .. } => {
+                rt.tree.insert(*pk, old.encode(), &ctx)?;
+                rt.sec_add(*pk, &old.values);
+                rt.count_insert();
+            }
+        }
+        Ok(())
     }
 
     /// Abort: physically roll back with SYSTEM_TID page changes (so RO
     /// replicas roll back too), then log the abort record.
     pub fn abort(&self, txn: Txn) -> Result<()> {
         for op in txn.undo.iter().rev() {
-            match op {
-                UndoOp::Insert { table, pk } => {
-                    let rt = self.table_by_id(*table)?;
-                    let ctx = self.ctx_for(SYSTEM_TID, *table);
-                    let _g = rt.write_lock.lock();
-                    rt.ensure_live()?;
-                    let old = rt.tree.delete(*pk, &ctx)?;
-                    let old_row = Row::decode(&old)?;
-                    rt.sec_remove(*pk, &old_row.values);
-                    rt.count_delete();
-                }
-                UndoOp::Update { table, pk, old } => {
-                    let rt = self.table_by_id(*table)?;
-                    let ctx = self.ctx_for(SYSTEM_TID, *table);
-                    let _g = rt.write_lock.lock();
-                    rt.ensure_live()?;
-                    let cur = rt.tree.update(*pk, old.encode(), &ctx)?;
-                    let cur_row = Row::decode(&cur)?;
-                    rt.sec_update(*pk, &cur_row.values, &old.values);
-                }
-                UndoOp::Delete { table, pk, old } => {
-                    let rt = self.table_by_id(*table)?;
-                    let ctx = self.ctx_for(SYSTEM_TID, *table);
-                    let _g = rt.write_lock.lock();
-                    rt.ensure_live()?;
-                    rt.tree.insert(*pk, old.encode(), &ctx)?;
-                    rt.sec_add(*pk, &old.values);
-                    rt.count_insert();
-                }
-            }
+            self.apply_undo(op)?;
         }
         self.txns.log_abort(txn.tid);
         Ok(())
+    }
+
+    /// Roll back transactions that were still in flight when the writer
+    /// role moved (RW crash recovery, RO→RW promotion). `ops` is every
+    /// undecided DML in original log order, possibly from several
+    /// interleaved transactions; they are undone in exact reverse, each
+    /// as a logged SYSTEM_TID compensation, and then one abort record
+    /// is written per transaction — byte-for-byte what a live abort
+    /// produces, so replicas tailing the log converge with no special
+    /// handling. Returns the number of transactions rolled back.
+    pub fn rollback_inflight(&self, ops: &[(imci_common::Tid, UndoOp)]) -> Result<usize> {
+        for (_, op) in ops.iter().rev() {
+            self.apply_undo(op)?;
+        }
+        let mut tids: Vec<imci_common::Tid> = Vec::new();
+        for (tid, _) in ops {
+            if !tids.contains(tid) {
+                tids.push(*tid);
+            }
+        }
+        for tid in &tids {
+            self.txns.log_abort(*tid);
+        }
+        Ok(tids.len())
     }
 
     // ---- reads ----
@@ -745,7 +820,7 @@ mod tests {
             vec![Value::Int(1), Value::Int(10), Value::Str("a".into())],
         )
         .unwrap();
-        e.commit(txn);
+        e.commit(txn).unwrap();
         let row = e.get_row("t", 1).unwrap().unwrap();
         assert_eq!(row.values[2], Value::Str("a".into()));
         assert_eq!(e.row_count("t").unwrap(), 1);
@@ -765,7 +840,7 @@ mod tests {
             )
             .unwrap();
         }
-        e.commit(txn);
+        e.commit(txn).unwrap();
         let rt = e.table("t").unwrap();
         assert_eq!(rt.secondaries[0].lookup_eq(&Value::Int(0)).len(), 4);
 
@@ -778,7 +853,7 @@ mod tests {
         )
         .unwrap();
         e.delete(&mut txn, "t", 3).unwrap();
-        e.commit(txn);
+        e.commit(txn).unwrap();
         assert_eq!(rt.secondaries[0].lookup_eq(&Value::Int(0)).len(), 2);
         assert_eq!(rt.secondaries[0].lookup_eq(&Value::Int(2)).len(), 4);
         assert_eq!(e.row_count("t").unwrap(), 9);
@@ -796,7 +871,7 @@ mod tests {
             vec![Value::Int(1), Value::Int(7), Value::Str("keep".into())],
         )
         .unwrap();
-        e.commit(setup);
+        e.commit(setup).unwrap();
 
         let mut txn = e.begin();
         e.insert(
@@ -839,7 +914,7 @@ mod tests {
             vec![Value::Int(2), Value::Null, Value::Null],
         );
         assert!(r.is_err());
-        e.commit(txn);
+        e.commit(txn).unwrap();
     }
 
     #[test]
@@ -856,7 +931,7 @@ mod tests {
             )
             .unwrap();
         }
-        e.commit(txn);
+        e.commit(txn).unwrap();
         e.flush_all();
 
         let replica = RowEngine::new_replica(fs, 4096);
@@ -974,7 +1049,7 @@ mod tests {
                         vec![Value::Int(i), Value::Int(0), Value::Null],
                     );
                     match r {
-                        Ok(()) => e.commit(txn),
+                        Ok(()) => e.commit(txn).unwrap(),
                         Err(_) => {
                             // Table dropped mid-flight: abort may also
                             // fail (runtime gone) — either way no log
@@ -1000,6 +1075,38 @@ mod tests {
                 .unwrap_or_else(|err| panic!("log must stay replayable: {err}"));
         }
         assert!(ro.table("t").is_err(), "replica observed the drop");
+    }
+
+    #[test]
+    fn drop_table_recycles_pages() {
+        let (e, _) = rw_engine();
+        let mut high_water = 0;
+        for round in 0..8 {
+            let (cols, idxs) = demo_columns();
+            e.create_table("churn", cols, idxs).unwrap();
+            let mut txn = e.begin();
+            for i in 0..500 {
+                e.insert(
+                    &mut txn,
+                    "churn",
+                    vec![Value::Int(i), Value::Int(i % 3), Value::Str("x".repeat(40))],
+                )
+                .unwrap();
+            }
+            e.commit(txn).unwrap();
+            e.drop_table("churn").unwrap();
+            let hw = e.page_allocator().high_water();
+            if round == 0 {
+                high_water = hw;
+            } else {
+                assert_eq!(
+                    hw, high_water,
+                    "round {round}: dropped tables' pages must be recycled, \
+                     not leaked (ROADMAP DDL-churn follow-up)"
+                );
+            }
+            assert!(e.page_allocator().free_count() > 0, "free list populated");
+        }
     }
 
     #[test]

@@ -17,17 +17,21 @@
 //! engine (with a log writer attached) and as an RO node's row-store
 //! replica (without one).
 
+pub mod alloc;
 pub mod apply;
 pub mod btree;
 pub mod bufferpool;
 pub mod engine;
 pub mod page;
+pub mod recovery;
 pub mod table;
 pub mod txn;
 
+pub use alloc::PageAllocator;
 pub use apply::{apply_entry, LogicalChange, LogicalDml};
 pub use bufferpool::BufferPool;
 pub use engine::RowEngine;
 pub use page::{Page, PageKind, PAGE_BYTE_CAPACITY};
+pub use recovery::{RecoverOptions, RecoveryReport};
 pub use table::TableRt;
-pub use txn::{Txn, TxnManager};
+pub use txn::{Txn, TxnManager, UndoOp};

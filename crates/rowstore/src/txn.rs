@@ -12,9 +12,9 @@
 //! no data need to be rolled back" on the column side (paper §5.1) while
 //! their row pages are fixed up by the logged undo application.
 
-use imci_common::{Row, TableId, Tid, Vid};
+use imci_common::{Result, Row, TableId, Tid, Vid};
 use imci_wal::LogWriter;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -52,7 +52,10 @@ pub struct TxnManager {
     /// docs). The fsync inside also rides under this lock, which models
     /// a serialized group-commit pipeline.
     commit_mutex: Mutex<()>,
-    log: Option<Arc<LogWriter>>,
+    /// Behind a lock so a replica engine can be flipped into writer
+    /// mode in place (RO→RW promotion attaches a log writer to a
+    /// manager that started unlogged).
+    log: RwLock<Option<Arc<LogWriter>>>,
 }
 
 impl TxnManager {
@@ -63,7 +66,7 @@ impl TxnManager {
             next_tid: AtomicU64::new(1),
             commit_seq: AtomicU64::new(0),
             commit_mutex: Mutex::new(()),
-            log,
+            log: RwLock::new(log),
         }
     }
 
@@ -75,20 +78,26 @@ impl TxnManager {
         }
     }
 
-    /// Commit: assign the VID, write + fsync the commit record.
-    pub fn commit(&self, txn: Txn) -> Vid {
+    /// Commit: assign the VID, write + fsync the commit record. A
+    /// fenced writer (deposed by failover) fails here with the commit
+    /// record unwritten — the VID is not consumed and the transaction
+    /// is not durable anywhere, so the client can safely retry on the
+    /// new RW.
+    pub fn commit(&self, txn: Txn) -> Result<Vid> {
         let _g = self.commit_mutex.lock();
-        let vid = Vid(self.commit_seq.fetch_add(1, Ordering::SeqCst) + 1);
-        if let Some(log) = &self.log {
-            log.commit(txn.tid, vid);
+        let vid = Vid(self.commit_seq.load(Ordering::SeqCst) + 1);
+        if let Some(log) = self.log.read().as_ref() {
+            log.commit(txn.tid, vid)?;
         }
-        vid
+        self.commit_seq.store(vid.get(), Ordering::SeqCst);
+        Ok(vid)
     }
 
     /// Write the abort record (the engine has already applied undo).
+    /// Best-effort on a fenced writer: the abort gates nothing.
     pub fn log_abort(&self, tid: Tid) {
-        if let Some(log) = &self.log {
-            log.abort(tid);
+        if let Some(log) = self.log.read().as_ref() {
+            let _ = log.abort(tid);
         }
     }
 
@@ -98,8 +107,21 @@ impl TxnManager {
     }
 
     /// The attached log writer, if any.
-    pub fn log(&self) -> Option<&Arc<LogWriter>> {
-        self.log.as_ref()
+    pub fn log(&self) -> Option<Arc<LogWriter>> {
+        self.log.read().clone()
+    }
+
+    /// Attach a log writer and fast-forward the counters — the
+    /// writer-mode flip of crash recovery / RO→RW promotion. `next_tid`
+    /// must exceed every TID in the log (a reused TID would corrupt the
+    /// prev-LSN chains); `commit_seq` is the highest committed VID, so
+    /// the first post-promotion commit continues the VID sequence the
+    /// column-store watermarks advance on.
+    pub fn promote(&self, log: Arc<LogWriter>, next_tid: u64, commit_seq: u64) {
+        let _g = self.commit_mutex.lock();
+        self.next_tid.fetch_max(next_tid, Ordering::SeqCst);
+        self.commit_seq.fetch_max(commit_seq, Ordering::SeqCst);
+        *self.log.write() = Some(log);
     }
 }
 
@@ -116,9 +138,26 @@ mod tests {
         let t2 = m.begin();
         assert_eq!(t1.tid, Tid(1));
         assert_eq!(t2.tid, Tid(2));
-        assert_eq!(m.commit(t1), Vid(1));
-        assert_eq!(m.commit(t2), Vid(2));
+        assert_eq!(m.commit(t1).unwrap(), Vid(1));
+        assert_eq!(m.commit(t2).unwrap(), Vid(2));
         assert_eq!(m.last_commit_vid(), Vid(2));
+    }
+
+    #[test]
+    fn fenced_commit_burns_no_vid_and_is_retryable() {
+        let fs = PolarFs::instant();
+        let log = LogWriter::new(fs.clone(), PropagationMode::ReuseRedo);
+        let m = TxnManager::new(Some(log));
+        m.commit(m.begin()).unwrap();
+        fs.bump_epoch(); // a new writer took over
+        let err = m.commit(m.begin()).unwrap_err();
+        assert!(err.is_retryable(), "failover errors are retryable");
+        assert_eq!(
+            m.last_commit_vid(),
+            Vid(1),
+            "a fenced commit must not consume a VID: the next writer \
+             resumes the VID sequence from the log"
+        );
     }
 
     #[test]
@@ -132,7 +171,7 @@ mod tests {
             handles.push(std::thread::spawn(move || {
                 for _ in 0..50 {
                     let t = m.begin();
-                    m.commit(t);
+                    m.commit(t).unwrap();
                 }
             }));
         }

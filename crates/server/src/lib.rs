@@ -353,6 +353,46 @@ mod tests {
     }
 
     #[test]
+    fn failover_errors_are_retryable_over_the_wire() {
+        let (server, cluster) = serve_small_cluster();
+        let mut c = Client::connect(server.local_addr()).unwrap();
+        c.execute(
+            "CREATE TABLE ha (id INT NOT NULL, v INT, PRIMARY KEY(id),
+             KEY COLUMN_INDEX(id, v))",
+        )
+        .unwrap();
+        c.execute("INSERT INTO ha VALUES (1, 10)").unwrap();
+
+        // RW goes down mid-session: the write fails with the retryable
+        // failover category — the session itself stays alive.
+        cluster.crash_rw();
+        let err = c.execute("INSERT INTO ha VALUES (2, 20)").unwrap_err();
+        assert!(
+            matches!(err, imci_common::Error::Failover(_)),
+            "category must survive the wire: {err}"
+        );
+        assert!(err.is_retryable());
+        // Reads still serve from the RO while the writer is vacant.
+        c.set_consistency(Consistency::Strong).unwrap();
+        c.set_force_engine(Some(EngineChoice::Column)).unwrap();
+        let res = c.execute("SELECT v FROM ha WHERE id = 1").unwrap();
+        assert_eq!(res.rows, vec![vec![Value::Int(10)]]);
+        c.set_force_engine(None).unwrap();
+
+        // Promotion completes; the client retries the exact statement
+        // on the same connection and it lands exactly once.
+        cluster.failover().unwrap();
+        assert_eq!(
+            c.execute("INSERT INTO ha VALUES (2, 20)").unwrap().affected,
+            1
+        );
+        let res = c.execute("SELECT COUNT(*) FROM ha").unwrap();
+        assert_eq!(res.rows, vec![vec![Value::Int(2)]]);
+        server.shutdown();
+        cluster.shutdown();
+    }
+
+    #[test]
     fn commented_select_routes_to_ro_through_server() {
         let (server, cluster) = serve_small_cluster();
         let mut c = Client::connect(server.local_addr()).unwrap();

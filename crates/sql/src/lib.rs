@@ -258,7 +258,7 @@ impl QueryEngine {
                     }
                     n += 1;
                 }
-                self.row.commit(txn);
+                self.row.commit(txn)?;
                 Ok(QueryResult::dml(n))
             }
             Statement::Update {
@@ -286,11 +286,11 @@ impl QueryEngine {
                             self.row.abort(txn)?;
                             return Err(e);
                         }
-                        self.row.commit(txn);
+                        self.row.commit(txn)?;
                         1
                     }
                     None => {
-                        self.row.commit(txn);
+                        self.row.commit(txn)?;
                         0
                     }
                 };
@@ -305,10 +305,10 @@ impl QueryEngine {
                         self.row.abort(txn)?;
                         return Err(e);
                     }
-                    self.row.commit(txn);
+                    self.row.commit(txn)?;
                     1
                 } else {
-                    self.row.commit(txn);
+                    self.row.commit(txn)?;
                     0
                 };
                 Ok(QueryResult::dml(affected))

@@ -114,9 +114,10 @@ mod tests {
                     pk: i as i64,
                     image: vec![0u8; 100],
                 },
-            );
+            )
+            .unwrap();
         }
-        w.commit(Tid(1), Vid(1));
+        w.commit(Tid(1), Vid(1)).unwrap();
         let mut r = LogReader::new(fs, 0);
         let es = r.read_available();
         assert_eq!(es.len(), 501);
@@ -135,7 +136,8 @@ mod tests {
             PageId(1),
             0,
             RedoPayload::Delete { pk: 1 },
-        );
+        )
+        .unwrap();
         let mut r = LogReader::new(fs.clone(), 0);
         assert_eq!(r.read_available().len(), 1);
         let off = r.offset();
@@ -145,7 +147,8 @@ mod tests {
             PageId(1),
             0,
             RedoPayload::Delete { pk: 2 },
-        );
+        )
+        .unwrap();
         let mut r2 = LogReader::new(fs, off);
         let es = r2.read_available();
         assert_eq!(es.len(), 1);
@@ -167,7 +170,8 @@ mod tests {
                 pk: 9,
                 image: vec![1],
             },
-        );
+        )
+        .unwrap();
         let mut r = LogReader::new(fs, 0);
         let es = r.read_available();
         assert_eq!(es.len(), 1);

@@ -54,6 +54,16 @@ pub enum RedoPayload {
         /// The catalog change itself (full serialized schema payloads).
         op: DdlOp,
     },
+    /// Writer-ownership change: the first record a resumed writer
+    /// (crash recovery or RO→RW promotion) appends. Purely
+    /// informational for replicas — the *enforcement* is the shared
+    /// storage epoch fence — but it makes ownership transitions visible
+    /// in the log and pins where each writer's records start.
+    EpochBump {
+        /// The new writer's epoch (matches the volume's fencing
+        /// register at promotion time).
+        epoch: u64,
+    },
 }
 
 impl RedoPayload {
@@ -72,6 +82,7 @@ impl RedoPayload {
             RedoPayload::Commit { .. } => 20,
             RedoPayload::Abort => 21,
             RedoPayload::Ddl { .. } => 30,
+            RedoPayload::EpochBump { .. } => 40,
         }
     }
 
@@ -223,6 +234,7 @@ impl RedoEntry {
                 put_u64(&mut body, *version);
                 put_bytes(&mut body, &op.encode());
             }
+            RedoPayload::EpochBump { epoch } => put_u64(&mut body, *epoch),
         }
         let mut out = Vec::with_capacity(body.len() + 4);
         put_u32(&mut out, body.len() as u32);
@@ -322,6 +334,7 @@ impl RedoEntry {
                 let (op, _) = DdlOp::decode(&op_bytes)?;
                 RedoPayload::Ddl { version, op }
             }
+            40 => RedoPayload::EpochBump { epoch: r.u64()? },
             t => return Err(Error::Storage(format!("unknown redo record type {t}"))),
         };
         Ok(Some((
@@ -397,6 +410,11 @@ mod tests {
             commit_vid: Vid(1000),
         });
         roundtrip(RedoPayload::Abort);
+        roundtrip(RedoPayload::EpochBump { epoch: 7 });
+        let bump = RedoPayload::EpochBump { epoch: 7 };
+        assert!(!bump.is_smo());
+        assert!(!bump.is_decision());
+        assert!(!bump.is_ddl());
     }
 
     #[test]

@@ -91,7 +91,7 @@ impl ChBench {
         }
         let items = 1000.max(warehouses * 100);
         let customers_per_district = 30;
-        let rw = &cluster.rw;
+        let rw = cluster.rw().expect("RW node is up");
         let mut txn = rw.begin();
         for w in 0..warehouses {
             rw.insert(
@@ -161,7 +161,7 @@ impl ChBench {
                 )?;
             }
         }
-        rw.commit(txn);
+        rw.commit(txn).unwrap();
         Ok(ChBench {
             warehouses,
             items,
@@ -173,7 +173,7 @@ impl ChBench {
     /// One NewOrder transaction: insert an order + 5..15 order lines and
     /// decrement stock. Returns the number of order lines.
     pub fn new_order(&self, cluster: &Cluster, rng: &mut StdRng) -> Result<usize> {
-        let rw = &cluster.rw;
+        let rw = cluster.rw().expect("RW node is up");
         let w = rng.gen_range(0..self.warehouses);
         let d = w * 10 + rng.gen_range(0..10);
         let c = d * 1000 + rng.gen_range(0..self.customers_per_district);
@@ -216,13 +216,13 @@ impl ChBench {
                 rw.update(&mut txn, "chstock", s_id, row.values)?;
             }
         }
-        rw.commit(txn);
+        rw.commit(txn).unwrap();
         Ok(n_lines)
     }
 
     /// One Payment transaction: update a customer balance + district ytd.
     pub fn payment(&self, cluster: &Cluster, rng: &mut StdRng) -> Result<()> {
-        let rw = &cluster.rw;
+        let rw = cluster.rw().expect("RW node is up");
         let w = rng.gen_range(0..self.warehouses);
         let d = w * 10 + rng.gen_range(0..10);
         let c = d * 1000 + rng.gen_range(0..self.customers_per_district);
@@ -238,7 +238,7 @@ impl ChBench {
             row.values[3] = Value::Double(row.values[3].as_f64().unwrap_or(0.0) + amount);
             rw.update(&mut txn, "district", d, row.values)?;
         }
-        rw.commit(txn);
+        rw.commit(txn).unwrap();
         Ok(())
     }
 }
@@ -263,8 +263,11 @@ mod tests {
             lines += ch.new_order(&cluster, &mut rng).unwrap();
             ch.payment(&cluster, &mut rng).unwrap();
         }
-        assert_eq!(cluster.rw.row_count("chorder").unwrap(), 10);
-        assert_eq!(cluster.rw.row_count("order_line").unwrap(), lines);
+        assert_eq!(cluster.rw().unwrap().row_count("chorder").unwrap(), 10);
+        assert_eq!(
+            cluster.rw().unwrap().row_count("order_line").unwrap(),
+            lines
+        );
     }
 
     #[test]

@@ -114,7 +114,7 @@ pub fn generate(
         cluster.execute(&format!(
             "CREATE TABLE {name} ({cols}, PRIMARY KEY(id), KEY fk_idx_{t}(fk1), KEY COLUMN_INDEX({ci}))"
         ))?;
-        let rw = &cluster.rw;
+        let rw = cluster.rw().expect("RW node is up");
         let mut txn = rw.begin();
         for i in 0..rows {
             let mut vals = vec![Value::Int(i)];
@@ -128,7 +128,7 @@ pub fn generate(
             }
             rw.insert(&mut txn, &name, vals)?;
         }
-        rw.commit(txn);
+        rw.commit(txn).unwrap();
         tables.push(name);
     }
 

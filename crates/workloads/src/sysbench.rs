@@ -41,7 +41,7 @@ impl Sysbench {
                 "CREATE TABLE sbtest{t} (id INT NOT NULL, k INT, c VARCHAR(120), p VARCHAR(60),
                  PRIMARY KEY(id), KEY k_{t}(k), KEY COLUMN_INDEX(id, k, c, p))"
             ))?;
-            let rw = &cluster.rw;
+            let rw = cluster.rw().expect("RW node is up");
             let mut txn = rw.begin();
             for i in 0..initial_rows {
                 rw.insert(
@@ -55,7 +55,7 @@ impl Sysbench {
                     ],
                 )?;
             }
-            rw.commit(txn);
+            rw.commit(txn).unwrap();
             next_pk.push(Arc::new(AtomicI64::new(initial_rows)));
         }
         Ok(Sysbench {
@@ -69,7 +69,7 @@ impl Sysbench {
     pub fn insert_one(&self, cluster: &Cluster, rng: &mut StdRng) -> Result<()> {
         let t = rng.gen_range(0..self.n_tables);
         let pk = self.next_pk[t].fetch_add(1, Ordering::SeqCst);
-        let rw = &cluster.rw;
+        let rw = cluster.rw().expect("RW node is up");
         let mut txn = rw.begin();
         rw.insert(
             &mut txn,
@@ -81,7 +81,7 @@ impl Sysbench {
                 Value::Str(pad(60, pk + 7)),
             ],
         )?;
-        rw.commit(txn);
+        rw.commit(txn).unwrap();
         Ok(())
     }
 
@@ -90,13 +90,13 @@ impl Sysbench {
         let t = rng.gen_range(0..self.n_tables);
         let hot = self.zipf.sample(rng.gen::<f64>()) as i64 - 1;
         let table = format!("sbtest{}", t + 1);
-        let rw = &cluster.rw;
+        let rw = cluster.rw().expect("RW node is up");
         if let Some(mut row) = rw.get_row(&table, hot)? {
             let mut txn = rw.begin();
             row.values[1] = Value::Int(rng.gen_range(0..1000));
             row.values[2] = Value::Str(pad(120, rng.gen::<i64>().abs() % 100000));
             rw.update(&mut txn, &table, hot, row.values)?;
-            rw.commit(txn);
+            rw.commit(txn).unwrap();
         }
         Ok(())
     }
@@ -159,8 +159,8 @@ mod tests {
             wl.insert_one(&cluster, &mut rng).unwrap();
             wl.update_one(&cluster, &mut rng).unwrap();
         }
-        let n1 = cluster.rw.row_count("sbtest1").unwrap();
-        let n2 = cluster.rw.row_count("sbtest2").unwrap();
+        let n1 = cluster.rw().unwrap().row_count("sbtest1").unwrap();
+        let n2 = cluster.rw().unwrap().row_count("sbtest2").unwrap();
         assert_eq!(n1 + n2, 250, "100+100 initial + 50 inserts");
     }
 

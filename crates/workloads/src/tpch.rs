@@ -144,7 +144,7 @@ pub fn load(cluster: &Cluster, sf: f64, seed: u64) -> Result<u64> {
     }
     let sz = sizes(sf);
     let mut rng = StdRng::seed_from_u64(seed);
-    let rw = &cluster.rw;
+    let rw = cluster.rw().expect("RW node is up");
     let mut total = 0u64;
     use imci_common::Value as V;
 
@@ -187,7 +187,7 @@ pub fn load(cluster: &Cluster, sf: f64, seed: u64) -> Result<u64> {
         )?;
         total += 1;
     }
-    rw.commit(txn);
+    rw.commit(txn).unwrap();
 
     let mut txn = rw.begin();
     for c in 0..sz.customers {
@@ -204,7 +204,7 @@ pub fn load(cluster: &Cluster, sf: f64, seed: u64) -> Result<u64> {
         )?;
         total += 1;
         if total.is_multiple_of(20_000) {
-            rw.commit(std::mem::replace(&mut txn, rw.begin()));
+            rw.commit(std::mem::replace(&mut txn, rw.begin())).unwrap();
         }
     }
     for p in 0..sz.parts {
@@ -239,7 +239,7 @@ pub fn load(cluster: &Cluster, sf: f64, seed: u64) -> Result<u64> {
             total += 1;
         }
         if total.is_multiple_of(20_000) {
-            rw.commit(std::mem::replace(&mut txn, rw.begin()));
+            rw.commit(std::mem::replace(&mut txn, rw.begin())).unwrap();
         }
     }
     for o in 0..sz.orders {
@@ -291,10 +291,10 @@ pub fn load(cluster: &Cluster, sf: f64, seed: u64) -> Result<u64> {
             total += 1;
         }
         if total.is_multiple_of(20_000) {
-            rw.commit(std::mem::replace(&mut txn, rw.begin()));
+            rw.commit(std::mem::replace(&mut txn, rw.begin())).unwrap();
         }
     }
-    rw.commit(txn);
+    rw.commit(txn).unwrap();
     Ok(total)
 }
 

@@ -72,7 +72,7 @@ fn mixed_workload_stays_consistent() {
         if a == b {
             continue;
         }
-        let rw = &c.rw;
+        let rw = c.rw().expect("RW node is up");
         let mut txn = rw.begin();
         let mut ra = rw.get_row("acct", a).unwrap().unwrap();
         let mut rb = rw.get_row("acct", b).unwrap().unwrap();
@@ -80,7 +80,7 @@ fn mixed_workload_stays_consistent() {
         rb.values[1] = Value::Double(rb.values[1].as_f64().unwrap() + 5.0);
         rw.update(&mut txn, "acct", a, ra.values).unwrap();
         rw.update(&mut txn, "acct", b, rb.values).unwrap();
-        rw.commit(txn);
+        rw.commit(txn).unwrap();
     }
     assert!(c.wait_sync(Duration::from_secs(60)));
     let res = c.execute("SELECT SUM(bal), COUNT(*) FROM acct").unwrap();
@@ -96,7 +96,7 @@ fn aborted_transfer_leaves_no_trace_in_analytics() {
     c.execute("CREATE TABLE t (id INT NOT NULL, v INT, PRIMARY KEY(id), KEY COLUMN_INDEX(id, v))")
         .unwrap();
     c.execute("INSERT INTO t VALUES (1, 10), (2, 20)").unwrap();
-    let rw = &c.rw;
+    let rw = c.rw().expect("RW node is up");
     let mut bad = rw.begin();
     let mut row = rw.get_row("t", 1).unwrap().unwrap();
     row.values[1] = Value::Int(-999);

@@ -118,7 +118,7 @@ proptest! {
                     continue;
                 }
             }
-            rw.commit(txn);
+            rw.commit(txn).unwrap();
         }
 
         // RW content == model.
