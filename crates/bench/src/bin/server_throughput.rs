@@ -13,7 +13,18 @@
 //!    and OLAP aggregates): the paper's claim that the stateless proxy
 //!    tier scales concurrent mixed traffic by read/write splitting and
 //!    RO load-balancing (§6.1) without analytical queries starving
-//!    point reads.
+//!    point reads. The JSON scenario is labeled with the detected core
+//!    count (`mixed_scaling_c<n>`) because the curve's shape *is* a
+//!    function of cores; `bench-check` skips cross-core comparisons.
+//!
+//! A third measurement runs instead of the two above under
+//! `--idle-conns`: the reactor tier's reason to exist. 1,000 idle
+//! connections are held open while one session drives point-read
+//! traffic and another churns connect/close in a loop. Reported:
+//! resident memory with the sessions parked (thread-per-connection
+//! dies here; the reactor pays one fd + a few hundred bytes each),
+//! active-traffic p99 latency (idle fds must not cost the busy session
+//! anything), and the churn rate the acceptor sustains alongside.
 
 use imci_bench::BenchReport;
 use imci_cluster::{Cluster, ClusterConfig, Consistency};
@@ -91,16 +102,9 @@ fn run_mode(addr: std::net::SocketAddr, mode: Mode, rows: i64, measure: Duration
     done as f64 / t0.elapsed().as_secs_f64()
 }
 
-fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
-    let mut rep = BenchReport::new(smoke);
-    let rows: i64 = if smoke { 2_000 } else { 20_000 };
-    let measure = if smoke {
-        Duration::from_millis(300)
-    } else {
-        Duration::from_secs(3)
-    };
-    let conn_counts: &[usize] = if smoke { &[1, 4] } else { &[1, 4, 16] };
+/// Boot a cluster and bulk-load the `mix` table through the cluster
+/// API (batched inserts), waiting for RO catch-up before measuring.
+fn load_cluster(rows: i64) -> Arc<Cluster> {
     let cluster = Cluster::start(ClusterConfig {
         n_ro: 2,
         group_cap: 4096,
@@ -112,8 +116,6 @@ fn main() {
              PRIMARY KEY(id), KEY COLUMN_INDEX(id, grp, val, note))",
         )
         .unwrap();
-    // Bulk-load through the cluster API (batched inserts), then let the
-    // ROs catch up before measuring.
     let mut batch = Vec::new();
     for i in 0..rows {
         batch.push(format!(
@@ -135,6 +137,37 @@ fn main() {
             .unwrap();
     }
     assert!(cluster.wait_sync(Duration::from_secs(60)), "RO catch-up");
+    cluster
+}
+
+/// This process's resident set in KiB (`VmRSS` from `/proc`), 0 where
+/// /proc is unavailable.
+fn rss_kib() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines().find_map(|l| {
+                l.strip_prefix("VmRSS:")
+                    .and_then(|v| v.split_whitespace().next().and_then(|n| n.parse().ok()))
+            })
+        })
+        .unwrap_or(0)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    if std::env::args().any(|a| a == "--idle-conns") {
+        return run_idle_conns(smoke);
+    }
+    let mut rep = BenchReport::new(smoke);
+    let rows: i64 = if smoke { 2_000 } else { 20_000 };
+    let measure = if smoke {
+        Duration::from_millis(300)
+    } else {
+        Duration::from_secs(3)
+    };
+    let conn_counts: &[usize] = if smoke { &[1, 4] } else { &[1, 4, 16] };
+    let cluster = load_cluster(rows);
 
     let server = Server::start(
         cluster.clone(),
@@ -238,8 +271,10 @@ fn main() {
             oltp as f64 / secs,
             olap as f64 / secs
         );
+        // Core-labeled: this curve's shape depends on the host's core
+        // count, so bench-check only compares like against like.
         rep.set(
-            "mixed_scaling",
+            &format!("mixed_scaling_c{cores}"),
             &format!("conns{conns}_total_qps"),
             (oltp + olap) as f64 / secs,
         );
@@ -248,6 +283,143 @@ fn main() {
         rep.write(&path).expect("write bench json");
         println!("\nwrote {path}");
     }
+    server.shutdown();
+    cluster.shutdown();
+}
+
+/// `--idle-conns`: resident memory, active-traffic tail latency, and
+/// accept churn with 1,000 idle sessions parked on the reactor.
+fn run_idle_conns(smoke: bool) {
+    const IDLE: usize = 1_000;
+    let mut rep = BenchReport::new(smoke);
+    let rows: i64 = if smoke { 2_000 } else { 20_000 };
+    let measure = if smoke {
+        Duration::from_millis(500)
+    } else {
+        Duration::from_secs(3)
+    };
+    let cluster = load_cluster(rows);
+    let server = Server::start(
+        cluster.clone(),
+        ServerConfig {
+            workers: 8,
+            // Headroom above the parked sessions for the active client
+            // and the churn loop's not-yet-reaped closes.
+            max_connections: IDLE + 256,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    let stats = server.stats_handle();
+
+    let rss_before_kib = rss_kib();
+    let mut parked: Vec<std::net::TcpStream> = Vec::with_capacity(IDLE);
+    let t0 = Instant::now();
+    for _ in 0..IDLE {
+        parked.push(std::net::TcpStream::connect(addr).expect(
+            "connect idle session (raise `ulimit -n` above ~2100 \
+             for this bench)",
+        ));
+    }
+    // Conns count once the *reactor* registers them, not when connect()
+    // returns — wait so the RSS snapshot includes every session.
+    while stats.active_sessions.load(Ordering::Relaxed) < IDLE {
+        assert!(
+            t0.elapsed() < Duration::from_secs(60),
+            "sessions never registered"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let setup = t0.elapsed();
+    let rss_idle_kib = rss_kib();
+
+    // Churn connect/close beside the parked sessions: the acceptor and
+    // reaper must keep up without stalling the reactor. Paced at
+    // ~1k conns/s so the churn is a fixed background load — unthrottled
+    // it devours the single CI core and turns the latency percentiles
+    // into a scheduler benchmark.
+    let stop = Arc::new(AtomicBool::new(false));
+    let churner = {
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            let mut churned = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                drop(std::net::TcpStream::connect(addr).unwrap());
+                churned += 1;
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            churned
+        })
+    };
+
+    // One active session drives traffic in two phases: per-statement
+    // roundtrips whose tail latency is the price the idle thousand
+    // impose on real traffic, then a 32-deep pipeline for the
+    // throughput the reactor sustains beside them.
+    let mut client = Client::connect(addr).unwrap();
+    client.set_consistency(Consistency::Eventual).unwrap();
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut lat_us: Vec<u64> = Vec::with_capacity(1 << 16);
+    let t0 = Instant::now();
+    while t0.elapsed() < measure {
+        let q0 = Instant::now();
+        client.execute(&point_read(&mut rng, rows)).unwrap();
+        lat_us.push(q0.elapsed().as_micros() as u64);
+    }
+    let active_secs = t0.elapsed().as_secs_f64();
+    let mut piped = 0u64;
+    let t1 = Instant::now();
+    while t1.elapsed() < measure {
+        for _ in 0..WINDOW {
+            client.send(&point_read(&mut rng, rows)).unwrap();
+        }
+        for _ in 0..WINDOW {
+            client.recv().unwrap();
+        }
+        piped += WINDOW as u64;
+    }
+    let piped_secs = t1.elapsed().as_secs_f64();
+    stop.store(true, Ordering::Relaxed);
+    let churned = churner.join().unwrap();
+
+    lat_us.sort_unstable();
+    let pct = |p: usize| lat_us[(lat_us.len() * p / 100).min(lat_us.len() - 1)];
+    let (p50, p99) = (pct(50), pct(99));
+    let active_qps = lat_us.len() as f64 / active_secs;
+    let piped_qps = piped as f64 / piped_secs;
+    let churn_per_s = churned as f64 / (active_secs + piped_secs);
+    let rss_peak_kib = rss_kib();
+
+    println!("idle_conns: {IDLE} parked sessions in {setup:?}, {rows} rows");
+    println!(
+        "  rss: {:.1} MiB before, {:.1} MiB parked, {:.1} MiB peak ({:.1} KiB/conn)",
+        rss_before_kib as f64 / 1024.0,
+        rss_idle_kib as f64 / 1024.0,
+        rss_peak_kib as f64 / 1024.0,
+        (rss_idle_kib.saturating_sub(rss_before_kib)) as f64 / IDLE as f64
+    );
+    println!(
+        "  active session: {active_qps:.0} q/s roundtrip (p50 {p50}µs, p99 {p99}µs), \
+         {piped_qps:.0} q/s pipelined-{WINDOW}; churn {churn_per_s:.0} conns/s"
+    );
+
+    rep.set("idle_conns", "held_conns", IDLE as f64);
+    if rss_peak_kib > 0 {
+        rep.set("idle_conns", "rss_mib", rss_peak_kib as f64 / 1024.0);
+    }
+    rep.set("idle_conns", "active_qps", active_qps);
+    rep.set("idle_conns", "pipelined_qps", piped_qps);
+    rep.set("idle_conns", "p50_us", p50 as f64);
+    rep.set("idle_conns", "p99_us", p99 as f64);
+    // Informational (no `per_s` suffix): the churner is deliberately
+    // rate-limited, so the count proves liveness, not capacity.
+    rep.set("idle_conns", "churned_total", churned as f64);
+    if let Some(path) = imci_bench::report::json_path_arg() {
+        rep.write(&path).expect("write bench json");
+        println!("\nwrote {path}");
+    }
+    drop(parked);
     server.shutdown();
     cluster.shutdown();
 }

@@ -334,10 +334,24 @@ pub fn direction_of(metric: &str) -> Direction {
         || metric.ends_with("_ns")
         || metric.contains("latency")
         || metric.contains("_vd")
+        || metric.contains("rss")
+        || metric.ends_with("_kib")
+        || metric.ends_with("_mib")
     {
         return Direction::LowerIsBetter;
     }
     Direction::Informational
+}
+
+/// The stem of a core-count-labeled scenario name: `mixed_scaling_c4`
+/// → `Some("mixed_scaling")`, everything without a `_c<digits>` suffix
+/// → `None`. Scenarios whose numbers only make sense on a given core
+/// count carry this label so [`compare`] never gates a 1-core baseline
+/// against a 4-core run.
+pub fn core_label_stem(scenario: &str) -> Option<&str> {
+    let (stem, suffix) = scenario.rsplit_once("_c")?;
+    (!stem.is_empty() && !suffix.is_empty() && suffix.bytes().all(|b| b.is_ascii_digit()))
+        .then_some(stem)
 }
 
 /// One baseline-vs-current comparison.
@@ -360,9 +374,25 @@ pub struct Comparison {
 /// Metrics missing from `current` fail (a deleted metric silently
 /// un-gates itself otherwise); metrics only in `current` are new and
 /// pass.
+///
+/// Exception: a baseline scenario carrying a core-count label
+/// ([`core_label_stem`]) whose current run produced the *same* scenario
+/// under a *different* core count is skipped entirely — the baseline
+/// was measured on other hardware, and comparing a 1-core curve to a
+/// 4-core curve gates scheduler topology, not code.
 pub fn compare(baseline: &ParsedReport, current: &ParsedReport, tolerance: f64) -> Vec<Comparison> {
     let mut out = Vec::new();
     for (scenario, metrics) in &baseline.scenarios {
+        if let Some(stem) = core_label_stem(scenario) {
+            let present = current.scenarios.iter().any(|(s, _)| s == scenario);
+            let sibling = current
+                .scenarios
+                .iter()
+                .any(|(s, _)| s != scenario && core_label_stem(s) == Some(stem));
+            if !present && sibling {
+                continue;
+            }
+        }
         for (metric, base) in metrics {
             let dir = direction_of(metric);
             if dir == Direction::Informational || *base <= 0.0 {
@@ -435,8 +465,58 @@ mod tests {
             Direction::HigherIsBetter
         );
         assert_eq!(direction_of("speedup"), Direction::HigherIsBetter);
+        assert_eq!(direction_of("rss_mib"), Direction::LowerIsBetter);
+        assert_eq!(direction_of("peak_rss_kib"), Direction::LowerIsBetter);
         assert_eq!(direction_of("rows_selected"), Direction::Informational);
         assert_eq!(direction_of("read_retries"), Direction::Informational);
+    }
+
+    #[test]
+    fn core_labels_are_recognized() {
+        assert_eq!(core_label_stem("mixed_scaling_c4"), Some("mixed_scaling"));
+        assert_eq!(core_label_stem("mixed_scaling_c16"), Some("mixed_scaling"));
+        assert_eq!(core_label_stem("mixed_scaling"), None);
+        assert_eq!(core_label_stem("idle_conns"), None);
+        assert_eq!(core_label_stem("x_core"), None); // suffix not digits
+        assert_eq!(core_label_stem("_c4"), None); // empty stem
+    }
+
+    #[test]
+    fn core_labeled_scenarios_skip_cross_core_comparison() {
+        let mut base = BenchReport::new(true);
+        base.set("mixed_scaling_c1", "conns4_total_qps", 40000.0);
+        base.set("protocol_modes", "pipelined_32_qps", 500000.0);
+        let base = parse_report(&base.to_json()).unwrap();
+
+        // Same metrics measured on a 4-core box: the core-labeled
+        // scenario is skipped (not failed-as-missing), the unlabeled
+        // one still gates.
+        let mut other = BenchReport::new(true);
+        other.set("mixed_scaling_c4", "conns4_total_qps", 90000.0);
+        other.set("protocol_modes", "pipelined_32_qps", 480000.0);
+        let other = parse_report(&other.to_json()).unwrap();
+        let cmps = compare(&base, &other, 0.5);
+        assert!(cmps.iter().all(|c| !c.key.starts_with("mixed_scaling")));
+        assert!(cmps.iter().any(|c| c.key.starts_with("protocol_modes")));
+        assert!(cmps.iter().all(|c| !c.failed));
+
+        // Same core count still compares (and catches regressions).
+        let mut same = BenchReport::new(true);
+        same.set("mixed_scaling_c1", "conns4_total_qps", 4000.0);
+        same.set("protocol_modes", "pipelined_32_qps", 500000.0);
+        let same = parse_report(&same.to_json()).unwrap();
+        assert!(compare(&base, &same, 0.5)
+            .iter()
+            .any(|c| c.key == "mixed_scaling_c1/conns4_total_qps" && c.failed));
+
+        // Scenario vanished with no sibling either: that is a real
+        // deletion and must fail.
+        let mut gone = BenchReport::new(true);
+        gone.set("protocol_modes", "pipelined_32_qps", 500000.0);
+        let gone = parse_report(&gone.to_json()).unwrap();
+        assert!(compare(&base, &gone, 0.5)
+            .iter()
+            .any(|c| c.key.starts_with("mixed_scaling_c1") && c.failed));
     }
 
     #[test]

@@ -39,6 +39,11 @@ pub enum Error {
     /// shared-storage epoch fence when a deposed ("zombie") RW tries to
     /// append after a promotion.
     Failover(String),
+    /// The service tier shed this statement under overload (admission
+    /// queue full, connection budget exhausted, or a drain in
+    /// progress). The statement was never executed, so it is safe to
+    /// retry after a backoff — the wire-level sibling of [`Error::Failover`].
+    Busy(String),
     /// Feature intentionally out of scope for the reproduction.
     Unsupported(String),
 }
@@ -59,17 +64,19 @@ impl Error {
             | Error::Replication(m)
             | Error::PolarFs(m)
             | Error::Failover(m)
+            | Error::Busy(m)
             | Error::Unsupported(m) => m,
         }
     }
 
-    /// Whether the statement is safe to retry verbatim. Only failover
-    /// errors qualify: the write never took effect (the old writer is
-    /// epoch-fenced out of shared storage), so re-issuing it against
-    /// the promoted/recovered RW is exactly-once from the client's
-    /// point of view.
+    /// Whether the statement is safe to retry verbatim. Two categories
+    /// qualify, and both guarantee the statement never took effect:
+    /// failover (the write was fenced out of shared storage, so
+    /// re-issuing it against the promoted/recovered RW is exactly-once
+    /// from the client's point of view) and busy (the service tier
+    /// shed the statement before executing it).
     pub fn is_retryable(&self) -> bool {
-        matches!(self, Error::Failover(_))
+        matches!(self, Error::Failover(_) | Error::Busy(_))
     }
 
     /// Rebuild an error from a [`Error::kind`] tag and a bare message —
@@ -89,6 +96,7 @@ impl Error {
             "replication" => Error::Replication(msg),
             "polarfs" => Error::PolarFs(msg),
             "failover" => Error::Failover(msg),
+            "busy" => Error::Busy(msg),
             "unsupported" => Error::Unsupported(msg),
             _ => Error::Execution(msg),
         }
@@ -108,6 +116,7 @@ impl Error {
             Error::Replication(_) => "replication",
             Error::PolarFs(_) => "polarfs",
             Error::Failover(_) => "failover",
+            Error::Busy(_) => "busy",
             Error::Unsupported(_) => "unsupported",
         }
     }
@@ -127,6 +136,7 @@ impl fmt::Display for Error {
             Error::Replication(m) => ("replication error", m),
             Error::PolarFs(m) => ("polarfs error", m),
             Error::Failover(m) => ("failover", m),
+            Error::Busy(m) => ("busy", m),
             Error::Unsupported(m) => ("unsupported", m),
         };
         write!(f, "{tag}: {msg}")
@@ -160,6 +170,7 @@ mod tests {
             Error::Replication("i".into()),
             Error::PolarFs("j".into()),
             Error::Failover("l".into()),
+            Error::Busy("n".into()),
             Error::Unsupported("k".into()),
         ];
         for e in all {
@@ -173,13 +184,18 @@ mod tests {
     }
 
     #[test]
-    fn only_failover_is_retryable() {
+    fn only_failover_and_busy_are_retryable() {
         assert!(Error::Failover("rw down".into()).is_retryable());
+        assert!(Error::Busy("statement queue full".into()).is_retryable());
         assert!(!Error::Execution("boom".into()).is_retryable());
         assert!(!Error::Constraint("dup".into()).is_retryable());
-        // The category survives a wire roundtrip, so clients can retry.
-        let e = Error::Failover("promotion in progress".into());
-        assert!(Error::from_kind(e.kind(), e.message().into()).is_retryable());
+        // The categories survive a wire roundtrip, so clients can retry.
+        for e in [
+            Error::Failover("promotion in progress".into()),
+            Error::Busy("overloaded".into()),
+        ] {
+            assert!(Error::from_kind(e.kind(), e.message().into()).is_retryable());
+        }
     }
 
     #[test]
@@ -196,6 +212,7 @@ mod tests {
             Error::Replication(String::new()),
             Error::PolarFs(String::new()),
             Error::Failover(String::new()),
+            Error::Busy(String::new()),
             Error::Unsupported(String::new()),
         ];
         let mut kinds: Vec<_> = all.iter().map(|e| e.kind()).collect();

@@ -1,0 +1,97 @@
+//! Growable input buffer with amortised front-consumption.
+//!
+//! The reactor appends raw socket bytes; [`crate::Proto::decode`] carves
+//! frames off the front. Compaction is deferred until the consumed
+//! prefix dominates the buffer so steady-state decoding is O(1) per
+//! byte rather than O(n) per frame.
+
+/// Byte buffer between the socket and a protocol's frame decoder.
+pub struct InputBuf {
+    data: Vec<u8>,
+    start: usize,
+}
+
+impl InputBuf {
+    pub fn new() -> Self {
+        InputBuf {
+            data: Vec::new(),
+            start: 0,
+        }
+    }
+
+    /// Unconsumed bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..]
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len() - self.start
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Append freshly read socket bytes.
+    pub fn append(&mut self, bytes: &[u8]) {
+        self.data.extend_from_slice(bytes);
+    }
+
+    /// Drop `n` bytes from the front (already decoded).
+    pub fn consume(&mut self, n: usize) {
+        self.start = (self.start + n).min(self.data.len());
+        // Compact lazily: only once the dead prefix is both large and the
+        // majority of the allocation.
+        if self.start > 4096 && self.start * 2 >= self.data.len() {
+            self.data.drain(..self.start);
+            self.start = 0;
+        }
+    }
+
+    /// Extract one `\n`-terminated line (without the terminator), or
+    /// `None` if no full line has arrived yet.
+    pub fn take_line(&mut self) -> Option<Vec<u8>> {
+        let slice = self.as_slice();
+        let pos = slice.iter().position(|&b| b == b'\n')?;
+        let line = slice[..pos].to_vec();
+        self.consume(pos + 1);
+        Some(line)
+    }
+}
+
+impl Default for InputBuf {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lines_across_appends() {
+        let mut b = InputBuf::new();
+        b.append(b"hel");
+        assert_eq!(b.take_line(), None);
+        b.append(b"lo\nwor");
+        assert_eq!(b.take_line(), Some(b"hello".to_vec()));
+        assert_eq!(b.take_line(), None);
+        b.append(b"ld\n\n");
+        assert_eq!(b.take_line(), Some(b"world".to_vec()));
+        assert_eq!(b.take_line(), Some(b"".to_vec()));
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn compaction_preserves_contents() {
+        let mut b = InputBuf::new();
+        for i in 0..2000u32 {
+            b.append(format!("line-{i}\n").as_bytes());
+        }
+        for i in 0..2000u32 {
+            assert_eq!(b.take_line(), Some(format!("line-{i}").into_bytes()));
+        }
+        assert!(b.is_empty());
+    }
+}

@@ -1,0 +1,112 @@
+//! Hashed timer wheel for idle-connection deadlines.
+//!
+//! Deadlines are bucketed into a fixed ring of slots; `expire` drains
+//! every slot the clock has passed. Entries are just tokens — the owner
+//! re-checks the real deadline when a token fires and re-inserts it if
+//! the deadline moved (lazy re-arm), so touching a connection on every
+//! request costs one atomic store, not a wheel operation.
+
+const SLOTS: usize = 64;
+
+pub(crate) struct TimerWheel {
+    tick_ms: u64,
+    slots: Vec<Vec<u64>>,
+    /// Index of the slot whose window starts at `cur_ms`.
+    cur: usize,
+    cur_ms: u64,
+    live: usize,
+}
+
+impl TimerWheel {
+    /// `span_ms` is the typical deadline horizon (the idle timeout); the
+    /// wheel sizes its tick so that horizon fits in one revolution.
+    pub fn new(span_ms: u64) -> Self {
+        TimerWheel {
+            tick_ms: (span_ms / SLOTS as u64).max(10),
+            slots: (0..SLOTS).map(|_| Vec::new()).collect(),
+            cur: 0,
+            cur_ms: 0,
+            live: 0,
+        }
+    }
+
+    pub fn insert(&mut self, token: u64, deadline_ms: u64) {
+        let delta = deadline_ms.saturating_sub(self.cur_ms);
+        // Deadlines past one revolution land in the furthest slot and
+        // fire early; the owner's deadline re-check re-inserts them.
+        let offset = ((delta / self.tick_ms) as usize).min(SLOTS - 1);
+        let idx = (self.cur + offset) % SLOTS;
+        self.slots[idx].push(token);
+        self.live += 1;
+    }
+
+    /// Milliseconds until the next non-empty slot has fully elapsed, or
+    /// `None` when the wheel is empty.
+    pub fn next_timeout_ms(&self, now_ms: u64) -> Option<u64> {
+        if self.live == 0 {
+            return None;
+        }
+        for i in 0..SLOTS {
+            let idx = (self.cur + i) % SLOTS;
+            if !self.slots[idx].is_empty() {
+                let fire_at = self.cur_ms + (i as u64 + 1) * self.tick_ms;
+                return Some(fire_at.saturating_sub(now_ms));
+            }
+        }
+        None
+    }
+
+    /// Drain every slot whose window has fully passed by `now_ms`.
+    pub fn expire(&mut self, now_ms: u64, out: &mut Vec<u64>) {
+        while self.cur_ms + self.tick_ms <= now_ms {
+            let fired = std::mem::take(&mut self.slots[self.cur]);
+            self.live -= fired.len();
+            out.extend(fired);
+            self.cur = (self.cur + 1) % SLOTS;
+            self.cur_ms += self.tick_ms;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_in_deadline_order() {
+        let mut w = TimerWheel::new(6400); // tick = 100ms
+        w.insert(1, 150);
+        w.insert(2, 450);
+        let mut out = Vec::new();
+        w.expire(100, &mut out);
+        assert!(out.is_empty(), "nothing due at 100ms");
+        w.expire(300, &mut out);
+        assert_eq!(out, vec![1]);
+        out.clear();
+        w.expire(600, &mut out);
+        assert_eq!(out, vec![2]);
+        assert_eq!(w.next_timeout_ms(600), None);
+    }
+
+    #[test]
+    fn next_timeout_points_at_earliest_entry() {
+        let mut w = TimerWheel::new(6400);
+        assert_eq!(w.next_timeout_ms(0), None);
+        w.insert(7, 1000);
+        let t = w.next_timeout_ms(0).unwrap();
+        // The slot holding a 1000ms deadline elapses at 1100ms.
+        assert_eq!(t, 1100);
+        assert_eq!(w.next_timeout_ms(1050).unwrap(), 50);
+    }
+
+    #[test]
+    fn far_deadlines_fire_early_for_lazy_rearm() {
+        let mut w = TimerWheel::new(640); // tick = 10ms, revolution = 640ms
+        w.insert(9, 100_000);
+        let mut out = Vec::new();
+        w.expire(1000, &mut out);
+        // Fired well before the real deadline: the caller re-checks and
+        // re-inserts.
+        assert_eq!(out, vec![9]);
+    }
+}

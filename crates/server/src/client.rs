@@ -15,6 +15,31 @@ use imci_common::{Error, Result};
 use imci_sql::{EngineChoice, QueryResult};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Automatic retry of retryable server errors (`failover` while the
+/// cluster promotes a new RW, `busy` while the service tier sheds
+/// load). Both categories guarantee the statement never executed, so
+/// re-issuing it verbatim is exactly-once from the client's point of
+/// view. Backoff doubles per attempt from `base_backoff` up to
+/// `max_backoff`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (0 = no retry).
+    pub max_retries: u32,
+    pub base_backoff: Duration,
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 8,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(500),
+        }
+    }
+}
 
 /// One client session. Session settings (`SET ...`) persist server-side
 /// for the connection's lifetime.
@@ -24,6 +49,9 @@ pub struct Client {
     version: u32,
     /// Requests sent but not yet answered (pipelining depth).
     pending: usize,
+    /// Automatic retry of retryable errors in [`Client::execute`];
+    /// `None` (the default) surfaces them to the caller.
+    retry: Option<RetryPolicy>,
 }
 
 impl Client {
@@ -61,6 +89,7 @@ impl Client {
             writer: BufWriter::with_capacity(1 << 16, stream),
             version: 1,
             pending: 0,
+            retry: None,
         };
         if version > 1 {
             client.hello(version)?;
@@ -152,10 +181,37 @@ impl Client {
         result_of(resp)
     }
 
-    /// Execute one SQL statement (a `send` + `recv` roundtrip).
+    /// Enable (or disable, with `None`) automatic retry of retryable
+    /// errors in [`Client::execute`]. The connection stays open across
+    /// a `failover`/`busy` response, so the retry reuses the session
+    /// and its settings.
+    pub fn set_retry_policy(&mut self, policy: Option<RetryPolicy>) {
+        self.retry = policy;
+    }
+
+    /// Execute one SQL statement (a `send` + `recv` roundtrip). With a
+    /// [`RetryPolicy`] set, retryable errors ([`Error::is_retryable`]:
+    /// `failover`, `busy` — categories that guarantee the statement
+    /// never took effect) are retried with capped exponential backoff
+    /// before being surfaced.
     pub fn execute(&mut self, sql: &str) -> Result<QueryResult> {
-        self.send(sql)?;
-        self.recv()
+        let Some(policy) = self.retry else {
+            self.send(sql)?;
+            return self.recv();
+        };
+        let mut backoff = policy.base_backoff;
+        let mut attempts = 0;
+        loop {
+            self.send(sql)?;
+            match self.recv() {
+                Err(e) if e.is_retryable() && attempts < policy.max_retries => {
+                    attempts += 1;
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(policy.max_backoff);
+                }
+                other => return other,
+            }
+        }
     }
 
     /// Execute `stmts` as one `BATCH`: one roundtrip, one aggregate
@@ -223,6 +279,14 @@ impl Client {
             None => "AUTO",
         };
         self.expect_ok(&format!("SET FORCE_ENGINE {word}"))
+    }
+
+    /// Assign this session to a fairness tenant: the service tier
+    /// schedules statement execution round-robin across tenants, so
+    /// one tenant pipelining heavily cannot starve another. `tenant`
+    /// must be a single word.
+    pub fn set_tenant(&mut self, tenant: &str) -> Result<()> {
+        self.expect_ok(&format!("SET TENANT {tenant}"))
     }
 
     fn expect_ok(&mut self, line: &str) -> Result<()> {

@@ -9,27 +9,33 @@
 //! actual network service:
 //!
 //! * [`protocol`] — the wire protocol: text request lines (SQL plus
-//!   per-session `SET CONSISTENCY STRONG|EVENTUAL` and
-//!   `SET FORCE_ENGINE ROW|COLUMN|AUTO`), `HELLO` version negotiation,
-//!   `BATCH <n>` framing, and two response encodings — v1 text (netcat
-//!   friendly) and v2 length-prefixed binary rows;
+//!   per-session `SET CONSISTENCY STRONG|EVENTUAL`,
+//!   `SET FORCE_ENGINE ROW|COLUMN|AUTO` and `SET TENANT <name>`),
+//!   `HELLO` version negotiation, `BATCH <n>` framing, and two response
+//!   encodings — v1 text (netcat friendly) and v2 length-prefixed
+//!   binary rows;
 //! * [`wire`] — varint / tagged-value primitives behind the v2
 //!   encoding;
-//! * [`server`] — a bounded thread-pool TCP server ([`Server`]) mapping
+//! * [`server`] — the protocol hosted on the [`imci_net`] reactor tier
+//!   ([`Server`]): epoll readiness loops plus a shared worker pool map
 //!   sessions onto [`imci_cluster::Cluster`]'s proxy routing, with
 //!   pipelining (many requests in flight per connection, responses
-//!   strictly ordered) and a batch fast path through
-//!   [`imci_cluster::Cluster::execute_many`];
+//!   strictly ordered), a batch fast path through
+//!   [`imci_cluster::Cluster::execute_many`], and admission control
+//!   that sheds overload with retryable `busy` errors instead of
+//!   queueing unboundedly;
 //! * [`client`] — a blocking client ([`Client`]) for tests, examples,
 //!   and the `server_throughput` bench, supporting `send`/`recv`
-//!   pipelining and `execute_batch`.
+//!   pipelining, `execute_batch`, and opt-in automatic retry
+//!   ([`RetryPolicy`]) of the retryable error categories (`failover`,
+//!   `busy`).
 
 pub mod client;
 pub mod protocol;
 pub mod server;
 pub mod wire;
 
-pub use client::Client;
+pub use client::{Client, RetryPolicy};
 pub use protocol::{Request, Response, SessionSetting};
 pub use server::{Server, ServerConfig, ServerStats};
 
@@ -379,13 +385,20 @@ mod tests {
         assert_eq!(res.rows, vec![vec![Value::Int(10)]]);
         c.set_force_engine(None).unwrap();
 
-        // Promotion completes; the client retries the exact statement
-        // on the same connection and it lands exactly once.
-        cluster.failover().unwrap();
+        // Promotion completes while the client is already retrying with
+        // backoff: one `execute` call rides through the failover window
+        // on the same connection and lands exactly once.
+        c.set_retry_policy(Some(RetryPolicy::default()));
+        let promoting = cluster.clone();
+        let promoter = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            promoting.failover().unwrap();
+        });
         assert_eq!(
             c.execute("INSERT INTO ha VALUES (2, 20)").unwrap().affected,
             1
         );
+        promoter.join().unwrap();
         let res = c.execute("SELECT COUNT(*) FROM ha").unwrap();
         assert_eq!(res.rows, vec![vec![Value::Int(2)]]);
         server.shutdown();

@@ -12,6 +12,7 @@
 //! HELLO <version>                      negotiate the response encoding
 //! SET CONSISTENCY STRONG|EVENTUAL
 //! SET FORCE_ENGINE ROW|COLUMN|AUTO
+//! SET TENANT <name>                    fairness lane for scheduling
 //! BATCH <n>                            the next n lines are one batch
 //! <any SQL statement>
 //! ```
@@ -86,7 +87,7 @@ const FRAME_BATCH: u8 = 0x04;
 
 /// A per-session setting change (paper §6.4: the proxy enforces the
 /// consistency level per session).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SessionSetting {
     /// `SET CONSISTENCY ...` — routing constraint for this session's
     /// reads.
@@ -94,6 +95,11 @@ pub enum SessionSetting {
     /// `SET FORCE_ENGINE ...` — pin this session's SELECTs to one
     /// engine; `None` restores cost-based routing (`AUTO`).
     ForceEngine(Option<EngineChoice>),
+    /// `SET TENANT <name>` — assign the session to a fairness lane in
+    /// the service tier's scheduler; one tenant pipelining heavily
+    /// cannot starve another. Purely a scheduling hint, never touches
+    /// query semantics.
+    Tenant(String),
 }
 
 /// One parsed client request.
@@ -176,6 +182,9 @@ pub fn parse_request(line: &str) -> Request {
                 if w2.eq_ignore_ascii_case("AUTO") {
                     return Request::Set(SessionSetting::ForceEngine(None));
                 }
+            } else if w1.eq_ignore_ascii_case("TENANT") {
+                // Tenant names are case-sensitive opaque identifiers.
+                return Request::Set(SessionSetting::Tenant(w2.to_string()));
             }
         }
     }
@@ -594,6 +603,10 @@ mod tests {
         assert_eq!(
             parse_request("SET FORCE_ENGINE AUTO"),
             Request::Set(SessionSetting::ForceEngine(None))
+        );
+        assert_eq!(
+            parse_request("SET TENANT analytics"),
+            Request::Set(SessionSetting::Tenant("analytics".to_string()))
         );
         assert_eq!(
             parse_request("SELECT 1"),

@@ -1,5 +1,5 @@
-//! The `imci-server` service: a bounded thread pool serving the line
-//! protocol over TCP, one session per connection.
+//! The `imci-server` service: the line protocol hosted on the
+//! [`imci_net`] reactor tier.
 //!
 //! This is the paper's stateless proxy tier (§6.1) made concrete: the
 //! server owns no data, it only holds per-session state (consistency
@@ -7,6 +7,13 @@
 //! routing rules — writes to the RW node, reads load-balanced across
 //! RO nodes, with strong-consistency reads held until an RO's applied
 //! LSN catches the RW's written LSN (§6.4).
+//!
+//! Connections are no longer one-thread-each: reactor threads decode
+//! requests into ordered units, a shared worker pool executes them
+//! against the cluster, and the admission layer sheds overload with
+//! retryable `busy` errors (see [`crate::protocol`] for the wire shape
+//! and `imci_net` for the threading model). Thousands of mostly idle
+//! sessions cost file descriptors, not threads.
 
 use crate::protocol::{
     encode_response_v2, parse_request, response_of, unescape_request, write_response, Request,
@@ -14,11 +21,16 @@ use crate::protocol::{
 };
 use imci_cluster::{Cluster, ExecOpts};
 use imci_common::{Error, Result};
-use std::io::{BufRead, BufReader, BufWriter, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
-use std::thread::JoinHandle;
+use imci_net::{Goodbye, InputBuf, NetConfig, NetServer, Proto, RunOutcome, ServiceStats, Step};
+use std::net::SocketAddr;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Longest single request line the server will buffer while waiting
+/// for its terminator. Guards reactor memory against a peer that
+/// streams bytes without ever sending a newline.
+pub const MAX_REQUEST_LINE: usize = 8 << 20;
 
 /// Server construction knobs.
 #[derive(Debug, Clone)]
@@ -26,118 +38,79 @@ pub struct ServerConfig {
     /// Bind address; port 0 picks a free port (see
     /// [`Server::local_addr`]).
     pub addr: String,
-    /// Worker threads = maximum concurrently served sessions. Further
-    /// connections queue in `backlog`.
+    /// Statement-execution threads shared by all sessions.
     pub workers: usize,
-    /// Accepted-but-unserved connection queue depth.
-    pub backlog: usize,
+    /// Event-loop (epoll) threads; connections spread round-robin.
+    pub reactors: usize,
+    /// Hard cap on concurrently open sessions; connections beyond it
+    /// are refused with a retryable `busy` error at accept.
+    pub max_connections: usize,
+    /// Cap on statements queued for execution across all sessions;
+    /// statements beyond it are answered with a retryable `busy` error
+    /// instead of growing the queue.
+    pub max_queued_statements: usize,
+    /// Close sessions with no inbound traffic for this long.
+    pub idle_timeout: Option<Duration>,
+    /// How long [`Server::shutdown`] waits for sessions to drain
+    /// before force-closing them.
+    pub drain_timeout: Duration,
 }
 
 impl Default for ServerConfig {
     fn default() -> ServerConfig {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
         ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             workers: 16,
-            backlog: 64,
+            reactors: cores.clamp(1, 4),
+            max_connections: 4096,
+            max_queued_statements: 1024,
+            idle_timeout: Some(Duration::from_secs(300)),
+            drain_timeout: Duration::from_secs(5),
         }
     }
 }
 
-/// Service counters (observability for benches and tests).
-#[derive(Debug, Default)]
-pub struct ServerStats {
-    /// Connections accepted over the server's lifetime.
-    pub connections: AtomicU64,
-    /// Statements executed (including failed ones).
-    pub queries: AtomicU64,
-    /// Statements that returned an error to the client.
-    pub errors: AtomicU64,
-    /// Sessions being served right now.
-    pub active_sessions: AtomicUsize,
-}
-
-// Per-session proxy state is exactly the per-statement override set
-// the cluster accepts, so sessions hold an `ExecOpts` directly.
+/// Service counters (observability for benches and tests). The
+/// connection-level counters are maintained by the service tier, the
+/// statement-level ones by the protocol executor.
+pub type ServerStats = ServiceStats;
 
 /// A running server; dropping it (or calling [`Server::shutdown`])
-/// stops the acceptor and joins the worker pool.
+/// drains sessions gracefully and joins all threads.
 pub struct Server {
-    local_addr: SocketAddr,
-    stop: Arc<AtomicBool>,
+    net: NetServer<ImciProto>,
     stats: Arc<ServerStats>,
-    acceptor: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
 }
 
 impl Server {
-    /// Bind and start serving `cluster` on `config.workers` threads.
+    /// Bind and start serving `cluster` on the reactor tier.
     pub fn start(cluster: Arc<Cluster>, config: ServerConfig) -> Result<Server> {
-        let listener = TcpListener::bind(&config.addr)
-            .map_err(|e| Error::Execution(format!("bind {}: {e}", config.addr)))?;
-        let local_addr = listener
-            .local_addr()
-            .map_err(|e| Error::Execution(format!("local_addr: {e}")))?;
-        let stop = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(ServerStats::default());
-
-        let (conn_tx, conn_rx) = mpsc::sync_channel::<TcpStream>(config.backlog.max(1));
-        let conn_rx = Arc::new(Mutex::new(conn_rx));
-
-        let mut workers = Vec::with_capacity(config.workers.max(1));
-        for _ in 0..config.workers.max(1) {
-            let cluster = cluster.clone();
-            let rx = conn_rx.clone();
-            let stats = stats.clone();
-            let stop = stop.clone();
-            workers.push(std::thread::spawn(move || loop {
-                // Hold the lock only while dequeuing, not while serving.
-                let conn = match rx.lock() {
-                    Ok(rx) => rx.recv(),
-                    Err(_) => break,
-                };
-                match conn {
-                    Ok(stream) => serve_session(&cluster, stream, &stats, &stop),
-                    Err(_) => break, // acceptor gone: shutdown
-                }
-            }));
-        }
-
-        let acceptor = {
-            let stop = stop.clone();
-            let stats = stats.clone();
-            std::thread::spawn(move || {
-                for stream in listener.incoming() {
-                    if stop.load(Ordering::SeqCst) {
-                        break;
-                    }
-                    match stream {
-                        Ok(s) => {
-                            stats.connections.fetch_add(1, Ordering::Relaxed);
-                            // Blocks when all workers are busy and the
-                            // backlog is full — natural admission control.
-                            if conn_tx.send(s).is_err() {
-                                break;
-                            }
-                        }
-                        Err(_) => continue,
-                    }
-                }
-                // conn_tx drops here; idle workers see RecvError and exit.
-            })
+        let proto = Arc::new(ImciProto {
+            cluster,
+            stats: stats.clone(),
+        });
+        let net_config = NetConfig {
+            addr: config.addr.clone(),
+            reactors: config.reactors,
+            workers: config.workers,
+            max_connections: config.max_connections,
+            max_queued_statements: config.max_queued_statements,
+            idle_timeout: config.idle_timeout,
+            drain_timeout: config.drain_timeout,
+            ..NetConfig::default()
         };
-
-        Ok(Server {
-            local_addr,
-            stop,
-            stats,
-            acceptor: Some(acceptor),
-            workers,
-        })
+        let net = NetServer::start(proto, net_config, stats.clone())
+            .map_err(|e| Error::Execution(format!("bind {}: {e}", config.addr)))?;
+        Ok(Server { net, stats })
     }
 
     /// The bound address (use this to connect when the port was 0).
     pub fn local_addr(&self) -> SocketAddr {
-        self.local_addr
+        self.net.local_addr()
     }
 
     /// Service counters.
@@ -151,125 +124,284 @@ impl Server {
         self.stats.clone()
     }
 
-    /// Stop accepting, finish in-flight sessions, join all threads.
+    /// Graceful shutdown: stop accepting, answer everything already
+    /// queued, send each session a final retryable `busy` frame, close,
+    /// and join all threads. Sessions still open after the configured
+    /// drain timeout are force-closed.
     pub fn shutdown(mut self) {
-        self.stop_and_join();
-    }
-
-    fn stop_and_join(&mut self) {
-        if self.acceptor.is_none() {
-            return;
-        }
-        self.stop.store(true, Ordering::SeqCst);
-        // Unblock the acceptor's blocking `accept` with a dummy connect.
-        let _ = TcpStream::connect(self.local_addr);
-        if let Some(h) = self.acceptor.take() {
-            let _ = h.join();
-        }
-        for h in self.workers.drain(..) {
-            let _ = h.join();
-        }
+        self.net.shutdown();
     }
 }
 
-impl Drop for Server {
-    fn drop(&mut self) {
-        self.stop_and_join();
-    }
+// ---------------------------------------------------------------------------
+// The line protocol as an imci_net Proto
+// ---------------------------------------------------------------------------
+
+/// The imci line protocol plugged into the reactor tier: framing state
+/// on the reactor side, an [`ExecOpts`] session plus negotiated
+/// version on the worker side.
+struct ImciProto {
+    cluster: Arc<Cluster>,
+    stats: Arc<ServerStats>,
 }
 
-/// Serve one connection to completion: read request lines, route each
-/// through the cluster, write one response per request.
-fn serve_session(
-    cluster: &Arc<Cluster>,
-    stream: TcpStream,
-    stats: &ServerStats,
-    stop: &AtomicBool,
-) {
-    stats.active_sessions.fetch_add(1, Ordering::SeqCst);
-    let _ = serve_session_inner(cluster, stream, stats, stop);
-    stats.active_sessions.fetch_sub(1, Ordering::SeqCst);
+/// Reactor-side framing state: a batch header whose body lines are
+/// still arriving.
+struct ParseState {
+    batch: Option<(usize, Vec<Request>)>,
 }
 
-/// Read one request line, waking up periodically to honor server
-/// shutdown while the client is idle. Returns `Ok(0)` for EOF or
-/// shutdown; partial data read before a timeout stays buffered in
-/// `line` and the next attempt appends the rest.
-fn read_request_line(
-    reader: &mut BufReader<TcpStream>,
-    line: &mut String,
-    stop: &AtomicBool,
-) -> std::io::Result<usize> {
-    loop {
-        match reader.read_line(line) {
-            Ok(n) => return Ok(n),
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                if stop.load(Ordering::SeqCst) {
-                    return Ok(0);
-                }
-            }
-            Err(e) => return Err(e),
-        }
-    }
-}
-
-/// Write `resp` in the session's negotiated encoding (v1 text or v2
-/// binary). `scratch` is a per-session reusable encode buffer so the
-/// per-response hot path allocates nothing. Flushing is the caller's
-/// decision — see the pipelining policy in [`serve_session_inner`].
-fn write_versioned<W: Write>(
-    w: &mut W,
-    resp: &Response,
+/// Worker-side session state.
+struct ExecState {
+    session: ExecOpts,
     version: u32,
-    scratch: &mut Vec<u8>,
-) -> std::io::Result<()> {
-    if version >= 2 {
-        scratch.clear();
-        encode_response_v2(scratch, resp);
-        w.write_all(scratch)
-    } else {
-        write_response(w, resp)
+}
+
+/// One ordered unit of work decoded off a connection.
+enum Unit {
+    Hello(u32),
+    Set(SessionSetting),
+    Query(String),
+    Batch(Vec<Request>),
+    /// Admission shed this statement: answer with a retryable `busy`
+    /// error in its response slot.
+    Busy,
+    /// Report an error, then close (protocol violations, goodbyes).
+    Fatal {
+        kind: &'static str,
+        msg: String,
+    },
+    /// Close silently (`quit` / `exit`).
+    Quit,
+}
+
+impl Proto for ImciProto {
+    type Parse = ParseState;
+    type Exec = ExecState;
+    type Unit = Unit;
+
+    fn open(&self) -> (ParseState, ExecState) {
+        (
+            ParseState { batch: None },
+            ExecState {
+                session: ExecOpts::default(),
+                version: 1,
+            },
+        )
+    }
+
+    fn decode(&self, p: &mut ParseState, buf: &mut InputBuf) -> Step<Unit> {
+        loop {
+            let Some(raw) = buf.take_line() else {
+                if buf.len() > MAX_REQUEST_LINE {
+                    return Step::Poison(Unit::Fatal {
+                        kind: "execution",
+                        msg: format!("request line exceeds {MAX_REQUEST_LINE} bytes"),
+                    });
+                }
+                return Step::NeedMore;
+            };
+            let Ok(line) = std::str::from_utf8(&raw) else {
+                // The line framing can't be trusted after this: tell the
+                // client why, then close.
+                return Step::Poison(Unit::Fatal {
+                    kind: "execution",
+                    msg: "request was not valid UTF-8".to_string(),
+                });
+            };
+            let line = unescape_request(line);
+            let trimmed = line.trim();
+            if let Some((n, reqs)) = p.batch.as_mut() {
+                reqs.push(parse_request(trimmed));
+                if reqs.len() == *n {
+                    let (_, reqs) = p.batch.take().expect("batch in progress");
+                    return Step::Unit(Unit::Batch(reqs));
+                }
+                continue;
+            }
+            if trimmed.is_empty() {
+                continue;
+            }
+            if trimmed.eq_ignore_ascii_case("quit") || trimmed.eq_ignore_ascii_case("exit") {
+                return Step::Poison(Unit::Quit);
+            }
+            match parse_request(trimmed) {
+                Request::Hello(v) => return Step::Unit(Unit::Hello(v)),
+                Request::Batch(count) => {
+                    if count > MAX_BATCH {
+                        // The batch body is in flight and cannot be
+                        // skipped without buffering `count` lines we
+                        // refuse to hold — report and close, exactly
+                        // like the non-UTF-8 case.
+                        return Step::Poison(Unit::Fatal {
+                            kind: "execution",
+                            msg: format!("batch of {count} exceeds limit {MAX_BATCH}"),
+                        });
+                    }
+                    if count == 0 {
+                        return Step::Unit(Unit::Batch(Vec::new()));
+                    }
+                    p.batch = Some((count, Vec::with_capacity(count.min(1024))));
+                }
+                Request::Set(setting) => return Step::Unit(Unit::Set(setting)),
+                Request::Query(sql) => return Step::Unit(Unit::Query(sql)),
+            }
+        }
+    }
+
+    fn cost(&self, unit: &Unit) -> usize {
+        match unit {
+            Unit::Query(_) => 1,
+            // A batch's admission cost is its statement count; pure
+            // control batches still occupy one slot.
+            Unit::Batch(reqs) => reqs
+                .iter()
+                .filter(|r| matches!(r, Request::Query(_)))
+                .count()
+                .max(1),
+            _ => 0,
+        }
+    }
+
+    fn tenant_of<'u>(&self, unit: &'u Unit) -> Option<&'u str> {
+        match unit {
+            Unit::Set(SessionSetting::Tenant(t)) => Some(t),
+            Unit::Batch(reqs) => reqs.iter().rev().find_map(|r| match r {
+                Request::Set(SessionSetting::Tenant(t)) => Some(t.as_str()),
+                _ => None,
+            }),
+            _ => None,
+        }
+    }
+
+    fn reject(&self, _unit: Unit) -> Unit {
+        Unit::Busy
+    }
+
+    fn goodbye(&self, why: Goodbye) -> Unit {
+        match why {
+            // Retryable: reconnecting (to this node after it restarts,
+            // or to a peer) and re-issuing is safe, mirroring failover.
+            Goodbye::Drain => Unit::Fatal {
+                kind: "busy",
+                msg: "server shutting down".to_string(),
+            },
+            Goodbye::IdleTimeout => Unit::Fatal {
+                kind: "execution",
+                msg: "idle connection closed".to_string(),
+            },
+        }
+    }
+
+    fn over_budget_frame(&self) -> Vec<u8> {
+        // No session exists yet, so no negotiated version: the refusal
+        // is a v1 text line, readable by every client.
+        let mut out = Vec::new();
+        emit(
+            &mut out,
+            &Response::Err {
+                kind: "busy".to_string(),
+                msg: "connection budget exhausted; retry later".to_string(),
+            },
+            1,
+        );
+        out
+    }
+
+    fn run(&self, exec: &mut ExecState, units: Vec<Unit>, out: &mut Vec<u8>) -> RunOutcome {
+        let mut outcome = RunOutcome::default();
+        let mut iter = units.into_iter().peekable();
+        while let Some(unit) = iter.next() {
+            match unit {
+                Unit::Hello(v) => {
+                    // Negotiate down to what both sides speak. The
+                    // reply is always a text line — the encoding switch
+                    // applies from the *next* response on.
+                    exec.version = v.clamp(1, MAX_VERSION);
+                    out.extend_from_slice(format!("HELLO {}\n", exec.version).as_bytes());
+                }
+                Unit::Set(setting) => {
+                    apply_setting(&mut exec.session, setting);
+                    emit(out, &Response::Ok { affected: 0 }, exec.version);
+                }
+                Unit::Query(sql) => {
+                    // Greedily group the pipelined run of plain queries
+                    // behind this one: `execute_many` resolves proxy
+                    // routing once per run instead of once per query.
+                    let mut sqls = vec![sql];
+                    while matches!(iter.peek(), Some(Unit::Query(_))) {
+                        match iter.next() {
+                            Some(Unit::Query(s)) => sqls.push(s),
+                            _ => unreachable!("peeked a query"),
+                        }
+                    }
+                    let refs: Vec<&str> = sqls.iter().map(|s| s.as_str()).collect();
+                    self.stats
+                        .queries
+                        .fetch_add(refs.len() as u64, Ordering::Relaxed);
+                    let results = self.cluster.execute_many(&refs, exec.session);
+                    for (k, result) in results.into_iter().enumerate() {
+                        let resp = match result {
+                            Ok(r) => response_of(r, imci_sql::is_read_only(refs[k])),
+                            Err(e) => {
+                                self.stats.errors.fetch_add(1, Ordering::Relaxed);
+                                Response::from_error(&e)
+                            }
+                        };
+                        emit(out, &resp, exec.version);
+                    }
+                }
+                Unit::Batch(reqs) => {
+                    let resp = execute_batch(&self.cluster, &mut exec.session, reqs, &self.stats);
+                    emit(out, &resp, exec.version);
+                }
+                Unit::Busy => {
+                    emit(
+                        out,
+                        &Response::Err {
+                            kind: "busy".to_string(),
+                            msg: "statement queue full; retry after backoff".to_string(),
+                        },
+                        exec.version,
+                    );
+                }
+                Unit::Fatal { kind, msg } => {
+                    emit(
+                        out,
+                        &Response::Err {
+                            kind: kind.to_string(),
+                            msg,
+                        },
+                        exec.version,
+                    );
+                    outcome.close = true;
+                }
+                Unit::Quit => outcome.close = true,
+            }
+        }
+        outcome
     }
 }
 
-/// Apply one `SET` to the session state.
+/// Encode one response in the session's negotiated encoding, appended
+/// to the connection's output.
+fn emit(out: &mut Vec<u8>, resp: &Response, version: u32) {
+    if version >= 2 {
+        encode_response_v2(out, resp);
+    } else {
+        write_response(out, resp).expect("writing to a Vec cannot fail");
+    }
+}
+
+/// Apply one `SET` to the session state. `TENANT` is a scheduling hint
+/// consumed by the service tier (`Proto::tenant_of`), not session
+/// state.
 fn apply_setting(session: &mut ExecOpts, setting: SessionSetting) {
     match setting {
         SessionSetting::Consistency(c) => session.consistency = Some(c),
         SessionSetting::ForceEngine(f) => session.force_engine = f,
+        SessionSetting::Tenant(_) => {}
     }
-}
-
-/// Read the `n` request lines of a `BATCH <n>` body. Returns `None` on
-/// EOF/shutdown mid-batch — a partial batch is never executed.
-///
-/// Takes the session writer because the flush-before-blocking rule of
-/// [`serve_session_inner`] applies to every blocking read, including
-/// body lines: a pipelining client may legitimately wait for earlier
-/// responses before sending the body, and responses still sitting in
-/// the write buffer would deadlock the session.
-fn read_batch_body<W: Write>(
-    reader: &mut BufReader<TcpStream>,
-    writer: &mut W,
-    n: usize,
-    stop: &AtomicBool,
-) -> std::io::Result<Option<Vec<Request>>> {
-    let mut reqs = Vec::with_capacity(n);
-    let mut line = String::new();
-    for _ in 0..n {
-        if reader.buffer().is_empty() {
-            writer.flush()?;
-        }
-        line.clear();
-        if read_request_line(reader, &mut line, stop)? == 0 {
-            return Ok(None);
-        }
-        reqs.push(parse_request(unescape_request(&line).trim()));
-    }
-    Ok(Some(reqs))
 }
 
 /// Execute a batch: `SET`s apply in order, and **consecutive** SQL
@@ -287,7 +419,7 @@ fn execute_batch(
     while i < reqs.len() {
         match &reqs[i] {
             Request::Set(setting) => {
-                apply_setting(session, *setting);
+                apply_setting(session, setting.clone());
                 parts.push(Response::Ok { affected: 0 });
                 i += 1;
             }
@@ -325,145 +457,4 @@ fn execute_batch(
         }
     }
     Response::Batch(parts)
-}
-
-fn serve_session_inner(
-    cluster: &Arc<Cluster>,
-    stream: TcpStream,
-    stats: &ServerStats,
-    stop: &AtomicBool,
-) -> std::io::Result<()> {
-    // Periodic read timeouts let idle sessions notice server shutdown
-    // instead of pinning a worker until the client hangs up.
-    stream.set_read_timeout(Some(std::time::Duration::from_millis(100)))?;
-    let mut reader = BufReader::new(stream.try_clone()?);
-    // Responses buffer up here while the client is still pipelining
-    // requests at us; 256 KiB absorbs a deep pipeline of point-read
-    // results between flushes.
-    let mut writer = BufWriter::with_capacity(1 << 18, stream);
-    let mut session = ExecOpts::default();
-    let mut version: u32 = 1;
-    let mut line = String::new();
-    // Reused v2 encode buffer (see `write_versioned`).
-    let mut scratch: Vec<u8> = Vec::with_capacity(4096);
-    loop {
-        // Sessions end at the next request boundary once the server is
-        // stopping, even if the client keeps a statement stream going.
-        if stop.load(Ordering::SeqCst) {
-            break;
-        }
-        // Pipelining flush policy: only flush when no further request
-        // is already buffered — while the client keeps requests coming,
-        // responses coalesce into few large writes instead of one
-        // syscall + TCP packet per query. Must happen before we block
-        // in read below, or a waiting client deadlocks the session.
-        if reader.buffer().is_empty() {
-            writer.flush()?;
-        }
-        line.clear();
-        let n = match read_request_line(&mut reader, &mut line, stop) {
-            Ok(n) => n,
-            Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
-                // Non-UTF-8 input: tell the client why before closing
-                // (the line framing can't be trusted after this).
-                let _ = write_versioned(
-                    &mut writer,
-                    &Response::Err {
-                        kind: "execution".into(),
-                        msg: "request was not valid UTF-8".into(),
-                    },
-                    version,
-                    &mut scratch,
-                );
-                let _ = writer.flush();
-                break;
-            }
-            Err(_) => break, // client went away
-        };
-        if n == 0 {
-            // EOF or shutdown. Anything left in `line` is a request the
-            // client never finished sending — never execute a fragment.
-            break;
-        }
-        let line = unescape_request(&line);
-        let trimmed = line.trim();
-        if trimmed.is_empty() {
-            continue;
-        }
-        if trimmed.eq_ignore_ascii_case("quit") || trimmed.eq_ignore_ascii_case("exit") {
-            break;
-        }
-        let resp = match parse_request(trimmed) {
-            Request::Hello(v) => {
-                // Negotiate down to what both sides speak. The reply is
-                // always a text line — the encoding switch applies from
-                // the *next* response on.
-                version = v.clamp(1, MAX_VERSION);
-                if writeln!(writer, "HELLO {version}").is_err() || writer.flush().is_err() {
-                    break;
-                }
-                continue;
-            }
-            Request::Batch(count) => {
-                if count > MAX_BATCH {
-                    // The batch body is in flight and cannot be skipped
-                    // without reading `count` lines we refuse to buffer
-                    // or execute — report the error and drop the
-                    // connection, exactly like the non-UTF-8 case:
-                    // request framing can no longer be trusted.
-                    let _ = write_versioned(
-                        &mut writer,
-                        &Response::Err {
-                            kind: "execution".into(),
-                            msg: format!("batch of {count} exceeds limit {MAX_BATCH}"),
-                        },
-                        version,
-                        &mut scratch,
-                    );
-                    let _ = writer.flush();
-                    break;
-                }
-                match read_batch_body(&mut reader, &mut writer, count, stop) {
-                    Ok(None) => break, // EOF mid-batch: drop the fragment
-                    Ok(Some(reqs)) => execute_batch(cluster, &mut session, reqs, stats),
-                    Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
-                        // Same courtesy as the top-level non-UTF-8 case:
-                        // report why, flush what executed, then close.
-                        let _ = write_versioned(
-                            &mut writer,
-                            &Response::Err {
-                                kind: "execution".into(),
-                                msg: "request was not valid UTF-8".into(),
-                            },
-                            version,
-                            &mut scratch,
-                        );
-                        let _ = writer.flush();
-                        break;
-                    }
-                    Err(_) => break, // client went away mid-body
-                }
-            }
-            Request::Set(setting) => {
-                apply_setting(&mut session, setting);
-                Response::Ok { affected: 0 }
-            }
-            Request::Query(sql) => {
-                stats.queries.fetch_add(1, Ordering::Relaxed);
-                let read_only = imci_sql::is_read_only(&sql);
-                match cluster.execute_opts(&sql, session) {
-                    Ok(result) => response_of(result, read_only),
-                    Err(e) => {
-                        stats.errors.fetch_add(1, Ordering::Relaxed);
-                        Response::from_error(&e)
-                    }
-                }
-            }
-        };
-        if write_versioned(&mut writer, &resp, version, &mut scratch).is_err() {
-            break; // client went away mid-response
-        }
-    }
-    let _ = writer.flush();
-    Ok(())
 }

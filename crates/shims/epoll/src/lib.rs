@@ -1,0 +1,425 @@
+//! API-compatible stand-in for the `epoll` crate: a thin, safe,
+//! **level-triggered** readiness API over the kernel's
+//! `epoll_create1`/`epoll_ctl`/`epoll_wait`.
+//!
+//! The container building this workspace has no crates.io access (and
+//! hence no `libc` crate), so the syscall wrappers are declared
+//! directly against the C library the binary already links — the same
+//! offline-shim idiom as the other crates under `crates/shims/`. On
+//! non-Linux Unix the same [`Poller`] API is emulated with POSIX
+//! `poll(2)`, trading the O(ready) wakeup for O(registered) — correct,
+//! just slower at high fd counts.
+//!
+//! Interest is **level-triggered** on purpose: the reactor re-reads
+//! until `WouldBlock`, and a level-triggered poller re-reports
+//! readiness it has not consumed, which removes the classic
+//! edge-trigger starvation bugs at the cost of a few spurious wakeups.
+
+use std::io;
+use std::os::unix::io::RawFd;
+
+/// What to watch an fd for. Hangup/error conditions are always
+/// reported regardless of the requested interest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    pub readable: bool,
+    pub writable: bool,
+}
+
+impl Interest {
+    pub const READ: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    pub const WRITE: Interest = Interest {
+        readable: false,
+        writable: true,
+    };
+    pub const BOTH: Interest = Interest {
+        readable: true,
+        writable: true,
+    };
+    /// Park the fd: keep it registered but report only hangup/error.
+    pub const NONE: Interest = Interest {
+        readable: false,
+        writable: false,
+    };
+}
+
+/// One readiness report from [`Poller::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The token the fd was registered with.
+    pub token: u64,
+    pub readable: bool,
+    pub writable: bool,
+    /// Peer hung up or the fd is in an error state; the owner should
+    /// read to EOF / tear the connection down.
+    pub hangup: bool,
+}
+
+#[cfg(target_os = "linux")]
+mod sys {
+    use super::{Event, Interest};
+    use std::io;
+    use std::os::unix::io::RawFd;
+
+    const EPOLL_CLOEXEC: i32 = 0o2000000;
+    const EPOLL_CTL_ADD: i32 = 1;
+    const EPOLL_CTL_DEL: i32 = 2;
+    const EPOLL_CTL_MOD: i32 = 3;
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+
+    /// Kernel ABI: packed on x86-64 only (a historical accident the
+    /// real libc crate mirrors the same way).
+    #[repr(C)]
+    #[cfg_attr(target_arch = "x86_64", repr(packed))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        fn close(fd: i32) -> i32;
+    }
+
+    fn cvt(ret: i32) -> io::Result<i32> {
+        if ret < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(ret)
+        }
+    }
+
+    fn mask_of(interest: Interest) -> u32 {
+        let mut m = EPOLLRDHUP;
+        if interest.readable {
+            m |= EPOLLIN;
+        }
+        if interest.writable {
+            m |= EPOLLOUT;
+        }
+        m
+    }
+
+    pub struct Poller {
+        epfd: RawFd,
+        /// Scratch event buffer reused across waits.
+        buf: Vec<EpollEvent>,
+    }
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            let epfd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+            Ok(Poller {
+                epfd,
+                buf: vec![EpollEvent { events: 0, data: 0 }; 256],
+            })
+        }
+
+        fn ctl(&self, op: i32, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            let mut ev = EpollEvent {
+                events: mask_of(interest),
+                data: token,
+            };
+            let evp = if op == EPOLL_CTL_DEL {
+                std::ptr::null_mut()
+            } else {
+                &mut ev as *mut EpollEvent
+            };
+            cvt(unsafe { epoll_ctl(self.epfd, op, fd, evp) }).map(|_| ())
+        }
+
+        pub fn add(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, token, interest)
+        }
+
+        pub fn modify(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, token, interest)
+        }
+
+        pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_DEL, fd, 0, Interest::NONE)
+        }
+
+        pub fn wait(&mut self, out: &mut Vec<Event>, timeout_ms: i32) -> io::Result<usize> {
+            let n = loop {
+                match cvt(unsafe {
+                    epoll_wait(
+                        self.epfd,
+                        self.buf.as_mut_ptr(),
+                        self.buf.len() as i32,
+                        timeout_ms,
+                    )
+                }) {
+                    Ok(n) => break n as usize,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(e),
+                }
+            };
+            for ev in &self.buf[..n] {
+                // Unaligned-safe copies: the struct is packed on x86-64.
+                let events = ev.events;
+                let data = ev.data;
+                out.push(Event {
+                    token: data,
+                    readable: events & (EPOLLIN | EPOLLRDHUP) != 0,
+                    writable: events & EPOLLOUT != 0,
+                    hangup: events & (EPOLLERR | EPOLLHUP | EPOLLRDHUP) != 0,
+                });
+            }
+            Ok(n)
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            unsafe { close(self.epfd) };
+        }
+    }
+}
+
+#[cfg(all(unix, not(target_os = "linux")))]
+mod sys {
+    use super::{Event, Interest};
+    use std::io;
+    use std::os::unix::io::RawFd;
+
+    const POLLIN: i16 = 0x001;
+    const POLLOUT: i16 = 0x004;
+    const POLLERR: i16 = 0x008;
+    const POLLHUP: i16 = 0x010;
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct PollFd {
+        fd: i32,
+        events: i16,
+        revents: i16,
+    }
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: u64, timeout: i32) -> i32;
+    }
+
+    /// `poll(2)`-backed emulation: the registration table is rebuilt
+    /// into a pollfd array on every wait. O(registered fds), fine for
+    /// the non-Linux dev case this fallback exists for.
+    pub struct Poller {
+        fds: Vec<(RawFd, u64, Interest)>,
+    }
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            Ok(Poller { fds: Vec::new() })
+        }
+
+        pub fn add(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            if self.fds.iter().any(|(f, _, _)| *f == fd) {
+                return Err(io::Error::from(io::ErrorKind::AlreadyExists));
+            }
+            self.fds.push((fd, token, interest));
+            Ok(())
+        }
+
+        pub fn modify(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            match self.fds.iter_mut().find(|(f, _, _)| *f == fd) {
+                Some(slot) => {
+                    *slot = (fd, token, interest);
+                    Ok(())
+                }
+                None => Err(io::Error::from(io::ErrorKind::NotFound)),
+            }
+        }
+
+        pub fn delete(&mut self, fd: RawFd) -> io::Result<()> {
+            let before = self.fds.len();
+            self.fds.retain(|(f, _, _)| *f != fd);
+            if self.fds.len() == before {
+                return Err(io::Error::from(io::ErrorKind::NotFound));
+            }
+            Ok(())
+        }
+
+        pub fn wait(&mut self, out: &mut Vec<Event>, timeout_ms: i32) -> io::Result<usize> {
+            let mut pfds: Vec<PollFd> = self
+                .fds
+                .iter()
+                .map(|(fd, _, interest)| PollFd {
+                    fd: *fd,
+                    events: if interest.readable { POLLIN } else { 0 }
+                        | if interest.writable { POLLOUT } else { 0 },
+                    revents: 0,
+                })
+                .collect();
+            let n = loop {
+                let ret = unsafe { poll(pfds.as_mut_ptr(), pfds.len() as u64, timeout_ms) };
+                if ret >= 0 {
+                    break ret as usize;
+                }
+                let e = io::Error::last_os_error();
+                if e.kind() != io::ErrorKind::Interrupted {
+                    return Err(e);
+                }
+            };
+            for (pfd, (_, token, _)) in pfds.iter().zip(&self.fds) {
+                if pfd.revents != 0 {
+                    out.push(Event {
+                        token: *token,
+                        readable: pfd.revents & (POLLIN | POLLHUP) != 0,
+                        writable: pfd.revents & POLLOUT != 0,
+                        hangup: pfd.revents & (POLLERR | POLLHUP) != 0,
+                    });
+                }
+            }
+            Ok(n)
+        }
+    }
+}
+
+/// A readiness poller: register fds with a `u64` token, then
+/// [`Poller::wait`] for events. Level-triggered; see the module docs.
+pub struct Poller {
+    inner: sys::Poller,
+}
+
+impl Poller {
+    pub fn new() -> io::Result<Poller> {
+        Ok(Poller {
+            inner: sys::Poller::new()?,
+        })
+    }
+
+    /// Start watching `fd`. The token comes back verbatim in events.
+    /// The caller keeps ownership of the fd and must [`Poller::delete`]
+    /// it before closing it.
+    pub fn add(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.inner.add(fd, token, interest)
+    }
+
+    /// Replace the interest set (and token) of a registered fd.
+    pub fn modify(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.inner.modify(fd, token, interest)
+    }
+
+    /// Stop watching a registered fd.
+    pub fn delete(&mut self, fd: RawFd) -> io::Result<()> {
+        self.inner.delete(fd)
+    }
+
+    /// Block up to `timeout_ms` (-1 = forever, 0 = poll) and append
+    /// ready events to `out`. Returns the number of ready fds; 0 means
+    /// the timeout elapsed.
+    pub fn wait(&mut self, out: &mut Vec<Event>, timeout_ms: i32) -> io::Result<usize> {
+        self.inner.wait(out, timeout_ms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::os::unix::io::AsRawFd;
+    use std::os::unix::net::UnixStream;
+
+    fn pair() -> (UnixStream, UnixStream) {
+        let (a, b) = UnixStream::pair().unwrap();
+        a.set_nonblocking(true).unwrap();
+        b.set_nonblocking(true).unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn readable_event_fires_and_is_level_triggered() {
+        let (a, mut b) = pair();
+        let mut p = Poller::new().unwrap();
+        p.add(a.as_raw_fd(), 7, Interest::READ).unwrap();
+
+        let mut events = Vec::new();
+        assert_eq!(p.wait(&mut events, 0).unwrap(), 0, "no data yet");
+
+        b.write_all(b"x").unwrap();
+        events.clear();
+        assert_eq!(p.wait(&mut events, 1000).unwrap(), 1);
+        assert_eq!(events[0].token, 7);
+        assert!(events[0].readable);
+
+        // Level-triggered: unconsumed data re-reports.
+        events.clear();
+        assert_eq!(p.wait(&mut events, 0).unwrap(), 1);
+
+        // Consumed: silent again.
+        let mut buf = [0u8; 8];
+        let _ = (&a).read(&mut buf).unwrap();
+        events.clear();
+        assert_eq!(p.wait(&mut events, 0).unwrap(), 0);
+        p.delete(a.as_raw_fd()).unwrap();
+    }
+
+    #[test]
+    fn modify_switches_interest() {
+        let (a, mut b) = pair();
+        let mut p = Poller::new().unwrap();
+        // A fresh socket is writable but not readable.
+        p.add(a.as_raw_fd(), 1, Interest::WRITE).unwrap();
+        let mut events = Vec::new();
+        assert_eq!(p.wait(&mut events, 1000).unwrap(), 1);
+        assert!(events[0].writable && !events[0].readable);
+
+        // Park it: pending inbound data must not wake us.
+        p.modify(a.as_raw_fd(), 1, Interest::NONE).unwrap();
+        b.write_all(b"y").unwrap();
+        events.clear();
+        assert_eq!(p.wait(&mut events, 0).unwrap(), 0, "parked fd stays quiet");
+
+        // Re-arm reads: the same data now reports.
+        p.modify(a.as_raw_fd(), 2, Interest::READ).unwrap();
+        events.clear();
+        assert_eq!(p.wait(&mut events, 1000).unwrap(), 1);
+        assert_eq!(events[0].token, 2, "token travels with modify");
+        assert!(events[0].readable);
+    }
+
+    #[test]
+    fn hangup_reports_on_peer_close() {
+        let (a, b) = pair();
+        let mut p = Poller::new().unwrap();
+        p.add(a.as_raw_fd(), 3, Interest::READ).unwrap();
+        drop(b);
+        let mut events = Vec::new();
+        assert_eq!(p.wait(&mut events, 1000).unwrap(), 1);
+        assert!(events[0].hangup, "peer close must report hangup");
+    }
+
+    #[test]
+    fn many_fds_wake_only_the_ready_one() {
+        let mut p = Poller::new().unwrap();
+        let pairs: Vec<(UnixStream, UnixStream)> = (0..64).map(|_| pair()).collect();
+        for (i, (a, _)) in pairs.iter().enumerate() {
+            p.add(a.as_raw_fd(), i as u64, Interest::READ).unwrap();
+        }
+        (&pairs[41].1).write_all(b"ping").unwrap();
+        let mut events = Vec::new();
+        assert_eq!(p.wait(&mut events, 1000).unwrap(), 1);
+        assert_eq!(events[0].token, 41);
+    }
+
+    #[test]
+    fn delete_then_close_is_clean() {
+        let (a, _b) = pair();
+        let mut p = Poller::new().unwrap();
+        p.add(a.as_raw_fd(), 0, Interest::READ).unwrap();
+        p.delete(a.as_raw_fd()).unwrap();
+        assert!(p.delete(a.as_raw_fd()).is_err(), "double delete errors");
+        let mut events = Vec::new();
+        assert_eq!(p.wait(&mut events, 0).unwrap(), 0);
+    }
+}

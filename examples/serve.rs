@@ -13,7 +13,7 @@ use std::time::Instant;
 
 fn main() {
     // One RW node + two RO nodes over shared storage (paper Fig. 2),
-    // fronted by the thread-pool SQL service.
+    // fronted by the epoll-reactor SQL service.
     let cluster = Cluster::start(ClusterConfig {
         n_ro: 2,
         group_cap: 1024,
