@@ -518,11 +518,14 @@ pub(crate) fn worker_loop<P: Proto>(shared: Arc<Shared<P>>) {
             };
             let mut units = Vec::new();
             let mut cost = 0usize;
-            while let Some(&(_, c)) = q.units.front() {
-                if !units.is_empty() && cost + c > quantum {
+            while q
+                .units
+                .front()
+                .is_some_and(|&(_, c)| units.is_empty() || cost + c <= quantum)
+            {
+                let Some((u, c)) = q.units.pop_front() else {
                     break;
-                }
-                let (u, c) = q.units.pop_front().expect("front exists");
+                };
                 cost += c;
                 units.push(u);
             }

@@ -211,12 +211,12 @@ impl Proto for ImciProto {
             };
             let line = unescape_request(line);
             let trimmed = line.trim();
-            if let Some((n, reqs)) = p.batch.as_mut() {
+            if let Some((n, mut reqs)) = p.batch.take() {
                 reqs.push(parse_request(trimmed));
-                if reqs.len() == *n {
-                    let (_, reqs) = p.batch.take().expect("batch in progress");
+                if reqs.len() == n {
                     return Step::Unit(Unit::Batch(reqs));
                 }
+                p.batch = Some((n, reqs));
                 continue;
             }
             if trimmed.is_empty() {
