@@ -118,6 +118,9 @@ mod sys {
 
     impl Poller {
         pub fn new() -> io::Result<Poller> {
+            // SAFETY: epoll_create1 takes no pointers; the flag is the
+            // documented EPOLL_CLOEXEC constant and the returned fd is
+            // validated by cvt before use.
             let epfd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
             Ok(Poller {
                 epfd,
@@ -135,6 +138,10 @@ mod sys {
             } else {
                 &mut ev as *mut EpollEvent
             };
+            // SAFETY: `evp` is either null (DEL, where the kernel
+            // ignores it) or points at `ev`, which lives on this stack
+            // frame for the whole call; epfd was returned by
+            // epoll_create1 and is owned by self.
             cvt(unsafe { epoll_ctl(self.epfd, op, fd, evp) }).map(|_| ())
         }
 
@@ -152,6 +159,10 @@ mod sys {
 
         pub fn wait(&mut self, out: &mut Vec<Event>, timeout_ms: i32) -> io::Result<usize> {
             let n = loop {
+                // SAFETY: the out-pointer and capacity describe
+                // `self.buf`, which outlives the call and is never
+                // resized while waiting; the kernel writes at most
+                // `len` events, and only the first `n` are read back.
                 match cvt(unsafe {
                     epoll_wait(
                         self.epfd,
@@ -182,6 +193,9 @@ mod sys {
 
     impl Drop for Poller {
         fn drop(&mut self) {
+            // SAFETY: epfd came from epoll_create1, is owned solely by
+            // this Poller, and Drop runs at most once — no double
+            // close, and no other handle aliases it.
             unsafe { close(self.epfd) };
         }
     }
@@ -261,6 +275,10 @@ mod sys {
                 })
                 .collect();
             let n = loop {
+                // SAFETY: the pointer/len pair describes `pfds`, a
+                // live Vec whose length is not changed during the
+                // call; poll only writes the `revents` field of each
+                // element.
                 let ret = unsafe { poll(pfds.as_mut_ptr(), pfds.len() as u64, timeout_ms) };
                 if ret >= 0 {
                     break ret as usize;
