@@ -1,0 +1,10 @@
+// Seeded L007: "orphan_ms" is gated (lower-is-better) but missing from
+// the committed baseline; "known_ms" is present and "rows_seen" is
+// informational — neither of those should fire.
+
+fn main() {
+    let mut rep = Report::default();
+    rep.set("scan", "known_ms", 1.0);
+    rep.set("scan", "orphan_ms", 2.0);
+    rep.set("scan", "rows_seen", 100.0);
+}

@@ -1,0 +1,25 @@
+// Seeded L002: Error::Busy has no explicit from_kind arm — it would
+// degrade to Error::Parse on every wire round-trip.
+
+pub enum Error {
+    /// Unparseable request. Not retryable.
+    Parse(String),
+    /// Server saturated; clients may retry after backoff.
+    Busy(String),
+}
+
+impl Error {
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Error::Parse(_) => "parse",
+            Error::Busy(_) => "busy",
+        }
+    }
+
+    pub fn from_kind(kind: &str, msg: String) -> Error {
+        match kind {
+            "parse" => Error::Parse(msg),
+            _ => Error::Parse(msg),
+        }
+    }
+}

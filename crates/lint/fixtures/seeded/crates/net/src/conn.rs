@@ -1,0 +1,5 @@
+// Seeded L006: a condvar wait on the reactor thread.
+
+pub fn drain(cv: &std::sync::Condvar, g: std::sync::MutexGuard<'_, bool>) {
+    let _g = cv.wait(g);
+}

@@ -1,0 +1,5 @@
+// Seeded L004: a panic path on a worker thread.
+
+pub fn dispatch(q: &mut std::collections::VecDeque<u64>) -> u64 {
+    q.pop_front().unwrap()
+}

@@ -1,0 +1,9 @@
+// Replay handler covering every variant, so the seeded L001 finding is
+// exactly the missing decode arm in ../wal/src/record.rs.
+
+pub fn apply(p: crate::RedoPayload) {
+    match p {
+        RedoPayload::Insert { .. } => {}
+        RedoPayload::Delete { .. } => {}
+    }
+}

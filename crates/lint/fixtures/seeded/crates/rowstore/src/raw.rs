@@ -1,0 +1,5 @@
+// Seeded L005: an unsafe block with no SAFETY comment.
+
+pub fn read_first(bytes: &[u8]) -> u64 {
+    unsafe { std::ptr::read_unaligned(bytes.as_ptr() as *const u64) }
+}

@@ -1,0 +1,7 @@
+// Seeded L003: an uncapped poll loop pacing with thread::sleep.
+
+pub fn wait_ready(flag: &std::sync::atomic::AtomicBool) {
+    while !flag.load(std::sync::atomic::Ordering::SeqCst) {
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+}

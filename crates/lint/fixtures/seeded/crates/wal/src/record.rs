@@ -1,0 +1,29 @@
+// Seeded L001: RedoPayload::Delete (tag 3) has no decode arm.
+
+pub enum RedoPayload {
+    Insert { pk: i64 },
+    Delete { pk: i64 },
+}
+
+impl RedoPayload {
+    pub fn kind_tag(&self) -> u8 {
+        match self {
+            RedoPayload::Insert { .. } => 1,
+            RedoPayload::Delete { .. } => 3,
+        }
+    }
+}
+
+pub fn encode(p: &RedoPayload) -> u8 {
+    match p {
+        RedoPayload::Insert { .. } => 1,
+        RedoPayload::Delete { .. } => 3,
+    }
+}
+
+pub fn decode(tag: u8) -> Option<&'static str> {
+    match tag {
+        1 => Some("insert"),
+        _ => None,
+    }
+}

@@ -1,0 +1,408 @@
+//! A minimal Rust lexer: identifiers, punctuation, literals, and
+//! comments, each stamped with its source line.
+//!
+//! This is deliberately not a parser. The lint rules work on token
+//! patterns plus brace matching, which is robust against formatting
+//! and rustfmt churn while staying a few hundred lines. The lexer's
+//! one hard job is classification: a `thread::sleep` inside a string
+//! literal or a comment must not look like a call, so strings (plain,
+//! raw, byte), char literals, lifetimes, and nested block comments are
+//! all recognized for real.
+
+/// Token classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `loop`, `unsafe`, names...).
+    Ident,
+    /// One punctuation byte (`{`, `:`, `.`, `#`, `=`, `>`, ...).
+    Punct,
+    /// String literal of any flavor; `text` is the content between the
+    /// quotes, escapes left un-cooked except `\"` and `\\`.
+    Str,
+    /// Char or byte-char literal (content not preserved).
+    Char,
+    /// Lifetime such as `'a`.
+    Lifetime,
+    /// Integer or float literal; `text` is the raw spelling.
+    Num,
+    /// `//`-style comment including doc comments; full text with the
+    /// slashes.
+    LineComment,
+    /// `/* */`-style comment (nesting handled); full text.
+    BlockComment,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    /// See the per-kind docs on [`TokKind`]. For `Punct` this is the
+    /// single character.
+    pub text: String,
+    /// 1-based source line of the token's first character.
+    pub line: u32,
+}
+
+impl Tok {
+    /// Is this token the punctuation character `c`?
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.as_bytes()[0] == c as u8
+    }
+
+    /// Is this token the identifier/keyword `s`?
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Comments don't affect token-pattern matching.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+}
+
+/// Lex `src` into tokens. Unterminated constructs consume to EOF
+/// rather than erroring: the linter must keep going on any input.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let b = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::LineComment,
+                    text: src[start..i].to_string(),
+                    line,
+                });
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                let (start, start_line) = (i, line);
+                let mut depth = 1;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                toks.push(Tok {
+                    kind: TokKind::BlockComment,
+                    text: src[start..i].to_string(),
+                    line: start_line,
+                });
+            }
+            b'"' => {
+                let (tok, ni, nl) = lex_string(src, i, line);
+                toks.push(tok);
+                i = ni;
+                line = nl;
+            }
+            b'\'' => {
+                // Lifetime vs char literal: `'` + ident-start that is
+                // NOT closed by a quote right after is a lifetime.
+                let next = b.get(i + 1).copied().unwrap_or(0);
+                let after = b.get(i + 2).copied().unwrap_or(0);
+                let ident_start = next.is_ascii_alphabetic() || next == b'_';
+                if ident_start && after != b'\'' {
+                    let start = i + 1;
+                    i += 2;
+                    while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                        i += 1;
+                    }
+                    toks.push(Tok {
+                        kind: TokKind::Lifetime,
+                        text: src[start..i].to_string(),
+                        line,
+                    });
+                } else {
+                    // Char literal: consume to the closing quote,
+                    // honoring escapes.
+                    let start_line = line;
+                    i += 1;
+                    while i < b.len() {
+                        match b[i] {
+                            b'\\' => i += 2,
+                            b'\'' => {
+                                i += 1;
+                                break;
+                            }
+                            b'\n' => {
+                                line += 1;
+                                i += 1;
+                            }
+                            _ => i += 1,
+                        }
+                    }
+                    toks.push(Tok {
+                        kind: TokKind::Char,
+                        text: String::new(),
+                        line: start_line,
+                    });
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                i += 1;
+                while i < b.len() {
+                    let d = b[i];
+                    if d.is_ascii_alphanumeric() || d == b'_' {
+                        i += 1;
+                    } else if d == b'.' && b.get(i + 1).is_some_and(|n| n.is_ascii_digit()) {
+                        // `1.5` continues the number; `0..n` does not.
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                toks.push(Tok {
+                    kind: TokKind::Num,
+                    text: src[start..i].to_string(),
+                    line,
+                });
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                let ident = &src[start..i];
+                // String-literal prefixes: r"", r#""#, b"", br"", b''.
+                let next = b.get(i).copied().unwrap_or(0);
+                let raw_ok = matches!(ident, "r" | "b" | "br") && (next == b'"' || next == b'#');
+                if raw_ok {
+                    let raw = ident != "b" || next == b'#';
+                    if raw || next == b'"' {
+                        let (tok, ni, nl) = if ident == "b" {
+                            lex_string(src, i, line)
+                        } else {
+                            lex_raw_string(src, i, line)
+                        };
+                        toks.push(tok);
+                        i = ni;
+                        line = nl;
+                        continue;
+                    }
+                }
+                if ident == "b" && next == b'\'' {
+                    // Byte char `b'x'`: rewind onto the quote and let
+                    // the char arm eat it next iteration, minus the
+                    // lifetime interpretation (b'x' always closes).
+                    let start_line = line;
+                    i += 1; // the quote
+                    while i < b.len() {
+                        match b[i] {
+                            b'\\' => i += 2,
+                            b'\'' => {
+                                i += 1;
+                                break;
+                            }
+                            _ => i += 1,
+                        }
+                    }
+                    toks.push(Tok {
+                        kind: TokKind::Char,
+                        text: String::new(),
+                        line: start_line,
+                    });
+                    continue;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: ident.to_string(),
+                    line,
+                });
+            }
+            _ => {
+                toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: (c as char).to_string(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    toks
+}
+
+/// Lex a `"..."` string starting at the opening quote (index `i`).
+/// Returns the token, the index after the closing quote, and the line.
+fn lex_string(src: &str, i: usize, line: u32) -> (Tok, usize, u32) {
+    let b = src.as_bytes();
+    let start_line = line;
+    let mut line = line;
+    let mut j = i + 1;
+    let mut text = String::new();
+    while j < b.len() {
+        match b[j] {
+            b'\\' => {
+                if let Some(&esc) = b.get(j + 1) {
+                    match esc {
+                        b'"' => text.push('"'),
+                        b'\\' => text.push('\\'),
+                        b'\n' => line += 1,
+                        e => {
+                            text.push('\\');
+                            text.push(e as char);
+                        }
+                    }
+                }
+                j += 2;
+            }
+            b'"' => {
+                j += 1;
+                break;
+            }
+            b'\n' => {
+                line += 1;
+                text.push('\n');
+                j += 1;
+            }
+            c => {
+                text.push(c as char);
+                j += 1;
+            }
+        }
+    }
+    (
+        Tok {
+            kind: TokKind::Str,
+            text,
+            line: start_line,
+        },
+        j,
+        line,
+    )
+}
+
+/// Lex a raw string whose `#` run starts at index `i` (the prefix
+/// ident `r`/`br` has already been consumed).
+fn lex_raw_string(src: &str, i: usize, line: u32) -> (Tok, usize, u32) {
+    let b = src.as_bytes();
+    let start_line = line;
+    let mut line = line;
+    let mut j = i;
+    let mut hashes = 0usize;
+    while b.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    j += 1; // opening quote
+    let content_start = j;
+    let closer: Vec<u8> = std::iter::once(b'"')
+        .chain(std::iter::repeat_n(b'#', hashes))
+        .collect();
+    let mut content_end = b.len();
+    while j < b.len() {
+        if b[j] == b'\n' {
+            line += 1;
+        }
+        if b[j] == b'"' && b[j..].starts_with(&closer) {
+            content_end = j;
+            j += closer.len();
+            break;
+        }
+        j += 1;
+    }
+    (
+        Tok {
+            kind: TokKind::Str,
+            text: src[content_start..content_end.min(src.len())].to_string(),
+            line: start_line,
+        },
+        j,
+        line,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_puncts_numbers() {
+        let t = kinds("fn f(x: u32) -> u32 { x + 0x10 }");
+        assert!(t.contains(&(TokKind::Ident, "fn".into())));
+        assert!(t.contains(&(TokKind::Num, "0x10".into())));
+        assert!(t.contains(&(TokKind::Punct, "{".into())));
+    }
+
+    #[test]
+    fn code_in_strings_and_comments_is_not_code() {
+        let toks = lex(r#"let s = "thread::sleep"; // thread::sleep
+            /* thread::sleep */ call();"#);
+        let sleeps: Vec<_> = toks.iter().filter(|t| t.is_ident("sleep")).collect();
+        assert!(sleeps.is_empty(), "sleep only appears in str/comments");
+        assert!(toks.iter().any(|t| t.is_ident("call")));
+    }
+
+    #[test]
+    fn raw_and_byte_strings() {
+        let toks = lex(r##"let a = r#"no "fn" here"#; let b2 = b"bytes"; let c = 'x';"##);
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::Str).count(),
+            2,
+            "raw and byte strings each lex as one Str"
+        );
+        assert!(toks.iter().any(|t| t.kind == TokKind::Char));
+        assert!(!toks.iter().any(|t| t.is_ident("fn")));
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'a'; }");
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::Lifetime).count(),
+            2
+        );
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Char).count(), 1);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let toks = lex("a\nb\n\n  c /* x\ny */ d");
+        let find = |name: &str| toks.iter().find(|t| t.is_ident(name)).unwrap().line;
+        assert_eq!(find("a"), 1);
+        assert_eq!(find("b"), 2);
+        assert_eq!(find("c"), 4);
+        assert_eq!(find("d"), 5);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = lex("/* outer /* inner */ still */ code");
+        assert_eq!(toks.len(), 2);
+        assert!(toks[1].is_ident("code"));
+    }
+
+    #[test]
+    fn float_vs_range() {
+        let t = kinds("1.5 + 0..n");
+        assert!(t.contains(&(TokKind::Num, "1.5".into())));
+        assert!(t.contains(&(TokKind::Num, "0".into())));
+    }
+}

@@ -1,0 +1,361 @@
+//! `imci-lint` — the workspace invariant checker.
+//!
+//! A house static-analysis pass for cross-cutting invariants that
+//! `rustc`/`clippy` cannot see because they live in *this* project's
+//! protocol, not in the language: REDO wire-tag exhaustiveness, error
+//! categories surviving the wire, no spin-waits, no panics on
+//! reactor-reachable paths, `SAFETY:` discipline, no blocking calls on
+//! reactor threads, and bench metrics that CI actually gates.
+//!
+//! Architecture: a file walker ([`walk`]) feeds a lightweight Rust
+//! lexer ([`lexer`]); each rule ([`rules`]) pattern-matches tokens plus
+//! brace structure. Findings are suppressible through a committed
+//! allowlist ([`allow`]) in which every entry must carry a reason.
+//! `--deny-new` (the CI mode) exits nonzero on any finding the
+//! allowlist does not cover.
+
+pub mod allow;
+pub mod lexer;
+pub mod rules;
+pub mod walk;
+
+use lexer::{Tok, TokKind};
+
+/// One rule violation.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Rule id, `"L001"`..`"L007"`.
+    pub rule: &'static str,
+    /// Workspace-relative path, `/`-separated.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human explanation of what is violated and why it matters.
+    pub msg: String,
+    /// The trimmed source line, for `contains =` allowlist matching
+    /// (line numbers drift; source text is stable).
+    pub src_line: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {}:{} {}", self.rule, self.path, self.line, self.msg)
+    }
+}
+
+/// A lexed source file plus the structural facts rules share.
+pub struct SourceFile {
+    pub rel_path: String,
+    pub text: String,
+    pub toks: Vec<Tok>,
+    /// Line ranges (inclusive) that are test code: `#[cfg(test)]` /
+    /// `#[test]` items, or the whole file under a `tests/` directory.
+    pub test_spans: Vec<(u32, u32)>,
+    /// Top-level and nested `fn` items as token-index spans.
+    pub fns: Vec<FnSpan>,
+}
+
+/// A `fn` item's extent.
+#[derive(Debug, Clone)]
+pub struct FnSpan {
+    pub name: String,
+    /// Token index of the `fn` keyword.
+    pub start: usize,
+    /// Token index of the closing `}` (or the `;` of a bodyless decl).
+    pub end: usize,
+}
+
+impl SourceFile {
+    pub fn new(rel_path: String, text: String) -> SourceFile {
+        let toks = lexer::lex(&text);
+        let mut test_spans = compute_test_spans(&toks);
+        if rel_path.split('/').any(|c| c == "tests") {
+            test_spans.push((0, u32::MAX));
+        }
+        let fns = compute_fn_spans(&toks);
+        SourceFile {
+            rel_path,
+            text,
+            toks,
+            test_spans,
+            fns,
+        }
+    }
+
+    /// Is `line` inside test-only code?
+    pub fn in_test(&self, line: u32) -> bool {
+        self.test_spans.iter().any(|&(a, b)| a <= line && line <= b)
+    }
+
+    /// Name of the innermost `fn` containing token index `i`, if any.
+    pub fn enclosing_fn(&self, i: usize) -> Option<&str> {
+        self.fns
+            .iter()
+            .filter(|f| f.start <= i && i <= f.end)
+            .min_by_key(|f| f.end - f.start)
+            .map(|f| f.name.as_str())
+    }
+
+    /// The trimmed text of a 1-based source line.
+    pub fn line_text(&self, line: u32) -> String {
+        self.text
+            .lines()
+            .nth(line.saturating_sub(1) as usize)
+            .unwrap_or("")
+            .trim()
+            .to_string()
+    }
+
+    /// Significant (non-comment) token index at or after `i`.
+    pub fn next_code(&self, mut i: usize) -> Option<usize> {
+        while let Some(t) = self.toks.get(i) {
+            if !t.is_comment() {
+                return Some(i);
+            }
+            i += 1;
+        }
+        None
+    }
+
+    /// Significant (non-comment) token index at or before `i`.
+    pub fn prev_code(&self, mut i: usize) -> Option<usize> {
+        loop {
+            let t = self.toks.get(i)?;
+            if !t.is_comment() {
+                return Some(i);
+            }
+            i = i.checked_sub(1)?;
+        }
+    }
+
+    /// Build a finding against this file.
+    pub fn finding(&self, rule: &'static str, line: u32, msg: String) -> Finding {
+        Finding {
+            rule,
+            path: self.rel_path.clone(),
+            line,
+            msg,
+            src_line: self.line_text(line),
+        }
+    }
+}
+
+/// Everything the rules see: the lexed workspace.
+pub struct Workspace {
+    pub root: std::path::PathBuf,
+    pub files: Vec<SourceFile>,
+}
+
+impl Workspace {
+    /// Walk `root` and lex every `.rs` file.
+    pub fn load(root: &std::path::Path) -> std::io::Result<Workspace> {
+        let mut files = Vec::new();
+        for path in walk::rust_files(root)? {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            let text = std::fs::read_to_string(&path)?;
+            files.push(SourceFile::new(rel, text));
+        }
+        files.sort_by(|a, b| a.rel_path.cmp(&b.rel_path));
+        Ok(Workspace {
+            root: root.to_path_buf(),
+            files,
+        })
+    }
+
+    pub fn file(&self, suffix: &str) -> Option<&SourceFile> {
+        self.files.iter().find(|f| f.rel_path.ends_with(suffix))
+    }
+}
+
+/// Run every rule over the workspace.
+pub fn run_all(ws: &Workspace) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for rule in rules::all() {
+        out.extend(rule.check(ws));
+    }
+    out.sort_by(|a, b| {
+        (a.rule, &a.path, a.line)
+            .partial_cmp(&(b.rule, &b.path, b.line))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    out
+}
+
+// ---- structural passes shared by the rules ----
+
+/// Line spans of items annotated `#[cfg(test)]` or `#[test]`.
+fn compute_test_spans(toks: &[Tok]) -> Vec<(u32, u32)> {
+    let mut spans = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].is_punct('#') && peek_attr_is_test(toks, i) {
+            let attr_line = toks[i].line;
+            // Skip this and any further attributes, then find the
+            // item's body and record its extent.
+            let mut j = i;
+            while let Some(k) = skip_attr(toks, j) {
+                j = k;
+            }
+            if let Some(end) = item_end(toks, j) {
+                spans.push((attr_line, toks[end].line));
+                i = end + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    spans
+}
+
+/// Does the attribute starting at `#` token `i` name `test` or
+/// `cfg(test)`?
+fn peek_attr_is_test(toks: &[Tok], i: usize) -> bool {
+    let code = |k: usize| toks.get(k).filter(|t| !t.is_comment());
+    let Some(open) = code(i + 1) else {
+        return false;
+    };
+    if !open.is_punct('[') {
+        return false;
+    }
+    match code(i + 2) {
+        Some(t) if t.is_ident("test") => true,
+        Some(t) if t.is_ident("cfg") => {
+            // `#[cfg(test)]` (exactly; cfg(not(test)) etc. don't count).
+            code(i + 3).is_some_and(|t| t.is_punct('('))
+                && code(i + 4).is_some_and(|t| t.is_ident("test"))
+                && code(i + 5).is_some_and(|t| t.is_punct(')'))
+        }
+        _ => false,
+    }
+}
+
+/// If token `i` starts an attribute (`#`), return the index just past
+/// its closing `]`.
+fn skip_attr(toks: &[Tok], i: usize) -> Option<usize> {
+    if !toks.get(i)?.is_punct('#') {
+        return None;
+    }
+    let mut j = i + 1;
+    while j < toks.len() && !toks[j].is_punct('[') {
+        j += 1;
+    }
+    let mut depth = 0i32;
+    while j < toks.len() {
+        if toks[j].is_punct('[') {
+            depth += 1;
+        } else if toks[j].is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j + 1);
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Given the first token of an item, find the index of its terminator:
+/// the matching `}` of its first brace block, or a `;` before any
+/// brace opens.
+fn item_end(toks: &[Tok], i: usize) -> Option<usize> {
+    let mut j = i;
+    while j < toks.len() {
+        if toks[j].is_punct(';') {
+            return Some(j);
+        }
+        if toks[j].is_punct('{') {
+            return match_brace(toks, j);
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Index of the `}` matching the `{` at `i`.
+fn match_brace(toks: &[Tok], i: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().skip(i) {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+fn compute_fn_spans(toks: &[Tok]) -> Vec<FnSpan> {
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("fn") {
+            continue;
+        }
+        let Some(name_tok) = toks.get(i + 1).filter(|t| t.kind == TokKind::Ident) else {
+            continue;
+        };
+        if let Some(end) = item_end(toks, i) {
+            out.push(FnSpan {
+                name: name_tok.text.clone(),
+                start: i,
+                end,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_spans_cover_cfg_test_mods_and_test_fns() {
+        let f = SourceFile::new(
+            "x.rs".into(),
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n  fn helper() {}\n}\n\
+             #[test]\nfn standalone() { body(); }\nfn live2() {}\n"
+                .into(),
+        );
+        assert!(!f.in_test(1));
+        assert!(f.in_test(3));
+        assert!(f.in_test(4));
+        assert!(f.in_test(7));
+        assert!(!f.in_test(8));
+    }
+
+    #[test]
+    fn tests_dir_files_are_all_test() {
+        let f = SourceFile::new("tests/integration.rs".into(), "fn x() {}".into());
+        assert!(f.in_test(1));
+    }
+
+    #[test]
+    fn enclosing_fn_prefers_innermost() {
+        let f = SourceFile::new(
+            "x.rs".into(),
+            "fn outer() {\n  fn inner() { body(); }\n  tail();\n}".into(),
+        );
+        let body_idx = f.toks.iter().position(|t| t.is_ident("body")).unwrap();
+        let tail_idx = f.toks.iter().position(|t| t.is_ident("tail")).unwrap();
+        assert_eq!(f.enclosing_fn(body_idx), Some("inner"));
+        assert_eq!(f.enclosing_fn(tail_idx), Some("outer"));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_span() {
+        let f = SourceFile::new(
+            "x.rs".into(),
+            "#[cfg(not(test))]\nfn shipped() { body(); }".into(),
+        );
+        assert!(!f.in_test(2));
+    }
+}

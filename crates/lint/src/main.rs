@@ -1,0 +1,108 @@
+//! `imci-lint` — run the workspace invariant checks.
+//!
+//! ```text
+//! imci-lint [--root DIR] [--allow FILE] [--deny-new] [--list]
+//! ```
+//!
+//! `--deny-new` (the CI mode) exits 1 when any finding is not covered
+//! by the allowlist; without it the tool reports and exits 0 so local
+//! runs never block iteration. Stale allowlist entries are warnings in
+//! both modes — they mean the violation was fixed and the suppression
+//! should be deleted.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut allow_path: Option<PathBuf> = None;
+    let mut deny_new = false;
+    let mut list = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage("--root needs a directory"),
+            },
+            "--allow" => match args.next() {
+                Some(v) => allow_path = Some(PathBuf::from(v)),
+                None => return usage("--allow needs a file"),
+            },
+            "--deny-new" => deny_new = true,
+            "--list" => list = true,
+            "--help" | "-h" => return usage(""),
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    if list {
+        for rule in imci_lint::rules::all() {
+            println!("{}  {}", rule.id(), rule.summary());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let ws = match imci_lint::Workspace::load(&root) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!("imci-lint: cannot load {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Default allowlist: the committed one at the workspace root.
+    let allow_path = allow_path.unwrap_or_else(|| root.join("crates/lint/allow.toml"));
+    let entries = match std::fs::read_to_string(&allow_path) {
+        Ok(text) => match imci_lint::allow::parse(&text) {
+            Ok(entries) => entries,
+            Err(e) => {
+                eprintln!("imci-lint: {}: {e}", allow_path.display());
+                return ExitCode::FAILURE;
+            }
+        },
+        Err(_) => Vec::new(), // no allowlist is fine: nothing suppressed
+    };
+
+    let findings = imci_lint::run_all(&ws);
+    let (live, suppressed, stale) = imci_lint::allow::apply(findings, &entries);
+
+    for f in &live {
+        println!("{f}");
+    }
+    for s in &stale {
+        eprintln!("imci-lint: warning: {s}");
+    }
+    eprintln!(
+        "imci-lint: {} files, {} finding(s), {} suppressed, {} stale allowlist entr{}",
+        ws.files.len(),
+        live.len(),
+        suppressed.len(),
+        stale.len(),
+        if stale.len() == 1 { "y" } else { "ies" },
+    );
+
+    if deny_new && !live.is_empty() {
+        eprintln!(
+            "imci-lint: --deny-new: {} unsuppressed finding(s); fix them or add a \
+             justified entry to {}",
+            live.len(),
+            allow_path.display()
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("imci-lint: {err}");
+    }
+    eprintln!("usage: imci-lint [--root DIR] [--allow FILE] [--deny-new] [--list]");
+    if err.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

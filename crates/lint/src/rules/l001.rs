@@ -1,0 +1,238 @@
+//! L001 — REDO/binlog wire-tag coverage.
+//!
+//! Bug class: add a `RedoPayload` variant, give it a `kind_tag`, emit
+//! it from the RW node — and forget the decode arm or the replay
+//! handler. The RO node then fails (or silently skips) mid-stream,
+//! which surfaces as divergence hours later. The compiler cannot catch
+//! it because decode matches on *integers*, not variants.
+//!
+//! Checks, per variant of `RedoPayload` (crates/wal/src/record.rs):
+//!   1. it has a tag in `kind_tag`,
+//!   2. its tag number appears as a `N =>` arm in `decode`,
+//!   3. it is encoded in `encode`,
+//!   4. it is handled in the replay path (crates/rowstore/src/apply.rs).
+//!
+//! And per variant of `BinlogKind` (crates/wal/src/binlog.rs): it is
+//! covered by both `encode` and `decode`.
+
+use super::{enum_variants, fn_span, mentions_variant, Rule};
+use crate::lexer::TokKind;
+use crate::{Finding, SourceFile, Workspace};
+
+pub struct WireTagCoverage;
+
+impl Rule for WireTagCoverage {
+    fn id(&self) -> &'static str {
+        "L001"
+    }
+
+    fn summary(&self) -> &'static str {
+        "every REDO/binlog wire tag has encode, decode, and replay coverage"
+    }
+
+    fn check(&self, ws: &Workspace) -> Vec<Finding> {
+        let mut out = Vec::new();
+        check_redo(ws, &mut out);
+        check_binlog(ws, &mut out);
+        out
+    }
+}
+
+fn check_redo(ws: &Workspace, out: &mut Vec<Finding>) {
+    let Some(rec) = ws.file("crates/wal/src/record.rs") else {
+        return;
+    };
+    let Some(vars) = enum_variants(rec, "RedoPayload") else {
+        return;
+    };
+    let tags = tag_map(rec, "kind_tag", "RedoPayload");
+    let decode_tags = decode_arm_tags(rec, "decode");
+    let encode = fn_span(rec, "encode");
+    let handler = ws.file("crates/rowstore/src/apply.rs");
+
+    for v in &vars {
+        let Some(tag) = tags.iter().find(|(_, n)| *n == v.name).map(|(t, _)| *t) else {
+            out.push(rec.finding(
+                "L001",
+                v.line,
+                format!(
+                    "RedoPayload::{} has no kind_tag arm — it cannot be framed",
+                    v.name
+                ),
+            ));
+            continue;
+        };
+        if !decode_tags.contains(&tag) {
+            out.push(rec.finding(
+                "L001",
+                v.line,
+                format!(
+                    "RedoPayload::{} (tag {tag}) has no decode arm — an RO replica \
+                     replaying a stream that contains it will error mid-stream",
+                    v.name
+                ),
+            ));
+        }
+        if let Some(span) = encode {
+            if !mentions_variant(rec, span, "RedoPayload", &v.name) {
+                out.push(rec.finding(
+                    "L001",
+                    v.line,
+                    format!("RedoPayload::{} is never encoded", v.name),
+                ));
+            }
+        }
+        if let Some(h) = handler {
+            let whole = (0, h.toks.len().saturating_sub(1));
+            if !mentions_variant(h, whole, "RedoPayload", &v.name) {
+                out.push(rec.finding(
+                    "L001",
+                    v.line,
+                    format!(
+                        "RedoPayload::{} has no replay handler in {} — replicas would \
+                         drop it silently",
+                        v.name, h.rel_path
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+fn check_binlog(ws: &Workspace, out: &mut Vec<Finding>) {
+    let Some(bl) = ws.file("crates/wal/src/binlog.rs") else {
+        return;
+    };
+    let Some(vars) = enum_variants(bl, "BinlogKind") else {
+        return;
+    };
+    for v in &vars {
+        for fun in ["encode", "decode"] {
+            if let Some(span) = fn_span(bl, fun) {
+                if !mentions_variant(bl, span, "BinlogKind", &v.name) {
+                    out.push(bl.finding(
+                        "L001",
+                        v.line,
+                        format!("BinlogKind::{} is not covered by `{fun}`", v.name),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// `(tag, variant)` pairs from arms shaped `Enum::Variant .. => N` in
+/// `fn fname`.
+fn tag_map(f: &SourceFile, fname: &str, enum_name: &str) -> Vec<(u64, String)> {
+    let Some((a, b)) = fn_span(f, fname) else {
+        return Vec::new();
+    };
+    let toks = &f.toks;
+    let mut out = Vec::new();
+    let mut i = a;
+    while i + 3 <= b {
+        if toks[i].is_ident(enum_name)
+            && toks[i + 1].is_punct(':')
+            && toks[i + 2].is_punct(':')
+            && toks[i + 3].kind == TokKind::Ident
+        {
+            let name = toks[i + 3].text.clone();
+            // Scan to this arm's `=>` and read the tag literal.
+            let mut j = i + 4;
+            while j < b {
+                if toks[j].is_punct('=') && toks[j + 1].is_punct('>') {
+                    if let Some(k) = f.next_code(j + 2) {
+                        if let Ok(n) = toks[k].text.parse::<u64>() {
+                            out.push((n, name));
+                        }
+                    }
+                    break;
+                }
+                j += 1;
+            }
+            i += 4;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Integer literals used as `N =>` match arms inside `fn fname`.
+fn decode_arm_tags(f: &SourceFile, fname: &str) -> Vec<u64> {
+    let Some((a, b)) = fn_span(f, fname) else {
+        return Vec::new();
+    };
+    let toks = &f.toks;
+    let mut out = Vec::new();
+    for i in a..b.saturating_sub(1) {
+        if toks[i].kind == TokKind::Num
+            && toks[i + 1].is_punct('=')
+            && toks.get(i + 2).is_some_and(|t| t.is_punct('>'))
+        {
+            if let Ok(n) = toks[i].text.parse::<u64>() {
+                out.push(n);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ws_of(files: Vec<(&str, &str)>) -> Workspace {
+        Workspace {
+            root: std::path::PathBuf::new(),
+            files: files
+                .into_iter()
+                .map(|(p, t)| SourceFile::new(p.into(), t.into()))
+                .collect(),
+        }
+    }
+
+    const RECORD_OK: &str = "pub enum RedoPayload { Insert { pk: i64 }, Delete { pk: i64 } }\n\
+        impl RedoPayload { pub fn kind_tag(&self) -> u8 { match self {\n\
+        RedoPayload::Insert { .. } => 1, RedoPayload::Delete { .. } => 3 } } }\n\
+        pub fn encode(p: &RedoPayload) { match p { RedoPayload::Insert { .. } => {}\n\
+        RedoPayload::Delete { .. } => {} } }\n\
+        pub fn decode(tag: u8) { match tag { 1 => (), 3 => (), _ => () } }\n";
+
+    #[test]
+    fn complete_coverage_is_clean() {
+        let ws = ws_of(vec![
+            ("crates/wal/src/record.rs", RECORD_OK),
+            (
+                "crates/rowstore/src/apply.rs",
+                "fn apply(p: RedoPayload) { match p { RedoPayload::Insert { .. } => (),\n\
+                 RedoPayload::Delete { .. } => () } }",
+            ),
+        ]);
+        assert!(WireTagCoverage.check(&ws).is_empty());
+    }
+
+    #[test]
+    fn missing_decode_arm_and_handler_are_found() {
+        let record = RECORD_OK.replace(
+            "match tag { 1 => (), 3 => (), _ => () }",
+            "match tag { 1 => (), _ => () }",
+        );
+        let ws = ws_of(vec![
+            ("crates/wal/src/record.rs", &record),
+            (
+                "crates/rowstore/src/apply.rs",
+                "fn apply(p: RedoPayload) { match p { RedoPayload::Insert { .. } => (), _ => () } }",
+            ),
+        ]);
+        let found = WireTagCoverage.check(&ws);
+        assert!(
+            found.iter().any(|f| f.msg.contains("no decode arm")),
+            "{found:?}"
+        );
+        assert!(
+            found.iter().any(|f| f.msg.contains("no replay handler")),
+            "{found:?}"
+        );
+    }
+}

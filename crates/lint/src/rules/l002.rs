@@ -1,0 +1,133 @@
+//! L002 — error categories must survive the wire.
+//!
+//! Bug class: `Error::from_kind` ends in `_ => Error::Execution(msg)`
+//! so unknown tags from newer peers degrade gracefully — but that same
+//! fallback means a *locally added* variant that is never given a
+//! `from_kind` arm silently loses its failure domain on every
+//! round-trip. A client then can't tell `Busy` (retry) from
+//! `Execution` (don't), which is exactly the distinction the failover
+//! path depends on.
+//!
+//! Checks, per variant of `Error` (crates/common/src/error.rs):
+//!   1. `kind()` names it (compiler already forces this if the match
+//!      is non-wildcard — the check guards against someone adding `_`),
+//!   2. `from_kind()` has an explicit arm rebuilding it,
+//!   3. the variant carries a doc comment (where its retryability
+//!      contract is documented; `is_retryable` itself is a whitelist).
+
+use super::{enum_variants, fn_span, mentions_variant, Rule};
+use crate::{Finding, Workspace};
+
+pub struct ErrorKindCoverage;
+
+impl Rule for ErrorKindCoverage {
+    fn id(&self) -> &'static str {
+        "L002"
+    }
+
+    fn summary(&self) -> &'static str {
+        "every Error variant has wire kind round-trip and documented retryability"
+    }
+
+    fn check(&self, ws: &Workspace) -> Vec<Finding> {
+        let mut out = Vec::new();
+        let Some(f) = ws.file("crates/common/src/error.rs") else {
+            return out;
+        };
+        let Some(vars) = enum_variants(f, "Error") else {
+            return out;
+        };
+        let kind = fn_span(f, "kind");
+        let from_kind = fn_span(f, "from_kind");
+        for v in &vars {
+            if let Some(span) = kind {
+                if !mentions_variant(f, span, "Error", &v.name) {
+                    out.push(f.finding(
+                        "L002",
+                        v.line,
+                        format!(
+                            "Error::{} has no kind() tag — it cannot cross the wire",
+                            v.name
+                        ),
+                    ));
+                }
+            }
+            if let Some(span) = from_kind {
+                if !mentions_variant(f, span, "Error", &v.name) {
+                    out.push(f.finding(
+                        "L002",
+                        v.line,
+                        format!(
+                            "Error::{} has no explicit from_kind() arm — it degrades to \
+                             Error::Execution on every wire round-trip, losing retryability",
+                            v.name
+                        ),
+                    ));
+                }
+            }
+            if !v.documented {
+                out.push(f.finding(
+                    "L002",
+                    v.line,
+                    format!(
+                        "Error::{} has no doc comment — state what it means and whether \
+                         callers may retry",
+                        v.name
+                    ),
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SourceFile;
+
+    fn ws_of(text: &str) -> Workspace {
+        Workspace {
+            root: std::path::PathBuf::new(),
+            files: vec![SourceFile::new(
+                "crates/common/src/error.rs".into(),
+                text.into(),
+            )],
+        }
+    }
+
+    #[test]
+    fn full_round_trip_is_clean() {
+        let ws = ws_of(
+            "pub enum Error {\n /// Client may retry.\n Busy(String),\n /// Terminal.\n \
+             Parse(String),\n}\nimpl Error {\n pub fn kind(&self) -> &str { match self {\n\
+             Error::Busy(_) => \"busy\", Error::Parse(_) => \"parse\" } }\n\
+             pub fn from_kind(k: &str, m: String) -> Error { match k {\n\
+             \"busy\" => Error::Busy(m), \"parse\" => Error::Parse(m),\n\
+             _ => Error::Parse(m) } }\n}\n",
+        );
+        assert!(ErrorKindCoverage.check(&ws).is_empty());
+    }
+
+    #[test]
+    fn missing_from_kind_arm_and_doc_are_found() {
+        let ws = ws_of(
+            "pub enum Error {\n /// Client may retry.\n Busy(String),\n Parse(String),\n}\n\
+             impl Error {\n pub fn kind(&self) -> &str { match self {\n\
+             Error::Busy(_) => \"busy\", Error::Parse(_) => \"parse\" } }\n\
+             pub fn from_kind(k: &str, m: String) -> Error { match k {\n\
+             \"busy\" => Error::Busy(m), _ => Error::Busy(m) } }\n}\n",
+        );
+        let found = ErrorKindCoverage.check(&ws);
+        assert!(
+            found
+                .iter()
+                .any(|f| f.msg.contains("no explicit from_kind")),
+            "{found:?}"
+        );
+        assert!(
+            found.iter().any(|f| f.msg.contains("no doc comment")),
+            "{found:?}"
+        );
+    }
+}

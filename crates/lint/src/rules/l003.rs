@@ -1,0 +1,98 @@
+//! L003 — no `thread::sleep` inside a loop.
+//!
+//! Bug class: sleep-in-a-loop is a spin-wait with extra steps. The
+//! epoll-reactor PR exists precisely because polling loops burned CPU
+//! and added tail latency; this rule stops the pattern from creeping
+//! back in under a new name. Waiting belongs on a timer wheel, a
+//! condvar, or the poller — not on a duty cycle.
+//!
+//! Test code, bench drivers (`crates/bench/src/bin/`, `benches/`) and
+//! `examples/` are exempt — measurement harnesses pace load with sleep
+//! by design. Deliberate bounded backoff in product code can be
+//! allowlisted with a reason.
+
+use super::{is_thread_sleep_call, loop_bodies, Rule};
+use crate::{Finding, Workspace};
+
+/// Paths where pacing loops are the point, not a regression.
+const EXEMPT_PREFIXES: &[&str] = &["crates/bench/src/bin/", "examples/"];
+const EXEMPT_COMPONENTS: &[&str] = &["benches"];
+
+pub struct SleepInLoop;
+
+impl Rule for SleepInLoop {
+    fn id(&self) -> &'static str {
+        "L003"
+    }
+
+    fn summary(&self) -> &'static str {
+        "no thread::sleep inside a loop (spin-wait guard)"
+    }
+
+    fn check(&self, ws: &Workspace) -> Vec<Finding> {
+        let mut out = Vec::new();
+        for f in &ws.files {
+            if EXEMPT_PREFIXES.iter().any(|p| f.rel_path.starts_with(p))
+                || f.rel_path
+                    .split('/')
+                    .any(|c| EXEMPT_COMPONENTS.contains(&c))
+            {
+                continue;
+            }
+            let bodies = loop_bodies(f);
+            if bodies.is_empty() {
+                continue;
+            }
+            for i in 0..f.toks.len() {
+                if !is_thread_sleep_call(f, i) {
+                    continue;
+                }
+                let line = f.toks[i].line;
+                if f.in_test(line) {
+                    continue;
+                }
+                if bodies.iter().any(|&(a, b)| a <= i && i <= b) {
+                    out.push(
+                        f.finding(
+                            "L003",
+                            line,
+                            "thread::sleep inside a loop is a spin-wait — use the timer wheel, \
+                         a condvar, or the poller timeout"
+                                .to_string(),
+                        ),
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SourceFile;
+
+    #[test]
+    fn sleep_in_loop_fires_but_not_elsewhere() {
+        let ws = Workspace {
+            root: std::path::PathBuf::new(),
+            files: vec![
+                SourceFile::new(
+                    "crates/x/src/a.rs".into(),
+                    "fn poll() { loop { std::thread::sleep(d); } }\n\
+                 fn pause() { std::thread::sleep(d); }\n\
+                 #[cfg(test)]\nmod tests { fn t() { loop { std::thread::sleep(d); } } }\n"
+                        .into(),
+                ),
+                SourceFile::new(
+                    "crates/bench/src/bin/driver.rs".into(),
+                    "fn pace() { loop { std::thread::sleep(d); } }".into(),
+                ),
+            ],
+        };
+        let found = SleepInLoop.check(&ws);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].line, 1);
+    }
+}

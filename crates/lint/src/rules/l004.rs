@@ -1,0 +1,94 @@
+//! L004 — no `unwrap()`/`expect()` on reactor-reachable paths.
+//!
+//! Bug class: a panic on a reactor or worker thread takes down every
+//! connection multiplexed onto it, and (since the server holds locks
+//! across request handling) can poison state for the rest. `crates/net`
+//! and `crates/server` are the blast radius: everything there runs
+//! under connections. Fallible paths must return `Error`, which the
+//! wire maps to a client-visible failure instead of a dead server.
+//!
+//! Test code is exempt. Provably-infallible uses (e.g. writes into a
+//! `Vec`) can be allowlisted with the proof as the reason.
+
+use super::Rule;
+use crate::{Finding, Workspace};
+
+/// Crates whose non-test code is reactor-reachable.
+const SCOPED: &[&str] = &["crates/net/", "crates/server/"];
+
+pub struct NoPanicOnReactorPaths;
+
+impl Rule for NoPanicOnReactorPaths {
+    fn id(&self) -> &'static str {
+        "L004"
+    }
+
+    fn summary(&self) -> &'static str {
+        "no unwrap()/expect() in crates/net and crates/server"
+    }
+
+    fn check(&self, ws: &Workspace) -> Vec<Finding> {
+        let mut out = Vec::new();
+        for f in &ws.files {
+            if !SCOPED.iter().any(|p| f.rel_path.starts_with(p)) {
+                continue;
+            }
+            let toks = &f.toks;
+            for i in 0..toks.len() {
+                let name = &toks[i];
+                if !(name.is_ident("unwrap") || name.is_ident("expect")) {
+                    continue;
+                }
+                // A method call: `.unwrap(` / `.expect(`.
+                let dotted = f
+                    .prev_code(i.wrapping_sub(1))
+                    .is_some_and(|j| toks[j].is_punct('.'));
+                let called = f.next_code(i + 1).is_some_and(|j| toks[j].is_punct('('));
+                if !(dotted && called) || f.in_test(name.line) {
+                    continue;
+                }
+                out.push(f.finding(
+                    "L004",
+                    name.line,
+                    format!(
+                        ".{}() can panic a reactor/worker thread and drop every connection \
+                         on it — return an Error instead",
+                        name.text
+                    ),
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SourceFile;
+
+    #[test]
+    fn scoped_to_net_and_server_non_test_code() {
+        let ws = Workspace {
+            root: std::path::PathBuf::new(),
+            files: vec![
+                SourceFile::new(
+                    "crates/net/src/a.rs".into(),
+                    "fn f() { x.unwrap(); }\n#[cfg(test)]\nmod t { fn g() { x.unwrap(); } }\n"
+                        .into(),
+                ),
+                SourceFile::new(
+                    "crates/server/src/b.rs".into(),
+                    "fn f() { x.expect(\"m\"); let unwrap = 1; }".into(),
+                ),
+                SourceFile::new(
+                    "crates/colstore/src/c.rs".into(),
+                    "fn f() { x.unwrap(); }".into(),
+                ),
+            ],
+        };
+        let found = NoPanicOnReactorPaths.check(&ws);
+        assert_eq!(found.len(), 2, "{found:?}");
+        assert!(found.iter().all(|f| !f.path.contains("colstore")));
+    }
+}

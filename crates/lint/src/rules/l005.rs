@@ -1,0 +1,99 @@
+//! L005 — every `unsafe` block carries a `// SAFETY:` comment.
+//!
+//! Bug class: the workspace's unsafe surface is tiny (the epoll shim's
+//! raw syscalls) and must stay auditable. An unsafe block whose
+//! invariants are not written down is one refactor away from being an
+//! unsafe block whose invariants no longer hold — the comment is the
+//! contract the next editor checks against.
+//!
+//! The comment may sit on the line(s) directly above the block or at
+//! the end of the opening line itself. `unsafe fn` / `unsafe impl`
+//! declarations are signatures, not blocks, and are out of scope.
+
+use super::Rule;
+use crate::{Finding, SourceFile, Workspace};
+
+pub struct SafetyComments;
+
+impl Rule for SafetyComments {
+    fn id(&self) -> &'static str {
+        "L005"
+    }
+
+    fn summary(&self) -> &'static str {
+        "every unsafe block carries a // SAFETY: comment"
+    }
+
+    fn check(&self, ws: &Workspace) -> Vec<Finding> {
+        let mut out = Vec::new();
+        for f in &ws.files {
+            let toks = &f.toks;
+            for i in 0..toks.len() {
+                if !toks[i].is_ident("unsafe") {
+                    continue;
+                }
+                // Only blocks: `unsafe {`.
+                if !f.next_code(i + 1).is_some_and(|j| toks[j].is_punct('{')) {
+                    continue;
+                }
+                let line = toks[i].line;
+                if !has_safety_comment(f, line) {
+                    out.push(
+                        f.finding(
+                            "L005",
+                            line,
+                            "unsafe block without a // SAFETY: comment — write down the \
+                         invariants that make it sound"
+                                .to_string(),
+                        ),
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Is there a `SAFETY:` comment on `line` or in the contiguous run of
+/// comment/attribute/blank lines directly above it?
+fn has_safety_comment(f: &SourceFile, line: u32) -> bool {
+    if f.line_text(line).contains("SAFETY:") {
+        return true;
+    }
+    let mut l = line;
+    while l > 1 {
+        l -= 1;
+        let text = f.line_text(l);
+        if text.contains("SAFETY:") {
+            return true;
+        }
+        // Keep scanning only through the comment block above.
+        if !(text.is_empty() || text.starts_with("//") || text.starts_with('#')) {
+            return false;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_undocumented_blocks_only() {
+        let ws = Workspace {
+            root: std::path::PathBuf::new(),
+            files: vec![SourceFile::new(
+                "crates/x/src/a.rs".into(),
+                "fn ok() {\n    // SAFETY: fd is open for our lifetime.\n    unsafe { go() }\n}\n\
+                 fn inline_ok() {\n    let x = unsafe { go() }; // SAFETY: ditto\n}\n\
+                 fn bad() {\n    let y = compute();\n    unsafe { go() }\n}\n\
+                 unsafe impl Send for T {}\n"
+                    .into(),
+            )],
+        };
+        let found = SafetyComments.check(&ws);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].line, 10);
+    }
+}

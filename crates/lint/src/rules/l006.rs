@@ -1,0 +1,161 @@
+//! L006 — no blocking calls from reactor-thread contexts.
+//!
+//! Bug class: the reactor thread multiplexes every connection; one
+//! blocking call (sleep, condvar wait, thread join, file IO, connect)
+//! stalls all of them and shows up as a cross-tenant p99 cliff that no
+//! unit test catches. The admission/overload PR documents the
+//! contract: reactor code may only block in the poller itself.
+//!
+//! Scope is a module map, not a whole crate: `reactor.rs` (minus the
+//! dedicated `acceptor_loop`/`worker_loop` thread bodies, which own
+//! their threads and may block), plus `conn.rs`, `buf.rs`, `timer.rs`.
+//! Short critical sections under `parking_lot` locks are *not* denied
+//! here — lock discipline is the dynamic sentinel's job (the
+//! `lock-order` feature); this rule is about unbounded waits.
+
+use super::Rule;
+use crate::{Finding, SourceFile, Workspace};
+
+/// Files whose code runs on the reactor thread.
+const REACTOR_MODULES: &[&str] = &[
+    "crates/net/src/reactor.rs",
+    "crates/net/src/conn.rs",
+    "crates/net/src/buf.rs",
+    "crates/net/src/timer.rs",
+];
+
+/// Functions inside those files that own a dedicated thread and are
+/// therefore allowed to block.
+const DEDICATED_THREAD_FNS: &[&str] = &["acceptor_loop", "worker_loop"];
+
+/// Method names that block unboundedly when called as `.name(...)`.
+const BLOCKING_METHODS: &[&str] = &[
+    "wait",
+    "wait_for",
+    "wait_timeout",
+    "wait_while",
+    "recv",
+    "recv_timeout",
+    "read_to_end",
+    "read_to_string",
+];
+
+pub struct NoBlockingOnReactor;
+
+impl Rule for NoBlockingOnReactor {
+    fn id(&self) -> &'static str {
+        "L006"
+    }
+
+    fn summary(&self) -> &'static str {
+        "no blocking calls (sleep/wait/join/fs/connect) in reactor-thread modules"
+    }
+
+    fn check(&self, ws: &Workspace) -> Vec<Finding> {
+        let mut out = Vec::new();
+        for f in &ws.files {
+            if !REACTOR_MODULES.iter().any(|m| f.rel_path.ends_with(m)) {
+                continue;
+            }
+            for i in 0..f.toks.len() {
+                let Some(what) = blocking_call_at(f, i) else {
+                    continue;
+                };
+                let line = f.toks[i].line;
+                if f.in_test(line) {
+                    continue;
+                }
+                if f.enclosing_fn(i)
+                    .is_some_and(|name| DEDICATED_THREAD_FNS.contains(&name))
+                {
+                    continue;
+                }
+                out.push(f.finding(
+                    "L006",
+                    line,
+                    format!(
+                        "{what} blocks the reactor thread and stalls every connection \
+                         multiplexed onto it"
+                    ),
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// If token `i` starts a blocking construct, say which.
+fn blocking_call_at(f: &SourceFile, i: usize) -> Option<String> {
+    let toks = &f.toks;
+    let t = &toks[i];
+    let prev_dot = || {
+        f.prev_code(i.wrapping_sub(1))
+            .is_some_and(|j| toks[j].is_punct('.'))
+    };
+    let prev_path = || i >= 2 && toks[i - 1].is_punct(':') && toks[i - 2].is_punct(':');
+    let called = || f.next_code(i + 1).is_some_and(|j| toks[j].is_punct('('));
+
+    if super::is_thread_sleep_call(f, i) {
+        return Some("thread::sleep".to_string());
+    }
+    if t.is_ident("join") && prev_dot() && called() {
+        // `.join()` with no argument is a thread join; `join(sep)` on
+        // slices takes one.
+        let open = f.next_code(i + 1)?;
+        if f.next_code(open + 1).is_some_and(|j| toks[j].is_punct(')')) {
+            return Some(".join() (thread join)".to_string());
+        }
+    }
+    if t.kind == crate::lexer::TokKind::Ident
+        && BLOCKING_METHODS.contains(&t.text.as_str())
+        && prev_dot()
+        && called()
+    {
+        return Some(format!(".{}(...)", t.text));
+    }
+    if t.is_ident("fs") && f.next_code(i + 1).is_some_and(|j| toks[j].is_punct(':')) {
+        return Some("std::fs file IO".to_string());
+    }
+    if t.is_ident("File") && f.next_code(i + 1).is_some_and(|j| toks[j].is_punct(':')) {
+        return Some("File IO".to_string());
+    }
+    if t.is_ident("connect") && prev_path() && called() {
+        return Some("::connect(...)".to_string());
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reactor_module_map_and_thread_fn_exemption() {
+        let ws = Workspace {
+            root: std::path::PathBuf::new(),
+            files: vec![
+                SourceFile::new(
+                    "crates/net/src/reactor.rs".into(),
+                    "fn reactor_loop() { cv.wait(g); h.join(); parts.join(\",\"); }\n\
+                     fn acceptor_loop() { std::thread::sleep(d); }\n\
+                     fn worker_loop() { rx.recv(); }\n"
+                        .into(),
+                ),
+                SourceFile::new(
+                    "crates/net/src/conn.rs".into(),
+                    "fn flush() { std::fs::write(p, b); }".into(),
+                ),
+                SourceFile::new(
+                    "crates/server/src/server.rs".into(),
+                    "fn main_loop() { cv.wait(g); }".into(),
+                ),
+            ],
+        };
+        let found = NoBlockingOnReactor.check(&ws);
+        // reactor_loop: wait + zero-arg join (the `join(",")` is not a
+        // thread join); conn.rs: fs. Dedicated thread fns are exempt,
+        // server.rs is out of scope.
+        assert_eq!(found.len(), 3, "{found:?}");
+        assert!(found.iter().all(|f| !f.path.contains("server")));
+    }
+}

@@ -1,0 +1,186 @@
+//! L007 — every gated bench metric must exist in a committed baseline.
+//!
+//! Bug class: a bench binary emits a new `--json` metric, nobody adds
+//! it to `crates/bench/baselines/`, and bench-check never gates it —
+//! the regression pipeline silently has a hole. (The reverse hole,
+//! baseline metrics the benches stopped emitting, is caught at run
+//! time by `compare`'s missing-metric check.)
+//!
+//! A metric is *gated* when `imci_bench::report::direction_of` gives it
+//! a direction (qps/per_s/speedup = higher-better; _ms/_us/_ns/
+//! latency/_vd/rss/_kib/_mib = lower-better); anything else is
+//! informational by that same contract and never needs a baseline.
+//! Only string-literal metric names are statically checkable; names
+//! built with `format!` are covered by the run-time check above.
+
+use super::Rule;
+use crate::lexer::{self, TokKind};
+use crate::{Finding, Workspace};
+
+pub struct BenchMetricsGated;
+
+impl Rule for BenchMetricsGated {
+    fn id(&self) -> &'static str {
+        "L007"
+    }
+
+    fn summary(&self) -> &'static str {
+        "every gated --json bench metric appears in a committed baseline"
+    }
+
+    fn check(&self, ws: &Workspace) -> Vec<Finding> {
+        let mut out = Vec::new();
+        let baseline_metrics = baseline_metric_names(ws);
+        for f in &ws.files {
+            if !f.rel_path.starts_with("crates/bench/") {
+                continue;
+            }
+            let toks = &f.toks;
+            for i in 0..toks.len() {
+                // `.set(` with two string-literal arguments; the second
+                // is the metric name.
+                if !toks[i].is_ident("set") {
+                    continue;
+                }
+                let dotted = f
+                    .prev_code(i.wrapping_sub(1))
+                    .is_some_and(|j| toks[j].is_punct('.'));
+                if !dotted || f.in_test(toks[i].line) {
+                    continue;
+                }
+                let Some(open) = f.next_code(i + 1).filter(|&j| toks[j].is_punct('(')) else {
+                    continue;
+                };
+                let Some(a1) = f
+                    .next_code(open + 1)
+                    .filter(|&j| toks[j].kind == TokKind::Str)
+                else {
+                    continue;
+                };
+                let Some(comma) = f.next_code(a1 + 1).filter(|&j| toks[j].is_punct(',')) else {
+                    continue;
+                };
+                let Some(a2) = f
+                    .next_code(comma + 1)
+                    .filter(|&j| toks[j].kind == TokKind::Str)
+                else {
+                    continue;
+                };
+                let metric = &toks[a2].text;
+                if !is_gated(metric) || baseline_metrics.iter().any(|m| m == metric) {
+                    continue;
+                }
+                out.push(f.finding(
+                    "L007",
+                    toks[a2].line,
+                    format!(
+                        "gated metric \"{metric}\" is not in any committed baseline under \
+                         crates/bench/baselines/ — bench-check will never gate it"
+                    ),
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Mirrors `imci_bench::report::direction_of`: true when the metric
+/// has a better-direction and is therefore regression-gated.
+fn is_gated(metric: &str) -> bool {
+    if metric.contains("per_s") || metric.contains("qps") || metric.contains("speedup") {
+        return true;
+    }
+    metric.ends_with("_ms")
+        || metric.ends_with("_us")
+        || metric.ends_with("_ns")
+        || metric.contains("latency")
+        || metric.contains("_vd")
+        || metric.contains("rss")
+        || metric.ends_with("_kib")
+        || metric.ends_with("_mib")
+}
+
+/// Metric names from every `crates/bench/baselines/*.json`: string
+/// keys whose value is a number (scenario keys map to objects and are
+/// naturally excluded).
+fn baseline_metric_names(ws: &Workspace) -> Vec<String> {
+    let dir = ws.root.join("crates/bench/baselines");
+    let mut out = Vec::new();
+    let Ok(entries) = std::fs::read_dir(&dir) else {
+        return out;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.extension().is_none_or(|e| e != "json") {
+            continue;
+        }
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        let toks = lexer::lex(&text);
+        for i in 0..toks.len() {
+            if toks[i].kind == TokKind::Str
+                && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+                && toks
+                    .get(i + 2)
+                    .is_some_and(|t| t.kind == TokKind::Num || t.is_punct('-'))
+            {
+                out.push(toks[i].text.clone());
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SourceFile;
+
+    #[test]
+    fn direction_mirror_matches_report() {
+        for gated in [
+            "recover_ms",
+            "p99_us",
+            "rss_mib",
+            "pipelined_qps",
+            "speedup",
+            "post_failover_vd_us",
+        ] {
+            assert!(is_gated(gated), "{gated}");
+        }
+        for info in [
+            "rows_selected",
+            "held_conns",
+            "churned_total",
+            "recover_replayed_entries",
+        ] {
+            assert!(!is_gated(info), "{info}");
+        }
+    }
+
+    #[test]
+    fn literal_gated_metric_missing_from_baselines_fires() {
+        let dir = std::env::temp_dir().join("imci_lint_l007_test");
+        let baselines = dir.join("crates/bench/baselines");
+        std::fs::create_dir_all(&baselines).unwrap();
+        std::fs::write(
+            baselines.join("BENCH_x.json"),
+            "{\n  \"scen\": {\n    \"known_ms\": 1.5\n  }\n}\n",
+        )
+        .unwrap();
+        let ws = Workspace {
+            root: dir.clone(),
+            files: vec![SourceFile::new(
+                "crates/bench/src/bin/x.rs".into(),
+                "fn main() { rep.set(\"scen\", \"known_ms\", a); \
+                 rep.set(\"scen\", \"new_ms\", b); rep.set(\"scen\", \"rows_seen\", c); }"
+                    .into(),
+            )],
+        };
+        let found = BenchMetricsGated.check(&ws);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].msg.contains("new_ms"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,57 @@
+//! Recursive `.rs` file discovery, no external deps.
+
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into.
+const SKIP_DIRS: &[&str] = &["target", ".git", ".github", "node_modules"];
+
+/// The linter's own fixture tree contains *seeded* violations; skip it
+/// when linting a workspace that embeds the linter.
+const SKIP_SUFFIXES: &[&str] = &["lint/fixtures"];
+
+/// All `.rs` files under `root`, depth-first, unsorted.
+pub fn rust_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name().to_string_lossy().into_owned();
+            let ty = entry.file_type()?;
+            if ty.is_dir() {
+                if SKIP_DIRS.contains(&name.as_str()) || name.starts_with('.') {
+                    continue;
+                }
+                let unixish = path.to_string_lossy().replace('\\', "/");
+                if SKIP_SUFFIXES.iter().any(|s| unixish.ends_with(s)) {
+                    continue;
+                }
+                stack.push(path);
+            } else if ty.is_file() && name.ends_with(".rs") {
+                out.push(path);
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_own_sources_and_skips_fixtures() {
+        let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let files = rust_files(manifest).unwrap();
+        let rels: Vec<String> = files
+            .iter()
+            .map(|p| p.to_string_lossy().replace('\\', "/"))
+            .collect();
+        assert!(rels.iter().any(|p| p.ends_with("src/lexer.rs")));
+        assert!(
+            !rels.iter().any(|p| p.contains("fixtures/")),
+            "seeded fixture violations must not leak into workspace runs: {rels:?}"
+        );
+    }
+}
