@@ -8,9 +8,19 @@
 //! locks are recovered with `into_inner`, matching parking_lot's
 //! "no poisoning" semantics.
 
+#[cfg(feature = "lock-order")]
+pub mod order;
+
 use std::fmt;
 use std::ops::{Deref, DerefMut};
 use std::time::Duration;
+
+/// Sentinel key: the lock's address. Instance-keyed so distinct locks
+/// acquired through the same generic code never alias.
+#[cfg(feature = "lock-order")]
+fn key_of<T: ?Sized>(ptr: *const T) -> usize {
+    ptr as *const u8 as usize
+}
 
 // ---- Mutex ----
 
@@ -21,6 +31,8 @@ pub struct Mutex<T: ?Sized> {
 pub struct MutexGuard<'a, T: ?Sized> {
     // Option so Condvar::wait_for can temporarily take the std guard.
     inner: Option<std::sync::MutexGuard<'a, T>>,
+    #[cfg(feature = "lock-order")]
+    key: usize,
 }
 
 impl<T> Mutex<T> {
@@ -31,6 +43,22 @@ impl<T> Mutex<T> {
     }
 
     pub fn into_inner(self) -> T {
+        // With the sentinel on, Mutex implements Drop, so the field
+        // cannot be moved out directly.
+        #[cfg(feature = "lock-order")]
+        return {
+            order::forget_lock(key_of(&self as *const Self));
+            // SAFETY: `self` is forgotten immediately after the field
+            // is read out, so `inner` is dropped exactly once (by the
+            // caller) and the Drop impl never runs.
+            let inner = unsafe { std::ptr::read(&self.inner) };
+            std::mem::forget(self);
+            match inner.into_inner() {
+                Ok(v) => v,
+                Err(p) => p.into_inner(),
+            }
+        };
+        #[cfg(not(feature = "lock-order"))]
         match self.inner.into_inner() {
             Ok(v) => v,
             Err(p) => p.into_inner(),
@@ -38,23 +66,56 @@ impl<T> Mutex<T> {
     }
 }
 
+/// Dropping a lock retires its node in the order graph so a future
+/// lock allocated at the same address starts clean (no ABA).
+#[cfg(feature = "lock-order")]
+impl<T: ?Sized> Drop for Mutex<T> {
+    fn drop(&mut self) {
+        order::forget_lock(key_of(self as *const Self));
+    }
+}
+
 impl<T: ?Sized> Mutex<T> {
+    #[cfg_attr(feature = "lock-order", track_caller)]
     pub fn lock(&self) -> MutexGuard<'_, T> {
+        #[cfg(feature = "lock-order")]
+        let (key, site) = {
+            let key = key_of(self as *const Self);
+            let site = std::panic::Location::caller();
+            order::before_acquire(key, order::Mode::Exclusive, site);
+            (key, site)
+        };
         let g = match self.inner.lock() {
             Ok(g) => g,
             Err(p) => p.into_inner(),
         };
-        MutexGuard { inner: Some(g) }
+        #[cfg(feature = "lock-order")]
+        order::after_acquire(key, order::Mode::Exclusive, site);
+        MutexGuard {
+            inner: Some(g),
+            #[cfg(feature = "lock-order")]
+            key,
+        }
     }
 
+    #[cfg_attr(feature = "lock-order", track_caller)]
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        match self.inner.try_lock() {
-            Ok(g) => Some(MutexGuard { inner: Some(g) }),
-            Err(std::sync::TryLockError::Poisoned(p)) => Some(MutexGuard {
-                inner: Some(p.into_inner()),
-            }),
-            Err(std::sync::TryLockError::WouldBlock) => None,
-        }
+        let g = match self.inner.try_lock() {
+            Ok(g) => g,
+            Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => return None,
+        };
+        #[cfg(feature = "lock-order")]
+        let key = {
+            let key = key_of(self as *const Self);
+            order::after_try_acquire(key, order::Mode::Exclusive, std::panic::Location::caller());
+            key
+        };
+        Some(MutexGuard {
+            inner: Some(g),
+            #[cfg(feature = "lock-order")]
+            key,
+        })
     }
 
     pub fn get_mut(&mut self) -> &mut T {
@@ -90,6 +151,13 @@ impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
     }
 }
 
+#[cfg(feature = "lock-order")]
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        order::on_release(self.key);
+    }
+}
+
 // ---- RwLock ----
 
 pub struct RwLock<T: ?Sized> {
@@ -98,10 +166,14 @@ pub struct RwLock<T: ?Sized> {
 
 pub struct RwLockReadGuard<'a, T: ?Sized> {
     inner: std::sync::RwLockReadGuard<'a, T>,
+    #[cfg(feature = "lock-order")]
+    key: usize,
 }
 
 pub struct RwLockWriteGuard<'a, T: ?Sized> {
     inner: std::sync::RwLockWriteGuard<'a, T>,
+    #[cfg(feature = "lock-order")]
+    key: usize,
 }
 
 impl<T> RwLock<T> {
@@ -112,6 +184,20 @@ impl<T> RwLock<T> {
     }
 
     pub fn into_inner(self) -> T {
+        #[cfg(feature = "lock-order")]
+        return {
+            order::forget_lock(key_of(&self as *const Self));
+            // SAFETY: `self` is forgotten immediately after the field
+            // is read out, so `inner` is dropped exactly once (by the
+            // caller) and the Drop impl never runs.
+            let inner = unsafe { std::ptr::read(&self.inner) };
+            std::mem::forget(self);
+            match inner.into_inner() {
+                Ok(v) => v,
+                Err(p) => p.into_inner(),
+            }
+        };
+        #[cfg(not(feature = "lock-order"))]
         match self.inner.into_inner() {
             Ok(v) => v,
             Err(p) => p.into_inner(),
@@ -119,41 +205,96 @@ impl<T> RwLock<T> {
     }
 }
 
+#[cfg(feature = "lock-order")]
+impl<T: ?Sized> Drop for RwLock<T> {
+    fn drop(&mut self) {
+        order::forget_lock(key_of(self as *const Self));
+    }
+}
+
 impl<T: ?Sized> RwLock<T> {
+    #[cfg_attr(feature = "lock-order", track_caller)]
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        #[cfg(feature = "lock-order")]
+        let (key, site) = {
+            let key = key_of(self as *const Self);
+            let site = std::panic::Location::caller();
+            order::before_acquire(key, order::Mode::Shared, site);
+            (key, site)
+        };
         let g = match self.inner.read() {
             Ok(g) => g,
             Err(p) => p.into_inner(),
         };
-        RwLockReadGuard { inner: g }
+        #[cfg(feature = "lock-order")]
+        order::after_acquire(key, order::Mode::Shared, site);
+        RwLockReadGuard {
+            inner: g,
+            #[cfg(feature = "lock-order")]
+            key,
+        }
     }
 
+    #[cfg_attr(feature = "lock-order", track_caller)]
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        #[cfg(feature = "lock-order")]
+        let (key, site) = {
+            let key = key_of(self as *const Self);
+            let site = std::panic::Location::caller();
+            order::before_acquire(key, order::Mode::Exclusive, site);
+            (key, site)
+        };
         let g = match self.inner.write() {
             Ok(g) => g,
             Err(p) => p.into_inner(),
         };
-        RwLockWriteGuard { inner: g }
+        #[cfg(feature = "lock-order")]
+        order::after_acquire(key, order::Mode::Exclusive, site);
+        RwLockWriteGuard {
+            inner: g,
+            #[cfg(feature = "lock-order")]
+            key,
+        }
     }
 
+    #[cfg_attr(feature = "lock-order", track_caller)]
     pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
-        match self.inner.try_read() {
-            Ok(g) => Some(RwLockReadGuard { inner: g }),
-            Err(std::sync::TryLockError::Poisoned(p)) => Some(RwLockReadGuard {
-                inner: p.into_inner(),
-            }),
-            Err(std::sync::TryLockError::WouldBlock) => None,
-        }
+        let g = match self.inner.try_read() {
+            Ok(g) => g,
+            Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => return None,
+        };
+        #[cfg(feature = "lock-order")]
+        let key = {
+            let key = key_of(self as *const Self);
+            order::after_try_acquire(key, order::Mode::Shared, std::panic::Location::caller());
+            key
+        };
+        Some(RwLockReadGuard {
+            inner: g,
+            #[cfg(feature = "lock-order")]
+            key,
+        })
     }
 
+    #[cfg_attr(feature = "lock-order", track_caller)]
     pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
-        match self.inner.try_write() {
-            Ok(g) => Some(RwLockWriteGuard { inner: g }),
-            Err(std::sync::TryLockError::Poisoned(p)) => Some(RwLockWriteGuard {
-                inner: p.into_inner(),
-            }),
-            Err(std::sync::TryLockError::WouldBlock) => None,
-        }
+        let g = match self.inner.try_write() {
+            Ok(g) => g,
+            Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => return None,
+        };
+        #[cfg(feature = "lock-order")]
+        let key = {
+            let key = key_of(self as *const Self);
+            order::after_try_acquire(key, order::Mode::Exclusive, std::panic::Location::caller());
+            key
+        };
+        Some(RwLockWriteGuard {
+            inner: g,
+            #[cfg(feature = "lock-order")]
+            key,
+        })
     }
 
     pub fn get_mut(&mut self) -> &mut T {
@@ -196,6 +337,20 @@ impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
     }
 }
 
+#[cfg(feature = "lock-order")]
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        order::on_release(self.key);
+    }
+}
+
+#[cfg(feature = "lock-order")]
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        order::on_release(self.key);
+    }
+}
+
 // ---- Condvar ----
 
 #[derive(Default)]
@@ -235,12 +390,19 @@ impl Condvar {
     }
 
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        // The wait releases the mutex: take it off this thread's held
+        // stack so the sentinel doesn't count the sleep as a hold, and
+        // re-attribute it to its original site on wakeup.
+        #[cfg(feature = "lock-order")]
+        let site = order::suspend(guard.key);
         let g = guard.inner.take().expect("guard present");
         let g = match self.inner.wait(g) {
             Ok(g) => g,
             Err(p) => p.into_inner(),
         };
         guard.inner = Some(g);
+        #[cfg(feature = "lock-order")]
+        order::resume(guard.key, site);
     }
 
     pub fn wait_for<T>(
@@ -248,6 +410,8 @@ impl Condvar {
         guard: &mut MutexGuard<'_, T>,
         timeout: Duration,
     ) -> WaitTimeoutResult {
+        #[cfg(feature = "lock-order")]
+        let site = order::suspend(guard.key);
         let g = guard.inner.take().expect("guard present");
         let (g, r) = match self.inner.wait_timeout(g, timeout) {
             Ok((g, r)) => (g, r),
@@ -257,6 +421,8 @@ impl Condvar {
             }
         };
         guard.inner = Some(g);
+        #[cfg(feature = "lock-order")]
+        order::resume(guard.key, site);
         WaitTimeoutResult {
             timed_out: r.timed_out(),
         }

@@ -1,0 +1,252 @@
+//! The lock-order sentinel (`--features lock-order`).
+//!
+//! Every blocking acquisition through the shim is checked against a
+//! process-wide acquisition-order graph before it can block:
+//!
+//! - each thread keeps a stack of locks it currently holds;
+//! - acquiring B while holding A records the edge A→B, with the two
+//!   `#[track_caller]` acquisition sites as the witness;
+//! - if the graph already proves a path B→…→A, this acquisition can
+//!   deadlock against some observed history — panic *now*, naming the
+//!   current site, the held site, and the reverse-order witness,
+//!   instead of deadlocking some run later;
+//! - re-acquiring a lock this thread already holds panics immediately
+//!   (std `Mutex`/`RwLock::write` self-deadlock); a re-entrant
+//!   `RwLock::read` is a warning (it deadlocks only when a writer is
+//!   queued in between);
+//! - releasing a lock held longer than [`LONG_HOLD`] while another
+//!   thread is queued on it prints a diagnostic with the holder's site.
+//!
+//! Locks are keyed by instance address, not acquisition site, so two
+//! engines locked through the same generic code never alias. Address
+//! reuse is handled by [`forget_lock`]: dropping a `Mutex`/`RwLock`
+//! removes its node from the graph, so a new lock allocated at the
+//! same address starts with a clean history. (Without this, the very
+//! first full-suite run produced a false inversion: a page `RwLock`
+//! inherited the edges of a freed PolarFS data mutex at the same
+//! address.) Leaked locks keep their edges — but leaked memory is
+//! never reallocated, so they cannot alias either.
+//!
+//! Everything below uses `std::sync` directly (never the shim's own
+//! types) so instrumentation cannot recurse into itself.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::panic::Location;
+use std::sync::{Mutex as StdMutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Holding a contended lock longer than this is reported on release.
+pub const LONG_HOLD: Duration = Duration::from_millis(100);
+
+/// Known-benign inversions as (held-site, acquire-site) substring
+/// pairs, e.g. `("conn.rs:120", "server.rs:300")`. Currently empty:
+/// the whole test suite runs inversion-free.
+const ALLOWED_INVERSIONS: &[(&str, &str)] = &[];
+
+/// How the lock is being taken; only exclusive-vs-shared matters for
+/// double-acquire semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    Exclusive,
+    Shared,
+}
+
+struct HeldLock {
+    key: usize,
+    site: &'static Location<'static>,
+    mode: Mode,
+    since: Instant,
+}
+
+thread_local! {
+    static HELD: RefCell<Vec<HeldLock>> = const { RefCell::new(Vec::new()) };
+}
+
+/// First-observed witness for an order edge A→B.
+struct Witness {
+    held_site: &'static Location<'static>,
+    acq_site: &'static Location<'static>,
+}
+
+#[derive(Default)]
+struct Graph {
+    /// key → (successor key → first witness of that ordering).
+    edges: HashMap<usize, HashMap<usize, Witness>>,
+    /// key → threads currently blocked acquiring it.
+    waiters: HashMap<usize, u32>,
+}
+
+fn graph() -> &'static StdMutex<Graph> {
+    static GRAPH: OnceLock<StdMutex<Graph>> = OnceLock::new();
+    GRAPH.get_or_init(|| StdMutex::new(Graph::default()))
+}
+
+fn lock_graph() -> std::sync::MutexGuard<'static, Graph> {
+    match graph().lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    }
+}
+
+/// Is there a path `from → … → to` in the recorded order?
+fn path_exists(g: &Graph, from: usize, to: usize) -> bool {
+    let mut stack = vec![from];
+    let mut seen = vec![from];
+    while let Some(n) = stack.pop() {
+        if n == to {
+            return true;
+        }
+        if let Some(succs) = g.edges.get(&n) {
+            for &s in succs.keys() {
+                if !seen.contains(&s) {
+                    seen.push(s);
+                    stack.push(s);
+                }
+            }
+        }
+    }
+    false
+}
+
+fn allowed(held_site: &Location<'_>, acq_site: &Location<'_>) -> bool {
+    let h = format!("{}:{}", held_site.file(), held_site.line());
+    let a = format!("{}:{}", acq_site.file(), acq_site.line());
+    ALLOWED_INVERSIONS
+        .iter()
+        .any(|(hp, ap)| h.contains(hp) && a.contains(ap))
+}
+
+/// Called before a *blocking* acquisition of `key`. Panics on
+/// same-thread double acquire and on order inversion; registers the
+/// caller as a waiter otherwise.
+pub fn before_acquire(key: usize, mode: Mode, site: &'static Location<'static>) {
+    HELD.with(|held| {
+        let held = held.borrow();
+        if let Some(prior) = held.iter().find(|h| h.key == key) {
+            if mode == Mode::Exclusive || prior.mode == Mode::Exclusive {
+                panic!(
+                    "lock-order sentinel: double acquire of lock {key:#x} — \
+                     already held ({:?}) since {}, re-acquired ({mode:?}) at {site}; \
+                     this self-deadlocks under std::sync",
+                    prior.mode, prior.site
+                );
+            }
+            eprintln!(
+                "lock-order sentinel: WARNING re-entrant read of lock {key:#x} — \
+                 first at {}, again at {site}; deadlocks if a writer queues in between",
+                prior.site
+            );
+        }
+
+        let mut g = lock_graph();
+        for h in held.iter().filter(|h| h.key != key) {
+            // Record h.key → key, then make sure the reverse order was
+            // never observed.
+            if path_exists(&g, key, h.key) && !allowed(h.site, site) {
+                let witness = g.edges.get(&key).and_then(|s| s.get(&h.key));
+                let reverse = match witness {
+                    Some(w) => format!(
+                        "reverse order witnessed directly: held at {} then acquired at {}",
+                        w.held_site, w.acq_site
+                    ),
+                    None => "reverse order witnessed through intermediate locks".to_string(),
+                };
+                panic!(
+                    "lock-order sentinel: inversion — acquiring lock {key:#x} at {site} \
+                     while holding lock {:#x} acquired at {}; {reverse}",
+                    h.key, h.site
+                );
+            }
+            g.edges
+                .entry(h.key)
+                .or_default()
+                .entry(key)
+                .or_insert(Witness {
+                    held_site: h.site,
+                    acq_site: site,
+                });
+        }
+        *g.waiters.entry(key).or_insert(0) += 1;
+    });
+}
+
+/// Called once the acquisition succeeded: move from waiter to holder.
+pub fn after_acquire(key: usize, mode: Mode, site: &'static Location<'static>) {
+    {
+        let mut g = lock_graph();
+        if let Some(w) = g.waiters.get_mut(&key) {
+            *w = w.saturating_sub(1);
+        }
+    }
+    push_held(key, mode, site);
+}
+
+/// Called for successful `try_*` acquisitions. They never block, so
+/// they cannot deadlock and are not order-checked — but they do hold
+/// the lock, so releases and double-acquire checks must see them.
+pub fn after_try_acquire(key: usize, mode: Mode, site: &'static Location<'static>) {
+    push_held(key, mode, site);
+}
+
+fn push_held(key: usize, mode: Mode, site: &'static Location<'static>) {
+    HELD.with(|held| {
+        held.borrow_mut().push(HeldLock {
+            key,
+            site,
+            mode,
+            since: Instant::now(),
+        });
+    });
+}
+
+/// Called from guard drops. Reports contended long holds.
+pub fn on_release(key: usize) {
+    let popped = HELD.with(|held| {
+        let mut held = held.borrow_mut();
+        held.iter()
+            .rposition(|h| h.key == key)
+            .map(|i| held.remove(i))
+    });
+    let Some(h) = popped else { return };
+    let dur = h.since.elapsed();
+    if dur >= LONG_HOLD {
+        let queued = lock_graph().waiters.get(&key).copied().unwrap_or(0);
+        if queued > 0 {
+            eprintln!(
+                "lock-order sentinel: WARNING lock {key:#x} held {}ms (acquired at {}) \
+                 with {queued} waiter(s) queued — shrink the critical section",
+                dur.as_millis(),
+                h.site
+            );
+        }
+    }
+}
+
+/// The lock instance is being destroyed: drop its node so a future
+/// allocation at the same address does not inherit its history.
+pub fn forget_lock(key: usize) {
+    let mut g = lock_graph();
+    g.edges.remove(&key);
+    for succs in g.edges.values_mut() {
+        succs.remove(&key);
+    }
+    g.waiters.remove(&key);
+}
+
+/// Condvar wait releases the mutex: take its entry off the held stack,
+/// returning the original acquisition site for re-attribution.
+pub fn suspend(key: usize) -> &'static Location<'static> {
+    HELD.with(|held| {
+        let mut held = held.borrow_mut();
+        match held.iter().rposition(|h| h.key == key) {
+            Some(i) => held.remove(i).site,
+            None => Location::caller(),
+        }
+    })
+}
+
+/// The wait returned and the mutex is re-held; hold timing restarts.
+pub fn resume(key: usize, site: &'static Location<'static>) {
+    push_held(key, Mode::Exclusive, site);
+}
