@@ -486,6 +486,32 @@ mod tests {
     }
 
     #[test]
+    fn half_close_after_burst_still_answers_every_request() {
+        // Write-then-shutdown(Write) clients deliver their requests and
+        // the FIN in the same epoll pass (EPOLLIN|EPOLLRDHUP in one
+        // event). The reactor once pre-set eof from the hangup flag,
+        // which skipped the read loop and closed without answering the
+        // buffered requests.
+        let mut srv = echo_server(0, |_| {});
+        let mut conn = TcpStream::connect(srv.local_addr()).unwrap();
+        let mut req = String::new();
+        for i in 0..20 {
+            req.push_str(&format!("fin-{i}\n"));
+        }
+        conn.write_all(req.as_bytes()).unwrap();
+        conn.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut reader = BufReader::new(conn);
+        for i in 0..20 {
+            assert_eq!(read_line(&mut reader), format!("echo: fin-{i}\n"));
+        }
+        let mut rest = String::new();
+        reader.read_to_string(&mut rest).unwrap();
+        assert_eq!(rest, "", "server closes cleanly after the final reply");
+        srv.shutdown();
+        assert_eq!(srv.stats().active_sessions.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
     fn saturated_statement_queue_sheds_with_ordered_busy_replies() {
         let mut srv = echo_server(300, |c| {
             c.workers = 1;

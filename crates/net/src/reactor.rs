@@ -210,16 +210,16 @@ pub(crate) fn reactor_loop<P: Proto>(
             if conn.is_closed() {
                 continue;
             }
-            if ev.hangup {
-                // EPOLLHUP/RDHUP: the peer is gone (or half-closed);
-                // any remaining bytes still come out of the read below.
-                conn.eof.store(true, Ordering::SeqCst);
-            }
             if ev.writable {
                 conn.try_flush();
             }
             if ev.readable || ev.hangup {
-                handle_read(&shared, &conn, &mut scratch);
+                // EPOLLHUP/RDHUP often arrives in the same pass as the
+                // peer's final bytes (write-then-close clients). eof is
+                // set from read results inside handle_read, never
+                // pre-set here, so those bytes are still drained and
+                // answered.
+                handle_read(&shared, &conn, &mut scratch, ev.hangup);
             }
             refresh(&shared, &mut poller, &mut conns, &conn);
         }
@@ -302,8 +302,15 @@ pub(crate) fn reactor_loop<P: Proto>(
 }
 
 /// Read, decode, and enqueue as much as the socket and backpressure
-/// allow.
-fn handle_read<P: Proto>(shared: &Arc<Shared<P>>, conn: &Arc<Conn<P>>, scratch: &mut [u8]) {
+/// allow. `hangup` means the poller reported HUP/RDHUP for this event:
+/// the peer sends nothing further, but bytes already buffered in the
+/// kernel must still be drained before the connection may close.
+fn handle_read<P: Proto>(
+    shared: &Arc<Shared<P>>,
+    conn: &Arc<Conn<P>>,
+    scratch: &mut [u8],
+    hangup: bool,
+) {
     {
         let mut ps = conn.parse.lock();
         let mut read_total = 0usize;
@@ -326,12 +333,26 @@ fn handle_read<P: Proto>(shared: &Arc<Shared<P>>, conn: &Arc<Conn<P>>, scratch: 
                         break;
                     }
                 }
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    // Post-hangup the socket is fully drained once it
+                    // would block; no later readable event delivers the
+                    // final 0, so this is the EOF.
+                    if hangup {
+                        conn.eof.store(true, Ordering::SeqCst);
+                    }
+                    break;
+                }
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
                 Err(_) => {
                     conn.eof.store(true, Ordering::SeqCst);
                 }
             }
+        }
+        if hangup && ps.poisoned {
+            // Decoding already stopped (goodbye/poison queued); with
+            // the peer gone there is nothing left to read, so record
+            // the EOF the skipped loop would have seen.
+            conn.eof.store(true, Ordering::SeqCst);
         }
     }
     if conn.eof.load(Ordering::SeqCst) {
@@ -446,15 +467,23 @@ fn refresh<P: Proto>(
         && !conn.paused.load(Ordering::SeqCst)
         && !conn.parse.lock().poisoned;
     let desired = (readable as u8) | ((want_write as u8) << 1);
-    if conn.interest_cache.swap(desired, Ordering::SeqCst) != desired {
-        let _ = poller.modify(
-            conn.stream.as_raw_fd(),
-            conn.token,
-            Interest {
-                readable,
-                writable: want_write,
-            },
-        );
+    // Only the reactor thread touches the cache, and only after the
+    // kernel accepted the change — a failed epoll_ctl must leave the
+    // cache on the old value so the next refresh retries instead of
+    // silently desyncing from the kernel.
+    if conn.interest_cache.load(Ordering::SeqCst) != desired
+        && poller
+            .modify(
+                conn.stream.as_raw_fd(),
+                conn.token,
+                Interest {
+                    readable,
+                    writable: want_write,
+                },
+            )
+            .is_ok()
+    {
+        conn.interest_cache.store(desired, Ordering::SeqCst);
     }
     if readable {
         // Backpressure may have lifted with bytes already buffered:

@@ -211,6 +211,7 @@ mod sys {
     const POLLOUT: i16 = 0x004;
     const POLLERR: i16 = 0x008;
     const POLLHUP: i16 = 0x010;
+    const POLLNVAL: i16 = 0x020;
 
     #[repr(C)]
     #[derive(Clone, Copy)]
@@ -294,7 +295,11 @@ mod sys {
                         token: *token,
                         readable: pfd.revents & (POLLIN | POLLHUP) != 0,
                         writable: pfd.revents & POLLOUT != 0,
-                        hangup: pfd.revents & (POLLERR | POLLHUP) != 0,
+                        // POLLNVAL (stale/closed fd) maps to hangup so
+                        // the owner tears the registration down —
+                        // otherwise the dead slot re-reports instantly
+                        // forever and the wait loop spins at 100% CPU.
+                        hangup: pfd.revents & (POLLERR | POLLHUP | POLLNVAL) != 0,
                     });
                 }
             }

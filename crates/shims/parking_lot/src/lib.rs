@@ -15,16 +15,36 @@ use std::fmt;
 use std::ops::{Deref, DerefMut};
 use std::time::Duration;
 
-/// Sentinel key: the lock's address. Instance-keyed so distinct locks
-/// acquired through the same generic code never alias.
+/// Sentinel key: a per-instance id handed out on first acquisition
+/// (`new` is `const fn`, so it cannot allocate one). Instance-keyed so
+/// distinct locks acquired through the same generic code never alias;
+/// id-keyed (not address-keyed) so moving a lock — including the move
+/// into `into_inner` — keeps its identity, and a new lock allocated at
+/// a freed lock's address never inherits its order-graph history.
 #[cfg(feature = "lock-order")]
-fn key_of<T: ?Sized>(ptr: *const T) -> usize {
-    ptr as *const u8 as usize
+fn key_of(slot: &std::sync::atomic::AtomicUsize) -> usize {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    static NEXT_ID: AtomicUsize = AtomicUsize::new(1);
+    match slot.load(Ordering::Relaxed) {
+        0 => {
+            let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+            match slot.compare_exchange(0, id, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => id,
+                // Another thread assigned first; the unused id leaks,
+                // which is harmless (ids are never compared for gaps).
+                Err(assigned) => assigned,
+            }
+        }
+        id => id,
+    }
 }
 
 // ---- Mutex ----
 
 pub struct Mutex<T: ?Sized> {
+    #[cfg(feature = "lock-order")]
+    id: std::sync::atomic::AtomicUsize,
+    // Must stay last: T may be unsized.
     inner: std::sync::Mutex<T>,
 }
 
@@ -38,6 +58,8 @@ pub struct MutexGuard<'a, T: ?Sized> {
 impl<T> Mutex<T> {
     pub const fn new(value: T) -> Mutex<T> {
         Mutex {
+            #[cfg(feature = "lock-order")]
+            id: std::sync::atomic::AtomicUsize::new(0),
             inner: std::sync::Mutex::new(value),
         }
     }
@@ -47,7 +69,10 @@ impl<T> Mutex<T> {
         // cannot be moved out directly.
         #[cfg(feature = "lock-order")]
         return {
-            order::forget_lock(key_of(&self as *const Self));
+            let id = self.id.load(std::sync::atomic::Ordering::Relaxed);
+            if id != 0 {
+                order::forget_lock(id);
+            }
             // SAFETY: `self` is forgotten immediately after the field
             // is read out, so `inner` is dropped exactly once (by the
             // caller) and the Drop impl never runs.
@@ -66,12 +91,15 @@ impl<T> Mutex<T> {
     }
 }
 
-/// Dropping a lock retires its node in the order graph so a future
-/// lock allocated at the same address starts clean (no ABA).
+/// Dropping a lock retires its node in the order graph so dead locks
+/// do not accumulate edges (ids are never reused, so no ABA).
 #[cfg(feature = "lock-order")]
 impl<T: ?Sized> Drop for Mutex<T> {
     fn drop(&mut self) {
-        order::forget_lock(key_of(self as *const Self));
+        let id = *self.id.get_mut();
+        if id != 0 {
+            order::forget_lock(id);
+        }
     }
 }
 
@@ -80,7 +108,7 @@ impl<T: ?Sized> Mutex<T> {
     pub fn lock(&self) -> MutexGuard<'_, T> {
         #[cfg(feature = "lock-order")]
         let (key, site) = {
-            let key = key_of(self as *const Self);
+            let key = key_of(&self.id);
             let site = std::panic::Location::caller();
             order::before_acquire(key, order::Mode::Exclusive, site);
             (key, site)
@@ -107,7 +135,7 @@ impl<T: ?Sized> Mutex<T> {
         };
         #[cfg(feature = "lock-order")]
         let key = {
-            let key = key_of(self as *const Self);
+            let key = key_of(&self.id);
             order::after_try_acquire(key, order::Mode::Exclusive, std::panic::Location::caller());
             key
         };
@@ -161,6 +189,9 @@ impl<T: ?Sized> Drop for MutexGuard<'_, T> {
 // ---- RwLock ----
 
 pub struct RwLock<T: ?Sized> {
+    #[cfg(feature = "lock-order")]
+    id: std::sync::atomic::AtomicUsize,
+    // Must stay last: T may be unsized.
     inner: std::sync::RwLock<T>,
 }
 
@@ -179,6 +210,8 @@ pub struct RwLockWriteGuard<'a, T: ?Sized> {
 impl<T> RwLock<T> {
     pub const fn new(value: T) -> RwLock<T> {
         RwLock {
+            #[cfg(feature = "lock-order")]
+            id: std::sync::atomic::AtomicUsize::new(0),
             inner: std::sync::RwLock::new(value),
         }
     }
@@ -186,7 +219,10 @@ impl<T> RwLock<T> {
     pub fn into_inner(self) -> T {
         #[cfg(feature = "lock-order")]
         return {
-            order::forget_lock(key_of(&self as *const Self));
+            let id = self.id.load(std::sync::atomic::Ordering::Relaxed);
+            if id != 0 {
+                order::forget_lock(id);
+            }
             // SAFETY: `self` is forgotten immediately after the field
             // is read out, so `inner` is dropped exactly once (by the
             // caller) and the Drop impl never runs.
@@ -208,7 +244,10 @@ impl<T> RwLock<T> {
 #[cfg(feature = "lock-order")]
 impl<T: ?Sized> Drop for RwLock<T> {
     fn drop(&mut self) {
-        order::forget_lock(key_of(self as *const Self));
+        let id = *self.id.get_mut();
+        if id != 0 {
+            order::forget_lock(id);
+        }
     }
 }
 
@@ -217,7 +256,7 @@ impl<T: ?Sized> RwLock<T> {
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
         #[cfg(feature = "lock-order")]
         let (key, site) = {
-            let key = key_of(self as *const Self);
+            let key = key_of(&self.id);
             let site = std::panic::Location::caller();
             order::before_acquire(key, order::Mode::Shared, site);
             (key, site)
@@ -239,7 +278,7 @@ impl<T: ?Sized> RwLock<T> {
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
         #[cfg(feature = "lock-order")]
         let (key, site) = {
-            let key = key_of(self as *const Self);
+            let key = key_of(&self.id);
             let site = std::panic::Location::caller();
             order::before_acquire(key, order::Mode::Exclusive, site);
             (key, site)
@@ -266,7 +305,7 @@ impl<T: ?Sized> RwLock<T> {
         };
         #[cfg(feature = "lock-order")]
         let key = {
-            let key = key_of(self as *const Self);
+            let key = key_of(&self.id);
             order::after_try_acquire(key, order::Mode::Shared, std::panic::Location::caller());
             key
         };
@@ -286,7 +325,7 @@ impl<T: ?Sized> RwLock<T> {
         };
         #[cfg(feature = "lock-order")]
         let key = {
-            let key = key_of(self as *const Self);
+            let key = key_of(&self.id);
             order::after_try_acquire(key, order::Mode::Exclusive, std::panic::Location::caller());
             key
         };

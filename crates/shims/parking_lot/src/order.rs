@@ -17,15 +17,17 @@
 //! - releasing a lock held longer than [`LONG_HOLD`] while another
 //!   thread is queued on it prints a diagnostic with the holder's site.
 //!
-//! Locks are keyed by instance address, not acquisition site, so two
-//! engines locked through the same generic code never alias. Address
-//! reuse is handled by [`forget_lock`]: dropping a `Mutex`/`RwLock`
-//! removes its node from the graph, so a new lock allocated at the
-//! same address starts with a clean history. (Without this, the very
-//! first full-suite run produced a false inversion: a page `RwLock`
+//! Locks are keyed by a per-instance id assigned on first
+//! acquisition, not by acquisition site, so two engines locked through
+//! the same generic code never alias — and not by address, so a new
+//! lock allocated where a freed one lived never inherits its history.
+//! (An earlier address-keyed version produced exactly that false
+//! inversion on the very first full-suite run: a page `RwLock`
 //! inherited the edges of a freed PolarFS data mutex at the same
-//! address.) Leaked locks keep their edges — but leaked memory is
-//! never reallocated, so they cannot alias either.
+//! address. Ids are monotonic and never reused, so the class is gone.)
+//! Dropping a `Mutex`/`RwLock` — or consuming it via `into_inner` —
+//! still calls [`forget_lock`] to retire its node, purely to keep the
+//! graph from accumulating dead edges.
 //!
 //! Everything below uses `std::sync` directly (never the shim's own
 //! types) so instrumentation cannot recurse into itself.
