@@ -30,6 +30,7 @@ fn main() {
     ablation_c(smoke, &mut rep);
     ablation_d(smoke, &mut rep);
     ablation_e(smoke, &mut rep);
+    ablation_e_plus(smoke, &mut rep);
     if let Some(path) = imci_bench::report::json_path_arg() {
         rep.write(&path).expect("write bench json");
         println!("\nwrote {path}");
@@ -418,5 +419,144 @@ fn ablation_e(smoke: bool, rep: &mut BenchReport) {
         .fold(f64::MAX, f64::min);
     println!("post_failover_vd_us\t{vd_us:.1}");
     rep.set("failover", "post_failover_vd_us", vd_us);
+    cluster.shutdown();
+}
+
+/// (E+) crash under load: sustained mixed traffic through the **server
+/// tier** while the RW is killed. Nobody calls `failover()` — the
+/// cluster supervisor detects the silent lease and promotes, and the
+/// server transparently replays the statements caught in flight.
+/// Reports the supervisor's detection latency, the client-visible
+/// error count (asserted zero: every statement in this workload is
+/// replayable — reads plus `STMT`-tagged writes), and the throughput
+/// dip of the kill→detect→promote→recover window relative to steady
+/// state.
+fn ablation_e_plus(smoke: bool, rep: &mut BenchReport) {
+    use imci_cluster::SupervisorConfig;
+    use imci_server::{Client, Server, ServerConfig};
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+    println!("## ablation E+: crash under load (kill → detect → promote → recover)");
+    let cluster = Cluster::start(ClusterConfig {
+        n_ro: 2,
+        group_cap: 4096,
+        heartbeat_interval: Duration::from_millis(5),
+        supervisor: Some(SupervisorConfig {
+            lease_timeout: Duration::from_millis(60),
+            jitter: Duration::from_millis(20),
+            seed: 0x0ab1_a7e5,
+        }),
+        ..Default::default()
+    });
+    let server = Server::start(cluster.clone(), ServerConfig::default()).expect("server start");
+    let addr = server.local_addr();
+    {
+        let mut c = Client::connect(addr).expect("bootstrap client");
+        c.execute(
+            "CREATE TABLE load (id INT NOT NULL, v INT, PRIMARY KEY(id),
+             KEY COLUMN_INDEX(id, v))",
+        )
+        .unwrap();
+    }
+    let n_workers: u64 = if smoke { 2 } else { 4 };
+    let steady = if smoke {
+        Duration::from_millis(400)
+    } else {
+        Duration::from_secs(2)
+    };
+    let ops = Arc::new(AtomicU64::new(0));
+    let errors = Arc::new(AtomicU64::new(0));
+    let stop = Arc::new(AtomicBool::new(false));
+    let workers: Vec<_> = (0..n_workers)
+        .map(|w| {
+            let (ops, errors, stop) = (ops.clone(), errors.clone(), stop.clone());
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).expect("worker connect");
+                let mut seq = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    // 1 tagged write : 1 read, unique ids per worker.
+                    let id = w * 10_000_000 + seq;
+                    let write =
+                        c.execute_tagged(id, &format!("INSERT INTO load VALUES ({id}, {w})"));
+                    let read = c.execute("SELECT COUNT(*) FROM load");
+                    for result in [write.map(drop), read.map(drop)] {
+                        match result {
+                            Ok(()) => ops.fetch_add(1, Ordering::Relaxed),
+                            Err(_) => errors.fetch_add(1, Ordering::Relaxed),
+                        };
+                    }
+                    seq += 1;
+                }
+            })
+        })
+        .collect();
+
+    // Steady-state throughput window.
+    let t0 = Instant::now();
+    std::thread::sleep(steady);
+    let steady_ops = ops.load(Ordering::Relaxed);
+    let steady_rate = steady_ops as f64 / t0.elapsed().as_secs_f64();
+
+    // Kill the writer mid-traffic. The supervisor must notice the
+    // silent lease and promote on its own.
+    let kill_t = Instant::now();
+    cluster.crash_rw();
+    assert!(
+        cluster.wait_for_writer(Duration::from_secs(30)),
+        "supervisor never promoted a new writer"
+    );
+    // The detection counter lands moments after the writer install.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while cluster.auto_failovers() == 0 {
+        assert!(Instant::now() < deadline, "promotion not recorded");
+        std::thread::yield_now();
+    }
+    let detect_ms = cluster.detection_ms_last() as f64;
+
+    // Measure the outage window over the same wall-clock length as the
+    // steady window, anchored at the kill, so it contains detection,
+    // promotion, column rebuild, and the post-promotion ramp.
+    let elapsed = kill_t.elapsed();
+    if elapsed < steady {
+        std::thread::sleep(steady - elapsed);
+    }
+    let outage_ops = ops.load(Ordering::Relaxed) - steady_ops;
+    let outage_rate = outage_ops as f64 / kill_t.elapsed().as_secs_f64();
+    let dip_pct = ((1.0 - outage_rate / steady_rate) * 100.0).max(0.0);
+
+    stop.store(true, Ordering::Relaxed);
+    for worker in workers {
+        worker.join().expect("load worker");
+    }
+    // The error window: every statement here is replayable, so the
+    // target is *zero* client-visible errors across the whole cycle.
+    let client_errors = errors.load(Ordering::Relaxed);
+    assert_eq!(
+        client_errors, 0,
+        "replayable statements must ride through the failover without errors"
+    );
+    let replayed = server.stats().replayed_stmts.load(Ordering::Relaxed);
+
+    // Full HTAP after promotion, end to end through the server.
+    let mut c = Client::connect(addr).expect("post-promotion client");
+    c.set_force_engine(Some(imci_sql::EngineChoice::Column))
+        .unwrap();
+    let agg = c
+        .execute("SELECT v, COUNT(*) FROM load GROUP BY v")
+        .unwrap();
+    assert_eq!(
+        agg.engine,
+        EngineChoice::Column,
+        "promoted topology must serve column plans"
+    );
+
+    println!("detect_ms\t{detect_ms:.1}");
+    println!("throughput_dip_pct\t{dip_pct:.1}");
+    println!("client_errors\t{client_errors}\treplayed_stmts\t{replayed}");
+    rep.set("crash_under_load", "detect_ms", detect_ms);
+    rep.set("crash_under_load", "throughput_dip_pct", dip_pct);
+    rep.set("crash_under_load", "client_errors", client_errors as f64);
+    rep.set("crash_under_load", "replayed_stmts", replayed as f64);
+    server.shutdown();
     cluster.shutdown();
 }

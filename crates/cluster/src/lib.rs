@@ -15,11 +15,12 @@ use imci_core::ColumnStore;
 use imci_replication::{load_checkpoint_pages, take_checkpoint, Pipeline, ReplicationConfig};
 use imci_sql::{QueryEngine, QueryResult};
 use imci_wal::{LogWriter, PropagationMode};
-use parking_lot::RwLock;
+use parking_lot::{Condvar, Mutex, RwLock};
 use polarfs_sim::{LatencyProfile, PolarFs};
+use rand::{rngs::StdRng, Rng, SeedableRng};
 use rowstore::{RecoverOptions, RecoveryReport, RowEngine};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 use std::time::{Duration, Instant};
 
 /// Consistency level applied by the proxy (paper §6.4).
@@ -52,6 +53,11 @@ pub struct ClusterConfig {
     pub cost_threshold: f64,
     /// Proxy consistency level.
     pub consistency: Consistency,
+    /// How often the RW stamps the shared-storage liveness lease.
+    pub heartbeat_interval: Duration,
+    /// Start the cluster supervisor (automatic failure detection +
+    /// promotion) with this config; `None` leaves failover manual.
+    pub supervisor: Option<SupervisorConfig>,
 }
 
 impl Default for ClusterConfig {
@@ -65,6 +71,34 @@ impl Default for ClusterConfig {
             latency: LatencyProfile::zero(),
             cost_threshold: 10_000.0,
             consistency: Consistency::Eventual,
+            heartbeat_interval: Duration::from_millis(20),
+            supervisor: None,
+        }
+    }
+}
+
+/// Tuning for the cluster supervisor (automatic failure detection).
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// Lease expiry: no accepted heartbeat for this long means the
+    /// writer is presumed dead and promotion is triggered.
+    pub lease_timeout: Duration,
+    /// Upper bound of the random extra wait added to every expiry
+    /// check. Jitter decorrelates detection across supervisors (and,
+    /// with the arming rule, gives a slow-but-alive writer one more
+    /// beat's worth of grace before it is deposed).
+    pub jitter: Duration,
+    /// Seed for the jitter RNG — detection schedules are deterministic
+    /// per seed, which the crash-schedule proptests rely on.
+    pub seed: u64,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> SupervisorConfig {
+        SupervisorConfig {
+            lease_timeout: Duration::from_millis(150),
+            jitter: Duration::from_millis(40),
+            seed: 0x1ec0_5eed,
         }
     }
 }
@@ -92,12 +126,90 @@ impl RoNode {
     }
 }
 
-/// The RW node: storage engine + row-only query engine. Behind
-/// [`Cluster::rw`]'s lock so crash/recovery/failover can replace it
-/// atomically while sessions keep running.
+/// The RW node: storage engine + query engine. Behind [`Cluster::rw`]'s
+/// lock so crash/recovery/failover can replace it atomically while
+/// sessions keep running. A bootstrap/recovered RW is row-only; a
+/// *promoted* RW carries a column attachment and serves dual-format
+/// plans (full HTAP after failover).
 struct RwNode {
     engine: Arc<RowEngine>,
     query: QueryEngine,
+    /// IMCI column half of a promoted writer; `None` on row-only
+    /// writers. Kept as a field so its pipeline stops when the node is
+    /// crashed or replaced.
+    column: Option<ColumnAttachment>,
+    /// Liveness stamper; dropping the node (crash) stops the beats,
+    /// which is exactly how a real process death looks to the lease.
+    _heartbeat: Option<Heartbeat>,
+}
+
+/// The promoted writer's column replica. Phase-1 of the replication
+/// pipeline derives column operations from *applying* REDO to a row
+/// replica — the writer's own engine would idempotency-skip its
+/// already-applied pages and emit nothing — so a shadow row replica
+/// tails the shared log and feeds the column store, continuously
+/// covering the writer's own commits. This is the promoted node
+/// "re-registering with the replication pipeline as the new source".
+struct ColumnAttachment {
+    /// Shadow row replica (pipeline plumbing only, never queried).
+    _replica: Arc<RowEngine>,
+    /// Column store backing the writer's dual query engine.
+    _store: Arc<ColumnStore>,
+    pipeline: Pipeline,
+}
+
+/// A freshly booted CALS follower ([`Cluster::boot_follower`]): the
+/// building block of both an RO node and a promoted writer's column
+/// attachment.
+struct Follower {
+    engine: Arc<RowEngine>,
+    store: Arc<ColumnStore>,
+    pipeline: Pipeline,
+    from_checkpoint: bool,
+}
+
+/// Background thread stamping [`PolarFs::heartbeat`] with the writer's
+/// epoch every `interval`. Stops when dropped (condvar, no polling
+/// sleep) or as soon as a beat is fenced — a deposed writer goes
+/// silent instead of spamming rejected beats.
+struct Heartbeat {
+    stop: Arc<(Mutex<bool>, Condvar)>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Heartbeat {
+    fn start(fs: PolarFs, epoch: u64, interval: Duration) -> Heartbeat {
+        let stop = Arc::new((Mutex::new(false), Condvar::new()));
+        let stop2 = stop.clone();
+        let handle = std::thread::Builder::new()
+            .name("rw-heartbeat".into())
+            .spawn(move || {
+                let (lock, cv) = &*stop2;
+                let mut stopped = lock.lock();
+                loop {
+                    if *stopped || fs.heartbeat(epoch).is_err() {
+                        return;
+                    }
+                    let _ = cv.wait_for(&mut stopped, interval);
+                }
+            })
+            .expect("spawn heartbeat thread");
+        Heartbeat {
+            stop,
+            handle: Some(handle),
+        }
+    }
+}
+
+impl Drop for Heartbeat {
+    fn drop(&mut self) {
+        let (lock, cv) = &*self.stop;
+        *lock.lock() = true;
+        cv.notify_all();
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
 }
 
 /// Timing + bookkeeping of one RO→RW promotion (ablation E's metrics).
@@ -113,6 +225,10 @@ pub struct FailoverReport {
     pub rolled_back_ops: usize,
     /// Time to drain the promoted node's pipeline to the log tail.
     pub drain_time: Duration,
+    /// Time to rebuild the promoted node's column replica (checkpoint
+    /// load + REDO tail catch-up). Row service resumes *before* this:
+    /// it overlaps with live write traffic.
+    pub column_rebuild_time: Duration,
     /// Crash-to-promoted wall time (the paper's seconds-scale claim).
     pub total_time: Duration,
 }
@@ -135,7 +251,47 @@ pub struct Cluster {
     /// fence floor while the writer role is vacant or moving, so reads
     /// acknowledged before a crash stay read-your-writes after it.
     written_floor: AtomicU64,
+    /// Gate + condvar for [`Cluster::wait_for_writer`]: notified every
+    /// time a writer is installed (boot, recovery, promotion).
+    writer_gate: Mutex<()>,
+    writer_cv: Condvar,
+    /// Supervisor thread handle (when running).
+    supervisor: Mutex<Option<Supervisor>>,
+    /// Promotions triggered by the supervisor (not by a caller).
+    auto_failovers: AtomicU64,
+    /// Detection latency of the last auto-failover: ms from the last
+    /// accepted heartbeat to the promotion trigger.
+    detection_ms_last: AtomicU64,
+    /// Supervisor state code (see [`Cluster::supervisor_state`]).
+    supervisor_state: AtomicU64,
+    /// Serializes promotions: the supervisor and a manual caller must
+    /// not race two concurrent [`Cluster::failover`]s (each would burn
+    /// an epoch and drain a different RO).
+    promotion_lock: Mutex<()>,
 }
+
+/// Handle to the running supervisor thread.
+struct Supervisor {
+    stop: Arc<(Mutex<bool>, Condvar)>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Drop for Supervisor {
+    fn drop(&mut self) {
+        let (lock, cv) = &*self.stop;
+        *lock.lock() = true;
+        cv.notify_all();
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Supervisor state codes (stored in an atomic, reported by `STATUS`).
+const SUP_OFF: u64 = 0;
+const SUP_ARMING: u64 = 1;
+const SUP_WATCHING: u64 = 2;
+const SUP_PROMOTING: u64 = 3;
 
 /// Per-statement routing overrides, carried by proxy sessions
 /// (`imci_server`): `None` fields inherit the cluster-level defaults.
@@ -188,20 +344,37 @@ impl Cluster {
     pub fn start(config: ClusterConfig) -> Arc<Cluster> {
         let fs = PolarFs::new(config.latency.clone());
         let log = LogWriter::new(fs.clone(), config.propagation);
+        let epoch = log.epoch();
         let engine = RowEngine::new_rw(fs.clone(), log, config.bp_capacity);
         let mut query = QueryEngine::row_only(engine.clone());
         query.cost_threshold = config.cost_threshold;
+        let heartbeat = Heartbeat::start(fs.clone(), epoch, config.heartbeat_interval);
         let cluster = Arc::new(Cluster {
             fs,
-            rw: RwLock::new(Some(RwNode { engine, query })),
+            rw: RwLock::new(Some(RwNode {
+                engine,
+                query,
+                column: None,
+                _heartbeat: Some(heartbeat),
+            })),
             ros: RwLock::new(Vec::new()),
             config,
             next_ro_id: AtomicU64::new(1),
             next_ckpt: AtomicU64::new(1),
             written_floor: AtomicU64::new(0),
+            writer_gate: Mutex::new(()),
+            writer_cv: Condvar::new(),
+            supervisor: Mutex::new(None),
+            auto_failovers: AtomicU64::new(0),
+            detection_ms_last: AtomicU64::new(0),
+            supervisor_state: AtomicU64::new(SUP_OFF),
+            promotion_lock: Mutex::new(()),
         });
         for _ in 0..cluster.config.n_ro {
             cluster.scale_out().expect("initial RO boot");
+        }
+        if let Some(sc) = cluster.config.supervisor.clone() {
+            cluster.start_supervisor(sc);
         }
         cluster
     }
@@ -214,6 +387,19 @@ impl Cluster {
             .as_ref()
             .map(|n| n.engine.clone())
             .ok_or_else(|| Error::Failover("RW node is down; retry after recovery".into()))
+    }
+
+    /// The writer role as reported by the proxy's `STATUS` statement:
+    /// `"rw+imci"` when the installed writer also serves column plans
+    /// (a promoted node with a rebuilt column attachment), `"rw"` for a
+    /// row-only writer, `"vacant"` between a crash and the next
+    /// recovery/promotion.
+    pub fn writer_role(&self) -> &'static str {
+        match self.rw.read().as_ref() {
+            Some(node) if node.column.is_some() => "rw+imci",
+            Some(_) => "rw",
+            None => "vacant",
+        }
     }
 
     /// Crash the RW node: drop every piece of its in-process state —
@@ -237,7 +423,16 @@ impl Cluster {
                     .fetch_max(log.written_lsn().get(), Ordering::SeqCst);
             }
         }
-        taken.map(|n| n.engine)
+        taken.map(|n| {
+            // A promoted writer's column pipeline must not keep tailing
+            // the log after its node is gone (mirrors scale_in). The
+            // heartbeat thread stops with the node's drop — the lease
+            // goes silent exactly like a process death.
+            if let Some(col) = &n.column {
+                col.pipeline.stop();
+            }
+            n.engine
+        })
     }
 
     /// Restart the RW in place: rebuild a writer from the newest
@@ -272,7 +467,16 @@ impl Cluster {
         let (engine, report) = RowEngine::recover(self.fs.clone(), opts)?;
         let mut query = QueryEngine::row_only(engine.clone());
         query.cost_threshold = self.config.cost_threshold;
-        *self.rw.write() = Some(RwNode { engine, query });
+        let heartbeat = engine.log().map(|log| {
+            Heartbeat::start(self.fs.clone(), log.epoch(), self.config.heartbeat_interval)
+        });
+        *self.rw.write() = Some(RwNode {
+            engine,
+            query,
+            column: None,
+            _heartbeat: heartbeat,
+        });
+        self.notify_writer_change();
         Ok(report)
     }
 
@@ -293,11 +497,23 @@ impl Cluster {
     ///    with logged compensations, so sibling ROs converge through
     ///    the log as if a live abort had happened;
     /// 5. re-point the proxy: the node serves as the RW, remaining ROs
-    ///    keep tailing the same log.
+    ///    keep tailing the same log;
+    /// 6. rebuild the node's IMCI column half from the latest
+    ///    checkpoint + REDO tail and re-register it with the
+    ///    replication pipeline, so the promoted node keeps answering
+    ///    column-engine plans — full HTAP after failover.
     ///
-    /// The promoted node's column store is dropped with its RO role
-    /// (the RW serves row-engine plans only, like the bootstrap RW).
+    /// The drained RO-era column store cannot be reused: its VID
+    /// watermark belongs to the retired pipeline, and re-applying the
+    /// checkpoint-to-drain range would double-count. Instead a fresh
+    /// store is seeded from the newest checkpoint and caught up through
+    /// a shadow row replica tailing the shared log (see
+    /// [`ColumnAttachment`] for why the writer's own engine can't feed
+    /// phase 1). Row/write service resumes *before* the column rebuild;
+    /// column plans lag until the new pipeline catches up, like a
+    /// freshly scaled-out RO.
     pub fn failover(&self) -> Result<FailoverReport> {
+        let _promotion = self.promotion_lock.lock();
         let t0 = Instant::now();
         // Depose (no-op if already crashed); the floor snapshot runs
         // under the writer lock for the same last-commit race
@@ -327,30 +543,53 @@ impl Cluster {
             state.applied_lsn,
         )?;
         node.engine
-            .promote_to_writer(log, state.max_tid + 1, state.max_vid);
+            .promote_to_writer(log.clone(), state.max_tid + 1, state.max_vid);
         let rolled_back_txns = node.engine.rollback_inflight(&state.inflight)?;
-        let mut query = QueryEngine::row_only(node.engine.clone());
+
+        // Column rebuild: checkpoint seed + pipeline over the shared
+        // log. Booted before the writer is installed so the attachment
+        // is ready, but catch-up happens after — writes don't wait.
+        let t_col = Instant::now();
+        let follower = self.boot_follower()?;
+        let col_metrics = follower.pipeline.metrics().clone();
+        let mut query = QueryEngine::dual(node.engine.clone(), follower.store.clone());
         query.cost_threshold = self.config.cost_threshold;
+        let heartbeat = Heartbeat::start(self.fs.clone(), epoch, self.config.heartbeat_interval);
         *self.rw.write() = Some(RwNode {
             engine: node.engine.clone(),
             query,
+            column: Some(ColumnAttachment {
+                _replica: follower.engine,
+                _store: follower.store,
+                pipeline: follower.pipeline,
+            }),
+            _heartbeat: Some(heartbeat),
         });
+        self.notify_writer_change();
+        // Catch the column store up to the promotion point so IMCI
+        // plans answer from day one; later commits stream in via CALS
+        // like on any RO.
+        if state.applied_lsn > 0 {
+            col_metrics.wait_applied_at_least(state.applied_lsn, Duration::from_secs(60));
+        }
+        let column_rebuild_time = t_col.elapsed();
         Ok(FailoverReport {
             promoted: node.name.clone(),
             epoch,
             rolled_back_txns,
             rolled_back_ops: state.inflight.len(),
             drain_time,
+            column_rebuild_time,
             total_time: t0.elapsed(),
         })
     }
 
-    /// Add an RO node (paper §7): load the newest checkpoint if one
-    /// exists, otherwise rebuild from the log, then catch up.
-    pub fn scale_out(&self) -> Result<ScaleOutReport> {
-        let id = self.next_ro_id.fetch_add(1, Ordering::SeqCst);
-        let name = format!("ro-{id}");
-        let t0 = Instant::now();
+    /// Bootstrap a CALS follower — row replica + column store + running
+    /// replication pipeline — from the newest checkpoint when one
+    /// exists, cold from log offset 0 otherwise. Shared by
+    /// [`Cluster::scale_out`] (new RO node) and [`Cluster::failover`]
+    /// (the promoted writer's column rebuild).
+    fn boot_follower(&self) -> Result<Follower> {
         let engine = RowEngine::new_replica(self.fs.clone(), usize::MAX / 2);
         let store = Arc::new(ColumnStore::new(self.config.group_cap));
         let (start_offset, from_checkpoint) = match imci_core::latest_checkpoint(&self.fs) {
@@ -384,34 +623,50 @@ impl Cluster {
             // LSN order as the pipeline replays from offset 0.
             None => (0, false),
         };
-        let load_time = t0.elapsed();
-
         let mut repl = self.config.replication.clone();
         repl.start_offset = start_offset;
         let pipeline = Pipeline::start(self.fs.clone(), engine.clone(), store.clone(), repl);
+        Ok(Follower {
+            engine,
+            store,
+            pipeline,
+            from_checkpoint,
+        })
+    }
+
+    /// Add an RO node (paper §7): load the newest checkpoint if one
+    /// exists, otherwise rebuild from the log, then catch up.
+    pub fn scale_out(&self) -> Result<ScaleOutReport> {
+        let id = self.next_ro_id.fetch_add(1, Ordering::SeqCst);
+        let name = format!("ro-{id}");
+        let t0 = Instant::now();
+        let follower = self.boot_follower()?;
+        let load_time = t0.elapsed();
 
         // Catch up to the RW's current commit point before serving.
         let t1 = Instant::now();
         let target = self.written_lsn();
         if target > 0 {
-            pipeline.wait_applied(target, Duration::from_secs(60));
+            follower
+                .pipeline
+                .wait_applied(target, Duration::from_secs(60));
         }
         let catchup_time = t1.elapsed();
 
-        let mut query = QueryEngine::dual(engine.clone(), store.clone());
+        let mut query = QueryEngine::dual(follower.engine.clone(), follower.store.clone());
         query.cost_threshold = self.config.cost_threshold;
         let node = Arc::new(RoNode {
             name: name.clone(),
-            engine,
-            store,
+            engine: follower.engine,
+            store: follower.store,
             query,
-            pipeline,
+            pipeline: follower.pipeline,
             sessions: AtomicUsize::new(0),
         });
         self.ros.write().push(node);
         Ok(ScaleOutReport {
             name,
-            from_checkpoint,
+            from_checkpoint: follower.from_checkpoint,
             load_time,
             catchup_time,
         })
@@ -442,6 +697,116 @@ impl Cluster {
             .unwrap_or(0);
         let floor = self.written_floor.fetch_max(current, Ordering::SeqCst);
         current.max(floor)
+    }
+
+    /// Highest applied LSN across the cluster's column replicas — the
+    /// RO nodes plus a promoted writer's column attachment. What the
+    /// server's `STATUS` statement reports.
+    pub fn applied_lsn(&self) -> u64 {
+        let mut best = self
+            .ros
+            .read()
+            .iter()
+            .map(|n| n.applied_lsn())
+            .max()
+            .unwrap_or(0);
+        if let Some(node) = self.rw.read().as_ref() {
+            if let Some(col) = &node.column {
+                best = best.max(col.pipeline.metrics().applied_lsn());
+            }
+        }
+        best
+    }
+
+    /// Wake anything parked in [`Cluster::wait_for_writer`]. Callers
+    /// must NOT hold the `rw` lock (the waiter acquires it under the
+    /// gate; locking the gate with `rw` held would invert that order).
+    fn notify_writer_change(&self) {
+        let _g = self.writer_gate.lock();
+        self.writer_cv.notify_all();
+    }
+
+    /// Block until a writer is installed (or the timeout elapses);
+    /// returns whether one is up. The server tier parks here before
+    /// replaying a statement that hit the failover window.
+    pub fn wait_for_writer(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let mut g = self.writer_gate.lock();
+            // Checked under the gate: an install between the check and
+            // the wait would otherwise be a lost wakeup.
+            if self.rw.read().is_some() {
+                return true;
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return false;
+            }
+            let _ = self.writer_cv.wait_for(&mut g, remaining);
+        }
+    }
+
+    // ---- cluster supervisor (automatic failure detection) ----
+
+    /// Start the supervisor: a thread watching the shared-storage lease
+    /// and triggering [`Cluster::failover`] by itself when the writer
+    /// stops stamping it. Detection protocol:
+    ///
+    /// * **arming** — the supervisor only watches an epoch after seeing
+    ///   at least one accepted beat from it, so it never deposes a
+    ///   writer that hasn't had a chance to stamp;
+    /// * **expiry** — armed, it parks on the lease condvar for the
+    ///   remaining lease budget *plus a random jitter*; a beat landing
+    ///   in that window re-arms the clock;
+    /// * **no flapping** — promotion bumps the volume epoch, a deposed
+    ///   epoch's beats are fenced by storage, and the supervisor
+    ///   re-arms only on a beat from the *new* epoch — so one slow
+    ///   writer triggers at most one promotion, and the promoted
+    ///   writer gets the same full arming grace.
+    ///
+    /// Idempotent: a second call replaces the previous supervisor.
+    pub fn start_supervisor(self: &Arc<Cluster>, cfg: SupervisorConfig) {
+        let weak = Arc::downgrade(self);
+        let stop = Arc::new((Mutex::new(false), Condvar::new()));
+        let stop2 = stop.clone();
+        self.supervisor_state.store(SUP_ARMING, Ordering::SeqCst);
+        let handle = std::thread::Builder::new()
+            .name("cluster-supervisor".into())
+            .spawn(move || supervise(weak, cfg, stop2))
+            .expect("spawn supervisor thread");
+        *self.supervisor.lock() = Some(Supervisor {
+            stop,
+            handle: Some(handle),
+        });
+    }
+
+    /// Stop the supervisor thread (no-op when none is running).
+    pub fn stop_supervisor(&self) {
+        *self.supervisor.lock() = None;
+        self.supervisor_state.store(SUP_OFF, Ordering::SeqCst);
+    }
+
+    /// Promotions triggered by the supervisor (not by a caller).
+    pub fn auto_failovers(&self) -> u64 {
+        self.auto_failovers.load(Ordering::SeqCst)
+    }
+
+    /// Detection latency of the last auto-failover, in milliseconds
+    /// (time from the last accepted heartbeat to the promotion
+    /// trigger). Zero until the first auto-failover.
+    pub fn detection_ms_last(&self) -> u64 {
+        self.detection_ms_last.load(Ordering::SeqCst)
+    }
+
+    /// Human-readable supervisor state (reported by the server's
+    /// `STATUS` statement).
+    pub fn supervisor_state(&self) -> &'static str {
+        match self.supervisor_state.load(Ordering::SeqCst) {
+            SUP_ARMING => "arming",
+            SUP_WATCHING => "watching",
+            SUP_PROMOTING => "promoting",
+            _ => "off",
+        }
     }
 
     /// Take a checkpoint covering the current log prefix (the RO-leader
@@ -508,9 +873,35 @@ impl Cluster {
             let consistency = opts.consistency.unwrap_or(self.config.consistency);
             let node = self.route_ro_with(consistency)?;
             let _session = SessionGuard::enter(&node);
-            return self.execute_on_ro(&node, sql, opts);
+            let result = self.execute_on_ro(&node, sql, opts);
+            return self.absolve_retired_ro(&node, result);
         }
-        self.execute_rw(sql)
+        self.execute_rw(sql, opts.force_engine)
+    }
+
+    /// Re-categorize a read error as retryable when the RO it ran on
+    /// has been retired from the routing set mid-statement (promotion
+    /// or scale-in drains and converts the node under the read's feet,
+    /// so it can surface arbitrary storage errors). A read has no
+    /// effect to duplicate, so the retryable failover category is the
+    /// truthful one: re-executing on a live node gives the real answer.
+    fn absolve_retired_ro(
+        &self,
+        node: &Arc<RoNode>,
+        result: Result<QueryResult>,
+    ) -> Result<QueryResult> {
+        match result {
+            Err(e) if !e.is_retryable() && self.ro_retired(node) => Err(Error::Failover(format!(
+                "read ran on {} while it was being promoted/retired: {e}",
+                node.name
+            ))),
+            other => other,
+        }
+    }
+
+    /// Whether `node` is no longer in the proxy's routing set.
+    fn ro_retired(&self, node: &Arc<RoNode>) -> bool {
+        !self.ros.read().iter().any(|n| Arc::ptr_eq(n, node))
     }
 
     /// Execute a batch of statements in one proxy call — the service
@@ -546,17 +937,19 @@ impl Cluster {
                     // Re-arm the strong-consistency fence: writes earlier
                     // in this batch advanced the written LSN after the
                     // route was resolved.
-                    if consistency == Consistency::Strong
+                    let result = if consistency == Consistency::Strong
                         && !node
                             .pipeline
                             .wait_applied(self.written_lsn(), Duration::from_secs(30))
                     {
-                        return Err(Error::Execution("strong consistency wait timed out".into()));
-                    }
-                    self.execute_on_ro(&node, sql, opts)
+                        Err(Error::Execution("strong consistency wait timed out".into()))
+                    } else {
+                        self.execute_on_ro(&node, sql, opts)
+                    };
+                    self.absolve_retired_ro(&node, result)
                 }));
             } else {
-                out.push(self.execute_rw(sql));
+                out.push(self.execute_rw(sql, opts.force_engine));
             }
         }
         out
@@ -576,10 +969,13 @@ impl Cluster {
     /// stream as a versioned record and every RO applies it in LSN
     /// order with the data changes. With the writer role vacant
     /// (crash/failover window) the statement fails fast with the
-    /// retryable failover category instead of stalling.
-    fn execute_rw(&self, sql: &str) -> Result<QueryResult> {
+    /// retryable failover category instead of stalling. An engine pin
+    /// is honored when the writer is dual-format (promoted node); a
+    /// row-only writer answers on the row engine as before.
+    fn execute_rw(&self, sql: &str, force: Option<imci_sql::EngineChoice>) -> Result<QueryResult> {
         let rw = self.rw.read();
         match rw.as_ref() {
+            Some(node) if node.column.is_some() => node.query.execute_forced(sql, force),
             Some(node) => node.query.execute(sql),
             None => Err(Error::Failover(
                 "RW node is down; retry after recovery".into(),
@@ -603,29 +999,112 @@ impl Cluster {
 
     /// Visibility delay measurement: commit a marker transaction on RW
     /// and time how long until a chosen RO node has applied it (the VD
-    /// metric of Figs. 12/16).
+    /// metric of Figs. 12/16). Tolerates a promotion landing
+    /// mid-measurement: on a [`Error::Failover`] (writer vacant, or the
+    /// marker commit fenced) it re-resolves the writer and measures
+    /// again instead of propagating the retryable error to monitoring.
     pub fn measure_visibility_delay(&self) -> Result<Duration> {
-        let ro = self.route_ro()?;
-        let rw = self.rw()?;
-        let txn = rw.begin();
-        let t0 = Instant::now();
-        rw.commit(txn)?;
-        let target = self.written_lsn();
-        if !ro.pipeline.wait_applied(target, Duration::from_secs(10)) {
-            return Err(Error::Execution("VD wait timed out".into()));
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let attempt = (|| {
+                let ro = self.route_ro()?;
+                let rw = self.rw()?;
+                let txn = rw.begin();
+                let t0 = Instant::now();
+                rw.commit(txn)?;
+                let target = self.written_lsn();
+                if !ro.pipeline.wait_applied(target, Duration::from_secs(10)) {
+                    return Err(Error::Execution("VD wait timed out".into()));
+                }
+                Ok(t0.elapsed())
+            })();
+            match attempt {
+                Err(Error::Failover(_)) if Instant::now() < deadline => {
+                    let remaining = deadline.saturating_duration_since(Instant::now());
+                    self.wait_for_writer(remaining);
+                }
+                other => return other,
+            }
         }
-        Ok(t0.elapsed())
     }
 
-    /// Stop all RO pipelines (drops the nodes). Pipelines are stopped
+    /// Stop the supervisor, all RO pipelines, and a promoted writer's
+    /// column pipeline (drops the nodes). Pipelines are stopped
     /// explicitly — not via `Arc::try_unwrap`, which fails (and used to
     /// silently leak running threads) whenever a session still holds a
     /// node.
     pub fn shutdown(&self) {
+        // Supervisor first: it must not interpret the heartbeat
+        // stopping below as a writer death and promote mid-shutdown.
+        self.stop_supervisor();
         let nodes: Vec<Arc<RoNode>> = self.ros.write().drain(..).collect();
         for node in &nodes {
             node.pipeline.stop();
         }
+        if let Some(node) = self.rw.write().as_mut() {
+            if let Some(col) = &node.column {
+                col.pipeline.stop();
+            }
+            node._heartbeat = None;
+        }
+    }
+}
+
+/// Supervisor thread body: watch the storage lease, trigger promotion
+/// on expiry. See [`Cluster::start_supervisor`] for the protocol.
+fn supervise(weak: Weak<Cluster>, cfg: SupervisorConfig, stop: Arc<(Mutex<bool>, Condvar)>) {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let jitter_us = cfg.jitter.as_micros().max(1) as u64;
+    // Armed only after seeing a beat from the current volume epoch —
+    // both at startup and after every promotion (the no-flapping rule).
+    let mut armed = false;
+    loop {
+        if *stop.0.lock() {
+            return;
+        }
+        let Some(c) = weak.upgrade() else { return };
+        let lease = c.fs.lease();
+        let vol_epoch = c.fs.current_epoch();
+        if !armed {
+            c.supervisor_state.store(SUP_ARMING, Ordering::SeqCst);
+            if lease.age.is_some() && lease.epoch >= vol_epoch {
+                armed = true;
+                continue;
+            }
+            c.fs.wait_beat(lease.beats, cfg.lease_timeout);
+            continue;
+        }
+        c.supervisor_state.store(SUP_WATCHING, Ordering::SeqCst);
+        let age = lease.age.unwrap_or(Duration::ZERO);
+        if age < cfg.lease_timeout {
+            // Healthy: park on the beat condvar for the remaining
+            // lease budget plus jitter. A beat landing in that window
+            // wakes us early and re-arms the clock.
+            let wait = cfg.lease_timeout - age + Duration::from_micros(rng.gen_range(0..jitter_us));
+            c.fs.wait_beat(lease.beats, wait);
+            continue;
+        }
+        if lease.epoch < vol_epoch {
+            // Someone else (manual failover / recovery) already fenced
+            // the epoch that went silent — never depose it twice.
+            armed = false;
+            continue;
+        }
+        c.supervisor_state.store(SUP_PROMOTING, Ordering::SeqCst);
+        match c.failover() {
+            Ok(_) => {
+                c.detection_ms_last
+                    .store(age.as_millis() as u64, Ordering::SeqCst);
+                c.auto_failovers.fetch_add(1, Ordering::SeqCst);
+            }
+            Err(_) => {
+                // Nothing to promote (no RO), or the promotion raced a
+                // manual recovery. Park until fresh beats say there is
+                // a writer to watch again.
+                c.fs.wait_beat(lease.beats, cfg.lease_timeout);
+            }
+        }
+        armed = false;
     }
 }
 
@@ -1225,6 +1704,183 @@ mod tests {
         // All three rounds' writes survived three ownership changes.
         let res = c.execute("SELECT COUNT(*) FROM demo").unwrap();
         assert_eq!(res.rows[0][0], Value::Int(3));
+        c.shutdown();
+    }
+
+    #[test]
+    fn promoted_writer_serves_column_plans() {
+        // Full HTAP after failover: with the only RO promoted, reads
+        // fall through to the writer — which must answer COLUMN-engine
+        // plans from its rebuilt attachment, not just row plans.
+        let c = small_cluster();
+        c.execute(DDL).unwrap();
+        for i in 0..300 {
+            c.execute(&format!(
+                "INSERT INTO demo VALUES ({i}, {}, 1.0, 'a')",
+                i % 3
+            ))
+            .unwrap();
+        }
+        assert!(c.wait_sync(Duration::from_secs(20)));
+        c.checkpoint_now().unwrap();
+        // Traffic after the checkpoint: the rebuild must cover the
+        // REDO tail, not just the checkpoint image.
+        for i in 300..350 {
+            c.execute(&format!("INSERT INTO demo VALUES ({i}, 0, 1.0, 'b')"))
+                .unwrap();
+        }
+        c.crash_rw();
+        let report = c.failover().unwrap();
+        assert!(c.ros.read().is_empty(), "single RO was promoted");
+        assert!(report.column_rebuild_time > Duration::ZERO);
+
+        let opts = ExecOpts {
+            consistency: None,
+            force_engine: Some(EngineChoice::Column),
+        };
+        let res = c
+            .execute_opts(
+                "SELECT grp, COUNT(*) FROM demo GROUP BY grp ORDER BY grp",
+                opts,
+            )
+            .unwrap();
+        assert_eq!(
+            res.engine,
+            EngineChoice::Column,
+            "promoted RW must serve IMCI plans"
+        );
+        assert_eq!(res.rows[0][1], Value::Int(150));
+        // The attachment keeps tailing the new writer's own commits.
+        c.execute("INSERT INTO demo VALUES (999, 0, 1.0, 'c')")
+            .unwrap();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let res = c.execute_opts("SELECT COUNT(*) FROM demo", opts).unwrap();
+            if res.rows[0][0] == Value::Int(351) {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "post-promotion commit never became visible"
+            );
+            std::thread::yield_now();
+        }
+        c.shutdown();
+    }
+
+    #[test]
+    fn supervisor_detects_writer_death_and_promotes() {
+        let c = Cluster::start(ClusterConfig {
+            n_ro: 2,
+            group_cap: 64,
+            heartbeat_interval: Duration::from_millis(5),
+            supervisor: Some(SupervisorConfig {
+                lease_timeout: Duration::from_millis(60),
+                jitter: Duration::from_millis(20),
+                seed: 7,
+            }),
+            ..Default::default()
+        });
+        c.execute(DDL).unwrap();
+        for i in 0..100 {
+            c.execute(&format!("INSERT INTO demo VALUES ({i}, 0, 1.0, 'x')"))
+                .unwrap();
+        }
+        // Kill the writer. Nobody calls failover(): the lease expires
+        // and the supervisor promotes on its own.
+        drop(c.crash_rw());
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while c.auto_failovers() == 0 {
+            assert!(Instant::now() < deadline, "supervisor never promoted");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(c.wait_for_writer(Duration::from_secs(10)));
+        assert_eq!(c.auto_failovers(), 1);
+        assert!(
+            c.detection_ms_last() >= 60,
+            "detection can't beat the lease timeout: {}ms",
+            c.detection_ms_last()
+        );
+        // Committed data survived and the promoted writer serves. The
+        // count reads Strong: an eventual read could race the surviving
+        // RO's replay of the post-promotion insert.
+        c.execute("INSERT INTO demo VALUES (100, 0, 1.0, 'y')")
+            .unwrap();
+        let res = c
+            .execute_opts(
+                "SELECT COUNT(*) FROM demo",
+                ExecOpts {
+                    consistency: Some(Consistency::Strong),
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(res.rows[0][0], Value::Int(101));
+        // No flapping: the promoted writer keeps beating; several lease
+        // windows later there is still exactly one auto-failover.
+        std::thread::sleep(Duration::from_millis(300));
+        assert_eq!(c.auto_failovers(), 1, "slow-path supervisor must not flap");
+        c.shutdown();
+    }
+
+    #[test]
+    fn supervisor_does_not_depose_twice_after_manual_failover() {
+        // A manual promotion bumps the epoch while the supervisor is
+        // armed for the old one. The expired old lease must not
+        // trigger a second (automatic) promotion.
+        let c = Cluster::start(ClusterConfig {
+            n_ro: 2,
+            group_cap: 64,
+            heartbeat_interval: Duration::from_millis(5),
+            supervisor: Some(SupervisorConfig {
+                lease_timeout: Duration::from_millis(60),
+                jitter: Duration::from_millis(20),
+                seed: 11,
+            }),
+            ..Default::default()
+        });
+        c.execute(DDL).unwrap();
+        c.execute("INSERT INTO demo VALUES (1, 0, 1.0, 'x')")
+            .unwrap();
+        c.crash_rw();
+        c.failover().unwrap();
+        // Give the supervisor several full lease windows to (wrongly)
+        // react to the deposed epoch's silence.
+        std::thread::sleep(Duration::from_millis(300));
+        assert_eq!(c.auto_failovers(), 0, "manual failover must not be doubled");
+        assert_eq!(
+            c.ros.read().len(),
+            1,
+            "only the manual promotion consumed an RO"
+        );
+        c.execute("INSERT INTO demo VALUES (2, 0, 1.0, 'y')")
+            .unwrap();
+        c.shutdown();
+    }
+
+    #[test]
+    fn visibility_delay_survives_mid_measurement_promotion() {
+        // Crash the writer, then measure VD while a promotion lands
+        // concurrently: the probe must re-resolve the writer instead
+        // of propagating the retryable failover error.
+        let c = Cluster::start(ClusterConfig {
+            n_ro: 2,
+            group_cap: 64,
+            ..Default::default()
+        });
+        c.execute(DDL).unwrap();
+        c.execute("INSERT INTO demo VALUES (1, 0, 1.0, 'x')")
+            .unwrap();
+        c.crash_rw();
+        let c2 = c.clone();
+        let h = std::thread::spawn(move || c2.measure_visibility_delay());
+        std::thread::sleep(Duration::from_millis(30));
+        c.failover().unwrap();
+        let vd = h
+            .join()
+            .unwrap()
+            .expect("VD probe must ride through the promotion");
+        assert!(vd < Duration::from_secs(10));
         c.shutdown();
     }
 

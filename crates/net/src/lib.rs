@@ -197,6 +197,15 @@ pub struct ServiceStats {
     pub idle_closed: AtomicU64,
     /// Connections sent a drain goodbye during graceful shutdown.
     pub drained: AtomicU64,
+    /// Automatic promotions observed (maintained by the protocol,
+    /// mirrored from the cluster supervisor).
+    pub auto_failovers: AtomicU64,
+    /// Statements transparently replayed against a new writer after a
+    /// failover error (maintained by the protocol).
+    pub replayed_stmts: AtomicU64,
+    /// Detection latency of the last auto-failover, in milliseconds
+    /// (maintained by the protocol, mirrored from the supervisor).
+    pub detection_ms_last: AtomicU64,
 }
 
 /// A running reactor service. Dropping it shuts down gracefully.

@@ -46,6 +46,27 @@ pub struct PolarFs {
     inner: Arc<FsInner>,
 }
 
+/// Writer-liveness register state ([`PolarFs::heartbeat`]).
+struct LeaseState {
+    /// Epoch of the writer that stamped the last beat.
+    epoch: u64,
+    /// Monotonic beat counter; waiters key off it, not wall time.
+    beats: u64,
+    /// When the last beat landed (`None` before the first beat).
+    last_beat: Option<std::time::Instant>,
+}
+
+/// Snapshot of the lease register, returned by [`PolarFs::lease`].
+#[derive(Debug, Clone, Copy)]
+pub struct LeaseInfo {
+    /// Epoch of the writer that stamped the last beat.
+    pub epoch: u64,
+    /// Total beats stamped since the volume was created.
+    pub beats: u64,
+    /// Time since the last beat (`None` before the first beat).
+    pub age: Option<std::time::Duration>,
+}
+
 struct FsInner {
     logs: RwLock<BTreeMap<String, Arc<LogFile>>>,
     pages: RwLock<BTreeMap<(String, PageId), Bytes>>,
@@ -57,6 +78,12 @@ struct FsInner {
     /// stale epoch is rejected, so after a failover bumps the register
     /// a deposed ("zombie") RW can never extend the REDO log again.
     writer_epoch: std::sync::atomic::AtomicU64,
+    /// Writer-liveness lease register, fenced by the same epoch as log
+    /// appends. The RW stamps it periodically; the cluster supervisor
+    /// watches it to detect writer death.
+    lease: Mutex<LeaseState>,
+    /// Signalled on every accepted heartbeat so watchers can block.
+    lease_beat: Condvar,
 }
 
 impl PolarFs {
@@ -70,6 +97,12 @@ impl PolarFs {
                 latency,
                 stats: IoStats::default(),
                 writer_epoch: std::sync::atomic::AtomicU64::new(0),
+                lease: Mutex::new(LeaseState {
+                    epoch: 0,
+                    beats: 0,
+                    last_beat: None,
+                }),
+                lease_beat: Condvar::new(),
             }),
         }
     }
@@ -123,6 +156,59 @@ impl PolarFs {
             .writer_epoch
             .fetch_add(1, std::sync::atomic::Ordering::SeqCst)
             + 1
+    }
+
+    // ---- writer lease (liveness register) ----
+
+    /// Stamp the writer-liveness lease. Fenced exactly like
+    /// [`PolarFs::append_fenced`]: a beat carrying an epoch older than
+    /// the volume's writer epoch is rejected with [`Error::Failover`],
+    /// so a deposed RW cannot keep looking alive (the epoch check and
+    /// the stamp happen under the lease lock, so a concurrent
+    /// [`PolarFs::bump_epoch`] either fences this beat or happens
+    /// strictly after it). Returns the new beat counter.
+    pub fn heartbeat(&self, epoch: u64) -> Result<u64> {
+        let beats;
+        {
+            let mut lease = self.inner.lease.lock();
+            let current = self.current_epoch();
+            if epoch < current {
+                return Err(Error::Failover(format!(
+                    "heartbeat fenced: writer epoch {epoch} < volume epoch {current}"
+                )));
+            }
+            lease.epoch = epoch;
+            lease.beats += 1;
+            lease.last_beat = Some(std::time::Instant::now());
+            beats = lease.beats;
+        }
+        self.inner.lease_beat.notify_all();
+        Ok(beats)
+    }
+
+    /// Snapshot the lease register: epoch and beat counter of the last
+    /// accepted heartbeat, plus its age. `age == None` means no writer
+    /// has ever stamped the lease.
+    pub fn lease(&self) -> LeaseInfo {
+        let lease = self.inner.lease.lock();
+        LeaseInfo {
+            epoch: lease.epoch,
+            beats: lease.beats,
+            age: lease.last_beat.map(|t| t.elapsed()),
+        }
+    }
+
+    /// Block until the lease beat counter advances past `seen` (or the
+    /// timeout elapses) and return the current counter. The cluster
+    /// supervisor parks here between liveness checks instead of
+    /// polling.
+    pub fn wait_beat(&self, seen: u64, timeout: std::time::Duration) -> u64 {
+        let mut lease = self.inner.lease.lock();
+        if lease.beats > seen {
+            return lease.beats;
+        }
+        let _ = self.inner.lease_beat.wait_for(&mut lease, timeout);
+        lease.beats
     }
 
     // ---- append-only log files ----
@@ -391,6 +477,38 @@ mod tests {
         assert_eq!(fs.read_log("redo", 0, 64), b"oknew");
         // The fenced append left no trace and counted no I/O latency.
         assert_eq!(fs.log_len("redo"), 5);
+    }
+
+    #[test]
+    fn heartbeat_is_fenced_by_the_writer_epoch() {
+        let fs = PolarFs::instant();
+        assert!(fs.lease().age.is_none(), "no beat stamped yet");
+        assert_eq!(fs.heartbeat(0).unwrap(), 1);
+        assert_eq!(fs.heartbeat(0).unwrap(), 2);
+        let info = fs.lease();
+        assert_eq!((info.epoch, info.beats), (0, 2));
+        assert!(info.age.is_some());
+        // Promotion bumps the register; the deposed writer's beats are
+        // rejected and leave the register untouched.
+        fs.bump_epoch();
+        let err = fs.heartbeat(0).unwrap_err();
+        assert!(matches!(err, Error::Failover(_)), "got {err}");
+        assert_eq!(fs.lease().beats, 2);
+        // The new writer stamps fine.
+        assert_eq!(fs.heartbeat(1).unwrap(), 3);
+        assert_eq!(fs.lease().epoch, 1);
+    }
+
+    #[test]
+    fn wait_beat_wakes_on_heartbeat() {
+        let fs = PolarFs::instant();
+        let fs2 = fs.clone();
+        let h = std::thread::spawn(move || fs2.wait_beat(0, Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(20));
+        fs.heartbeat(0).unwrap();
+        assert_eq!(h.join().unwrap(), 1);
+        // Already-seen beats return immediately.
+        assert_eq!(fs.wait_beat(0, Duration::from_millis(1)), 1);
     }
 
     #[test]

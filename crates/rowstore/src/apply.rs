@@ -99,6 +99,32 @@ fn local_page(
     })
 }
 
+/// Block until page `id` exists in this node's pool.
+///
+/// Phase-1 replay is page-partitioned: a split's full-page image
+/// (`SmoLeafWrite` / `SmoInternalWrite`) and the pointer records that
+/// reference it (`SmoSetNext`, `SmoParentInsert`, `SmoSetRoot`) hash to
+/// *different* workers, so the pointer can reach its page before the
+/// sibling exists locally — and a concurrent reader descending the tree
+/// would chase the dangling pointer out of the pool into shared storage.
+/// The creating record always carries a lower LSN than the pointer, so
+/// by the time any worker gets here it is already queued (or applied) at
+/// its own page's worker: the wait is short and, because every wait
+/// targets a strictly earlier record, cycle-free. The deadline only
+/// trips on a corrupt log, where the creation record never existed.
+fn await_page_birth(bp: &BufferPool, id: imci_common::PageId) -> Result<()> {
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    while bp.get_local(id).is_none() {
+        if std::time::Instant::now() >= deadline {
+            return Err(Error::Replication(format!(
+                "replay references page {id} before its creation record"
+            )));
+        }
+        std::thread::yield_now();
+    }
+    Ok(())
+}
+
 /// Apply one REDO entry to the node-local pages; returns the extracted
 /// logical DML for user entries (None for SMO / decision / system undo).
 ///
@@ -238,7 +264,21 @@ pub fn apply_entry(engine: &RowEngine, e: &RedoEntry) -> Result<Option<LogicalCh
         RedoPayload::SmoLeafWrite { entries, next_leaf } => {
             let arc = match bp.get_local(e.page_id) {
                 Some(a) => a,
-                None => bp.install(Page::new_leaf(e.page_id)),
+                // Install fully formed: concurrent readers that follow a
+                // pointer here (once the pointer records land) must never
+                // observe an empty half-built sibling.
+                None => {
+                    bp.install(Page {
+                        id: e.page_id,
+                        last_lsn: e.lsn,
+                        dirty: true,
+                        kind: PageKind::Leaf {
+                            entries: entries.clone(),
+                            next: *next_leaf,
+                        },
+                    });
+                    return Ok(None);
+                }
             };
             let mut page = arc.write();
             if e.lsn <= page.last_lsn {
@@ -266,6 +306,9 @@ pub fn apply_entry(engine: &RowEngine, e: &RedoEntry) -> Result<Option<LogicalCh
             Ok(None)
         }
         RedoPayload::SmoSetNext { next_leaf } => {
+            if let Some(next) = next_leaf {
+                await_page_birth(bp, *next)?;
+            }
             let arc = local_page(bp, e.page_id)?;
             let mut page = arc.write();
             if e.lsn <= page.last_lsn {
@@ -280,6 +323,7 @@ pub fn apply_entry(engine: &RowEngine, e: &RedoEntry) -> Result<Option<LogicalCh
             Ok(None)
         }
         RedoPayload::SmoParentInsert { key, child } => {
+            await_page_birth(bp, *child)?;
             let arc = local_page(bp, e.page_id)?;
             let mut page = arc.write();
             if e.lsn <= page.last_lsn {
@@ -298,17 +342,27 @@ pub fn apply_entry(engine: &RowEngine, e: &RedoEntry) -> Result<Option<LogicalCh
             Ok(None)
         }
         RedoPayload::SmoInternalWrite { keys, children } => {
+            // An internal rewrite can hand out pointers to a page born
+            // by an earlier record on another worker (root split: the
+            // fresh right sibling). Existing children hit the pool
+            // directly, so the waits are free in the common case.
+            for c in children {
+                await_page_birth(bp, *c)?;
+            }
             let arc = match bp.get_local(e.page_id) {
                 Some(a) => a,
-                None => bp.install(Page {
-                    id: e.page_id,
-                    last_lsn: Lsn::ZERO,
-                    dirty: true,
-                    kind: PageKind::Internal {
-                        keys: Vec::new(),
-                        children: Vec::new(),
-                    },
-                }),
+                None => {
+                    bp.install(Page {
+                        id: e.page_id,
+                        last_lsn: e.lsn,
+                        dirty: true,
+                        kind: PageKind::Internal {
+                            keys: keys.clone(),
+                            children: children.clone(),
+                        },
+                    });
+                    return Ok(None);
+                }
             };
             let mut page = arc.write();
             if e.lsn <= page.last_lsn {
@@ -323,6 +377,7 @@ pub fn apply_entry(engine: &RowEngine, e: &RedoEntry) -> Result<Option<LogicalCh
             Ok(None)
         }
         RedoPayload::SmoSetRoot { root } => {
+            await_page_birth(bp, *root)?;
             let arc = match bp.get_local(e.page_id) {
                 Some(a) => a,
                 None => bp.install(Page::new_meta(e.page_id, *root)),
@@ -538,6 +593,70 @@ mod tests {
             assert_eq!(apply_entry(&ro, e).unwrap(), None);
         }
         assert_eq!(ro.row_count("t").unwrap(), 50);
+    }
+
+    /// Page-partitioned Phase-1 replay: a pointer record (here
+    /// `SmoSetNext`) can reach its worker before the pointed-to page's
+    /// full-page image is applied by a *different* worker. The pointer
+    /// apply must wait for the page's birth instead of exposing a
+    /// dangling reference to concurrent readers.
+    #[test]
+    fn pointer_records_wait_for_page_birth() {
+        let fs = PolarFs::instant();
+        let ro = RowEngine::new_replica(fs, 1 << 20);
+        let smo = |lsn: u64, page: u64, payload: RedoPayload| RedoEntry {
+            lsn: Lsn(lsn),
+            prev_lsn: Lsn(0),
+            tid: SYSTEM_TID,
+            table_id: TableId(1),
+            page_id: imci_common::PageId(page),
+            slot_id: 0,
+            payload,
+        };
+        apply_entry(
+            &ro,
+            &smo(
+                1,
+                5,
+                RedoPayload::SmoLeafWrite {
+                    entries: vec![(1, vec![1u8])],
+                    next_leaf: None,
+                },
+            ),
+        )
+        .unwrap();
+
+        // The sibling's image (LSN 2) lands late, from another thread —
+        // the out-of-order interleaving two page-hashed workers produce.
+        let late = {
+            let ro = ro.clone();
+            let e = smo(
+                2,
+                7,
+                RedoPayload::SmoLeafWrite {
+                    entries: vec![(9, vec![9u8])],
+                    next_leaf: None,
+                },
+            );
+            std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(30));
+                apply_entry(&ro, &e).unwrap();
+            })
+        };
+        apply_entry(
+            &ro,
+            &smo(
+                3,
+                5,
+                RedoPayload::SmoSetNext {
+                    next_leaf: Some(imci_common::PageId(7)),
+                },
+            ),
+        )
+        .unwrap();
+        // By the time the pointer is visible, its target must exist.
+        assert!(ro.buffer_pool().get_local(imci_common::PageId(7)).is_some());
+        late.join().unwrap();
     }
 
     #[test]

@@ -160,7 +160,7 @@ impl RowEngine {
                     version,
                     op: op.clone(),
                 },
-            });
+            })?;
         }
         Ok(Some(txn))
     }
@@ -551,12 +551,16 @@ impl RowEngine {
 
     // ---- DML ----
 
-    fn maybe_binlog(&self, ev: BinlogEvent) {
+    /// Ship a logical binlog event in Binlog mode. A fenced (deposed)
+    /// writer propagates [`Error::Failover`]: the local mutation is
+    /// moot because the commit fsync would be fenced anyway.
+    fn maybe_binlog(&self, ev: BinlogEvent) -> Result<()> {
         if let Some(log) = self.log.read().as_ref() {
             if log.mode() == PropagationMode::Binlog {
-                log.binlog().log_event(&ev);
+                log.binlog().log_event(&ev)?;
             }
         }
+        Ok(())
     }
 
     /// Insert a row.
@@ -582,7 +586,7 @@ impl RowEngine {
             tid: txn.tid,
             table_id: rt.schema.table_id,
             kind: BinlogKind::Insert { row },
-        });
+        })?;
         Ok(())
     }
 
@@ -620,7 +624,7 @@ impl RowEngine {
             tid: txn.tid,
             table_id: rt.schema.table_id,
             kind: BinlogKind::Update { pk, row: new_row },
-        });
+        })?;
         Ok(())
     }
 
@@ -645,7 +649,7 @@ impl RowEngine {
             tid: txn.tid,
             table_id: rt.schema.table_id,
             kind: BinlogKind::Delete { pk },
-        });
+        })?;
         Ok(())
     }
 

@@ -261,6 +261,27 @@ impl Client {
         }
     }
 
+    /// Execute one statement tagged with a client-chosen id
+    /// (`STMT <id> <sql>`). The server journals the decided response
+    /// per session, so resending the same id replays the journal entry
+    /// instead of re-executing — exactly-once across failover even for
+    /// writes. Tagged statements are also transparently replayed by the
+    /// server against a newly promoted writer, so the failover error
+    /// category is never surfaced while promotion completes in time.
+    pub fn execute_tagged(&mut self, id: u64, sql: &str) -> Result<QueryResult> {
+        self.send(&format!("STMT {id} {sql}"))?;
+        self.recv()
+    }
+
+    /// Fetch the server's `STATUS` report: a one-row result set with
+    /// the writer role, writer epoch, applied LSN, supervisor state and
+    /// fault-tolerance counters. Zero admission cost — answered even
+    /// when the statement queue is saturated.
+    pub fn status(&mut self) -> Result<QueryResult> {
+        self.send("STATUS")?;
+        self.recv()
+    }
+
     /// Set this session's consistency level (paper §6.4).
     pub fn set_consistency(&mut self, level: Consistency) -> Result<()> {
         let word = match level {

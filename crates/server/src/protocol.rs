@@ -111,6 +111,17 @@ pub enum Request {
     /// single aggregate reply.
     Batch(usize),
     Set(SessionSetting),
+    /// `STATUS` — zero-cost control statement answered by the proxy
+    /// itself (bypasses admission control): reports the node role,
+    /// writer epoch, applied LSN and supervisor state as a one-row
+    /// result set. Usable even when the cluster is saturated, which is
+    /// exactly when an operator needs it.
+    Status,
+    /// `STMT <id> <sql>` — a statement tagged with a client-chosen id
+    /// for exactly-once replay across failover: if the client resends
+    /// the same id on a new connection, the server answers from its
+    /// journal instead of re-executing.
+    Stmt(u64, String),
     Query(String),
 }
 
@@ -161,6 +172,21 @@ pub fn parse_request(line: &str) -> Request {
         if let (Some(n), None) = (words.next(), words.next()) {
             if let Ok(n) = n.parse::<usize>() {
                 return Request::Batch(n);
+            }
+        }
+    } else if w0.eq_ignore_ascii_case("STATUS") {
+        if words.next().is_none() {
+            return Request::Status;
+        }
+    } else if w0.eq_ignore_ascii_case("STMT") {
+        // `STMT <id> <sql...>` — everything after the id is the SQL.
+        let rest = trimmed[w0.len()..].trim_start();
+        if let Some((id_str, sql)) = rest.split_once(char::is_whitespace) {
+            if let Ok(id) = id_str.parse::<u64>() {
+                let sql = sql.trim();
+                if !sql.is_empty() {
+                    return Request::Stmt(id, sql.to_string());
+                }
             }
         }
     } else if w0.eq_ignore_ascii_case("SET") {
@@ -633,6 +659,34 @@ mod tests {
         assert_eq!(
             parse_request("BATCH job"),
             Request::Query("BATCH job".to_string())
+        );
+    }
+
+    #[test]
+    fn status_and_stmt_parse() {
+        assert_eq!(parse_request("STATUS"), Request::Status);
+        assert_eq!(parse_request("  status  "), Request::Status);
+        // A STATUS with trailing words is SQL, not the control statement.
+        assert_eq!(
+            parse_request("STATUS now"),
+            Request::Query("STATUS now".to_string())
+        );
+        assert_eq!(
+            parse_request("STMT 42 INSERT INTO t VALUES (1)"),
+            Request::Stmt(42, "INSERT INTO t VALUES (1)".to_string())
+        );
+        assert_eq!(
+            parse_request("stmt 7 SELECT 1"),
+            Request::Stmt(7, "SELECT 1".to_string())
+        );
+        // Malformed ids or missing SQL fall through to SQL.
+        assert_eq!(
+            parse_request("STMT abc SELECT 1"),
+            Request::Query("STMT abc SELECT 1".to_string())
+        );
+        assert_eq!(
+            parse_request("STMT 42"),
+            Request::Query("STMT 42".to_string())
         );
     }
 

@@ -20,17 +20,30 @@ use crate::protocol::{
     Response, SessionSetting, MAX_BATCH, MAX_VERSION,
 };
 use imci_cluster::{Cluster, ExecOpts};
-use imci_common::{Error, Result};
+use imci_common::{Error, Result, Value};
 use imci_net::{Goodbye, InputBuf, NetConfig, NetServer, Proto, RunOutcome, ServiceStats, Step};
+use imci_sql::{EngineChoice, QueryResult};
+use std::collections::{HashMap, VecDeque};
 use std::net::SocketAddr;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Longest single request line the server will buffer while waiting
 /// for its terminator. Guards reactor memory against a peer that
 /// streams bytes without ever sending a newline.
 pub const MAX_REQUEST_LINE: usize = 8 << 20;
+
+/// Longest the proxy will mask a writer vacancy by transparently
+/// replaying a statement before surfacing the failover error after
+/// all. Comfortably above any supervisor detection + promotion cycle,
+/// but bounded so a cluster that truly lost its last candidate does
+/// not hang clients forever.
+pub const REPLAY_DEADLINE: Duration = Duration::from_secs(10);
+
+/// Decided responses remembered per session for `STMT`-tagged
+/// statements (exactly-once resend window).
+const STMT_JOURNAL_CAP: usize = 1024;
 
 /// Server construction knobs.
 #[derive(Debug, Clone)]
@@ -155,12 +168,55 @@ struct ParseState {
 struct ExecState {
     session: ExecOpts,
     version: u32,
+    /// Exactly-once journal for `STMT`-tagged statements: client
+    /// statement id → the decided response. A resend of a journaled id
+    /// is answered from here without re-executing.
+    journal: StmtJournal,
+}
+
+/// Bounded FIFO journal of decided `STMT` responses. Only *decided*
+/// outcomes are stored — a retryable error (`failover`, `busy`) means
+/// the statement never took effect, and journaling it would wrongly
+/// pin a later resend to the transient error.
+struct StmtJournal {
+    by_id: HashMap<u64, Response>,
+    order: VecDeque<u64>,
+}
+
+impl StmtJournal {
+    fn new() -> StmtJournal {
+        StmtJournal {
+            by_id: HashMap::new(),
+            order: VecDeque::new(),
+        }
+    }
+
+    fn get(&self, id: u64) -> Option<&Response> {
+        self.by_id.get(&id)
+    }
+
+    fn put(&mut self, id: u64, resp: Response) {
+        if self.by_id.insert(id, resp).is_none() {
+            self.order.push_back(id);
+            if self.order.len() > STMT_JOURNAL_CAP {
+                if let Some(evicted) = self.order.pop_front() {
+                    self.by_id.remove(&evicted);
+                }
+            }
+        }
+    }
 }
 
 /// One ordered unit of work decoded off a connection.
 enum Unit {
     Hello(u32),
     Set(SessionSetting),
+    /// `STATUS`: answered by the proxy itself from cluster metadata,
+    /// zero admission cost — it must work precisely when the cluster
+    /// is saturated or failing over.
+    Status,
+    /// `STMT <id> <sql>`: a statement tagged for exactly-once replay.
+    Stmt(u64, String),
     Query(String),
     Batch(Vec<Request>),
     /// Admission shed this statement: answer with a retryable `busy`
@@ -186,6 +242,7 @@ impl Proto for ImciProto {
             ExecState {
                 session: ExecOpts::default(),
                 version: 1,
+                journal: StmtJournal::new(),
             },
         )
     }
@@ -244,6 +301,8 @@ impl Proto for ImciProto {
                     p.batch = Some((count, Vec::with_capacity(count.min(1024))));
                 }
                 Request::Set(setting) => return Step::Unit(Unit::Set(setting)),
+                Request::Status => return Step::Unit(Unit::Status),
+                Request::Stmt(id, sql) => return Step::Unit(Unit::Stmt(id, sql)),
                 Request::Query(sql) => return Step::Unit(Unit::Query(sql)),
             }
         }
@@ -251,14 +310,17 @@ impl Proto for ImciProto {
 
     fn cost(&self, unit: &Unit) -> usize {
         match unit {
-            Unit::Query(_) => 1,
+            Unit::Query(_) | Unit::Stmt(..) => 1,
             // A batch's admission cost is its statement count; pure
             // control batches still occupy one slot.
             Unit::Batch(reqs) => reqs
                 .iter()
-                .filter(|r| matches!(r, Request::Query(_)))
+                .filter(|r| matches!(r, Request::Query(_) | Request::Stmt(..)))
                 .count()
                 .max(1),
+            // STATUS (and the other control units) bypass admission:
+            // cost 0 means they are answered even when the statement
+            // queue is saturated.
             _ => 0,
         }
     }
@@ -324,6 +386,21 @@ impl Proto for ImciProto {
                     apply_setting(&mut exec.session, setting);
                     emit(out, &Response::Ok { affected: 0 }, exec.version);
                 }
+                Unit::Status => {
+                    let resp = status_response(&self.cluster, &self.stats);
+                    emit(out, &resp, exec.version);
+                }
+                Unit::Stmt(id, sql) => {
+                    let resp = execute_stmt(
+                        &self.cluster,
+                        exec.session,
+                        &mut exec.journal,
+                        id,
+                        &sql,
+                        &self.stats,
+                    );
+                    emit(out, &resp, exec.version);
+                }
                 Unit::Query(sql) => {
                     // Greedily group the pipelined run of plain queries
                     // behind this one: `execute_many` resolves proxy
@@ -341,18 +418,18 @@ impl Proto for ImciProto {
                         .fetch_add(refs.len() as u64, Ordering::Relaxed);
                     let results = self.cluster.execute_many(&refs, exec.session);
                     for (k, result) in results.into_iter().enumerate() {
-                        let resp = match result {
-                            Ok(r) => response_of(r, imci_sql::is_read_only(refs[k])),
-                            Err(e) => {
-                                self.stats.errors.fetch_add(1, Ordering::Relaxed);
-                                Response::from_error(&e)
-                            }
-                        };
+                        let resp = finish_result(
+                            &self.cluster,
+                            exec.session,
+                            refs[k],
+                            result,
+                            &self.stats,
+                        );
                         emit(out, &resp, exec.version);
                     }
                 }
                 Unit::Batch(reqs) => {
-                    let resp = execute_batch(&self.cluster, &mut exec.session, reqs, &self.stats);
+                    let resp = execute_batch(&self.cluster, exec, reqs, &self.stats);
                     emit(out, &resp, exec.version);
                 }
                 Unit::Busy => {
@@ -410,7 +487,7 @@ fn apply_setting(session: &mut ExecOpts, setting: SessionSetting) {
 /// sub-response per request, in order.
 fn execute_batch(
     cluster: &Arc<Cluster>,
-    session: &mut ExecOpts,
+    exec: &mut ExecState,
     reqs: Vec<Request>,
     stats: &ServerStats,
 ) -> Response {
@@ -419,7 +496,7 @@ fn execute_batch(
     while i < reqs.len() {
         match &reqs[i] {
             Request::Set(setting) => {
-                apply_setting(session, setting.clone());
+                apply_setting(&mut exec.session, setting.clone());
                 parts.push(Response::Ok { affected: 0 });
                 i += 1;
             }
@@ -428,6 +505,21 @@ fn execute_batch(
                     kind: "execution".into(),
                     msg: "HELLO/BATCH cannot appear inside a batch".into(),
                 });
+                i += 1;
+            }
+            Request::Status => {
+                parts.push(status_response(cluster, stats));
+                i += 1;
+            }
+            Request::Stmt(id, sql) => {
+                parts.push(execute_stmt(
+                    cluster,
+                    exec.session,
+                    &mut exec.journal,
+                    *id,
+                    sql,
+                    stats,
+                ));
                 i += 1;
             }
             Request::Query(_) => {
@@ -439,22 +531,147 @@ fn execute_batch(
                 stats
                     .queries
                     .fetch_add(sqls.len() as u64, Ordering::Relaxed);
-                let results = cluster.execute_many(&sqls, *session);
+                let results = cluster.execute_many(&sqls, exec.session);
                 for (k, result) in results.into_iter().enumerate() {
-                    match result {
-                        Ok(r) => {
-                            let read_only = imci_sql::is_read_only(sqls[k]);
-                            parts.push(response_of(r, read_only));
-                        }
-                        Err(e) => {
-                            stats.errors.fetch_add(1, Ordering::Relaxed);
-                            parts.push(Response::from_error(&e));
-                        }
-                    }
+                    parts.push(finish_result(cluster, exec.session, sqls[k], result, stats));
                 }
                 debug_assert_eq!(parts.len(), i, "one response per request");
             }
         }
     }
     Response::Batch(parts)
+}
+
+/// Turn one execution result into its response, transparently
+/// replaying **read-only** statements that hit a failover error: a
+/// read never took effect, so re-executing it against the promoted
+/// writer (or a surviving RO) is invisible to the client. Writes are
+/// only replayed when the client tagged them (`STMT`, see
+/// [`execute_stmt`]) — an untagged client that timed out and resent on
+/// its own could otherwise double-apply.
+fn finish_result(
+    cluster: &Cluster,
+    session: ExecOpts,
+    sql: &str,
+    result: Result<QueryResult>,
+    stats: &ServerStats,
+) -> Response {
+    let read_only = imci_sql::is_read_only(sql);
+    let result = match result {
+        Err(e @ Error::Failover(_)) if read_only => replay_execute(cluster, sql, session, stats, e),
+        other => other,
+    };
+    match result {
+        Ok(r) => response_of(r, read_only),
+        Err(e) => {
+            stats.errors.fetch_add(1, Ordering::Relaxed);
+            Response::from_error(&e)
+        }
+    }
+}
+
+/// Re-execute `sql` after a failover error: wait (bounded by
+/// [`REPLAY_DEADLINE`]) for a writer to be installed, then retry.
+/// Safe for reads (no effect to duplicate) and for `STMT`-tagged
+/// writes — in this system a statement that failed with the failover
+/// category provably did **not** commit: the epoch fence rejects the
+/// append before the commit fsync, and the failed append burns no LSN.
+fn replay_execute(
+    cluster: &Cluster,
+    sql: &str,
+    session: ExecOpts,
+    stats: &ServerStats,
+    first_err: Error,
+) -> Result<QueryResult> {
+    let deadline = Instant::now() + REPLAY_DEADLINE;
+    let mut last = first_err;
+    loop {
+        let now = Instant::now();
+        if now >= deadline || !cluster.wait_for_writer(deadline - now) {
+            return Err(last);
+        }
+        stats.replayed_stmts.fetch_add(1, Ordering::Relaxed);
+        match cluster.execute_opts(sql, session) {
+            // The writer we waited for may itself have died; keep
+            // retrying until the deadline.
+            Err(e @ Error::Failover(_)) => last = e,
+            other => return other,
+        }
+    }
+}
+
+/// Execute one `STMT <id> <sql>` with exactly-once semantics: a
+/// journaled id replays the decided response without re-executing;
+/// a fresh id executes with transparent failover replay (tagged
+/// statements are replayable whether or not they are reads), and the
+/// decided outcome is journaled for future resends.
+fn execute_stmt(
+    cluster: &Cluster,
+    session: ExecOpts,
+    journal: &mut StmtJournal,
+    id: u64,
+    sql: &str,
+    stats: &ServerStats,
+) -> Response {
+    if let Some(resp) = journal.get(id) {
+        return resp.clone();
+    }
+    stats.queries.fetch_add(1, Ordering::Relaxed);
+    let result = match cluster.execute_opts(sql, session) {
+        Err(e @ Error::Failover(_)) => replay_execute(cluster, sql, session, stats, e),
+        other => other,
+    };
+    let resp = match result {
+        Ok(r) => response_of(r, imci_sql::is_read_only(sql)),
+        Err(e) => {
+            stats.errors.fetch_add(1, Ordering::Relaxed);
+            Response::from_error(&e)
+        }
+    };
+    // Journal only decided outcomes: retryable errors mean the
+    // statement never took effect, so a resend should re-attempt it,
+    // not replay the transient error.
+    let decided =
+        !matches!(&resp, Response::Err { kind, .. } if kind == "failover" || kind == "busy");
+    if decided {
+        journal.put(id, resp.clone());
+    }
+    resp
+}
+
+/// Build the `STATUS` report: a one-row result set with the node role,
+/// writer epoch, applied LSN and supervisor state, plus the
+/// fault-tolerance counters. Also mirrors the cluster's supervisor
+/// counters into the service stats so watchers holding only a
+/// [`ServerStats`] handle observe them.
+fn status_response(cluster: &Cluster, stats: &ServerStats) -> Response {
+    let auto = cluster.auto_failovers();
+    let detect = cluster.detection_ms_last();
+    stats.auto_failovers.store(auto, Ordering::Relaxed);
+    stats.detection_ms_last.store(detect, Ordering::Relaxed);
+    let columns = [
+        "role",
+        "writer_epoch",
+        "applied_lsn",
+        "supervisor",
+        "auto_failovers",
+        "replayed_stmts",
+        "detection_ms_last",
+    ]
+    .map(String::from)
+    .to_vec();
+    let row = vec![
+        Value::Str(cluster.writer_role().to_string()),
+        Value::Int(cluster.fs.current_epoch() as i64),
+        Value::Int(cluster.applied_lsn() as i64),
+        Value::Str(cluster.supervisor_state().to_string()),
+        Value::Int(auto as i64),
+        Value::Int(stats.replayed_stmts.load(Ordering::Relaxed) as i64),
+        Value::Int(detect as i64),
+    ];
+    Response::Rows {
+        columns,
+        rows: vec![row],
+        engine: EngineChoice::Row,
+    }
 }

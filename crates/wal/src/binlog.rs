@@ -143,39 +143,51 @@ impl BinlogEvent {
     }
 }
 
-/// Appender for the logical binlog.
+/// Appender for the logical binlog. Appends are fenced with the
+/// writer's epoch, same as the REDO stream — a deposed RW must not be
+/// able to pollute *either* log (the REDO fence alone would leave the
+/// Fig. 11 baseline stream writable by zombies).
 pub struct BinlogWriter {
     fs: PolarFs,
+    /// Writer epoch stamped on every append; stale epochs are fenced
+    /// by [`PolarFs::append_fenced`].
+    epoch: u64,
 }
 
 impl BinlogWriter {
-    /// Create a writer over shared storage.
-    pub fn new(fs: PolarFs) -> BinlogWriter {
-        BinlogWriter { fs }
+    /// Create a writer over shared storage, fencing its appends with
+    /// `epoch` (the owning redo writer's epoch).
+    pub fn new(fs: PolarFs, epoch: u64) -> BinlogWriter {
+        BinlogWriter { fs, epoch }
     }
 
-    /// Append a row event (no fsync; that happens at commit).
-    pub fn log_event(&self, ev: &BinlogEvent) {
-        self.fs.append(BINLOG_NAME, &ev.encode());
+    /// Append a row event (no fsync; that happens at commit). Fails
+    /// with [`imci_common::Error::Failover`] when this writer has been
+    /// fenced by a promotion.
+    pub fn log_event(&self, ev: &BinlogEvent) -> Result<()> {
+        self.fs
+            .append_fenced(BINLOG_NAME, &ev.encode(), self.epoch)?;
+        Ok(())
     }
 
     /// Append the commit event and fsync — the extra commit-path cost.
-    pub fn commit(&self, tid: Tid) {
+    pub fn commit(&self, tid: Tid) -> Result<()> {
         self.log_event(&BinlogEvent {
             tid,
             table_id: TableId::ZERO,
             kind: BinlogKind::Commit,
-        });
+        })?;
         self.fs.fsync(BINLOG_NAME);
+        Ok(())
     }
 
     /// Append an abort event.
-    pub fn abort(&self, tid: Tid) {
+    pub fn abort(&self, tid: Tid) -> Result<()> {
         self.log_event(&BinlogEvent {
             tid,
             table_id: TableId::ZERO,
             kind: BinlogKind::Abort,
-        });
+        })
     }
 }
 
@@ -279,6 +291,36 @@ mod tests {
             assert_eq!(used, enc.len());
             assert_eq!(dec, ev);
         }
+    }
+
+    #[test]
+    fn stale_epoch_binlog_appends_are_fenced() {
+        let fs = PolarFs::instant();
+        let w = BinlogWriter::new(fs.clone(), fs.current_epoch());
+        let ev = BinlogEvent {
+            tid: Tid(1),
+            table_id: TableId(2),
+            kind: BinlogKind::Delete { pk: 1 },
+        };
+        w.log_event(&ev).unwrap();
+        w.commit(Tid(1)).unwrap();
+        let len_before = fs.log_len(BINLOG_NAME);
+        // A promotion bumps the volume epoch: the zombie's event,
+        // commit, and abort appends are all rejected and leave the
+        // binlog untouched.
+        fs.bump_epoch();
+        for err in [
+            w.log_event(&ev).unwrap_err(),
+            w.commit(Tid(2)).unwrap_err(),
+            w.abort(Tid(2)).unwrap_err(),
+        ] {
+            assert!(matches!(err, Error::Failover(_)), "got {err}");
+        }
+        assert_eq!(fs.log_len(BINLOG_NAME), len_before);
+        // The promoted writer's binlog appends go through.
+        let w2 = BinlogWriter::new(fs.clone(), fs.current_epoch());
+        w2.commit(Tid(3)).unwrap();
+        assert!(fs.log_len(BINLOG_NAME) > len_before);
     }
 
     #[test]

@@ -57,7 +57,7 @@ impl LogWriter {
     pub fn new(fs: PolarFs, mode: PropagationMode) -> Arc<LogWriter> {
         let epoch = fs.current_epoch();
         Arc::new(LogWriter {
-            binlog: crate::binlog::BinlogWriter::new(fs.clone()),
+            binlog: crate::binlog::BinlogWriter::new(fs.clone(), epoch),
             fs,
             state: Mutex::new(WriterState {
                 next_lsn: 1,
@@ -85,7 +85,7 @@ impl LogWriter {
     ) -> Result<Arc<LogWriter>> {
         let epoch = fs.current_epoch();
         let w = Arc::new(LogWriter {
-            binlog: crate::binlog::BinlogWriter::new(fs.clone()),
+            binlog: crate::binlog::BinlogWriter::new(fs.clone(), epoch),
             fs,
             state: Mutex::new(WriterState {
                 next_lsn: next_lsn.max(1),
@@ -190,7 +190,7 @@ impl LogWriter {
         )?;
         self.fs.fsync(REDO_LOG_NAME);
         if self.mode == PropagationMode::Binlog {
-            self.binlog.commit(tid);
+            self.binlog.commit(tid)?;
         }
         self.written_lsn.fetch_max(lsn.get(), Ordering::SeqCst);
         Ok(lsn)
@@ -201,7 +201,7 @@ impl LogWriter {
     pub fn abort(&self, tid: Tid) -> Result<Lsn> {
         let lsn = self.append(tid, TableId::ZERO, PageId::ZERO, 0, RedoPayload::Abort)?;
         if self.mode == PropagationMode::Binlog {
-            self.binlog.abort(tid);
+            self.binlog.abort(tid)?;
         }
         Ok(lsn)
     }

@@ -16,7 +16,7 @@ pub use imci_workloads as workloads;
 pub use polarfs_sim as polarfs;
 pub use rowstore;
 
-pub use imci_cluster::{Cluster, ClusterConfig, Consistency, ExecOpts};
+pub use imci_cluster::{Cluster, ClusterConfig, Consistency, ExecOpts, SupervisorConfig};
 pub use imci_common::{Error, Result, Value};
 pub use imci_server::{Client, Server, ServerConfig};
 pub use imci_sql::{EngineChoice, QueryResult};

@@ -16,11 +16,11 @@
 //! * the cluster serves reads and writes afterwards, with zero
 //!   replication errors.
 
-use polardb_imci::{Cluster, ClusterConfig, Consistency, Error, ExecOpts, Value};
+use polardb_imci::{Cluster, ClusterConfig, Consistency, Error, ExecOpts, SupervisorConfig, Value};
 use proptest::prelude::*;
 use std::collections::BTreeMap;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 fn strong() -> ExecOpts {
     ExecOpts {
@@ -298,6 +298,76 @@ proptest! {
             prop_assert_eq!(res.rows.len(), 1);
             prop_assert_eq!(res.rows[0][0].clone(), Value::Int(7));
         }
+        c.shutdown();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Auto-detection schedules: with the supervisor running, either
+    /// the writer dies (lease expiry — the supervisor must detect and
+    /// promote with **no caller invoking `failover()`**) or the writer
+    /// is merely slow (heartbeat interval a large fraction of the lease
+    /// — the supervisor must NOT depose a live writer, for any jitter
+    /// seed). Both schedules end with the cluster serving reads and
+    /// writes with nothing lost.
+    #[test]
+    fn supervisor_detection_schedules_promote_only_dead_writers(
+        kill in any::<bool>(),
+        lease_ms in 50u64..90,
+        seed in any::<u64>(),
+    ) {
+        // Dead-writer schedules beat fast (the lease expires because
+        // nobody beats); slow-writer schedules beat at half the lease,
+        // so every expiry check sees a fresh-enough beat.
+        let hb_ms = if kill { 4 } else { lease_ms / 2 };
+        let c = Cluster::start(ClusterConfig {
+            n_ro: 2,
+            group_cap: 32,
+            heartbeat_interval: Duration::from_millis(hb_ms),
+            supervisor: Some(SupervisorConfig {
+                lease_timeout: Duration::from_millis(lease_ms),
+                jitter: Duration::from_millis(lease_ms / 4),
+                seed,
+            }),
+            ..Default::default()
+        });
+        c.execute(
+            "CREATE TABLE sched (id INT NOT NULL, v INT, PRIMARY KEY(id),
+             KEY COLUMN_INDEX(id, v))",
+        )
+        .unwrap();
+        for i in 0..50 {
+            c.execute(&format!("INSERT INTO sched VALUES ({i}, {i})")).unwrap();
+        }
+        if kill {
+            c.crash_rw();
+            let deadline = Instant::now() + Duration::from_secs(30);
+            while c.auto_failovers() == 0 {
+                prop_assert!(Instant::now() < deadline, "supervisor never promoted");
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            prop_assert!(c.wait_for_writer(Duration::from_secs(30)), "no writer after promotion");
+            // Detection can't be faster than the lease itself.
+            prop_assert!(
+                c.detection_ms_last() as u128 >= Duration::from_millis(lease_ms).as_millis(),
+                "detection {}ms under the {lease_ms}ms lease",
+                c.detection_ms_last()
+            );
+        } else {
+            // Three lease periods of grace: plenty of chances to flap.
+            std::thread::sleep(Duration::from_millis(lease_ms * 3));
+            prop_assert_eq!(c.auto_failovers(), 0, "deposed a live writer");
+        }
+        c.execute("INSERT INTO sched VALUES (100, 100)").unwrap();
+        let res = c.execute_opts("SELECT COUNT(*) FROM sched", strong()).unwrap();
+        prop_assert_eq!(res.rows[0][0].clone(), Value::Int(51));
+        // Whatever the schedule, exactly one writer epoch history: no
+        // further promotions happen once the cluster is stable again.
+        let before = c.auto_failovers();
+        std::thread::sleep(Duration::from_millis(lease_ms * 2));
+        prop_assert_eq!(c.auto_failovers(), before, "supervisor flapped after recovery");
         c.shutdown();
     }
 }
