@@ -406,10 +406,9 @@ impl Proto for ImciProto {
                     // behind this one: `execute_many` resolves proxy
                     // routing once per run instead of once per query.
                     let mut sqls = vec![sql];
-                    while matches!(iter.peek(), Some(Unit::Query(_))) {
-                        match iter.next() {
-                            Some(Unit::Query(s)) => sqls.push(s),
-                            _ => unreachable!("peeked a query"),
+                    while let Some(Unit::Query(_)) = iter.peek() {
+                        if let Some(Unit::Query(s)) = iter.next() {
+                            sqls.push(s);
                         }
                     }
                     let refs: Vec<&str> = sqls.iter().map(|s| s.as_str()).collect();
