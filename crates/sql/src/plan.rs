@@ -201,10 +201,7 @@ pub fn bind_select(
         for c in cs {
             // equality join predicate in WHERE form: a.x = b.y
             if let AstExpr::Binary { op, l, r } = &c {
-                if op == "=" && matches!(**l, AstExpr::Col(_)) && matches!(**r, AstExpr::Col(_)) {
-                    let (AstExpr::Col(lc), AstExpr::Col(rc)) = (&**l, &**r) else {
-                        unreachable!()
-                    };
+                if let ("=", AstExpr::Col(lc), AstExpr::Col(rc)) = (op.as_str(), &**l, &**r) {
                     let lb = binder.resolve(lc)?;
                     let rb = binder.resolve(rc)?;
                     if lb.0 != rb.0 {
@@ -303,6 +300,18 @@ pub fn bind_select(
     }
 
     let bind_expr = |e: &AstExpr| -> Result<Expr> { bind_scalar(e, &binder, &flat_of, None) };
+    // AND-fold a conjunct list; `None` when the list is empty.
+    let and_all = |cs: &[AstExpr]| -> Result<Option<Expr>> {
+        let mut folded: Option<Expr> = None;
+        for c in cs {
+            let bound = bind_expr(c)?;
+            folded = Some(match folded {
+                Some(prev) => prev.and(bound),
+                None => bound,
+            });
+        }
+        Ok(folded)
+    };
 
     // ---- build BoundTables ----
     let mut tables = Vec::with_capacity(n);
@@ -310,16 +319,7 @@ pub fn bind_select(
     for (ji, &ti) in order.iter().enumerate() {
         let (schema, alias) = &binder.tables[ti];
         // local filter bound against the flat layout
-        let filter = if table_conjuncts[ti].is_empty() {
-            None
-        } else {
-            let mut it = table_conjuncts[ti].iter();
-            let mut e = bind_expr(it.next().unwrap())?;
-            for c in it {
-                e = e.and(bind_expr(c)?);
-            }
-            Some(e)
-        };
+        let filter = and_all(&table_conjuncts[ti])?;
         let mut conds = Vec::new();
         for (a, b) in &join_pairs {
             let (inner, outer) = if a.0 == ti {
@@ -347,16 +347,7 @@ pub fn bind_select(
     }
 
     // ---- residual filter ----
-    let residual = if cross_conjuncts.is_empty() {
-        None
-    } else {
-        let mut it = cross_conjuncts.iter();
-        let mut e = bind_expr(it.next().unwrap())?;
-        for c in it {
-            e = e.and(bind_expr(c)?);
-        }
-        Some(e)
-    };
+    let residual = and_all(&cross_conjuncts)?;
 
     // ---- aggregates & output ----
     let group_by: Vec<Expr> = stmt.group_by.iter().map(bind_expr).collect::<Result<_>>()?;
