@@ -213,6 +213,10 @@ pub struct NetServer<P: Proto> {
     shared: Arc<Shared<P>>,
     local_addr: SocketAddr,
     acceptor: Option<JoinHandle<()>>,
+    /// Clone of the acceptor's listener (same open file description),
+    /// kept so shutdown can flip it nonblocking if the self-connect
+    /// wake fails — see [`NetServer::shutdown`].
+    wake_listener: Option<TcpListener>,
     reactors: Vec<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     done: bool,
@@ -277,6 +281,7 @@ impl<P: Proto> NetServer<P> {
                     .spawn(move || reactor::worker_loop(shared))?,
             );
         }
+        let wake_listener = listener.try_clone().ok();
         let acceptor = {
             let shared = shared.clone();
             std::thread::Builder::new()
@@ -288,6 +293,7 @@ impl<P: Proto> NetServer<P> {
             shared,
             local_addr,
             acceptor: Some(acceptor),
+            wake_listener,
             reactors,
             workers,
             done: false,
@@ -315,9 +321,39 @@ impl<P: Proto> NetServer<P> {
         shared.stop_accept.store(true, Ordering::SeqCst);
         // Unblock the acceptor's blocking accept with a throwaway
         // connection (it re-checks the flag before serving it).
-        let _ = TcpStream::connect(self.local_addr);
+        // Loopback connects can transiently fail — SYN backlog full,
+        // ephemeral-port exhaustion — and a lost wake here used to
+        // leave the join below parked forever. Retry briefly, then
+        // fall back to flipping the shared listener nonblocking: the
+        // clone shares the open file description, so once any queued
+        // connection (or spurious readiness) returns, every later
+        // accept yields WouldBlock and the loop sees the stop flag.
+        let mut woke = false;
+        for attempt in 0..3 {
+            if attempt > 0 {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            if TcpStream::connect(self.local_addr).is_ok() {
+                woke = true;
+                break;
+            }
+        }
+        if !woke {
+            if let Some(l) = &self.wake_listener {
+                let _ = l.set_nonblocking(true);
+            }
+        }
         if let Some(h) = self.acceptor.take() {
-            let _ = h.join();
+            // Bounded: a wedged acceptor must not hang shutdown. Past
+            // the deadline the thread is abandoned — stop_accept makes
+            // it exit the moment its accept ever returns.
+            let join_deadline = Instant::now() + Duration::from_secs(1);
+            while !h.is_finished() && Instant::now() < join_deadline {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            if h.is_finished() {
+                let _ = h.join();
+            }
         }
 
         shared.draining.store(true, Ordering::SeqCst);
@@ -685,6 +721,34 @@ mod tests {
         }
         let mut reader = BufReader::new(conn);
         assert_eq!(read_line(&mut reader), "echo: dripfeed\n");
+        srv.shutdown();
+    }
+
+    #[test]
+    fn shutdown_wake_fallback_unblocks_a_nonblocking_acceptor() {
+        let mut srv = echo_server(0, |_| {});
+        // Simulate the fallback wake: flip the shared listener
+        // nonblocking while the acceptor is parked in accept(). The
+        // clone shares the open file description, so this reaches the
+        // acceptor's fd.
+        srv.wake_listener
+            .as_ref()
+            .expect("wake listener clone")
+            .set_nonblocking(true)
+            .unwrap();
+        // One real connection pops the already-parked blocking accept;
+        // every accept after it returns WouldBlock.
+        drop(TcpStream::connect(srv.local_addr()).unwrap());
+        std::thread::sleep(Duration::from_millis(20));
+        srv.shared.stop_accept.store(true, Ordering::SeqCst);
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while !srv.acceptor.as_ref().unwrap().is_finished() && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(
+            srv.acceptor.as_ref().unwrap().is_finished(),
+            "acceptor must exit via the WouldBlock path once stop_accept is set"
+        );
         srv.shutdown();
     }
 }

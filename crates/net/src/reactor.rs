@@ -110,7 +110,15 @@ pub(crate) fn acceptor_loop<P: Proto>(shared: Arc<Shared<P>>, listener: TcpListe
         }
         let stream = match incoming {
             Ok(s) => s,
-            Err(_) => continue,
+            Err(e) => {
+                // WouldBlock only happens after shutdown flipped the
+                // listener nonblocking (the fallback wake); don't spin
+                // on it while the stop flag is still unset.
+                if e.kind() == std::io::ErrorKind::WouldBlock {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
+                continue;
+            }
         };
         shared.stats.connections.fetch_add(1, Ordering::SeqCst);
         let admitted = !shared.draining.load(Ordering::SeqCst) && shared.admission.try_conn();
