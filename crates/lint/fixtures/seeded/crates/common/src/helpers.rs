@@ -1,0 +1,11 @@
+// Sinks for the seeded L008/L009 fixtures: this file itself is clean
+// under the syntactic rules (not in crates/net, not a reactor module);
+// only graph reachability from ../net/src/{handler,timer}.rs sees it.
+
+pub fn decode_frame(b: &[u8]) -> u64 {
+    u64::from_le_bytes(b[..8].try_into().unwrap())
+}
+
+pub fn flush_index() {
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}

@@ -1,0 +1,6 @@
+// Seeded L009: timer.rs is a reactor module; the blocking sink lives
+// one call away, in ../common — invisible to module-scoped L006.
+
+pub fn on_tick() {
+    crate::helpers::flush_index();
+}

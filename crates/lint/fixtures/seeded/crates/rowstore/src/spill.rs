@@ -1,0 +1,6 @@
+// Blocking sink for the seeded L011 fixture (and nothing else: not a
+// reactor module, not reachable from the net/server fixture fns).
+
+pub fn write_back(v: &u8) {
+    let _unused = std::fs::write("spill.bin", [*v]);
+}

@@ -1,0 +1,7 @@
+// Seeded L011: a lock guard held across a call that (transitively)
+// reaches file IO in ../rowstore/src/spill.rs.
+
+pub fn flush_all(m: &imci_sync::Mutex<u8>) {
+    let g = m.lock();
+    crate::spill::write_back(&g);
+}

@@ -1,0 +1,14 @@
+// Seeded L010: a discarded fencing Result — the append may have been
+// rejected by the fence, and nothing will ever know.
+
+pub struct SeededLog;
+
+impl SeededLog {
+    pub fn append_fenced(&mut self, e: u64) -> Result<u64, ()> {
+        Ok(e)
+    }
+}
+
+pub fn rotate(log: &mut SeededLog) {
+    let _ = log.append_fenced(7);
+}

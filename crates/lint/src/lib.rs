@@ -15,7 +15,10 @@
 //! allowlist does not cover.
 
 pub mod allow;
+pub mod graph;
+pub mod intra;
 pub mod lexer;
+pub mod resolve;
 pub mod rules;
 pub mod walk;
 
@@ -24,7 +27,7 @@ use lexer::{Tok, TokKind};
 /// One rule violation.
 #[derive(Debug, Clone)]
 pub struct Finding {
-    /// Rule id, `"L001"`..`"L007"`.
+    /// Rule id, `"L001"`..`"L011"`.
     pub rule: &'static str,
     /// Workspace-relative path, `/`-separated.
     pub path: String,
@@ -144,6 +147,9 @@ impl SourceFile {
 pub struct Workspace {
     pub root: std::path::PathBuf,
     pub files: Vec<SourceFile>,
+    /// Lazily built interprocedural facts (def index + call graph),
+    /// shared by L008–L011 so the graph is constructed once per run.
+    analysis: std::sync::OnceLock<graph::Analysis>,
 }
 
 impl Workspace {
@@ -162,10 +168,21 @@ impl Workspace {
             files.push(SourceFile::new(rel, text));
         }
         files.sort_by(|a, b| a.rel_path.cmp(&b.rel_path));
-        Ok(Workspace {
-            root: root.to_path_buf(),
+        Ok(Workspace::from_files(root.to_path_buf(), files))
+    }
+
+    /// Construct directly from pre-lexed files (tests, fixtures).
+    pub fn from_files(root: std::path::PathBuf, files: Vec<SourceFile>) -> Workspace {
+        Workspace {
+            root,
             files,
-        })
+            analysis: std::sync::OnceLock::new(),
+        }
+    }
+
+    /// The interprocedural analysis, built on first use.
+    pub fn analysis(&self) -> &graph::Analysis {
+        self.analysis.get_or_init(|| graph::Analysis::build(self))
     }
 
     pub fn file(&self, suffix: &str) -> Option<&SourceFile> {
@@ -278,7 +295,7 @@ fn item_end(toks: &[Tok], i: usize) -> Option<usize> {
 }
 
 /// Index of the `}` matching the `{` at `i`.
-fn match_brace(toks: &[Tok], i: usize) -> Option<usize> {
+pub(crate) fn match_brace(toks: &[Tok], i: usize) -> Option<usize> {
     let mut depth = 0i32;
     for (j, t) in toks.iter().enumerate().skip(i) {
         if t.is_punct('{') {

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! imci-lint [--root DIR] [--allow FILE] [--deny-new] [--list]
+//!           [--json FILE] [--budget-ms N]
 //! ```
 //!
 //! `--deny-new` (the CI mode) exits 1 when any finding is not covered
@@ -9,15 +10,25 @@
 //! runs never block iteration. Stale allowlist entries are warnings in
 //! both modes — they mean the violation was fixed and the suppression
 //! should be deleted.
+//!
+//! `--json FILE` additionally writes every finding (live *and*
+//! suppressed, so the artifact shows the full picture) as a JSON array
+//! for CI upload. `--budget-ms N` exits 1 when the whole run — walk,
+//! call-graph build, all rules — takes longer than `N` milliseconds:
+//! the lint gate stays cheap enough to run on every push or it gets
+//! deleted, so the budget is enforced, not aspirational.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
 
 fn main() -> ExitCode {
     let mut root = PathBuf::from(".");
     let mut allow_path: Option<PathBuf> = None;
     let mut deny_new = false;
     let mut list = false;
+    let mut json_path: Option<PathBuf> = None;
+    let mut budget_ms: Option<u64> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -30,12 +41,21 @@ fn main() -> ExitCode {
                 Some(v) => allow_path = Some(PathBuf::from(v)),
                 None => return usage("--allow needs a file"),
             },
+            "--json" => match args.next() {
+                Some(v) => json_path = Some(PathBuf::from(v)),
+                None => return usage("--json needs a file"),
+            },
+            "--budget-ms" => match args.next().map(|v| v.parse()) {
+                Some(Ok(v)) => budget_ms = Some(v),
+                _ => return usage("--budget-ms needs a number"),
+            },
             "--deny-new" => deny_new = true,
             "--list" => list = true,
             "--help" | "-h" => return usage(""),
             other => return usage(&format!("unknown argument `{other}`")),
         }
     }
+    let t0 = Instant::now();
 
     if list {
         for rule in imci_lint::rules::all() {
@@ -68,6 +88,14 @@ fn main() -> ExitCode {
     let findings = imci_lint::run_all(&ws);
     let (live, suppressed, stale) = imci_lint::allow::apply(findings, &entries);
 
+    if let Some(path) = &json_path {
+        let json = findings_json(&live, &suppressed);
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("imci-lint: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+
     for f in &live {
         println!("{f}");
     }
@@ -92,14 +120,74 @@ fn main() -> ExitCode {
         );
         return ExitCode::FAILURE;
     }
+    if let Some(budget) = budget_ms {
+        let took = t0.elapsed().as_millis() as u64;
+        if took > budget {
+            eprintln!("imci-lint: --budget-ms: run took {took}ms, budget is {budget}ms");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("imci-lint: {took}ms of {budget}ms budget");
+    }
     ExitCode::SUCCESS
+}
+
+/// Findings as a JSON array, hand-rolled (the linter is dependency-
+/// free by policy — see Cargo.toml). Suppressed findings are included
+/// with `"suppressed": true` so the CI artifact is the complete
+/// picture, not just what the allowlist let through.
+fn findings_json(live: &[imci_lint::Finding], suppressed: &[imci_lint::Finding]) -> String {
+    let mut out = String::from("[\n");
+    let mut first = true;
+    for (f, supp) in live
+        .iter()
+        .map(|f| (f, false))
+        .chain(suppressed.iter().map(|f| (f, true)))
+    {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str(&format!(
+            "  {{\"rule\": {}, \"path\": {}, \"line\": {}, \"suppressed\": {}, \
+             \"msg\": {}, \"src_line\": {}}}",
+            json_str(f.rule),
+            json_str(&f.path),
+            f.line,
+            supp,
+            json_str(&f.msg),
+            json_str(&f.src_line),
+        ));
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 fn usage(err: &str) -> ExitCode {
     if !err.is_empty() {
         eprintln!("imci-lint: {err}");
     }
-    eprintln!("usage: imci-lint [--root DIR] [--allow FILE] [--deny-new] [--list]");
+    eprintln!(
+        "usage: imci-lint [--root DIR] [--allow FILE] [--deny-new] [--list] \
+         [--json FILE] [--budget-ms N]"
+    );
     if err.is_empty() {
         ExitCode::SUCCESS
     } else {

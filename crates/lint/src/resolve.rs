@@ -1,0 +1,649 @@
+//! Definition index and pragmatic name resolution.
+//!
+//! This is deliberately not rustc: no types, no trait solving, no
+//! generics. Calls are resolved by name with three escalating scopes —
+//! same file, same crate, whole workspace — plus an impl-block map for
+//! `Type::method` paths and a receiver-suffix heuristic for
+//! `value.method(...)` calls (`writer` matches `LogWriter`, `pool`
+//! matches `BufferPool`). A call that stays ambiguous resolves to
+//! *nothing*: a missing edge can hide a real path (accepted — this is
+//! a linter, not a verifier), while an invented edge would invent
+//! findings. That asymmetry drives every choice here.
+//!
+//! `crates/shims/` is excluded from the index. The shims stand in for
+//! external crates (parking_lot, crossbeam, ...), and their internals
+//! — e.g. the condvar park inside `Mutex::lock` — are no more this
+//! workspace's invariant surface than std's internals are. Without
+//! this exclusion every `.lock()` would "reach" a blocking sink and
+//! L009/L011 would flag every critical section in the reactor.
+
+use std::collections::HashMap;
+
+use crate::lexer::TokKind;
+use crate::{SourceFile, Workspace};
+
+/// Path prefixes excluded from the definition index (treated as
+/// external code, like std). The shims stand in for external crates;
+/// the lint crate is dev tooling that no product thread ever calls —
+/// indexing it would only donate false homes for common method names
+/// (its `Workspace::load` does file IO and would otherwise become the
+/// resolution target of every atomic `.load(Ordering)` in the tree).
+const EXTERNAL_PREFIXES: &[&str] = &["crates/shims/", "crates/lint/"];
+
+/// One `fn` definition the resolver knows about.
+#[derive(Debug)]
+pub struct FnDef {
+    /// Index into `Workspace::files`.
+    pub file: usize,
+    /// Token-index span of the item (the `fn` keyword to the closing
+    /// `}` or `;`).
+    pub start: usize,
+    pub end: usize,
+    pub name: String,
+    /// Type of the enclosing `impl` block, if this is a method or
+    /// associated fn (`impl Trait for Type` records `Type`).
+    pub impl_type: Option<String>,
+    /// `"net"` for `crates/net/...`, `"root"` for top-level
+    /// `src/` / `tests/` / `examples/`.
+    pub crate_name: String,
+    /// Defined inside `#[cfg(test)]` / `#[test]` / a `tests/` dir.
+    pub is_test: bool,
+    /// Signature returns a `Result<...>` of any flavor.
+    pub returns_result: bool,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+}
+
+/// The whole-workspace definition index.
+pub struct DefIndex {
+    pub fns: Vec<FnDef>,
+    /// fn name -> indices into `fns`.
+    pub by_name: HashMap<String, Vec<usize>>,
+}
+
+/// How a call site names its callee.
+#[derive(Debug, Clone)]
+pub enum CallKind {
+    /// `helper(...)`.
+    Bare,
+    /// `value.method(...)`; `recv` is the identifier directly before
+    /// the dot, if there is one (`self.log.append` records `log`).
+    Method { recv: Option<String> },
+    /// `Seg::name(...)`; `qual` is the last path segment before the
+    /// `::` (`Type`, a module name, or `Self`).
+    Path { qual: String },
+}
+
+/// One syntactic call site inside a fn body.
+#[derive(Debug)]
+pub struct RawCall {
+    /// Token index of the callee name.
+    pub tok: usize,
+    pub line: u32,
+    pub name: String,
+    pub kind: CallKind,
+}
+
+/// Resolution context: where the call appears.
+pub struct Ctx<'a> {
+    pub file: usize,
+    pub crate_name: &'a str,
+    pub impl_type: Option<&'a str>,
+    /// Calls from live code never resolve into test-only definitions.
+    pub is_test: bool,
+}
+
+/// Crate name for a workspace-relative path.
+pub fn crate_of(rel_path: &str) -> String {
+    let mut parts = rel_path.split('/');
+    match (parts.next(), parts.next()) {
+        (Some("crates"), Some(name)) => name.to_string(),
+        _ => "root".to_string(),
+    }
+}
+
+/// Build the index over every non-shim file.
+pub fn build(ws: &Workspace) -> DefIndex {
+    let mut fns = Vec::new();
+    for (fi, f) in ws.files.iter().enumerate() {
+        if EXTERNAL_PREFIXES.iter().any(|p| f.rel_path.starts_with(p)) {
+            continue;
+        }
+        let crate_name = crate_of(&f.rel_path);
+        let impls = impl_spans(f);
+        for span in &f.fns {
+            let impl_type = impls
+                .iter()
+                .filter(|(a, b, _)| *a <= span.start && span.end <= *b)
+                .min_by_key(|(a, b, _)| b - a)
+                .map(|(_, _, ty)| ty.clone());
+            let line = f.toks[span.start].line;
+            fns.push(FnDef {
+                file: fi,
+                start: span.start,
+                end: span.end,
+                name: span.name.clone(),
+                impl_type,
+                crate_name: crate_name.clone(),
+                is_test: f.in_test(line),
+                returns_result: returns_result(f, span.start, span.end),
+                line,
+            });
+        }
+    }
+    let mut by_name: HashMap<String, Vec<usize>> = HashMap::new();
+    for (i, d) in fns.iter().enumerate() {
+        by_name.entry(d.name.clone()).or_default().push(i);
+    }
+    DefIndex { fns, by_name }
+}
+
+impl DefIndex {
+    /// Resolve a call site to a definition, or `None` when ambiguous
+    /// or external. Test-only definitions are only candidates for
+    /// test-code callers.
+    pub fn resolve(&self, ws: &Workspace, call: &RawCall, ctx: &Ctx) -> Option<usize> {
+        let all = self.by_name.get(&call.name)?;
+        let visible: Vec<usize> = all
+            .iter()
+            .copied()
+            .filter(|&i| ctx.is_test || !self.fns[i].is_test)
+            .collect();
+        if visible.is_empty() {
+            return None;
+        }
+        match &call.kind {
+            // A bare call can only name a free fn (methods need
+            // `self.`/`Type::`); restricting candidates accordingly
+            // keeps `load(x)` from resolving into someone's
+            // `impl ... { fn load }`.
+            CallKind::Bare => {
+                let free: Vec<usize> = visible
+                    .iter()
+                    .copied()
+                    .filter(|&i| self.fns[i].impl_type.is_none())
+                    .collect();
+                self.resolve_scoped(&free, ctx)
+            }
+            // Method calls resolve ONLY with receiver evidence: either
+            // `self.method()` into the caller's own impl, or the
+            // receiver-suffix heuristic (`writer.append()` matches
+            // `impl LogWriter`, `pool.discard()` matches
+            // `impl BufferPool`). There is deliberately no
+            // unique-name fallback: `flag.load(Ordering)` or
+            // `iter().filter(..)` must never resolve to an unrelated
+            // workspace method that happens to be the only `load` /
+            // `filter` — one such false edge makes every reachability
+            // rule lie. Missing edges are the accepted cost.
+            CallKind::Method { recv } => {
+                let methods: Vec<usize> = visible
+                    .iter()
+                    .copied()
+                    .filter(|&i| self.fns[i].impl_type.is_some())
+                    .collect();
+                if recv.as_deref() == Some("self") {
+                    let own: Vec<usize> = methods
+                        .iter()
+                        .copied()
+                        .filter(|&i| self.fns[i].impl_type.as_deref() == ctx.impl_type)
+                        .collect();
+                    return unique(&own);
+                }
+                if let Some(r) = recv {
+                    let r = r.to_ascii_lowercase();
+                    if r.len() >= 3 {
+                        let hinted: Vec<usize> = methods
+                            .iter()
+                            .copied()
+                            .filter(|&i| {
+                                let ty = self.fns[i]
+                                    .impl_type
+                                    .as_deref()
+                                    .unwrap_or("")
+                                    .to_ascii_lowercase();
+                                ty == r || ty.ends_with(&r) || ty.starts_with(&r)
+                            })
+                            .collect();
+                        if let Some(one) = unique(&hinted) {
+                            return Some(one);
+                        }
+                    }
+                }
+                None
+            }
+            CallKind::Path { qual } => {
+                if qual == "Self" {
+                    let own: Vec<usize> = visible
+                        .iter()
+                        .copied()
+                        .filter(|&i| self.fns[i].impl_type.as_deref() == ctx.impl_type)
+                        .collect();
+                    return unique(&own);
+                }
+                // `Type::method(...)`.
+                let typed: Vec<usize> = visible
+                    .iter()
+                    .copied()
+                    .filter(|&i| self.fns[i].impl_type.as_deref() == Some(qual.as_str()))
+                    .collect();
+                if !typed.is_empty() {
+                    return self.resolve_scoped(&typed, ctx);
+                }
+                // `module::helper(...)`: match the defining file's stem
+                // or crate name (`imci_wal::append` -> crates/wal).
+                let qual_crate = qual.strip_prefix("imci_").unwrap_or(qual);
+                let moduled: Vec<usize> = visible
+                    .iter()
+                    .copied()
+                    .filter(|&i| {
+                        let d = &self.fns[i];
+                        let path = &ws.files[d.file].rel_path;
+                        path.ends_with(&format!("/{qual}.rs"))
+                            || path.ends_with(&format!("{qual}/mod.rs"))
+                            || (d.crate_name == qual_crate && d.impl_type.is_none())
+                    })
+                    .collect();
+                self.resolve_scoped(&moduled, ctx)
+            }
+        }
+    }
+
+    /// Prefer the nearest scope; at the first non-empty scope, demand
+    /// uniqueness (an ambiguity near the call is not resolved by a
+    /// unique name far away).
+    fn resolve_scoped(&self, cands: &[usize], ctx: &Ctx) -> Option<usize> {
+        let same_file: Vec<usize> = cands
+            .iter()
+            .copied()
+            .filter(|&i| self.fns[i].file == ctx.file)
+            .collect();
+        if !same_file.is_empty() {
+            return unique(&same_file);
+        }
+        let same_crate: Vec<usize> = cands
+            .iter()
+            .copied()
+            .filter(|&i| self.fns[i].crate_name == ctx.crate_name)
+            .collect();
+        if !same_crate.is_empty() {
+            return unique(&same_crate);
+        }
+        unique(cands)
+    }
+}
+
+fn unique(v: &[usize]) -> Option<usize> {
+    match v {
+        [one] => Some(*one),
+        _ => None,
+    }
+}
+
+/// Token ranges to skip when scanning a fn body for calls and sinks:
+/// arguments of `spawn(...)` (a closure there runs on a *different*
+/// thread, so neither its calls nor its panics belong to this fn's
+/// thread) and of `catch_unwind(...)` (panics stop there).
+pub fn thread_boundary_ranges(f: &SourceFile, start: usize, end: usize) -> Vec<(usize, usize)> {
+    let toks = &f.toks;
+    let mut out = Vec::new();
+    for i in start..=end.min(toks.len().saturating_sub(1)) {
+        if !(toks[i].is_ident("spawn") || toks[i].is_ident("catch_unwind")) {
+            continue;
+        }
+        let Some(open) = f.next_code(i + 1).filter(|&j| toks[j].is_punct('(')) else {
+            continue;
+        };
+        if let Some(close) = match_paren(f, open) {
+            out.push((open, close));
+        }
+    }
+    out
+}
+
+fn match_paren(f: &SourceFile, open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (j, t) in f.toks.iter().enumerate().skip(open) {
+        if t.is_punct('(') {
+            depth += 1;
+        } else if t.is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+/// Keywords that look like `name(`-style calls but are not.
+const NON_CALL_KEYWORDS: &[&str] = &[
+    "if", "while", "for", "loop", "match", "return", "fn", "let", "in", "as", "ref", "move", "mut",
+    "unsafe", "else", "impl", "where", "use", "pub", "crate", "super", "dyn", "box",
+];
+
+/// Every syntactic call site in the token range, excluding thread
+/// boundaries, macros (`name!(...)`), and definitions (`fn name(`).
+pub fn raw_calls(f: &SourceFile, start: usize, end: usize) -> Vec<RawCall> {
+    let toks = &f.toks;
+    let skips = thread_boundary_ranges(f, start, end);
+    let mut out = Vec::new();
+    for i in start..=end.min(toks.len().saturating_sub(1)) {
+        if skips.iter().any(|&(a, b)| a < i && i <= b) {
+            continue;
+        }
+        let t = &toks[i];
+        if t.kind != TokKind::Ident || NON_CALL_KEYWORDS.contains(&t.text.as_str()) {
+            continue;
+        }
+        let Some(next) = f.next_code(i + 1) else {
+            continue;
+        };
+        if toks[next].is_punct('!') {
+            continue; // macro — panics among these are sinks, not calls
+        }
+        if !toks[next].is_punct('(') {
+            continue;
+        }
+        if f.prev_code(i.wrapping_sub(1))
+            .is_some_and(|p| toks[p].is_ident("fn"))
+        {
+            continue; // definition
+        }
+        let kind = call_kind(f, i);
+        out.push(RawCall {
+            tok: i,
+            line: t.line,
+            name: t.text.clone(),
+            kind,
+        });
+    }
+    out
+}
+
+fn call_kind(f: &SourceFile, i: usize) -> CallKind {
+    let toks = &f.toks;
+    let Some(p) = f.prev_code(i.wrapping_sub(1)) else {
+        return CallKind::Bare;
+    };
+    if toks[p].is_punct('.') {
+        let recv = f
+            .prev_code(p.wrapping_sub(1))
+            .map(|q| &toks[q])
+            .filter(|t| t.kind == TokKind::Ident && !NON_CALL_KEYWORDS.contains(&t.text.as_str()))
+            .map(|t| t.text.clone());
+        return CallKind::Method { recv };
+    }
+    if toks[p].is_punct(':') && p >= 1 && toks[p - 1].is_punct(':') {
+        if let Some(q) = f.prev_code(p.wrapping_sub(2)) {
+            let qt = &toks[q];
+            // `Type::name` / `module::name`; `<T as Trait>::name` and
+            // turbofish qualifiers end in `>` and stay unresolved.
+            if qt.kind == TokKind::Ident {
+                return CallKind::Path {
+                    qual: qt.text.clone(),
+                };
+            }
+        }
+        return CallKind::Path {
+            qual: String::new(),
+        };
+    }
+    CallKind::Bare
+}
+
+/// `impl` block spans: (body open token, body close token, type name).
+fn impl_spans(f: &SourceFile) -> Vec<(usize, usize, String)> {
+    let toks = &f.toks;
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !toks[i].is_ident("impl") {
+            i += 1;
+            continue;
+        }
+        // Walk the header. Track angle/paren depth (clamped — `->`
+        // inside bounds would otherwise underflow it) and remember the
+        // last path segment seen at depth 0, switching to the segment
+        // after `for` for trait impls. A `where` clause stops the
+        // collection.
+        let mut j = i + 1;
+        let mut angle = 0i32;
+        let mut group = 0i32;
+        let mut ty: Option<String> = None;
+        let mut in_where = false;
+        let mut open = None;
+        while let Some(t) = toks.get(j) {
+            if t.is_punct('<') {
+                angle += 1;
+            } else if t.is_punct('>') {
+                angle = (angle - 1).max(0);
+            } else if t.is_punct('(') || t.is_punct('[') {
+                group += 1;
+            } else if t.is_punct(')') || t.is_punct(']') {
+                group -= 1;
+            } else if angle == 0 && group == 0 {
+                if t.is_punct('{') {
+                    open = Some(j);
+                    break;
+                }
+                if t.is_punct(';') {
+                    break;
+                }
+                if t.is_ident("where") {
+                    in_where = true;
+                } else if t.is_ident("for") {
+                    ty = None; // the implemented type follows
+                } else if !in_where
+                    && t.kind == TokKind::Ident
+                    && !matches!(t.text.as_str(), "dyn" | "mut" | "const" | "unsafe")
+                {
+                    ty = Some(t.text.clone());
+                }
+            }
+            j += 1;
+        }
+        if let (Some(open), Some(ty)) = (open, ty) {
+            if let Some(close) = crate::match_brace(toks, open) {
+                out.push((open, close, ty));
+                // Do not skip past the block: impls nest in fns
+                // rarely, but a later `impl` inside is still found
+                // because we only advance one token.
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Does the fn's signature return a `Result`? Scans between the
+/// parameter list's closing paren and the body.
+fn returns_result(f: &SourceFile, start: usize, end: usize) -> bool {
+    let toks = &f.toks;
+    // Find the parameter list: the first `(` at angle depth 0 after
+    // the name.
+    let mut angle = 0i32;
+    let mut j = start + 1;
+    let mut params_open = None;
+    while j <= end {
+        let t = &toks[j];
+        if t.is_punct('<') {
+            angle += 1;
+        } else if t.is_punct('>') {
+            angle = (angle - 1).max(0);
+        } else if t.is_punct('(') && angle == 0 {
+            params_open = Some(j);
+            break;
+        } else if t.is_punct('{') || t.is_punct(';') {
+            break;
+        }
+        j += 1;
+    }
+    let Some(open) = params_open else {
+        return false;
+    };
+    let Some(close) = match_paren(f, open) else {
+        return false;
+    };
+    let mut k = close + 1;
+    while k <= end {
+        let t = &toks[k];
+        if t.is_punct('{') || t.is_punct(';') || t.is_ident("where") {
+            return false;
+        }
+        if t.is_ident("Result") {
+            return true;
+        }
+        k += 1;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ws(files: Vec<(&str, &str)>) -> Workspace {
+        Workspace::from_files(
+            std::path::PathBuf::new(),
+            files
+                .into_iter()
+                .map(|(p, s)| SourceFile::new(p.into(), s.into()))
+                .collect(),
+        )
+    }
+
+    fn def<'a>(idx: &'a DefIndex, name: &str) -> &'a FnDef {
+        &idx.fns[idx.by_name[name][0]]
+    }
+
+    #[test]
+    fn index_records_impl_types_crates_and_result_returns() {
+        let w = ws(vec![
+            (
+                "crates/wal/src/writer.rs",
+                "pub struct LogWriter;\nimpl LogWriter {\n  pub fn append(&mut self, e: u64) \
+                 -> Result<u64, ()> { Ok(e) }\n}\npub fn free_helper() {}\n",
+            ),
+            (
+                "crates/shims/parking_lot/src/lib.rs",
+                "pub fn lock() { wait(); }\n",
+            ),
+        ]);
+        let idx = build(&w);
+        assert!(!idx.by_name.contains_key("lock"), "shims are external");
+        let ap = def(&idx, "append");
+        assert_eq!(ap.impl_type.as_deref(), Some("LogWriter"));
+        assert_eq!(ap.crate_name, "wal");
+        assert!(ap.returns_result);
+        let fh = def(&idx, "free_helper");
+        assert_eq!(fh.impl_type, None);
+        assert!(!fh.returns_result);
+    }
+
+    #[test]
+    fn trait_impls_record_the_implemented_type() {
+        let w = ws(vec![(
+            "crates/net/src/proto.rs",
+            "impl<P: Proto> Server<P> {\n  fn serve(&self) {}\n}\n\
+             impl Proto for ImciProto {\n  fn decode(&self) -> Step { Step }\n}\n",
+        )]);
+        let idx = build(&w);
+        assert_eq!(def(&idx, "serve").impl_type.as_deref(), Some("Server"));
+        assert_eq!(def(&idx, "decode").impl_type.as_deref(), Some("ImciProto"));
+    }
+
+    #[test]
+    fn resolution_scopes_and_receiver_suffix_heuristic() {
+        let w = ws(vec![
+            (
+                "crates/wal/src/writer.rs",
+                "impl LogWriter { pub fn flush(&self) {} }",
+            ),
+            (
+                "crates/rowstore/src/pool.rs",
+                "impl BufferPool { pub fn flush(&self) {} }",
+            ),
+            (
+                "crates/server/src/s.rs",
+                "fn go(writer: &LogWriter, pool: &BufferPool) {\n  writer.flush();\n  \
+                 pool.flush();\n  mystery.flush();\n}\n",
+            ),
+        ]);
+        let idx = build(&w);
+        let go = &w.files[2];
+        let calls = raw_calls(go, go.fns[0].start, go.fns[0].end);
+        assert_eq!(calls.len(), 3);
+        let ctx = Ctx {
+            file: 2,
+            crate_name: "server",
+            impl_type: None,
+            is_test: false,
+        };
+        let resolved: Vec<Option<&str>> = calls
+            .iter()
+            .map(|c| {
+                idx.resolve(&w, c, &ctx)
+                    .map(|i| idx.fns[i].impl_type.as_deref().unwrap())
+            })
+            .collect();
+        assert_eq!(resolved[0], Some("LogWriter"), "writer -> LogWriter");
+        assert_eq!(resolved[1], Some("BufferPool"), "pool -> BufferPool");
+        assert_eq!(resolved[2], None, "ambiguous receiver stays unresolved");
+    }
+
+    #[test]
+    fn live_code_never_resolves_into_test_definitions() {
+        let w = ws(vec![(
+            "crates/net/src/a.rs",
+            "fn live() { helper(); }\n#[cfg(test)]\nmod t { fn helper() {} }\n",
+        )]);
+        let idx = build(&w);
+        let f = &w.files[0];
+        let calls = raw_calls(f, f.fns[0].start, f.fns[0].end);
+        let ctx = Ctx {
+            file: 0,
+            crate_name: "net",
+            impl_type: None,
+            is_test: false,
+        };
+        assert_eq!(idx.resolve(&w, &calls[0], &ctx), None);
+    }
+
+    #[test]
+    fn spawn_arguments_are_a_thread_boundary() {
+        let w = ws(vec![(
+            "crates/net/src/a.rs",
+            "fn start() { thread::spawn(move || helper()); direct(); }\n\
+             fn helper() {}\nfn direct() {}\n",
+        )]);
+        let f = &w.files[0];
+        let calls = raw_calls(f, f.fns[0].start, f.fns[0].end);
+        let names: Vec<&str> = calls.iter().map(|c| c.name.as_str()).collect();
+        assert!(names.contains(&"spawn"));
+        assert!(names.contains(&"direct"));
+        assert!(!names.contains(&"helper"), "{names:?}");
+    }
+
+    #[test]
+    fn path_calls_resolve_via_module_file_stem() {
+        let w = ws(vec![
+            ("crates/net/src/conn.rs", "pub fn drain() {}"),
+            (
+                "crates/net/src/reactor.rs",
+                "pub fn reactor_loop() { crate::conn::drain(); }",
+            ),
+        ]);
+        let idx = build(&w);
+        let f = &w.files[1];
+        let calls = raw_calls(f, f.fns[0].start, f.fns[0].end);
+        let drain = calls.iter().find(|c| c.name == "drain").unwrap();
+        let ctx = Ctx {
+            file: 1,
+            crate_name: "net",
+            impl_type: None,
+            is_test: false,
+        };
+        let r = idx.resolve(&w, drain, &ctx).unwrap();
+        assert!(w.files[idx.fns[r].file].rel_path.ends_with("conn.rs"));
+    }
+}

@@ -183,13 +183,13 @@ mod tests {
     use super::*;
 
     fn ws_of(files: Vec<(&str, &str)>) -> Workspace {
-        Workspace {
-            root: std::path::PathBuf::new(),
-            files: files
+        Workspace::from_files(
+            std::path::PathBuf::new(),
+            files
                 .into_iter()
                 .map(|(p, t)| SourceFile::new(p.into(), t.into()))
                 .collect(),
-        }
+        )
     }
 
     const RECORD_OK: &str = "pub enum RedoPayload { Insert { pk: i64 }, Delete { pk: i64 } }\n\

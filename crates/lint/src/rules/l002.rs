@@ -87,13 +87,13 @@ mod tests {
     use crate::SourceFile;
 
     fn ws_of(text: &str) -> Workspace {
-        Workspace {
-            root: std::path::PathBuf::new(),
-            files: vec![SourceFile::new(
+        Workspace::from_files(
+            std::path::PathBuf::new(),
+            vec![SourceFile::new(
                 "crates/common/src/error.rs".into(),
                 text.into(),
             )],
-        }
+        )
     }
 
     #[test]

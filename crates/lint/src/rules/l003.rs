@@ -75,9 +75,9 @@ mod tests {
 
     #[test]
     fn sleep_in_loop_fires_but_not_elsewhere() {
-        let ws = Workspace {
-            root: std::path::PathBuf::new(),
-            files: vec![
+        let ws = Workspace::from_files(
+            std::path::PathBuf::new(),
+            vec![
                 SourceFile::new(
                     "crates/x/src/a.rs".into(),
                     "fn poll() { loop { std::thread::sleep(d); } }\n\
@@ -90,7 +90,7 @@ mod tests {
                     "fn pace() { loop { std::thread::sleep(d); } }".into(),
                 ),
             ],
-        };
+        );
         let found = SleepInLoop.check(&ws);
         assert_eq!(found.len(), 1, "{found:?}");
         assert_eq!(found[0].line, 1);

@@ -69,9 +69,9 @@ mod tests {
 
     #[test]
     fn scoped_to_net_and_server_non_test_code() {
-        let ws = Workspace {
-            root: std::path::PathBuf::new(),
-            files: vec![
+        let ws = Workspace::from_files(
+            std::path::PathBuf::new(),
+            vec![
                 SourceFile::new(
                     "crates/net/src/a.rs".into(),
                     "fn f() { x.unwrap(); }\n#[cfg(test)]\nmod t { fn g() { x.unwrap(); } }\n"
@@ -86,7 +86,7 @@ mod tests {
                     "fn f() { x.unwrap(); }".into(),
                 ),
             ],
-        };
+        );
         let found = NoPanicOnReactorPaths.check(&ws);
         assert_eq!(found.len(), 2, "{found:?}");
         assert!(found.iter().all(|f| !f.path.contains("colstore")));

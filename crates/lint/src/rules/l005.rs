@@ -81,9 +81,9 @@ mod tests {
 
     #[test]
     fn finds_undocumented_blocks_only() {
-        let ws = Workspace {
-            root: std::path::PathBuf::new(),
-            files: vec![SourceFile::new(
+        let ws = Workspace::from_files(
+            std::path::PathBuf::new(),
+            vec![SourceFile::new(
                 "crates/x/src/a.rs".into(),
                 "fn ok() {\n    // SAFETY: fd is open for our lifetime.\n    unsafe { go() }\n}\n\
                  fn inline_ok() {\n    let x = unsafe { go() }; // SAFETY: ditto\n}\n\
@@ -91,7 +91,7 @@ mod tests {
                  unsafe impl Send for T {}\n"
                     .into(),
             )],
-        };
+        );
         let found = SafetyComments.check(&ws);
         assert_eq!(found.len(), 1, "{found:?}");
         assert_eq!(found[0].line, 10);

@@ -16,8 +16,9 @@
 use super::Rule;
 use crate::{Finding, SourceFile, Workspace};
 
-/// Files whose code runs on the reactor thread.
-const REACTOR_MODULES: &[&str] = &[
+/// Files whose code runs on the reactor thread. Shared with L009,
+/// whose roots are exactly the non-test fns of these modules.
+pub(crate) const REACTOR_MODULES: &[&str] = &[
     "crates/net/src/reactor.rs",
     "crates/net/src/conn.rs",
     "crates/net/src/buf.rs",
@@ -25,8 +26,8 @@ const REACTOR_MODULES: &[&str] = &[
 ];
 
 /// Functions inside those files that own a dedicated thread and are
-/// therefore allowed to block.
-const DEDICATED_THREAD_FNS: &[&str] = &["acceptor_loop", "worker_loop"];
+/// therefore allowed to block. Shared with L009 (they are not roots).
+pub(crate) const DEDICATED_THREAD_FNS: &[&str] = &["acceptor_loop", "worker_loop"];
 
 /// Method names that block unboundedly when called as `.name(...)`.
 const BLOCKING_METHODS: &[&str] = &[
@@ -84,8 +85,10 @@ impl Rule for NoBlockingOnReactor {
     }
 }
 
-/// If token `i` starts a blocking construct, say which.
-fn blocking_call_at(f: &SourceFile, i: usize) -> Option<String> {
+/// If token `i` starts a blocking construct, say which. Shared with
+/// the call-graph pass ([`crate::graph`]) so L009's notion of a
+/// blocking sink stays in exact parity with L006's.
+pub(crate) fn blocking_call_at(f: &SourceFile, i: usize) -> Option<String> {
     let toks = &f.toks;
     let t = &toks[i];
     let prev_dot = || {
@@ -131,9 +134,9 @@ mod tests {
 
     #[test]
     fn reactor_module_map_and_thread_fn_exemption() {
-        let ws = Workspace {
-            root: std::path::PathBuf::new(),
-            files: vec![
+        let ws = Workspace::from_files(
+            std::path::PathBuf::new(),
+            vec![
                 SourceFile::new(
                     "crates/net/src/reactor.rs".into(),
                     "fn reactor_loop() { cv.wait(g); h.join(); parts.join(\",\"); }\n\
@@ -150,7 +153,7 @@ mod tests {
                     "fn main_loop() { cv.wait(g); }".into(),
                 ),
             ],
-        };
+        );
         let found = NoBlockingOnReactor.check(&ws);
         // reactor_loop: wait + zero-arg join (the `join(",")` is not a
         // thread join); conn.rs: fs. Dedicated thread fns are exempt,

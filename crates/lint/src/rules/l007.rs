@@ -169,15 +169,15 @@ mod tests {
             "{\n  \"scen\": {\n    \"known_ms\": 1.5\n  }\n}\n",
         )
         .unwrap();
-        let ws = Workspace {
-            root: dir.clone(),
-            files: vec![SourceFile::new(
+        let ws = Workspace::from_files(
+            dir.clone(),
+            vec![SourceFile::new(
                 "crates/bench/src/bin/x.rs".into(),
                 "fn main() { rep.set(\"scen\", \"known_ms\", a); \
                  rep.set(\"scen\", \"new_ms\", b); rep.set(\"scen\", \"rows_seen\", c); }"
                     .into(),
             )],
-        };
+        );
         let found = BenchMetricsGated.check(&ws);
         assert_eq!(found.len(), 1, "{found:?}");
         assert!(found[0].msg.contains("new_ms"));

@@ -1,0 +1,146 @@
+//! L009 — no blocking sink reachable, in the call graph, from
+//! reactor-thread fns.
+//!
+//! Supersedes L006's scope in the only way that matters: L006 looks at
+//! the reactor *modules*; a blocking helper the reactor calls in
+//! `imci_common` or `imci_rowstore` is invisible to it. L009 roots at
+//! the same module map — every non-test fn in
+//! [`super::l006::REACTOR_MODULES`] minus the dedicated thread bodies
+//! in [`super::l006::DEDICATED_THREAD_FNS`] — and follows resolved
+//! edges anywhere. The *sink* definition is literally L006's
+//! [`super::l006::blocking_call_at`], so the two rules can never
+//! disagree about what blocking means, and every L006 finding is an
+//! L009 finding (a root reaches its own body).
+
+use std::collections::BTreeSet;
+
+use super::{l006, Rule};
+use crate::{Finding, Workspace};
+
+pub struct NoBlockingReachableFromReactor;
+
+impl Rule for NoBlockingReachableFromReactor {
+    fn id(&self) -> &'static str {
+        "L009"
+    }
+
+    fn summary(&self) -> &'static str {
+        "no blocking sink reachable in the call graph from reactor-thread fns"
+    }
+
+    fn check(&self, ws: &Workspace) -> Vec<Finding> {
+        let a = ws.analysis();
+        let roots: Vec<usize> = (0..a.idx.fns.len())
+            .filter(|&i| {
+                let d = &a.idx.fns[i];
+                !d.is_test
+                    && !l006::DEDICATED_THREAD_FNS.contains(&d.name.as_str())
+                    && l006::REACTOR_MODULES
+                        .iter()
+                        .any(|m| ws.files[d.file].rel_path.ends_with(m))
+            })
+            .collect();
+        let pred = a.forward_reach(&roots);
+        let mut seen = BTreeSet::new();
+        let mut out = Vec::new();
+        for fid in 0..a.idx.fns.len() {
+            if !pred.contains_key(&fid) {
+                continue;
+            }
+            let d = &a.idx.fns[fid];
+            let f = &ws.files[d.file];
+            for site in &a.facts[fid].blocks {
+                if !seen.insert((d.file, site.line)) {
+                    continue;
+                }
+                let chain = a.chain_to(&pred, fid);
+                let via = if chain.len() == 1 {
+                    format!("in reactor-thread fn `{}`", chain[0])
+                } else {
+                    format!("via {}", chain.join(" -> "))
+                };
+                out.push(f.finding(
+                    "L009",
+                    site.line,
+                    format!(
+                        "{} blocks the reactor thread ({}) — every connection multiplexed \
+                         onto it stalls",
+                        site.what, via
+                    ),
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SourceFile;
+
+    fn ws(files: Vec<(&str, &str)>) -> Workspace {
+        Workspace::from_files(
+            std::path::PathBuf::new(),
+            files
+                .into_iter()
+                .map(|(p, s)| SourceFile::new(p.into(), s.into()))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn reaches_blocking_helpers_across_crates() {
+        let w = ws(vec![
+            ("crates/net/src/timer.rs", "pub fn on_tick() { spill(); }\n"),
+            (
+                "crates/rowstore/src/spill.rs",
+                "pub fn spill() { std::fs::write(p, b); }\n\
+                 pub fn unrelated() { std::thread::sleep(d); }\n",
+            ),
+        ]);
+        let found = NoBlockingReachableFromReactor.check(&w);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].path.ends_with("spill.rs"));
+        assert!(
+            found[0].msg.contains("on_tick -> spill"),
+            "{}",
+            found[0].msg
+        );
+    }
+
+    #[test]
+    fn dedicated_thread_fns_are_not_roots_but_l006_sites_are_kept() {
+        let w = ws(vec![(
+            "crates/net/src/reactor.rs",
+            "pub fn reactor_loop() { poller.wait_timeout(e, t); }\n\
+             pub fn acceptor_loop() { listener_accept(); }\n\
+             fn listener_accept() { std::thread::sleep(d); }\n",
+        )]);
+        let found = NoBlockingReachableFromReactor.check(&w);
+        // reactor_loop's own wait fires; acceptor_loop owns its thread,
+        // and listener_accept is only reachable from it... but
+        // listener_accept is itself a non-test fn in a reactor module,
+        // hence a root — exactly L006's behavior for helpers defined in
+        // these files.
+        let sites: Vec<&str> = found.iter().map(|f| f.src_line.as_str()).collect();
+        assert_eq!(found.len(), 2, "{found:?}");
+        assert!(sites.iter().any(|s| s.contains("wait_timeout")));
+        assert!(sites.iter().any(|s| s.contains("sleep")));
+    }
+
+    #[test]
+    fn l006_sites_are_always_l009_sites() {
+        let w = ws(vec![(
+            "crates/net/src/conn.rs",
+            "pub fn drain(cv: &C, g: G) { let _g = cv.wait(g); }\n",
+        )]);
+        let l6 = l006::NoBlockingOnReactor.check(&w);
+        let l9 = NoBlockingReachableFromReactor.check(&w);
+        let sites9: Vec<(String, u32)> = l9.iter().map(|f| (f.path.clone(), f.line)).collect();
+        assert!(!l6.is_empty());
+        for f in &l6 {
+            assert!(sites9.contains(&(f.path.clone(), f.line)), "{f}");
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! L010 — no silently discarded `Result` on the durability/fencing
+//! surface.
+//!
+//! Bug class: `let _ = log.append_fenced(e);` compiles, passes every
+//! happy-path test, and means a fencing violation or a failed REDO
+//! append is *invisible* — the exact failure mode PR 8's failover
+//! machinery exists to surface. A dropped error here turns "the old
+//! RO got fenced" into silent divergence.
+//!
+//! Two detectors, united by [`crate::intra::discards`]:
+//! - **Resolved**: the discarded call resolves in the def index, the
+//!   callee returns `Result`, and it lives on the durability surface —
+//!   defined in `crates/wal` or `crates/polarfs`, or named like
+//!   fencing/lease machinery (`fence`/`lease` in the name) anywhere.
+//! - **Name-based fallback**: discarded `.send(...)` calls. Channel
+//!   `send` returns `Result` whose `Err` means the receiver is gone;
+//!   on replication/shutdown paths that is often *fine* — which is
+//!   what reasoned `allow.toml` entries are for — but it must be a
+//!   recorded decision, not an accident. (The channel shims are
+//!   excluded from the def index, so these never resolve; without the
+//!   fallback the rule would go blind exactly where it matters.)
+
+use super::Rule;
+use crate::resolve::Ctx;
+use crate::{intra, Finding, Workspace};
+
+/// Crates whose `Result`-returning fns are the durability surface.
+const SURFACE_CRATES: &[&str] = &["wal", "polarfs"];
+
+/// Name fragments that mark fencing/lease machinery in any crate.
+const SURFACE_NAME_HINTS: &[&str] = &["fence", "lease"];
+
+pub struct NoDiscardedFencingResults;
+
+impl Rule for NoDiscardedFencingResults {
+    fn id(&self) -> &'static str {
+        "L010"
+    }
+
+    fn summary(&self) -> &'static str {
+        "no discarded Result from wal/polarfs/fencing/lease calls (or channel sends)"
+    }
+
+    fn check(&self, ws: &Workspace) -> Vec<Finding> {
+        let a = ws.analysis();
+        let mut out = Vec::new();
+        for fid in 0..a.idx.fns.len() {
+            let d = &a.idx.fns[fid];
+            if d.is_test {
+                continue;
+            }
+            let f = &ws.files[d.file];
+            let ctx = Ctx {
+                file: d.file,
+                crate_name: &d.crate_name,
+                impl_type: d.impl_type.as_deref(),
+                is_test: d.is_test,
+            };
+            let raw = crate::resolve::raw_calls(f, d.start, d.end);
+            for disc in intra::discards(f, d.start, d.end) {
+                // Own the site: the innermost fn span containing it
+                // must be this one, not a nested fn's.
+                let owner = f
+                    .fns
+                    .iter()
+                    .filter(|s| s.start <= disc.tok && disc.tok <= s.end)
+                    .min_by_key(|s| s.end - s.start);
+                if owner.map(|s| s.start) != Some(d.start) {
+                    continue;
+                }
+                let Some(call) = raw.iter().find(|c| c.tok == disc.tok) else {
+                    continue; // inside a thread boundary, or not a call
+                };
+                if let Some(callee) = a.idx.resolve(ws, call, &ctx) {
+                    let cd = &a.idx.fns[callee];
+                    if !cd.returns_result {
+                        continue;
+                    }
+                    let on_surface = SURFACE_CRATES.contains(&cd.crate_name.as_str())
+                        || SURFACE_NAME_HINTS.iter().any(|h| cd.name.contains(h));
+                    if on_surface {
+                        out.push(f.finding(
+                            "L010",
+                            disc.line,
+                            format!(
+                                "discarded Result of `{}` ({}) — a dropped error on the \
+                                 durability/fencing surface hides divergence; handle it or \
+                                 allowlist with the reason",
+                                a.fn_name(callee),
+                                disc.how
+                            ),
+                        ));
+                    }
+                } else if call.name == "send"
+                    && matches!(call.kind, crate::resolve::CallKind::Method { .. })
+                {
+                    out.push(f.finding(
+                        "L010",
+                        disc.line,
+                        format!(
+                            "discarded Result of channel `.send(...)` ({}) — a dead receiver \
+                             here can silently drop an event; handle it or allowlist with the \
+                             reason the drop is safe",
+                            disc.how
+                        ),
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SourceFile;
+
+    fn ws(files: Vec<(&str, &str)>) -> Workspace {
+        Workspace::from_files(
+            std::path::PathBuf::new(),
+            files
+                .into_iter()
+                .map(|(p, s)| SourceFile::new(p.into(), s.into()))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn resolved_surface_discards_fire_handled_ones_do_not() {
+        let w = ws(vec![
+            (
+                "crates/wal/src/writer.rs",
+                "pub struct LogWriter;\nimpl LogWriter {\n  pub fn append(&mut self, e: u64) \
+                 -> Result<u64, ()> { Ok(e) }\n  pub fn hint(&self) {}\n}\n",
+            ),
+            (
+                "crates/server/src/s.rs",
+                "pub fn bad(writer: &mut LogWriter) { let _ = writer.append(1); }\n\
+                 pub fn good(writer: &mut LogWriter) -> Result<(), ()> {\n  \
+                 writer.append(2)?;\n  Ok(())\n}\n\
+                 pub fn unit(writer: &LogWriter) { writer.hint(); }\n",
+            ),
+        ]);
+        let found = NoDiscardedFencingResults.check(&w);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].line, 1);
+        assert!(found[0].msg.contains("LogWriter::append"));
+    }
+
+    #[test]
+    fn fencing_names_fire_anywhere_other_crates_do_not() {
+        let w = ws(vec![
+            (
+                "crates/cluster/src/lease.rs",
+                "pub fn stamp_lease(t: u64) -> Result<(), ()> { Ok(()) }\n\
+                 pub fn tidy() -> Result<(), ()> { Ok(()) }\n",
+            ),
+            (
+                "crates/server/src/s.rs",
+                "pub fn promote() { let _ = stamp_lease(9); }\n\
+                 pub fn sweep() { let _ = tidy(); }\n",
+            ),
+        ]);
+        let found = NoDiscardedFencingResults.check(&w);
+        // stamp_lease matches the name hint; tidy returns Result but is
+        // neither wal/polarfs nor fencing-named.
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].msg.contains("stamp_lease"));
+    }
+
+    #[test]
+    fn unresolved_channel_sends_fire_in_statement_or_let_underscore() {
+        let w = ws(vec![(
+            "crates/replication/src/pipeline.rs",
+            "pub fn publish(tx: &Sender<u8>) { let _ = tx.send(1); }\n\
+             pub fn forward(tx: &Sender<u8>) -> Result<(), E> { tx.send(2)?; Ok(()) }\n",
+        )]);
+        let found = NoDiscardedFencingResults.check(&w);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].msg.contains(".send("));
+        assert_eq!(found[0].line, 1);
+    }
+}

@@ -9,13 +9,17 @@ pub mod l004;
 pub mod l005;
 pub mod l006;
 pub mod l007;
+pub mod l008;
+pub mod l009;
+pub mod l010;
+pub mod l011;
 
 use crate::lexer::TokKind;
 use crate::{Finding, SourceFile, Workspace};
 
 /// One invariant check.
 pub trait Rule {
-    /// Stable id, `"L001"`..`"L007"` — what allowlist entries key on.
+    /// Stable id, `"L001"`..`"L011"` — what allowlist entries key on.
     fn id(&self) -> &'static str;
     /// One-line description for `--list`.
     fn summary(&self) -> &'static str;
@@ -32,6 +36,10 @@ pub fn all() -> Vec<Box<dyn Rule>> {
         Box::new(l005::SafetyComments),
         Box::new(l006::NoBlockingOnReactor),
         Box::new(l007::BenchMetricsGated),
+        Box::new(l008::NoPanicReachable),
+        Box::new(l009::NoBlockingReachableFromReactor),
+        Box::new(l010::NoDiscardedFencingResults),
+        Box::new(l011::NoGuardAcrossBlocking),
     ]
 }
 

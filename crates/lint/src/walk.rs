@@ -9,13 +9,19 @@ const SKIP_DIRS: &[&str] = &["target", ".git", ".github", "node_modules"];
 /// when linting a workspace that embeds the linter.
 const SKIP_SUFFIXES: &[&str] = &["lint/fixtures"];
 
-/// All `.rs` files under `root`, depth-first, unsorted.
+/// All `.rs` files under `root`, depth-first. Directory entries are
+/// sorted by name before descending, so the result — and everything
+/// downstream of it: finding order, witness-path choice in the call
+/// graph, the selftest — is deterministic across filesystems
+/// (`read_dir` order is inode order on ext4, hash order on btrfs).
 pub fn rust_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
     let mut out = Vec::new();
     let mut stack = vec![root.to_path_buf()];
     while let Some(dir) = stack.pop() {
-        for entry in std::fs::read_dir(&dir)? {
-            let entry = entry?;
+        let mut entries: Vec<std::fs::DirEntry> =
+            std::fs::read_dir(&dir)?.collect::<std::io::Result<_>>()?;
+        entries.sort_by_key(|e| e.file_name());
+        for entry in entries {
             let path = entry.path();
             let name = entry.file_name().to_string_lossy().into_owned();
             let ty = entry.file_type()?;
@@ -53,5 +59,52 @@ mod tests {
             !rels.iter().any(|p| p.contains("fixtures/")),
             "seeded fixture violations must not leak into workspace runs: {rels:?}"
         );
+        // Integration tests are linted, not just src/.
+        assert!(
+            rels.iter().any(|p| p.ends_with("tests/selftest.rs")),
+            "tests/ must be walked: {rels:?}"
+        );
+    }
+
+    #[test]
+    fn workspace_walk_covers_tests_and_examples() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let files = rust_files(&root).unwrap();
+        let rels: Vec<String> = files
+            .iter()
+            .map(|p| p.to_string_lossy().replace('\\', "/"))
+            .collect();
+        assert!(
+            rels.iter().any(|p| p.contains("/examples/")),
+            "examples/ must be walked"
+        );
+        assert!(
+            rels.iter().any(|p| p.contains("/tests/")),
+            "crate tests/ dirs must be walked"
+        );
+    }
+
+    #[test]
+    fn order_is_deterministic() {
+        let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let a = rust_files(manifest).unwrap();
+        let b = rust_files(manifest).unwrap();
+        assert_eq!(a, b);
+        // Each directory's entries come out name-sorted: the depth-first
+        // stack reorders across directories, but within one directory
+        // the relative order of sibling files is the sort order.
+        let mut by_dir: std::collections::HashMap<PathBuf, Vec<String>> =
+            std::collections::HashMap::new();
+        for p in &a {
+            by_dir
+                .entry(p.parent().unwrap().to_path_buf())
+                .or_default()
+                .push(p.file_name().unwrap().to_string_lossy().into_owned());
+        }
+        for (dir, names) in by_dir {
+            let mut sorted = names.clone();
+            sorted.sort();
+            assert_eq!(names, sorted, "unsorted siblings in {}", dir.display());
+        }
     }
 }

@@ -1,0 +1,131 @@
+//! Property tests for the lint lexer: it must survive (and stay sane
+//! on) arbitrary byte soup and pathological quote/comment nests. The
+//! lexer is the foundation every rule and the call-graph build sit on;
+//! a panic here takes the whole `--deny-new` CI gate down with it, so
+//! "never panics, lines monotone, classification stable" is load-
+//! bearing, not decorative.
+
+use imci_lint::lexer::{lex, TokKind};
+use proptest::prelude::*;
+
+/// Characters chosen to maximize lexer-state trouble per byte: every
+/// string/char/comment delimiter, raw-string hashes and prefixes,
+/// escapes, newlines, plus multibyte UTF-8 to stress byte-offset
+/// slicing.
+const SPICY: &[char] = &[
+    '"', '\'', '\\', '/', '*', '#', 'r', 'b', 'n', '_', '0', '9', 'x', '{', '}', '(', ')', '.',
+    ':', '!', ' ', '\n', '\t', 'é', '日', '💥',
+];
+
+fn check_invariants(src: &str) {
+    let toks = lex(src);
+    let lines = 1 + src.bytes().filter(|&b| b == b'\n').count() as u32;
+    let mut prev_line = 1u32;
+    for t in &toks {
+        assert!(t.line >= 1 && t.line <= lines, "line {} of {lines}", t.line);
+        assert!(t.line >= prev_line, "lines must be monotone");
+        prev_line = t.line;
+        match t.kind {
+            // Idents and numbers are verbatim slices of the source.
+            TokKind::Ident | TokKind::Num => {
+                assert!(src.contains(&t.text), "{:?} not in source", t.text);
+                assert!(!t.text.is_empty());
+            }
+            TokKind::Punct => assert_eq!(t.text.chars().count(), 1),
+            _ => {}
+        }
+    }
+    // Every token consumes at least one source byte.
+    assert!(toks.len() <= src.len().max(1));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn byte_soup_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..400)) {
+        let src = String::from_utf8_lossy(&bytes);
+        check_invariants(&src);
+    }
+
+    #[test]
+    fn delimiter_soup_never_panics(picks in prop::collection::vec(0usize..25, 0..200)) {
+        let src: String = picks.iter().map(|&i| SPICY[i % SPICY.len()]).collect();
+        check_invariants(&src);
+    }
+
+    #[test]
+    fn line_comments_swallow_anything_to_newline(
+        body in "[a-z\"'\\\\/*# ]{0,40}",
+        tail in "[a-z]{1,8}",
+    ) {
+        let src = format!("//{body}\n{tail}");
+        check_invariants(&src);
+        let toks = lex(&src);
+        prop_assert_eq!(toks[0].kind, TokKind::LineComment);
+        prop_assert!(toks[1..].iter().any(|t| t.is_ident(&tail)));
+        prop_assert_eq!(toks.last().unwrap().line, 2);
+    }
+
+    #[test]
+    fn plain_strings_round_trip_their_content(body in "[a-z0-9_ .:/#']{0,40}") {
+        // No `"` or `\` in the class: content must come back verbatim.
+        let src = format!("let s = \"{body}\";");
+        check_invariants(&src);
+        let strs: Vec<_> = lex(&src).into_iter().filter(|t| t.kind == TokKind::Str).collect();
+        prop_assert_eq!(strs.len(), 1);
+        prop_assert_eq!(&strs[0].text, &body);
+    }
+
+    #[test]
+    fn raw_strings_close_on_their_own_hash_run(
+        body in "[a-z\"/ ]{0,30}",
+        hashes in 1usize..4,
+    ) {
+        let h = "#".repeat(hashes);
+        // A lone `"` in the body can't close: the closer needs `"` +
+        // hashes, so break up any accidental closer the generator made.
+        let mut body = body;
+        while body.contains(&format!("\"{h}")) {
+            body = body.replace(&format!("\"{h}"), "\" ");
+        }
+        let src = format!("let s = r{h}\"{body}\"{h}; after();");
+        check_invariants(&src);
+        let toks = lex(&src);
+        let strs: Vec<_> = toks.iter().filter(|t| t.kind == TokKind::Str).collect();
+        prop_assert_eq!(strs.len(), 1);
+        prop_assert_eq!(&strs[0].text, &body);
+        prop_assert!(toks.iter().any(|t| t.is_ident("after")), "code after the raw string lexes");
+    }
+
+    #[test]
+    fn unbalanced_comment_nests_consume_to_eof_without_panic(
+        opens in 0usize..6,
+        closes in 0usize..6,
+        tail in "[a-z]{1,6}",
+    ) {
+        let src = format!("{}{}{tail}", "/*".repeat(opens), "*/".repeat(closes));
+        check_invariants(&src);
+        let toks = lex(&src);
+        if closes == opens {
+            // Exactly balanced: the tail re-emerges as code.
+            prop_assert!(toks.iter().any(|t| t.is_ident(&tail)), "{toks:?}");
+        } else if closes < opens && opens > 0 {
+            // Under-closed: everything folds into one comment to EOF.
+            prop_assert!(!toks.iter().any(|t| t.is_ident(&tail)), "{toks:?}");
+        }
+        // Over-closed is only a no-panic check: `*/*/` manufactures a
+        // fresh `/*` opener, so where the tail lands depends on parity.
+    }
+
+    #[test]
+    fn trailing_escape_in_string_or_char_is_safe(
+        prefix in "[a-z ]{0,10}",
+        quote in prop_oneof![Just('"'), Just('\'')],
+    ) {
+        // Unterminated literal ending in a lone backslash: the escape
+        // skip must not run past EOF.
+        let src = format!("{prefix}{quote}abc\\");
+        check_invariants(&src);
+    }
+}

@@ -17,16 +17,51 @@ fn every_rule_fires_exactly_once_on_fixtures() {
     let ws = imci_lint::Workspace::load(&fixtures_root()).unwrap();
     let findings = imci_lint::run_all(&ws);
     let ids: Vec<&str> = findings.iter().map(|f| f.rule).collect();
+    // One *dedicated* seeded violation per rule. The interprocedural
+    // rules additionally re-see their syntactic counterpart's seeded
+    // site (a fn reaches its own body), which is the supersession
+    // property pinned below — hence L008/L009 appearing twice.
     assert_eq!(
         ids,
-        ["L001", "L002", "L003", "L004", "L005", "L006", "L007"],
-        "one seeded violation per rule, in id order: {findings:#?}"
+        [
+            "L001", "L002", "L003", "L004", "L005", "L006", "L007", "L008", "L008", "L009", "L009",
+            "L010", "L011"
+        ],
+        "seeded violations, in id order: {findings:#?}"
     );
     // Findings carry enough context to act on.
     for f in &findings {
         assert!(
             !f.msg.is_empty() && !f.src_line.is_empty() && f.line > 0,
             "{f}"
+        );
+    }
+}
+
+#[test]
+fn interprocedural_rules_strictly_contain_their_syntactic_counterparts() {
+    let ws = imci_lint::Workspace::load(&fixtures_root()).unwrap();
+    let findings = imci_lint::run_all(&ws);
+    let sites = |rule: &str| -> Vec<(String, u32)> {
+        findings
+            .iter()
+            .filter(|f| f.rule == rule)
+            .map(|f| (f.path.clone(), f.line))
+            .collect()
+    };
+    for (syntactic, interproc) in [("L004", "L008"), ("L006", "L009")] {
+        let a = sites(syntactic);
+        let b = sites(interproc);
+        assert!(!a.is_empty(), "{syntactic} seeded fixture missing");
+        for site in &a {
+            assert!(
+                b.contains(site),
+                "{interproc} must re-report {syntactic}'s site {site:?}: {b:?}"
+            );
+        }
+        assert!(
+            b.len() > a.len(),
+            "{interproc} must see strictly more than {syntactic} (the cross-crate seed): {b:?}"
         );
     }
 }
@@ -42,7 +77,7 @@ fn fixture_allowlist_suppresses_every_seeded_finding() {
     let entries = imci_lint::allow::parse(&text).unwrap();
     let (live, suppressed, stale) = imci_lint::allow::apply(findings, &entries);
     assert!(live.is_empty(), "unsuppressed: {live:#?}");
-    assert_eq!(suppressed.len(), 7);
+    assert_eq!(suppressed.len(), 13);
     assert!(stale.is_empty(), "stale: {stale:?}");
 }
 

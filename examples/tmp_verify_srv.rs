@@ -1,0 +1,16 @@
+use imci_cluster::{Cluster, ClusterConfig};
+use imci_server::{Server, ServerConfig};
+
+fn main() {
+    let cluster = Cluster::start(ClusterConfig::default());
+    let srv = Server::start(
+        cluster,
+        ServerConfig {
+            addr: "127.0.0.1:7878".into(),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    println!("READY {}", srv.local_addr());
+    std::thread::sleep(std::time::Duration::from_secs(60));
+}
