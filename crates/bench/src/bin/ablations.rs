@@ -31,6 +31,7 @@ fn main() {
     ablation_d(smoke, &mut rep);
     ablation_e(smoke, &mut rep);
     ablation_e_plus(smoke, &mut rep);
+    ablation_f(smoke, &mut rep);
     if let Some(path) = imci_bench::report::json_path_arg() {
         rep.write(&path).expect("write bench json");
         println!("\nwrote {path}");
@@ -238,7 +239,7 @@ fn ablation_d(smoke: bool, rep: &mut BenchReport) {
         });
         let opts = ExecOpts {
             consistency: Some(level),
-            force_engine: None,
+            ..Default::default()
         };
         let mut total = Duration::ZERO;
         let mut retries = 0u64;
@@ -303,6 +304,106 @@ fn ablation_d(smoke: bool, rep: &mut BenchReport) {
             high_water_delta as f64,
         );
         cluster.shutdown();
+    }
+}
+
+/// (F) morsel-driven parallelism: the same filtered scan and group-by
+/// aggregation at `parallelism = 1` vs `parallelism = cores`. Scenario
+/// names carry a `_c<cores>` label so bench-check never gates a 1-core
+/// baseline against a multi-core run — on a 1-core container the
+/// speedup is honestly ~1.0 (the pool adds only dispatch overhead);
+/// the ≥1.5× expectation applies to multi-core hosts.
+fn ablation_f(smoke: bool, rep: &mut BenchReport) {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let n: i64 = if smoke { 20_000 } else { 400_000 };
+    println!("## ablation F: morsel-driven parallel execution ({cores} cores)");
+    println!("## {n}-row scan + group-by agg, parallelism 1 vs {cores}");
+    let schema = Schema::new(
+        TableId(98),
+        "mp",
+        vec![
+            ColumnDef::not_null("id", DataType::Int),
+            ColumnDef::new("key", DataType::Int),
+            ColumnDef::new("grp", DataType::Int),
+            ColumnDef::new("amt", DataType::Double),
+        ],
+        vec![
+            IndexDef {
+                kind: IndexKind::Primary,
+                name: "PRIMARY".into(),
+                columns: vec![0],
+            },
+            IndexDef {
+                kind: IndexKind::Column,
+                name: "ci".into(),
+                columns: vec![0, 1, 2, 3],
+            },
+        ],
+    )
+    .unwrap();
+    // 4096-row groups → ~n/4096 morsels: enough units for every worker.
+    let idx = ColumnIndex::for_schema(&schema, 4096);
+    for i in 0..n {
+        idx.insert(
+            Vid(1),
+            &[
+                Value::Int(i),
+                Value::Int((i * 7919) % n),
+                Value::Int(i % 64),
+                Value::Double(i as f64 * 0.25),
+            ],
+        )
+        .unwrap();
+    }
+    idx.advance_visible(Vid(1));
+    let mut snaps = FxHashMap::default();
+    snaps.insert(TableId(98), Arc::new(idx.snapshot()));
+    let mut ctx = ExecContext::new(snaps);
+    let scan = PhysicalPlan::ColumnScan {
+        table: TableId(98),
+        cols: vec![0, 1, 2, 3],
+        prune: vec![],
+        filter: Some(Expr::cmp(CmpOp::Lt, Expr::col(1), Expr::lit(n / 2))),
+    };
+    let agg = PhysicalPlan::HashAgg {
+        input: Box::new(scan.clone()),
+        group_by: vec![Expr::col(2)],
+        aggs: vec![
+            imci_executor::AggCall {
+                func: imci_executor::AggFunc::Count,
+                arg: Some(Expr::col(0)),
+                distinct: false,
+            },
+            imci_executor::AggCall {
+                func: imci_executor::AggFunc::Sum,
+                arg: Some(Expr::col(3)),
+                distinct: false,
+            },
+        ],
+    };
+    let reps = if smoke { 2 } else { 7 };
+    for (stem, plan) in [("parallel_scan", &scan), ("parallel_agg", &agg)] {
+        let mut serial_ms = f64::MAX;
+        let mut parallel_ms = f64::MAX;
+        for _ in 0..reps {
+            ctx.parallelism = 1;
+            let t0 = Instant::now();
+            let a = execute(plan, &ctx).unwrap();
+            serial_ms = serial_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+            ctx.parallelism = cores;
+            let t0 = Instant::now();
+            let b = execute(plan, &ctx).unwrap();
+            parallel_ms = parallel_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+            assert_eq!(a.len, b.len, "parallel and serial runs disagree");
+        }
+        let speedup = serial_ms / parallel_ms;
+        let scenario = format!("{stem}_c{cores}");
+        println!("{scenario}\tserial_ms\t{serial_ms:.2}\tparallel_ms\t{parallel_ms:.2}\tspeedup\t{speedup:.2}x");
+        rep.set(&scenario, "serial_ms", serial_ms);
+        rep.set(&scenario, "parallel_ms", parallel_ms);
+        rep.set(&scenario, "speedup", speedup);
     }
 }
 

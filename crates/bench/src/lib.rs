@@ -5,7 +5,7 @@
 //! qualitative expectation (see DESIGN.md §5 and EXPERIMENTS.md).
 
 use imci_cluster::{Cluster, ClusterConfig};
-use imci_sql::{EngineChoice, Statement};
+use imci_sql::{EngineChoice, QueryOptions};
 use std::time::{Duration, Instant};
 
 pub mod report;
@@ -32,19 +32,19 @@ pub fn env_usize(name: &str, default: usize) -> usize {
 /// Run one SELECT on a chosen engine of the first RO node; returns
 /// (elapsed, row count).
 pub fn run_query_on(cluster: &Cluster, sql: &str, engine: EngineChoice) -> (Duration, usize) {
+    run_query_opts(cluster, sql, &QueryOptions::forced(Some(engine)))
+}
+
+/// Run one SELECT on the first RO node with full per-call options;
+/// returns (elapsed, row count).
+pub fn run_query_opts(cluster: &Cluster, sql: &str, opts: &QueryOptions) -> (Duration, usize) {
     let node = cluster.ros.read()[0].clone();
-    let stmt = match imci_sql::parse(sql).expect("query parses") {
-        Statement::Select(s) => *s,
-        _ => panic!("not a select"),
-    };
-    node.query.set_force(Some(engine));
     let t = Instant::now();
-    let out = node.query.execute_select(&stmt);
+    let out = node.query.run(sql, opts);
     let dt = t.elapsed();
-    node.query.set_force(None);
     match out {
-        Ok((res, _)) => (dt, res.rows.len()),
-        Err(e) => panic!("query failed on {engine:?}: {e}\n{sql}"),
+        Ok(res) => (dt, res.rows.len()),
+        Err(e) => panic!("query failed with {opts:?}: {e}\n{sql}"),
     }
 }
 

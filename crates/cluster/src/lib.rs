@@ -302,6 +302,26 @@ pub struct ExecOpts {
     pub consistency: Option<Consistency>,
     /// Pin SELECTs to one engine; `None` keeps cost-based routing.
     pub force_engine: Option<imci_sql::EngineChoice>,
+    /// Morsel-parallelism cap for column-engine SELECTs (`SET
+    /// PARALLELISM <n>`); `None` uses the node default.
+    pub parallelism: Option<usize>,
+    /// Late-materialized scan switch (`SET LATE_MATERIALIZATION
+    /// ON|OFF`); `None` uses the node default.
+    pub late_materialization: Option<bool>,
+}
+
+impl ExecOpts {
+    /// The per-call options these session overrides hand to
+    /// [`QueryEngine::run`] — the consistency field stays behind, it is
+    /// resolved by the proxy's routing, not by the node.
+    pub fn query_options(&self) -> imci_sql::QueryOptions {
+        imci_sql::QueryOptions {
+            engine: self.force_engine,
+            parallelism: self.parallelism,
+            late_materialization: self.late_materialization,
+            prune: None,
+        }
+    }
 }
 
 /// RAII hold on an RO node's active-session counter (the §6.1
@@ -876,7 +896,7 @@ impl Cluster {
             let result = self.execute_on_ro(&node, sql, opts);
             return self.absolve_retired_ro(&node, result);
         }
-        self.execute_rw(sql, opts.force_engine)
+        self.execute_rw(sql, opts)
     }
 
     /// Re-categorize a read error as retryable when the RO it ran on
@@ -949,7 +969,7 @@ impl Cluster {
                     self.absolve_retired_ro(&node, result)
                 }));
             } else {
-                out.push(self.execute_rw(sql, opts.force_engine));
+                out.push(self.execute_rw(sql, opts));
             }
         }
         out
@@ -961,7 +981,7 @@ impl Cluster {
     /// applied LSN — strong-consistency reads fence on DDL commits and
     /// therefore always see the catalog their session expects.
     fn execute_on_ro(&self, node: &RoNode, sql: &str, opts: ExecOpts) -> Result<QueryResult> {
-        node.query.execute_forced(sql, opts.force_engine)
+        node.query.run(sql, &opts.query_options())
     }
 
     /// Run one write/DDL statement on the RW node. DDL (CREATE / DROP /
@@ -970,13 +990,14 @@ impl Cluster {
     /// order with the data changes. With the writer role vacant
     /// (crash/failover window) the statement fails fast with the
     /// retryable failover category instead of stalling. An engine pin
-    /// is honored when the writer is dual-format (promoted node); a
-    /// row-only writer answers on the row engine as before.
-    fn execute_rw(&self, sql: &str, force: Option<imci_sql::EngineChoice>) -> Result<QueryResult> {
+    /// is honored when the writer is dual-format (promoted node); on a
+    /// row-only writer the column attempt reports
+    /// `ColumnEngineUnsupported` and `run` falls back to the row
+    /// engine, answering exactly as before.
+    fn execute_rw(&self, sql: &str, opts: ExecOpts) -> Result<QueryResult> {
         let rw = self.rw.read();
         match rw.as_ref() {
-            Some(node) if node.column.is_some() => node.query.execute_forced(sql, force),
-            Some(node) => node.query.execute(sql),
+            Some(node) => node.query.run(sql, &opts.query_options()),
             None => Err(Error::Failover(
                 "RW node is down; retry after recovery".into(),
             )),
@@ -1112,7 +1133,7 @@ fn supervise(weak: Weak<Cluster>, cfg: SupervisorConfig, stop: Arc<(Mutex<bool>,
 mod tests {
     use super::*;
     use imci_common::Value;
-    use imci_sql::{EngineChoice, Statement};
+    use imci_sql::EngineChoice;
 
     const DDL: &str = "CREATE TABLE demo (
         id INT NOT NULL, grp INT, val DOUBLE, note VARCHAR(32),
@@ -1225,14 +1246,11 @@ mod tests {
         assert_eq!(c.ros.read().len(), 2);
         // The new node answers queries with fresh data.
         let node = c.ros.read()[1].clone();
-        node.query.set_force(Some(EngineChoice::Column));
-        let (res, _) = node
+        let res = node
             .query
-            .execute_select(
-                &match imci_sql::parse("SELECT COUNT(*) FROM demo").unwrap() {
-                    Statement::Select(s) => *s,
-                    _ => unreachable!(),
-                },
+            .run(
+                "SELECT COUNT(*) FROM demo",
+                &imci_sql::QueryOptions::forced(Some(EngineChoice::Column)),
             )
             .unwrap();
         assert_eq!(res.rows[0][0], Value::Int(600));
@@ -1284,7 +1302,7 @@ mod tests {
         });
         let opts = ExecOpts {
             consistency: Some(Consistency::Strong),
-            force_engine: None,
+            ..Default::default()
         };
         for round in 0..5 {
             let t = format!("tenant_{round}");
@@ -1337,7 +1355,7 @@ mod tests {
             .unwrap();
         let opts = ExecOpts {
             consistency: Some(Consistency::Strong),
-            force_engine: None,
+            ..Default::default()
         };
         assert_eq!(
             c.execute_opts("SELECT id FROM demo WHERE id = 1", opts)
@@ -1384,6 +1402,7 @@ mod tests {
             // The RW node has no column store: a result on the COLUMN
             // engine proves the statement ran on an RO node.
             force_engine: Some(EngineChoice::Column),
+            ..Default::default()
         };
         for sql in [
             "-- comment\nSELECT COUNT(*) FROM demo",
@@ -1411,7 +1430,7 @@ mod tests {
             &stmts,
             ExecOpts {
                 consistency: Some(Consistency::Strong),
-                force_engine: None,
+                ..Default::default()
             },
         );
         assert_eq!(results.len(), 23);
@@ -1523,6 +1542,7 @@ mod tests {
         let opts = ExecOpts {
             consistency: Some(Consistency::Strong),
             force_engine: Some(EngineChoice::Column),
+            ..Default::default()
         };
         let res = c.execute_opts("SELECT COUNT(*) FROM demo", opts).unwrap();
         assert_eq!(res.rows[0][0], Value::Int(399));
@@ -1648,7 +1668,7 @@ mod tests {
         assert!(c.wait_sync(Duration::from_secs(20)));
         let opts = ExecOpts {
             consistency: Some(Consistency::Strong),
-            force_engine: None,
+            ..Default::default()
         };
         let res = c.execute_opts("SELECT COUNT(*) FROM demo", opts).unwrap();
         assert_eq!(res.rows[0][0], Value::Int(201));
@@ -1737,6 +1757,7 @@ mod tests {
         let opts = ExecOpts {
             consistency: None,
             force_engine: Some(EngineChoice::Column),
+            ..Default::default()
         };
         let res = c
             .execute_opts(

@@ -16,6 +16,7 @@
 
 use crate::locator::RidLocator;
 use crate::rowgroup::RowGroup;
+use crate::selvec::SelVec;
 use imci_common::{DataType, Error, Result, Rid, Schema, Value, Vid};
 use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeMap;
@@ -57,6 +58,20 @@ pub struct Snapshot {
     index: Arc<ColumnIndex>,
 }
 
+/// One scan work unit ("morsel" source): a row group plus the row
+/// offsets visible at the owning snapshot's CSN, resolved when the scan
+/// is dispatched. A worker operating on a `PinnedGroup` never consults
+/// MVCC state again — visibility was decided once, on the dispatching
+/// thread — so the morsel's result is a pure function of the group's
+/// column data and this selection, independent of scheduling.
+#[derive(Clone)]
+pub struct PinnedGroup {
+    /// The row group to scan.
+    pub group: Arc<RowGroup>,
+    /// Offsets visible at the snapshot CSN, ascending.
+    pub visible: SelVec,
+}
+
 impl Drop for Snapshot {
     fn drop(&mut self) {
         let mut a = self.index.active.lock();
@@ -78,6 +93,32 @@ impl Snapshot {
     /// The index this snapshot reads.
     pub fn index(&self) -> &Arc<ColumnIndex> {
         &self.index
+    }
+
+    /// Pin one group's visibility at this snapshot's CSN. Returns
+    /// `None` for reclaimed groups and groups with no visible rows, so
+    /// callers never dispatch empty morsels.
+    pub fn pin_group(&self, group: &Arc<RowGroup>) -> Option<PinnedGroup> {
+        if group.is_reclaimed() {
+            return None;
+        }
+        let visible = group.visible_offsets(self.csn);
+        if visible.is_empty() {
+            return None;
+        }
+        Some(PinnedGroup {
+            group: group.clone(),
+            visible,
+        })
+    }
+
+    /// Pin every group's visibility (see [`Snapshot::pin_group`]) —
+    /// the snapshot/visibility handoff for morsel-driven scans.
+    pub fn pin_groups(&self) -> Vec<PinnedGroup> {
+        self.groups()
+            .iter()
+            .filter_map(|g| self.pin_group(g))
+            .collect()
     }
 
     /// Point lookup by PK (visibility-checked).
@@ -363,6 +404,41 @@ mod tests {
         let idx = ColumnIndex::for_schema(&test_schema(), 8);
         assert_eq!(idx.covered, vec![0, 1, 3]);
         assert_eq!(idx.pk_pos, 0);
+    }
+
+    #[test]
+    fn pin_groups_freezes_visibility_per_snapshot() {
+        let idx = ColumnIndex::for_schema(&test_schema(), 4);
+        for i in 0..10i64 {
+            idx.insert(
+                Vid(1),
+                &[Value::Int(i), Value::Int(i * 2), Value::Double(0.0)],
+            )
+            .unwrap();
+        }
+        idx.advance_visible(Vid(1));
+        let before = idx.snapshot();
+        // Wipe out the first group (rows 0..4) entirely.
+        for i in 0..4i64 {
+            idx.delete(Vid(2), i).unwrap();
+        }
+        idx.advance_visible(Vid(2));
+        let after = idx.snapshot();
+        // The older snapshot still pins all three groups with every row.
+        let pinned = before.pin_groups();
+        assert_eq!(pinned.len(), 3);
+        assert_eq!(pinned.iter().map(|p| p.visible.len()).sum::<usize>(), 10);
+        for p in &pinned {
+            let offs: Vec<u32> = p.visible.iter().collect();
+            let mut sorted = offs.clone();
+            sorted.sort_unstable();
+            assert_eq!(offs, sorted, "visible offsets must ascend");
+        }
+        // The newer snapshot skips the fully-deleted group: no empty
+        // morsels are ever dispatched.
+        let pinned = after.pin_groups();
+        assert_eq!(pinned.len(), 2);
+        assert_eq!(pinned.iter().map(|p| p.visible.len()).sum::<usize>(), 6);
     }
 
     #[test]

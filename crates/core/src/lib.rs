@@ -42,7 +42,7 @@ pub use checkpoint::{
 };
 pub use column::{ColumnData, Dictionary};
 pub use compaction::{compact, CompactionReport};
-pub use index::{ColumnIndex, Snapshot, DEFAULT_GROUP_CAPACITY};
+pub use index::{ColumnIndex, PinnedGroup, Snapshot, DEFAULT_GROUP_CAPACITY};
 pub use locator::{LocatorSnapshot, RidLocator};
 pub use pack::{BitPacked, Bitmap, Pack, PackData, PackMeta};
 pub use rowgroup::{ColumnRead, ColumnSlot, RowGroup};

@@ -1,25 +1,38 @@
-//! Batch-mode execution of physical plans (paper §6.3).
+//! Batch-mode execution of physical plans (paper §6.3), morsel-driven
+//! (§6.2).
 //!
 //! The plan tree is decomposed into pipelines at blocking operators
-//! (join build, aggregation, sort): scans stream one batch per row
-//! group through the non-blocking operators above them, in parallel
-//! across groups ("TableScan can concurrently fetch Data Packs in a
-//! non-interleaved manner"). Pack min/max metadata prunes groups before
-//! any data is touched.
+//! (join build, aggregation, sort). Scans split into per-rowgroup
+//! *morsels* — each pinning its visibility [`SelVec`] at dispatch time
+//! and running the compressed-domain kernels + late materialization
+//! independently on the shared [`crate::morsel::WorkerPool`] — and the
+//! blocking operators merge per-morsel partial results: partial hash
+//! aggregation with a final combine, a hash-partitioned join build with
+//! parallel probe, and per-morsel top-K with a final merge. Every
+//! parallel path produces bit-identical output to the serial path
+//! (`ExecContext::parallelism == 1`), which stays as the ablation
+//! baseline; the `parallel_equiv` proptest oracle enforces this.
+//! Pack min/max metadata prunes groups before any data is touched.
 
 use crate::batch::Batch;
 use crate::expr::Expr;
 use crate::kernels::{self, ColView};
+use crate::morsel;
 use crate::plan::{AggCall, AggFunc, PhysicalPlan, PruneRange};
 use imci_common::{Error, FxHashMap, Result, TableId, Value};
-use imci_core::{ColumnData, ColumnRead, SelVec, Snapshot};
+use imci_core::{ColumnData, ColumnRead, PinnedGroup, SelVec, Snapshot};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Execution context: pinned snapshots + tuning.
 pub struct ExecContext {
     /// One snapshot per table touched by the query (consistent view).
     pub snapshots: FxHashMap<TableId, Arc<Snapshot>>,
-    /// Scan parallelism (worker threads over row groups).
+    /// Per-query cap on morsels in flight. The worker pool itself is
+    /// process-global and machine-sized; this knob bounds how much of
+    /// it one query may occupy. `1` disables parallel dispatch and is
+    /// the serial ablation baseline.
     pub parallelism: usize,
     /// Min/max pack pruning (ablation switch).
     pub prune_enabled: bool,
@@ -47,6 +60,71 @@ impl ExecContext {
             .get(&table)
             .ok_or_else(|| Error::Execution(format!("no snapshot for table {table}")))
     }
+
+    /// Morsel concurrency for a stage with `units` independent units.
+    fn par(&self, units: usize) -> usize {
+        self.parallelism.clamp(1, units.max(1))
+    }
+}
+
+/// Per-operator runtime counters reported by `EXPLAIN ANALYZE`.
+/// Operator ids are pre-order positions in the plan tree — the same
+/// order [`PhysicalPlan::explain`] emits lines, so `rows[i]` belongs to
+/// the operator on line `i`.
+#[derive(Debug, Clone)]
+pub struct ExecStats {
+    /// Rows each operator produced.
+    pub rows: Vec<u64>,
+    /// Morsels per operator: scans count their pinned row groups (the
+    /// units the scan decomposes into); blocking operators count the
+    /// partial-work units they dispatched to the pool.
+    pub morsels: Vec<u64>,
+    /// Wall-clock of the whole execution.
+    pub wall: Duration,
+}
+
+impl ExecStats {
+    /// Total morsels across all operators.
+    pub fn total_morsels(&self) -> u64 {
+        self.morsels.iter().sum()
+    }
+}
+
+/// Mutable counters threaded through execution. Atomics so the cell
+/// can be shared by reference through the recursion without borrow
+/// gymnastics; only the orchestrator thread updates it.
+struct StatsCell {
+    rows: Vec<AtomicU64>,
+    morsels: Vec<AtomicU64>,
+}
+
+impl StatsCell {
+    fn new(ops: usize) -> StatsCell {
+        StatsCell {
+            rows: (0..ops).map(|_| AtomicU64::new(0)).collect(),
+            morsels: (0..ops).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    fn add_rows(&self, op: usize, n: u64) {
+        if let Some(c) = self.rows.get(op) {
+            c.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    fn add_morsels(&self, op: usize, n: u64) {
+        if let Some(c) = self.morsels.get(op) {
+            c.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    fn finish(self, wall: Duration) -> ExecStats {
+        ExecStats {
+            rows: self.rows.into_iter().map(|a| a.into_inner()).collect(),
+            morsels: self.morsels.into_iter().map(|a| a.into_inner()).collect(),
+            wall,
+        }
+    }
 }
 
 /// Execute a plan to a fully-materialized result batch.
@@ -58,16 +136,37 @@ pub fn execute(plan: &PhysicalPlan, ctx: &ExecContext) -> Result<Batch> {
 /// Execute returning per-pipeline batches (avoids the final concat for
 /// consumers that stream).
 pub fn exec_stream(plan: &PhysicalPlan, ctx: &ExecContext) -> Result<Vec<Batch>> {
-    match plan {
+    exec_node(plan, ctx, 0, None)
+}
+
+/// Execute to a materialized batch, collecting the per-operator
+/// counters `EXPLAIN ANALYZE` reports.
+pub fn execute_with_stats(plan: &PhysicalPlan, ctx: &ExecContext) -> Result<(Batch, ExecStats)> {
+    let t0 = Instant::now();
+    let cell = StatsCell::new(plan.op_count());
+    let out = Batch::concat(&exec_node(plan, ctx, 0, Some(&cell))?)?;
+    Ok((out, cell.finish(t0.elapsed())))
+}
+
+/// One operator. `op` is the node's pre-order id (children of a node at
+/// `op` start at `op + 1`; a join's build side starts after the whole
+/// probe subtree).
+fn exec_node(
+    plan: &PhysicalPlan,
+    ctx: &ExecContext,
+    op: usize,
+    stats: Option<&StatsCell>,
+) -> Result<Vec<Batch>> {
+    let out = match plan {
         PhysicalPlan::ColumnScan {
             table,
             cols,
             prune,
             filter,
-        } => scan(ctx, *table, cols, prune, filter.as_ref()),
+        } => scan(ctx, *table, cols, prune, filter.as_ref(), op, stats)?,
         PhysicalPlan::Filter { input, pred } => {
             let mut out = Vec::new();
-            for b in exec_stream(input, ctx)? {
+            for b in exec_node(input, ctx, op + 1, stats)? {
                 // Selection-vector path: typed kernels (dictionary-aware
                 // for strings) straight to one gather per column.
                 let views = kernels::batch_views(&b);
@@ -82,38 +181,37 @@ pub fn exec_stream(plan: &PhysicalPlan, ctx: &ExecContext) -> Result<Vec<Batch>>
                     out.push(f);
                 }
             }
-            Ok(out)
+            out
         }
         PhysicalPlan::Project { input, exprs } => {
             let mut out = Vec::new();
-            for b in exec_stream(input, ctx)? {
+            for b in exec_node(input, ctx, op + 1, stats)? {
                 let cols = exprs
                     .iter()
                     .map(|e| e.eval(&b))
                     .collect::<Result<Vec<ColumnData>>>()?;
                 out.push(Batch { cols, len: b.len });
             }
-            Ok(out)
+            out
         }
         PhysicalPlan::HashJoin {
             left,
             right,
             left_keys,
             right_keys,
-        } => hash_join(ctx, left, right, left_keys, right_keys),
+        } => hash_join(ctx, left, right, left_keys, right_keys, op, stats)?,
         PhysicalPlan::HashAgg {
             input,
             group_by,
             aggs,
-        } => hash_agg(ctx, input, group_by, aggs).map(|b| vec![b]),
+        } => vec![hash_agg(ctx, input, group_by, aggs, op, stats)?],
         PhysicalPlan::Sort { input, keys, limit } => {
-            let all = Batch::concat(&exec_stream(input, ctx)?)?;
-            sort_batch(all, keys, *limit).map(|b| vec![b])
+            vec![sort(ctx, input, keys, *limit, op, stats)?]
         }
         PhysicalPlan::Limit { input, n } => {
             let mut out = Vec::new();
             let mut remaining = *n;
-            for b in exec_stream(input, ctx)? {
+            for b in exec_node(input, ctx, op + 1, stats)? {
                 if remaining == 0 {
                     break;
                 }
@@ -127,9 +225,22 @@ pub fn exec_stream(plan: &PhysicalPlan, ctx: &ExecContext) -> Result<Vec<Batch>>
                     remaining = 0;
                 }
             }
-            Ok(out)
+            out
         }
+    };
+    if let Some(s) = stats {
+        s.add_rows(op, out.iter().map(|b| b.len as u64).sum());
     }
+    Ok(out)
+}
+
+/// Everything one scan morsel needs besides its [`PinnedGroup`] —
+/// shared across morsels via one `Arc`, so a morsel job is `'static`
+/// without copying the filter per group.
+struct ScanParams {
+    cols: Vec<usize>,
+    filter: Option<Expr>,
+    late_materialization: bool,
 }
 
 fn scan(
@@ -138,95 +249,92 @@ fn scan(
     cols: &[usize],
     prune: &[PruneRange],
     filter: Option<&Expr>,
+    op: usize,
+    stats: Option<&StatsCell>,
 ) -> Result<Vec<Batch>> {
     let snap = ctx.snapshot(table)?;
-    let groups = snap.groups();
-    let csn = snap.csn;
-    let n_workers = ctx.parallelism.clamp(1, groups.len().max(1));
-    let prune_enabled = ctx.prune_enabled;
-    let late_mat = ctx.late_materialization;
-
-    let results: Vec<Result<Option<Batch>>> = std::thread::scope(|s| {
-        let mut handles = Vec::with_capacity(n_workers);
-        for w in 0..n_workers {
-            let groups = &groups;
-            let handle = s.spawn(move || {
-                let mut local: Vec<Result<Option<Batch>>> = Vec::new();
-                let mut gi = w;
-                while gi < groups.len() {
-                    local.push(scan_group(
-                        &groups[gi],
-                        csn,
-                        cols,
-                        prune,
-                        filter,
-                        prune_enabled,
-                        late_mat,
-                    ));
-                    gi += n_workers;
+    // Morsel creation, on the orchestrator: pack pruning first
+    // (metadata only — skip the whole group if any constrained column's
+    // min/max range proves no row can match; sealed groups only, the
+    // partial group has no sealed metadata), then the snapshot pins
+    // each survivor's visibility SelVec. Workers receive finished
+    // morsels and never touch MVCC state.
+    let mut pinned: Vec<PinnedGroup> = Vec::new();
+    'groups: for group in snap.groups() {
+        if ctx.prune_enabled && group.is_sealed() {
+            for pr in prune {
+                if let Some(pack) = group.column_pack(pr.col) {
+                    if !pack.meta.may_contain_range(pr.lo.as_ref(), pr.hi.as_ref()) {
+                        continue 'groups;
+                    }
                 }
-                local
-            });
-            handles.push(handle);
+            }
         }
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("scan worker panicked"))
-            .collect()
-    });
+        if let Some(p) = snap.pin_group(&group) {
+            pinned.push(p);
+        }
+    }
+    if let Some(s) = stats {
+        s.add_morsels(op, pinned.len() as u64);
+    }
+    if pinned.is_empty() {
+        return Ok(Vec::new());
+    }
+    let params = ScanParams {
+        cols: cols.to_vec(),
+        filter: filter.cloned(),
+        late_materialization: ctx.late_materialization,
+    };
+    let par = ctx.par(pinned.len());
+    if par == 1 {
+        let mut out = Vec::new();
+        for p in &pinned {
+            if let Some(b) = scan_group(p, &params)? {
+                if b.len > 0 {
+                    out.push(b);
+                }
+            }
+        }
+        return Ok(out);
+    }
+    let n = pinned.len();
+    let shared = Arc::new((pinned, params));
+    collect_morsels(morsel::run_morsels(par, n, move |i| {
+        scan_group(&shared.0[i], &shared.1)
+    }))
+}
 
+/// Flatten ordered morsel results: a missing slot (worker panic)
+/// becomes an execution error, empty batches are dropped, order is the
+/// morsel order.
+fn collect_morsels(results: Vec<Option<Result<Option<Batch>>>>) -> Result<Vec<Batch>> {
     let mut out = Vec::new();
     for r in results {
-        if let Some(b) = r? {
-            if b.len > 0 {
-                out.push(b);
-            }
+        match r {
+            None => return Err(Error::Execution("morsel worker panicked".into())),
+            Some(Err(e)) => return Err(e),
+            Some(Ok(Some(b))) if b.len > 0 => out.push(b),
+            Some(Ok(_)) => {}
         }
     }
     Ok(out)
 }
 
-fn scan_group(
-    group: &imci_core::RowGroup,
-    csn: u64,
-    cols: &[usize],
-    prune: &[PruneRange],
-    filter: Option<&Expr>,
-    prune_enabled: bool,
-    late_materialization: bool,
-) -> Result<Option<Batch>> {
-    if group.is_reclaimed() {
-        return Ok(None);
+fn scan_group(p: &PinnedGroup, params: &ScanParams) -> Result<Option<Batch>> {
+    let group = &p.group;
+    let reads: Vec<ColumnRead> = params.cols.iter().map(|&c| group.read_column(c)).collect();
+    if !params.late_materialization {
+        return scan_group_early_mat(&reads, &p.visible, params.filter.as_ref());
     }
-    // Pack pruning: skip the whole group if any constrained column's
-    // min/max range proves no row can match (sealed groups only — the
-    // partial group has no sealed metadata).
-    if prune_enabled && group.is_sealed() {
-        for pr in prune {
-            if let Some(pack) = group.column_pack(pr.col) {
-                if !pack.meta.may_contain_range(pr.lo.as_ref(), pr.hi.as_ref()) {
-                    return Ok(None);
-                }
-            }
-        }
-    }
-    let visible = group.visible_offsets(csn);
-    if visible.is_empty() {
-        return Ok(None);
-    }
-    let reads: Vec<ColumnRead> = cols.iter().map(|&c| group.read_column(c)).collect();
-    if !late_materialization {
-        return scan_group_early_mat(&reads, &visible, filter);
-    }
-    // Late materialization: refine the visibility selection with the
-    // predicate kernels over the *compressed* packs, then gather every
-    // requested column exactly once, at the surviving offsets only.
-    let sel = match filter {
-        None => visible,
+    // Late materialization: refine the pinned visibility selection with
+    // the predicate kernels over the *compressed* packs, then gather
+    // every requested column exactly once, at the surviving offsets.
+    let sel = match &params.filter {
+        None => p.visible.clone(),
         Some(f) => {
             let views: Vec<ColView> = reads.iter().map(ColView::of).collect();
             if kernels::compressible(f, &views) {
-                kernels::eval_sel(f, &views, visible)?
+                kernels::eval_sel(f, &views, p.visible.clone())?
             } else {
                 // Fallback for non-kernel shapes (arithmetic, col/col
                 // compares): materialize only the filter's columns at
@@ -237,12 +345,13 @@ fn scan_group(
                 refs.sort_unstable();
                 refs.dedup();
                 let sub = Batch {
-                    cols: refs.iter().map(|&j| reads[j].gather(&visible)).collect(),
-                    len: visible.len(),
+                    cols: refs.iter().map(|&j| reads[j].gather(&p.visible)).collect(),
+                    len: p.visible.len(),
                 };
                 let remapped = f.remap(&|j| refs.binary_search(&j).unwrap_or(0));
                 let mask = remapped.eval_mask(&sub)?;
-                let kept: Vec<u32> = visible
+                let kept: Vec<u32> = p
+                    .visible
                     .iter()
                     .zip(mask)
                     .filter(|&(_, m)| m)
@@ -284,80 +393,150 @@ fn scan_group_early_mat(
     }
 }
 
-fn hash_join(
-    ctx: &ExecContext,
-    left: &PhysicalPlan,
-    right: &PhysicalPlan,
-    left_keys: &[usize],
-    right_keys: &[usize],
-) -> Result<Vec<Batch>> {
-    // Build phase (blocking): materialize the right side.
-    let build = Batch::concat(&exec_stream(right, ctx)?)?;
-    // Fast path: single integer join key (the common case — all PK/FK
-    // joins). Typed build + probe, gather-based output construction.
+/// Partition selector for integer join keys. Any stable function of the
+/// key works for correctness: partitioning only routes a key to the one
+/// map holding it, and per-key match lists stay in build-row order in
+/// every partition, so partitioned output equals the single-map
+/// output exactly.
+fn int_part(k: i64, parts: usize) -> usize {
+    (((k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)) >> 32) as usize % parts
+}
+
+/// Partition selector for generic (multi-column / non-int) join keys.
+fn gen_part(key: &[Value], parts: usize) -> usize {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() >> 32) as usize % parts
+}
+
+/// The build side of a hash join: the materialized build batch plus
+/// hash-partitioned key maps (one partition when built serially).
+/// Values are build-row indices in ascending build order — the
+/// output-ordering contract of [`PhysicalPlan::HashJoin`] depends on
+/// this.
+enum JoinKeys {
+    /// Single integer key fast path (all PK/FK joins).
+    Int(Vec<FxHashMap<i64, Vec<u32>>>),
+    /// Generic multi-column keys.
+    Gen(Vec<FxHashMap<Vec<Value>, Vec<u32>>>),
+}
+
+struct JoinTable {
+    build: Arc<Batch>,
+    keys: JoinKeys,
+}
+
+fn build_join_table(build: Batch, right_keys: &[usize], parts: usize) -> Result<JoinTable> {
     let int_key = right_keys.len() == 1
         && matches!(build.cols.get(right_keys[0]), Some(ColumnData::Int { .. }));
-    let mut int_table: FxHashMap<i64, Vec<u32>> = FxHashMap::default();
-    let mut gen_table: FxHashMap<Vec<Value>, Vec<u32>> = FxHashMap::default();
+    let build = Arc::new(build);
     if int_key {
-        if let ColumnData::Int { vals, nulls } = &build.cols[right_keys[0]] {
-            for r in 0..build.len {
-                if !nulls[r] {
-                    int_table.entry(vals[r]).or_default().push(r as u32);
+        let rk = right_keys[0];
+        let build_part = {
+            let b = build.clone();
+            move |w: usize| {
+                let mut m: FxHashMap<i64, Vec<u32>> = FxHashMap::default();
+                if let ColumnData::Int { vals, nulls } = &b.cols[rk] {
+                    for r in 0..b.len {
+                        if !nulls[r] && int_part(vals[r], parts) == w {
+                            m.entry(vals[r]).or_default().push(r as u32);
+                        }
+                    }
+                }
+                m
+            }
+        };
+        let maps = if parts == 1 {
+            vec![Some(build_part(0))]
+        } else {
+            morsel::run_morsels(parts, parts, build_part)
+        };
+        let maps = maps
+            .into_iter()
+            .map(|m| m.ok_or_else(|| Error::Execution("morsel worker panicked".into())))
+            .collect::<Result<Vec<_>>>()?;
+        return Ok(JoinTable {
+            build,
+            keys: JoinKeys::Int(maps),
+        });
+    }
+    let rks = Arc::new(right_keys.to_vec());
+    let build_part = {
+        let b = build.clone();
+        move |w: usize| {
+            let mut m: FxHashMap<Vec<Value>, Vec<u32>> = FxHashMap::default();
+            for r in 0..b.len {
+                let key: Vec<Value> = rks.iter().map(|&k| b.cols[k].get(r)).collect();
+                if key.iter().any(|v| v.is_null()) {
+                    continue; // SQL: NULL keys never join
+                }
+                if gen_part(&key, parts) == w {
+                    m.entry(key).or_default().push(r as u32);
                 }
             }
+            m
         }
+    };
+    let maps = if parts == 1 {
+        vec![Some(build_part(0))]
     } else {
-        for r in 0..build.len {
-            let key: Vec<Value> = right_keys.iter().map(|&k| build.cols[k].get(r)).collect();
-            if key.iter().any(|v| v.is_null()) {
-                continue; // SQL: NULL keys never join
-            }
-            gen_table.entry(key).or_default().push(r as u32);
-        }
-    }
-    // Probe phase: stream left batches; emit index pairs, then build the
-    // joined batch with typed gathers (no per-cell Value boxing).
-    let mut out = Vec::new();
-    for lb in exec_stream(left, ctx)? {
-        let mut lidx: Vec<u32> = Vec::new();
-        let mut ridx: Vec<u32> = Vec::new();
-        if int_key {
+        morsel::run_morsels(parts, parts, build_part)
+    };
+    let maps = maps
+        .into_iter()
+        .map(|m| m.ok_or_else(|| Error::Execution("morsel worker panicked".into())))
+        .collect::<Result<Vec<_>>>()?;
+    Ok(JoinTable {
+        build,
+        keys: JoinKeys::Gen(maps),
+    })
+}
+
+/// Probe one batch against the build table. Emits (probe, build) index
+/// pairs in probe-row order — with per-key build lists in build-row
+/// order, the joined output for a given probe batch is fully
+/// deterministic and independent of partition count.
+fn probe_batch(lb: &Batch, left_keys: &[usize], jt: &JoinTable) -> Option<Batch> {
+    let mut lidx: Vec<u32> = Vec::new();
+    let mut ridx: Vec<u32> = Vec::new();
+    match &jt.keys {
+        JoinKeys::Int(maps) => {
+            let parts = maps.len();
+            let mut probe_one = |r: usize, k: i64| {
+                if let Some(ms) = maps[int_part(k, parts)].get(&k) {
+                    for &br in ms {
+                        lidx.push(r as u32);
+                        ridx.push(br);
+                    }
+                }
+            };
             // Left key may be Int storage or need generic access.
             match &lb.cols[left_keys[0]] {
                 ColumnData::Int { vals, nulls } => {
                     for r in 0..lb.len {
-                        if nulls[r] {
-                            continue;
-                        }
-                        if let Some(ms) = int_table.get(&vals[r]) {
-                            for &br in ms {
-                                lidx.push(r as u32);
-                                ridx.push(br);
-                            }
+                        if !nulls[r] {
+                            probe_one(r, vals[r]);
                         }
                     }
                 }
                 other => {
                     for r in 0..lb.len {
                         if let Some(k) = other.get(r).as_int() {
-                            if let Some(ms) = int_table.get(&k) {
-                                for &br in ms {
-                                    lidx.push(r as u32);
-                                    ridx.push(br);
-                                }
-                            }
+                            probe_one(r, k);
                         }
                     }
                 }
             }
-        } else {
+        }
+        JoinKeys::Gen(maps) => {
+            let parts = maps.len();
             for r in 0..lb.len {
                 let key: Vec<Value> = left_keys.iter().map(|&k| lb.cols[k].get(r)).collect();
                 if key.iter().any(|v| v.is_null()) {
                     continue;
                 }
-                if let Some(ms) = gen_table.get(&key) {
+                if let Some(ms) = maps[gen_part(&key, parts)].get(&key) {
                     for &br in ms {
                         lidx.push(r as u32);
                         ridx.push(br);
@@ -365,15 +544,69 @@ fn hash_join(
                 }
             }
         }
-        if lidx.is_empty() {
-            continue;
+    }
+    if lidx.is_empty() {
+        return None;
+    }
+    let mut cols: Vec<ColumnData> = lb.cols.iter().map(|c| c.gather(&lidx)).collect();
+    cols.extend(jt.build.cols.iter().map(|c| c.gather(&ridx)));
+    Some(Batch {
+        cols,
+        len: lidx.len(),
+    })
+}
+
+fn hash_join(
+    ctx: &ExecContext,
+    left: &PhysicalPlan,
+    right: &PhysicalPlan,
+    left_keys: &[usize],
+    right_keys: &[usize],
+    op: usize,
+    stats: Option<&StatsCell>,
+) -> Result<Vec<Batch>> {
+    // Pre-order ids: probe subtree first, then the build subtree.
+    let right_op = op + 1 + left.op_count();
+    // Build phase (blocking): materialize the right side, then build
+    // the key maps — hash-partitioned across the pool when the context
+    // allows (capped: each partition builder scans the key column once,
+    // so very wide fan-out buys nothing).
+    let build = Batch::concat(&exec_node(right, ctx, right_op, stats)?)?;
+    let parts = ctx.parallelism.clamp(1, 8);
+    if parts > 1 {
+        if let Some(s) = stats {
+            s.add_morsels(op, parts as u64);
         }
-        let mut cols: Vec<ColumnData> = lb.cols.iter().map(|c| c.gather(&lidx)).collect();
-        cols.extend(build.cols.iter().map(|c| c.gather(&ridx)));
-        out.push(Batch {
-            cols,
-            len: lidx.len(),
-        });
+    }
+    let jt = Arc::new(build_join_table(build, right_keys, parts)?);
+    // Probe phase: each probe batch is one morsel; results are gathered
+    // in batch order, preserving the serial output order exactly.
+    let lbs = exec_node(left, ctx, op + 1, stats)?;
+    let par = ctx.par(lbs.len());
+    if par == 1 {
+        let mut out = Vec::new();
+        for lb in &lbs {
+            if let Some(b) = probe_batch(lb, left_keys, &jt) {
+                out.push(b);
+            }
+        }
+        return Ok(out);
+    }
+    if let Some(s) = stats {
+        s.add_morsels(op, lbs.len() as u64);
+    }
+    let n = lbs.len();
+    let shared = Arc::new((lbs, left_keys.to_vec(), jt));
+    let results = morsel::run_morsels(par, n, move |i| {
+        probe_batch(&shared.0[i], &shared.1, &shared.2)
+    });
+    let mut out = Vec::new();
+    for r in results {
+        match r {
+            None => return Err(Error::Execution("morsel worker panicked".into())),
+            Some(Some(b)) => out.push(b),
+            Some(None) => {}
+        }
     }
     Ok(out)
 }
@@ -476,6 +709,48 @@ impl Acc {
         }
     }
 
+    /// Fold another partial accumulator (same [`AggCall`], different
+    /// morsel) into this one — the combine step of partial aggregation.
+    fn merge(&mut self, other: Acc) {
+        match (self, other) {
+            (Acc::CountStar(a), Acc::CountStar(b)) | (Acc::Count(a), Acc::Count(b)) => *a += b,
+            (Acc::CountDistinct(a), Acc::CountDistinct(b)) => a.extend(b),
+            (
+                Acc::Sum {
+                    sum,
+                    any,
+                    int,
+                    isum,
+                },
+                Acc::Sum {
+                    sum: s,
+                    any: a,
+                    int: i,
+                    isum: is,
+                },
+            ) => {
+                *sum += s;
+                *any |= a;
+                *int &= i;
+                *isum += is;
+            }
+            (Acc::Avg { sum, n }, Acc::Avg { sum: s, n: m }) => {
+                *sum += s;
+                *n += m;
+            }
+            (Acc::Min(a), Acc::Min(Some(v))) if a.as_ref().is_none_or(|cur| v < *cur) => {
+                *a = Some(v);
+            }
+            (Acc::Max(a), Acc::Max(Some(v))) if a.as_ref().is_none_or(|cur| v > *cur) => {
+                *a = Some(v);
+            }
+            // Partials for one group are always built from the same
+            // AggCall list, so variants line up; nothing to merge
+            // otherwise.
+            _ => {}
+        }
+    }
+
     fn finish(self) -> Value {
         match self {
             Acc::CountStar(n) | Acc::Count(n) => Value::Int(n as i64),
@@ -506,41 +781,84 @@ impl Acc {
     }
 }
 
+type AggTable = FxHashMap<Vec<Value>, Vec<Acc>>;
+
+/// Accumulate one batch into an aggregation table.
+fn agg_into(table: &mut AggTable, b: &Batch, group_by: &[Expr], aggs: &[AggCall]) -> Result<()> {
+    let key_cols = group_by
+        .iter()
+        .map(|e| e.eval(b))
+        .collect::<Result<Vec<ColumnData>>>()?;
+    let arg_cols = aggs
+        .iter()
+        .map(|a| a.arg.as_ref().map(|e| e.eval(b)).transpose())
+        .collect::<Result<Vec<Option<ColumnData>>>>()?;
+    for r in 0..b.len {
+        let key: Vec<Value> = key_cols.iter().map(|c| c.get(r)).collect();
+        let accs = table
+            .entry(key)
+            .or_insert_with(|| aggs.iter().map(Acc::new).collect());
+        for (acc, arg) in accs.iter_mut().zip(&arg_cols) {
+            match arg {
+                Some(col) => acc.update(Some(&col.get(r))),
+                None => acc.update(None),
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Fold a partial table into the global one (combine step).
+fn merge_agg(into: &mut AggTable, from: AggTable) {
+    for (key, accs) in from {
+        if let Some(cur) = into.get_mut(&key) {
+            for (a, b) in cur.iter_mut().zip(accs) {
+                a.merge(b);
+            }
+        } else {
+            into.insert(key, accs);
+        }
+    }
+}
+
 fn hash_agg(
     ctx: &ExecContext,
     input: &PhysicalPlan,
     group_by: &[Expr],
     aggs: &[AggCall],
+    op: usize,
+    stats: Option<&StatsCell>,
 ) -> Result<Batch> {
-    let mut table: FxHashMap<Vec<Value>, Vec<Acc>> = FxHashMap::default();
-    let mut saw_any = false;
-    for b in exec_stream(input, ctx)? {
-        saw_any = true;
-        let key_cols = group_by
-            .iter()
-            .map(|e| e.eval(&b))
-            .collect::<Result<Vec<ColumnData>>>()?;
-        let arg_cols = aggs
-            .iter()
-            .map(|a| a.arg.as_ref().map(|e| e.eval(&b)).transpose())
-            .collect::<Result<Vec<Option<ColumnData>>>>()?;
-        for r in 0..b.len {
-            let key: Vec<Value> = key_cols.iter().map(|c| c.get(r)).collect();
-            let accs = table
-                .entry(key)
-                .or_insert_with(|| aggs.iter().map(Acc::new).collect());
-            for (acc, arg) in accs.iter_mut().zip(&arg_cols) {
-                match arg {
-                    Some(col) => acc.update(Some(&col.get(r))),
-                    None => acc.update(None),
-                }
+    let batches = exec_node(input, ctx, op + 1, stats)?;
+    let par = ctx.par(batches.len());
+    let mut table: AggTable = FxHashMap::default();
+    if par == 1 {
+        for b in &batches {
+            agg_into(&mut table, b, group_by, aggs)?;
+        }
+    } else {
+        // Partial aggregation: one partial table per input batch built
+        // on the pool, combined here in batch order. The deterministic
+        // combine order keeps repeated runs bit-identical even for
+        // float sums.
+        if let Some(s) = stats {
+            s.add_morsels(op, batches.len() as u64);
+        }
+        let n = batches.len();
+        let shared = Arc::new((batches, group_by.to_vec(), aggs.to_vec()));
+        let partials = morsel::run_morsels(par, n, move |i| {
+            let mut t = AggTable::default();
+            agg_into(&mut t, &shared.0[i], &shared.1, &shared.2).map(|()| t)
+        });
+        for p in partials {
+            match p {
+                None => return Err(Error::Execution("morsel worker panicked".into())),
+                Some(Err(e)) => return Err(e),
+                Some(Ok(t)) => merge_agg(&mut table, t),
             }
         }
     }
     // Global aggregate over an empty input still yields one row.
-    if table.is_empty() && group_by.is_empty() && saw_any {
-        table.insert(Vec::new(), aggs.iter().map(Acc::new).collect());
-    }
     if table.is_empty() && group_by.is_empty() {
         table.insert(Vec::new(), aggs.iter().map(Acc::new).collect());
     }
@@ -548,28 +866,38 @@ fn hash_agg(
     let mut rows: Vec<(Vec<Value>, Vec<Acc>)> = table.into_iter().collect();
     rows.sort_by(|a, b| a.0.cmp(&b.0));
     let width = group_by.len() + aggs.len();
-    let mut out: Option<Batch> = None;
-    for (key, accs) in rows {
-        let mut vals = key;
-        vals.extend(accs.into_iter().map(Acc::finish));
-        let out = out.get_or_insert_with(|| {
-            let types: Vec<imci_common::DataType> = vals
-                .iter()
-                .map(|v| v.data_type().unwrap_or(imci_common::DataType::Int))
-                .collect();
-            Batch::empty(&types)
-        });
-        out.push_values(&vals)?;
+    let vals: Vec<Vec<Value>> = rows
+        .into_iter()
+        .map(|(mut key, accs)| {
+            key.extend(accs.into_iter().map(Acc::finish));
+            key
+        })
+        .collect();
+    // Column types come from the first non-null value in each column,
+    // not the first row: a leading group can aggregate to NULL (e.g.
+    // SUM over an all-null group) while a later one is a double.
+    let types: Vec<imci_common::DataType> = (0..width)
+        .map(|c| {
+            vals.iter()
+                .find_map(|row| row[c].data_type())
+                .unwrap_or(imci_common::DataType::Int)
+        })
+        .collect();
+    let mut out = Batch::empty(&types);
+    for row in &vals {
+        out.push_values(row)?;
     }
-    Ok(out.unwrap_or_else(|| Batch::empty(&vec![imci_common::DataType::Int; width])))
+    Ok(out)
 }
 
-fn sort_batch(b: Batch, keys: &[(usize, bool)], limit: Option<usize>) -> Result<Batch> {
-    let mut idx: Vec<usize> = (0..b.len).collect();
-    // Total order: sort keys, then original position — ties resolve like
-    // a stable sort, and the top-K path selects the same rows the full
-    // sort would.
-    let cmp = |x: &usize, y: &usize| {
+/// Total-order comparator over `b`'s rows: sort keys, then original
+/// position — ties resolve like a stable sort, and every top-K path
+/// selects the same rows the full sort would.
+fn row_cmp<'a>(
+    b: &'a Batch,
+    keys: &'a [(usize, bool)],
+) -> impl Fn(&usize, &usize) -> std::cmp::Ordering + 'a {
+    move |x: &usize, y: &usize| {
         for &(k, desc) in keys {
             let (vx, vy) = (b.cols[k].get(*x), b.cols[k].get(*y));
             let ord = vx.cmp(&vy);
@@ -578,17 +906,75 @@ fn sort_batch(b: Batch, keys: &[(usize, bool)], limit: Option<usize>) -> Result<
             }
         }
         x.cmp(y)
-    };
+    }
+}
+
+fn sort(
+    ctx: &ExecContext,
+    input: &PhysicalPlan,
+    keys: &[(usize, bool)],
+    limit: Option<usize>,
+    op: usize,
+    stats: Option<&StatsCell>,
+) -> Result<Batch> {
+    let batches = exec_node(input, ctx, op + 1, stats)?;
+    let par = ctx.par(batches.len());
+    if let Some(k) = limit {
+        if k > 0 && par > 1 && batches.len() > 1 {
+            // Parallel top-K: each morsel keeps its own batch's K best
+            // rows *in original row order*. The global top-K under the
+            // (keys, position) total order is contained in the union of
+            // per-batch top-Ks, and because survivors stay in original
+            // order the concatenation is order-isomorphic to the full
+            // input — so the final bounded sort picks exactly the rows,
+            // in exactly the order, the serial path would.
+            if let Some(s) = stats {
+                s.add_morsels(op, batches.len() as u64);
+            }
+            let n = batches.len();
+            let shared = Arc::new((batches, keys.to_vec()));
+            let pruned =
+                morsel::run_morsels(par, n, move |i| topk_keep(&shared.0[i], &shared.1, k));
+            let mut kept = Vec::new();
+            for p in pruned {
+                match p {
+                    None => return Err(Error::Execution("morsel worker panicked".into())),
+                    Some(Err(e)) => return Err(e),
+                    Some(Ok(b)) => kept.push(b),
+                }
+            }
+            let all = Batch::concat(&kept)?;
+            return sort_batch(all, keys, Some(k));
+        }
+    }
+    sort_batch(Batch::concat(&batches)?, keys, limit)
+}
+
+/// One morsel of the parallel top-K (see [`sort`] for the equivalence
+/// argument): the K best rows of `b`, returned in original row order.
+fn topk_keep(b: &Batch, keys: &[(usize, bool)], k: usize) -> Result<Batch> {
+    let mut idx: Vec<usize> = (0..b.len).collect();
+    if b.len > k {
+        idx.select_nth_unstable_by(k - 1, row_cmp(b, keys));
+        idx.truncate(k);
+        idx.sort_unstable();
+    }
+    b.gather(&idx)
+}
+
+fn sort_batch(b: Batch, keys: &[(usize, bool)], limit: Option<usize>) -> Result<Batch> {
+    let mut idx: Vec<usize> = (0..b.len).collect();
+    let cmp = row_cmp(&b, keys);
     match limit {
         Some(0) => idx.clear(),
         // Bounded top-K: O(n) partition around the k-th row, then sort
         // only the prefix — no full sort of rows a LIMIT discards.
         Some(k) if k < idx.len() => {
-            idx.select_nth_unstable_by(k - 1, cmp);
+            idx.select_nth_unstable_by(k - 1, &cmp);
             idx.truncate(k);
-            idx.sort_unstable_by(cmp);
+            idx.sort_unstable_by(&cmp);
         }
-        _ => idx.sort_unstable_by(cmp),
+        _ => idx.sort_unstable_by(&cmp),
     }
     b.gather(&idx)
 }
@@ -902,5 +1288,77 @@ mod tests {
         let plan = scan_all();
         assert_eq!(execute(&plan, &mk_ctx(old_snap)).unwrap().len, 10);
         assert_eq!(execute(&plan, &mk_ctx(new_snap)).unwrap().len, 9);
+    }
+
+    /// Each parallel merge operator must match the serial baseline
+    /// bit-for-bit (the integration proptest covers this broadly; this
+    /// is the fast in-crate smoke version).
+    #[test]
+    fn parallel_matches_serial_on_every_operator() {
+        let (mut ctx, _) = ctx_with_data(120, 8); // 15 morsels
+        let plans = [
+            scan_all(),
+            PhysicalPlan::HashAgg {
+                input: Box::new(scan_all()),
+                group_by: vec![Expr::col(1)],
+                aggs: vec![
+                    AggCall {
+                        func: AggFunc::Sum,
+                        arg: Some(Expr::col(2)),
+                        distinct: false,
+                    },
+                    AggCall {
+                        func: AggFunc::Avg,
+                        arg: Some(Expr::col(3)),
+                        distinct: false,
+                    },
+                ],
+            },
+            PhysicalPlan::HashJoin {
+                left: Box::new(scan_all()),
+                right: Box::new(scan_all()),
+                left_keys: vec![2],
+                right_keys: vec![0],
+            },
+            PhysicalPlan::Sort {
+                input: Box::new(scan_all()),
+                keys: vec![(2, true)],
+                limit: Some(17),
+            },
+        ];
+        for plan in &plans {
+            ctx.parallelism = 1;
+            let serial = execute(plan, &ctx).unwrap();
+            for par in [2, 4, 7] {
+                ctx.parallelism = par;
+                let parallel = execute(plan, &ctx).unwrap();
+                assert_eq!(serial.len, parallel.len, "par={par}");
+                for r in 0..serial.len {
+                    assert_eq!(serial.row(r), parallel.row(r), "par={par} row {r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stats_report_rows_and_morsels() {
+        let (mut ctx, _) = ctx_with_data(64, 8); // 8 groups
+        ctx.parallelism = 4;
+        let plan = PhysicalPlan::HashAgg {
+            input: Box::new(scan_all()),
+            group_by: vec![Expr::col(1)],
+            aggs: vec![AggCall {
+                func: AggFunc::CountStar,
+                arg: None,
+                distinct: false,
+            }],
+        };
+        let (out, stats) = execute_with_stats(&plan, &ctx).unwrap();
+        assert_eq!(out.len, 4);
+        assert_eq!(stats.rows.len(), 2, "one entry per operator");
+        assert_eq!(stats.rows[0], 4, "agg output rows");
+        assert_eq!(stats.rows[1], 64, "scan output rows");
+        assert_eq!(stats.morsels[1], 8, "one morsel per row group");
+        assert!(stats.total_morsels() >= 8);
     }
 }

@@ -54,8 +54,11 @@ pub enum PhysicalPlan {
         table: TableId,
         /// Covered-column positions to materialize.
         cols: Vec<usize>,
-        /// Min/max pack pruning ranges (positions within `cols`... no:
-        /// positions within covered columns; see `PruneRange::col`).
+        /// Min/max pack pruning ranges. NOTE: `PruneRange::col` is a
+        /// position within the index's *covered columns* (the same
+        /// space `cols` entries live in), not a position within `cols`
+        /// — the two coincide only when the scan materializes every
+        /// covered column in order.
         prune: Vec<PruneRange>,
         /// Residual filter over the output columns (by output position).
         filter: Option<Expr>,
@@ -74,7 +77,14 @@ pub enum PhysicalPlan {
         /// Output expressions over input columns.
         exprs: Vec<Expr>,
     },
-    /// Hash equi-join (inner). Output = left columns ++ right columns.
+    /// Hash equi-join (inner).
+    ///
+    /// Output-column contract: all of `left`'s columns first (by input
+    /// position), then all of `right`'s — consumers address build-side
+    /// columns at `left_width + i`. Output rows come in probe-row
+    /// order, and a probe row's matches appear in build-row order;
+    /// both hold for the serial and the hash-partitioned parallel
+    /// build, so plans downstream may rely on the order.
     HashJoin {
         /// Probe side.
         left: Box<PhysicalPlan>,
@@ -85,7 +95,13 @@ pub enum PhysicalPlan {
         /// Build key column positions.
         right_keys: Vec<usize>,
     },
-    /// Hash aggregation. Output = group-by values ++ aggregate values.
+    /// Hash aggregation.
+    ///
+    /// Output-column contract: the group-by values first (in `group_by`
+    /// order), then one column per aggregate (in `aggs` order). Output
+    /// rows are sorted by the group key, which makes results
+    /// deterministic across hash-map iteration orders *and* across
+    /// serial/partial-parallel execution.
     HashAgg {
         /// Input operator.
         input: Box<PhysicalPlan>,
@@ -123,6 +139,88 @@ impl PhysicalPlan {
             | PhysicalPlan::Sort { input, .. }
             | PhysicalPlan::Limit { input, .. } => input.op_count(),
             PhysicalPlan::HashJoin { left, right, .. } => left.op_count() + right.op_count(),
+        }
+    }
+
+    /// Is every operator in this plan safe to run with morsel
+    /// parallelism? All current operators are: each parallel path has a
+    /// deterministic merge that reproduces serial output exactly (see
+    /// the `HashJoin`/`HashAgg` contracts and the executor's top-K
+    /// argument). The planner still consults this before handing a
+    /// parallelism budget to the executor, so a future operator without
+    /// a parallel-safe merge degrades to serial instead of silently
+    /// reordering results.
+    pub fn parallel_safe(&self) -> bool {
+        match self {
+            PhysicalPlan::ColumnScan { .. } => true,
+            PhysicalPlan::Filter { input, .. }
+            | PhysicalPlan::Project { input, .. }
+            | PhysicalPlan::HashAgg { input, .. }
+            | PhysicalPlan::Sort { input, .. }
+            | PhysicalPlan::Limit { input, .. } => input.parallel_safe(),
+            PhysicalPlan::HashJoin { left, right, .. } => {
+                left.parallel_safe() && right.parallel_safe()
+            }
+        }
+    }
+
+    /// One `EXPLAIN` line for this node alone (no children, no indent).
+    fn describe(&self) -> String {
+        match self {
+            PhysicalPlan::ColumnScan {
+                table,
+                cols,
+                prune,
+                filter,
+            } => {
+                let mut s = format!("ColumnScan table={} cols={}", table.0, cols.len());
+                if !prune.is_empty() {
+                    s.push_str(&format!(" prune={}", prune.len()));
+                }
+                if filter.is_some() {
+                    s.push_str(" filter=pushed");
+                }
+                s
+            }
+            PhysicalPlan::Filter { .. } => "Filter".to_string(),
+            PhysicalPlan::Project { exprs, .. } => format!("Project exprs={}", exprs.len()),
+            PhysicalPlan::HashJoin { left_keys, .. } => {
+                format!("HashJoin keys={}", left_keys.len())
+            }
+            PhysicalPlan::HashAgg { group_by, aggs, .. } => {
+                format!("HashAgg groups={} aggs={}", group_by.len(), aggs.len())
+            }
+            PhysicalPlan::Sort { keys, limit, .. } => match limit {
+                Some(k) => format!("TopK keys={} limit={k}", keys.len()),
+                None => format!("Sort keys={}", keys.len()),
+            },
+            PhysicalPlan::Limit { n, .. } => format!("Limit n={n}"),
+        }
+    }
+
+    /// `EXPLAIN` rendering: one line per operator, pre-order, indented
+    /// two spaces per tree level. Line `i` is the operator with
+    /// pre-order id `i` — the id space `ExecStats` counters use — with
+    /// a join's probe subtree before its build subtree.
+    pub fn explain(&self) -> Vec<String> {
+        let mut lines = Vec::with_capacity(self.op_count());
+        self.explain_into(0, &mut lines);
+        lines
+    }
+
+    fn explain_into(&self, depth: usize, lines: &mut Vec<String>) {
+        lines.push(format!("{}{}", "  ".repeat(depth), self.describe()));
+        match self {
+            PhysicalPlan::ColumnScan { .. } => {}
+            PhysicalPlan::Filter { input, .. }
+            | PhysicalPlan::Project { input, .. }
+            | PhysicalPlan::HashAgg { input, .. }
+            | PhysicalPlan::Sort { input, .. }
+            | PhysicalPlan::Limit { input, .. } => input.explain_into(depth + 1, lines),
+            PhysicalPlan::HashJoin { left, right, .. } => {
+                left.explain_into(depth + 1, lines);
+                right.explain_into(depth + 1, lines);
+            }
         }
     }
 
@@ -171,5 +269,42 @@ mod tests {
         };
         assert_eq!(agg.op_count(), 4);
         assert_eq!(agg.join_count(), 1);
+        assert!(agg.parallel_safe());
+    }
+
+    #[test]
+    fn explain_lines_follow_preorder_ids() {
+        let scan = |t: u64| PhysicalPlan::ColumnScan {
+            table: TableId(t),
+            cols: vec![0, 1],
+            prune: vec![],
+            filter: None,
+        };
+        let plan = PhysicalPlan::HashAgg {
+            input: Box::new(PhysicalPlan::HashJoin {
+                left: Box::new(scan(1)),
+                right: Box::new(PhysicalPlan::Filter {
+                    input: Box::new(scan(2)),
+                    pred: Expr::Lit(Value::Int(1)),
+                }),
+                left_keys: vec![0],
+                right_keys: vec![0],
+            }),
+            group_by: vec![Expr::Col(1)],
+            aggs: vec![AggCall {
+                func: AggFunc::CountStar,
+                arg: None,
+                distinct: false,
+            }],
+        };
+        let lines = plan.explain();
+        assert_eq!(lines.len(), plan.op_count());
+        // Pre-order: agg(0), join(1), probe scan(2), filter(3), build
+        // scan(4) — matching exec's op-id assignment exactly.
+        assert_eq!(lines[0], "HashAgg groups=1 aggs=1");
+        assert_eq!(lines[1], "  HashJoin keys=1");
+        assert_eq!(lines[2], "    ColumnScan table=1 cols=2");
+        assert_eq!(lines[3], "    Filter");
+        assert_eq!(lines[4], "      ColumnScan table=2 cols=2");
     }
 }

@@ -1,0 +1,201 @@
+//! Equivalence oracle for morsel-driven parallel execution: on random
+//! data (nulls, deletes, adversarial group capacities) and random plan
+//! shapes (filtered scans, self-joins, group-by aggregation, top-K),
+//! running with `parallelism ∈ {2, 4, 7}` must produce batches
+//! bit-identical to the serial `parallelism = 1` path, and repeated
+//! parallel runs must be deterministic.
+//!
+//! Doubles are generated as multiples of 0.25 so every partial sum is
+//! exactly representable — the merge order the parallel aggregate uses
+//! is deterministic, and with exact values serial == parallel holds as
+//! equality, not approximation.
+
+use imci_common::{
+    ColumnDef, DataType, FxHashMap, IndexDef, IndexKind, Schema, TableId, Value, Vid,
+};
+use imci_core::ColumnIndex;
+use imci_executor::{execute, AggCall, AggFunc, CmpOp, ExecContext, Expr, PhysicalPlan};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn schema() -> Schema {
+    Schema::new(
+        TableId(9),
+        "t",
+        vec![
+            ColumnDef::not_null("id", DataType::Int),
+            ColumnDef::new("val", DataType::Int),
+            ColumnDef::new("grp", DataType::Int),
+            ColumnDef::new("d", DataType::Double),
+        ],
+        vec![
+            IndexDef {
+                kind: IndexKind::Primary,
+                name: "PRIMARY".into(),
+                columns: vec![0],
+            },
+            IndexDef {
+                kind: IndexKind::Column,
+                name: "ci".into(),
+                columns: vec![0, 1, 2, 3],
+            },
+        ],
+    )
+    .unwrap()
+}
+
+type Row = (Option<i64>, Option<i64>, Option<f64>);
+
+/// Build a column index over generated rows. `group_cap` is the rowgroup
+/// capacity — i.e. the morsel size — so small values make many morsels
+/// out of few rows (the adversarial case for merge operators). Some rows
+/// are deleted afterwards so sealed groups carry partial visibility.
+fn build_ctx(rows: &[Row], dels: &[u8], group_cap: usize) -> ExecContext {
+    let idx = ColumnIndex::for_schema(&schema(), group_cap);
+    for (i, (val, grp, d)) in rows.iter().enumerate() {
+        idx.insert(
+            Vid(1),
+            &[
+                Value::Int(i as i64),
+                val.map(Value::Int).unwrap_or(Value::Null),
+                grp.map(Value::Int).unwrap_or(Value::Null),
+                d.map(Value::Double).unwrap_or(Value::Null),
+            ],
+        )
+        .unwrap();
+    }
+    idx.advance_visible(Vid(1));
+    for i in 0..rows.len() {
+        if dels[i % dels.len()] == 0 {
+            idx.delete(Vid(2), i as i64).unwrap();
+        }
+    }
+    idx.advance_visible(Vid(2));
+    let mut snaps = FxHashMap::default();
+    snaps.insert(TableId(9), Arc::new(idx.snapshot()));
+    ExecContext::new(snaps)
+}
+
+fn arb_row() -> impl Strategy<Value = Row> {
+    (
+        (0u8..8, -20i64..20).prop_map(|(t, v)| (t > 0).then_some(v)),
+        (0u8..10, 0i64..5).prop_map(|(t, g)| (t > 0).then_some(g)),
+        // Multiples of 0.25: exact in binary, so parallel partial sums
+        // merged in any grouping equal the serial left-to-right sum.
+        (0u8..8, -120i64..120).prop_map(|(t, q)| (t > 0).then_some(q as f64 * 0.25)),
+    )
+}
+
+fn scan(filter: Option<Expr>) -> PhysicalPlan {
+    PhysicalPlan::ColumnScan {
+        table: TableId(9),
+        cols: vec![0, 1, 2, 3],
+        prune: vec![],
+        filter,
+    }
+}
+
+fn agg(func: AggFunc, col: usize) -> AggCall {
+    AggCall {
+        func,
+        arg: (func != AggFunc::CountStar).then(|| Expr::col(col)),
+        distinct: false,
+    }
+}
+
+/// Random plan over the scanned table, exercising every parallel merge
+/// path: pushed-filter scans, standalone filters, group-by and global
+/// aggregation, hash self-joins, full sorts, and top-K.
+fn arb_plan() -> impl Strategy<Value = PhysicalPlan> {
+    fn filt() -> impl Strategy<Value = Expr> {
+        (-15i64..15).prop_map(|k| Expr::cmp(CmpOp::Ge, Expr::col(1), Expr::lit(k)))
+    }
+    prop_oneof![
+        // Filtered scan (pushed down), then Project keeping it parallel.
+        filt().prop_map(|p| PhysicalPlan::Project {
+            input: Box::new(scan(Some(p))),
+            exprs: vec![Expr::col(0), Expr::col(1), Expr::col(3)],
+        }),
+        // Standalone Filter over a full scan.
+        filt().prop_map(|p| PhysicalPlan::Filter {
+            input: Box::new(scan(None)),
+            pred: p,
+        }),
+        // Group-by aggregation over a filtered scan: every Acc variant.
+        filt().prop_map(|p| PhysicalPlan::HashAgg {
+            input: Box::new(scan(Some(p))),
+            group_by: vec![Expr::col(2)],
+            aggs: vec![
+                agg(AggFunc::CountStar, 0),
+                agg(AggFunc::Count, 1),
+                agg(AggFunc::Sum, 1),
+                agg(AggFunc::Sum, 3),
+                agg(AggFunc::Avg, 3),
+                agg(AggFunc::Min, 1),
+                agg(AggFunc::Max, 3),
+            ],
+        }),
+        // Global aggregate (no groups) — exercises the empty-input row.
+        filt().prop_map(|p| PhysicalPlan::HashAgg {
+            input: Box::new(scan(Some(p))),
+            group_by: vec![],
+            aggs: vec![agg(AggFunc::CountStar, 0), agg(AggFunc::Sum, 3)],
+        }),
+        // Hash self-join on grp: partitioned build + parallel probe.
+        (filt(), -15i64..15).prop_map(|(p, k)| PhysicalPlan::HashJoin {
+            left: Box::new(scan(Some(p))),
+            right: Box::new(scan(Some(Expr::cmp(CmpOp::Lt, Expr::col(1), Expr::lit(k))))),
+            left_keys: vec![2],
+            right_keys: vec![2],
+        }),
+        // Top-K over a filtered scan: per-morsel pruning + bounded sort.
+        (filt(), 1usize..12).prop_map(|(p, k)| PhysicalPlan::Sort {
+            input: Box::new(scan(Some(p))),
+            keys: vec![(1, true), (0, false)],
+            limit: Some(k),
+        }),
+        // Full sort (no limit) for the gather-then-sort path.
+        filt().prop_map(|p| PhysicalPlan::Sort {
+            input: Box::new(scan(Some(p))),
+            keys: vec![(3, false), (0, true)],
+            limit: None,
+        }),
+    ]
+}
+
+fn run(ctx: &mut ExecContext, plan: &PhysicalPlan, par: usize) -> Vec<Vec<Value>> {
+    ctx.parallelism = par;
+    let b = execute(plan, ctx).unwrap();
+    (0..b.len).map(|r| b.row(r)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn parallel_execution_matches_serial(
+        rows in prop::collection::vec(arb_row(), 1..100),
+        dels in prop::collection::vec(0u8..4, 1..12),
+        group_cap in prop_oneof![Just(3usize), Just(7), Just(16), Just(64)],
+        plan in arb_plan(),
+    ) {
+        let mut ctx = build_ctx(&rows, &dels, group_cap);
+        let serial = run(&mut ctx, &plan, 1);
+        for par in [2usize, 4, 7] {
+            let parallel = run(&mut ctx, &plan, par);
+            prop_assert_eq!(&serial, &parallel, "parallelism {} diverged", par);
+        }
+    }
+
+    #[test]
+    fn parallel_execution_is_deterministic(
+        rows in prop::collection::vec(arb_row(), 1..80),
+        dels in prop::collection::vec(0u8..4, 1..8),
+        plan in arb_plan(),
+    ) {
+        let mut ctx = build_ctx(&rows, &dels, 5);
+        let a = run(&mut ctx, &plan, 4);
+        let b = run(&mut ctx, &plan, 4);
+        prop_assert_eq!(a, b, "repeated parallel runs diverged");
+    }
+}

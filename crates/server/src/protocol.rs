@@ -13,6 +13,8 @@
 //! SET CONSISTENCY STRONG|EVENTUAL
 //! SET FORCE_ENGINE ROW|COLUMN|AUTO
 //! SET TENANT <name>                    fairness lane for scheduling
+//! SET PARALLELISM <n>                  morsel-parallelism cap (n >= 1)
+//! SET LATE_MATERIALIZATION ON|OFF      late-materialized scan toggle
 //! BATCH <n>                            the next n lines are one batch
 //! <any SQL statement>
 //! ```
@@ -100,6 +102,12 @@ pub enum SessionSetting {
     /// cannot starve another. Purely a scheduling hint, never touches
     /// query semantics.
     Tenant(String),
+    /// `SET PARALLELISM <n>` — cap morsel parallelism for this
+    /// session's column-engine SELECTs (n ≥ 1).
+    Parallelism(usize),
+    /// `SET LATE_MATERIALIZATION ON|OFF` — toggle the late-materialized
+    /// scan path for this session's column-engine SELECTs.
+    LateMaterialization(bool),
 }
 
 /// One parsed client request.
@@ -211,6 +219,19 @@ pub fn parse_request(line: &str) -> Request {
             } else if w1.eq_ignore_ascii_case("TENANT") {
                 // Tenant names are case-sensitive opaque identifiers.
                 return Request::Set(SessionSetting::Tenant(w2.to_string()));
+            } else if w1.eq_ignore_ascii_case("PARALLELISM") {
+                if let Ok(n) = w2.parse::<usize>() {
+                    if n >= 1 {
+                        return Request::Set(SessionSetting::Parallelism(n));
+                    }
+                }
+            } else if w1.eq_ignore_ascii_case("LATE_MATERIALIZATION") {
+                if w2.eq_ignore_ascii_case("ON") {
+                    return Request::Set(SessionSetting::LateMaterialization(true));
+                }
+                if w2.eq_ignore_ascii_case("OFF") {
+                    return Request::Set(SessionSetting::LateMaterialization(false));
+                }
             }
         }
     }
@@ -635,6 +656,18 @@ mod tests {
             Request::Set(SessionSetting::Tenant("analytics".to_string()))
         );
         assert_eq!(
+            parse_request("SET PARALLELISM 4"),
+            Request::Set(SessionSetting::Parallelism(4))
+        );
+        assert_eq!(
+            parse_request("set late_materialization off"),
+            Request::Set(SessionSetting::LateMaterialization(false))
+        );
+        assert_eq!(
+            parse_request("SET LATE_MATERIALIZATION ON"),
+            Request::Set(SessionSetting::LateMaterialization(true))
+        );
+        assert_eq!(
             parse_request("SELECT 1"),
             Request::Query("SELECT 1".to_string())
         );
@@ -642,6 +675,15 @@ mod tests {
         assert_eq!(
             parse_request("SET foo bar"),
             Request::Query("SET foo bar".to_string())
+        );
+        // PARALLELISM 0 and non-numeric args fall through to SQL.
+        assert_eq!(
+            parse_request("SET PARALLELISM 0"),
+            Request::Query("SET PARALLELISM 0".to_string())
+        );
+        assert_eq!(
+            parse_request("SET PARALLELISM lots"),
+            Request::Query("SET PARALLELISM lots".to_string())
         );
     }
 

@@ -477,6 +477,8 @@ fn apply_setting(session: &mut ExecOpts, setting: SessionSetting) {
         SessionSetting::Consistency(c) => session.consistency = Some(c),
         SessionSetting::ForceEngine(f) => session.force_engine = f,
         SessionSetting::Tenant(_) => {}
+        SessionSetting::Parallelism(n) => session.parallelism = Some(n),
+        SessionSetting::LateMaterialization(b) => session.late_materialization = Some(b),
     }
 }
 

@@ -45,6 +45,15 @@ pub enum Statement {
     },
     /// SELECT query.
     Select(Box<SelectStmt>),
+    /// `EXPLAIN [ANALYZE] <select>` — render the physical plan the
+    /// router would execute (ANALYZE also runs it and reports
+    /// per-operator rows, morsel counts, and wall-clock).
+    Explain {
+        /// `EXPLAIN ANALYZE` (execute and attach runtime counters).
+        analyze: bool,
+        /// The explained query.
+        select: Box<SelectStmt>,
+    },
 }
 
 /// CREATE TABLE payload.

@@ -36,6 +36,34 @@ pub enum EngineChoice {
     Column,
 }
 
+/// Per-call options for [`QueryEngine::run`] — the single knob surface
+/// for engine routing and executor tuning. Every field defaults to
+/// `None`, meaning "use the node-global setting" (the atomics on
+/// [`QueryEngine`], which benches and ablations flip); a `Some` travels
+/// with the call and is safe under concurrent sessions.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct QueryOptions {
+    /// Pin SELECTs to one engine (None = cost-based routing; the
+    /// node-global [`QueryEngine::set_force`] still applies when unset).
+    pub engine: Option<EngineChoice>,
+    /// Morsel-parallelism cap for the column executor (clamped to ≥ 1).
+    pub parallelism: Option<usize>,
+    /// Late-materialized scans (ablation switch).
+    pub late_materialization: Option<bool>,
+    /// Pack min/max pruning (ablation switch).
+    pub prune: Option<bool>,
+}
+
+impl QueryOptions {
+    /// Options that pin the engine, leaving everything else node-global.
+    pub fn forced(engine: Option<EngineChoice>) -> QueryOptions {
+        QueryOptions {
+            engine,
+            ..QueryOptions::default()
+        }
+    }
+}
+
 /// A query result in row form.
 #[derive(Debug, Clone)]
 pub struct QueryResult {
@@ -146,22 +174,17 @@ impl QueryEngine {
             .load(std::sync::atomic::Ordering::Relaxed)
     }
 
-    /// Execute any SQL statement (DML auto-commits).
-    pub fn execute(&self, sql: &str) -> Result<QueryResult> {
-        let stmt = parse(sql)?;
-        self.execute_stmt(&stmt)
-    }
-
-    /// Execute any SQL statement with a per-call engine pin for
-    /// SELECTs. Unlike [`QueryEngine::set_force`] (node-global, meant
-    /// for benches), this is safe under concurrent sessions: the pin
-    /// travels with the call.
-    pub fn execute_forced(&self, sql: &str, force: Option<EngineChoice>) -> Result<QueryResult> {
+    /// Execute any SQL statement (DML auto-commits). **The** entry
+    /// point: SELECT routing, per-call engine pins, executor tuning,
+    /// and `EXPLAIN [ANALYZE]` all go through here, parameterized by
+    /// [`QueryOptions`]. The old `execute`/`execute_forced`/
+    /// `execute_select*` family survives as deprecated shims over this.
+    pub fn run(&self, sql: &str, opts: &QueryOptions) -> Result<QueryResult> {
         // Scanner-level point-read fast path: recognize the hot OLTP
         // shape (`SELECT cols FROM t WHERE pk = k`) before even lexing
         // — the full parse costs more than the lookup. Any mismatch or
         // failed name resolution falls through to the real parser.
-        if force.or(*self.force.lock()) != Some(EngineChoice::Column) {
+        if opts.engine.or(*self.force.lock()) != Some(EngineChoice::Column) {
             if let Some(ps) = parser::scan_point_select(sql) {
                 let out: Vec<(&str, Option<&str>)> = ps.cols.iter().map(|c| (*c, None)).collect();
                 if let Some(r) = self.point_lookup(ps.table, ps.filter_col, &out, ps.pk)? {
@@ -170,16 +193,14 @@ impl QueryEngine {
             }
         }
         let stmt = parse(sql)?;
-        match &stmt {
-            Statement::Select(s) => self.execute_select_with(s, force).map(|(r, _)| r),
-            _ => self.execute_stmt(&stmt),
-        }
+        self.run_stmt(&stmt, opts)
     }
 
-    /// Execute a parsed statement.
-    pub fn execute_stmt(&self, stmt: &Statement) -> Result<QueryResult> {
+    /// Execute a parsed statement with options.
+    fn run_stmt(&self, stmt: &Statement, opts: &QueryOptions) -> Result<QueryResult> {
         match stmt {
-            Statement::Select(s) => self.execute_select(s).map(|(r, _)| r),
+            Statement::Select(s) => self.run_select(s, opts).map(|(r, _)| r),
+            Statement::Explain { analyze, select } => self.run_explain(select, *analyze, opts),
             Statement::CreateTable(ct) => {
                 let mut columns = Vec::with_capacity(ct.columns.len());
                 for (name, ty, not_null) in &ct.columns {
@@ -317,16 +338,10 @@ impl QueryEngine {
     }
 
     /// Bind, route, and execute a SELECT; returns the engine used.
-    pub fn execute_select(&self, s: &SelectStmt) -> Result<(QueryResult, EngineChoice)> {
-        self.execute_select_with(s, None)
-    }
-
-    /// [`QueryEngine::execute_select`] with a per-call engine pin
-    /// taking precedence over the node-global force.
-    pub fn execute_select_with(
+    fn run_select(
         &self,
         s: &SelectStmt,
-        force: Option<EngineChoice>,
+        opts: &QueryOptions,
     ) -> Result<(QueryResult, EngineChoice)> {
         // Point-read fast path: a single-table pk-equality SELECT of
         // plain columns skips bind/plan entirely and hits the row
@@ -334,28 +349,15 @@ impl QueryEngine {
         // service tier's OLTP traffic; binding alone costs more than
         // the lookup. Anything the fast path cannot prove returns
         // `None` and falls through to the general path unchanged.
-        if force.or(*self.force.lock()) != Some(EngineChoice::Column) {
+        if opts.engine.or(*self.force.lock()) != Some(EngineChoice::Column) {
             if let Some(result) = self.try_point_select(s)? {
                 return Ok((result, EngineChoice::Row));
             }
         }
-        let row_engine = self.row.clone();
-        let lookup = |name: &str| -> Result<Arc<Schema>> {
-            Ok(Arc::new(row_engine.table(name)?.schema.clone()))
-        };
-        let q = bind_select(s, &lookup, self)?;
-        let choice = match force.or(*self.force.lock()) {
-            Some(c) => c,
-            None => {
-                if q.row_cost > self.cost_threshold && self.store.is_some() {
-                    EngineChoice::Column
-                } else {
-                    EngineChoice::Row
-                }
-            }
-        };
+        let q = self.bind(s)?;
+        let choice = self.route(&q, opts);
         if choice == EngineChoice::Column {
-            match self.run_column(&q) {
+            match self.run_column(&q, opts) {
                 Ok(rows) => {
                     return Ok((
                         QueryResult {
@@ -383,6 +385,102 @@ impl QueryEngine {
             },
             EngineChoice::Row,
         ))
+    }
+
+    /// Bind a SELECT against the node's catalog.
+    fn bind(&self, s: &SelectStmt) -> Result<BoundQuery> {
+        let row_engine = self.row.clone();
+        let lookup = |name: &str| -> Result<Arc<Schema>> {
+            Ok(Arc::new(row_engine.table(name)?.schema.clone()))
+        };
+        bind_select(s, &lookup, self)
+    }
+
+    /// §6.1 intra-node routing: per-call pin, then node-global force,
+    /// then the row-plan cost estimate against the threshold.
+    fn route(&self, q: &BoundQuery, opts: &QueryOptions) -> EngineChoice {
+        match opts.engine.or(*self.force.lock()) {
+            Some(c) => c,
+            None => {
+                if q.row_cost > self.cost_threshold && self.store.is_some() {
+                    EngineChoice::Column
+                } else {
+                    EngineChoice::Row
+                }
+            }
+        }
+    }
+
+    /// `EXPLAIN [ANALYZE] <select>`: report the route the optimizer
+    /// picks and — for the column engine — the physical operator tree,
+    /// one text row per line. ANALYZE also executes the query and
+    /// annotates every operator with the rows it produced and the
+    /// morsels dispatched for it, plus a wall-clock total.
+    fn run_explain(
+        &self,
+        s: &SelectStmt,
+        analyze: bool,
+        opts: &QueryOptions,
+    ) -> Result<QueryResult> {
+        let q = self.bind(s)?;
+        let choice = self.route(&q, opts);
+        let mut column_lines: Option<Vec<String>> = None;
+        if choice == EngineChoice::Column {
+            match self.column_plan_ctx(&q, opts) {
+                Ok((plan, ctx)) => {
+                    let mut lines = vec![format!(
+                        "engine=column cost={:.0} parallelism={}",
+                        q.row_cost, ctx.parallelism
+                    )];
+                    if analyze {
+                        let (_, stats) = imci_executor::execute_with_stats(&plan, &ctx)?;
+                        for (i, l) in plan.explain().into_iter().enumerate() {
+                            lines.push(format!(
+                                "{l} rows={} morsels={}",
+                                stats.rows.get(i).copied().unwrap_or(0),
+                                stats.morsels.get(i).copied().unwrap_or(0)
+                            ));
+                        }
+                        lines.push(format!(
+                            "total: morsels={} wall_ms={:.3}",
+                            stats.total_morsels(),
+                            stats.wall.as_secs_f64() * 1e3
+                        ));
+                    } else {
+                        lines.extend(plan.explain());
+                    }
+                    column_lines = Some(lines);
+                }
+                // Same run-time fallback the real execution takes.
+                Err(Error::ColumnEngineUnsupported(_)) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        let (engine, lines) = match column_lines {
+            Some(lines) => (EngineChoice::Column, lines),
+            None => {
+                let mut lines = vec![
+                    format!("engine=row cost={:.0}", q.row_cost),
+                    "RowPipeline (row-at-a-time executor)".to_string(),
+                ];
+                if analyze {
+                    let t0 = std::time::Instant::now();
+                    let rows = execute_row(&q, &self.row)?;
+                    lines.push(format!(
+                        "total: rows={} wall_ms={:.3}",
+                        rows.len(),
+                        t0.elapsed().as_secs_f64() * 1e3
+                    ));
+                }
+                (EngineChoice::Row, lines)
+            }
+        };
+        Ok(QueryResult {
+            columns: vec!["plan".to_string()],
+            rows: lines.into_iter().map(|l| vec![Value::Str(l)]).collect(),
+            engine,
+            affected: 0,
+        })
     }
 
     /// Try the point-read fast path: `SELECT <plain cols> FROM <one
@@ -479,8 +577,17 @@ impl QueryEngine {
         }))
     }
 
-    /// Execute the bound query on the column engine.
-    pub fn run_column(&self, q: &BoundQuery) -> Result<Vec<Vec<Value>>> {
+    /// Build the column plan and execution context for a bound query:
+    /// plan transform, snapshot pinning (one consistent snapshot per
+    /// table), then tuning — per-call options override the node-global
+    /// atomics, and the planner's [`PhysicalPlan::parallel_safe`] check
+    /// clamps parallelism to 1 for any plan shape without a
+    /// parallel-safe merge. Shared by execution and `EXPLAIN`.
+    fn column_plan_ctx(
+        &self,
+        q: &BoundQuery,
+        opts: &QueryOptions,
+    ) -> Result<(PhysicalPlan, ExecContext)> {
         let store = self
             .store
             .as_ref()
@@ -497,15 +604,59 @@ impl QueryEngine {
             snaps.insert(bt.schema.table_id, Arc::new(idx.snapshot()));
         }
         let mut ctx = ExecContext::new(snaps);
-        ctx.parallelism = self.parallelism.load(std::sync::atomic::Ordering::Relaxed);
-        ctx.prune_enabled = self
-            .prune_enabled
-            .load(std::sync::atomic::Ordering::Relaxed);
-        ctx.late_materialization = self
-            .late_mat_enabled
-            .load(std::sync::atomic::Ordering::Relaxed);
+        ctx.parallelism = opts
+            .parallelism
+            .unwrap_or_else(|| self.get_parallelism())
+            .max(1);
+        if !plan.parallel_safe() {
+            ctx.parallelism = 1;
+        }
+        ctx.prune_enabled = opts.prune.unwrap_or_else(|| self.get_prune_enabled());
+        ctx.late_materialization = opts
+            .late_materialization
+            .unwrap_or_else(|| self.get_late_materialization());
+        Ok((plan, ctx))
+    }
+
+    /// Execute the bound query on the column engine.
+    fn run_column(&self, q: &BoundQuery, opts: &QueryOptions) -> Result<Vec<Vec<Value>>> {
+        let (plan, ctx) = self.column_plan_ctx(q, opts)?;
         let out = imci_executor::execute(&plan, &ctx)?;
         Ok((0..out.len).map(|r| out.row(r)).collect())
+    }
+
+    /// Execute any SQL statement with node-global settings.
+    #[deprecated(note = "use `QueryEngine::run` with `QueryOptions`")]
+    pub fn execute(&self, sql: &str) -> Result<QueryResult> {
+        self.run(sql, &QueryOptions::default())
+    }
+
+    /// Execute with a per-call engine pin for SELECTs.
+    #[deprecated(note = "use `QueryEngine::run` with `QueryOptions { engine, .. }`")]
+    pub fn execute_forced(&self, sql: &str, force: Option<EngineChoice>) -> Result<QueryResult> {
+        self.run(sql, &QueryOptions::forced(force))
+    }
+
+    /// Execute a parsed statement with node-global settings.
+    #[deprecated(note = "use `QueryEngine::run` with `QueryOptions`")]
+    pub fn execute_stmt(&self, stmt: &Statement) -> Result<QueryResult> {
+        self.run_stmt(stmt, &QueryOptions::default())
+    }
+
+    /// Bind, route, and execute a SELECT; returns the engine used.
+    #[deprecated(note = "use `QueryEngine::run`; `QueryResult::engine` reports the engine")]
+    pub fn execute_select(&self, s: &SelectStmt) -> Result<(QueryResult, EngineChoice)> {
+        self.run_select(s, &QueryOptions::default())
+    }
+
+    /// Execute a SELECT with a per-call engine pin.
+    #[deprecated(note = "use `QueryEngine::run` with `QueryOptions { engine, .. }`")]
+    pub fn execute_select_with(
+        &self,
+        s: &SelectStmt,
+        force: Option<EngineChoice>,
+    ) -> Result<(QueryResult, EngineChoice)> {
+        self.run_select(s, &QueryOptions::forced(force))
     }
 
     /// Build the column physical plan without running it (benches).
@@ -605,6 +756,11 @@ mod tests {
     use imci_wal::{LogWriter, PropagationMode};
     use polarfs_sim::PolarFs;
 
+    /// Tests drive the one public entry point with default options.
+    fn run(qe: &QueryEngine, sql: &str) -> Result<QueryResult> {
+        qe.run(sql, &QueryOptions::default())
+    }
+
     fn node() -> QueryEngine {
         let fs = PolarFs::instant();
         let log = LogWriter::new(fs.clone(), PropagationMode::ReuseRedo);
@@ -614,7 +770,8 @@ mod tests {
             store: Some(store),
             ..QueryEngine::row_only(row)
         };
-        qe.execute(
+        run(
+            &qe,
             "CREATE TABLE items (
                 id INT NOT NULL, grp INT, qty INT, price DOUBLE, name VARCHAR(32),
                 PRIMARY KEY(id), KEY grp_idx(grp),
@@ -627,13 +784,16 @@ mod tests {
 
     fn seed(qe: &QueryEngine, n: i64) {
         for i in 0..n {
-            qe.execute(&format!(
-                "INSERT INTO items VALUES ({i}, {}, {}, {}, 'name{}')",
-                i % 5,
-                i % 10,
-                i as f64 * 1.5,
-                i % 7
-            ))
+            run(
+                qe,
+                &format!(
+                    "INSERT INTO items VALUES ({i}, {}, {}, {}, 'name{}')",
+                    i % 5,
+                    i % 10,
+                    i as f64 * 1.5,
+                    i % 7
+                ),
+            )
             .unwrap();
         }
         // Mirror into the column index (on a single test node we play
@@ -656,26 +816,21 @@ mod tests {
     fn dml_roundtrip() {
         let qe = node();
         assert_eq!(
-            qe.execute("INSERT INTO items VALUES (1, 1, 1, 9.5, 'x')")
+            run(&qe, "INSERT INTO items VALUES (1, 1, 1, 9.5, 'x')")
                 .unwrap()
                 .affected,
             1
         );
-        qe.execute("UPDATE items SET qty = 42 WHERE id = 1")
-            .unwrap();
+        run(&qe, "UPDATE items SET qty = 42 WHERE id = 1").unwrap();
         let row = qe.row.get_row("items", 1).unwrap().unwrap();
         assert_eq!(row.values[2], Value::Int(42));
         assert_eq!(
-            qe.execute("DELETE FROM items WHERE id = 1")
-                .unwrap()
-                .affected,
+            run(&qe, "DELETE FROM items WHERE id = 1").unwrap().affected,
             1
         );
         assert!(qe.row.get_row("items", 1).unwrap().is_none());
         assert_eq!(
-            qe.execute("DELETE FROM items WHERE id = 1")
-                .unwrap()
-                .affected,
+            run(&qe, "DELETE FROM items WHERE id = 1").unwrap().affected,
             0
         );
     }
@@ -694,40 +849,30 @@ mod tests {
             "SELECT id FROM items WHERE id = 99999", // miss -> 0 rows
         ];
         for sql in shapes {
-            let stmt = match parse(sql).unwrap() {
-                Statement::Select(s) => *s,
-                _ => unreachable!(),
-            };
-            let (fast, e) = qe.execute_select_with(&stmt, None).unwrap();
-            assert_eq!(e, EngineChoice::Row, "{sql}");
-            let (general, _) = qe
-                .execute_select_with(&stmt, Some(EngineChoice::Column))
+            let fast = run(&qe, sql).unwrap();
+            assert_eq!(fast.engine, EngineChoice::Row, "{sql}");
+            let general = qe
+                .run(sql, &QueryOptions::forced(Some(EngineChoice::Column)))
                 .unwrap();
             assert_eq!(fast.rows, general.rows, "{sql}");
             assert_eq!(fast.columns, general.columns, "{sql}");
         }
         // Aliased output names survive the fast path.
-        let stmt = match parse("SELECT name AS label FROM items WHERE id = 1").unwrap() {
-            Statement::Select(s) => *s,
-            _ => unreachable!(),
-        };
-        let (res, _) = qe.execute_select_with(&stmt, None).unwrap();
+        let res = run(&qe, "SELECT name AS label FROM items WHERE id = 1").unwrap();
         assert_eq!(res.columns, vec!["label".to_string()]);
         // Shapes that must fall back still work and stay correct.
-        let res = qe
-            .execute("SELECT COUNT(*) FROM items WHERE id = 7")
-            .unwrap();
+        let res = run(&qe, "SELECT COUNT(*) FROM items WHERE id = 7").unwrap();
         assert_eq!(res.rows[0][0], Value::Int(1));
-        let res = qe.execute("SELECT id FROM items WHERE grp = 2").unwrap();
+        let res = run(&qe, "SELECT id FROM items WHERE grp = 2").unwrap();
         assert_eq!(res.rows.len(), 10);
         // Error reporting is untouched: unknown column/table messages
         // still come from the binder.
         assert!(matches!(
-            qe.execute("SELECT nope FROM items WHERE id = 1"),
+            run(&qe, "SELECT nope FROM items WHERE id = 1"),
             Err(Error::Plan(_))
         ));
         assert!(matches!(
-            qe.execute("SELECT x FROM missing WHERE id = 1"),
+            run(&qe, "SELECT x FROM missing WHERE id = 1"),
             Err(Error::Catalog(_))
         ));
     }
@@ -738,16 +883,14 @@ mod tests {
         seed(&qe, 200);
         let sql = "SELECT grp, COUNT(*), SUM(qty), AVG(price)
                    FROM items WHERE id < 100 GROUP BY grp ORDER BY grp";
-        let stmt = match parse(sql).unwrap() {
-            Statement::Select(s) => *s,
-            _ => unreachable!(),
-        };
-        qe.set_force(Some(EngineChoice::Row));
-        let (row_res, e1) = qe.execute_select(&stmt).unwrap();
-        assert_eq!(e1, EngineChoice::Row);
-        qe.set_force(Some(EngineChoice::Column));
-        let (col_res, e2) = qe.execute_select(&stmt).unwrap();
-        assert_eq!(e2, EngineChoice::Column);
+        let row_res = qe
+            .run(sql, &QueryOptions::forced(Some(EngineChoice::Row)))
+            .unwrap();
+        assert_eq!(row_res.engine, EngineChoice::Row);
+        let col_res = qe
+            .run(sql, &QueryOptions::forced(Some(EngineChoice::Column)))
+            .unwrap();
+        assert_eq!(col_res.engine, EngineChoice::Column);
         assert_eq!(row_res.rows.len(), 5);
         assert_eq!(row_res.rows, col_res.rows, "engines must agree");
     }
@@ -759,14 +902,12 @@ mod tests {
         // Self-join via qty → id.
         let sql = "SELECT a.id, b.name FROM items a JOIN items b ON a.qty = b.id
                    WHERE a.id < 20 ORDER BY 1, 2 LIMIT 50";
-        let stmt = match parse(sql).unwrap() {
-            Statement::Select(s) => *s,
-            _ => unreachable!(),
-        };
-        qe.set_force(Some(EngineChoice::Row));
-        let (r1, _) = qe.execute_select(&stmt).unwrap();
-        qe.set_force(Some(EngineChoice::Column));
-        let (r2, _) = qe.execute_select(&stmt).unwrap();
+        let r1 = qe
+            .run(sql, &QueryOptions::forced(Some(EngineChoice::Row)))
+            .unwrap();
+        let r2 = qe
+            .run(sql, &QueryOptions::forced(Some(EngineChoice::Column)))
+            .unwrap();
         assert!(!r1.rows.is_empty());
         assert_eq!(r1.rows, r2.rows);
     }
@@ -775,12 +916,12 @@ mod tests {
     fn cost_routing_prefers_row_for_point_queries() {
         let qe = node();
         seed(&qe, 100);
-        let stmt = match parse("SELECT name FROM items WHERE id = 5").unwrap() {
-            Statement::Select(s) => *s,
-            _ => unreachable!(),
-        };
-        let (res, engine) = qe.execute_select(&stmt).unwrap();
-        assert_eq!(engine, EngineChoice::Row, "PK lookup routes to row engine");
+        let res = run(&qe, "SELECT name FROM items WHERE id = 5").unwrap();
+        assert_eq!(
+            res.engine,
+            EngineChoice::Row,
+            "PK lookup routes to row engine"
+        );
         assert_eq!(res.rows.len(), 1);
     }
 
@@ -789,30 +930,26 @@ mod tests {
         let mut qe = node();
         qe.cost_threshold = 50.0;
         seed(&qe, 200);
-        let stmt =
-            match parse("SELECT grp, SUM(price) FROM items GROUP BY grp ORDER BY grp").unwrap() {
-                Statement::Select(s) => *s,
-                _ => unreachable!(),
-            };
-        let (_, engine) = qe.execute_select(&stmt).unwrap();
-        assert_eq!(engine, EngineChoice::Column);
+        let res = run(
+            &qe,
+            "SELECT grp, SUM(price) FROM items GROUP BY grp ORDER BY grp",
+        )
+        .unwrap();
+        assert_eq!(res.engine, EngineChoice::Column);
     }
 
     #[test]
     fn fallback_when_column_index_missing() {
         let mut qe = node();
         qe.cost_threshold = 0.0; // force column attempt
-        qe.execute("CREATE TABLE bare (id INT NOT NULL, v INT, PRIMARY KEY(id))")
-            .unwrap();
-        qe.execute("INSERT INTO bare VALUES (1, 10), (2, 20)")
-            .unwrap();
-        let (res, engine) = qe
-            .execute_select(&match parse("SELECT v FROM bare ORDER BY v").unwrap() {
-                Statement::Select(s) => *s,
-                _ => unreachable!(),
-            })
-            .unwrap();
-        assert_eq!(engine, EngineChoice::Row, "run-time fallback (§6.2)");
+        run(
+            &qe,
+            "CREATE TABLE bare (id INT NOT NULL, v INT, PRIMARY KEY(id))",
+        )
+        .unwrap();
+        run(&qe, "INSERT INTO bare VALUES (1, 10), (2, 20)").unwrap();
+        let res = run(&qe, "SELECT v FROM bare ORDER BY v").unwrap();
+        assert_eq!(res.engine, EngineChoice::Row, "run-time fallback (§6.2)");
         assert_eq!(res.rows.len(), 2);
     }
 
@@ -820,8 +957,87 @@ mod tests {
     fn update_requires_pk() {
         let qe = node();
         seed(&qe, 5);
-        assert!(qe
-            .execute("UPDATE items SET qty = 1 WHERE grp = 0")
-            .is_err());
+        assert!(run(&qe, "UPDATE items SET qty = 1 WHERE grp = 0").is_err());
+    }
+
+    #[test]
+    fn explain_reports_plan_and_analyze_counts() {
+        let qe = node();
+        seed(&qe, 100);
+        let opts = QueryOptions::forced(Some(EngineChoice::Column));
+        let res = qe
+            .run(
+                "EXPLAIN SELECT grp, SUM(qty) FROM items GROUP BY grp",
+                &opts,
+            )
+            .unwrap();
+        assert_eq!(res.columns, vec!["plan".to_string()]);
+        assert_eq!(res.engine, EngineChoice::Column);
+        let text: Vec<String> = res
+            .rows
+            .iter()
+            .map(|r| match &r[0] {
+                Value::Str(s) => s.clone(),
+                o => panic!("{o:?}"),
+            })
+            .collect();
+        assert!(text[0].starts_with("engine=column"), "{text:?}");
+        assert!(text.iter().any(|l| l.contains("HashAgg")), "{text:?}");
+        assert!(text.iter().any(|l| l.contains("ColumnScan")), "{text:?}");
+        // ANALYZE executes and attaches rows/morsels per operator.
+        let res = qe
+            .run(
+                "EXPLAIN ANALYZE SELECT grp, SUM(qty) FROM items GROUP BY grp",
+                &opts,
+            )
+            .unwrap();
+        let text: Vec<String> = res
+            .rows
+            .iter()
+            .map(|r| match &r[0] {
+                Value::Str(s) => s.clone(),
+                o => panic!("{o:?}"),
+            })
+            .collect();
+        let scan_line = text
+            .iter()
+            .find(|l| l.contains("ColumnScan"))
+            .expect("scan line");
+        assert!(scan_line.contains("rows=100"), "{scan_line}");
+        assert!(scan_line.contains("morsels="), "{scan_line}");
+        assert!(
+            text.last().unwrap().contains("wall_ms="),
+            "{:?}",
+            text.last()
+        );
+        // Row-engine EXPLAIN (and the column fallback) still answers.
+        let res = run(&qe, "EXPLAIN ANALYZE SELECT name FROM items WHERE id = 3").unwrap();
+        assert_eq!(res.engine, EngineChoice::Row);
+        assert!(!res.rows.is_empty());
+    }
+
+    #[test]
+    fn per_call_options_override_node_globals() {
+        let qe = node();
+        seed(&qe, 100);
+        let sql = "SELECT grp, COUNT(*) FROM items GROUP BY grp ORDER BY grp";
+        let baseline = qe
+            .run(sql, &QueryOptions::forced(Some(EngineChoice::Column)))
+            .unwrap();
+        // Serial, no pruning, early materialization: same answer.
+        let tuned = qe
+            .run(
+                sql,
+                &QueryOptions {
+                    engine: Some(EngineChoice::Column),
+                    parallelism: Some(1),
+                    late_materialization: Some(false),
+                    prune: Some(false),
+                },
+            )
+            .unwrap();
+        assert_eq!(baseline.rows, tuned.rows);
+        // The per-call pin must not leak into the node-global force.
+        assert_eq!(*qe.force.lock(), None);
     }
 }

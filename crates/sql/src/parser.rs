@@ -195,6 +195,13 @@ pub fn parse(sql: &str) -> Result<Statement> {
     }
     let stmt = if lx.peek_kw("select") {
         Statement::Select(Box::new(parse_select(&mut lx)?))
+    } else if lx.peek_kw("explain") {
+        lx.eat_kw("explain");
+        let analyze = lx.eat_kw("analyze");
+        Statement::Explain {
+            analyze,
+            select: Box::new(parse_select(&mut lx)?),
+        }
     } else if lx.peek_kw("create") {
         parse_create(&mut lx)?
     } else if lx.peek_kw("with") {
@@ -233,9 +240,11 @@ pub fn parse(sql: &str) -> Result<Statement> {
 /// Cheap statement classification for the proxy's "rough syntax parser"
 /// (paper §6.1 inter-node routing): read-only statements go to RO
 /// nodes. Leading `--`/`/* */` comments and `(` are stripped first, and
-/// both `SELECT` and `WITH` count as reads — a `SELECT` hidden behind a
-/// comment must not be misrouted to the RW node, which would bypass RO
-/// load balancing, per-session consistency, and `FORCE_ENGINE`.
+/// `SELECT`, `WITH`, and `EXPLAIN` all count as reads — a `SELECT`
+/// hidden behind a comment must not be misrouted to the RW node, which
+/// would bypass RO load balancing, per-session consistency, and
+/// `FORCE_ENGINE`; an `EXPLAIN` must reach a node that actually holds
+/// the column index it describes.
 pub fn is_read_only(sql: &str) -> bool {
     let mut rest = sql;
     loop {
@@ -261,7 +270,9 @@ pub fn is_read_only(sql: &str) -> bool {
         .find(|c: char| !c.is_ascii_alphanumeric() && c != '_')
         .unwrap_or(rest.len());
     let word = &rest[..word_len];
-    word.eq_ignore_ascii_case("select") || word.eq_ignore_ascii_case("with")
+    word.eq_ignore_ascii_case("select")
+        || word.eq_ignore_ascii_case("with")
+        || word.eq_ignore_ascii_case("explain")
 }
 
 /// The shape recognized by [`scan_point_select`]: a single-table
@@ -1113,6 +1124,28 @@ mod tests {
         assert!(!is_read_only(""));
         // `selection` must not prefix-match `select`.
         assert!(!is_read_only("selection into t"));
+        // EXPLAIN must reach a node holding the column index.
+        assert!(is_read_only("EXPLAIN SELECT 1 FROM t"));
+        assert!(is_read_only("explain analyze select v from t"));
+        assert!(!is_read_only("explainer of t"));
+    }
+
+    #[test]
+    fn explain_parses() {
+        match parse("EXPLAIN SELECT v FROM t WHERE id = 1").unwrap() {
+            Statement::Explain { analyze, select } => {
+                assert!(!analyze);
+                assert_eq!(select.from[0].table, "t");
+            }
+            o => panic!("{o:?}"),
+        }
+        match parse("explain analyze select count(*) from t group by g").unwrap() {
+            Statement::Explain { analyze, .. } => assert!(analyze),
+            o => panic!("{o:?}"),
+        }
+        // ANALYZE without a query is an error, not a table name.
+        assert!(parse("EXPLAIN").is_err());
+        assert!(parse("EXPLAIN INSERT INTO t VALUES (1)").is_err());
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //!
 //! Run with: `cargo run --release --example analytics_tpch`
 
-use polardb_imci::sql::EngineChoice;
+use polardb_imci::sql::{EngineChoice, QueryOptions};
 use polardb_imci::{Cluster, ClusterConfig};
 use std::time::{Duration, Instant};
 
@@ -15,17 +15,17 @@ fn main() {
 
     let node = cluster.ros.read()[0].clone();
     for (name, sql) in polardb_imci::workloads::tpch::queries() {
-        let stmt = match polardb_imci::sql::parse(&sql).unwrap() {
-            polardb_imci::sql::Statement::Select(s) => *s,
-            _ => unreachable!(),
-        };
-        node.query.set_force(Some(EngineChoice::Column));
         let t = Instant::now();
-        let (col, _) = node.query.execute_select(&stmt).unwrap();
+        let col = node
+            .query
+            .run(&sql, &QueryOptions::forced(Some(EngineChoice::Column)))
+            .unwrap();
         let t_col = t.elapsed();
-        node.query.set_force(Some(EngineChoice::Row));
         let t = Instant::now();
-        let (row, _) = node.query.execute_select(&stmt).unwrap();
+        let row = node
+            .query
+            .run(&sql, &QueryOptions::forced(Some(EngineChoice::Row)))
+            .unwrap();
         let t_row = t.elapsed();
         assert_eq!(col.rows.len(), row.rows.len(), "{name}: engines must agree");
         println!(
@@ -36,6 +36,5 @@ fn main() {
             t_row.as_secs_f64() / t_col.as_secs_f64().max(1e-9)
         );
     }
-    node.query.set_force(None);
     cluster.shutdown();
 }

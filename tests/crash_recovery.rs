@@ -25,7 +25,7 @@ use std::time::{Duration, Instant};
 fn strong() -> ExecOpts {
     ExecOpts {
         consistency: Some(Consistency::Strong),
-        force_engine: None,
+        ..Default::default()
     }
 }
 

@@ -11,7 +11,7 @@ use std::time::Duration;
 fn strong() -> ExecOpts {
     ExecOpts {
         consistency: Some(Consistency::Strong),
-        force_engine: None,
+        ..Default::default()
     }
 }
 

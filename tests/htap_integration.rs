@@ -1,5 +1,6 @@
 //! Cross-crate integration tests: full HTAP paths through the cluster.
 
+use polardb_imci::sql::QueryOptions;
 use polardb_imci::{Cluster, ClusterConfig, Consistency, EngineChoice, Value};
 use std::time::Duration;
 
@@ -36,15 +37,15 @@ fn tpch_mini_engines_agree_on_all_22_queries() {
     assert!(c.wait_sync(Duration::from_secs(120)));
     let node = c.ros.read()[0].clone();
     for (name, sql) in polardb_imci::workloads::tpch::queries() {
-        let stmt = match polardb_imci::sql::parse(&sql).unwrap() {
-            polardb_imci::sql::Statement::Select(s) => *s,
-            _ => unreachable!(),
-        };
-        node.query.set_force(Some(EngineChoice::Column));
-        let (col, used) = node.query.execute_select(&stmt).unwrap();
-        assert_eq!(used, EngineChoice::Column, "{name}");
-        node.query.set_force(Some(EngineChoice::Row));
-        let (row, _) = node.query.execute_select(&stmt).unwrap();
+        let col = node
+            .query
+            .run(&sql, &QueryOptions::forced(Some(EngineChoice::Column)))
+            .unwrap();
+        assert_eq!(col.engine, EngineChoice::Column, "{name}");
+        let row = node
+            .query
+            .run(&sql, &QueryOptions::forced(Some(EngineChoice::Row)))
+            .unwrap();
         assert_rows_approx_eq(&col.rows, &row.rows, name);
     }
     c.shutdown();
